@@ -1,0 +1,114 @@
+// Ablation 2 (DESIGN.md §5.2): adaptive vs fixed scheduling.
+//
+// The Discovery Manager backs a module off when its runs stop yielding new
+// information ("This ensures that the resulting exploration effort is as
+// fruitful as possible"). We run a week of managed discovery on the
+// department subnet twice — once with the adaptive rule, once pinned to each
+// module's minimum interval — and compare invocations and network load
+// against the final Journal coverage.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/explorer/etherhostprobe.h"
+#include "src/explorer/ripwatch.h"
+#include "src/explorer/seq_ping.h"
+#include "src/explorer/subnet_mask.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/manager/discovery_manager.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace fremont {
+
+struct WeekResult {
+  int module_runs = 0;
+  uint64_t packets_sent = 0;
+  size_t interfaces_known = 0;
+  size_t with_mask = 0;
+};
+
+WeekResult RunWeek(bool adaptive, uint64_t seed) {
+  Simulator sim(seed);
+  DepartmentParams params;
+  DepartmentSubnet dept = BuildDepartmentSubnet(sim, params);
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient journal(&server);
+  sim.RunUntil(SimTime::Epoch() + Duration::Hours(9));
+
+  DiscoveryManager manager(&sim.events(), &journal);
+  Host* vantage = dept.vantage;
+  // With `adaptive` off, min == max pins every interval (no backoff possible).
+  auto reg = [&](const std::string& name, Duration min_interval, Duration max_interval,
+                 std::function<ExplorerReport()> run) {
+    manager.RegisterModule(
+        {name, min_interval, adaptive ? max_interval : min_interval, std::move(run)});
+  };
+  reg("etherhostprobe", Duration::Hours(12), Duration::Days(7), [&]() {
+    EtherHostProbe module(vantage, &journal);
+    return module.Run();
+  });
+  reg("seqping", Duration::Hours(12), Duration::Days(7), [&]() {
+    SeqPing module(vantage, &journal);
+    return module.Run();
+  });
+  reg("subnetmasks", Duration::Hours(12), Duration::Days(7), [&]() {
+    SubnetMaskExplorer module(vantage, &journal);
+    return module.Run();
+  });
+  reg("ripwatch", Duration::Hours(6), Duration::Days(7), [&]() {
+    RipWatch module(vantage, &journal);
+    return module.Run(Duration::Minutes(2));
+  });
+
+  WeekResult result;
+  auto reports = manager.RunFor(Duration::Days(7));
+  result.module_runs = static_cast<int>(reports.size());
+  for (const auto& report : reports) {
+    result.packets_sent += report.packets_sent;
+  }
+  for (const auto& rec : journal.GetInterfaces()) {
+    ++result.interfaces_known;
+    result.with_mask += rec.mask.has_value();
+  }
+  return result;
+}
+
+int Main() {
+  bench::PrintHeader("Ablation: adaptive vs fixed module scheduling",
+                     "the Discovery Manager section");
+
+  const WeekResult adaptive = RunWeek(/*adaptive=*/true, 19930901);
+  const WeekResult fixed = RunWeek(/*adaptive=*/false, 19930901);
+
+  std::printf("%-22s %12s %14s %16s %12s\n", "Schedule (1 week)", "Module runs", "Packets sent",
+              "Interfaces known", "With mask");
+  std::printf("%-22s %12d %14llu %16zu %12zu\n", "Adaptive (paper)", adaptive.module_runs,
+              static_cast<unsigned long long>(adaptive.packets_sent), adaptive.interfaces_known,
+              adaptive.with_mask);
+  std::printf("%-22s %12d %14llu %16zu %12zu\n", "Fixed at min interval", fixed.module_runs,
+              static_cast<unsigned long long>(fixed.packets_sent), fixed.interfaces_known,
+              fixed.with_mask);
+
+  const double run_ratio = fixed.module_runs / std::max(1.0, static_cast<double>(adaptive.module_runs));
+  const double packet_ratio =
+      static_cast<double>(fixed.packets_sent) / std::max<double>(1.0, static_cast<double>(adaptive.packets_sent));
+  const double coverage_ratio = static_cast<double>(adaptive.interfaces_known) /
+                                std::max<double>(1.0, static_cast<double>(fixed.interfaces_known));
+  std::printf("\nFixed scheduling ran %.1fx more module invocations and sent %.1fx more "
+              "packets for %.0f%% of the adaptive schedule's coverage gain — the barren\n"
+              "re-runs bought nothing the backoff didn't.\n",
+              run_ratio, packet_ratio, 100.0 / std::max(0.01, coverage_ratio));
+
+  bool shape_ok = true;
+  shape_ok &= fixed.module_runs > adaptive.module_runs;     // Backoff saves invocations...
+  shape_ok &= fixed.packets_sent > adaptive.packets_sent;   // ...and network load...
+  shape_ok &= adaptive.interfaces_known + 5 >= fixed.interfaces_known;  // ...for ~equal coverage.
+  std::printf("shape check: %s\n", shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace fremont
+
+int main() { return fremont::Main(); }

@@ -1,0 +1,74 @@
+// Figure 2 reproduction: "Discovering Subnets" — the topology map Fremont
+// exports to SunNet Manager. We run discovery over a slice of the campus,
+// then print the SunNet-Manager-format records (as the 1993 system emitted)
+// and the equivalent Graphviz DOT for modern rendering.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/explorer/dns_explorer.h"
+#include "src/explorer/ripwatch.h"
+#include "src/explorer/traceroute.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/manager/correlate.h"
+#include "src/present/views.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace fremont {
+
+int Main() {
+  bench::PrintHeader("Figure 2: Discovering Subnets (topology map export)", "Figure 2");
+
+  // A small campus slice so the map is readable, like the paper's figure
+  // ("a part of the University of Colorado network discovered by Fremont").
+  Simulator sim(19930601);
+  CampusParams params;
+  params.assigned_subnets = 12;
+  params.connected_subnets = 12;
+  params.faulty_gateway_subnets = 0;
+  params.dns_registered_subnets = 12;
+  params.dns_named_gateways = 6;
+  Campus campus = BuildCampus(sim, params);
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient client(&server);
+  sim.RunFor(Duration::Minutes(5));
+
+  RipWatch ripwatch(campus.vantage, &client);
+  ripwatch.Run(Duration::Minutes(2));
+  Traceroute(campus.vantage, &client).Run();
+  DnsExplorerParams dns_params;
+  dns_params.network = params.class_b;
+  dns_params.server = campus.dns_host->primary_interface()->ip;
+  DnsExplorer(campus.vantage, &client, dns_params).Run();
+  Correlate(client);
+
+  const auto interfaces = client.GetInterfaces();
+  const auto gateways = client.GetGateways();
+  const auto subnets = client.GetSubnets();
+
+  std::printf("--- SunNet Manager import records "
+              "(as fed to snm in the paper) ---\n%s\n",
+              ExportSunNetManager(gateways, subnets, interfaces).c_str());
+  std::printf("--- Graphviz DOT (render with: dot -Tpng) ---\n%s\n",
+              ExportGraphvizDot(gateways, subnets, interfaces).c_str());
+
+  int linked_subnets = 0;
+  for (const auto& subnet : subnets) {
+    if (!subnet.gateway_ids.empty()) {
+      ++linked_subnets;
+    }
+  }
+  std::printf("Map contains %zu gateways, %zu subnets (%d linked to a gateway).\n",
+              gateways.size(), subnets.size(), linked_subnets);
+  // The paper's point vs SunNet Manager's own discovery: the *relationships*
+  // (gateway↔subnet edges) come out automatically.
+  const bool shape_ok = !gateways.empty() && linked_subnets >= 12;
+  std::printf("shape check: %s\n", shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace fremont
+
+int main() { return fremont::Main(); }

@@ -1,0 +1,78 @@
+// Table 2 reproduction: "Journal Storage Requirements".
+//
+//   Paper: interface 200 B, gateway 84 B, subnet 76 B per record; a 25% full
+//   class B network (16k interfaces, 192 subnets, 192 gateways) fits in
+//   under four megabytes.
+//
+// We populate exactly that configuration and *measure* (not estimate) the
+// per-record footprint of this implementation, including each record's
+// share of the AVL indexes. Modern per-record sizes are larger than 1993's
+// hand-packed C structs; the claim to preserve is the scale: a quarter-full
+// class B comfortably fits in a few megabytes of memory.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/journal/journal.h"
+#include "src/sim/topology.h"
+
+namespace fremont {
+
+int Main() {
+  bench::PrintHeader("Table 2: Journal Storage Requirements", "Table 2");
+
+  Journal journal;
+  const SimTime now = SimTime::Epoch() + Duration::Hours(1);
+
+  // 25% full class B: 16k interfaces over 192 subnets, one gateway each.
+  constexpr int kSubnets = 192;
+  constexpr int kInterfacesTotal = 16 * 1024;
+  constexpr int kHostsPerSubnet = kInterfacesTotal / kSubnets;
+
+  int name_index = 0;
+  for (int s = 0; s < kSubnets; ++s) {
+    const Subnet subnet(Ipv4Address(128, 138, static_cast<uint8_t>(s + 1), 0),
+                        SubnetMask::FromPrefixLength(24));
+    for (int h = 0; h < kHostsPerSubnet; ++h) {
+      InterfaceObservation obs;
+      // /24 subnets hold ≤254 hosts; spill into the adjacent "half" octet
+      // space the way a 25% full class B actually would (85 hosts per /24).
+      obs.ip = Ipv4Address(subnet.network().value() + 10 + static_cast<uint32_t>(h));
+      obs.mac = MacAddress::FromIndex(static_cast<uint64_t>(name_index));
+      obs.dns_name = CampusHostName(static_cast<size_t>(name_index++), "cs");
+      obs.mask = subnet.mask();
+      journal.StoreInterface(obs, DiscoverySource::kArpWatch, now);
+    }
+    GatewayObservation gw;
+    gw.name = "gw" + std::to_string(s) + ".colorado.edu";
+    gw.interface_ips = {subnet.HostAt(1)};
+    gw.connected_subnets = {subnet};
+    journal.StoreGateway(gw, DiscoverySource::kTraceroute, now);
+  }
+
+  const JournalStats stats = journal.Stats();
+  const JournalMemoryUsage usage = journal.MemoryUsage();
+
+  std::printf("%-12s %10s %18s %14s\n", "Record", "Count", "Bytes/Record", "Paper B/Rec");
+  std::printf("%-12s %10zu %18.0f %14d\n", "Interface", stats.interface_count,
+              usage.bytes_per_interface, 200);
+  std::printf("%-12s %10zu %18.0f %14d\n", "Gateway", stats.gateway_count,
+              usage.bytes_per_gateway, 84);
+  std::printf("%-12s %10zu %18.0f %14d\n", "Subnet", stats.subnet_count, usage.bytes_per_subnet,
+              76);
+  std::printf("\nTotal measured: %.2f MB for %zu interfaces / %zu gateways / %zu subnets "
+              "(paper: \"under four megabytes\").\n",
+              static_cast<double>(usage.total_bytes) / (1024.0 * 1024.0), stats.interface_count,
+              stats.gateway_count, stats.subnet_count);
+
+  bool shape_ok = true;
+  shape_ok &= stats.interface_count >= 16000;
+  shape_ok &= usage.total_bytes < 16u * 1024 * 1024;  // Modest even with C++ overheads.
+  shape_ok &= usage.bytes_per_interface > usage.bytes_per_subnet;
+  std::printf("shape check: %s\n", shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace fremont
+
+int main() { return fremont::Main(); }

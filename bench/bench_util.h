@@ -1,0 +1,29 @@
+// Shared helpers for the table/figure reproduction binaries.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/util/string_util.h"
+
+namespace fremont::bench {
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s of Wood, Coleman & Schwartz, USENIX 1993)\n", paper_ref.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void PrintRow(const std::string& line) { std::printf("%s\n", line.c_str()); }
+
+// "x/y (p%) [paper: q%]" comparison cell.
+inline std::string Pct(int x, int total) {
+  return StringPrintf("%3d  (%3.0f%%)", x, total > 0 ? 100.0 * x / total : 0.0);
+}
+
+}  // namespace fremont::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

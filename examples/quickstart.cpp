@@ -1,0 +1,61 @@
+// Quickstart: the smallest useful Fremont setup.
+//
+// Builds a simulated office network (one subnet, a gateway, a handful of
+// hosts), starts a Journal Server, runs two Explorer Modules from a vantage
+// host, and prints what Fremont learned.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "src/explorer/etherhostprobe.h"
+#include "src/explorer/subnet_mask.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/present/views.h"
+#include "src/sim/simulator.h"
+
+using namespace fremont;
+
+int main() {
+  // 1. A simulated network: 10.0.7.0/24 with five hosts and a gateway.
+  Simulator sim(/*seed=*/7);
+  const Subnet subnet = *Subnet::Parse("10.0.7.0/24");
+  Segment* lan = sim.CreateSegment("office-lan", subnet);
+
+  Router* gateway = sim.CreateRouter("office-gw", {});
+  gateway->AttachTo(lan, subnet.HostAt(1), subnet.mask(), MacAddress(0x00, 0x00, 0x0c, 0, 0, 1));
+
+  for (int i = 0; i < 5; ++i) {
+    Host* host = sim.CreateHost("host" + std::to_string(i));
+    host->AttachTo(lan, subnet.HostAt(10 + static_cast<uint32_t>(i)), subnet.mask(),
+                   MacAddress(0x08, 0x00, 0x20, 0, 0, static_cast<uint8_t>(i + 1)));
+    host->SetDefaultGateway(subnet.HostAt(1));
+  }
+
+  // The machine Fremont runs on.
+  Host* vantage = sim.CreateHost("fremont-station");
+  vantage->AttachTo(lan, subnet.HostAt(250), subnet.mask(),
+                    MacAddress(0x08, 0x00, 0x20, 0, 0, 99));
+  vantage->SetDefaultGateway(subnet.HostAt(1));
+
+  // 2. The Journal Server (in-process transport; same wire protocol).
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient journal(&server);
+
+  // 3. Run two Explorer Modules.
+  EtherHostProbe probe(vantage, &journal);
+  ExplorerReport probe_report = probe.Run();
+  std::printf("%s\n", probe_report.Summary().c_str());
+
+  SubnetMaskExplorer masks(vantage, &journal);  // Targets fed from the Journal.
+  ExplorerReport mask_report = masks.Run();
+  std::printf("%s\n", mask_report.Summary().c_str());
+
+  // 4. Look at what the Journal knows.
+  std::printf("\n%s\n", InterfaceViewLevel2(journal.GetInterfaces(), subnet, sim.Now()).c_str());
+  std::printf("Journal stats: %zu interfaces, %zu gateways, %zu subnets\n",
+              journal.GetStats().interface_count, journal.GetStats().gateway_count,
+              journal.GetStats().subnet_count);
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "src/analysis/conflicts.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+std::string MaskConflict::ToString() const {
+  std::string out = StringPrintf("mask conflict on %s (majority %s): ",
+                                 subnet.ToString().c_str(), majority_mask.ToString().c_str());
+  for (size_t i = 0; i < dissenters.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += dissenters[i].ip.ToString() + " has " +
+           (dissenters[i].mask.has_value() ? dissenters[i].mask->ToString() : "?");
+  }
+  return out;
+}
+
+std::vector<MaskConflict> FindMaskConflicts(const std::vector<InterfaceRecord>& interfaces) {
+  // Group interfaces by classful network, then count masks per network.
+  std::map<uint32_t, std::vector<const InterfaceRecord*>> by_network;
+  for (const auto& rec : interfaces) {
+    if (!rec.mask.has_value()) {
+      continue;
+    }
+    const uint32_t network = rec.ip.value() & rec.ip.NaturalMask().value();
+    by_network[network].push_back(&rec);
+  }
+
+  std::vector<MaskConflict> conflicts;
+  for (const auto& [network, recs] : by_network) {
+    std::map<uint32_t, int> mask_votes;
+    for (const auto* rec : recs) {
+      ++mask_votes[rec->mask->value()];
+    }
+    if (mask_votes.size() < 2) {
+      continue;
+    }
+    uint32_t majority = 0;
+    int best = -1;
+    for (const auto& [mask, votes] : mask_votes) {
+      if (votes > best) {
+        best = votes;
+        majority = mask;
+      }
+    }
+    MaskConflict conflict;
+    conflict.majority_mask = *SubnetMask::FromValue(majority);
+    conflict.subnet = Subnet(Ipv4Address(network), conflict.majority_mask);
+    for (const auto* rec : recs) {
+      if (rec->mask->value() != majority) {
+        conflict.dissenters.push_back(*rec);
+      }
+    }
+    conflicts.push_back(std::move(conflict));
+  }
+  return conflicts;
+}
+
+const char* AddressConflictKindName(AddressConflict::Kind kind) {
+  switch (kind) {
+    case AddressConflict::Kind::kDuplicateIp:
+      return "duplicate-ip";
+    case AddressConflict::Kind::kHardwareChange:
+      return "hardware-change";
+    case AddressConflict::Kind::kReconfiguredHost:
+      return "reconfigured-host";
+    case AddressConflict::Kind::kGatewayOrProxy:
+      return "gateway-or-proxy";
+  }
+  return "?";
+}
+
+std::string AddressConflict::ToString() const {
+  std::string out = AddressConflictKindName(kind);
+  out += ": ";
+  out += explanation;
+  return out;
+}
+
+std::vector<AddressConflict> FindAddressConflicts(
+    const std::vector<InterfaceRecord>& interfaces, const std::vector<GatewayRecord>& gateways,
+    SimTime now, Duration active_window) {
+  std::vector<AddressConflict> conflicts;
+
+  // Interface ids that are known gateway members.
+  std::set<RecordId> gateway_members;
+  for (const auto& gw : gateways) {
+    gateway_members.insert(gw.interface_ids.begin(), gw.interface_ids.end());
+  }
+
+  // --- One IP, several MACs -------------------------------------------------
+  std::map<uint32_t, std::vector<const InterfaceRecord*>> by_ip;
+  for (const auto& rec : interfaces) {
+    by_ip[rec.ip.value()].push_back(&rec);
+  }
+  for (const auto& [ip, recs] : by_ip) {
+    std::set<uint64_t> macs;
+    for (const auto* rec : recs) {
+      if (rec->mac.has_value()) {
+        macs.insert(rec->mac->ToU64());
+      }
+    }
+    if (macs.size() < 2) {
+      continue;
+    }
+    // Simultaneously alive?
+    int recently_alive = 0;
+    for (const auto* rec : recs) {
+      if (rec->mac.has_value() && now - rec->ts.last_verified <= active_window) {
+        ++recently_alive;
+      }
+    }
+    AddressConflict conflict;
+    conflict.kind = recently_alive >= 2 ? AddressConflict::Kind::kDuplicateIp
+                                        : AddressConflict::Kind::kHardwareChange;
+    for (const auto* rec : recs) {
+      conflict.records.push_back(*rec);
+    }
+    conflict.explanation = StringPrintf(
+        "%s claimed by %zu Ethernet addresses (%d recently active)",
+        Ipv4Address(ip).ToString().c_str(), macs.size(), recently_alive);
+    conflicts.push_back(std::move(conflict));
+  }
+
+  // --- One MAC, several IPs --------------------------------------------------
+  std::map<uint64_t, std::vector<const InterfaceRecord*>> by_mac;
+  for (const auto& rec : interfaces) {
+    if (rec.mac.has_value()) {
+      by_mac[rec.mac->ToU64()].push_back(&rec);
+    }
+  }
+  for (const auto& [mac, recs] : by_mac) {
+    std::set<uint32_t> ips;
+    for (const auto* rec : recs) {
+      ips.insert(rec->ip.value());
+    }
+    if (ips.size() < 2) {
+      continue;
+    }
+    // Gateway member or addresses across different classful-subnet groups:
+    // the multiple interfaces of a gateway (or a proxy-ARP device).
+    bool is_gateway = false;
+    for (const auto* rec : recs) {
+      if (gateway_members.contains(rec->id)) {
+        is_gateway = true;
+        break;
+      }
+    }
+    std::set<uint32_t> networks;
+    for (const auto* rec : recs) {
+      const SubnetMask mask = rec->mask.value_or(SubnetMask::FromPrefixLength(24));
+      networks.insert(rec->ip.value() & mask.value());
+    }
+    AddressConflict conflict;
+    if (is_gateway || networks.size() >= 2) {
+      conflict.kind = AddressConflict::Kind::kGatewayOrProxy;
+    } else {
+      conflict.kind = AddressConflict::Kind::kReconfiguredHost;
+    }
+    for (const auto* rec : recs) {
+      conflict.records.push_back(*rec);
+    }
+    conflict.explanation =
+        StringPrintf("%s holds %zu IP addresses across %zu subnet(s)",
+                     MacAddress(recs.front()->mac->octets()).ToString().c_str(), ips.size(),
+                     networks.size());
+    conflicts.push_back(std::move(conflict));
+  }
+  return conflicts;
+}
+
+}  // namespace fremont

@@ -1,0 +1,63 @@
+// Conflict analysis over Journal data.
+//
+// Implements the paper's two analysis programs plus their classification
+// logic:
+//
+//   1. Subnet mask conflicts: interfaces on one network whose recorded masks
+//      disagree — hosts "not configured properly for a subnetted
+//      environment".
+//   2. MAC/IP conflicts:
+//        - one IP, several MACs → either two hosts using the same address
+//          (both seen recently: a DUPLICATE) or swapped hardware (the older
+//          record has gone quiet: a HARDWARE CHANGE);
+//        - one MAC, several IPs → a reconfigured system, a proxy-ARP
+//          gateway, or the multiple interfaces of a gateway (not an error;
+//          classified so the operator can tell them apart).
+
+#ifndef SRC_ANALYSIS_CONFLICTS_H_
+#define SRC_ANALYSIS_CONFLICTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/journal/records.h"
+
+namespace fremont {
+
+struct MaskConflict {
+  Subnet subnet;                 // Network grouping (by majority mask).
+  SubnetMask majority_mask;
+  std::vector<InterfaceRecord> dissenters;  // Interfaces with other masks.
+  std::string ToString() const;
+};
+
+// Groups interfaces into subnets by their *majority* mask and reports
+// interfaces whose recorded mask disagrees.
+std::vector<MaskConflict> FindMaskConflicts(const std::vector<InterfaceRecord>& interfaces);
+
+struct AddressConflict {
+  enum class Kind {
+    kDuplicateIp,      // Two live hosts on one address — communications break.
+    kHardwareChange,   // Same IP, new MAC; the old interface went silent.
+    kReconfiguredHost, // Same MAC re-addressed on the same subnet.
+    kGatewayOrProxy,   // Same MAC on several subnets: a gateway (benign).
+  };
+  Kind kind;
+  std::vector<InterfaceRecord> records;
+  std::string explanation;
+  std::string ToString() const;
+};
+
+const char* AddressConflictKindName(AddressConflict::Kind kind);
+
+// `active_window`: two records for one IP verified within this window of
+// each other are considered simultaneously alive (duplicate), otherwise a
+// hardware change.
+std::vector<AddressConflict> FindAddressConflicts(
+    const std::vector<InterfaceRecord>& interfaces,
+    const std::vector<GatewayRecord>& gateways, SimTime now,
+    Duration active_window = Duration::Hours(24));
+
+}  // namespace fremont
+
+#endif  // SRC_ANALYSIS_CONFLICTS_H_

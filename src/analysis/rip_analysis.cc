@@ -1,0 +1,26 @@
+#include "src/analysis/rip_analysis.h"
+
+namespace fremont {
+
+std::vector<InterfaceRecord> FindPromiscuousRipSources(
+    const std::vector<InterfaceRecord>& interfaces) {
+  std::vector<InterfaceRecord> out;
+  for (const auto& rec : interfaces) {
+    if (rec.rip_promiscuous) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<InterfaceRecord> FindRipSources(const std::vector<InterfaceRecord>& interfaces) {
+  std::vector<InterfaceRecord> out;
+  for (const auto& rec : interfaces) {
+    if (rec.rip_source) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+}  // namespace fremont

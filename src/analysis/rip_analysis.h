@@ -1,0 +1,21 @@
+// RIP source analysis: promiscuous RIP hosts (Table 8, last row).
+
+#ifndef SRC_ANALYSIS_RIP_ANALYSIS_H_
+#define SRC_ANALYSIS_RIP_ANALYSIS_H_
+
+#include <vector>
+
+#include "src/journal/records.h"
+
+namespace fremont {
+
+// RIP sources flagged as promiscuously rebroadcasting learned routes.
+std::vector<InterfaceRecord> FindPromiscuousRipSources(
+    const std::vector<InterfaceRecord>& interfaces);
+
+// All RIP sources (for the presentation program's per-interface flags).
+std::vector<InterfaceRecord> FindRipSources(const std::vector<InterfaceRecord>& interfaces);
+
+}  // namespace fremont
+
+#endif  // SRC_ANALYSIS_RIP_ANALYSIS_H_

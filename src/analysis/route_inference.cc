@@ -1,0 +1,134 @@
+#include "src/analysis/route_inference.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+namespace {
+
+// Adjacency: subnet network-address → gateways touching it.
+std::map<uint32_t, std::vector<const GatewayRecord*>> BuildAdjacency(
+    const std::vector<GatewayRecord>& gateways) {
+  std::map<uint32_t, std::vector<const GatewayRecord*>> adjacency;
+  for (const auto& gw : gateways) {
+    for (const Subnet& subnet : gw.connected_subnets) {
+      adjacency[subnet.network().value()].push_back(&gw);
+    }
+  }
+  return adjacency;
+}
+
+}  // namespace
+
+std::string InferredRoute::ToString() const {
+  if (!found) {
+    return "no known route";
+  }
+  std::string out;
+  for (size_t i = 0; i < subnets.size(); ++i) {
+    if (i > 0) {
+      const GatewayRecord& gw = gateways[i - 1];
+      out += StringPrintf(" --[%s]--> ",
+                          gw.name.empty() ? ("gateway-" + std::to_string(gw.id)).c_str()
+                                          : gw.name.c_str());
+    }
+    out += subnets[i].ToString();
+  }
+  return out;
+}
+
+InferredRoute InferRoute(const std::vector<GatewayRecord>& gateways, Subnet from, Subnet to) {
+  InferredRoute route;
+  if (from == to) {
+    route.found = true;
+    route.subnets = {from};
+    return route;
+  }
+  const auto adjacency = BuildAdjacency(gateways);
+
+  // BFS over subnets; remember the (gateway, previous subnet) that reached
+  // each subnet first.
+  struct Arrival {
+    uint32_t previous_subnet;
+    const GatewayRecord* via;
+  };
+  std::map<uint32_t, Arrival> visited;
+  std::queue<uint32_t> frontier;
+  visited[from.network().value()] = Arrival{0, nullptr};
+  frontier.push(from.network().value());
+
+  while (!frontier.empty()) {
+    const uint32_t current = frontier.front();
+    frontier.pop();
+    auto it = adjacency.find(current);
+    if (it == adjacency.end()) {
+      continue;
+    }
+    for (const GatewayRecord* gw : it->second) {
+      for (const Subnet& next : gw->connected_subnets) {
+        const uint32_t key = next.network().value();
+        if (visited.contains(key)) {
+          continue;
+        }
+        visited[key] = Arrival{current, gw};
+        if (key == to.network().value()) {
+          // Reconstruct.
+          std::vector<Subnet> subnets{to};
+          std::vector<GatewayRecord> path_gateways;
+          uint32_t walk = key;
+          while (visited[walk].via != nullptr) {
+            path_gateways.push_back(*visited[walk].via);
+            walk = visited[walk].previous_subnet;
+            subnets.push_back(Subnet(Ipv4Address(walk), from.mask()));
+          }
+          std::reverse(subnets.begin(), subnets.end());
+          std::reverse(path_gateways.begin(), path_gateways.end());
+          // The BFS only tracks network addresses; restore the endpoints'
+          // exact subnet values.
+          subnets.front() = from;
+          subnets.back() = to;
+          route.found = true;
+          route.subnets = std::move(subnets);
+          route.gateways = std::move(path_gateways);
+          return route;
+        }
+        frontier.push(key);
+      }
+    }
+  }
+  return route;
+}
+
+std::vector<Subnet> SubnetsDependingOn(const std::vector<GatewayRecord>& gateways, Subnet from,
+                                       RecordId gateway_id) {
+  // Reachability with and without the gateway; the difference depends on it.
+  std::vector<GatewayRecord> without;
+  std::set<uint32_t> all_subnets;
+  for (const auto& gw : gateways) {
+    if (gw.id != gateway_id) {
+      without.push_back(gw);
+    }
+    for (const Subnet& subnet : gw.connected_subnets) {
+      all_subnets.insert(subnet.network().value());
+    }
+  }
+  std::vector<Subnet> dependent;
+  for (uint32_t network : all_subnets) {
+    const Subnet target(Ipv4Address(network), from.mask());
+    if (target == from) {
+      continue;
+    }
+    const bool with_gw = InferRoute(gateways, from, target).found;
+    const bool without_gw = InferRoute(without, from, target).found;
+    if (with_gw && !without_gw) {
+      dependent.push_back(target);
+    }
+  }
+  return dependent;
+}
+
+}  // namespace fremont

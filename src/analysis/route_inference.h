@@ -1,0 +1,43 @@
+// Route inference over the Journal's topology records.
+//
+// The paper's opening scenario hinges on this query: "if you have the tool
+// that will tell you what the route is supposed to be to get to the Classics
+// subnet". The Journal holds gateway↔subnet connectivity (from Traceroute,
+// DNS, RIP probes, and cross-correlation); a breadth-first search over that
+// bipartite graph answers the question offline — even while the path is
+// down, which is precisely when traceroute itself cannot.
+
+#ifndef SRC_ANALYSIS_ROUTE_INFERENCE_H_
+#define SRC_ANALYSIS_ROUTE_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/journal/records.h"
+
+namespace fremont {
+
+struct InferredRoute {
+  bool found = false;
+  // Alternating path: from-subnet, gw, subnet, gw, ..., to-subnet. Gateways
+  // by record; subnets by value.
+  std::vector<GatewayRecord> gateways;   // In path order.
+  std::vector<Subnet> subnets;           // In path order (size = gateways + 1).
+
+  std::string ToString() const;
+};
+
+// Shortest gateway path between two subnets according to the Journal's
+// gateway records. Returns found=false if the Journal knows no connecting
+// chain.
+InferredRoute InferRoute(const std::vector<GatewayRecord>& gateways, Subnet from, Subnet to);
+
+// All subnets whose Journal-known connectivity to `from` passes through the
+// given gateway — the blast radius of one box going dark (who to call when
+// the coach unplugs his workstation).
+std::vector<Subnet> SubnetsDependingOn(const std::vector<GatewayRecord>& gateways, Subnet from,
+                                       RecordId gateway_id);
+
+}  // namespace fremont
+
+#endif  // SRC_ANALYSIS_ROUTE_INFERENCE_H_

@@ -1,0 +1,41 @@
+#include "src/analysis/staleness.h"
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+std::string StaleInterface::ToString() const {
+  return StringPrintf("%s (%s) silent for %s", record.ip.ToString().c_str(),
+                      record.dns_name.empty() ? "unnamed" : record.dns_name.c_str(),
+                      silent_for.ToString().c_str());
+}
+
+std::vector<StaleInterface> FindStaleInterfaces(const std::vector<InterfaceRecord>& interfaces,
+                                                SimTime now, Duration threshold) {
+  std::vector<StaleInterface> out;
+  for (const auto& rec : interfaces) {
+    if (rec.ts.last_wire_verified == SimTime::Epoch()) {
+      continue;  // Never confirmed on the wire; see FindDnsOnlyInterfaces.
+    }
+    // Per the paper, DNS re-verification does not count as "still alive":
+    // only wire observations do.
+    const Duration silent = now - rec.ts.last_wire_verified;
+    if (silent > threshold) {
+      out.push_back(StaleInterface{rec, silent});
+    }
+  }
+  return out;
+}
+
+std::vector<InterfaceRecord> FindDnsOnlyInterfaces(
+    const std::vector<InterfaceRecord>& interfaces) {
+  std::vector<InterfaceRecord> out;
+  for (const auto& rec : interfaces) {
+    if (rec.sources == SourceBit(DiscoverySource::kDns)) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+}  // namespace fremont

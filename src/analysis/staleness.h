@@ -1,0 +1,38 @@
+// Stale-address analysis: "IP addresses no longer in use".
+//
+// When a host leaves the network, Fremont stops updating its interface
+// record (except perhaps via the DNS module, whose data lags reality). An
+// interface whose last non-DNS verification is older than the threshold is
+// a candidate for address reclamation — the paper's advice to the network
+// manager running out of addresses on a segment.
+
+#ifndef SRC_ANALYSIS_STALENESS_H_
+#define SRC_ANALYSIS_STALENESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/journal/records.h"
+
+namespace fremont {
+
+struct StaleInterface {
+  InterfaceRecord record;
+  Duration silent_for;
+  std::string ToString() const;
+};
+
+// Interfaces not verified within `threshold` of `now`. Records whose ONLY
+// source is the DNS are excluded from "was alive once, now silent" logic and
+// reported separately by the caller if desired — an entry never confirmed on
+// the wire may simply be stale DNS data.
+std::vector<StaleInterface> FindStaleInterfaces(const std::vector<InterfaceRecord>& interfaces,
+                                                SimTime now, Duration threshold);
+
+// DNS-only records: names registered but never observed on the network.
+std::vector<InterfaceRecord> FindDnsOnlyInterfaces(
+    const std::vector<InterfaceRecord>& interfaces);
+
+}  // namespace fremont
+
+#endif  // SRC_ANALYSIS_STALENESS_H_

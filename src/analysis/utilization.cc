@@ -1,0 +1,61 @@
+#include "src/analysis/utilization.h"
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+std::string SubnetUtilization::ToString() const {
+  return StringPrintf(
+      "%-18s %4d/%4u addresses in use (%4.0f%%), %d live, %d reclaimable%s",
+      subnet.ToString().c_str(), known_interfaces, capacity, occupancy * 100.0, live_interfaces,
+      reclaimable,
+      dns_host_count >= 0 ? StringPrintf(" (DNS says %d)", dns_host_count).c_str() : "");
+}
+
+std::vector<SubnetUtilization> AnalyzeUtilization(const std::vector<SubnetRecord>& subnets,
+                                                  const std::vector<InterfaceRecord>& interfaces,
+                                                  SimTime now, Duration stale_after) {
+  std::vector<SubnetUtilization> report;
+  report.reserve(subnets.size());
+  for (const auto& subnet_rec : subnets) {
+    SubnetUtilization row;
+    row.subnet = subnet_rec.subnet;
+    row.capacity = subnet_rec.subnet.HostCapacity();
+    row.dns_host_count = subnet_rec.host_count;
+    row.lowest_assigned = subnet_rec.lowest_assigned;
+    row.highest_assigned = subnet_rec.highest_assigned;
+    for (const auto& iface : interfaces) {
+      if (!subnet_rec.subnet.Contains(iface.ip)) {
+        continue;
+      }
+      ++row.known_interfaces;
+      if (now - iface.ts.last_verified <= stale_after) {
+        ++row.live_interfaces;
+      }
+    }
+    row.reclaimable = row.known_interfaces - row.live_interfaces;
+    // The DNS census may know about more assignments than we have records
+    // for; take the larger figure as "known".
+    if (row.dns_host_count > row.known_interfaces) {
+      row.known_interfaces = row.dns_host_count;
+    }
+    if (row.capacity > 0) {
+      row.occupancy = static_cast<double>(row.known_interfaces) / row.capacity;
+    }
+    report.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::vector<SubnetUtilization> FindCrowdedSubnets(const std::vector<SubnetUtilization>& report,
+                                                  double threshold) {
+  std::vector<SubnetUtilization> crowded;
+  for (const auto& row : report) {
+    if (row.occupancy >= threshold) {
+      crowded.push_back(row);
+    }
+  }
+  return crowded;
+}
+
+}  // namespace fremont

@@ -1,0 +1,49 @@
+// Subnet address-space utilization analysis.
+//
+// The paper's introduction motivates discovery with address exhaustion: "it
+// is useful to find out about such activities, particularly before one runs
+// out of network addresses on a segment". This analysis combines three
+// Journal sources into a per-subnet occupancy report:
+//
+//   * the subnet record's host_count / lowest / highest (from the DNS module),
+//   * live interface records inside the subnet's range (AVL range scan),
+//   * staleness: interfaces silent beyond a threshold are reclaimable.
+
+#ifndef SRC_ANALYSIS_UTILIZATION_H_
+#define SRC_ANALYSIS_UTILIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/journal/records.h"
+
+namespace fremont {
+
+struct SubnetUtilization {
+  Subnet subnet;
+  uint32_t capacity = 0;        // Assignable host addresses.
+  int known_interfaces = 0;     // Interface records inside the subnet.
+  int live_interfaces = 0;      // Verified within the staleness threshold.
+  int reclaimable = 0;          // known − live (candidates for reuse).
+  int dns_host_count = -1;      // What the DNS module reported; -1 unknown.
+  Ipv4Address lowest_assigned;  // Zero if unknown.
+  Ipv4Address highest_assigned;
+  double occupancy = 0.0;       // known / capacity.
+
+  std::string ToString() const;
+};
+
+// One report row per subnet record. `interfaces` should be the full interface
+// listing; `now`/`stale_after` draw the live/reclaimable line.
+std::vector<SubnetUtilization> AnalyzeUtilization(
+    const std::vector<SubnetRecord>& subnets, const std::vector<InterfaceRecord>& interfaces,
+    SimTime now, Duration stale_after = Duration::Days(14));
+
+// Subnets above `threshold` occupancy — the ones the paper's network manager
+// needed to know about before assignment requests start failing.
+std::vector<SubnetUtilization> FindCrowdedSubnets(
+    const std::vector<SubnetUtilization>& report, double threshold = 0.8);
+
+}  // namespace fremont
+
+#endif  // SRC_ANALYSIS_UTILIZATION_H_

@@ -1,0 +1,108 @@
+#include "src/explorer/arpwatch.h"
+
+#include <set>
+
+#include "src/util/logging.h"
+
+namespace fremont {
+
+ArpWatch::ArpWatch(Host* vantage, JournalClient* journal, ArpWatchParams params)
+    : vantage_(vantage), journal_(journal), params_(params) {}
+
+ArpWatch::~ArpWatch() { Stop(); }
+
+bool ArpWatch::Start() {
+  if (tap_token_ >= 0) {
+    return true;
+  }
+  Interface* iface = vantage_->primary_interface();
+  if (iface == nullptr || iface->segment == nullptr) {
+    FLOG(kError) << "arpwatch: vantage host has no attached segment";
+    return false;
+  }
+  segment_ = iface->segment;
+  started_ = vantage_->Now();
+  tap_token_ = segment_->AddTap(
+      [this](const EthernetFrame& frame, SimTime now) { OnFrame(frame, now); });
+  return true;
+}
+
+void ArpWatch::Stop() {
+  if (tap_token_ >= 0 && segment_ != nullptr) {
+    segment_->RemoveTap(tap_token_);
+  }
+  tap_token_ = -1;
+}
+
+void ArpWatch::OnFrame(const EthernetFrame& frame, SimTime now) {
+  if (frame.ethertype != EtherType::kArp) {
+    return;
+  }
+  auto arp = ArpPacket::Decode(frame.payload);
+  if (!arp.has_value()) {
+    return;
+  }
+  // The sender fields of both requests and replies carry a live binding.
+  // Sender IP 0.0.0.0 is an address-probe (no binding yet).
+  if (!arp->sender_ip.IsZero() && !arp->sender_mac.IsZero()) {
+    Observe(arp->sender_mac, arp->sender_ip, now);
+  }
+}
+
+void ArpWatch::Observe(MacAddress mac, Ipv4Address ip, SimTime now) {
+  const auto key = std::make_pair(mac.ToU64(), ip.value());
+  auto it = seen_.find(key);
+  if (it != seen_.end() && now - it->second < params_.write_throttle) {
+    return;
+  }
+  seen_[key] = now;
+  InterfaceObservation obs;
+  obs.ip = ip;
+  obs.mac = mac;
+  auto result = journal_->StoreInterface(obs, DiscoverySource::kArpWatch);
+  ++records_written_;
+  if (result.created || result.changed) {
+    ++new_info_;
+  }
+}
+
+int ArpWatch::unique_ips_seen() const {
+  std::set<uint32_t> ips;
+  for (const auto& [key, when] : seen_) {
+    (void)when;
+    ips.insert(key.second);
+  }
+  return static_cast<int>(ips.size());
+}
+
+int ArpWatch::unique_ips_in(const Subnet& subnet) const {
+  std::set<uint32_t> ips;
+  for (const auto& [key, when] : seen_) {
+    (void)when;
+    if (subnet.Contains(Ipv4Address(key.second))) {
+      ips.insert(key.second);
+    }
+  }
+  return static_cast<int>(ips.size());
+}
+
+ExplorerReport ArpWatch::Run(Duration watch) {
+  Start();
+  vantage_->events()->RunFor(watch);
+  Stop();
+  return report();
+}
+
+ExplorerReport ArpWatch::report() const {
+  ExplorerReport report;
+  report.module = "ARPwatch";
+  report.started = started_;
+  report.finished = vantage_->Now();
+  report.packets_sent = 0;  // Passive: generates no traffic.
+  report.discovered = unique_pairs_seen();
+  report.records_written = records_written_;
+  report.new_info = new_info_;
+  return report;
+}
+
+}  // namespace fremont

@@ -1,0 +1,81 @@
+#include "src/explorer/broadcast_ping.h"
+
+#include <set>
+
+namespace fremont {
+namespace {
+constexpr uint16_t kBroadcastPingIdent = 0x4250;
+}
+
+BroadcastPing::BroadcastPing(Host* vantage, JournalClient* journal, BroadcastPingParams params)
+    : vantage_(vantage), journal_(journal), params_(params) {}
+
+ExplorerReport BroadcastPing::Run() {
+  ExplorerReport report;
+  report.module = "BrdcastPing";
+  report.started = vantage_->Now();
+
+  Interface* iface = vantage_->primary_interface();
+  if (iface == nullptr) {
+    report.finished = vantage_->Now();
+    return report;
+  }
+  const Subnet target = params_.target.value_or(iface->AttachedSubnet());
+  const bool local = iface->AttachedSubnet() == target;
+  const Ipv4Address broadcast = target.BroadcastAddress();
+
+  std::set<uint32_t> replied;
+  vantage_->SetIcmpListener([&](const Ipv4Packet& packet, const IcmpMessage& message) {
+    if (message.type == IcmpType::kEchoReply && message.identifier == kBroadcastPingIdent &&
+        target.Contains(packet.src)) {
+      replied.insert(packet.src.value());
+      ++report.replies_received;
+    }
+  });
+
+  const uint64_t sent_before = vantage_->packets_sent();
+
+  // Minimal TTL: 1 on the attached subnet; towards a remote subnet, ramp up
+  // one hop at a time so a looping broadcast dies quickly.
+  bool done = false;
+  uint16_t seq = 0;
+  for (int ping = 0; ping < params_.pings; ++ping) {
+    if (local) {
+      vantage_->events()->Schedule(params_.spacing * ping, [this, broadcast, seq]() {
+        vantage_->SendIcmp(broadcast, IcmpMessage::EchoRequest(kBroadcastPingIdent, seq), 1);
+      });
+      ++seq;
+    } else {
+      for (int ttl = 2; ttl <= params_.max_ttl; ++ttl) {
+        vantage_->events()->Schedule(
+            params_.spacing * ping + Duration::Seconds(ttl - 2),
+            [this, broadcast, seq, ttl]() {
+              vantage_->SendIcmp(broadcast, IcmpMessage::EchoRequest(kBroadcastPingIdent, seq),
+                                 static_cast<uint8_t>(ttl));
+            });
+        ++seq;
+      }
+    }
+  }
+  vantage_->events()->Schedule(params_.spacing * params_.pings + params_.collect,
+                               [&done]() { done = true; });
+  vantage_->events()->RunWhile([&done]() { return !done; });
+  vantage_->ClearIcmpListener();
+
+  for (uint32_t v : replied) {
+    InterfaceObservation obs;
+    obs.ip = Ipv4Address(v);
+    auto result = journal_->StoreInterface(obs, DiscoverySource::kBroadcastPing);
+    responders_.push_back(obs.ip);
+    ++report.records_written;
+    if (result.created || result.changed) {
+      ++report.new_info;
+    }
+  }
+  report.discovered = static_cast<int>(replied.size());
+  report.packets_sent = vantage_->packets_sent() - sent_before;
+  report.finished = vantage_->Now();
+  return report;
+}
+
+}  // namespace fremont

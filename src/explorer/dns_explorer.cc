@@ -1,0 +1,322 @@
+#include "src/explorer/dns_explorer.h"
+
+#include <algorithm>
+
+#include "src/net/udp.h"
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace fremont {
+namespace {
+constexpr uint16_t kDnsClientPort = 40053;
+constexpr uint16_t kMaskIdent = 0x444d;
+}  // namespace
+
+DnsExplorer::DnsExplorer(Host* vantage, JournalClient* journal, DnsExplorerParams params)
+    : vantage_(vantage), journal_(journal), params_(std::move(params)) {}
+
+std::optional<DnsMessage> DnsExplorer::QueryAndWait(const std::string& name, DnsType qtype) {
+  DnsMessage query;
+  query.id = next_query_id_++;
+  query.questions.push_back(DnsQuestion{ToLowerAscii(name), qtype});
+
+  // Shared flags: the timeout event may fire after this frame returns (when
+  // the answer arrives first), so it must not reference the stack.
+  auto answer = std::make_shared<std::optional<DnsMessage>>();
+  auto timed_out = std::make_shared<bool>(false);
+  const uint16_t want_id = query.id;
+  vantage_->BindUdp(kDnsClientPort, [answer, want_id](const Ipv4Packet&,
+                                                      const UdpDatagram& datagram) {
+    auto response = DnsMessage::Decode(datagram.payload);
+    if (response.has_value() && response->is_response && response->id == want_id) {
+      *answer = std::move(response);
+    }
+  });
+  vantage_->SendUdp(params_.server, kDnsClientPort, kDnsPort, query.Encode());
+  ++queries_sent_;
+
+  vantage_->events()->Schedule(params_.query_timeout, [timed_out]() { *timed_out = true; });
+  vantage_->events()->RunWhile([&]() { return !answer->has_value() && !*timed_out; });
+  vantage_->UnbindUdp(kDnsClientPort);
+
+  // Pace the next query.
+  vantage_->events()->RunFor(params_.query_spacing);
+  if (answer->has_value()) {
+    ++replies_;
+  }
+  return *answer;
+}
+
+std::vector<DnsResourceRecord> DnsExplorer::ZoneTransferAndWait(const std::string& zone) {
+  DnsMessage query;
+  query.id = next_query_id_++;
+  query.questions.push_back(DnsQuestion{ToLowerAscii(zone), DnsType::kAxfr});
+
+  // The server brackets the stream with SOA records and may split it across
+  // several messages; collect until the closing SOA or timeout.
+  auto records = std::make_shared<std::vector<DnsResourceRecord>>();
+  auto soas_seen = std::make_shared<int>(0);
+  auto timed_out = std::make_shared<bool>(false);
+  const uint16_t want_id = query.id;
+  vantage_->BindUdp(kDnsClientPort, [records, soas_seen, want_id](const Ipv4Packet&,
+                                                                  const UdpDatagram& datagram) {
+    auto response = DnsMessage::Decode(datagram.payload);
+    if (!response.has_value() || !response->is_response || response->id != want_id) {
+      return;
+    }
+    for (auto& rr : response->answers) {
+      if (rr.type == DnsType::kSoa) {
+        ++*soas_seen;
+      } else {
+        records->push_back(std::move(rr));
+      }
+    }
+  });
+  vantage_->SendUdp(params_.server, kDnsClientPort, kDnsPort, query.Encode());
+  ++queries_sent_;
+  vantage_->events()->Schedule(params_.query_timeout, [timed_out]() { *timed_out = true; });
+  vantage_->events()->RunWhile([&]() { return *soas_seen < 2 && !*timed_out; });
+  vantage_->UnbindUdp(kDnsClientPort);
+  vantage_->events()->RunFor(params_.query_spacing);
+  if (*soas_seen > 0) {
+    ++replies_;
+  }
+  return *records;
+}
+
+std::optional<SubnetMask> DnsExplorer::MaskRequest(Ipv4Address target) {
+  auto result = std::make_shared<std::optional<SubnetMask>>();
+  auto timed_out = std::make_shared<bool>(false);
+  vantage_->SetIcmpListener([result, target](const Ipv4Packet& packet,
+                                             const IcmpMessage& message) {
+    if (message.type == IcmpType::kMaskReply && message.identifier == kMaskIdent &&
+        packet.src == target) {
+      *result = SubnetMask::FromValue(message.address_mask);
+    }
+  });
+  vantage_->SendIcmp(target, IcmpMessage::MaskRequest(kMaskIdent, 0));
+  vantage_->events()->Schedule(params_.query_timeout, [timed_out]() { *timed_out = true; });
+  vantage_->events()->RunWhile([&]() { return !result->has_value() && !*timed_out; });
+  vantage_->ClearIcmpListener();
+  return *result;
+}
+
+std::vector<Ipv4Address> DnsExplorer::discovered_addresses() const {
+  std::vector<Ipv4Address> out;
+  out.reserve(ip_to_names_.size());
+  for (const auto& [ip, names] : ip_to_names_) {
+    (void)names;
+    out.push_back(Ipv4Address(ip));
+  }
+  return out;
+}
+
+int DnsExplorer::interfaces_in(const Subnet& subnet) const {
+  int count = 0;
+  for (const auto& [ip, names] : ip_to_names_) {
+    (void)names;
+    if (subnet.Contains(Ipv4Address(ip))) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool DnsExplorer::MatchesGatewayConvention(const std::string& name) const {
+  // Examine the first (host) label only.
+  const std::string label = ToLowerAscii(name.substr(0, name.find('.')));
+  if (label == "gw" || label == "gateway" || label == "router") {
+    return true;
+  }
+  for (const auto& suffix : params_.gateway_suffixes) {
+    if (EndsWithIgnoreCase(label, suffix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ExplorerReport DnsExplorer::Run() {
+  ExplorerReport report;
+  report.module = "DNS";
+  report.started = vantage_->Now();
+  const uint64_t sent_before = vantage_->packets_sent();
+  auto track = [&report](const JournalClient::StoreResult& result) {
+    ++report.records_written;
+    if (result.created || result.changed) {
+      ++report.new_info;
+    }
+  };
+
+  // Phase 1a: reverse zone transfer for the network. The zone depth follows
+  // the network's class: a.in-addr.arpa for class A, b.a for class B, c.b.a
+  // for class C.
+  const uint32_t net = params_.network.value();
+  std::string reverse_zone;
+  switch (params_.network.AddressClass()) {
+    case 'A':
+      reverse_zone = StringPrintf("%u.in-addr.arpa", net >> 24);
+      break;
+    case 'B':
+      reverse_zone = StringPrintf("%u.%u.in-addr.arpa", (net >> 16) & 0xff, net >> 24);
+      break;
+    default:
+      reverse_zone = StringPrintf("%u.%u.%u.in-addr.arpa", (net >> 8) & 0xff, (net >> 16) & 0xff,
+                                  net >> 24);
+      break;
+  }
+  const std::vector<DnsResourceRecord> transfer = ZoneTransferAndWait(reverse_zone);
+  if (transfer.empty()) {
+    FLOG(kWarning) << "dns: zone transfer of " << reverse_zone << " failed";
+    report.finished = vantage_->Now();
+    return report;
+  }
+  for (const auto& rr : transfer) {
+    if (rr.type != DnsType::kPtr) {
+      continue;
+    }
+    auto ip = ParseReverseDomainName(rr.name);
+    if (!ip.has_value()) {
+      continue;
+    }
+    auto& names = ip_to_names_[ip->value()];
+    if (std::find(names.begin(), names.end(), rr.target_name) == names.end()) {
+      names.push_back(rr.target_name);
+    }
+  }
+
+  // Phase 1b: the subnet mask, asked of the name server itself first (the
+  // paper: "usually one of the name servers, thus increasing the likelihood
+  // that the returned mask is correct"), then of the first discovered hosts.
+  std::optional<SubnetMask> mask = MaskRequest(params_.server);
+  if (!mask.has_value()) {
+    for (const auto& [ip, names] : ip_to_names_) {
+      (void)names;
+      mask = MaskRequest(Ipv4Address(ip));
+      if (mask.has_value()) {
+        break;
+      }
+    }
+  }
+  if (mask.has_value()) {
+    mask_ = *mask;
+  }
+
+  // Phase 1c: forward A lookups for every discovered name (finds the other
+  // interfaces of multi-homed machines).
+  std::set<std::string> all_names;
+  for (const auto& [ip, names] : ip_to_names_) {
+    (void)ip;
+    all_names.insert(names.begin(), names.end());
+  }
+  for (const auto& name : all_names) {
+    auto response = QueryAndWait(name, DnsType::kA);
+    if (!response.has_value()) {
+      continue;
+    }
+    for (const auto& rr : response->answers) {
+      if (rr.type != DnsType::kA) {
+        continue;
+      }
+      auto& ips = name_to_ips_[name];
+      if (std::find(ips.begin(), ips.end(), rr.address) == ips.end()) {
+        ips.push_back(rr.address);
+      }
+      // A records may reveal addresses missing from the reverse tree.
+      auto& names = ip_to_names_[rr.address.value()];
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+    // Host/OS type from additional-data HINFO, where the zone supplies it.
+    for (const auto& rr : response->additional) {
+      if (rr.type == DnsType::kHinfo) {
+        host_types_[rr.name] = rr.hinfo_cpu + "/" + rr.hinfo_os;
+      }
+    }
+  }
+
+  // Phase 2: CPU-bound analysis — gateway inference and subnet statistics.
+  std::set<std::string> gateway_names;
+  for (const auto& [name, ips] : name_to_ips_) {
+    if (ips.size() >= 2 || MatchesGatewayConvention(name)) {
+      gateway_names.insert(name);
+    }
+  }
+  // Multi-name addresses: if any alias in the group matches the convention,
+  // the whole group is one gateway under that name.
+  for (const auto& [ip, names] : ip_to_names_) {
+    (void)ip;
+    if (names.size() < 2) {
+      continue;
+    }
+    for (const auto& name : names) {
+      if (MatchesGatewayConvention(name)) {
+        gateway_names.insert(name);
+      }
+    }
+  }
+
+  for (const auto& name : gateway_names) {
+    auto it = name_to_ips_.find(name);
+    if (it == name_to_ips_.end() || it->second.empty()) {
+      continue;
+    }
+    GatewayObservation gw;
+    gw.name = name;
+    gw.interface_ips = it->second;
+    for (Ipv4Address ip : it->second) {
+      const Subnet subnet(ip, mask_);
+      gw.connected_subnets.push_back(subnet);
+      gateway_subnets_.insert(subnet.network().value());
+    }
+    track(journal_->StoreGateway(gw, DiscoverySource::kDns));
+    ++gateways_found_;
+    // Gateway member interfaces get their names recorded (the exception to
+    // the don't-record-plain-DNS-data rule).
+    for (Ipv4Address ip : it->second) {
+      InterfaceObservation obs;
+      obs.ip = ip;
+      obs.dns_name = name;
+      obs.mask = mask_;
+      track(journal_->StoreInterface(obs, DiscoverySource::kDns));
+    }
+  }
+
+  // Subnet statistics: host count and lowest/highest assigned per subnet.
+  std::map<uint32_t, std::vector<uint32_t>> by_subnet;
+  for (const auto& [ip, names] : ip_to_names_) {
+    (void)names;
+    const Subnet subnet(Ipv4Address(ip), mask_);
+    by_subnet[subnet.network().value()].push_back(ip);
+    subnets_.insert(subnet.network().value());
+  }
+  for (const auto& [network, ips] : by_subnet) {
+    SubnetObservation obs;
+    obs.subnet = Subnet(Ipv4Address(network), mask_);
+    obs.host_count = static_cast<int32_t>(ips.size());
+    obs.lowest_assigned = Ipv4Address(*std::min_element(ips.begin(), ips.end()));
+    obs.highest_assigned = Ipv4Address(*std::max_element(ips.begin(), ips.end()));
+    track(journal_->StoreSubnet(obs, DiscoverySource::kDns));
+  }
+
+  if (params_.record_plain_hosts) {
+    for (const auto& [ip, names] : ip_to_names_) {
+      InterfaceObservation obs;
+      obs.ip = Ipv4Address(ip);
+      if (!names.empty()) {
+        obs.dns_name = names.front();
+      }
+      obs.mask = mask_;
+      track(journal_->StoreInterface(obs, DiscoverySource::kDns));
+    }
+  }
+
+  report.discovered = interfaces_found();
+  report.replies_received = replies_;
+  report.packets_sent = vantage_->packets_sent() - sent_before;
+  report.finished = vantage_->Now();
+  return report;
+}
+
+}  // namespace fremont

@@ -1,0 +1,85 @@
+#include "src/explorer/etherhostprobe.h"
+
+#include <map>
+
+#include "src/net/udp.h"
+#include "src/util/logging.h"
+
+namespace fremont {
+
+EtherHostProbe::EtherHostProbe(Host* vantage, JournalClient* journal,
+                               EtherHostProbeParams params)
+    : vantage_(vantage), journal_(journal), params_(params) {}
+
+ExplorerReport EtherHostProbe::Run() {
+  ExplorerReport report;
+  report.module = "EtherHostProbe";
+  report.started = vantage_->Now();
+
+  Interface* iface = vantage_->primary_interface();
+  if (iface == nullptr || iface->segment == nullptr) {
+    FLOG(kError) << "etherhostprobe: vantage host has no attached segment";
+    report.finished = vantage_->Now();
+    return report;
+  }
+  const Subnet subnet = iface->AttachedSubnet();
+  Ipv4Address first = params_.first.IsZero() ? subnet.HostAt(1) : params_.first;
+  Ipv4Address last =
+      params_.last.IsZero() ? Ipv4Address(subnet.BroadcastAddress().value() - 1) : params_.last;
+  if (last < first) {
+    std::swap(first, last);
+  }
+
+  const uint64_t sent_before = vantage_->packets_sent();
+  const Duration spacing = Duration::SecondsF(1.0 / params_.packets_per_second);
+
+  bool done = false;
+  uint32_t count = last.value() - first.value() + 1;
+  for (uint32_t i = 0; i < count; ++i) {
+    const Ipv4Address target(first.value() + i);
+    if (target == iface->ip) {
+      continue;  // Don't probe ourselves.
+    }
+    vantage_->events()->Schedule(spacing * i, [this, target]() {
+      vantage_->SendUdp(target, 40000, kUdpEchoPort, {});
+    });
+  }
+  vantage_->events()->Schedule(spacing * count + params_.settle, [&done]() { done = true; });
+  vantage_->events()->RunWhile([&done]() { return !done; });
+
+  // Read the local ARP table — the kernel did the discovery for us.
+  std::map<uint64_t, std::vector<ArpCache::Entry>> by_mac;
+  for (const auto& entry : vantage_->arp_cache().Snapshot(vantage_->Now())) {
+    if (entry.ip >= first && entry.ip <= last) {
+      by_mac[entry.mac.ToU64()].push_back(entry);
+    }
+  }
+  for (const auto& [mac_key, entries] : by_mac) {
+    (void)mac_key;
+    if (static_cast<int>(entries.size()) >= params_.proxy_arp_threshold) {
+      // One MAC answering for a block of addresses: a proxy-ARP device
+      // (e.g. a terminal server). Recording these IPs as distinct interfaces
+      // would be wrong; skip them and note the device.
+      ++proxy_suspects_;
+      continue;
+    }
+    for (const auto& entry : entries) {
+      InterfaceObservation obs;
+      obs.ip = entry.ip;
+      obs.mac = entry.mac;
+      auto result = journal_->StoreInterface(obs, DiscoverySource::kEtherHostProbe);
+      ++report.records_written;
+      ++report.discovered;
+      if (result.created || result.changed) {
+        ++report.new_info;
+      }
+    }
+  }
+
+  report.packets_sent = vantage_->packets_sent() - sent_before;
+  report.replies_received = static_cast<uint64_t>(report.discovered);
+  report.finished = vantage_->Now();
+  return report;
+}
+
+}  // namespace fremont

@@ -1,0 +1,15 @@
+#include "src/explorer/explorer.h"
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+std::string ExplorerReport::Summary() const {
+  return StringPrintf(
+      "%-16s discovered=%-4d records=%-4d new=%-4d sent=%-5llu replies=%-5llu elapsed=%s",
+      module.c_str(), discovered, records_written, new_info,
+      static_cast<unsigned long long>(packets_sent),
+      static_cast<unsigned long long>(replies_received), Elapsed().ToString().c_str());
+}
+
+}  // namespace fremont

@@ -1,0 +1,42 @@
+// Common Explorer Module machinery.
+//
+// Every module runs from a vantage Host inside the simulation, writes its
+// findings to the Journal through a JournalClient (full wire protocol), and
+// produces an ExplorerReport with the cost/effectiveness numbers the paper's
+// Tables 4-6 are built from.
+//
+// Active modules (EtherHostProbe, SequentialPing, BroadcastPing, SubnetMasks,
+// Traceroute, Dns) drive the event queue from Run() until their own
+// completion flag flips. Passive modules (ArpWatch, RipWatch) register a
+// promiscuous tap and observe for a configured duration.
+
+#ifndef SRC_EXPLORER_EXPLORER_H_
+#define SRC_EXPLORER_EXPLORER_H_
+
+#include <string>
+
+#include "src/journal/client.h"
+#include "src/journal/records.h"
+#include "src/sim/host.h"
+#include "src/util/sim_time.h"
+
+namespace fremont {
+
+struct ExplorerReport {
+  std::string module;
+  SimTime started;
+  SimTime finished;
+  uint64_t packets_sent = 0;     // Network load attributable to the module.
+  uint64_t replies_received = 0;
+  int discovered = 0;            // Primary discovery count (module-specific).
+  int records_written = 0;       // Journal stores issued.
+  int new_info = 0;              // Stores that created or changed a record —
+                                 // the Discovery Manager's fruitfulness signal.
+
+  Duration Elapsed() const { return finished - started; }
+  std::string Summary() const;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_EXPLORER_EXPLORER_H_

@@ -1,0 +1,147 @@
+#include "src/explorer/rip_probe.h"
+
+#include <set>
+
+#include "src/net/udp.h"
+#include "src/util/logging.h"
+
+namespace fremont {
+namespace {
+constexpr uint16_t kRipProbePort = 30520;
+}
+
+RipProbe::RipProbe(Host* vantage, JournalClient* journal, RipProbeParams params)
+    : vantage_(vantage), journal_(journal), params_(std::move(params)) {}
+
+Subnet RipProbe::InferSubnet(Ipv4Address advertised) const {
+  Interface* iface = vantage_->primary_interface();
+  if (iface != nullptr) {
+    const Subnet classful(iface->ip, iface->ip.NaturalMask());
+    if (classful.Contains(advertised)) {
+      return Subnet(advertised, SubnetMask::FromPrefixLength(params_.assumed_prefix));
+    }
+  }
+  return Subnet(advertised, advertised.NaturalMask());
+}
+
+ExplorerReport RipProbe::Run() {
+  ExplorerReport report;
+  report.module = "RIPprobe";
+  report.started = vantage_->Now();
+
+  std::vector<Ipv4Address> targets = params_.targets;
+  if (targets.empty()) {
+    // Direct further discovery from the Journal: known RIP sources plus
+    // every gateway member interface.
+    std::set<uint32_t> unique;
+    for (const auto& rec : journal_->GetInterfaces()) {
+      if (rec.rip_source && !rec.rip_promiscuous) {
+        unique.insert(rec.ip.value());
+      }
+    }
+    for (const auto& gw : journal_->GetGateways()) {
+      for (RecordId iface_id : gw.interface_ids) {
+        auto rec = journal_->GetInterfaceById(iface_id);
+        if (rec.has_value()) {
+          unique.insert(rec->ip.value());
+        }
+      }
+    }
+    for (uint32_t v : unique) {
+      targets.push_back(Ipv4Address(v));
+    }
+  }
+
+  const uint64_t sent_before = vantage_->packets_sent();
+
+  std::map<uint32_t, Ipv4Address> responder_for_target;
+  for (const Ipv4Address target : targets) {
+    // One probe at a time: bind, send, wait, unbind. The daemon's reply
+    // carries the router's full table. A multihomed router may answer from a
+    // *different* interface than the one probed — which is itself a finding:
+    // both addresses belong to the same box.
+    auto entries = std::make_shared<std::optional<std::vector<RipEntry>>>();
+    auto responder = std::make_shared<Ipv4Address>();
+    vantage_->BindUdp(kRipProbePort,
+                      [entries, responder](const Ipv4Packet& packet,
+                                           const UdpDatagram& datagram) {
+                        auto rip = RipPacket::Decode(datagram.payload);
+                        if (rip.has_value() && rip->command == RipCommand::kResponse) {
+                          if (!entries->has_value()) {
+                            *entries = std::vector<RipEntry>();
+                          }
+                          *responder = packet.src;
+                          (*entries)->insert((*entries)->end(), rip->entries.begin(),
+                                             rip->entries.end());
+                        }
+                      });
+    RipPacket request;
+    request.command = params_.use_poll ? RipCommand::kPoll : RipCommand::kRequest;
+    vantage_->SendUdp(target, kRipProbePort, kRipPort, request.Encode());
+
+    auto timed_out = std::make_shared<bool>(false);
+    vantage_->events()->Schedule(params_.reply_timeout, [timed_out]() { *timed_out = true; });
+    // Wait for the timeout window; a multi-chunk reply keeps arriving inside
+    // it (routers pace their chunks a few milliseconds apart).
+    vantage_->events()->RunWhile([&]() { return !*timed_out; });
+    vantage_->UnbindUdp(kRipProbePort);
+
+    if (!entries->has_value()) {
+      silent_.push_back(target);
+    } else {
+      tables_[target.value()] = **entries;
+      responder_for_target[target.value()] = *responder;
+      ++report.replies_received;
+    }
+    vantage_->events()->RunFor(params_.spacing);
+  }
+
+  // Write findings: the responding router is a RIP source and a gateway; its
+  // metric-1 routes are its directly connected subnets.
+  auto track = [&report](const JournalClient::StoreResult& result) {
+    ++report.records_written;
+    if (result.created || result.changed) {
+      ++report.new_info;
+    }
+  };
+  std::set<uint32_t> subnets_seen;
+  for (const auto& [target_value, entries] : tables_) {
+    const Ipv4Address target(target_value);
+    InterfaceObservation source_obs;
+    source_obs.ip = target;
+    source_obs.rip_source = true;
+    track(journal_->StoreInterface(source_obs, DiscoverySource::kRipWatch));
+
+    GatewayObservation gw;
+    gw.interface_ips = {target};
+    const Ipv4Address responder = responder_for_target[target_value];
+    if (!responder.IsZero() && responder != target) {
+      // Answered from another interface: same router, two known addresses.
+      gw.interface_ips.push_back(responder);
+    }
+    for (const auto& entry : entries) {
+      const Subnet subnet = InferSubnet(entry.address);
+      subnets_seen.insert(subnet.network().value());
+      SubnetObservation subnet_obs;
+      subnet_obs.subnet = subnet;
+      track(journal_->StoreSubnet(subnet_obs, DiscoverySource::kRipWatch));
+      if (entry.metric <= 1) {
+        gw.connected_subnets.push_back(subnet);
+      }
+    }
+    if (!gw.connected_subnets.empty()) {
+      track(journal_->StoreGateway(gw, DiscoverySource::kRipWatch));
+    }
+  }
+
+  subnets_discovered_ = static_cast<int>(subnets_seen.size());
+  report.discovered = subnets_discovered_;
+  report.packets_sent = vantage_->packets_sent() - sent_before;
+  report.finished = vantage_->Now();
+  if (!silent_.empty()) {
+    FLOG(kInfo) << "ripprobe: " << silent_.size() << " target(s) did not answer";
+  }
+  return report;
+}
+
+}  // namespace fremont

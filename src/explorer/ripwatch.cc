@@ -1,0 +1,192 @@
+#include "src/explorer/ripwatch.h"
+
+#include "src/net/ipv4.h"
+#include "src/net/udp.h"
+#include "src/util/logging.h"
+
+namespace fremont {
+
+RipWatch::RipWatch(Host* vantage, JournalClient* journal, RipWatchParams)
+    : vantage_(vantage), journal_(journal) {}
+
+RipWatch::~RipWatch() { Stop(); }
+
+bool RipWatch::Start() {
+  if (tap_token_ >= 0) {
+    return true;
+  }
+  Interface* iface = vantage_->primary_interface();
+  if (iface == nullptr || iface->segment == nullptr) {
+    FLOG(kError) << "ripwatch: vantage host has no attached segment";
+    return false;
+  }
+  segment_ = iface->segment;
+  started_ = vantage_->Now();
+  tap_token_ = segment_->AddTap(
+      [this](const EthernetFrame& frame, SimTime now) { OnFrame(frame, now); });
+  return true;
+}
+
+void RipWatch::Stop() {
+  if (tap_token_ >= 0 && segment_ != nullptr) {
+    segment_->RemoveTap(tap_token_);
+  }
+  tap_token_ = -1;
+}
+
+void RipWatch::OnFrame(const EthernetFrame& frame, SimTime) {
+  if (frame.ethertype != EtherType::kIpv4) {
+    return;
+  }
+  auto packet = Ipv4Packet::Decode(frame.payload);
+  if (!packet.has_value() || packet->protocol != IpProtocol::kUdp) {
+    return;
+  }
+  auto datagram = UdpDatagram::Decode(packet->payload);
+  if (!datagram.has_value() || datagram->dst_port != kRipPort) {
+    return;
+  }
+  auto rip = RipPacket::Decode(datagram->payload);
+  if (!rip.has_value() || rip->command != RipCommand::kResponse) {
+    return;
+  }
+  ++packets_seen_;
+
+  SourceState& state = sources_[packet->src.value()];
+  state.mac = frame.src;
+  const Subnet local = vantage_->primary_interface()->AttachedSubnet();
+  for (const auto& entry : rip->entries) {
+    auto it = state.routes.find(entry.address.value());
+    if (it == state.routes.end() || entry.metric < it->second) {
+      state.routes[entry.address.value()] = entry.metric;
+    }
+    // Split-horizon violation: advertising our own subnet back onto itself.
+    if (InferSubnet(entry.address) == local) {
+      state.split_horizon_violation = true;
+    }
+  }
+}
+
+Subnet RipWatch::InferSubnet(Ipv4Address advertised) const {
+  Interface* iface = vantage_->primary_interface();
+  const Subnet classful(iface->ip, iface->ip.NaturalMask());
+  if (classful.Contains(advertised)) {
+    return Subnet(advertised, iface->mask);
+  }
+  return Subnet(advertised, advertised.NaturalMask());
+}
+
+int RipWatch::subnets_seen() const {
+  std::set<uint32_t> subnets;
+  // The attached subnet is directly observed (split horizon means no honest
+  // gateway will ever advertise it back onto itself).
+  if (vantage_->primary_interface() != nullptr) {
+    subnets.insert(vantage_->primary_interface()->AttachedSubnet().network().value());
+  }
+  for (const auto& [src, state] : sources_) {
+    (void)src;
+    if (state.split_horizon_violation) {
+      continue;  // Untrustworthy source: don't let it pollute the census.
+    }
+    bool has_connected = false;
+    for (const auto& [addr, metric] : state.routes) {
+      (void)addr;
+      if (metric <= 1) {
+        has_connected = true;
+        break;
+      }
+    }
+    if (!has_connected) {
+      continue;  // Pure echo.
+    }
+    for (const auto& [addr, metric] : state.routes) {
+      (void)metric;
+      subnets.insert(InferSubnet(Ipv4Address(addr)).network().value());
+    }
+  }
+  return static_cast<int>(subnets.size());
+}
+
+std::vector<Ipv4Address> RipWatch::promiscuous_sources() const {
+  std::vector<Ipv4Address> out;
+  for (const auto& [src, state] : sources_) {
+    bool has_connected = false;
+    for (const auto& [addr, metric] : state.routes) {
+      (void)addr;
+      if (metric <= 1) {
+        has_connected = true;
+        break;
+      }
+    }
+    if (state.split_horizon_violation || !has_connected) {
+      out.push_back(Ipv4Address(src));
+    }
+  }
+  return out;
+}
+
+int RipWatch::WriteFindings(int* new_info_out) {
+  int written = 0;
+  int new_info = 0;
+  auto track = [&](const JournalClient::StoreResult& result) {
+    ++written;
+    if (result.created || result.changed) {
+      ++new_info;
+    }
+  };
+  if (vantage_->primary_interface() != nullptr) {
+    SubnetObservation local_obs;
+    local_obs.subnet = vantage_->primary_interface()->AttachedSubnet();
+    track(journal_->StoreSubnet(local_obs, DiscoverySource::kRipWatch));
+  }
+  const auto promiscuous = promiscuous_sources();
+  auto is_promiscuous = [&](uint32_t src) {
+    for (Ipv4Address p : promiscuous) {
+      if (p.value() == src) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const auto& [src, state] : sources_) {
+    InterfaceObservation source_obs;
+    source_obs.ip = Ipv4Address(src);
+    source_obs.mac = state.mac;
+    source_obs.rip_source = true;
+    source_obs.rip_promiscuous = is_promiscuous(src);
+    track(journal_->StoreInterface(source_obs, DiscoverySource::kRipWatch));
+
+    if (source_obs.rip_promiscuous) {
+      continue;  // Routes from untrustworthy sources are not recorded.
+    }
+    for (const auto& [addr, metric] : state.routes) {
+      (void)metric;
+      SubnetObservation subnet_obs;
+      subnet_obs.subnet = InferSubnet(Ipv4Address(addr));
+      track(journal_->StoreSubnet(subnet_obs, DiscoverySource::kRipWatch));
+    }
+  }
+  if (new_info_out != nullptr) {
+    *new_info_out = new_info;
+  }
+  return written;
+}
+
+ExplorerReport RipWatch::Run(Duration duration) {
+  Start();
+  vantage_->events()->RunFor(duration);
+  Stop();
+
+  ExplorerReport report;
+  report.module = "RIPwatch";
+  report.started = started_;
+  report.packets_sent = 0;  // Passive.
+  report.replies_received = packets_seen_;
+  report.records_written = WriteFindings(&report.new_info);
+  report.discovered = subnets_seen();
+  report.finished = vantage_->Now();
+  return report;
+}
+
+}  // namespace fremont

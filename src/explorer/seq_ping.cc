@@ -1,0 +1,92 @@
+#include "src/explorer/seq_ping.h"
+
+#include <set>
+
+#include "src/util/logging.h"
+
+namespace fremont {
+namespace {
+constexpr uint16_t kPingIdent = 0x5051;
+}
+
+SeqPing::SeqPing(Host* vantage, JournalClient* journal, SeqPingParams params)
+    : vantage_(vantage), journal_(journal), params_(params) {}
+
+ExplorerReport SeqPing::Run() {
+  ExplorerReport report;
+  report.module = "SeqPing";
+  report.started = vantage_->Now();
+
+  Interface* iface = vantage_->primary_interface();
+  if (iface == nullptr) {
+    report.finished = vantage_->Now();
+    return report;
+  }
+  const Subnet subnet = iface->AttachedSubnet();
+  Ipv4Address first = params_.first.IsZero() ? subnet.HostAt(1) : params_.first;
+  Ipv4Address last =
+      params_.last.IsZero() ? Ipv4Address(subnet.BroadcastAddress().value() - 1) : params_.last;
+  if (last < first) {
+    std::swap(first, last);
+  }
+
+  std::vector<Ipv4Address> targets;
+  for (uint32_t v = first.value(); v <= last.value(); ++v) {
+    if (Ipv4Address(v) != iface->ip) {
+      targets.push_back(Ipv4Address(v));
+    }
+  }
+
+  std::set<uint32_t> replied;
+  vantage_->SetIcmpListener([&](const Ipv4Packet& packet, const IcmpMessage& message) {
+    if (message.type == IcmpType::kEchoReply && message.identifier == kPingIdent) {
+      replied.insert(packet.src.value());
+      ++report.replies_received;
+    }
+  });
+
+  const uint64_t sent_before = vantage_->packets_sent();
+
+  // Two passes: the full range, then one retry over the silent addresses.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<Ipv4Address> to_probe;
+    for (Ipv4Address target : targets) {
+      if (!replied.contains(target.value())) {
+        to_probe.push_back(target);
+      }
+    }
+    if (to_probe.empty()) {
+      break;
+    }
+    bool pass_done = false;
+    uint16_t seq = 0;
+    for (const Ipv4Address target : to_probe) {
+      vantage_->events()->Schedule(params_.interval * seq, [this, target, seq]() {
+        vantage_->SendIcmp(target, IcmpMessage::EchoRequest(kPingIdent, seq));
+      });
+      ++seq;
+    }
+    vantage_->events()->Schedule(params_.interval * seq + params_.reply_timeout,
+                                 [&pass_done]() { pass_done = true; });
+    vantage_->events()->RunWhile([&pass_done]() { return !pass_done; });
+  }
+
+  vantage_->ClearIcmpListener();
+
+  for (uint32_t v : replied) {
+    InterfaceObservation obs;
+    obs.ip = Ipv4Address(v);
+    auto result = journal_->StoreInterface(obs, DiscoverySource::kSeqPing);
+    responders_.push_back(obs.ip);
+    ++report.records_written;
+    if (result.created || result.changed) {
+      ++report.new_info;
+    }
+  }
+  report.discovered = static_cast<int>(replied.size());
+  report.packets_sent = vantage_->packets_sent() - sent_before;
+  report.finished = vantage_->Now();
+  return report;
+}
+
+}  // namespace fremont

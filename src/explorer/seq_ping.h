@@ -1,0 +1,43 @@
+// Sequential Ping Explorer Module (active, ICMP echo).
+//
+// The simplest and most reliable module: one ICMP Echo Request every two
+// seconds through an address range, recording repliers. Non-responders get
+// exactly one retry pass, per the paper ("If the module receives no response
+// to a packet after issuing one request to each destination address, it
+// sends one more request packet to each destination that did not respond").
+
+#ifndef SRC_EXPLORER_SEQ_PING_H_
+#define SRC_EXPLORER_SEQ_PING_H_
+
+#include <vector>
+
+#include "src/explorer/explorer.h"
+
+namespace fremont {
+
+struct SeqPingParams {
+  // Range to sweep; zeros mean the vantage host's attached subnet.
+  Ipv4Address first;
+  Ipv4Address last;
+  Duration interval = Duration::Seconds(2);
+  Duration reply_timeout = Duration::Seconds(10);
+};
+
+class SeqPing {
+ public:
+  SeqPing(Host* vantage, JournalClient* journal, SeqPingParams params = {});
+
+  ExplorerReport Run();
+
+  const std::vector<Ipv4Address>& responders() const { return responders_; }
+
+ private:
+  Host* vantage_;
+  JournalClient* journal_;
+  SeqPingParams params_;
+  std::vector<Ipv4Address> responders_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_EXPLORER_SEQ_PING_H_

@@ -1,0 +1,139 @@
+#include "src/explorer/service_probe.h"
+
+#include "src/net/dns.h"
+#include "src/net/rip.h"
+#include "src/net/udp.h"
+
+namespace fremont {
+namespace {
+
+constexpr uint16_t kProbeSrcPort = 31007;
+
+uint16_t ServicePort(KnownService service) {
+  switch (service) {
+    case KnownService::kUdpEcho:
+      return kUdpEchoPort;
+    case KnownService::kDns:
+      return kDnsPort;
+    case KnownService::kRip:
+      return kRipPort;
+    case KnownService::kNone:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ServiceProbe::ServiceProbe(Host* vantage, JournalClient* journal, ServiceProbeParams params)
+    : vantage_(vantage), journal_(journal), params_(std::move(params)) {}
+
+ServiceProbe::Verdict ServiceProbe::ProbeOne(Ipv4Address target, KnownService service) {
+  const uint16_t port = ServicePort(service);
+  if (port == 0) {
+    return Verdict::kUnknown;
+  }
+
+  // Service-appropriate payload, so a real server actually answers.
+  ByteBuffer payload;
+  switch (service) {
+    case KnownService::kUdpEcho:
+      payload = {0x46, 0x52, 0x45, 0x4d};  // "FREM"
+      break;
+    case KnownService::kDns: {
+      DnsMessage query;
+      query.id = next_query_id_++;
+      query.questions.push_back(DnsQuestion{"localhost", DnsType::kA});
+      payload = query.Encode();
+      break;
+    }
+    case KnownService::kRip: {
+      RipPacket request;
+      request.command = RipCommand::kRequest;
+      payload = request.Encode();
+      break;
+    }
+    case KnownService::kNone:
+      break;
+  }
+
+  auto answered = std::make_shared<bool>(false);
+  auto unreachable = std::make_shared<bool>(false);
+  auto timed_out = std::make_shared<bool>(false);
+
+  vantage_->BindUdp(kProbeSrcPort,
+                    [answered, target](const Ipv4Packet& packet, const UdpDatagram&) {
+                      if (packet.src == target) {
+                        *answered = true;
+                      }
+                    });
+  vantage_->SetIcmpListener([unreachable, target](const Ipv4Packet& packet,
+                                                  const IcmpMessage& message) {
+    if (message.type == IcmpType::kDestUnreachable &&
+        message.code == static_cast<uint8_t>(IcmpUnreachableCode::kPortUnreachable) &&
+        packet.src == target) {
+      *unreachable = true;
+    }
+  });
+
+  vantage_->SendUdp(target, kProbeSrcPort, port, std::move(payload));
+  vantage_->events()->Schedule(params_.reply_timeout, [timed_out]() { *timed_out = true; });
+  vantage_->events()->RunWhile(
+      [&]() { return !*answered && !*unreachable && !*timed_out; });
+  vantage_->UnbindUdp(kProbeSrcPort);
+  vantage_->ClearIcmpListener();
+  vantage_->events()->RunFor(params_.spacing);
+
+  if (*answered) {
+    return Verdict::kPresent;
+  }
+  if (*unreachable) {
+    return Verdict::kAbsent;
+  }
+  return Verdict::kUnknown;
+}
+
+ExplorerReport ServiceProbe::Run() {
+  ExplorerReport report;
+  report.module = "ServiceProbe";
+  report.started = vantage_->Now();
+  const uint64_t sent_before = vantage_->packets_sent();
+
+  std::vector<Ipv4Address> targets = params_.targets;
+  if (targets.empty()) {
+    for (const auto& rec : journal_->GetInterfaces()) {
+      if (rec.sources != SourceBit(DiscoverySource::kDns)) {  // Skip DNS-only ghosts.
+        targets.push_back(rec.ip);
+      }
+    }
+  }
+
+  for (const Ipv4Address target : targets) {
+    uint16_t found_mask = 0;
+    for (KnownService service : params_.services) {
+      const Verdict verdict = ProbeOne(target, service);
+      verdicts_[{target.value(), ServiceBit(service)}] = verdict;
+      if (verdict == Verdict::kPresent) {
+        found_mask |= ServiceBit(service);
+        ++services_found_;
+      }
+    }
+    if (found_mask != 0) {
+      InterfaceObservation obs;
+      obs.ip = target;
+      obs.services = found_mask;
+      auto result = journal_->StoreInterface(obs, DiscoverySource::kManual);
+      ++report.records_written;
+      if (result.created || result.changed) {
+        ++report.new_info;
+      }
+    }
+  }
+
+  report.discovered = services_found_;
+  report.packets_sent = vantage_->packets_sent() - sent_before;
+  report.finished = vantage_->Now();
+  return report;
+}
+
+}  // namespace fremont

@@ -1,0 +1,96 @@
+#include "src/explorer/subnet_mask.h"
+
+#include <map>
+
+namespace fremont {
+namespace {
+constexpr uint16_t kMaskIdent = 0x4d53;
+}
+
+SubnetMaskExplorer::SubnetMaskExplorer(Host* vantage, JournalClient* journal,
+                                       SubnetMaskParams params)
+    : vantage_(vantage), journal_(journal), params_(std::move(params)) {}
+
+ExplorerReport SubnetMaskExplorer::Run() {
+  ExplorerReport report;
+  report.module = "SubnetMasks";
+  report.started = vantage_->Now();
+
+  std::vector<Ipv4Address> targets = params_.targets;
+  if (targets.empty()) {
+    // Direct further discovery from the Journal: every interface we know of
+    // that has no mask recorded yet.
+    for (const auto& rec : journal_->GetInterfaces()) {
+      if (!rec.mask.has_value()) {
+        targets.push_back(rec.ip);
+      }
+    }
+  }
+  // Skip targets the negative cache knows won't answer (yet).
+  if (params_.negative_cache != nullptr) {
+    std::vector<Ipv4Address> filtered;
+    for (const Ipv4Address target : targets) {
+      if (params_.negative_cache->ShouldSkip(target.value(), vantage_->Now())) {
+        ++skipped_;
+      } else {
+        filtered.push_back(target);
+      }
+    }
+    targets = std::move(filtered);
+  }
+
+  std::map<uint32_t, uint32_t> replies;  // source ip → raw mask.
+  vantage_->SetIcmpListener([&](const Ipv4Packet& packet, const IcmpMessage& message) {
+    if (message.type == IcmpType::kMaskReply && message.identifier == kMaskIdent) {
+      replies[packet.src.value()] = message.address_mask;
+      ++report.replies_received;
+    }
+  });
+
+  const uint64_t sent_before = vantage_->packets_sent();
+  bool done = false;
+  uint16_t seq = 0;
+  for (const Ipv4Address target : targets) {
+    vantage_->events()->Schedule(params_.interval * seq, [this, target, seq]() {
+      vantage_->SendIcmp(target, IcmpMessage::MaskRequest(kMaskIdent, seq));
+    });
+    ++seq;
+  }
+  vantage_->events()->Schedule(params_.interval * seq + params_.reply_timeout,
+                               [&done]() { done = true; });
+  vantage_->events()->RunWhile([&done]() { return !done; });
+  vantage_->ClearIcmpListener();
+
+  // Feed the negative cache: silence is a failure, any reply is a success.
+  if (params_.negative_cache != nullptr) {
+    for (const Ipv4Address target : targets) {
+      if (replies.contains(target.value())) {
+        params_.negative_cache->RecordSuccess(target.value());
+      } else {
+        params_.negative_cache->RecordFailure(target.value(), vantage_->Now());
+      }
+    }
+  }
+
+  for (const auto& [ip, raw_mask] : replies) {
+    auto mask = SubnetMask::FromValue(raw_mask);
+    if (!mask.has_value()) {
+      ++invalid_masks_;
+      continue;  // Non-contiguous mask: note it, don't pollute the Journal.
+    }
+    InterfaceObservation obs;
+    obs.ip = Ipv4Address(ip);
+    obs.mask = *mask;
+    auto result = journal_->StoreInterface(obs, DiscoverySource::kSubnetMask);
+    ++report.records_written;
+    ++report.discovered;
+    if (result.created || result.changed) {
+      ++report.new_info;
+    }
+  }
+  report.packets_sent = vantage_->packets_sent() - sent_before;
+  report.finished = vantage_->Now();
+  return report;
+}
+
+}  // namespace fremont

@@ -1,0 +1,105 @@
+#include "src/journal/client.h"
+
+namespace fremont {
+
+JournalResponse JournalClient::RoundTrip(const JournalRequest& request) {
+  ++requests_sent_;
+  ByteBuffer response_bytes = transport_(request.Encode());
+  auto response = JournalResponse::Decode(response_bytes);
+  if (!response.has_value()) {
+    JournalResponse bad;
+    bad.status = ResponseStatus::kMalformedRequest;
+    return bad;
+  }
+  return *response;
+}
+
+JournalClient::StoreResult JournalClient::StoreInterface(const InterfaceObservation& obs,
+                                                         DiscoverySource source) {
+  JournalRequest req;
+  req.type = RequestType::kStoreInterface;
+  req.source = source;
+  req.interface_obs = obs;
+  JournalResponse resp = RoundTrip(req);
+  return StoreResult{resp.record_id, resp.created, resp.changed,
+                     resp.status == ResponseStatus::kOk};
+}
+
+JournalClient::StoreResult JournalClient::StoreGateway(const GatewayObservation& obs,
+                                                       DiscoverySource source) {
+  JournalRequest req;
+  req.type = RequestType::kStoreGateway;
+  req.source = source;
+  req.gateway_obs = obs;
+  JournalResponse resp = RoundTrip(req);
+  return StoreResult{resp.record_id, resp.created, resp.changed,
+                     resp.status == ResponseStatus::kOk};
+}
+
+JournalClient::StoreResult JournalClient::StoreSubnet(const SubnetObservation& obs,
+                                                      DiscoverySource source) {
+  JournalRequest req;
+  req.type = RequestType::kStoreSubnet;
+  req.source = source;
+  req.subnet_obs = obs;
+  JournalResponse resp = RoundTrip(req);
+  return StoreResult{resp.record_id, resp.created, resp.changed,
+                     resp.status == ResponseStatus::kOk};
+}
+
+std::vector<InterfaceRecord> JournalClient::GetInterfaces(const Selector& selector) {
+  JournalRequest req;
+  req.type = RequestType::kGetInterfaces;
+  req.selector = selector;
+  return RoundTrip(req).interfaces;
+}
+
+std::optional<InterfaceRecord> JournalClient::GetInterfaceById(RecordId id) {
+  auto records = GetInterfaces(Selector::ById(id));
+  if (records.empty()) {
+    return std::nullopt;
+  }
+  return records.front();
+}
+
+std::vector<GatewayRecord> JournalClient::GetGateways() {
+  JournalRequest req;
+  req.type = RequestType::kGetGateways;
+  return RoundTrip(req).gateways;
+}
+
+std::vector<SubnetRecord> JournalClient::GetSubnets() {
+  JournalRequest req;
+  req.type = RequestType::kGetSubnets;
+  return RoundTrip(req).subnets;
+}
+
+bool JournalClient::DeleteInterface(RecordId id) {
+  JournalRequest req;
+  req.type = RequestType::kDeleteInterface;
+  req.delete_id = id;
+  return RoundTrip(req).status == ResponseStatus::kOk;
+}
+
+bool JournalClient::DeleteGateway(RecordId id) {
+  JournalRequest req;
+  req.type = RequestType::kDeleteGateway;
+  req.delete_id = id;
+  return RoundTrip(req).status == ResponseStatus::kOk;
+}
+
+bool JournalClient::DeleteSubnet(RecordId id) {
+  JournalRequest req;
+  req.type = RequestType::kDeleteSubnet;
+  req.delete_id = id;
+  return RoundTrip(req).status == ResponseStatus::kOk;
+}
+
+JournalStats JournalClient::GetStats() {
+  JournalRequest req;
+  req.type = RequestType::kGetStats;
+  JournalResponse resp = RoundTrip(req);
+  return JournalStats{resp.interface_count, resp.gateway_count, resp.subnet_count};
+}
+
+}  // namespace fremont

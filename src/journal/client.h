@@ -1,0 +1,63 @@
+// JournalClient: the common access library the Explorer Modules, Discovery
+// Manager, and analysis/presentation programs use to talk to the Journal
+// Server.
+//
+// The client serializes each call through the full wire protocol and hands
+// the bytes to a Transport. The default transport is an in-process call into
+// a JournalServer; a socket transport would carry the same bytes.
+
+#ifndef SRC_JOURNAL_CLIENT_H_
+#define SRC_JOURNAL_CLIENT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/journal/protocol.h"
+#include "src/journal/server.h"
+
+namespace fremont {
+
+class JournalClient {
+ public:
+  using Transport = std::function<ByteBuffer(const ByteBuffer&)>;
+
+  explicit JournalClient(Transport transport) : transport_(std::move(transport)) {}
+  // Convenience: direct in-process connection to a server.
+  explicit JournalClient(JournalServer* server)
+      : transport_([server](const ByteBuffer& req) { return server->HandleRequest(req); }) {}
+
+  struct StoreResult {
+    RecordId id = kInvalidRecordId;
+    bool created = false;
+    bool changed = false;
+    bool ok = false;
+  };
+
+  StoreResult StoreInterface(const InterfaceObservation& obs, DiscoverySource source);
+  StoreResult StoreGateway(const GatewayObservation& obs, DiscoverySource source);
+  StoreResult StoreSubnet(const SubnetObservation& obs, DiscoverySource source);
+
+  std::vector<InterfaceRecord> GetInterfaces(const Selector& selector = Selector::All());
+  // Convenience point lookup.
+  std::optional<InterfaceRecord> GetInterfaceById(RecordId id);
+  std::vector<GatewayRecord> GetGateways();
+  std::vector<SubnetRecord> GetSubnets();
+
+  bool DeleteInterface(RecordId id);
+  bool DeleteGateway(RecordId id);
+  bool DeleteSubnet(RecordId id);
+
+  JournalStats GetStats();
+
+  uint64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  JournalResponse RoundTrip(const JournalRequest& request);
+
+  Transport transport_;
+  uint64_t requests_sent_ = 0;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_JOURNAL_CLIENT_H_

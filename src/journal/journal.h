@@ -1,0 +1,147 @@
+// The Journal: Fremont's central repository of discovered network data.
+//
+// Data structures follow the paper's "Journal Server" section: records live
+// in linked lists ordered by time of last modification (most recently
+// changed at the tail), interface records are indexed by three AVL trees
+// (Ethernet address, IP address, DNS name), and subnet records by a fourth
+// AVL tree keyed by subnet address. Gateways are reachable through any of
+// their interfaces.
+//
+// Merge semantics implement the cross-correlation the paper centres on:
+// observations of the same (IP, MAC) pair from different modules land on one
+// record whose source bitmask grows; a *different* MAC for a known IP opens
+// a second record — preserving the evidence of a duplicate address
+// assignment or hardware change for the analysis programs; gateway
+// observations that share an interface merge into a single gateway record.
+
+#ifndef SRC_JOURNAL_JOURNAL_H_
+#define SRC_JOURNAL_JOURNAL_H_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/journal/records.h"
+#include "src/util/avl_tree.h"
+
+namespace fremont {
+
+struct JournalStats {
+  size_t interface_count = 0;
+  size_t gateway_count = 0;
+  size_t subnet_count = 0;
+};
+
+struct JournalMemoryUsage {
+  size_t interface_bytes = 0;  // Records + their index entries.
+  size_t gateway_bytes = 0;
+  size_t subnet_bytes = 0;
+  size_t total_bytes = 0;
+  double bytes_per_interface = 0;
+  double bytes_per_gateway = 0;
+  double bytes_per_subnet = 0;
+};
+
+class Journal {
+ public:
+  Journal() = default;
+
+  struct StoreResult {
+    RecordId id = kInvalidRecordId;
+    bool created = false;
+    bool changed = false;  // Any field changed (includes creation).
+  };
+
+  // --- Store / update --------------------------------------------------------
+
+  StoreResult StoreInterface(const InterfaceObservation& obs, DiscoverySource source,
+                             SimTime now);
+  StoreResult StoreGateway(const GatewayObservation& obs, DiscoverySource source, SimTime now);
+  StoreResult StoreSubnet(const SubnetObservation& obs, DiscoverySource source, SimTime now);
+
+  // --- Interface queries ------------------------------------------------------
+
+  const InterfaceRecord* GetInterface(RecordId id) const;
+  // May return several records: duplicate address assignments keep one
+  // record per (IP, MAC) pair.
+  std::vector<InterfaceRecord> FindInterfacesByIp(Ipv4Address ip) const;
+  std::vector<InterfaceRecord> FindInterfacesByMac(MacAddress mac) const;
+  std::vector<InterfaceRecord> FindInterfacesByName(const std::string& name) const;
+  // AVL range scan, e.g. every interface inside a subnet.
+  std::vector<InterfaceRecord> FindInterfacesInRange(Ipv4Address lo, Ipv4Address hi) const;
+  // All interfaces, least-recently-modified first.
+  std::vector<InterfaceRecord> AllInterfaces() const;
+  bool DeleteInterface(RecordId id);
+
+  // --- Gateway queries ---------------------------------------------------------
+
+  const GatewayRecord* GetGateway(RecordId id) const;
+  // Lookup via any member interface address.
+  const GatewayRecord* FindGatewayByInterfaceIp(Ipv4Address ip) const;
+  std::vector<GatewayRecord> AllGateways() const;
+  bool DeleteGateway(RecordId id);
+
+  // --- Subnet queries -----------------------------------------------------------
+
+  const SubnetRecord* GetSubnet(RecordId id) const;
+  const SubnetRecord* FindSubnet(const Subnet& subnet) const;
+  std::vector<SubnetRecord> AllSubnets() const;
+  bool DeleteSubnet(RecordId id);
+
+  // --- Introspection -------------------------------------------------------------
+
+  JournalStats Stats() const;
+  // Measured (not estimated from the paper) per-record memory footprint,
+  // including index shares — the Table 2 reproduction.
+  JournalMemoryUsage MemoryUsage() const;
+
+  // Verifies index ↔ record consistency; test-only.
+  bool CheckIndexes() const;
+
+  // --- Persistence ("writes to disk periodically and at termination") -------------
+
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+  void EncodeAll(ByteWriter& writer) const;
+  bool DecodeAll(ByteReader& reader);
+
+ private:
+  InterfaceRecord* MutableInterface(RecordId id);
+  void IndexInterface(const InterfaceRecord& rec);
+  void UnindexInterface(const InterfaceRecord& rec);
+  void TouchInterface(RecordId id);  // Moves to the tail of the mod-order list.
+  // Merges gateway `from` into `to`, fixing interface and subnet back-links.
+  void MergeGateways(RecordId to, RecordId from, SimTime now);
+  void AttachGatewayToSubnet(const Subnet& subnet, RecordId gateway_id, DiscoverySource source,
+                             SimTime now);
+
+  template <typename Key>
+  static void AddToIndex(AvlTree<Key, std::vector<RecordId>>& index, const Key& key, RecordId id);
+  template <typename Key>
+  static void RemoveFromIndex(AvlTree<Key, std::vector<RecordId>>& index, const Key& key,
+                              RecordId id);
+
+  std::unordered_map<RecordId, InterfaceRecord> interfaces_;
+  std::unordered_map<RecordId, GatewayRecord> gateways_;
+  std::unordered_map<RecordId, SubnetRecord> subnets_;
+
+  // Modification-ordered lists (paper: "ordered by time of last
+  // modification, so that the most recently changed items are at the end").
+  std::list<RecordId> interface_mod_order_;
+  std::unordered_map<RecordId, std::list<RecordId>::iterator> interface_mod_pos_;
+
+  // AVL indexes.
+  AvlTree<uint64_t, std::vector<RecordId>> by_mac_;
+  AvlTree<uint32_t, std::vector<RecordId>> by_ip_;
+  AvlTree<std::string, std::vector<RecordId>> by_name_;
+  AvlTree<uint32_t, RecordId> subnet_by_network_;
+
+  RecordId next_interface_id_ = 1;
+  RecordId next_gateway_id_ = 1;
+  RecordId next_subnet_id_ = 1;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_JOURNAL_JOURNAL_H_

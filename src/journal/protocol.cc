@@ -1,0 +1,249 @@
+#include "src/journal/protocol.h"
+
+namespace fremont {
+
+Selector Selector::ByIp(Ipv4Address ip) {
+  Selector s;
+  s.kind = Kind::kByIp;
+  s.ip = ip;
+  return s;
+}
+
+Selector Selector::ByMac(MacAddress mac) {
+  Selector s;
+  s.kind = Kind::kByMac;
+  s.mac = mac;
+  return s;
+}
+
+Selector Selector::ByName(std::string name) {
+  Selector s;
+  s.kind = Kind::kByName;
+  s.name = std::move(name);
+  return s;
+}
+
+Selector Selector::InRange(Ipv4Address lo, Ipv4Address hi) {
+  Selector s;
+  s.kind = Kind::kInRange;
+  s.ip = lo;
+  s.ip_hi = hi;
+  return s;
+}
+
+Selector Selector::InSubnet(const Subnet& subnet) {
+  return InRange(subnet.network(), subnet.BroadcastAddress());
+}
+
+Selector Selector::ModifiedSince(SimTime since) {
+  Selector s;
+  s.kind = Kind::kModifiedSince;
+  s.since = since;
+  return s;
+}
+
+Selector Selector::ById(RecordId id) {
+  Selector s;
+  s.kind = Kind::kById;
+  s.record_id = id;
+  return s;
+}
+
+void Selector::Encode(ByteWriter& writer) const {
+  writer.WriteU8(static_cast<uint8_t>(kind));
+  writer.WriteU32(ip.value());
+  writer.WriteU32(ip_hi.value());
+  writer.WriteBytes(mac.octets().data(), 6);
+  writer.WriteString(name);
+  writer.WriteI64(since.ToMicros());
+  writer.WriteU32(record_id);
+}
+
+std::optional<Selector> Selector::Decode(ByteReader& reader) {
+  Selector s;
+  uint8_t kind = reader.ReadU8();
+  if (kind > static_cast<uint8_t>(Kind::kById)) {
+    return std::nullopt;
+  }
+  s.kind = static_cast<Kind>(kind);
+  s.ip = Ipv4Address(reader.ReadU32());
+  s.ip_hi = Ipv4Address(reader.ReadU32());
+  ByteBuffer mac = reader.ReadBytes(6);
+  if (mac.size() == 6) {
+    std::array<uint8_t, 6> octets;
+    std::copy(mac.begin(), mac.end(), octets.begin());
+    s.mac = MacAddress(octets);
+  }
+  s.name = reader.ReadString();
+  s.since = SimTime::FromMicros(reader.ReadI64());
+  s.record_id = reader.ReadU32();
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return s;
+}
+
+ByteBuffer JournalRequest::Encode() const {
+  ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(type));
+  writer.WriteU16(SourceBit(source));
+  switch (type) {
+    case RequestType::kStoreInterface:
+      if (interface_obs.has_value()) {
+        interface_obs->Encode(writer);
+      }
+      break;
+    case RequestType::kStoreGateway:
+      if (gateway_obs.has_value()) {
+        gateway_obs->Encode(writer);
+      }
+      break;
+    case RequestType::kStoreSubnet:
+      if (subnet_obs.has_value()) {
+        subnet_obs->Encode(writer);
+      }
+      break;
+    case RequestType::kGetInterfaces:
+    case RequestType::kGetGateways:
+    case RequestType::kGetSubnets:
+      selector.Encode(writer);
+      break;
+    case RequestType::kDeleteInterface:
+    case RequestType::kDeleteGateway:
+    case RequestType::kDeleteSubnet:
+      writer.WriteU32(delete_id);
+      break;
+    case RequestType::kGetStats:
+      break;
+  }
+  return writer.TakeBuffer();
+}
+
+std::optional<JournalRequest> JournalRequest::Decode(const ByteBuffer& bytes) {
+  ByteReader reader(bytes);
+  JournalRequest req;
+  uint8_t type = reader.ReadU8();
+  if (type < 1 || type > static_cast<uint8_t>(RequestType::kGetStats)) {
+    return std::nullopt;
+  }
+  req.type = static_cast<RequestType>(type);
+  uint16_t source_bits = reader.ReadU16();
+  req.source = static_cast<DiscoverySource>(source_bits);
+  switch (req.type) {
+    case RequestType::kStoreInterface: {
+      auto obs = InterfaceObservation::Decode(reader);
+      if (!obs.has_value()) {
+        return std::nullopt;
+      }
+      req.interface_obs = std::move(*obs);
+      break;
+    }
+    case RequestType::kStoreGateway: {
+      auto obs = GatewayObservation::Decode(reader);
+      if (!obs.has_value()) {
+        return std::nullopt;
+      }
+      req.gateway_obs = std::move(*obs);
+      break;
+    }
+    case RequestType::kStoreSubnet: {
+      auto obs = SubnetObservation::Decode(reader);
+      if (!obs.has_value()) {
+        return std::nullopt;
+      }
+      req.subnet_obs = std::move(*obs);
+      break;
+    }
+    case RequestType::kGetInterfaces:
+    case RequestType::kGetGateways:
+    case RequestType::kGetSubnets: {
+      auto selector = Selector::Decode(reader);
+      if (!selector.has_value()) {
+        return std::nullopt;
+      }
+      req.selector = std::move(*selector);
+      break;
+    }
+    case RequestType::kDeleteInterface:
+    case RequestType::kDeleteGateway:
+    case RequestType::kDeleteSubnet:
+      req.delete_id = reader.ReadU32();
+      break;
+    case RequestType::kGetStats:
+      break;
+  }
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return req;
+}
+
+ByteBuffer JournalResponse::Encode() const {
+  ByteWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(status));
+  writer.WriteU32(record_id);
+  writer.WriteU8(static_cast<uint8_t>((created ? 1 : 0) | (changed ? 2 : 0)));
+  writer.WriteU32(static_cast<uint32_t>(interfaces.size()));
+  for (const auto& rec : interfaces) {
+    rec.Encode(writer);
+  }
+  writer.WriteU32(static_cast<uint32_t>(gateways.size()));
+  for (const auto& rec : gateways) {
+    rec.Encode(writer);
+  }
+  writer.WriteU32(static_cast<uint32_t>(subnets.size()));
+  for (const auto& rec : subnets) {
+    rec.Encode(writer);
+  }
+  writer.WriteU32(interface_count);
+  writer.WriteU32(gateway_count);
+  writer.WriteU32(subnet_count);
+  return writer.TakeBuffer();
+}
+
+std::optional<JournalResponse> JournalResponse::Decode(const ByteBuffer& bytes) {
+  ByteReader reader(bytes);
+  JournalResponse resp;
+  uint8_t status = reader.ReadU8();
+  if (status > static_cast<uint8_t>(ResponseStatus::kNotFound)) {
+    return std::nullopt;
+  }
+  resp.status = static_cast<ResponseStatus>(status);
+  resp.record_id = reader.ReadU32();
+  uint8_t flags = reader.ReadU8();
+  resp.created = (flags & 1) != 0;
+  resp.changed = (flags & 2) != 0;
+  uint32_t n_interfaces = reader.ReadU32();
+  for (uint32_t i = 0; i < n_interfaces; ++i) {
+    auto rec = InterfaceRecord::Decode(reader);
+    if (!rec.has_value()) {
+      return std::nullopt;
+    }
+    resp.interfaces.push_back(std::move(*rec));
+  }
+  uint32_t n_gateways = reader.ReadU32();
+  for (uint32_t i = 0; i < n_gateways; ++i) {
+    auto rec = GatewayRecord::Decode(reader);
+    if (!rec.has_value()) {
+      return std::nullopt;
+    }
+    resp.gateways.push_back(std::move(*rec));
+  }
+  uint32_t n_subnets = reader.ReadU32();
+  for (uint32_t i = 0; i < n_subnets; ++i) {
+    auto rec = SubnetRecord::Decode(reader);
+    if (!rec.has_value()) {
+      return std::nullopt;
+    }
+    resp.subnets.push_back(std::move(*rec));
+  }
+  resp.interface_count = reader.ReadU32();
+  resp.gateway_count = reader.ReadU32();
+  resp.subnet_count = reader.ReadU32();
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return resp;
+}
+
+}  // namespace fremont

@@ -1,0 +1,113 @@
+// Journal Server wire protocol.
+//
+// The 1993 system's modules all spoke to the Journal Server over BSD sockets
+// "through a common library of access and data transfer routines". This is
+// that protocol: requests and responses are length-delimited byte strings.
+// In this reproduction the transport is an in-process function call, but
+// every request round-trips through the codec, so the serialization layer is
+// exercised exactly as it would be over a socket.
+//
+// Requests: Store{Interface,Gateway,Subnet}, Get{Interfaces,Gateways,
+// Subnets}, Delete{Interface,Gateway,Subnet}, GetStats. Get requests carry a
+// selector; Get responses may return multiple records (paper: "The Get
+// function may return multiple data records depending on the selection
+// criteria in the request").
+
+#ifndef SRC_JOURNAL_PROTOCOL_H_
+#define SRC_JOURNAL_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/journal/records.h"
+
+namespace fremont {
+
+enum class RequestType : uint8_t {
+  kStoreInterface = 1,
+  kStoreGateway = 2,
+  kStoreSubnet = 3,
+  kGetInterfaces = 4,
+  kGetGateways = 5,
+  kGetSubnets = 6,
+  kDeleteInterface = 7,
+  kDeleteGateway = 8,
+  kDeleteSubnet = 9,
+  kGetStats = 10,
+};
+
+// Selection criteria for Get requests.
+struct Selector {
+  enum class Kind : uint8_t {
+    kAll = 0,
+    kByIp = 1,
+    kByMac = 2,
+    kByName = 3,
+    kInRange = 4,        // [ip, ip_hi], the AVL range scan.
+    kModifiedSince = 5,  // last_changed >= since.
+    kById = 6,           // Exact record id.
+  };
+  Kind kind = Kind::kAll;
+  Ipv4Address ip;
+  Ipv4Address ip_hi;
+  MacAddress mac;
+  std::string name;
+  SimTime since;
+  RecordId record_id = kInvalidRecordId;
+
+  static Selector All() { return {}; }
+  static Selector ByIp(Ipv4Address ip);
+  static Selector ByMac(MacAddress mac);
+  static Selector ByName(std::string name);
+  static Selector InRange(Ipv4Address lo, Ipv4Address hi);
+  static Selector InSubnet(const Subnet& subnet);
+  static Selector ModifiedSince(SimTime since);
+  static Selector ById(RecordId id);
+
+  void Encode(ByteWriter& writer) const;
+  static std::optional<Selector> Decode(ByteReader& reader);
+};
+
+struct JournalRequest {
+  RequestType type = RequestType::kGetStats;
+  DiscoverySource source = DiscoverySource::kNone;  // For stores.
+  std::optional<InterfaceObservation> interface_obs;
+  std::optional<GatewayObservation> gateway_obs;
+  std::optional<SubnetObservation> subnet_obs;
+  Selector selector;
+  RecordId delete_id = kInvalidRecordId;
+
+  ByteBuffer Encode() const;
+  static std::optional<JournalRequest> Decode(const ByteBuffer& bytes);
+};
+
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  kMalformedRequest = 1,
+  kNotFound = 2,
+};
+
+struct JournalResponse {
+  ResponseStatus status = ResponseStatus::kOk;
+  // Store responses.
+  RecordId record_id = kInvalidRecordId;
+  bool created = false;
+  bool changed = false;
+  // Get responses (one vector populated according to the request type).
+  std::vector<InterfaceRecord> interfaces;
+  std::vector<GatewayRecord> gateways;
+  std::vector<SubnetRecord> subnets;
+  // Stats response.
+  uint32_t interface_count = 0;
+  uint32_t gateway_count = 0;
+  uint32_t subnet_count = 0;
+
+  ByteBuffer Encode() const;
+  static std::optional<JournalResponse> Decode(const ByteBuffer& bytes);
+};
+
+}  // namespace fremont
+
+#endif  // SRC_JOURNAL_PROTOCOL_H_

@@ -1,0 +1,326 @@
+#include "src/journal/records.h"
+
+namespace fremont {
+namespace {
+
+void EncodeTimestamps(ByteWriter& writer, const Timestamps& ts) {
+  writer.WriteI64(ts.first_discovered.ToMicros());
+  writer.WriteI64(ts.last_changed.ToMicros());
+  writer.WriteI64(ts.last_verified.ToMicros());
+  writer.WriteI64(ts.last_wire_verified.ToMicros());
+}
+
+Timestamps DecodeTimestamps(ByteReader& reader) {
+  Timestamps ts;
+  ts.first_discovered = SimTime::FromMicros(reader.ReadI64());
+  ts.last_changed = SimTime::FromMicros(reader.ReadI64());
+  ts.last_verified = SimTime::FromMicros(reader.ReadI64());
+  ts.last_wire_verified = SimTime::FromMicros(reader.ReadI64());
+  return ts;
+}
+
+void EncodeOptionalMac(ByteWriter& writer, const std::optional<MacAddress>& mac) {
+  writer.WriteU8(mac.has_value() ? 1 : 0);
+  if (mac.has_value()) {
+    writer.WriteBytes(mac->octets().data(), 6);
+  }
+}
+
+std::optional<MacAddress> DecodeOptionalMac(ByteReader& reader) {
+  if (reader.ReadU8() == 0) {
+    return std::nullopt;
+  }
+  ByteBuffer raw = reader.ReadBytes(6);
+  if (raw.size() != 6) {
+    return std::nullopt;
+  }
+  std::array<uint8_t, 6> octets;
+  std::copy(raw.begin(), raw.end(), octets.begin());
+  return MacAddress(octets);
+}
+
+void EncodeSubnet(ByteWriter& writer, const Subnet& subnet) {
+  writer.WriteU32(subnet.network().value());
+  writer.WriteU8(static_cast<uint8_t>(subnet.mask().PrefixLength()));
+}
+
+Subnet DecodeSubnet(ByteReader& reader) {
+  Ipv4Address network(reader.ReadU32());
+  int prefix = reader.ReadU8();
+  return Subnet(network, SubnetMask::FromPrefixLength(prefix));
+}
+
+}  // namespace
+
+const char* DiscoverySourceName(DiscoverySource source) {
+  switch (source) {
+    case DiscoverySource::kNone:
+      return "none";
+    case DiscoverySource::kArpWatch:
+      return "arpwatch";
+    case DiscoverySource::kEtherHostProbe:
+      return "etherhostprobe";
+    case DiscoverySource::kSeqPing:
+      return "seqping";
+    case DiscoverySource::kBroadcastPing:
+      return "broadcastping";
+    case DiscoverySource::kSubnetMask:
+      return "subnetmask";
+    case DiscoverySource::kTraceroute:
+      return "traceroute";
+    case DiscoverySource::kRipWatch:
+      return "ripwatch";
+    case DiscoverySource::kDns:
+      return "dns";
+    case DiscoverySource::kManual:
+      return "manual";
+  }
+  return "?";
+}
+
+std::string SourceMaskToString(uint16_t mask) {
+  static constexpr DiscoverySource kAll[] = {
+      DiscoverySource::kArpWatch,  DiscoverySource::kEtherHostProbe,
+      DiscoverySource::kSeqPing,   DiscoverySource::kBroadcastPing,
+      DiscoverySource::kSubnetMask, DiscoverySource::kTraceroute,
+      DiscoverySource::kRipWatch,  DiscoverySource::kDns,
+      DiscoverySource::kManual,
+  };
+  std::string out;
+  for (DiscoverySource source : kAll) {
+    if (mask & SourceBit(source)) {
+      if (!out.empty()) {
+        out += "+";
+      }
+      out += DiscoverySourceName(source);
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+const char* KnownServiceName(KnownService service) {
+  switch (service) {
+    case KnownService::kNone:
+      return "none";
+    case KnownService::kUdpEcho:
+      return "echo";
+    case KnownService::kDns:
+      return "dns";
+    case KnownService::kRip:
+      return "rip";
+  }
+  return "?";
+}
+
+std::string ServiceMaskToString(uint16_t mask) {
+  static constexpr KnownService kAll[] = {KnownService::kUdpEcho, KnownService::kDns,
+                                          KnownService::kRip};
+  std::string out;
+  for (KnownService service : kAll) {
+    if (mask & ServiceBit(service)) {
+      if (!out.empty()) {
+        out += "+";
+      }
+      out += KnownServiceName(service);
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+// --- InterfaceRecord ---------------------------------------------------------
+
+void InterfaceRecord::Encode(ByteWriter& writer) const {
+  writer.WriteU32(id);
+  writer.WriteU32(ip.value());
+  EncodeOptionalMac(writer, mac);
+  writer.WriteString(dns_name);
+  writer.WriteU8(mask.has_value() ? 1 : 0);
+  if (mask.has_value()) {
+    writer.WriteU32(mask->value());
+  }
+  writer.WriteU32(gateway_id);
+  writer.WriteU8(static_cast<uint8_t>((rip_source ? 1 : 0) | (rip_promiscuous ? 2 : 0)));
+  writer.WriteU16(sources);
+  writer.WriteU16(services);
+  EncodeTimestamps(writer, ts);
+}
+
+std::optional<InterfaceRecord> InterfaceRecord::Decode(ByteReader& reader) {
+  InterfaceRecord rec;
+  rec.id = reader.ReadU32();
+  rec.ip = Ipv4Address(reader.ReadU32());
+  rec.mac = DecodeOptionalMac(reader);
+  rec.dns_name = reader.ReadString();
+  if (reader.ReadU8() != 0) {
+    auto mask = SubnetMask::FromValue(reader.ReadU32());
+    if (mask.has_value()) {
+      rec.mask = *mask;
+    }
+  }
+  rec.gateway_id = reader.ReadU32();
+  uint8_t flags = reader.ReadU8();
+  rec.rip_source = (flags & 1) != 0;
+  rec.rip_promiscuous = (flags & 2) != 0;
+  rec.sources = reader.ReadU16();
+  rec.services = reader.ReadU16();
+  rec.ts = DecodeTimestamps(reader);
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return rec;
+}
+
+void InterfaceObservation::Encode(ByteWriter& writer) const {
+  writer.WriteU32(ip.value());
+  EncodeOptionalMac(writer, mac);
+  writer.WriteString(dns_name);
+  writer.WriteU8(mask.has_value() ? 1 : 0);
+  if (mask.has_value()) {
+    writer.WriteU32(mask->value());
+  }
+  writer.WriteU8(static_cast<uint8_t>((rip_source ? 1 : 0) | (rip_promiscuous ? 2 : 0)));
+  writer.WriteU16(services);
+}
+
+std::optional<InterfaceObservation> InterfaceObservation::Decode(ByteReader& reader) {
+  InterfaceObservation obs;
+  obs.ip = Ipv4Address(reader.ReadU32());
+  obs.mac = DecodeOptionalMac(reader);
+  obs.dns_name = reader.ReadString();
+  if (reader.ReadU8() != 0) {
+    auto mask = SubnetMask::FromValue(reader.ReadU32());
+    if (mask.has_value()) {
+      obs.mask = *mask;
+    }
+  }
+  uint8_t flags = reader.ReadU8();
+  obs.rip_source = (flags & 1) != 0;
+  obs.rip_promiscuous = (flags & 2) != 0;
+  obs.services = reader.ReadU16();
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return obs;
+}
+
+// --- GatewayRecord -----------------------------------------------------------
+
+void GatewayRecord::Encode(ByteWriter& writer) const {
+  writer.WriteU32(id);
+  writer.WriteString(name);
+  writer.WriteU16(static_cast<uint16_t>(interface_ids.size()));
+  for (RecordId iface_id : interface_ids) {
+    writer.WriteU32(iface_id);
+  }
+  writer.WriteU16(static_cast<uint16_t>(connected_subnets.size()));
+  for (const Subnet& subnet : connected_subnets) {
+    EncodeSubnet(writer, subnet);
+  }
+  writer.WriteU16(sources);
+  EncodeTimestamps(writer, ts);
+}
+
+std::optional<GatewayRecord> GatewayRecord::Decode(ByteReader& reader) {
+  GatewayRecord rec;
+  rec.id = reader.ReadU32();
+  rec.name = reader.ReadString();
+  uint16_t n_ifaces = reader.ReadU16();
+  for (uint16_t i = 0; i < n_ifaces && reader.ok(); ++i) {
+    rec.interface_ids.push_back(reader.ReadU32());
+  }
+  uint16_t n_subnets = reader.ReadU16();
+  for (uint16_t i = 0; i < n_subnets && reader.ok(); ++i) {
+    rec.connected_subnets.push_back(DecodeSubnet(reader));
+  }
+  rec.sources = reader.ReadU16();
+  rec.ts = DecodeTimestamps(reader);
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return rec;
+}
+
+void GatewayObservation::Encode(ByteWriter& writer) const {
+  writer.WriteString(name);
+  writer.WriteU16(static_cast<uint16_t>(interface_ips.size()));
+  for (Ipv4Address ip : interface_ips) {
+    writer.WriteU32(ip.value());
+  }
+  writer.WriteU16(static_cast<uint16_t>(connected_subnets.size()));
+  for (const Subnet& subnet : connected_subnets) {
+    EncodeSubnet(writer, subnet);
+  }
+}
+
+std::optional<GatewayObservation> GatewayObservation::Decode(ByteReader& reader) {
+  GatewayObservation obs;
+  obs.name = reader.ReadString();
+  uint16_t n_ips = reader.ReadU16();
+  for (uint16_t i = 0; i < n_ips && reader.ok(); ++i) {
+    obs.interface_ips.push_back(Ipv4Address(reader.ReadU32()));
+  }
+  uint16_t n_subnets = reader.ReadU16();
+  for (uint16_t i = 0; i < n_subnets && reader.ok(); ++i) {
+    obs.connected_subnets.push_back(DecodeSubnet(reader));
+  }
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return obs;
+}
+
+// --- SubnetRecord ------------------------------------------------------------
+
+void SubnetRecord::Encode(ByteWriter& writer) const {
+  writer.WriteU32(id);
+  EncodeSubnet(writer, subnet);
+  writer.WriteU16(static_cast<uint16_t>(gateway_ids.size()));
+  for (RecordId gw_id : gateway_ids) {
+    writer.WriteU32(gw_id);
+  }
+  writer.WriteU32(static_cast<uint32_t>(host_count));
+  writer.WriteU32(lowest_assigned.value());
+  writer.WriteU32(highest_assigned.value());
+  writer.WriteU16(sources);
+  EncodeTimestamps(writer, ts);
+}
+
+std::optional<SubnetRecord> SubnetRecord::Decode(ByteReader& reader) {
+  SubnetRecord rec;
+  rec.id = reader.ReadU32();
+  rec.subnet = DecodeSubnet(reader);
+  uint16_t n_gateways = reader.ReadU16();
+  for (uint16_t i = 0; i < n_gateways && reader.ok(); ++i) {
+    rec.gateway_ids.push_back(reader.ReadU32());
+  }
+  rec.host_count = static_cast<int32_t>(reader.ReadU32());
+  rec.lowest_assigned = Ipv4Address(reader.ReadU32());
+  rec.highest_assigned = Ipv4Address(reader.ReadU32());
+  rec.sources = reader.ReadU16();
+  rec.ts = DecodeTimestamps(reader);
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return rec;
+}
+
+void SubnetObservation::Encode(ByteWriter& writer) const {
+  EncodeSubnet(writer, subnet);
+  writer.WriteU32(static_cast<uint32_t>(host_count));
+  writer.WriteU32(lowest_assigned.value());
+  writer.WriteU32(highest_assigned.value());
+}
+
+std::optional<SubnetObservation> SubnetObservation::Decode(ByteReader& reader) {
+  SubnetObservation obs;
+  obs.subnet = DecodeSubnet(reader);
+  obs.host_count = static_cast<int32_t>(reader.ReadU32());
+  obs.lowest_assigned = Ipv4Address(reader.ReadU32());
+  obs.highest_assigned = Ipv4Address(reader.ReadU32());
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return obs;
+}
+
+}  // namespace fremont

@@ -1,0 +1,165 @@
+// Journal record types.
+//
+// The Journal groups data into records representing interfaces, gateways,
+// and subnets (paper, "Journal" section, Table 1). Every record carries
+// three timestamps — first discovery, last change, last verification — which
+// is what lets Fremont detect removed hosts, changed hardware, and duplicate
+// address assignments long after an ARP cache would have forgotten them.
+
+#ifndef SRC_JOURNAL_RECORDS_H_
+#define SRC_JOURNAL_RECORDS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/ipv4_address.h"
+#include "src/net/mac_address.h"
+#include "src/util/bytes.h"
+#include "src/util/sim_time.h"
+
+namespace fremont {
+
+// Which Explorer Module produced an observation. Stored as a bitmask on each
+// record so the analysis programs can weigh information quality (the paper:
+// ARP data is timely and correct, DNS data is older and error-prone).
+enum class DiscoverySource : uint16_t {
+  kNone = 0,
+  kArpWatch = 1 << 0,
+  kEtherHostProbe = 1 << 1,
+  kSeqPing = 1 << 2,
+  kBroadcastPing = 1 << 3,
+  kSubnetMask = 1 << 4,
+  kTraceroute = 1 << 5,
+  kRipWatch = 1 << 6,
+  kDns = 1 << 7,
+  kManual = 1 << 8,
+};
+
+inline uint16_t SourceBit(DiscoverySource source) { return static_cast<uint16_t>(source); }
+const char* DiscoverySourceName(DiscoverySource source);
+// Renders a bitmask like "arp+dns".
+std::string SourceMaskToString(uint16_t mask);
+
+// Network services confirmed on an interface (the paper's future-work
+// extension: "Network service information can also be determined by
+// attempting to connect to a service"). Stored as a bitmask.
+enum class KnownService : uint16_t {
+  kNone = 0,
+  kUdpEcho = 1 << 0,
+  kDns = 1 << 1,
+  kRip = 1 << 2,
+};
+
+inline uint16_t ServiceBit(KnownService service) { return static_cast<uint16_t>(service); }
+const char* KnownServiceName(KnownService service);
+// Renders a bitmask like "echo+dns".
+std::string ServiceMaskToString(uint16_t mask);
+
+struct Timestamps {
+  SimTime first_discovered;
+  SimTime last_changed;
+  SimTime last_verified;
+  // Last verification by a module that observed the interface ON THE WIRE —
+  // i.e. anything but the DNS module, whose data "is not necessarily
+  // current". The presentation program's level-1 view and the staleness
+  // analysis use this ("ignoring time of last DNS verification", per the
+  // paper). Epoch (zero) = never confirmed on the wire.
+  SimTime last_wire_verified;
+};
+
+using RecordId = uint32_t;
+inline constexpr RecordId kInvalidRecordId = 0;
+
+// --- Interface ---------------------------------------------------------------
+
+// Table 1 fields: MAC layer address, network layer address, DNS name, subnet
+// mask, gateway membership.
+struct InterfaceRecord {
+  RecordId id = kInvalidRecordId;
+  Ipv4Address ip;                       // Always present.
+  std::optional<MacAddress> mac;        // Unknown until an ARP module sees it.
+  std::string dns_name;                 // Empty if unknown.
+  std::optional<SubnetMask> mask;       // Unknown until the mask module asks.
+  RecordId gateway_id = kInvalidRecordId;
+  bool rip_source = false;              // Emits RIP advertisements.
+  bool rip_promiscuous = false;         // Flagged as a promiscuous RIP host.
+  uint16_t sources = 0;                 // DiscoverySource bitmask.
+  uint16_t services = 0;                // KnownService bitmask (confirmed present).
+  Timestamps ts;
+
+  void Encode(ByteWriter& writer) const;
+  static std::optional<InterfaceRecord> Decode(ByteReader& reader);
+};
+
+// What an Explorer Module reports about an interface. The Journal merges
+// observations into records (see Journal::StoreInterface for the rules).
+struct InterfaceObservation {
+  Ipv4Address ip;
+  std::optional<MacAddress> mac;
+  std::string dns_name;
+  std::optional<SubnetMask> mask;
+  bool rip_source = false;
+  bool rip_promiscuous = false;
+  uint16_t services = 0;  // Services confirmed by this observation.
+
+  void Encode(ByteWriter& writer) const;
+  static std::optional<InterfaceObservation> Decode(ByteReader& reader);
+};
+
+// --- Gateway -----------------------------------------------------------------
+
+// Gateways are collections of interfaces plus the subnets they connect —
+// including subnets for which the interface address is not yet known (the
+// paper calls this case out for Traceroute explicitly).
+struct GatewayRecord {
+  RecordId id = kInvalidRecordId;
+  std::string name;                     // DNS-style name if known.
+  std::vector<RecordId> interface_ids;
+  std::vector<Subnet> connected_subnets;
+  uint16_t sources = 0;
+  Timestamps ts;
+
+  void Encode(ByteWriter& writer) const;
+  static std::optional<GatewayRecord> Decode(ByteReader& reader);
+};
+
+struct GatewayObservation {
+  std::vector<Ipv4Address> interface_ips;  // At least one.
+  std::vector<Subnet> connected_subnets;
+  std::string name;
+
+  void Encode(ByteWriter& writer) const;
+  static std::optional<GatewayObservation> Decode(ByteReader& reader);
+};
+
+// --- Subnet ------------------------------------------------------------------
+
+struct SubnetRecord {
+  RecordId id = kInvalidRecordId;
+  Subnet subnet;
+  std::vector<RecordId> gateway_ids;    // May be empty: subnet known, gateways not.
+  int32_t host_count = -1;              // From the DNS module; -1 = unknown.
+  Ipv4Address lowest_assigned;          // Zero = unknown.
+  Ipv4Address highest_assigned;
+  uint16_t sources = 0;
+  Timestamps ts;
+
+  void Encode(ByteWriter& writer) const;
+  static std::optional<SubnetRecord> Decode(ByteReader& reader);
+};
+
+struct SubnetObservation {
+  Subnet subnet;
+  int32_t host_count = -1;
+  Ipv4Address lowest_assigned;
+  Ipv4Address highest_assigned;
+
+  void Encode(ByteWriter& writer) const;
+  static std::optional<SubnetObservation> Decode(ByteReader& reader);
+};
+
+}  // namespace fremont
+
+#endif  // SRC_JOURNAL_RECORDS_H_

@@ -1,0 +1,74 @@
+#include "src/journal/replicate.h"
+
+#include <algorithm>
+
+namespace fremont {
+
+ReplicationStats ReplicationPeer::Pull(JournalClient& local) {
+  ReplicationStats stats;
+
+  // Interfaces: incremental via the predicate-based query. ModifiedSince is
+  // inclusive, so ask for strictly-after the last sync instant.
+  const Selector selector =
+      ever_synced_ ? Selector::ModifiedSince(last_sync_ + Duration::Micros(1))
+                   : Selector::All();
+  SimTime newest = last_sync_;
+  for (const auto& rec : remote_->GetInterfaces(selector)) {
+    InterfaceObservation obs;
+    obs.ip = rec.ip;
+    obs.mac = rec.mac;
+    obs.dns_name = rec.dns_name;
+    obs.mask = rec.mask;
+    obs.rip_source = rec.rip_source;
+    obs.rip_promiscuous = rec.rip_promiscuous;
+    obs.services = rec.services;
+    auto result = local.StoreInterface(obs, DiscoverySource::kManual);
+    ++stats.interfaces_pulled;
+    if (result.created || result.changed) {
+      ++stats.new_or_changed;
+    }
+    newest = std::max(newest, rec.ts.last_changed);
+  }
+
+  // Gateways: resolve member interface ids to addresses on the *remote*
+  // side, then replay as observations (ids never cross sites).
+  for (const auto& gw : remote_->GetGateways()) {
+    GatewayObservation obs;
+    obs.name = gw.name;
+    obs.connected_subnets = gw.connected_subnets;
+    for (RecordId iface_id : gw.interface_ids) {
+      auto rec = remote_->GetInterfaceById(iface_id);
+      if (rec.has_value()) {
+        obs.interface_ips.push_back(rec->ip);
+      }
+    }
+    if (obs.interface_ips.empty() && obs.name.empty()) {
+      continue;
+    }
+    auto result = local.StoreGateway(obs, DiscoverySource::kManual);
+    ++stats.gateways_pulled;
+    if (result.created || result.changed) {
+      ++stats.new_or_changed;
+    }
+  }
+
+  // Subnets: full replay (small and idempotent).
+  for (const auto& subnet : remote_->GetSubnets()) {
+    SubnetObservation obs;
+    obs.subnet = subnet.subnet;
+    obs.host_count = subnet.host_count;
+    obs.lowest_assigned = subnet.lowest_assigned;
+    obs.highest_assigned = subnet.highest_assigned;
+    auto result = local.StoreSubnet(obs, DiscoverySource::kManual);
+    ++stats.subnets_pulled;
+    if (result.created || result.changed) {
+      ++stats.new_or_changed;
+    }
+  }
+
+  last_sync_ = newest;
+  ever_synced_ = true;
+  return stats;
+}
+
+}  // namespace fremont

@@ -1,0 +1,49 @@
+// Journal replication: sharing discoveries between Fremont sites.
+//
+// The paper: "the system can be replicated at multiple sites, exploring
+// different networks, and sharing information among the replicated
+// components" — and its future work extends this with "caching data and
+// supporting predicate-based queries to limit exchanged data to the parts
+// that are needed".
+//
+// Replication is pull-based and incremental: the puller asks a peer for
+// records modified since its last sync (the predicate-based query) and
+// replays them into its own Journal as observations. Record ids are local
+// to each Journal, so the replay goes through the normal merge logic —
+// cross-correlation applies across sites exactly as it does across modules.
+
+#ifndef SRC_JOURNAL_REPLICATE_H_
+#define SRC_JOURNAL_REPLICATE_H_
+
+#include "src/journal/client.h"
+
+namespace fremont {
+
+struct ReplicationStats {
+  int interfaces_pulled = 0;
+  int gateways_pulled = 0;
+  int subnets_pulled = 0;
+  int new_or_changed = 0;  // Stores that actually added information here.
+};
+
+// Incremental pull state for one peer.
+class ReplicationPeer {
+ public:
+  explicit ReplicationPeer(JournalClient* remote) : remote_(remote) {}
+
+  // Pulls everything the peer changed since the last Pull (everything, the
+  // first time) into `local`. Gateways and subnets are always pulled in full:
+  // they are few, and their merge is idempotent.
+  ReplicationStats Pull(JournalClient& local);
+
+  SimTime last_sync() const { return last_sync_; }
+
+ private:
+  JournalClient* remote_;
+  SimTime last_sync_;
+  bool ever_synced_ = false;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_JOURNAL_REPLICATE_H_

@@ -1,0 +1,155 @@
+#include "src/journal/server.h"
+
+#include "src/util/logging.h"
+
+namespace fremont {
+
+JournalServer::~JournalServer() {
+  if (!checkpoint_path_.empty()) {
+    journal_.SaveToFile(checkpoint_path_);  // "and at termination".
+  }
+}
+
+void JournalServer::EnableCheckpoint(std::string path, Duration interval) {
+  checkpoint_path_ = std::move(path);
+  checkpoint_interval_ = interval;
+  last_checkpoint_ = clock_();
+}
+
+void JournalServer::MaybeCheckpoint() {
+  if (checkpoint_path_.empty() || checkpoint_interval_ <= Duration::Zero()) {
+    return;
+  }
+  const SimTime now = clock_();
+  if (now - last_checkpoint_ >= checkpoint_interval_) {
+    journal_.SaveToFile(checkpoint_path_);
+    last_checkpoint_ = now;
+  }
+}
+
+ByteBuffer JournalServer::HandleRequest(const ByteBuffer& request_bytes) {
+  auto request = JournalRequest::Decode(request_bytes);
+  if (!request.has_value()) {
+    JournalResponse resp;
+    resp.status = ResponseStatus::kMalformedRequest;
+    return resp.Encode();
+  }
+  JournalResponse resp = Handle(*request);
+  MaybeCheckpoint();
+  return resp.Encode();
+}
+
+JournalResponse JournalServer::Handle(const JournalRequest& request) {
+  ++requests_handled_;
+  const SimTime now = clock_();
+  JournalResponse resp;
+
+  switch (request.type) {
+    case RequestType::kStoreInterface: {
+      if (!request.interface_obs.has_value()) {
+        resp.status = ResponseStatus::kMalformedRequest;
+        break;
+      }
+      auto result = journal_.StoreInterface(*request.interface_obs, request.source, now);
+      resp.record_id = result.id;
+      resp.created = result.created;
+      resp.changed = result.changed;
+      break;
+    }
+    case RequestType::kStoreGateway: {
+      if (!request.gateway_obs.has_value()) {
+        resp.status = ResponseStatus::kMalformedRequest;
+        break;
+      }
+      auto result = journal_.StoreGateway(*request.gateway_obs, request.source, now);
+      resp.record_id = result.id;
+      resp.created = result.created;
+      resp.changed = result.changed;
+      break;
+    }
+    case RequestType::kStoreSubnet: {
+      if (!request.subnet_obs.has_value()) {
+        resp.status = ResponseStatus::kMalformedRequest;
+        break;
+      }
+      auto result = journal_.StoreSubnet(*request.subnet_obs, request.source, now);
+      resp.record_id = result.id;
+      resp.created = result.created;
+      resp.changed = result.changed;
+      break;
+    }
+    case RequestType::kGetInterfaces: {
+      const Selector& sel = request.selector;
+      switch (sel.kind) {
+        case Selector::Kind::kAll:
+          resp.interfaces = journal_.AllInterfaces();
+          break;
+        case Selector::Kind::kByIp:
+          resp.interfaces = journal_.FindInterfacesByIp(sel.ip);
+          break;
+        case Selector::Kind::kByMac:
+          resp.interfaces = journal_.FindInterfacesByMac(sel.mac);
+          break;
+        case Selector::Kind::kByName:
+          resp.interfaces = journal_.FindInterfacesByName(sel.name);
+          break;
+        case Selector::Kind::kInRange:
+          resp.interfaces = journal_.FindInterfacesInRange(sel.ip, sel.ip_hi);
+          break;
+        case Selector::Kind::kModifiedSince:
+          for (const auto& rec : journal_.AllInterfaces()) {
+            if (rec.ts.last_changed >= sel.since) {
+              resp.interfaces.push_back(rec);
+            }
+          }
+          break;
+        case Selector::Kind::kById:
+          if (const auto* rec = journal_.GetInterface(sel.record_id); rec != nullptr) {
+            resp.interfaces.push_back(*rec);
+          }
+          break;
+      }
+      if (resp.interfaces.empty()) {
+        resp.status = ResponseStatus::kNotFound;
+      }
+      break;
+    }
+    case RequestType::kGetGateways:
+      resp.gateways = journal_.AllGateways();
+      if (resp.gateways.empty()) {
+        resp.status = ResponseStatus::kNotFound;
+      }
+      break;
+    case RequestType::kGetSubnets:
+      resp.subnets = journal_.AllSubnets();
+      if (resp.subnets.empty()) {
+        resp.status = ResponseStatus::kNotFound;
+      }
+      break;
+    case RequestType::kDeleteInterface:
+      if (!journal_.DeleteInterface(request.delete_id)) {
+        resp.status = ResponseStatus::kNotFound;
+      }
+      break;
+    case RequestType::kDeleteGateway:
+      if (!journal_.DeleteGateway(request.delete_id)) {
+        resp.status = ResponseStatus::kNotFound;
+      }
+      break;
+    case RequestType::kDeleteSubnet:
+      if (!journal_.DeleteSubnet(request.delete_id)) {
+        resp.status = ResponseStatus::kNotFound;
+      }
+      break;
+    case RequestType::kGetStats: {
+      JournalStats stats = journal_.Stats();
+      resp.interface_count = static_cast<uint32_t>(stats.interface_count);
+      resp.gateway_count = static_cast<uint32_t>(stats.gateway_count);
+      resp.subnet_count = static_cast<uint32_t>(stats.subnet_count);
+      break;
+    }
+  }
+  return resp;
+}
+
+}  // namespace fremont

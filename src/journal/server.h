@@ -1,0 +1,57 @@
+// Journal Server: serializes updates, time-stamps and records data, answers
+// queries (paper, "System Description > Overview").
+//
+// The server owns the Journal, stamps every store with the current simulated
+// time, and periodically checkpoints to disk ("maintains an in-memory
+// representation of the Journal data, which it writes to disk periodically
+// and at termination").
+
+#ifndef SRC_JOURNAL_SERVER_H_
+#define SRC_JOURNAL_SERVER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/journal/journal.h"
+#include "src/journal/protocol.h"
+
+namespace fremont {
+
+class JournalServer {
+ public:
+  using Clock = std::function<SimTime()>;
+
+  explicit JournalServer(Clock clock) : clock_(std::move(clock)) {}
+  ~JournalServer();
+  JournalServer(const JournalServer&) = delete;
+  JournalServer& operator=(const JournalServer&) = delete;
+
+  // The request entry point: decodes, dispatches, encodes. This is what a
+  // socket read loop would call per message.
+  ByteBuffer HandleRequest(const ByteBuffer& request_bytes);
+
+  // Typed dispatch (used internally and by tests).
+  JournalResponse Handle(const JournalRequest& request);
+
+  // Enables periodic + at-destruction checkpointing to `path`. Checkpoints
+  // happen inside HandleRequest once `interval` has elapsed since the last.
+  void EnableCheckpoint(std::string path, Duration interval);
+
+  Journal& journal() { return journal_; }
+  const Journal& journal() const { return journal_; }
+  uint64_t requests_handled() const { return requests_handled_; }
+
+ private:
+  void MaybeCheckpoint();
+
+  Clock clock_;
+  Journal journal_;
+  uint64_t requests_handled_ = 0;
+  std::string checkpoint_path_;
+  Duration checkpoint_interval_ = Duration::Zero();
+  SimTime last_checkpoint_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_JOURNAL_SERVER_H_

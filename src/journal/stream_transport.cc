@@ -1,0 +1,77 @@
+#include "src/journal/stream_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fremont {
+
+ByteBuffer StreamFramer::Frame(const ByteBuffer& message) {
+  ByteWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(message.size()));
+  writer.WriteBytes(message);
+  return writer.TakeBuffer();
+}
+
+bool StreamFramer::Feed(const uint8_t* data, size_t len) {
+  if (!ok_) {
+    return false;
+  }
+  buffer_.insert(buffer_.end(), data, data + len);
+  while (buffer_.size() >= 4) {
+    const uint32_t length = static_cast<uint32_t>(buffer_[0]) << 24 |
+                            static_cast<uint32_t>(buffer_[1]) << 16 |
+                            static_cast<uint32_t>(buffer_[2]) << 8 |
+                            static_cast<uint32_t>(buffer_[3]);
+    if (length > kMaxMessage) {
+      ok_ = false;  // Desynchronized or hostile peer.
+      return false;
+    }
+    if (buffer_.size() < 4u + length) {
+      break;  // Wait for more bytes.
+    }
+    messages_.emplace_back(buffer_.begin() + 4, buffer_.begin() + 4 + length);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + length);
+  }
+  return true;
+}
+
+ByteBuffer StreamFramer::NextMessage() {
+  ByteBuffer message = std::move(messages_.front());
+  messages_.pop_front();
+  return message;
+}
+
+bool StreamConnection::Receive(const ByteBuffer& chunk) {
+  if (!inbound_.Feed(chunk)) {
+    return false;
+  }
+  while (inbound_.HasMessage()) {
+    const ByteBuffer response = server_->HandleRequest(inbound_.NextMessage());
+    const ByteBuffer framed = StreamFramer::Frame(response);
+    output_.insert(output_.end(), framed.begin(), framed.end());
+  }
+  return true;
+}
+
+ByteBuffer StreamConnection::TakeOutput() { return std::exchange(output_, {}); }
+
+JournalClient::Transport StreamConnection::MakeTransport(size_t chunk_size) {
+  return [this, chunk_size](const ByteBuffer& request) -> ByteBuffer {
+    const ByteBuffer framed = StreamFramer::Frame(request);
+    // Deliver in small chunks, as a real stream would.
+    for (size_t offset = 0; offset < framed.size(); offset += chunk_size) {
+      const size_t n = std::min(chunk_size, framed.size() - offset);
+      Receive(ByteBuffer(framed.begin() + static_cast<long>(offset),
+                         framed.begin() + static_cast<long>(offset + n)));
+    }
+    // Reassemble the response from the framed output stream.
+    StreamFramer response_framer;
+    response_framer.Feed(TakeOutput());
+    if (!response_framer.HasMessage()) {
+      return {};
+    }
+    return response_framer.NextMessage();
+  };
+}
+
+}  // namespace fremont

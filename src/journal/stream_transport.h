@@ -1,0 +1,82 @@
+// Byte-stream framing for the Journal protocol.
+//
+// The 1993 modules spoke to the Journal Server over BSD stream sockets,
+// where message boundaries are the application's problem. This framer is
+// that layer: each message travels as a 4-byte big-endian length prefix plus
+// payload. The decoder accepts arbitrary partial chunks (as read(2)
+// delivers them) and emits complete messages; oversized or torn frames are
+// surfaced as errors rather than silently mis-parsed.
+//
+// StreamConnection glues a framer pair to a JournalServer, giving tests and
+// tools a faithful socket-like request/response channel without a kernel.
+
+#ifndef SRC_JOURNAL_STREAM_TRANSPORT_H_
+#define SRC_JOURNAL_STREAM_TRANSPORT_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+
+namespace fremont {
+
+class StreamFramer {
+ public:
+  // Frames a message for transmission.
+  static ByteBuffer Frame(const ByteBuffer& message);
+
+  // Maximum accepted message size; a larger length prefix poisons the
+  // framer (a desynchronized or hostile stream).
+  static constexpr uint32_t kMaxMessage = 16 * 1024 * 1024;
+
+  // Feeds arbitrary received bytes; complete messages are appended to the
+  // internal queue. Returns false (and poisons the framer) on a frame whose
+  // declared length exceeds kMaxMessage.
+  bool Feed(const uint8_t* data, size_t len);
+  bool Feed(const ByteBuffer& chunk) { return Feed(chunk.data(), chunk.size()); }
+
+  // True if at least one complete message is queued.
+  bool HasMessage() const { return !messages_.empty(); }
+  // Pops the oldest complete message (undefined if !HasMessage()).
+  ByteBuffer NextMessage();
+
+  bool ok() const { return ok_; }
+  // Bytes buffered but not yet forming a complete message.
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  ByteBuffer buffer_;
+  std::deque<ByteBuffer> messages_;
+  bool ok_ = true;
+};
+
+// A socket-like connection to a JournalServer: write request bytes in any
+// chunking; framed responses come back through the response callback.
+class StreamConnection {
+ public:
+  explicit StreamConnection(JournalServer* server) : server_(server) {}
+
+  // Feeds bytes "from the client". Every complete request is handled and its
+  // framed response appended to the output stream.
+  bool Receive(const ByteBuffer& chunk);
+
+  // The framed response byte stream produced so far (consumed by the caller).
+  ByteBuffer TakeOutput();
+
+  // Convenience: a JournalClient transport over this connection, chunking
+  // the request into `chunk_size`-byte writes to exercise reassembly.
+  JournalClient::Transport MakeTransport(size_t chunk_size = 7);
+
+  bool ok() const { return inbound_.ok(); }
+
+ private:
+  JournalServer* server_;
+  StreamFramer inbound_;
+  ByteBuffer output_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_JOURNAL_STREAM_TRANSPORT_H_

@@ -1,0 +1,63 @@
+#include "src/manager/correlate.h"
+
+#include <map>
+#include <set>
+
+namespace fremont {
+
+CorrelationReport Correlate(JournalClient& journal, int assumed_prefix) {
+  CorrelationReport report;
+  const auto interfaces = journal.GetInterfaces();
+  const auto subnets = journal.GetSubnets();
+
+  auto subnet_of = [&](const InterfaceRecord& rec) {
+    const SubnetMask mask = rec.mask.value_or(SubnetMask::FromPrefixLength(assumed_prefix));
+    return Subnet(rec.ip, mask);
+  };
+
+  // Group interfaces by MAC.
+  std::map<uint64_t, std::vector<const InterfaceRecord*>> by_mac;
+  for (const auto& rec : interfaces) {
+    if (rec.mac.has_value()) {
+      by_mac[rec.mac->ToU64()].push_back(&rec);
+    }
+    if (!rec.mask.has_value()) {
+      report.interfaces_without_mask.push_back(rec.ip);
+    }
+  }
+
+  for (const auto& [mac, recs] : by_mac) {
+    (void)mac;
+    if (recs.size() < 2) {
+      continue;
+    }
+    std::set<uint32_t> distinct_subnets;
+    for (const auto* rec : recs) {
+      distinct_subnets.insert(subnet_of(*rec).network().value());
+    }
+    if (distinct_subnets.size() >= 2) {
+      // The same physical box answers on multiple subnets: a gateway.
+      GatewayObservation gw;
+      for (const auto* rec : recs) {
+        gw.interface_ips.push_back(rec->ip);
+        gw.connected_subnets.push_back(subnet_of(*rec));
+        if (gw.name.empty() && !rec->dns_name.empty()) {
+          gw.name = rec->dns_name;
+        }
+      }
+      journal.StoreGateway(gw, DiscoverySource::kManual);
+      ++report.gateways_inferred_from_mac;
+    } else {
+      ++report.same_subnet_multi_ip_macs;
+    }
+  }
+
+  for (const auto& rec : subnets) {
+    if (rec.gateway_ids.empty()) {
+      report.subnets_without_gateway.push_back(rec.subnet);
+    }
+  }
+  return report;
+}
+
+}  // namespace fremont

@@ -1,0 +1,38 @@
+// Cross-correlation over the Journal.
+//
+// "The fact that the same Ethernet address is observed by two ARP modules
+// running on different subnets is not significant until that information is
+// written into the Journal. Only then, because of the common storage, can
+// that gateway be discovered." This pass performs that inference and
+// produces directives for further discovery:
+//
+//   * One MAC with IP addresses on two or more *different* subnets → the
+//     interfaces belong to one gateway; a GatewayObservation merges them.
+//   * One MAC with several IPs on the *same* subnet → a reconfigured host or
+//     a proxy-ARP device; reported, not merged.
+//   * Subnets with no known gateway → traceroute targets.
+//   * Interfaces with no recorded mask → subnet-mask module targets.
+
+#ifndef SRC_MANAGER_CORRELATE_H_
+#define SRC_MANAGER_CORRELATE_H_
+
+#include <vector>
+
+#include "src/journal/client.h"
+
+namespace fremont {
+
+struct CorrelationReport {
+  int gateways_inferred_from_mac = 0;
+  int same_subnet_multi_ip_macs = 0;  // Reconfig / proxy-ARP candidates.
+  std::vector<Subnet> subnets_without_gateway;
+  std::vector<Ipv4Address> interfaces_without_mask;
+};
+
+// Reads the Journal, writes inferred gateways back, returns directives.
+// `assumed_prefix` is used when an interface has no recorded mask yet.
+CorrelationReport Correlate(JournalClient& journal, int assumed_prefix = 24);
+
+}  // namespace fremont
+
+#endif  // SRC_MANAGER_CORRELATE_H_

@@ -1,0 +1,122 @@
+#include "src/manager/discovery_manager.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace fremont {
+
+DiscoveryManager::DiscoveryManager(EventQueue* events, JournalClient* journal)
+    : events_(events), journal_(journal) {}
+
+void DiscoveryManager::RegisterModule(ModuleRegistration registration) {
+  ModuleState state;
+  state.schedule.name = registration.name;
+  state.schedule.min_interval = registration.min_interval;
+  state.schedule.max_interval = registration.max_interval;
+  state.schedule.current_interval = registration.min_interval;
+  state.registration = std::move(registration);
+  modules_.push_back(std::move(state));
+}
+
+void DiscoveryManager::RestoreSchedule(const std::vector<ModuleSchedule>& history) {
+  for (auto& state : modules_) {
+    for (const auto& restored : history) {
+      if (restored.name == state.schedule.name) {
+        state.schedule = restored;
+        // A last_run in the future means the history came from a different
+        // clock epoch (e.g. the machine's clock was set back); treat the
+        // module as never run rather than deferring it indefinitely.
+        if (state.schedule.last_run > events_->Now()) {
+          state.schedule.ever_run = false;
+          state.schedule.last_run = SimTime::Epoch();
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::vector<ModuleSchedule> DiscoveryManager::ExportSchedule() const {
+  std::vector<ModuleSchedule> out;
+  out.reserve(modules_.size());
+  for (const auto& state : modules_) {
+    out.push_back(state.schedule);
+  }
+  return out;
+}
+
+SimTime DiscoveryManager::NextDue() const {
+  SimTime earliest = SimTime::FromMicros(INT64_MAX);
+  for (const auto& state : modules_) {
+    earliest = std::min(earliest, state.schedule.NextDue());
+  }
+  return earliest;
+}
+
+void DiscoveryManager::RunModule(ModuleState& state, std::vector<ExplorerReport>* reports) {
+  FLOG(kInfo) << "manager: running " << state.schedule.name << " at "
+              << events_->Now().ToString();
+  JournalStats before{};
+  if (journal_ != nullptr) {
+    before = journal_->GetStats();
+  }
+  ExplorerReport report = state.registration.run();
+  reports->push_back(report);
+  ++state.runs;
+  if (journal_ != nullptr) {
+    const JournalStats after = journal_->GetStats();
+    state.last_journal_growth =
+        static_cast<int>(after.interface_count - before.interface_count) +
+        static_cast<int>(after.gateway_count - before.gateway_count) +
+        static_cast<int>(after.subnet_count - before.subnet_count);
+  }
+
+  // Fruitfulness-based interval adaptation, driven by *new* information
+  // (created or changed records). Re-verifying what the Journal already
+  // knows is the paper's "that was true before the module was last invoked"
+  // case: it must not shorten the interval.
+  ModuleSchedule& sched = state.schedule;
+  if (report.new_info > 0) {
+    sched.current_interval = std::max(sched.min_interval, sched.current_interval / 2);
+  } else {
+    sched.current_interval = std::min(sched.max_interval, sched.current_interval * 2);
+  }
+  sched.last_discovered = report.discovered;
+  sched.last_run = events_->Now();
+  sched.ever_run = true;
+}
+
+std::vector<ExplorerReport> DiscoveryManager::Tick() {
+  std::vector<ExplorerReport> reports;
+  const SimTime now = events_->Now();
+  for (auto& state : modules_) {
+    if (state.schedule.NextDue() <= now) {
+      RunModule(state, &reports);
+    }
+  }
+  return reports;
+}
+
+std::vector<ExplorerReport> DiscoveryManager::RunUntil(SimTime deadline) {
+  std::vector<ExplorerReport> reports;
+  while (true) {
+    const SimTime due = NextDue();
+    if (due > deadline) {
+      // Nothing more scheduled inside the window; let the network idle on.
+      events_->RunUntil(deadline);
+      break;
+    }
+    if (due > events_->Now()) {
+      events_->RunUntil(due);
+    }
+    auto batch = Tick();
+    reports.insert(reports.end(), batch.begin(), batch.end());
+    if (events_->Now() >= deadline) {
+      break;
+    }
+  }
+  return reports;
+}
+
+}  // namespace fremont

@@ -1,0 +1,79 @@
+// Discovery Manager: decides what to collect and which Explorer Modules to
+// invoke, adapting each module's invocation interval to how fruitful its
+// last run was.
+//
+// Adaptation rule (paper: "if the Discovery Manager sees that 20 of 400
+// interfaces recorded in the Journal do not have subnet masks and that this
+// was true before the module was last invoked, then the Discovery Manager
+// will not shorten the interval until the next invocation"): a run that
+// discovers more than the previous run halves the interval (floored at the
+// module's minimum); a run that discovers nothing new doubles it (capped at
+// the maximum). "This ensures that the resulting exploration effort is as
+// fruitful as possible."
+
+#ifndef SRC_MANAGER_DISCOVERY_MANAGER_H_
+#define SRC_MANAGER_DISCOVERY_MANAGER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/explorer/explorer.h"
+#include "src/journal/client.h"
+#include "src/manager/schedule.h"
+#include "src/sim/event_queue.h"
+
+namespace fremont {
+
+struct ModuleRegistration {
+  std::string name;
+  Duration min_interval;
+  Duration max_interval;
+  // Invokes the module; the runner drives the event queue itself.
+  std::function<ExplorerReport()> run;
+};
+
+class DiscoveryManager {
+ public:
+  DiscoveryManager(EventQueue* events, JournalClient* journal);
+
+  // Registers a module; if `restored` carries history for this name (from
+  // the startup/history file), it seeds the schedule.
+  void RegisterModule(ModuleRegistration registration);
+  void RestoreSchedule(const std::vector<ModuleSchedule>& history);
+  std::vector<ModuleSchedule> ExportSchedule() const;
+
+  // Runs every currently due module once. Returns their reports.
+  std::vector<ExplorerReport> Tick();
+
+  // Runs the scheduling loop until `deadline`: advances simulated time to
+  // each next-due instant and ticks. Returns all reports.
+  std::vector<ExplorerReport> RunUntil(SimTime deadline);
+  std::vector<ExplorerReport> RunFor(Duration duration) {
+    return RunUntil(events_->Now() + duration);
+  }
+
+  // Earliest next-due time across modules (Epoch if something is due now).
+  SimTime NextDue() const;
+
+  struct ModuleState {
+    ModuleRegistration registration;
+    ModuleSchedule schedule;
+    int runs = 0;
+    // Journal growth attributable to the module's last run (records of any
+    // kind created), measured through the manager's JournalClient.
+    int last_journal_growth = 0;
+  };
+  const std::vector<ModuleState>& modules() const { return modules_; }
+
+ private:
+  void RunModule(ModuleState& state, std::vector<ExplorerReport>* reports);
+
+  EventQueue* events_;
+  JournalClient* journal_;
+  std::vector<ModuleState> modules_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_MANAGER_DISCOVERY_MANAGER_H_

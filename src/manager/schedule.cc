@@ -1,0 +1,143 @@
+#include "src/manager/schedule.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+std::optional<Duration> ParseScheduleDuration(const std::string& text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  char suffix = text.back();
+  std::string digits = text;
+  int64_t multiplier = 1;  // Seconds by default.
+  if (suffix == 's' || suffix == 'm' || suffix == 'h' || suffix == 'd') {
+    digits = text.substr(0, text.size() - 1);
+    switch (suffix) {
+      case 's':
+        multiplier = 1;
+        break;
+      case 'm':
+        multiplier = 60;
+        break;
+      case 'h':
+        multiplier = 3600;
+        break;
+      case 'd':
+        multiplier = 86400;
+        break;
+    }
+  }
+  if (digits.empty()) {
+    return std::nullopt;
+  }
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+  }
+  return Duration::Seconds(std::atoll(digits.c_str()) * multiplier);
+}
+
+std::string FormatScheduleDuration(Duration d) {
+  const int64_t seconds = d.ToSeconds();
+  if (seconds % 86400 == 0 && seconds != 0) {
+    return std::to_string(seconds / 86400) + "d";
+  }
+  if (seconds % 3600 == 0 && seconds != 0) {
+    return std::to_string(seconds / 3600) + "h";
+  }
+  if (seconds % 60 == 0 && seconds != 0) {
+    return std::to_string(seconds / 60) + "m";
+  }
+  return std::to_string(seconds) + "s";
+}
+
+std::string FormatScheduleFile(const std::vector<ModuleSchedule>& modules) {
+  std::string out = "# Fremont Discovery Manager startup/history file\n";
+  for (const auto& m : modules) {
+    out += StringPrintf("module %s min %s max %s interval %s last_run %lld ever_run %d "
+                        "last_discovered %d\n",
+                        m.name.c_str(), FormatScheduleDuration(m.min_interval).c_str(),
+                        FormatScheduleDuration(m.max_interval).c_str(),
+                        FormatScheduleDuration(m.current_interval).c_str(),
+                        static_cast<long long>(m.last_run.ToMicros()), m.ever_run ? 1 : 0,
+                        m.last_discovered);
+  }
+  return out;
+}
+
+std::optional<std::vector<ModuleSchedule>> ParseScheduleFile(const std::string& text) {
+  std::vector<ModuleSchedule> modules;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    std::istringstream fields{std::string(trimmed)};
+    std::string keyword;
+    fields >> keyword;
+    if (keyword != "module") {
+      return std::nullopt;
+    }
+    ModuleSchedule m;
+    fields >> m.name;
+    std::string key, value;
+    bool ok = !m.name.empty();
+    while (ok && fields >> key >> value) {
+      if (key == "min" || key == "max" || key == "interval") {
+        auto d = ParseScheduleDuration(value);
+        if (!d.has_value()) {
+          ok = false;
+          break;
+        }
+        if (key == "min") {
+          m.min_interval = *d;
+        } else if (key == "max") {
+          m.max_interval = *d;
+        } else {
+          m.current_interval = *d;
+        }
+      } else if (key == "last_run") {
+        m.last_run = SimTime::FromMicros(std::atoll(value.c_str()));
+      } else if (key == "ever_run") {
+        m.ever_run = value == "1";
+      } else if (key == "last_discovered") {
+        m.last_discovered = std::atoi(value.c_str());
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      return std::nullopt;
+    }
+    modules.push_back(std::move(m));
+  }
+  return modules;
+}
+
+bool SaveScheduleFile(const std::string& path, const std::vector<ModuleSchedule>& modules) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << FormatScheduleFile(modules);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<ModuleSchedule>> LoadScheduleFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return ParseScheduleFile(text);
+}
+
+}  // namespace fremont

@@ -1,0 +1,50 @@
+// Discovery Manager startup/history file.
+//
+// The manager "initializes itself by reading a startup/history file
+// containing ... the command name, invocation frequency, and information
+// about recent runs for each Explorer Module", and updates it as modules
+// run. The format is line-oriented text, one module per line:
+//
+//   module <name> min <dur> max <dur> interval <dur> last_run <us>
+//       ever_run <0|1> last_discovered <n>     (one logical line per module)
+//
+// Durations use suffix notation: 90s, 30m, 2h, 1d.
+
+#ifndef SRC_MANAGER_SCHEDULE_H_
+#define SRC_MANAGER_SCHEDULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace fremont {
+
+struct ModuleSchedule {
+  std::string name;
+  Duration min_interval = Duration::Hours(2);
+  Duration max_interval = Duration::Days(7);
+  Duration current_interval = Duration::Hours(2);
+  SimTime last_run;
+  bool ever_run = false;
+  int last_discovered = 0;
+
+  SimTime NextDue() const {
+    return ever_run ? last_run + current_interval : SimTime::Epoch();
+  }
+};
+
+// "90s" / "30m" / "2h" / "1d" (plain integers are seconds).
+std::optional<Duration> ParseScheduleDuration(const std::string& text);
+std::string FormatScheduleDuration(Duration d);
+
+std::string FormatScheduleFile(const std::vector<ModuleSchedule>& modules);
+std::optional<std::vector<ModuleSchedule>> ParseScheduleFile(const std::string& text);
+
+bool SaveScheduleFile(const std::string& path, const std::vector<ModuleSchedule>& modules);
+std::optional<std::vector<ModuleSchedule>> LoadScheduleFile(const std::string& path);
+
+}  // namespace fremont
+
+#endif  // SRC_MANAGER_SCHEDULE_H_

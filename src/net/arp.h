@@ -1,0 +1,33 @@
+// Address Resolution Protocol (RFC 826) codec for Ethernet/IPv4.
+
+#ifndef SRC_NET_ARP_H_
+#define SRC_NET_ARP_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/net/ipv4_address.h"
+#include "src/net/mac_address.h"
+#include "src/util/bytes.h"
+
+namespace fremont {
+
+enum class ArpOp : uint16_t {
+  kRequest = 1,
+  kReply = 2,
+};
+
+struct ArpPacket {
+  ArpOp op = ArpOp::kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;  // Zero in requests.
+  Ipv4Address target_ip;
+
+  ByteBuffer Encode() const;
+  static std::optional<ArpPacket> Decode(const ByteBuffer& bytes);
+};
+
+}  // namespace fremont
+
+#endif  // SRC_NET_ARP_H_

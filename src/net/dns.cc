@@ -1,0 +1,302 @@
+#include "src/net/dns.h"
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+namespace {
+
+constexpr uint16_t kClassIn = 1;
+constexpr uint8_t kCompressionMask = 0xc0;
+
+void EncodeName(ByteWriter& writer, const std::string& name) {
+  if (!name.empty()) {
+    for (const auto& label : SplitString(name, '.')) {
+      size_t len = label.size() < 63 ? label.size() : 63;
+      writer.WriteU8(static_cast<uint8_t>(len));
+      writer.WriteBytes(reinterpret_cast<const uint8_t*>(label.data()), len);
+    }
+  }
+  writer.WriteU8(0);  // Root label.
+}
+
+// Decodes a possibly-compressed name starting at reader's position within
+// `full`. Compression pointers may jump anywhere earlier in the message.
+std::optional<std::string> DecodeName(ByteReader& reader, const ByteBuffer& full) {
+  std::string name;
+  int jumps = 0;
+  size_t pos = reader.position();
+  bool jumped = false;
+  while (true) {
+    if (pos >= full.size() || jumps > 32) {
+      return std::nullopt;
+    }
+    uint8_t len = full[pos];
+    if ((len & kCompressionMask) == kCompressionMask) {
+      if (pos + 1 >= full.size()) {
+        return std::nullopt;
+      }
+      uint16_t target = static_cast<uint16_t>((len & 0x3f) << 8 | full[pos + 1]);
+      if (!jumped) {
+        reader.Skip(pos + 2 - reader.position());
+        jumped = true;
+      }
+      pos = target;
+      ++jumps;
+      continue;
+    }
+    if (len == 0) {
+      if (!jumped) {
+        reader.Skip(pos + 1 - reader.position());
+      }
+      return name;
+    }
+    if ((len & kCompressionMask) != 0 || pos + 1 + len > full.size()) {
+      return std::nullopt;
+    }
+    if (!name.empty()) {
+      name.push_back('.');
+    }
+    name.append(reinterpret_cast<const char*>(full.data() + pos + 1), len);
+    pos += 1 + static_cast<size_t>(len);
+  }
+}
+
+void EncodeRecord(ByteWriter& writer, const DnsResourceRecord& rr) {
+  EncodeName(writer, rr.name);
+  writer.WriteU16(static_cast<uint16_t>(rr.type));
+  writer.WriteU16(kClassIn);
+  writer.WriteU32(rr.ttl);
+  const size_t rdlength_offset = writer.size();
+  writer.WriteU16(0);
+  const size_t rdata_start = writer.size();
+  switch (rr.type) {
+    case DnsType::kA:
+      writer.WriteU32(rr.address.value());
+      break;
+    case DnsType::kNs:
+    case DnsType::kCname:
+    case DnsType::kPtr:
+      EncodeName(writer, rr.target_name);
+      break;
+    case DnsType::kHinfo: {
+      size_t cpu_len = rr.hinfo_cpu.size() < 255 ? rr.hinfo_cpu.size() : 255;
+      writer.WriteU8(static_cast<uint8_t>(cpu_len));
+      writer.WriteBytes(reinterpret_cast<const uint8_t*>(rr.hinfo_cpu.data()), cpu_len);
+      size_t os_len = rr.hinfo_os.size() < 255 ? rr.hinfo_os.size() : 255;
+      writer.WriteU8(static_cast<uint8_t>(os_len));
+      writer.WriteBytes(reinterpret_cast<const uint8_t*>(rr.hinfo_os.data()), os_len);
+      break;
+    }
+    default:
+      writer.WriteBytes(rr.raw_rdata);
+      break;
+  }
+  writer.PatchU16(rdlength_offset, static_cast<uint16_t>(writer.size() - rdata_start));
+}
+
+std::optional<DnsResourceRecord> DecodeRecord(ByteReader& reader, const ByteBuffer& full) {
+  DnsResourceRecord rr;
+  auto name = DecodeName(reader, full);
+  if (!name.has_value()) {
+    return std::nullopt;
+  }
+  rr.name = ToLowerAscii(*name);
+  rr.type = static_cast<DnsType>(reader.ReadU16());
+  uint16_t rr_class = reader.ReadU16();
+  rr.ttl = reader.ReadU32();
+  uint16_t rdlength = reader.ReadU16();
+  if (!reader.ok() || rr_class != kClassIn || rdlength > reader.remaining()) {
+    return std::nullopt;
+  }
+  const size_t rdata_end = reader.position() + rdlength;
+  switch (rr.type) {
+    case DnsType::kA:
+      if (rdlength != 4) {
+        return std::nullopt;
+      }
+      rr.address = Ipv4Address(reader.ReadU32());
+      break;
+    case DnsType::kNs:
+    case DnsType::kCname:
+    case DnsType::kPtr: {
+      auto target = DecodeName(reader, full);
+      if (!target.has_value()) {
+        return std::nullopt;
+      }
+      rr.target_name = ToLowerAscii(*target);
+      break;
+    }
+    case DnsType::kHinfo: {
+      uint8_t cpu_len = reader.ReadU8();
+      ByteBuffer cpu = reader.ReadBytes(cpu_len);
+      uint8_t os_len = reader.ReadU8();
+      ByteBuffer os = reader.ReadBytes(os_len);
+      if (!reader.ok()) {
+        return std::nullopt;
+      }
+      rr.hinfo_cpu.assign(cpu.begin(), cpu.end());
+      rr.hinfo_os.assign(os.begin(), os.end());
+      break;
+    }
+    default:
+      rr.raw_rdata = reader.ReadBytes(rdlength);
+      break;
+  }
+  if (!reader.ok() || reader.position() > rdata_end) {
+    return std::nullopt;
+  }
+  reader.Skip(rdata_end - reader.position());
+  return rr;
+}
+
+}  // namespace
+
+DnsResourceRecord DnsResourceRecord::MakeA(std::string name, Ipv4Address addr, uint32_t ttl) {
+  DnsResourceRecord rr;
+  rr.name = ToLowerAscii(name);
+  rr.type = DnsType::kA;
+  rr.ttl = ttl;
+  rr.address = addr;
+  return rr;
+}
+
+DnsResourceRecord DnsResourceRecord::MakePtr(std::string name, std::string target, uint32_t ttl) {
+  DnsResourceRecord rr;
+  rr.name = ToLowerAscii(name);
+  rr.type = DnsType::kPtr;
+  rr.ttl = ttl;
+  rr.target_name = ToLowerAscii(target);
+  return rr;
+}
+
+DnsResourceRecord DnsResourceRecord::MakeNs(std::string zone, std::string server, uint32_t ttl) {
+  DnsResourceRecord rr;
+  rr.name = ToLowerAscii(zone);
+  rr.type = DnsType::kNs;
+  rr.ttl = ttl;
+  rr.target_name = ToLowerAscii(server);
+  return rr;
+}
+
+DnsResourceRecord DnsResourceRecord::MakeCname(std::string alias, std::string canonical,
+                                               uint32_t ttl) {
+  DnsResourceRecord rr;
+  rr.name = ToLowerAscii(alias);
+  rr.type = DnsType::kCname;
+  rr.ttl = ttl;
+  rr.target_name = ToLowerAscii(canonical);
+  return rr;
+}
+
+DnsResourceRecord DnsResourceRecord::MakeHinfo(std::string name, std::string cpu, std::string os,
+                                               uint32_t ttl) {
+  DnsResourceRecord rr;
+  rr.name = ToLowerAscii(name);
+  rr.type = DnsType::kHinfo;
+  rr.ttl = ttl;
+  rr.hinfo_cpu = std::move(cpu);
+  rr.hinfo_os = std::move(os);
+  return rr;
+}
+
+ByteBuffer DnsMessage::Encode() const {
+  ByteWriter writer;
+  writer.WriteU16(id);
+  uint16_t flags = 0;
+  if (is_response) {
+    flags |= 0x8000;
+  }
+  if (authoritative) {
+    flags |= 0x0400;
+  }
+  flags |= static_cast<uint16_t>(rcode);
+  writer.WriteU16(flags);
+  writer.WriteU16(static_cast<uint16_t>(questions.size()));
+  writer.WriteU16(static_cast<uint16_t>(answers.size()));
+  writer.WriteU16(static_cast<uint16_t>(authority.size()));
+  writer.WriteU16(static_cast<uint16_t>(additional.size()));
+  for (const auto& q : questions) {
+    EncodeName(writer, q.name);
+    writer.WriteU16(static_cast<uint16_t>(q.qtype));
+    writer.WriteU16(kClassIn);
+  }
+  for (const auto& rr : answers) {
+    EncodeRecord(writer, rr);
+  }
+  for (const auto& rr : authority) {
+    EncodeRecord(writer, rr);
+  }
+  for (const auto& rr : additional) {
+    EncodeRecord(writer, rr);
+  }
+  return writer.TakeBuffer();
+}
+
+std::optional<DnsMessage> DnsMessage::Decode(const ByteBuffer& bytes) {
+  ByteReader reader(bytes);
+  DnsMessage msg;
+  msg.id = reader.ReadU16();
+  uint16_t flags = reader.ReadU16();
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.authoritative = (flags & 0x0400) != 0;
+  msg.rcode = static_cast<DnsRcode>(flags & 0x000f);
+  uint16_t qdcount = reader.ReadU16();
+  uint16_t ancount = reader.ReadU16();
+  uint16_t nscount = reader.ReadU16();
+  uint16_t arcount = reader.ReadU16();
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  for (uint16_t i = 0; i < qdcount; ++i) {
+    auto name = DecodeName(reader, bytes);
+    if (!name.has_value()) {
+      return std::nullopt;
+    }
+    DnsQuestion q;
+    q.name = ToLowerAscii(*name);
+    q.qtype = static_cast<DnsType>(reader.ReadU16());
+    uint16_t q_class = reader.ReadU16();
+    if (!reader.ok() || q_class != kClassIn) {
+      return std::nullopt;
+    }
+    msg.questions.push_back(std::move(q));
+  }
+  auto decode_section = [&](uint16_t count, std::vector<DnsResourceRecord>* out) -> bool {
+    for (uint16_t i = 0; i < count; ++i) {
+      auto rr = DecodeRecord(reader, bytes);
+      if (!rr.has_value()) {
+        return false;
+      }
+      out->push_back(std::move(*rr));
+    }
+    return true;
+  };
+  if (!decode_section(ancount, &msg.answers) || !decode_section(nscount, &msg.authority) ||
+      !decode_section(arcount, &msg.additional)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+std::string ReverseDomainName(Ipv4Address address) {
+  uint32_t v = address.value();
+  return StringPrintf("%u.%u.%u.%u.in-addr.arpa", v & 0xff, (v >> 8) & 0xff, (v >> 16) & 0xff,
+                      v >> 24);
+}
+
+std::optional<Ipv4Address> ParseReverseDomainName(const std::string& name) {
+  constexpr std::string_view kSuffix = ".in-addr.arpa";
+  if (!EndsWithIgnoreCase(name, kSuffix)) {
+    return std::nullopt;
+  }
+  std::string prefix = name.substr(0, name.size() - kSuffix.size());
+  auto parts = SplitString(prefix, '.');
+  if (parts.size() != 4) {
+    return std::nullopt;
+  }
+  // Octets are in reversed order.
+  std::string forward = parts[3] + "." + parts[2] + "." + parts[1] + "." + parts[0];
+  return Ipv4Address::Parse(forward);
+}
+
+}  // namespace fremont

@@ -1,0 +1,98 @@
+// DNS message codec (RFC 1035 subset).
+//
+// Fremont's DNS Explorer Module walks a network's forward and reverse
+// ("in-addr.arpa") trees via zone transfers and infers gateways from naming
+// patterns. This codec supports the record types the 1993 prototype consumed:
+// A, NS, CNAME, PTR, HINFO, and WKS (the paper discusses why WKS data is
+// notoriously stale), plus the AXFR query type used for zone transfers.
+// Decoding understands RFC 1035 name-compression pointers; encoding emits
+// uncompressed names.
+
+#ifndef SRC_NET_DNS_H_
+#define SRC_NET_DNS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/ipv4_address.h"
+#include "src/util/bytes.h"
+
+namespace fremont {
+
+enum class DnsType : uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kWks = 11,
+  kPtr = 12,
+  kHinfo = 13,
+  kAxfr = 252,  // Query type only.
+};
+
+enum class DnsRcode : uint8_t {
+  kNoError = 0,
+  kFormatError = 1,
+  kServerFailure = 2,
+  kNameError = 3,    // NXDOMAIN.
+  kNotImplemented = 4,
+  kRefused = 5,
+};
+
+struct DnsQuestion {
+  std::string name;  // Dotted, lower-case, no trailing dot.
+  DnsType qtype = DnsType::kA;
+};
+
+struct DnsResourceRecord {
+  std::string name;
+  DnsType type = DnsType::kA;
+  uint32_t ttl = 86400;
+
+  // Typed rdata. Which member is meaningful depends on `type`:
+  //   kA                      → address
+  //   kNs / kCname / kPtr     → target_name
+  //   kHinfo                  → hinfo_cpu, hinfo_os
+  //   kWks / kSoa / others    → raw_rdata
+  Ipv4Address address;
+  std::string target_name;
+  std::string hinfo_cpu;
+  std::string hinfo_os;
+  ByteBuffer raw_rdata;
+
+  static DnsResourceRecord MakeA(std::string name, Ipv4Address addr, uint32_t ttl = 86400);
+  static DnsResourceRecord MakePtr(std::string name, std::string target, uint32_t ttl = 86400);
+  static DnsResourceRecord MakeNs(std::string zone, std::string server, uint32_t ttl = 86400);
+  static DnsResourceRecord MakeCname(std::string alias, std::string canonical,
+                                     uint32_t ttl = 86400);
+  static DnsResourceRecord MakeHinfo(std::string name, std::string cpu, std::string os,
+                                     uint32_t ttl = 86400);
+};
+
+struct DnsMessage {
+  uint16_t id = 0;
+  bool is_response = false;
+  bool authoritative = false;
+  DnsRcode rcode = DnsRcode::kNoError;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsResourceRecord> answers;
+  std::vector<DnsResourceRecord> authority;
+  std::vector<DnsResourceRecord> additional;
+
+  ByteBuffer Encode() const;
+  static std::optional<DnsMessage> Decode(const ByteBuffer& bytes);
+};
+
+// Reverse-domain name for an address, e.g. 128.138.238.1 →
+// "1.238.138.128.in-addr.arpa".
+std::string ReverseDomainName(Ipv4Address address);
+
+// Parses a reverse-domain name back into an address; nullopt if `name` is
+// not a full 4-octet in-addr.arpa name.
+std::optional<Ipv4Address> ParseReverseDomainName(const std::string& name);
+
+}  // namespace fremont
+
+#endif  // SRC_NET_DNS_H_

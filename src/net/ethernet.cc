@@ -1,0 +1,33 @@
+#include "src/net/ethernet.h"
+
+namespace fremont {
+
+ByteBuffer EthernetFrame::Encode() const {
+  ByteWriter writer;
+  writer.WriteBytes(dst.octets().data(), 6);
+  writer.WriteBytes(src.octets().data(), 6);
+  writer.WriteU16(static_cast<uint16_t>(ethertype));
+  writer.WriteBytes(payload);
+  return writer.TakeBuffer();
+}
+
+std::optional<EthernetFrame> EthernetFrame::Decode(const ByteBuffer& bytes) {
+  ByteReader reader(bytes);
+  EthernetFrame frame;
+  ByteBuffer dst = reader.ReadBytes(6);
+  ByteBuffer src = reader.ReadBytes(6);
+  uint16_t ethertype = reader.ReadU16();
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  std::array<uint8_t, 6> octets;
+  std::copy(dst.begin(), dst.end(), octets.begin());
+  frame.dst = MacAddress(octets);
+  std::copy(src.begin(), src.end(), octets.begin());
+  frame.src = MacAddress(octets);
+  frame.ethertype = static_cast<EtherType>(ethertype);
+  frame.payload = reader.PeekRemaining();
+  return frame;
+}
+
+}  // namespace fremont

@@ -1,0 +1,32 @@
+// Ethernet II frame codec.
+
+#ifndef SRC_NET_ETHERNET_H_
+#define SRC_NET_ETHERNET_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/net/mac_address.h"
+#include "src/util/bytes.h"
+
+namespace fremont {
+
+// EtherType values used by the Fremont protocols.
+enum class EtherType : uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  EtherType ethertype = EtherType::kIpv4;
+  ByteBuffer payload;
+
+  ByteBuffer Encode() const;
+  static std::optional<EthernetFrame> Decode(const ByteBuffer& bytes);
+};
+
+}  // namespace fremont
+
+#endif  // SRC_NET_ETHERNET_H_

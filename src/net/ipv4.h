@@ -1,0 +1,46 @@
+// IPv4 packet codec (RFC 791), including header checksum.
+//
+// TTL handling is central to Fremont: the Traceroute Explorer Module drives
+// discovery entirely off routers decrementing this field and emitting ICMP
+// Time Exceeded messages, and the broadcast-ping module sends minimal-TTL
+// directed broadcasts to avoid storms.
+
+#ifndef SRC_NET_IPV4_H_
+#define SRC_NET_IPV4_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/net/ipv4_address.h"
+#include "src/util/bytes.h"
+
+namespace fremont {
+
+enum class IpProtocol : uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Packet {
+  // Header fields (version/IHL fixed at 4/5; no options).
+  uint8_t tos = 0;
+  uint16_t identification = 0;
+  uint8_t ttl = 64;
+  IpProtocol protocol = IpProtocol::kUdp;
+  Ipv4Address src;
+  Ipv4Address dst;
+  ByteBuffer payload;
+
+  // Encodes with a correct header checksum.
+  ByteBuffer Encode() const;
+  // Decodes and verifies the header checksum; nullopt on corruption.
+  static std::optional<Ipv4Packet> Decode(const ByteBuffer& bytes);
+
+  // Header length in bytes (no options supported).
+  static constexpr size_t kHeaderLength = 20;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_NET_IPV4_H_

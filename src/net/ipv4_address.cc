@@ -1,0 +1,139 @@
+#include "src/net/ipv4_address.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  auto parts = SplitString(text, '.');
+  if (parts.size() != 4) {
+    return std::nullopt;
+  }
+  uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) {
+      return std::nullopt;
+    }
+    unsigned octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') {
+        return std::nullopt;
+      }
+      octet = octet * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (octet > 255) {
+      return std::nullopt;
+    }
+    value = value << 8 | octet;
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", value_ >> 24, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+char Ipv4Address::AddressClass() const {
+  const uint8_t first = static_cast<uint8_t>(value_ >> 24);
+  if ((first & 0x80) == 0) {
+    return 'A';
+  }
+  if ((first & 0xc0) == 0x80) {
+    return 'B';
+  }
+  if ((first & 0xe0) == 0xc0) {
+    return 'C';
+  }
+  if ((first & 0xf0) == 0xe0) {
+    return 'D';
+  }
+  return 'E';
+}
+
+SubnetMask Ipv4Address::NaturalMask() const {
+  switch (AddressClass()) {
+    case 'A':
+      return SubnetMask::FromPrefixLength(8);
+    case 'B':
+      return SubnetMask::FromPrefixLength(16);
+    case 'C':
+      return SubnetMask::FromPrefixLength(24);
+    default:
+      return SubnetMask::FromPrefixLength(32);
+  }
+}
+
+std::optional<SubnetMask> SubnetMask::FromValue(uint32_t value) {
+  // A valid prefix mask, when inverted, is of the form 2^k - 1.
+  uint32_t inverted = ~value;
+  if ((inverted & (inverted + 1)) != 0) {
+    return std::nullopt;
+  }
+  return SubnetMask(value);
+}
+
+std::optional<SubnetMask> SubnetMask::Parse(std::string_view text) {
+  auto address = Ipv4Address::Parse(text);
+  if (!address.has_value()) {
+    return std::nullopt;
+  }
+  return FromValue(address->value());
+}
+
+int SubnetMask::PrefixLength() const {
+  int bits = 0;
+  uint32_t v = value_;
+  while (v & 0x80000000u) {
+    ++bits;
+    v <<= 1;
+  }
+  return bits;
+}
+
+std::string SubnetMask::ToString() const { return Ipv4Address(value_).ToString(); }
+
+std::optional<Subnet> Subnet::Parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return std::nullopt;
+  }
+  auto address = Ipv4Address::Parse(text.substr(0, slash));
+  if (!address.has_value()) {
+    return std::nullopt;
+  }
+  std::string_view len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 2) {
+    return std::nullopt;
+  }
+  int len = std::atoi(std::string(len_text).c_str());
+  if (len < 0 || len > 32) {
+    return std::nullopt;
+  }
+  return Subnet(*address, SubnetMask::FromPrefixLength(len));
+}
+
+uint32_t Subnet::HostCapacity() const {
+  const uint32_t host_bits = 32 - static_cast<uint32_t>(mask_.PrefixLength());
+  if (host_bits == 0) {
+    return 0;  // /32: a single host route, nothing assignable.
+  }
+  if (host_bits == 1) {
+    return 2;  // /31 point-to-point (RFC 3021): both addresses usable.
+  }
+  if (host_bits == 32) {
+    return 0xfffffffeu;  // /0: everything minus network and broadcast.
+  }
+  return (1u << host_bits) - 2;
+}
+
+std::string Subnet::ToString() const {
+  return network_.ToString() + "/" + std::to_string(mask_.PrefixLength());
+}
+
+}  // namespace fremont

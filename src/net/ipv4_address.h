@@ -1,0 +1,135 @@
+// IPv4 addressing: addresses, subnet masks, and subnets.
+//
+// The paper's world is classful IPv4 with subnetting (class B campus network
+// carved into class-C-sized subnets). These types model that: an address
+// knows its classful natural mask, a Subnet pairs an address with a mask and
+// answers the membership / broadcast / host-zero questions the Explorer
+// Modules depend on.
+
+#ifndef SRC_NET_IPV4_ADDRESS_H_
+#define SRC_NET_IPV4_ADDRESS_H_
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fremont {
+
+class SubnetMask;
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : value_(static_cast<uint32_t>(a) << 24 | static_cast<uint32_t>(b) << 16 |
+               static_cast<uint32_t>(c) << 8 | d) {}
+
+  // Parses dotted-quad notation. Returns nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  std::string ToString() const;
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool IsZero() const { return value_ == 0; }
+  // The limited broadcast address 255.255.255.255.
+  constexpr bool IsLimitedBroadcast() const { return value_ == 0xffffffff; }
+
+  // Classful address class: 'A', 'B', 'C', 'D' (multicast), or 'E'.
+  char AddressClass() const;
+  // The natural (classful) mask for this address, e.g. /16 for class B.
+  SubnetMask NaturalMask() const;
+
+  constexpr Ipv4Address operator+(uint32_t offset) const { return Ipv4Address(value_ + offset); }
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  uint32_t value_ = 0;
+};
+
+// A contiguous-prefix subnet mask. Non-contiguous masks are rejected at
+// parse/construction time — the analysis programs treat them as a
+// configuration problem, which is detected elsewhere from raw mask values.
+class SubnetMask {
+ public:
+  constexpr SubnetMask() = default;
+
+  // From prefix length 0..32.
+  static constexpr SubnetMask FromPrefixLength(int bits) {
+    return SubnetMask(bits == 0 ? 0 : 0xffffffffu << (32 - bits));
+  }
+  // From a raw mask value; nullopt if the mask is not a contiguous prefix.
+  static std::optional<SubnetMask> FromValue(uint32_t value);
+  // Parses dotted-quad, e.g. "255.255.255.0".
+  static std::optional<SubnetMask> Parse(std::string_view text);
+
+  constexpr uint32_t value() const { return value_; }
+  int PrefixLength() const;
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const SubnetMask&) const = default;
+
+ private:
+  explicit constexpr SubnetMask(uint32_t value) : value_(value) {}
+  uint32_t value_ = 0;
+};
+
+// An IPv4 subnet: network address + mask.
+class Subnet {
+ public:
+  constexpr Subnet() = default;
+  Subnet(Ipv4Address address, SubnetMask mask)
+      : network_(Ipv4Address(address.value() & mask.value())), mask_(mask) {}
+
+  // Parses "a.b.c.d/len" notation.
+  static std::optional<Subnet> Parse(std::string_view text);
+
+  Ipv4Address network() const { return network_; }
+  SubnetMask mask() const { return mask_; }
+
+  bool Contains(Ipv4Address address) const {
+    return (address.value() & mask_.value()) == network_.value();
+  }
+
+  // The directed broadcast address (all host bits set).
+  Ipv4Address BroadcastAddress() const {
+    return Ipv4Address(network_.value() | ~mask_.value());
+  }
+  // "Host zero": the network address itself. Per the paper, hosts are
+  // supposed to accept packets addressed to host zero of their subnet.
+  Ipv4Address HostZero() const { return network_; }
+  // The nth usable host address (1-based).
+  Ipv4Address HostAt(uint32_t n) const { return Ipv4Address(network_.value() + n); }
+
+  // Number of assignable host addresses (excludes network and broadcast).
+  uint32_t HostCapacity() const;
+
+  std::string ToString() const;
+
+  auto operator<=>(const Subnet&) const = default;
+
+ private:
+  Ipv4Address network_;
+  SubnetMask mask_;
+};
+
+}  // namespace fremont
+
+template <>
+struct std::hash<fremont::Ipv4Address> {
+  size_t operator()(const fremont::Ipv4Address& ip) const noexcept {
+    return std::hash<uint32_t>()(ip.value());
+  }
+};
+
+template <>
+struct std::hash<fremont::Subnet> {
+  size_t operator()(const fremont::Subnet& subnet) const noexcept {
+    return std::hash<uint64_t>()(static_cast<uint64_t>(subnet.network().value()) << 32 |
+                                 subnet.mask().value());
+  }
+};
+
+#endif  // SRC_NET_IPV4_ADDRESS_H_

@@ -1,0 +1,57 @@
+#include "src/net/mac_address.h"
+
+#include <cstdio>
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+MacAddress MacAddress::FromIndex(uint64_t index) {
+  // Locally administered (bit 1 of first octet set), unicast.
+  return MacAddress(0x02, 0x00, static_cast<uint8_t>(index >> 24), static_cast<uint8_t>(index >> 16),
+                    static_cast<uint8_t>(index >> 8), static_cast<uint8_t>(index));
+}
+
+MacAddress MacAddress::FromOui(uint32_t oui, uint32_t serial) {
+  return MacAddress(static_cast<uint8_t>(oui >> 16), static_cast<uint8_t>(oui >> 8),
+                    static_cast<uint8_t>(oui), static_cast<uint8_t>(serial >> 16),
+                    static_cast<uint8_t>(serial >> 8), static_cast<uint8_t>(serial));
+}
+
+std::optional<MacAddress> MacAddress::Parse(std::string_view text) {
+  auto parts = SplitString(text, ':');
+  if (parts.size() != 6) {
+    return std::nullopt;
+  }
+  std::array<uint8_t, 6> octets{};
+  for (size_t i = 0; i < 6; ++i) {
+    if (parts[i].empty() || parts[i].size() > 2) {
+      return std::nullopt;
+    }
+    unsigned value = 0;
+    for (char c : parts[i]) {
+      unsigned digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+      value = value * 16 + digit;
+    }
+    octets[i] = static_cast<uint8_t>(value);
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace fremont

@@ -1,0 +1,41 @@
+#include "src/net/oui.h"
+
+namespace fremont {
+
+const std::vector<OuiEntry>& KnownOuis() {
+  static const std::vector<OuiEntry> kEntries = {
+      {kOuiCisco, "cisco Systems"},
+      {kOuiNext, "NeXT"},
+      {0x000093, "Proteon"},
+      {0x0000a2, "Wellfleet Communications"},
+      {0x00aa00, "Intel"},
+      {0x02608c, "3Com"},
+      {0x080007, "Apple Computer"},
+      {0x080009, "Hewlett-Packard"},
+      {0x08001e, "Apollo Computer"},
+      {0x080020, "Sun Microsystems"},
+      {0x08002b, "Digital Equipment"},
+      {0x080038, "Bull"},
+      {0x080046, "Sony"},
+      {0x080056, "Stanford University"},
+      {0x08005a, "IBM"},
+      {0x080069, "Silicon Graphics"},
+      {0x08008b, "Pyramid Technology"},
+      {0x0800a7, "Vitalink"},
+      {0xaa0003, "DEC (DECnet)"},
+      {0xaa0004, "DEC (DECnet logical)"},
+  };
+  return kEntries;
+}
+
+std::optional<std::string_view> LookupVendor(const MacAddress& mac) {
+  const uint32_t oui = mac.Oui();
+  for (const auto& entry : KnownOuis()) {
+    if (entry.oui == oui) {
+      return entry.vendor;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fremont

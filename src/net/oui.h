@@ -1,0 +1,49 @@
+// Organizationally Unique Identifier (OUI) → vendor lookup.
+//
+// The paper notes that ARP-discovered Ethernet addresses "can be used in many
+// cases to determine the manufacturer of the discovered interface". This
+// table carries the classic early-90s vendors found on a 1993 campus network;
+// the topology generator assigns these OUIs, and the analysis programs use
+// the reverse lookup to label interfaces (and to recognize gateway device
+// types that proxy-ARP for local addresses).
+
+#ifndef SRC_NET_OUI_H_
+#define SRC_NET_OUI_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "src/net/mac_address.h"
+
+namespace fremont {
+
+struct OuiEntry {
+  uint32_t oui;
+  std::string_view vendor;
+};
+
+// Well-known OUIs. Returns "unknown" semantics via nullopt.
+std::optional<std::string_view> LookupVendor(const MacAddress& mac);
+
+// All registered entries (for topology generation and tests).
+const std::vector<OuiEntry>& KnownOuis();
+
+// Convenience OUI constants for the vendors the paper's scenario mentions.
+inline constexpr uint32_t kOuiSun = 0x080020;       // Sun Microsystems
+inline constexpr uint32_t kOuiDec = 0x08002b;       // Digital Equipment
+inline constexpr uint32_t kOuiCisco = 0x00000c;     // cisco Systems
+inline constexpr uint32_t kOui3Com = 0x02608c;      // 3Com
+inline constexpr uint32_t kOuiHp = 0x080009;        // Hewlett-Packard
+inline constexpr uint32_t kOuiIbm = 0x08005a;       // IBM
+inline constexpr uint32_t kOuiIntel = 0x00aa00;     // Intel
+inline constexpr uint32_t kOuiApple = 0x080007;     // Apple
+inline constexpr uint32_t kOuiSgi = 0x080069;       // Silicon Graphics
+inline constexpr uint32_t kOuiProteon = 0x000093;   // Proteon (routers)
+inline constexpr uint32_t kOuiWellfleet = 0x0000a2; // Wellfleet (routers)
+inline constexpr uint32_t kOuiNext = 0x00000f;      // NeXT
+
+}  // namespace fremont
+
+#endif  // SRC_NET_OUI_H_

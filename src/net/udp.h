@@ -1,0 +1,35 @@
+// UDP datagram codec (RFC 768). Checksum omitted (legal for IPv4 UDP);
+// the simulator's segments deliver frames intact or not at all.
+
+#ifndef SRC_NET_UDP_H_
+#define SRC_NET_UDP_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/util/bytes.h"
+
+namespace fremont {
+
+// Well-known ports used by Fremont's modules.
+inline constexpr uint16_t kUdpEchoPort = 7;        // EtherHostProbe target.
+inline constexpr uint16_t kRipPort = 520;          // RIP advertisements.
+inline constexpr uint16_t kDnsPort = 53;           // DNS queries.
+// Traceroute aims at an unlikely-to-be-used high port so the destination
+// answers with ICMP Port Unreachable (same base as Van Jacobson's tool).
+inline constexpr uint16_t kTracerouteBasePort = 33434;
+
+struct UdpDatagram {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  ByteBuffer payload;
+
+  ByteBuffer Encode() const;
+  static std::optional<UdpDatagram> Decode(const ByteBuffer& bytes);
+
+  static constexpr size_t kHeaderLength = 8;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_NET_UDP_H_

@@ -1,0 +1,222 @@
+#include "src/present/views.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/net/oui.h"
+#include "src/util/string_util.h"
+
+namespace fremont {
+namespace {
+
+std::string GatewayLabel(const GatewayRecord& gw) {
+  if (!gw.name.empty()) {
+    return gw.name;
+  }
+  return "gateway-" + std::to_string(gw.id);
+}
+
+}  // namespace
+
+std::string DumpJournal(const std::vector<InterfaceRecord>& interfaces,
+                        const std::vector<GatewayRecord>& gateways,
+                        const std::vector<SubnetRecord>& subnets, SimTime now) {
+  std::string out;
+  out += StringPrintf("=== Journal dump at %s ===\n", now.ToString().c_str());
+  out += StringPrintf("--- %zu interfaces ---\n", interfaces.size());
+  for (const auto& rec : interfaces) {
+    out += StringPrintf(
+        "  #%-4u ip=%-15s mac=%-17s name=%-30s mask=%-15s gw=%-4u src=%s\n", rec.id,
+        rec.ip.ToString().c_str(), rec.mac.has_value() ? rec.mac->ToString().c_str() : "?",
+        rec.dns_name.empty() ? "?" : rec.dns_name.c_str(),
+        rec.mask.has_value() ? rec.mask->ToString().c_str() : "?", rec.gateway_id,
+        SourceMaskToString(rec.sources).c_str());
+  }
+  out += StringPrintf("--- %zu gateways ---\n", gateways.size());
+  for (const auto& rec : gateways) {
+    out += StringPrintf("  #%-4u %-28s interfaces=%zu subnets=%zu src=%s\n", rec.id,
+                        GatewayLabel(rec).c_str(), rec.interface_ids.size(),
+                        rec.connected_subnets.size(), SourceMaskToString(rec.sources).c_str());
+  }
+  out += StringPrintf("--- %zu subnets ---\n", subnets.size());
+  for (const auto& rec : subnets) {
+    out += StringPrintf("  #%-4u %-18s gateways=%zu hosts=%d src=%s\n", rec.id,
+                        rec.subnet.ToString().c_str(), rec.gateway_ids.size(), rec.host_count,
+                        SourceMaskToString(rec.sources).c_str());
+  }
+  return out;
+}
+
+std::string InterfaceViewLevel1(const std::vector<InterfaceRecord>& interfaces, Subnet network,
+                                SimTime now) {
+  std::string out = StringPrintf("Interfaces in %s:\n", network.ToString().c_str());
+  out += StringPrintf("  %-15s %-32s %s\n", "ADDRESS", "NAME", "LAST VERIFIED");
+  std::vector<const InterfaceRecord*> rows;
+  for (const auto& rec : interfaces) {
+    if (network.Contains(rec.ip)) {
+      rows.push_back(&rec);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const InterfaceRecord* a, const InterfaceRecord* b) { return a->ip < b->ip; });
+  for (const auto* rec : rows) {
+    // "Time since last verification of existence (ignoring time of last DNS
+    // verification)" — per the paper's level-1 description.
+    const std::string last_seen =
+        rec->ts.last_wire_verified == SimTime::Epoch()
+            ? "never on the wire (DNS only)"
+            : (now - rec->ts.last_wire_verified).ToString() + " ago";
+    out += StringPrintf("  %-15s %-32s %s\n", rec->ip.ToString().c_str(),
+                        rec->dns_name.empty() ? "?" : rec->dns_name.c_str(),
+                        last_seen.c_str());
+  }
+  return out;
+}
+
+std::string InterfaceViewLevel2(const std::vector<InterfaceRecord>& interfaces, Subnet subnet,
+                                SimTime now) {
+  (void)now;
+  std::string out = StringPrintf("Subnet %s interface detail:\n", subnet.ToString().c_str());
+  out += StringPrintf("  %-15s %-17s %-22s %-4s %-4s %s\n", "ADDRESS", "MAC", "VENDOR", "RIP",
+                      "GW", "SERVICES");
+  std::vector<const InterfaceRecord*> rows;
+  for (const auto& rec : interfaces) {
+    if (subnet.Contains(rec.ip)) {
+      rows.push_back(&rec);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const InterfaceRecord* a, const InterfaceRecord* b) { return a->ip < b->ip; });
+  for (const auto* rec : rows) {
+    std::string vendor = "?";
+    if (rec->mac.has_value()) {
+      if (auto v = LookupVendor(*rec->mac); v.has_value()) {
+        vendor = std::string(*v);
+      }
+    }
+    out += StringPrintf("  %-15s %-17s %-22s %-4s %-4s %s\n", rec->ip.ToString().c_str(),
+                        rec->mac.has_value() ? rec->mac->ToString().c_str() : "?",
+                        vendor.c_str(), rec->rip_source ? "yes" : "-",
+                        rec->gateway_id != kInvalidRecordId ? "yes" : "-",
+                        rec->services != 0 ? ServiceMaskToString(rec->services).c_str() : "-");
+  }
+  return out;
+}
+
+std::string InterfaceViewLevel3(const InterfaceRecord& record, SimTime now) {
+  std::string out = StringPrintf("Interface record #%u:\n", record.id);
+  out += StringPrintf("  network address : %s\n", record.ip.ToString().c_str());
+  out += StringPrintf("  MAC address     : %s\n",
+                      record.mac.has_value() ? record.mac->ToString().c_str() : "unknown");
+  if (record.mac.has_value()) {
+    auto vendor = LookupVendor(*record.mac);
+    out += StringPrintf("  vendor          : %s\n",
+                        vendor.has_value() ? std::string(*vendor).c_str() : "unknown");
+  }
+  out += StringPrintf("  DNS name        : %s\n",
+                      record.dns_name.empty() ? "unknown" : record.dns_name.c_str());
+  out += StringPrintf("  subnet mask     : %s\n",
+                      record.mask.has_value() ? record.mask->ToString().c_str() : "unknown");
+  out += StringPrintf("  gateway         : %s\n",
+                      record.gateway_id != kInvalidRecordId
+                          ? ("#" + std::to_string(record.gateway_id)).c_str()
+                          : "none");
+  out += StringPrintf("  RIP source      : %s%s\n", record.rip_source ? "yes" : "no",
+                      record.rip_promiscuous ? " (PROMISCUOUS)" : "");
+  out += StringPrintf("  services        : %s\n", ServiceMaskToString(record.services).c_str());
+  out += StringPrintf("  sources         : %s\n", SourceMaskToString(record.sources).c_str());
+  out += StringPrintf("  first discovered: %s\n", record.ts.first_discovered.ToString().c_str());
+  out += StringPrintf("  last changed    : %s\n", record.ts.last_changed.ToString().c_str());
+  out += StringPrintf("  last verified   : %s (%s ago)\n",
+                      record.ts.last_verified.ToString().c_str(),
+                      (now - record.ts.last_verified).ToString().c_str());
+  out += StringPrintf("  last on wire    : %s\n",
+                      record.ts.last_wire_verified == SimTime::Epoch()
+                          ? "never (DNS data only)"
+                          : ((now - record.ts.last_wire_verified).ToString() + " ago").c_str());
+  return out;
+}
+
+std::string VendorInventory(const std::vector<InterfaceRecord>& interfaces) {
+  std::map<std::string, int> counts;
+  int unknown = 0;
+  int no_mac = 0;
+  for (const auto& rec : interfaces) {
+    if (!rec.mac.has_value()) {
+      ++no_mac;
+      continue;
+    }
+    auto vendor = LookupVendor(*rec.mac);
+    if (vendor.has_value()) {
+      ++counts[std::string(*vendor)];
+    } else {
+      ++unknown;
+    }
+  }
+  std::vector<std::pair<std::string, int>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::string out = "Interface vendor inventory (from Ethernet OUIs):\n";
+  for (const auto& [vendor, count] : rows) {
+    out += StringPrintf("  %-28s %4d\n", vendor.c_str(), count);
+  }
+  if (unknown > 0) {
+    out += StringPrintf("  %-28s %4d\n", "(unknown OUI)", unknown);
+  }
+  if (no_mac > 0) {
+    out += StringPrintf("  %-28s %4d\n", "(MAC not yet discovered)", no_mac);
+  }
+  return out;
+}
+
+std::string ExportSunNetManager(const std::vector<GatewayRecord>& gateways,
+                                const std::vector<SubnetRecord>& subnets,
+                                const std::vector<InterfaceRecord>& interfaces) {
+  (void)interfaces;
+  // SunNet Manager element database records: component.<type> entries with
+  // view membership and connections.
+  std::string out = "# SunNet Manager element database generated by Fremont\n";
+  for (const auto& subnet : subnets) {
+    out += StringPrintf("component.network \"%s\" {\n  Type=network\n  IP_Address=%s\n}\n",
+                        subnet.subnet.ToString().c_str(),
+                        subnet.subnet.network().ToString().c_str());
+  }
+  for (const auto& gw : gateways) {
+    out += StringPrintf("component.router \"%s\" {\n  Type=router\n}\n",
+                        GatewayLabel(gw).c_str());
+    for (const auto& subnet : gw.connected_subnets) {
+      out += StringPrintf("connection \"%s\" \"%s\" {\n  Type=rs232\n}\n",
+                          GatewayLabel(gw).c_str(), subnet.ToString().c_str());
+    }
+  }
+  return out;
+}
+
+std::string ExportGraphvizDot(const std::vector<GatewayRecord>& gateways,
+                              const std::vector<SubnetRecord>& subnets,
+                              const std::vector<InterfaceRecord>& interfaces) {
+  (void)interfaces;
+  std::string out = "graph fremont_topology {\n  overlap=false;\n  splines=true;\n";
+  std::map<uint32_t, std::string> subnet_nodes;
+  for (const auto& subnet : subnets) {
+    const std::string id = "s" + std::to_string(subnet.id);
+    subnet_nodes[subnet.subnet.network().value()] = id;
+    out += StringPrintf("  %s [shape=ellipse, label=\"%s\"];\n", id.c_str(),
+                        subnet.subnet.ToString().c_str());
+  }
+  for (const auto& gw : gateways) {
+    const std::string id = "g" + std::to_string(gw.id);
+    out += StringPrintf("  %s [shape=box, style=filled, fillcolor=lightgray, label=\"%s\"];\n",
+                        id.c_str(), GatewayLabel(gw).c_str());
+    for (const auto& subnet : gw.connected_subnets) {
+      auto it = subnet_nodes.find(subnet.network().value());
+      if (it != subnet_nodes.end()) {
+        out += StringPrintf("  %s -- %s;\n", id.c_str(), it->second.c_str());
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace fremont

@@ -1,0 +1,55 @@
+// Presentation programs.
+//
+// The paper built three viewers over the Journal: a raw dump (debugging), a
+// three-level interface browser, and a topology exporter feeding SunNet
+// Manager. These functions render the same views as text; the topology
+// exporter additionally emits Graphviz DOT for modern tooling.
+
+#ifndef SRC_PRESENT_VIEWS_H_
+#define SRC_PRESENT_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/journal/records.h"
+
+namespace fremont {
+
+// Program 1: everything in the Journal, raw.
+std::string DumpJournal(const std::vector<InterfaceRecord>& interfaces,
+                        const std::vector<GatewayRecord>& gateways,
+                        const std::vector<SubnetRecord>& subnets, SimTime now);
+
+// Program 2, level 1: all interfaces in a network — address, DNS name, and
+// time since last verification ("an easy indication of when the interface
+// was last observed on the network").
+std::string InterfaceViewLevel1(const std::vector<InterfaceRecord>& interfaces, Subnet network,
+                                SimTime now);
+
+// Program 2, level 2: one subnet's interfaces with MAC address (and vendor),
+// RIP-source flag, and gateway-membership flag.
+std::string InterfaceViewLevel2(const std::vector<InterfaceRecord>& interfaces, Subnet subnet,
+                                SimTime now);
+
+// Program 2, level 3: every stored field of one interface record.
+std::string InterfaceViewLevel3(const InterfaceRecord& record, SimTime now);
+
+// Program 3: network structure. SunNet Manager import format (a faithful
+// paraphrase of the element/connection records the paper fed it)...
+std::string ExportSunNetManager(const std::vector<GatewayRecord>& gateways,
+                                const std::vector<SubnetRecord>& subnets,
+                                const std::vector<InterfaceRecord>& interfaces);
+
+// ...and Graphviz DOT (gateways as boxes, subnets as ellipses).
+std::string ExportGraphvizDot(const std::vector<GatewayRecord>& gateways,
+                              const std::vector<SubnetRecord>& subnets,
+                              const std::vector<InterfaceRecord>& interfaces);
+
+// Vendor inventory: interface counts by Ethernet-address manufacturer (the
+// paper: ARP data "can be used in many cases to determine the manufacturer
+// of the discovered interface"). Sorted by count, descending.
+std::string VendorInventory(const std::vector<InterfaceRecord>& interfaces);
+
+}  // namespace fremont
+
+#endif  // SRC_PRESENT_VIEWS_H_

@@ -1,0 +1,37 @@
+#include "src/sim/arp_cache.h"
+
+namespace fremont {
+
+void ArpCache::Update(Ipv4Address ip, MacAddress mac, SimTime now) {
+  auto it = entries_.find(ip);
+  if (it == entries_.end()) {
+    entries_[ip] = Entry{ip, mac, now, now};
+    return;
+  }
+  // A changed MAC (duplicate IP in the wild, or swapped hardware) simply
+  // overwrites — which is exactly why the ARP cache alone cannot detect the
+  // problem and the Journal's long memory is needed.
+  it->second.mac = mac;
+  it->second.last_updated = now;
+}
+
+std::optional<MacAddress> ArpCache::Lookup(Ipv4Address ip, SimTime now) const {
+  auto it = entries_.find(ip);
+  if (it == entries_.end() || Expired(it->second, now)) {
+    return std::nullopt;
+  }
+  return it->second.mac;
+}
+
+std::vector<ArpCache::Entry> ArpCache::Snapshot(SimTime now) const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [ip, entry] : entries_) {
+    if (!Expired(entry, now)) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace fremont

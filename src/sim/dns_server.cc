@@ -1,0 +1,193 @@
+#include "src/sim/dns_server.h"
+
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+void ZoneDb::AddHost(const std::string& name, Ipv4Address address) {
+  AddForwardOnly(name, address);
+  const std::string reverse = ReverseDomainName(address);
+  records_[reverse].push_back(DnsResourceRecord::MakePtr(reverse, ToLowerAscii(name)));
+}
+
+void ZoneDb::AddForwardOnly(const std::string& name, Ipv4Address address) {
+  const std::string key = ToLowerAscii(name);
+  records_[key].push_back(DnsResourceRecord::MakeA(key, address));
+}
+
+void ZoneDb::AddCname(const std::string& alias, const std::string& canonical) {
+  const std::string key = ToLowerAscii(alias);
+  records_[key].push_back(DnsResourceRecord::MakeCname(key, ToLowerAscii(canonical)));
+}
+
+void ZoneDb::AddHinfo(const std::string& name, const std::string& cpu, const std::string& os) {
+  const std::string key = ToLowerAscii(name);
+  records_[key].push_back(DnsResourceRecord::MakeHinfo(key, cpu, os));
+}
+
+void ZoneDb::AddNs(const std::string& zone, const std::string& server) {
+  const std::string key = ToLowerAscii(zone);
+  records_[key].push_back(DnsResourceRecord::MakeNs(key, ToLowerAscii(server)));
+}
+
+void ZoneDb::RemoveHost(const std::string& name) {
+  const std::string key = ToLowerAscii(name);
+  auto it = records_.find(key);
+  if (it != records_.end()) {
+    // Remove reverse pointers for each A record first.
+    for (const auto& rr : it->second) {
+      if (rr.type != DnsType::kA) {
+        continue;
+      }
+      const std::string reverse = ReverseDomainName(rr.address);
+      auto rev_it = records_.find(reverse);
+      if (rev_it == records_.end()) {
+        continue;
+      }
+      auto& vec = rev_it->second;
+      std::erase_if(vec, [&](const DnsResourceRecord& ptr) {
+        return ptr.type == DnsType::kPtr && ptr.target_name == key;
+      });
+      if (vec.empty()) {
+        records_.erase(rev_it);
+      }
+    }
+    records_.erase(it);
+  }
+}
+
+std::vector<DnsResourceRecord> ZoneDb::Query(const std::string& name, DnsType qtype) const {
+  std::vector<DnsResourceRecord> out;
+  auto it = records_.find(ToLowerAscii(name));
+  if (it == records_.end()) {
+    return out;
+  }
+  for (const auto& rr : it->second) {
+    if (rr.type == qtype) {
+      out.push_back(rr);
+    }
+  }
+  // CNAME chase: if nothing of the requested type but a CNAME exists, return
+  // the CNAME plus the target's records of the requested type.
+  if (out.empty()) {
+    for (const auto& rr : it->second) {
+      if (rr.type == DnsType::kCname) {
+        out.push_back(rr);
+        auto chased = Query(rr.target_name, qtype);
+        out.insert(out.end(), chased.begin(), chased.end());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool ZoneDb::InZone(const std::string& name, const std::string& zone) {
+  if (name.size() == zone.size()) {
+    return EqualsIgnoreCase(name, zone);
+  }
+  if (name.size() > zone.size()) {
+    return EqualsIgnoreCase(name.substr(name.size() - zone.size()), zone) &&
+           name[name.size() - zone.size() - 1] == '.';
+  }
+  return false;
+}
+
+std::vector<DnsResourceRecord> ZoneDb::ZoneTransfer(const std::string& zone) const {
+  std::vector<DnsResourceRecord> out;
+  const std::string key = ToLowerAscii(zone);
+  for (const auto& [name, rrs] : records_) {
+    if (InZone(name, key)) {
+      out.insert(out.end(), rrs.begin(), rrs.end());
+    }
+  }
+  return out;
+}
+
+size_t ZoneDb::record_count() const {
+  size_t n = 0;
+  for (const auto& [name, rrs] : records_) {
+    n += rrs.size();
+  }
+  return n;
+}
+
+DnsServer::DnsServer(Host* host, ZoneDb zone_db) : host_(host), zone_db_(std::move(zone_db)) {
+  host_->BindUdp(kDnsPort, [this](const Ipv4Packet& packet, const UdpDatagram& datagram) {
+    OnQuery(packet, datagram);
+  });
+}
+
+DnsServer::~DnsServer() { host_->UnbindUdp(kDnsPort); }
+
+Ipv4Address DnsServer::address() const {
+  return host_->primary_interface() != nullptr ? host_->primary_interface()->ip : Ipv4Address();
+}
+
+void DnsServer::OnQuery(const Ipv4Packet& packet, const UdpDatagram& datagram) {
+  auto query = DnsMessage::Decode(datagram.payload);
+  if (!query.has_value() || query->is_response || query->questions.empty()) {
+    return;
+  }
+  ++queries_served_;
+
+  // Zone transfers follow the AXFR convention: the record stream is bracketed
+  // by SOA records and, because a large campus zone exceeds one datagram,
+  // split into chunks (real AXFR streams multiple messages over TCP).
+  if (query->questions.front().qtype == DnsType::kAxfr) {
+    const std::string& zone = query->questions.front().name;
+    std::vector<DnsResourceRecord> records = zone_db_.ZoneTransfer(zone);
+    DnsResourceRecord soa;
+    soa.name = zone;
+    soa.type = DnsType::kSoa;
+    records.insert(records.begin(), soa);
+    records.push_back(soa);
+
+    constexpr size_t kChunk = 100;
+    int chunk_index = 0;
+    for (size_t begin = 0; begin < records.size(); begin += kChunk) {
+      DnsMessage chunk;
+      chunk.id = query->id;
+      chunk.is_response = true;
+      chunk.authoritative = true;
+      const size_t end = std::min(begin + kChunk, records.size());
+      chunk.answers.assign(records.begin() + begin, records.begin() + end);
+      // Pace the stream so chunks don't contend with each other on the wire.
+      const Ipv4Address to = packet.src;
+      const uint16_t port = datagram.src_port;
+      ByteBuffer bytes = chunk.Encode();
+      Host* host = host_;
+      host_->events()->Schedule(Duration::Millis(2 * chunk_index),
+                                [host, to, port, bytes]() {
+                                  host->SendUdp(to, kDnsPort, port, bytes);
+                                });
+      ++chunk_index;
+    }
+    return;
+  }
+
+  DnsMessage response;
+  response.id = query->id;
+  response.is_response = true;
+  response.authoritative = true;
+  for (const auto& question : query->questions) {
+    std::vector<DnsResourceRecord> answers =
+        zone_db_.Query(question.name, question.qtype);
+    if (answers.empty() && response.answers.empty()) {
+      response.rcode = DnsRcode::kNameError;
+    }
+    // Additional-data processing, as BIND did: an A answer carries the
+    // name's HINFO in the additional section (host/OS type, when supplied).
+    if (question.qtype == DnsType::kA && !answers.empty()) {
+      auto hinfo = zone_db_.Query(question.name, DnsType::kHinfo);
+      response.additional.insert(response.additional.end(), hinfo.begin(), hinfo.end());
+    }
+    response.answers.insert(response.answers.end(), answers.begin(), answers.end());
+  }
+  if (!response.answers.empty()) {
+    response.rcode = DnsRcode::kNoError;
+  }
+  host_->SendUdp(packet.src, kDnsPort, datagram.src_port, response.Encode());
+}
+
+}  // namespace fremont

@@ -1,0 +1,82 @@
+// Authoritative DNS service: zone database + UDP query/zone-transfer server.
+//
+// The zone database holds the forward tree (names → A records) and the
+// reverse "in-addr.arpa" tree (addresses → PTR records) for the simulated
+// campus. Fremont's DNS Explorer Module walks the reverse tree with zone
+// transfers, exactly as the paper's nslookup-derived module did.
+//
+// Staleness is first-class: the topology builder can register names for
+// hosts that no longer exist (the paper found two such entries on the CS
+// subnet) and omit hosts whose administrators never registered them — both
+// loss modes in Tables 5 and 6.
+
+#ifndef SRC_SIM_DNS_SERVER_H_
+#define SRC_SIM_DNS_SERVER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/net/dns.h"
+#include "src/sim/host.h"
+
+namespace fremont {
+
+class ZoneDb {
+ public:
+  ZoneDb() = default;
+
+  // Registers a host: adds an A record and the matching PTR record.
+  void AddHost(const std::string& name, Ipv4Address address);
+  // A record only (reverse tree gap — a common real-world inconsistency).
+  void AddForwardOnly(const std::string& name, Ipv4Address address);
+  void AddCname(const std::string& alias, const std::string& canonical);
+  void AddHinfo(const std::string& name, const std::string& cpu, const std::string& os);
+  void AddNs(const std::string& zone, const std::string& server);
+
+  // Removes every record mentioning the host (used to simulate departures
+  // whose administrators *did* clean up).
+  void RemoveHost(const std::string& name);
+
+  // Point query.
+  std::vector<DnsResourceRecord> Query(const std::string& name, DnsType qtype) const;
+
+  // AXFR: all records at or below `zone` (e.g. "cs.colorado.edu" or
+  // "138.128.in-addr.arpa").
+  std::vector<DnsResourceRecord> ZoneTransfer(const std::string& zone) const;
+
+  size_t record_count() const;
+
+ private:
+  static bool InZone(const std::string& name, const std::string& zone);
+
+  // name (lower-case) → records at that name.
+  std::map<std::string, std::vector<DnsResourceRecord>> records_;
+};
+
+// Binds UDP port 53 on a host and answers queries from the zone database.
+// Zone transfers are served in a single simulated datagram (the 1993 system
+// used TCP for AXFR; the transport difference is irrelevant to the discovery
+// logic and is documented in DESIGN.md).
+class DnsServer {
+ public:
+  DnsServer(Host* host, ZoneDb zone_db);
+  ~DnsServer();
+  DnsServer(const DnsServer&) = delete;
+  DnsServer& operator=(const DnsServer&) = delete;
+
+  ZoneDb& zone_db() { return zone_db_; }
+  Ipv4Address address() const;
+  uint64_t queries_served() const { return queries_served_; }
+
+ private:
+  void OnQuery(const Ipv4Packet& packet, const UdpDatagram& datagram);
+
+  Host* host_;
+  ZoneDb zone_db_;
+  uint64_t queries_served_ = 0;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_SIM_DNS_SERVER_H_

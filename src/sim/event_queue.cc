@@ -1,0 +1,48 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace fremont {
+
+void EventQueue::ScheduleAt(SimTime when, Action action) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top() returns const&; the action must be moved out before
+  // pop, so copy the entry (the function object move is the expensive part —
+  // use const_cast on the known-unique top element).
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.when;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void EventQueue::RunWhile(const std::function<bool()>& predicate) {
+  while (predicate() && Step()) {
+  }
+}
+
+void EventQueue::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+}  // namespace fremont

@@ -1,0 +1,80 @@
+// Discrete-event scheduler: the simulated network's heartbeat.
+//
+// All protocol timing — ARP cache timeouts, ping intervals, RIP periods,
+// traceroute timeouts, 24-hour passive watches — runs against this virtual
+// clock, so experiments that took the paper's authors days complete in
+// milliseconds while preserving every timing relationship.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace fremont {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `action` to run at the given absolute time (clamped to now).
+  void ScheduleAt(SimTime when, Action action);
+  // Schedules `action` to run after `delay`.
+  void Schedule(Duration delay, Action action) { ScheduleAt(now_ + delay, std::move(action)); }
+
+  bool Empty() const { return queue_.empty(); }
+  size_t PendingCount() const { return queue_.size(); }
+
+  // Runs the next event; returns false if the queue is empty.
+  bool Step();
+
+  // Runs all events scheduled at or before `deadline`, then advances the
+  // clock to `deadline` (even if no event lands exactly there).
+  void RunUntil(SimTime deadline);
+  void RunFor(Duration duration) { RunUntil(now_ + duration); }
+
+  // Runs while `predicate` returns true and events remain. Active Explorer
+  // Modules drive the simulation with this until their own completion flag
+  // flips.
+  void RunWhile(const std::function<bool()>& predicate);
+
+  // Drains every pending event (only safe without self-rescheduling daemons).
+  void RunUntilIdle();
+
+  // Total events executed; used by scheduler tests.
+  uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;  // FIFO tie-break for simultaneous events.
+    Action action;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
+  SimTime now_ = SimTime::Epoch();
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,127 @@
+#include "src/sim/router.h"
+
+#include "src/util/logging.h"
+
+namespace fremont {
+
+Router::Router(std::string name, RouterConfig config, EventQueue* events, Rng* rng)
+    : Host(std::move(name), config.host, events, rng), router_config_(config) {}
+
+Interface* Router::AttachTo(Segment* segment, Ipv4Address ip, SubnetMask mask, MacAddress mac) {
+  Interface* iface = Host::AttachTo(segment, ip, mask, mac);
+  routes_.AddConnected(Subnet(ip, mask), iface);
+  return iface;
+}
+
+std::optional<Host::NextHop> Router::Route(Ipv4Address dst) {
+  auto entry = routes_.Lookup(dst);
+  if (entry.has_value() && entry->out_iface != nullptr) {
+    return NextHop{entry->out_iface, entry->connected ? Ipv4Address() : entry->gateway};
+  }
+  return Host::Route(dst);  // Fall back to a default gateway if configured.
+}
+
+bool Router::IsLocalDestination(Interface* iface, Ipv4Address dst) const {
+  if (Host::IsLocalDestination(iface, dst)) {
+    return true;
+  }
+  // Host-zero / broadcast of *any* attached subnet terminates here too: the
+  // gateway is the node that finally owns such packets after forwarding.
+  for (const auto& own : interfaces_) {
+    const Subnet attached = own->AttachedSubnet();
+    if (config_.accepts_host_zero && dst == attached.HostZero()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Router::ForwardPacket(Interface* in_iface, const Ipv4Packet& packet) {
+  Ipv4Packet out = packet;
+
+  // TTL handling: the behaviour traceroute is built on.
+  if (out.ttl <= 1) {
+    if (router_config_.silent_ttl_drop) {
+      return;  // Buggy gateway: no Time Exceeded at all.
+    }
+    const uint8_t reply_ttl = router_config_.reflects_ttl_in_errors ? packet.ttl : 64;
+    SendIcmpError(packet, IcmpMessage::TimeExceeded({}), reply_ttl);
+    return;
+  }
+  out.ttl = static_cast<uint8_t>(out.ttl - 1);
+
+  auto entry = routes_.Lookup(out.dst);
+  if (!entry.has_value() || entry->out_iface == nullptr) {
+    // Directed broadcast / host-zero for an attached subnet reaches here with
+    // no host route; check before declaring unreachable.
+    for (const auto& own : interfaces_) {
+      const Subnet attached = own->AttachedSubnet();
+      if (out.dst == attached.BroadcastAddress()) {
+        if (router_config_.forwards_directed_broadcast && own.get() != in_iface) {
+          ++packets_forwarded_;
+          TransmitFrame(own.get(), MacAddress::Broadcast(), EtherType::kIpv4, out.Encode());
+        }
+        return;
+      }
+    }
+    if (!router_config_.silent_ttl_drop) {
+      SendIcmpError(packet, IcmpMessage::DestUnreachable(IcmpUnreachableCode::kNetUnreachable, {}),
+                    64);
+    }
+    return;
+  }
+
+  Interface* out_iface = entry->out_iface;
+
+  // Directed broadcast onto the destination segment.
+  if (entry->connected && out.dst == entry->destination.BroadcastAddress()) {
+    if (router_config_.forwards_directed_broadcast) {
+      ++packets_forwarded_;
+      TransmitFrame(out_iface, MacAddress::Broadcast(), EtherType::kIpv4, out.Encode());
+    }
+    // Common campus configuration: drop silently to prevent broadcast storms.
+    return;
+  }
+
+  ++packets_forwarded_;
+  const Ipv4Address next_hop = entry->connected ? out.dst : entry->gateway;
+  TransmitViaArp(out_iface, next_hop, std::move(out));
+}
+
+bool Router::ShouldProxyArp(Interface* iface, Ipv4Address target) const {
+  if (OwnsAddress(target)) {
+    return false;  // Normal ARP path handles our own addresses.
+  }
+  // Terminal-server-like block proxying on the local subnet.
+  if (router_config_.proxy_arp_local_base.has_value() && router_config_.proxy_arp_local_count > 0) {
+    const uint32_t base = router_config_.proxy_arp_local_base->value();
+    const uint32_t t = target.value();
+    if (t >= base && t < base + static_cast<uint32_t>(router_config_.proxy_arp_local_count) &&
+        iface->AttachedSubnet().Contains(target)) {
+      return true;
+    }
+  }
+  if (!router_config_.proxy_arp) {
+    return false;
+  }
+  // Classic proxy ARP: we have a route to the target via a *different*
+  // interface than the one the request arrived on.
+  auto entry = routes_.Lookup(target);
+  return entry.has_value() && entry->out_iface != nullptr && entry->out_iface != iface;
+}
+
+void Router::HandleArp(Interface* iface, const ArpPacket& arp) {
+  if (arp.op == ArpOp::kRequest && ShouldProxyArp(iface, arp.target_ip)) {
+    ArpPacket reply;
+    reply.op = ArpOp::kReply;
+    reply.sender_mac = iface->mac;  // Our MAC on behalf of the remote host.
+    reply.sender_ip = arp.target_ip;
+    reply.target_mac = arp.sender_mac;
+    reply.target_ip = arp.sender_ip;
+    TransmitFrame(iface, arp.sender_mac, EtherType::kArp, reply.Encode());
+    return;
+  }
+  Host::HandleArp(iface, arp);
+}
+
+}  // namespace fremont

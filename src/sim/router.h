@@ -1,0 +1,77 @@
+// A simulated gateway: a multi-interface Host that forwards IP packets.
+//
+// Routers implement everything Fremont's Traceroute Explorer Module depends
+// on — TTL decrement, ICMP Time Exceeded generation, host-zero acceptance —
+// plus the real-world defects the paper's evaluation ran into:
+//
+//   * reflects_ttl_in_errors: sends Time Exceeded with the received packet's
+//     TTL ("Some hosts send their Unreachable message back to the source
+//     using the TTL field from the received packet"), so the error dies on
+//     the way back until the probe TTL covers a full round trip.
+//   * silent_ttl_drop: drops expired packets without any ICMP ("gateway
+//     software problems" that cost Traceroute 25 subnets in Table 6).
+//   * forwards_directed_broadcast: off by default in most campus gateways to
+//     prevent broadcast storms — which is why BroadcastPing only works on
+//     directly attached or permissive paths.
+//   * proxy ARP: answers ARP requests for addresses it can route to (and,
+//     for terminal-server-like devices, for a whole block of local
+//     addresses), which ARP-based modules must recognize and discount.
+
+#ifndef SRC_SIM_ROUTER_H_
+#define SRC_SIM_ROUTER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/host.h"
+#include "src/sim/routing_table.h"
+
+namespace fremont {
+
+struct RouterConfig {
+  HostConfig host;
+
+  // Fault / policy flags (see file comment).
+  bool reflects_ttl_in_errors = false;
+  bool silent_ttl_drop = false;
+  bool forwards_directed_broadcast = false;
+  bool proxy_arp = false;
+  // Terminal-server behaviour: proxy-ARP for this many consecutive addresses
+  // starting at proxy_arp_local_base, on the local subnet.
+  std::optional<Ipv4Address> proxy_arp_local_base;
+  int proxy_arp_local_count = 0;
+};
+
+class Router : public Host {
+ public:
+  Router(std::string name, RouterConfig config, EventQueue* events, Rng* rng);
+
+  RouterConfig& router_config() { return router_config_; }
+  RoutingTable& routing_table() { return routes_; }
+  const RoutingTable& routing_table() const { return routes_; }
+
+  // Registers the connected route when attaching.
+  Interface* AttachTo(Segment* segment, Ipv4Address ip, SubnetMask mask, MacAddress mac);
+
+  uint64_t packets_forwarded() const { return packets_forwarded_; }
+
+ protected:
+  std::optional<NextHop> Route(Ipv4Address dst) override;
+  void ForwardPacket(Interface* in_iface, const Ipv4Packet& packet) override;
+  bool IsLocalDestination(Interface* iface, Ipv4Address dst) const override;
+  void HandleArp(Interface* iface, const ArpPacket& arp) override;
+
+ private:
+  // True if the router should proxy-ARP for `target` seen on `iface`.
+  bool ShouldProxyArp(Interface* iface, Ipv4Address target) const;
+
+  RouterConfig router_config_;
+  RoutingTable routes_;
+  uint64_t packets_forwarded_ = 0;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_SIM_ROUTER_H_

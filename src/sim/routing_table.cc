@@ -1,0 +1,111 @@
+#include "src/sim/routing_table.h"
+
+#include <algorithm>
+
+#include "src/net/mac_address.h"
+#include "src/sim/segment.h"
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+void RoutingTable::AddConnected(Subnet subnet, Interface* iface) {
+  for (auto& entry : entries_) {
+    if (entry.destination == subnet && entry.connected) {
+      entry.out_iface = iface;
+      return;
+    }
+  }
+  RouteEntry entry;
+  entry.destination = subnet;
+  entry.out_iface = iface;
+  entry.metric = 1;
+  entry.connected = true;
+  entries_.push_back(entry);
+}
+
+bool RoutingTable::Learn(Subnet subnet, Ipv4Address gateway, Interface* iface, uint32_t metric,
+                         SimTime now) {
+  metric = std::min<uint32_t>(metric, kRipMetricInfinity);
+  for (auto& entry : entries_) {
+    if (entry.destination != subnet) {
+      continue;
+    }
+    if (entry.connected) {
+      return false;  // Connected routes are never displaced.
+    }
+    if (entry.gateway == gateway) {
+      // Same source: always take the update (even if worse), refresh age.
+      bool changed = entry.metric != metric || entry.out_iface != iface;
+      entry.metric = metric;
+      entry.out_iface = iface;
+      entry.last_refreshed = now;
+      return changed;
+    }
+    if (metric < entry.metric) {
+      entry.gateway = gateway;
+      entry.out_iface = iface;
+      entry.metric = metric;
+      entry.last_refreshed = now;
+      return true;
+    }
+    return false;
+  }
+  if (metric >= kRipMetricInfinity) {
+    return false;  // Don't install unreachable routes.
+  }
+  RouteEntry entry;
+  entry.destination = subnet;
+  entry.gateway = gateway;
+  entry.out_iface = iface;
+  entry.metric = metric;
+  entry.connected = false;
+  entry.last_refreshed = now;
+  entries_.push_back(entry);
+  return true;
+}
+
+std::optional<RouteEntry> RoutingTable::Lookup(Ipv4Address dst) const {
+  const RouteEntry* best = nullptr;
+  for (const auto& entry : entries_) {
+    if (!entry.destination.Contains(dst) || entry.metric >= kRipMetricInfinity) {
+      continue;
+    }
+    if (best == nullptr) {
+      best = &entry;
+      continue;
+    }
+    const int best_len = best->destination.mask().PrefixLength();
+    const int entry_len = entry.destination.mask().PrefixLength();
+    if (entry_len > best_len || (entry_len == best_len && entry.metric < best->metric)) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  return *best;
+}
+
+int RoutingTable::ExpireStale(SimTime now, Duration max_age) {
+  int expired = 0;
+  for (auto& entry : entries_) {
+    if (!entry.connected && entry.metric < kRipMetricInfinity &&
+        now - entry.last_refreshed > max_age) {
+      entry.metric = kRipMetricInfinity;
+      ++expired;
+    }
+  }
+  return expired;
+}
+
+std::string RoutingTable::ToString() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    out += StringPrintf("%-18s via %-15s metric %2u%s\n", entry.destination.ToString().c_str(),
+                        entry.connected ? "direct" : entry.gateway.ToString().c_str(),
+                        entry.metric, entry.connected ? " (connected)" : "");
+  }
+  return out;
+}
+
+}  // namespace fremont

@@ -1,0 +1,65 @@
+// Longest-prefix-match IPv4 routing table with distance-vector metrics.
+//
+// Routers hold one of these; it is seeded with connected routes by the
+// topology builder and maintained at runtime by the RIP daemon (metric
+// updates, route replacement, expiry of routes learned from a dead
+// neighbour). Metric 16 is RIP infinity.
+
+#ifndef SRC_SIM_ROUTING_TABLE_H_
+#define SRC_SIM_ROUTING_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/ipv4_address.h"
+#include "src/net/rip.h"
+#include "src/util/sim_time.h"
+
+namespace fremont {
+
+struct Interface;
+
+struct RouteEntry {
+  Subnet destination;
+  // Zero for directly connected subnets; otherwise the next-hop router IP.
+  Ipv4Address gateway;
+  Interface* out_iface = nullptr;
+  uint32_t metric = 1;  // Hop count; connected routes have metric 1.
+  bool connected = false;
+  // When this route was last confirmed (RIP refresh); connected routes never
+  // expire.
+  SimTime last_refreshed;
+};
+
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+
+  void AddConnected(Subnet subnet, Interface* iface);
+  // Adds or replaces a learned route. Standard distance-vector acceptance:
+  // better metric wins; same-gateway updates always apply (including getting
+  // worse / poisoned).
+  // Returns true if the table changed.
+  bool Learn(Subnet subnet, Ipv4Address gateway, Interface* iface, uint32_t metric, SimTime now);
+
+  // Longest-prefix match; ties broken by lowest metric.
+  std::optional<RouteEntry> Lookup(Ipv4Address dst) const;
+
+  // Expires learned routes not refreshed within `max_age` (RIP uses 180 s).
+  // Returns the number of routes expired.
+  int ExpireStale(SimTime now, Duration max_age);
+
+  const std::vector<RouteEntry>& entries() const { return entries_; }
+  std::vector<RouteEntry>& mutable_entries() { return entries_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<RouteEntry> entries_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_SIM_ROUTING_TABLE_H_

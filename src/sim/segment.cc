@@ -1,0 +1,85 @@
+#include "src/sim/segment.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace fremont {
+
+Segment::Segment(std::string name, Subnet subnet, SegmentParams params, EventQueue* events,
+                 Rng* rng)
+    : name_(std::move(name)), subnet_(subnet), params_(params), events_(events), rng_(rng) {}
+
+void Segment::Attach(Interface* iface) {
+  iface->segment = this;
+  interfaces_.push_back(iface);
+  by_mac_[iface->mac] = iface;
+}
+
+void Segment::Detach(Interface* iface) {
+  interfaces_.erase(std::remove(interfaces_.begin(), interfaces_.end(), iface),
+                    interfaces_.end());
+  by_mac_.erase(iface->mac);
+  iface->segment = nullptr;
+}
+
+int Segment::ConcurrentTransmissions(MacAddress src) {
+  const SimTime now = events_->Now();
+  const SimTime window_start = now - params_.collision_window;
+  while (!recent_tx_.empty() && recent_tx_.front().when < window_start) {
+    recent_tx_.pop_front();
+  }
+  int contenders = 0;
+  for (const RecentTx& tx : recent_tx_) {
+    if (tx.src != src) {
+      ++contenders;
+    }
+  }
+  recent_tx_.push_back(RecentTx{now, src});
+  return contenders;
+}
+
+void Segment::Transmit(const EthernetFrame& frame) {
+  ++stats_.frames_sent;
+  stats_.bytes_sent += 14 + frame.payload.size();
+
+  const int contenders = ConcurrentTransmissions(frame.src);
+  if (contenders > 0) {
+    const double loss = std::min(params_.max_loss, params_.loss_per_concurrent * contenders);
+    if (rng_->Bernoulli(loss)) {
+      ++stats_.frames_dropped;
+      return;  // Collision: nobody receives the frame.
+    }
+  }
+
+  // Copy the frame into the closure; delivery happens after the latency.
+  events_->Schedule(params_.latency, [this, frame]() {
+    for (const auto& [token, tap] : taps_) {
+      (void)token;
+      tap(frame, events_->Now());
+    }
+    if (frame.dst.IsBroadcast() || frame.dst.IsMulticast()) {
+      // Deliver to every up interface except the sender's own.
+      for (Interface* iface : interfaces_) {
+        if (iface->up && iface->mac != frame.src) {
+          iface->owner->OnFrame(iface, frame);
+        }
+      }
+    } else {
+      auto it = by_mac_.find(frame.dst);
+      if (it != by_mac_.end() && it->second->up) {
+        it->second->owner->OnFrame(it->second, frame);
+      }
+    }
+  });
+}
+
+int Segment::AddTap(TapFn tap) {
+  int token = next_tap_token_++;
+  taps_[token] = std::move(tap);
+  return token;
+}
+
+void Segment::RemoveTap(int token) { taps_.erase(token); }
+
+}  // namespace fremont

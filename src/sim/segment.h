@@ -1,0 +1,128 @@
+// A shared Ethernet segment (one subnet's wire).
+//
+// Frames transmitted on a segment are delivered to attached interfaces after
+// a propagation delay. A simple load-dependent collision model captures the
+// failure mode the paper reports for broadcast ping: "closely spaced replies
+// can cause many collisions", costing it ~25% of the hosts on a busy subnet.
+//
+// Promiscuous taps model the SunOS Network Interface Tap (NIT) that the
+// ARPwatch and RIPwatch Explorer Modules use: a tap sees every successfully
+// delivered frame on the segment and injects nothing.
+
+#ifndef SRC_SIM_SEGMENT_H_
+#define SRC_SIM_SEGMENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/ethernet.h"
+#include "src/net/ipv4_address.h"
+#include "src/net/mac_address.h"
+#include "src/sim/event_queue.h"
+#include "src/util/rng.h"
+
+namespace fremont {
+
+class Segment;
+
+// Receiver half of a node: interfaces hand arriving frames to their owner
+// through this interface. Host implements it.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void OnFrame(struct Interface* iface, const EthernetFrame& frame) = 0;
+};
+
+// One network attachment point ("interface" in the paper's terminology: a
+// separately addressable network connection to a machine).
+struct Interface {
+  FrameSink* owner = nullptr;
+  Segment* segment = nullptr;
+  MacAddress mac;
+  Ipv4Address ip;
+  SubnetMask mask;
+  bool up = true;
+
+  Subnet AttachedSubnet() const { return Subnet(ip, mask); }
+};
+
+struct SegmentParams {
+  // One-way propagation + transmission delay per frame.
+  Duration latency = Duration::Micros(500);
+  // Collision model: frames transmitted within `collision_window` of each
+  // other contend; each extra contender adds `loss_per_concurrent` drop
+  // probability, capped at `max_loss`. The window is shorter than the
+  // segment latency, so causally-ordered request/reply exchanges never
+  // contend — only genuinely simultaneous transmissions (e.g. fifty
+  // broadcast-ping replies) do, which is the failure mode the paper reports.
+  Duration collision_window = Duration::Micros(200);
+  double loss_per_concurrent = 0.3;
+  double max_loss = 0.85;
+};
+
+struct SegmentStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t bytes_sent = 0;
+};
+
+class Segment {
+ public:
+  Segment(std::string name, Subnet subnet, SegmentParams params, EventQueue* events, Rng* rng);
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Subnet& subnet() const { return subnet_; }
+
+  // Registers an interface on this segment. The Interface object is owned by
+  // its Host; the segment only references it.
+  void Attach(Interface* iface);
+  void Detach(Interface* iface);
+  const std::vector<Interface*>& interfaces() const { return interfaces_; }
+
+  // Transmits a frame. Delivery to each receiver is scheduled after the
+  // segment latency; the collision model may drop the frame entirely.
+  void Transmit(const EthernetFrame& frame);
+
+  // Promiscuous taps (the NIT). Returns a token for RemoveTap.
+  using TapFn = std::function<void(const EthernetFrame&, SimTime)>;
+  int AddTap(TapFn tap);
+  void RemoveTap(int token);
+
+  const SegmentStats& stats() const { return stats_; }
+  // Frames transmitted in the window [since, now]; benches use this to
+  // measure a module's network load.
+  uint64_t frames_sent() const { return stats_.frames_sent; }
+
+ private:
+  // Number of *other stations'* transmissions within the collision window
+  // ending now. A station never collides with its own back-to-back frames
+  // (its NIC serializes them and carrier-sense defers).
+  int ConcurrentTransmissions(MacAddress src);
+
+  std::string name_;
+  Subnet subnet_;
+  SegmentParams params_;
+  EventQueue* events_;
+  Rng* rng_;
+  std::vector<Interface*> interfaces_;
+  std::unordered_map<MacAddress, Interface*> by_mac_;
+  std::unordered_map<int, TapFn> taps_;
+  int next_tap_token_ = 1;
+  struct RecentTx {
+    SimTime when;
+    MacAddress src;
+  };
+  std::deque<RecentTx> recent_tx_;
+  SegmentStats stats_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_SIM_SEGMENT_H_

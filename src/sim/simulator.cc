@@ -1,0 +1,51 @@
+#include "src/sim/simulator.h"
+
+namespace fremont {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+Segment* Simulator::CreateSegment(const std::string& name, Subnet subnet, SegmentParams params) {
+  segments_.push_back(std::make_unique<Segment>(name, subnet, params, &events_, &rng_));
+  return segments_.back().get();
+}
+
+Host* Simulator::CreateHost(const std::string& name, HostConfig config) {
+  hosts_.push_back(std::make_unique<Host>(name, config, &events_, &rng_));
+  return hosts_.back().get();
+}
+
+Router* Simulator::CreateRouter(const std::string& name, RouterConfig config) {
+  auto router = std::make_unique<Router>(name, config, &events_, &rng_);
+  Router* raw = router.get();
+  hosts_.push_back(std::move(router));
+  routers_.push_back(raw);
+  return raw;
+}
+
+Host* Simulator::FindHost(const std::string& name) const {
+  for (const auto& host : hosts_) {
+    if (host->name() == name) {
+      return host.get();
+    }
+  }
+  return nullptr;
+}
+
+Segment* Simulator::FindSegment(const std::string& name) const {
+  for (const auto& segment : segments_) {
+    if (segment->name() == name) {
+      return segment.get();
+    }
+  }
+  return nullptr;
+}
+
+uint64_t Simulator::TotalFramesSent() const {
+  uint64_t total = 0;
+  for (const auto& segment : segments_) {
+    total += segment->stats().frames_sent;
+  }
+  return total;
+}
+
+}  // namespace fremont

@@ -1,0 +1,60 @@
+// Simulator: the container that owns a simulated internet.
+//
+// Owns the event queue (virtual clock), RNG, segments, hosts, and routers.
+// Topology builders populate it; Explorer Modules run against hosts inside
+// it; benches read its statistics.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/host.h"
+#include "src/sim/router.h"
+#include "src/sim/segment.h"
+#include "src/util/rng.h"
+
+namespace fremont {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1993);
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  EventQueue& events() { return events_; }
+  Rng& rng() { return rng_; }
+  SimTime Now() const { return events_.Now(); }
+
+  Segment* CreateSegment(const std::string& name, Subnet subnet, SegmentParams params = {});
+  Host* CreateHost(const std::string& name, HostConfig config = {});
+  Router* CreateRouter(const std::string& name, RouterConfig config = {});
+
+  Host* FindHost(const std::string& name) const;
+  Segment* FindSegment(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<Segment>>& segments() const { return segments_; }
+  const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+  const std::vector<Router*>& routers() const { return routers_; }
+
+  // Convenience clock controls.
+  void RunFor(Duration duration) { events_.RunFor(duration); }
+  void RunUntil(SimTime deadline) { events_.RunUntil(deadline); }
+
+  // Total frames placed on all segments.
+  uint64_t TotalFramesSent() const;
+
+ private:
+  EventQueue events_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<std::unique_ptr<Host>> hosts_;  // Includes routers (as Host).
+  std::vector<Router*> routers_;              // Typed view of the routers.
+};
+
+}  // namespace fremont
+
+#endif  // SRC_SIM_SIMULATOR_H_

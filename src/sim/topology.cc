@@ -1,0 +1,576 @@
+#include "src/sim/topology.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "src/net/oui.h"
+#include "src/util/string_util.h"
+
+namespace fremont {
+namespace {
+
+// Classic early-90s machine names: Greek letters, Colorado towns, fourteeners.
+constexpr std::array<const char*, 60> kHostNames = {
+    "alpha",    "beta",    "gamma",    "delta",   "epsilon",  "zeta",     "eta",      "theta",
+    "iota",     "kappa",   "lambda",   "mu",      "nu",       "xi",       "pi",       "rho",
+    "sigma",    "tau",     "phi",      "chi",     "psi",      "omega",    "boulder",  "denver",
+    "aspen",    "vail",    "estes",    "golden",  "pueblo",   "durango",  "ouray",    "salida",
+    "kiowa",    "pawnee",  "arapahoe", "cheyenne", "ute",     "navajo",   "hopi",     "zuni",
+    "tabor",    "bross",   "lincoln",  "quandary", "grays",   "torreys",  "evans",    "bierstadt",
+    "longs",    "meeker",  "pikes",    "sopris",  "princeton", "yale",    "harvard",  "oxford",
+    "elbert",   "massive", "antero",   "shavano",
+};
+
+constexpr std::array<const char*, 30> kDepartments = {
+    "cs",     "ee",     "math",   "chem",   "phys",    "bio",     "geol",   "astro",
+    "psych",  "econ",   "hist",   "classics", "music", "arts",    "law",    "med",
+    "engr",   "aero",   "civil",  "mech",   "chbe",    "admin",   "lib",    "athletics",
+    "regist", "alumni", "itts",   "telecom", "ucsu",   "envd",
+};
+
+// Weighted workstation vendor mix for a 1993 campus.
+constexpr std::array<std::pair<uint32_t, int>, 9> kHostVendorWeights = {{
+    {kOuiSun, 40},
+    {kOuiDec, 15},
+    {kOuiHp, 10},
+    {kOui3Com, 10},
+    {kOuiIntel, 7},
+    {kOuiApple, 5},
+    {kOuiIbm, 5},
+    {kOuiSgi, 5},
+    {kOuiNext, 3},
+}};
+
+constexpr std::array<uint32_t, 3> kRouterVendors = {kOuiCisco, kOuiProteon, kOuiWellfleet};
+
+MacAddress NextHostMac(Rng& rng, uint32_t* serial) {
+  int total = 0;
+  for (const auto& [oui, weight] : kHostVendorWeights) {
+    total += weight;
+  }
+  int pick = static_cast<int>(rng.Uniform(0, total - 1));
+  for (const auto& [oui, weight] : kHostVendorWeights) {
+    pick -= weight;
+    if (pick < 0) {
+      return MacAddress::FromOui(oui, (*serial)++);
+    }
+  }
+  return MacAddress::FromOui(kOuiSun, (*serial)++);
+}
+
+MacAddress NextRouterMac(Rng& rng, uint32_t* serial) {
+  const uint32_t oui = kRouterVendors[static_cast<size_t>(rng.Uniform(0, kRouterVendors.size() - 1))];
+  return MacAddress::FromOui(oui, (*serial)++);
+}
+
+}  // namespace
+
+std::string CampusHostName(size_t index, const std::string& department) {
+  std::string base = kHostNames[index % kHostNames.size()];
+  const size_t round = index / kHostNames.size();
+  if (round > 0) {
+    base += std::to_string(round + 1);
+  }
+  return base + "." + department + ".colorado.edu";
+}
+
+// ---------------------------------------------------------------------------
+// DiurnalChurn
+// ---------------------------------------------------------------------------
+
+DiurnalChurn::DiurnalChurn(Simulator* sim, DiurnalParams params) : sim_(sim), params_(params) {}
+
+DiurnalChurn::~DiurnalChurn() { Stop(); }
+
+void DiurnalChurn::AddHost(Host* host, bool always_on) {
+  hosts_.push_back(Tracked{host, always_on});
+}
+
+void DiurnalChurn::SetAlwaysOn(Host* host) {
+  for (auto& tracked : hosts_) {
+    if (tracked.host == host) {
+      tracked.always_on = true;
+    }
+  }
+  host->SetUp(true);
+}
+
+void DiurnalChurn::Decommission(Host* host) {
+  std::erase_if(hosts_, [host](const Tracked& tracked) { return tracked.host == host; });
+  host->SetUp(false);
+}
+
+bool DiurnalChurn::IsDaytime(SimTime t) const {
+  const int64_t micros_of_day = t.ToMicros() % Duration::Days(1).ToMicros();
+  return micros_of_day >= params_.day_start.ToMicros() &&
+         micros_of_day < params_.day_end.ToMicros();
+}
+
+void DiurnalChurn::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ++generation_;
+  ApplyBoundary(IsDaytime(sim_->Now()));
+  ScheduleNextBoundary();
+}
+
+void DiurnalChurn::Stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void DiurnalChurn::ApplyBoundary(bool entering_day) {
+  const double p_on = entering_day ? params_.desktop_on_day : params_.desktop_on_night;
+  for (const auto& tracked : hosts_) {
+    if (tracked.always_on) {
+      if (!tracked.host->IsUp()) {
+        tracked.host->SetUp(true);
+      }
+      continue;
+    }
+    const bool want_up = sim_->rng().Bernoulli(p_on);
+    if (want_up == tracked.host->IsUp()) {
+      continue;
+    }
+    Host* host = tracked.host;
+    const Duration jitter =
+        Duration::Micros(sim_->rng().Uniform(0, params_.jitter.ToMicros()));
+    const uint64_t generation = generation_;
+    sim_->events().Schedule(jitter, [this, host, want_up, generation]() {
+      if (running_ && generation == generation_) {
+        host->SetUp(want_up);
+      }
+    });
+  }
+}
+
+void DiurnalChurn::ScheduleNextBoundary() {
+  const int64_t day = Duration::Days(1).ToMicros();
+  const int64_t now_us = sim_->Now().ToMicros();
+  const int64_t micros_of_day = now_us % day;
+  int64_t next_us;
+  bool entering_day;
+  if (micros_of_day < params_.day_start.ToMicros()) {
+    next_us = now_us - micros_of_day + params_.day_start.ToMicros();
+    entering_day = true;
+  } else if (micros_of_day < params_.day_end.ToMicros()) {
+    next_us = now_us - micros_of_day + params_.day_end.ToMicros();
+    entering_day = false;
+  } else {
+    next_us = now_us - micros_of_day + day + params_.day_start.ToMicros();
+    entering_day = true;
+  }
+  const uint64_t generation = generation_;
+  sim_->events().ScheduleAt(SimTime::FromMicros(next_us), [this, entering_day, generation]() {
+    if (!running_ || generation != generation_) {
+      return;
+    }
+    ApplyBoundary(entering_day);
+    ScheduleNextBoundary();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Department subnet (Table 5 environment)
+// ---------------------------------------------------------------------------
+
+DepartmentSubnet BuildDepartmentSubnet(Simulator& sim, const DepartmentParams& params) {
+  DepartmentSubnet dept;
+  Rng& rng = sim.rng();
+  uint32_t mac_serial = 0x100;
+
+  dept.backbone = sim.CreateSegment("backbone", params.backbone);
+  dept.segment = sim.CreateSegment("cs-subnet", params.subnet);
+  const SubnetMask mask = params.subnet.mask();
+
+  ZoneDb zone;
+  zone.AddNs("colorado.edu", "ns.cs.colorado.edu");
+
+  auto record_truth = [&](Host* host, Interface* iface, const std::string& dns_name,
+                          bool is_gateway) {
+    dept.truth.interfaces.push_back(
+        InterfaceTruth{host->name(), iface->mac, iface->ip, iface->mask, dns_name, is_gateway});
+  };
+
+  // Gateway: a cisco box connecting the subnet to the campus backbone.
+  RouterConfig gw_config;
+  dept.gateway = sim.CreateRouter("cs-gw", gw_config);
+  Interface* gw_dept =
+      dept.gateway->AttachTo(dept.segment, params.subnet.HostAt(1), mask,
+                             MacAddress::FromOui(kOuiCisco, mac_serial++));
+  Interface* gw_backbone = dept.gateway->AttachTo(
+      dept.backbone, Ipv4Address(params.backbone.network().value() + 238), params.backbone.mask(),
+      MacAddress::FromOui(kOuiCisco, mac_serial++));
+  zone.AddHost("cs-gw.colorado.edu", gw_dept->ip);
+  zone.AddHost("cs-gw.colorado.edu", gw_backbone->ip);
+  record_truth(dept.gateway, gw_dept, "cs-gw.colorado.edu", true);
+
+  dept.churn = std::make_unique<DiurnalChurn>(&sim, params.diurnal);
+  TrafficParams traffic_params;
+  traffic_params.local_fraction = params.traffic_local_fraction;
+  dept.traffic = std::make_unique<TrafficGenerator>(&sim.events(), &rng, traffic_params);
+  dept.churn->AddHost(dept.gateway, /*always_on=*/true);
+
+  // Real hosts. `real_hosts` counts every real interface on the subnet
+  // including the gateway's, the vantage machine, and the name server.
+  const int plain_hosts = params.real_hosts - 3;  // minus gateway, vantage, ns.
+  int next_host_octet = 10;
+  size_t name_index = 0;
+
+  // HINFO text matching the interface's vendor OUI, supplied for only some
+  // hosts — the paper found type data "rarely supplied" in real zones.
+  auto maybe_add_hinfo = [&](const std::string& name, MacAddress mac) {
+    if (!rng.Bernoulli(params.hinfo_fraction)) {
+      return;
+    }
+    auto vendor = LookupVendor(mac);
+    zone.AddHinfo(name, vendor.has_value() ? std::string(*vendor) : "UNKNOWN", "UNIX");
+  };
+
+  auto make_host = [&](const std::string& name, bool always_on,
+                       Duration traffic_interval) -> Host* {
+    Host* host = sim.CreateHost(name);
+    Interface* iface = host->AttachTo(dept.segment, params.subnet.HostAt(next_host_octet), mask,
+                                      NextHostMac(rng, &mac_serial));
+    ++next_host_octet;
+    host->SetDefaultGateway(gw_dept->ip);
+    zone.AddHost(name, iface->ip);
+    maybe_add_hinfo(name, iface->mac);
+    record_truth(host, iface, name, false);
+    dept.churn->AddHost(host, always_on);
+    dept.traffic->AddHost(host, traffic_interval);
+    return host;
+  };
+
+  // Vantage machine (runs Fremont) and the name server: always on.
+  dept.vantage = make_host("fremont.cs.colorado.edu", true, Duration::Minutes(10));
+  dept.dns_host = make_host("ns.cs.colorado.edu", true, Duration::Minutes(5));
+
+  for (int i = 0; i < plain_hosts; ++i) {
+    const bool is_server = rng.UniformDouble() < params.server_fraction;
+    // Heavy-tailed activity: log-uniform between chatty and quiet.
+    const double lo = static_cast<double>(params.chatty_interval.ToMicros());
+    const double hi = static_cast<double>(params.quiet_interval.ToMicros());
+    const double log_pick = rng.UniformDouble();
+    const double interval_us =
+        lo * std::pow(hi / lo, is_server ? log_pick * 0.25 : 0.4 + log_pick * 0.6);
+    Host* host = make_host(CampusHostName(name_index++, "cs"), is_server,
+                           Duration::Micros(static_cast<int64_t>(interval_us)));
+    dept.hosts.push_back(host);
+  }
+
+  // Stale DNS entries: names registered for machines that left the network.
+  for (int i = 0; i < params.stale_dns_entries; ++i) {
+    zone.AddHost(CampusHostName(name_index++, "cs") /* never built */,
+                 params.subnet.HostAt(200 + i));
+  }
+
+  // Fault injection. Each fault class gets disjoint victims, kept always-on
+  // so the faults are observable regardless of the diurnal cycle.
+  for (int i = 0; i < params.duplicate_ip_pairs && i < static_cast<int>(dept.hosts.size()); ++i) {
+    // A new machine squats on an existing host's address.
+    Host* victim = dept.hosts[i];
+    dept.churn->SetAlwaysOn(victim);
+    Host* squatter = sim.CreateHost("rogue" + std::to_string(i) + ".cs.colorado.edu");
+    squatter->AttachTo(dept.segment, victim->primary_interface()->ip, mask,
+                       NextHostMac(rng, &mac_serial));
+    squatter->SetDefaultGateway(gw_dept->ip);
+    dept.churn->AddHost(squatter, true);
+    dept.traffic->AddHost(squatter, Duration::Minutes(10));
+  }
+  for (int i = 0; i < params.wrong_mask_hosts && i < static_cast<int>(dept.hosts.size()); ++i) {
+    // Misconfigured with the classful (unsubnetted) mask.
+    Host* host = dept.hosts[dept.hosts.size() - 1 - i];
+    host->config().wrong_advertised_mask = SubnetMask::FromPrefixLength(16);
+    dept.churn->SetAlwaysOn(host);
+  }
+
+  // RIP: the gateway advertises; misconfigured hosts echo promiscuously.
+  RipDaemonConfig rip_config;
+  auto gw_rip = std::make_unique<RipDaemon>(dept.gateway, dept.gateway, rip_config);
+  gw_rip->Start();
+  dept.rip_daemons.push_back(std::move(gw_rip));
+  for (int i = 0; i < params.promiscuous_rip_hosts; ++i) {
+    // Offset past the duplicate-IP victims so fault classes don't overlap.
+    const int index = params.duplicate_ip_pairs + i;
+    if (index >= static_cast<int>(dept.hosts.size())) {
+      break;
+    }
+    dept.churn->SetAlwaysOn(dept.hosts[index]);
+    RipDaemonConfig bad;
+    bad.promiscuous_rebroadcast = true;
+    auto daemon = std::make_unique<RipDaemon>(dept.hosts[index], nullptr, bad);
+    daemon->Start();
+    dept.rip_daemons.push_back(std::move(daemon));
+  }
+
+  dept.dns = std::make_unique<DnsServer>(dept.dns_host, std::move(zone));
+  dept.dns_entry_count = params.real_hosts + params.stale_dns_entries;
+  dept.truth.assigned_subnets = {params.subnet, params.backbone};
+  dept.truth.connected_subnets = {params.subnet, params.backbone};
+
+  dept.traffic->Start();
+  dept.churn->Start();
+  return dept;
+}
+
+// ---------------------------------------------------------------------------
+// Campus (Table 6 environment)
+// ---------------------------------------------------------------------------
+
+Campus BuildCampus(Simulator& sim, const CampusParams& params) {
+  Campus campus;
+  Rng& rng = sim.rng();
+  uint32_t mac_serial = 0x5000;
+  const uint32_t base = params.class_b.value();
+  const SubnetMask slash24 = SubnetMask::FromPrefixLength(24);
+
+  campus.backbone = sim.CreateSegment("backbone", Subnet(params.class_b, slash24));
+  ZoneDb zone;
+  zone.AddNs("colorado.edu", "ns.cs.colorado.edu");
+
+  // Assigned subnets: third octet 1..assigned; the last (assigned-connected)
+  // of them exist on paper only.
+  for (int k = 1; k <= params.assigned_subnets; ++k) {
+    campus.truth.assigned_subnets.push_back(
+        Subnet(Ipv4Address(base + (static_cast<uint32_t>(k) << 8)), slash24));
+  }
+
+  struct PlannedRouter {
+    Router* router = nullptr;
+    std::vector<int> subnet_numbers;
+    Interface* backbone_iface = nullptr;
+    bool faulty = false;
+    bool dns_named = false;
+  };
+  std::vector<PlannedRouter> plan;
+
+  // Partition connected subnets across routers: 1-3 subnets each.
+  int next_subnet = 1;
+  while (next_subnet <= params.connected_subnets) {
+    PlannedRouter planned;
+    const int want = static_cast<int>(rng.Uniform(1, 3));
+    for (int j = 0; j < want && next_subnet <= params.connected_subnets; ++j) {
+      planned.subnet_numbers.push_back(next_subnet++);
+    }
+    plan.push_back(std::move(planned));
+  }
+
+  // Mark faulty gateways (silent firmware) until they cover the requested
+  // number of subnets. Never mark the first router: the vantage subnet must
+  // be traceable.
+  int hidden = 0;
+  for (size_t i = plan.size(); i-- > 1 && hidden < params.faulty_gateway_subnets;) {
+    if (hidden + static_cast<int>(plan[i].subnet_numbers.size()) <=
+        params.faulty_gateway_subnets) {
+      plan[i].faulty = true;
+      hidden += static_cast<int>(plan[i].subnet_numbers.size());
+    }
+  }
+  campus.truth.traceroute_hidden_subnets = hidden;
+
+  // Mark DNS-named gateways, preferring routers with fewer subnets so the
+  // named set connects roughly the paper's 48 subnets from 31 gateways.
+  {
+    std::vector<size_t> order(plan.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return plan[a].subnet_numbers.size() < plan[b].subnet_numbers.size();
+    });
+    int named = 0;
+    for (size_t idx : order) {
+      if (named >= params.dns_named_gateways) {
+        break;
+      }
+      plan[idx].dns_named = true;
+      ++named;
+      campus.truth.dns_gateway_subnets += static_cast<int>(plan[idx].subnet_numbers.size());
+    }
+    campus.truth.dns_named_gateways = named;
+  }
+
+  // DNS-registered subnets: the first `dns_registered_subnets` connected ones.
+  auto subnet_is_dns_registered = [&](int subnet_number) {
+    return subnet_number <= params.dns_registered_subnets;
+  };
+  campus.truth.dns_registered_subnets =
+      std::min(params.dns_registered_subnets, params.connected_subnets);
+
+  // Build routers, segments, and hosts.
+  size_t global_name_index = 0;
+  for (size_t r = 0; r < plan.size(); ++r) {
+    PlannedRouter& planned = plan[r];
+    const std::string dept = kDepartments[r % kDepartments.size()] +
+                             (r >= kDepartments.size() ? std::to_string(r / kDepartments.size() + 1)
+                                                       : "");
+    RouterConfig config;
+    if (planned.faulty) {
+      config.silent_ttl_drop = true;
+      config.host.accepts_host_zero = false;
+      config.host.sends_port_unreachable = false;
+    }
+    planned.router = sim.CreateRouter(dept + "-gw", config);
+    campus.gateways.push_back(planned.router);
+
+    // A Sun workstation doubling as a gateway uses its hostid-derived MAC on
+    // every interface; dedicated router boxes get one MAC per interface.
+    const bool sun_gateway = rng.Bernoulli(params.sun_gateway_fraction);
+    const MacAddress sun_mac = MacAddress::FromOui(kOuiSun, 0xa000 + mac_serial++);
+    auto next_gateway_mac = [&]() {
+      return sun_gateway ? sun_mac : NextRouterMac(rng, &mac_serial);
+    };
+
+    planned.backbone_iface = planned.router->AttachTo(
+        campus.backbone, Ipv4Address(base + 10 + static_cast<uint32_t>(r)), slash24,
+        next_gateway_mac());
+    const std::string gw_name = dept + "-gw.colorado.edu";
+    if (planned.dns_named) {
+      zone.AddHost(gw_name, planned.backbone_iface->ip);
+    }
+    campus.truth.interfaces.push_back(InterfaceTruth{planned.router->name(),
+                                                     planned.backbone_iface->mac,
+                                                     planned.backbone_iface->ip, slash24,
+                                                     planned.dns_named ? gw_name : "", true});
+
+    for (int subnet_number : planned.subnet_numbers) {
+      const Subnet subnet(Ipv4Address(base + (static_cast<uint32_t>(subnet_number) << 8)),
+                          slash24);
+      Segment* segment =
+          sim.CreateSegment("subnet-" + std::to_string(subnet_number), subnet);
+      campus.subnet_segments.push_back(segment);
+      campus.truth.connected_subnets.push_back(subnet);
+
+      Interface* gw_iface =
+          planned.router->AttachTo(segment, subnet.HostAt(1), slash24, next_gateway_mac());
+      if (planned.dns_named) {
+        zone.AddHost(gw_name, gw_iface->ip);
+      }
+      campus.truth.interfaces.push_back(InterfaceTruth{
+          planned.router->name(), gw_iface->mac, gw_iface->ip, slash24,
+          planned.dns_named ? gw_name : "", true});
+
+      const int host_count = static_cast<int>(
+          rng.Uniform(params.min_hosts_per_subnet, params.max_hosts_per_subnet));
+      for (int h = 0; h < host_count; ++h) {
+        const std::string name = CampusHostName(global_name_index++, dept);
+        Host* host = sim.CreateHost(name);
+        Interface* iface = host->AttachTo(segment, subnet.HostAt(10 + static_cast<uint32_t>(h)),
+                                          slash24, NextHostMac(rng, &mac_serial));
+        host->SetDefaultGateway(gw_iface->ip);
+        const bool registered = subnet_is_dns_registered(subnet_number);
+        if (registered) {
+          zone.AddHost(name, iface->ip);
+        }
+        campus.truth.interfaces.push_back(
+            InterfaceTruth{name, iface->mac, iface->ip, slash24, registered ? name : "", false});
+        campus.hosts.push_back(host);
+      }
+    }
+  }
+
+  // Vantage machine and name server live on subnet 1.
+  campus.vantage_segment = campus.subnet_segments.front();
+  const Subnet vantage_subnet = campus.vantage_segment->subnet();
+  const Ipv4Address vantage_gw = vantage_subnet.HostAt(1);
+  {
+    campus.vantage = sim.CreateHost("fremont.cs.colorado.edu");
+    Interface* iface = campus.vantage->AttachTo(campus.vantage_segment, vantage_subnet.HostAt(250),
+                                                slash24, NextHostMac(rng, &mac_serial));
+    campus.vantage->SetDefaultGateway(vantage_gw);
+    zone.AddHost("fremont.cs.colorado.edu", iface->ip);
+    campus.truth.interfaces.push_back(InterfaceTruth{
+        campus.vantage->name(), iface->mac, iface->ip, slash24, campus.vantage->name(), false});
+
+    campus.dns_host = sim.CreateHost("ns.cs.colorado.edu");
+    Interface* ns_iface = campus.dns_host->AttachTo(
+        campus.vantage_segment, vantage_subnet.HostAt(53), slash24, NextHostMac(rng, &mac_serial));
+    campus.dns_host->SetDefaultGateway(vantage_gw);
+    zone.AddHost("ns.cs.colorado.edu", ns_iface->ip);
+    campus.truth.interfaces.push_back(InterfaceTruth{
+        campus.dns_host->name(), ns_iface->mac, ns_iface->ip, slash24, campus.dns_host->name(),
+        false});
+  }
+
+  // Static route seeding: every router knows every other router's subnets via
+  // the backbone (metric 2). RIP keeps these fresh thereafter.
+  if (params.static_routes) {
+    for (const auto& from : plan) {
+      for (const auto& to : plan) {
+        if (&from == &to) {
+          continue;
+        }
+        for (int subnet_number : to.subnet_numbers) {
+          const Subnet subnet(Ipv4Address(base + (static_cast<uint32_t>(subnet_number) << 8)),
+                              slash24);
+          from.router->routing_table().Learn(subnet, to.backbone_iface->ip, from.backbone_iface,
+                                             2, sim.Now());
+        }
+      }
+    }
+  }
+
+  if (params.enable_rip) {
+    for (const auto& planned : plan) {
+      RipDaemonConfig rip_config;
+      auto daemon = std::make_unique<RipDaemon>(planned.router, planned.router, rip_config);
+      daemon->Start();
+      campus.rip_daemons.push_back(std::move(daemon));
+    }
+  }
+
+  // Promiscuous RIP hosts sit on the vantage subnet where RIPwatch can hear
+  // them.
+  for (int i = 0; i < params.promiscuous_rip_hosts; ++i) {
+    Host* bad = sim.CreateHost("chatty" + std::to_string(i) + ".cs.colorado.edu");
+    Interface* iface = bad->AttachTo(campus.vantage_segment,
+                                     vantage_subnet.HostAt(240 + static_cast<uint32_t>(i)),
+                                     slash24, NextHostMac(rng, &mac_serial));
+    bad->SetDefaultGateway(vantage_gw);
+    campus.truth.interfaces.push_back(
+        InterfaceTruth{bad->name(), iface->mac, iface->ip, slash24, "", false});
+    RipDaemonConfig bad_config;
+    bad_config.promiscuous_rebroadcast = true;
+    auto daemon = std::make_unique<RipDaemon>(bad, nullptr, bad_config);
+    daemon->Start();
+    campus.rip_daemons.push_back(std::move(daemon));
+    campus.hosts.push_back(bad);
+  }
+
+  // Duplicate-IP and wrong-mask faults on the vantage subnet.
+  for (int i = 0; i < params.duplicate_ip_pairs && i < static_cast<int>(campus.hosts.size());
+       ++i) {
+    Host* victim = campus.hosts[i];
+    if (victim->primary_interface() == nullptr) {
+      continue;
+    }
+    Host* squatter = sim.CreateHost("rogue" + std::to_string(i) + ".colorado.edu");
+    squatter->AttachTo(victim->primary_interface()->segment, victim->primary_interface()->ip,
+                       slash24, NextHostMac(rng, &mac_serial));
+  }
+  for (int i = 0; i < params.wrong_mask_hosts && i < static_cast<int>(campus.hosts.size()); ++i) {
+    campus.hosts[campus.hosts.size() - 1 - i]->config().wrong_advertised_mask =
+        SubnetMask::FromPrefixLength(16);
+  }
+
+  if (params.enable_traffic) {
+    campus.traffic = std::make_unique<TrafficGenerator>(&sim.events(), &rng);
+    for (Host* host : campus.hosts) {
+      const int64_t mean_us = params.traffic_mean_interval.ToMicros();
+      campus.traffic->AddHost(
+          host, Duration::Micros(mean_us / 2 + rng.Uniform(0, mean_us)));
+    }
+    campus.traffic->AddHost(campus.vantage, params.traffic_mean_interval);
+    campus.traffic->AddHost(campus.dns_host, params.traffic_mean_interval / 4);
+    campus.traffic->Start();
+  }
+
+  campus.dns = std::make_unique<DnsServer>(campus.dns_host, std::move(zone));
+  return campus;
+}
+
+}  // namespace fremont

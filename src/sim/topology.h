@@ -1,0 +1,213 @@
+// Topology builders: synthetic campuses with ground truth.
+//
+// Two generators reproduce the paper's two evaluation environments:
+//
+//   * BuildDepartmentSubnet — the Computer Science department subnet of
+//     Table 5: ~54 real interfaces, 56 DNS entries (two stale), a gateway to
+//     a small backbone, diurnal host availability (desktops off at night),
+//     and background traffic to drive ARPwatch.
+//
+//   * BuildCampus — the campus network of Table 6: a class B network with
+//     114 assigned subnets of which 111 are connected, multi-subnet
+//     gateways on a backbone, partial DNS registration, gateway naming
+//     conventions for a subset, and "gateway software problems" (silent
+//     TTL-drop firmware) hiding a tranche of subnets from traceroute.
+//
+// Both return ground truth so benches can compute "% of Total" columns.
+
+#ifndef SRC_SIM_TOPOLOGY_H_
+#define SRC_SIM_TOPOLOGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/dns_server.h"
+#include "src/sim/rip_daemon.h"
+#include "src/sim/router.h"
+#include "src/sim/simulator.h"
+#include "src/sim/traffic.h"
+
+namespace fremont {
+
+// ---------------------------------------------------------------------------
+// Diurnal availability: desktops are on with p_day during working hours and
+// p_night outside them; servers stay up. State is resampled per host at each
+// day/night boundary (with per-host jitter), giving runs at different
+// simulated times of day different up-populations — the paper's "not all
+// hosts up when run" loss mode.
+// ---------------------------------------------------------------------------
+
+struct DiurnalParams {
+  Duration day_start = Duration::Hours(8);   // Offset within each 24h day.
+  Duration day_end = Duration::Hours(20);
+  double desktop_on_day = 0.85;
+  double desktop_on_night = 0.55;
+  Duration jitter = Duration::Minutes(45);   // Per-host boundary jitter.
+};
+
+class DiurnalChurn {
+ public:
+  DiurnalChurn(Simulator* sim, DiurnalParams params);
+  ~DiurnalChurn();
+  DiurnalChurn(const DiurnalChurn&) = delete;
+  DiurnalChurn& operator=(const DiurnalChurn&) = delete;
+
+  // Servers (always_on=true) never churn but are registered for accounting.
+  void AddHost(Host* host, bool always_on);
+  // Reclassifies a tracked host as always-on (and powers it up).
+  void SetAlwaysOn(Host* host);
+  // Removes a host from churn tracking and powers it off for good — a
+  // machine leaving the network (the "IP no longer in use" scenario).
+  void Decommission(Host* host);
+
+  // Samples initial states and schedules boundary transitions forever.
+  void Start();
+  void Stop();
+
+  bool IsDaytime(SimTime t) const;
+
+ private:
+  struct Tracked {
+    Host* host;
+    bool always_on;
+  };
+
+  void ScheduleNextBoundary();
+  void ApplyBoundary(bool entering_day);
+
+  Simulator* sim_;
+  DiurnalParams params_;
+  std::vector<Tracked> hosts_;
+  bool running_ = false;
+  uint64_t generation_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Ground truth
+// ---------------------------------------------------------------------------
+
+struct InterfaceTruth {
+  std::string host_name;
+  MacAddress mac;
+  Ipv4Address ip;
+  SubnetMask mask;
+  std::string dns_name;  // Empty if not registered.
+  bool is_gateway = false;
+};
+
+struct CampusTruth {
+  std::vector<InterfaceTruth> interfaces;
+  std::vector<Subnet> assigned_subnets;
+  std::vector<Subnet> connected_subnets;
+  // Per the paper's Table 6 accounting.
+  int dns_registered_subnets = 0;   // Subnets with at least one DNS host.
+  int dns_named_gateways = 0;       // Gateways identifiable from DNS naming.
+  int dns_gateway_subnets = 0;      // Non-backbone subnets those connect.
+  int traceroute_hidden_subnets = 0;  // Behind silent-firmware gateways.
+};
+
+// ---------------------------------------------------------------------------
+// Department subnet (Table 5 environment)
+// ---------------------------------------------------------------------------
+
+struct DepartmentParams {
+  Subnet subnet = *Subnet::Parse("128.138.238.0/24");
+  Subnet backbone = *Subnet::Parse("128.138.0.0/24");
+  int real_hosts = 54;
+  int stale_dns_entries = 2;       // DNS names with no machine behind them.
+  double server_fraction = 0.30;   // Always-on machines.
+  // Mean traffic inter-send interval bounds (heavy-tailed spread between
+  // them; chatty servers at the low end). Calibrated so that ~60% of the
+  // subnet ARPs within half an hour and nearly everything within a day
+  // (Table 5's ARPwatch curve).
+  Duration chatty_interval = Duration::Minutes(8);
+  Duration quiet_interval = Duration::Hours(16);
+  double traffic_local_fraction = 0.65;
+  // Fraction of registered hosts whose administrators supplied an HINFO
+  // record (the paper: rarely).
+  double hinfo_fraction = 0.25;
+  DiurnalParams diurnal;
+
+  // Fault injection for the Table 8 / analysis scenarios.
+  int duplicate_ip_pairs = 0;
+  int wrong_mask_hosts = 0;
+  int promiscuous_rip_hosts = 0;
+};
+
+struct DepartmentSubnet {
+  Segment* segment = nullptr;
+  Segment* backbone = nullptr;
+  Router* gateway = nullptr;
+  Host* vantage = nullptr;   // Always-on machine Fremont runs from.
+  Host* dns_host = nullptr;  // Always-on name server (on the subnet).
+  std::vector<Host*> hosts;  // All real hosts (excluding vantage/gateway).
+  std::unique_ptr<DnsServer> dns;
+  std::unique_ptr<TrafficGenerator> traffic;
+  std::unique_ptr<DiurnalChurn> churn;
+  std::vector<std::unique_ptr<RipDaemon>> rip_daemons;
+  CampusTruth truth;
+  int dns_entry_count = 0;  // Forward names on the subnet (the "% of" base).
+};
+
+DepartmentSubnet BuildDepartmentSubnet(Simulator& sim, const DepartmentParams& params);
+
+// ---------------------------------------------------------------------------
+// Campus (Table 6 environment)
+// ---------------------------------------------------------------------------
+
+struct CampusParams {
+  Ipv4Address class_b = Ipv4Address(128, 138, 0, 0);
+  int assigned_subnets = 114;
+  int connected_subnets = 111;
+  int min_hosts_per_subnet = 2;
+  int max_hosts_per_subnet = 8;
+  // Subnets hidden from traceroute by gateway firmware faults.
+  int faulty_gateway_subnets = 25;
+  // Subnets with at least one host registered in the DNS.
+  int dns_registered_subnets = 93;
+  // Gateways whose interfaces are DNS-registered under a "-gw" style naming
+  // convention (the count of *subnets* they connect is derived and reported
+  // in the truth struct).
+  int dns_named_gateways = 31;
+  bool enable_rip = true;
+  bool static_routes = true;  // Seed routing tables (RIP refreshes them).
+  // Background traffic (drives ARPwatch); mean per-host inter-send interval.
+  bool enable_traffic = true;
+  Duration traffic_mean_interval = Duration::Minutes(30);
+  // Fraction of gateways that are Sun workstations doubling as routers.
+  // SunOS derived the station MAC from the hostid and used it on EVERY
+  // interface — which is exactly what lets two ARP modules on different
+  // subnets correlate "the same Ethernet address" into one gateway (the
+  // paper's flagship cross-correlation example).
+  double sun_gateway_fraction = 0.2;
+
+  // Fault injection.
+  int promiscuous_rip_hosts = 0;
+  int duplicate_ip_pairs = 0;
+  int wrong_mask_hosts = 0;
+};
+
+struct Campus {
+  Segment* backbone = nullptr;
+  std::vector<Segment*> subnet_segments;
+  std::vector<Router*> gateways;
+  std::vector<Host*> hosts;
+  Host* vantage = nullptr;
+  Segment* vantage_segment = nullptr;
+  Host* dns_host = nullptr;
+  std::unique_ptr<DnsServer> dns;
+  std::unique_ptr<TrafficGenerator> traffic;
+  std::vector<std::unique_ptr<RipDaemon>> rip_daemons;
+  CampusTruth truth;
+};
+
+Campus BuildCampus(Simulator& sim, const CampusParams& params);
+
+// Deterministic host-name generator shared by the builders (classic early-90s
+// workstation names, qualified by department).
+std::string CampusHostName(size_t index, const std::string& department);
+
+}  // namespace fremont
+
+#endif  // SRC_SIM_TOPOLOGY_H_

@@ -1,0 +1,95 @@
+#include "src/sim/traffic.h"
+
+namespace fremont {
+
+TrafficGenerator::TrafficGenerator(EventQueue* events, Rng* rng, TrafficParams params)
+    : events_(events), rng_(rng), params_(params) {}
+
+TrafficGenerator::~TrafficGenerator() { Stop(); }
+
+void TrafficGenerator::AddHost(Host* host, Duration mean_interval) {
+  host->BindUdp(params_.discard_port, [](const Ipv4Packet&, const UdpDatagram&) {});
+  participants_.push_back(Participant{host, mean_interval});
+  if (running_) {
+    ScheduleNext(participants_.size() - 1);
+  }
+}
+
+void TrafficGenerator::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ++generation_;
+  for (size_t i = 0; i < participants_.size(); ++i) {
+    ScheduleNext(i);
+  }
+}
+
+void TrafficGenerator::Stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void TrafficGenerator::ScheduleNext(size_t index) {
+  const Participant& participant = participants_[index];
+  const double wait_s = rng_->Exponential(participant.mean_interval.ToSecondsF());
+  const uint64_t generation = generation_;
+  events_->Schedule(Duration::SecondsF(wait_s), [this, index, generation]() {
+    if (!running_ || generation != generation_) {
+      return;
+    }
+    SendOne(index);
+    ScheduleNext(index);
+  });
+}
+
+Host* TrafficGenerator::PickPeer(const Participant& sender) {
+  if (participants_.size() < 2) {
+    return nullptr;
+  }
+  const bool want_local = rng_->Bernoulli(params_.local_fraction);
+  Segment* own_segment = sender.host->primary_interface() != nullptr
+                             ? sender.host->primary_interface()->segment
+                             : nullptr;
+  // Rejection-sample a few times for the desired locality, then take anything.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto& candidate =
+        participants_[static_cast<size_t>(rng_->Uniform(0, static_cast<int64_t>(participants_.size()) - 1))];
+    if (candidate.host == sender.host) {
+      continue;
+    }
+    Segment* peer_segment = candidate.host->primary_interface() != nullptr
+                                ? candidate.host->primary_interface()->segment
+                                : nullptr;
+    const bool is_local = peer_segment == own_segment;
+    if (is_local == want_local) {
+      return candidate.host;
+    }
+  }
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto& candidate =
+        participants_[static_cast<size_t>(rng_->Uniform(0, static_cast<int64_t>(participants_.size()) - 1))];
+    if (candidate.host != sender.host) {
+      return candidate.host;
+    }
+  }
+  return nullptr;
+}
+
+void TrafficGenerator::SendOne(size_t index) {
+  const Participant& sender = participants_[index];
+  if (!sender.host->IsUp()) {
+    return;
+  }
+  Host* peer = PickPeer(sender);
+  if (peer == nullptr || !peer->IsUp() || peer->primary_interface() == nullptr) {
+    return;
+  }
+  ByteBuffer payload(32, 0xab);
+  sender.host->SendUdp(peer->primary_interface()->ip, 32768, params_.discard_port,
+                       std::move(payload));
+  ++messages_sent_;
+}
+
+}  // namespace fremont

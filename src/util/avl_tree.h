@@ -1,0 +1,263 @@
+// Generic AVL tree.
+//
+// The 1993 Fremont Journal Server indexes its interface records with AVL
+// trees keyed by Ethernet address, IP address, and DNS name, plus one more
+// for subnet records (paper, "Journal Server" section). This is a faithful
+// from-scratch implementation: strict height balancing (|balance| <= 1),
+// in-order traversal, and range visitation for "access to ranges of records"
+// as the paper requires.
+//
+// Keys must be totally ordered by Compare. Values are stored by value; the
+// Journal stores small record-id handles here, not whole records.
+
+#ifndef SRC_UTIL_AVL_TREE_H_
+#define SRC_UTIL_AVL_TREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace fremont {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class AvlTree {
+ public:
+  AvlTree() = default;
+
+  // Inserts or overwrites. Returns true if a new key was inserted, false if
+  // an existing key's value was replaced.
+  bool Insert(const Key& key, Value value) {
+    bool inserted = false;
+    root_ = InsertNode(std::move(root_), key, std::move(value), &inserted);
+    if (inserted) {
+      ++size_;
+    }
+    return inserted;
+  }
+
+  // Returns a pointer to the value for `key`, or nullptr. The pointer is
+  // invalidated by any mutation of the tree.
+  Value* Find(const Key& key) {
+    Node* n = root_.get();
+    while (n != nullptr) {
+      if (cmp_(key, n->key)) {
+        n = n->left.get();
+      } else if (cmp_(n->key, key)) {
+        n = n->right.get();
+      } else {
+        return &n->value;
+      }
+    }
+    return nullptr;
+  }
+  const Value* Find(const Key& key) const { return const_cast<AvlTree*>(this)->Find(key); }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  // Removes `key`. Returns true if it was present.
+  bool Erase(const Key& key) {
+    bool erased = false;
+    root_ = EraseNode(std::move(root_), key, &erased);
+    if (erased) {
+      --size_;
+    }
+    return erased;
+  }
+
+  size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  void Clear() {
+    root_.reset();
+    size_ = 0;
+  }
+
+  // Visits every (key, value) pair in ascending key order.
+  template <typename Fn>
+  void VisitInOrder(Fn&& fn) const {
+    VisitNode(root_.get(), fn);
+  }
+
+  // Visits pairs with lo <= key <= hi in ascending order — the "range of
+  // records" access path the Journal uses for subnet-scoped queries.
+  template <typename Fn>
+  void VisitRange(const Key& lo, const Key& hi, Fn&& fn) const {
+    VisitRangeNode(root_.get(), lo, hi, fn);
+  }
+
+  // Smallest key >= `key`, or nullptr. Used for "next assigned address" scans.
+  const Key* LowerBound(const Key& key) const {
+    const Node* best = nullptr;
+    const Node* n = root_.get();
+    while (n != nullptr) {
+      if (cmp_(n->key, key)) {
+        n = n->right.get();
+      } else {
+        best = n;
+        n = n->left.get();
+      }
+    }
+    return best != nullptr ? &best->key : nullptr;
+  }
+
+  // Tree height; 0 for the empty tree. Exposed for balance-invariant tests.
+  int Height() const { return HeightOf(root_.get()); }
+
+  // Verifies the AVL balance and ordering invariants; test-only.
+  bool CheckInvariants() const {
+    bool ok = true;
+    CheckNode(root_.get(), nullptr, nullptr, &ok);
+    return ok;
+  }
+
+ private:
+  struct Node {
+    Node(const Key& k, Value v) : key(k), value(std::move(v)) {}
+    Key key;
+    Value value;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    int height = 1;
+  };
+  using NodePtr = std::unique_ptr<Node>;
+
+  static int HeightOf(const Node* n) { return n != nullptr ? n->height : 0; }
+  static int BalanceOf(const Node* n) {
+    return n != nullptr ? HeightOf(n->left.get()) - HeightOf(n->right.get()) : 0;
+  }
+  static void UpdateHeight(Node* n) {
+    n->height = 1 + std::max(HeightOf(n->left.get()), HeightOf(n->right.get()));
+  }
+
+  static NodePtr RotateRight(NodePtr y) {
+    NodePtr x = std::move(y->left);
+    y->left = std::move(x->right);
+    UpdateHeight(y.get());
+    x->right = std::move(y);
+    UpdateHeight(x.get());
+    return x;
+  }
+
+  static NodePtr RotateLeft(NodePtr x) {
+    NodePtr y = std::move(x->right);
+    x->right = std::move(y->left);
+    UpdateHeight(x.get());
+    y->left = std::move(x);
+    UpdateHeight(y.get());
+    return y;
+  }
+
+  static NodePtr Rebalance(NodePtr n) {
+    UpdateHeight(n.get());
+    int balance = BalanceOf(n.get());
+    if (balance > 1) {
+      if (BalanceOf(n->left.get()) < 0) {
+        n->left = RotateLeft(std::move(n->left));
+      }
+      return RotateRight(std::move(n));
+    }
+    if (balance < -1) {
+      if (BalanceOf(n->right.get()) > 0) {
+        n->right = RotateRight(std::move(n->right));
+      }
+      return RotateLeft(std::move(n));
+    }
+    return n;
+  }
+
+  NodePtr InsertNode(NodePtr n, const Key& key, Value&& value, bool* inserted) {
+    if (n == nullptr) {
+      *inserted = true;
+      return std::make_unique<Node>(key, std::move(value));
+    }
+    if (cmp_(key, n->key)) {
+      n->left = InsertNode(std::move(n->left), key, std::move(value), inserted);
+    } else if (cmp_(n->key, key)) {
+      n->right = InsertNode(std::move(n->right), key, std::move(value), inserted);
+    } else {
+      n->value = std::move(value);
+      return n;
+    }
+    return Rebalance(std::move(n));
+  }
+
+  NodePtr EraseNode(NodePtr n, const Key& key, bool* erased) {
+    if (n == nullptr) {
+      return nullptr;
+    }
+    if (cmp_(key, n->key)) {
+      n->left = EraseNode(std::move(n->left), key, erased);
+    } else if (cmp_(n->key, key)) {
+      n->right = EraseNode(std::move(n->right), key, erased);
+    } else {
+      *erased = true;
+      if (n->left == nullptr) {
+        return std::move(n->right);
+      }
+      if (n->right == nullptr) {
+        return std::move(n->left);
+      }
+      // Two children: replace with the in-order successor.
+      Node* successor = n->right.get();
+      while (successor->left != nullptr) {
+        successor = successor->left.get();
+      }
+      n->key = successor->key;
+      n->value = std::move(successor->value);
+      bool dummy = false;
+      n->right = EraseNode(std::move(n->right), n->key, &dummy);
+    }
+    return Rebalance(std::move(n));
+  }
+
+  template <typename Fn>
+  static void VisitNode(const Node* n, Fn& fn) {
+    if (n == nullptr) {
+      return;
+    }
+    VisitNode(n->left.get(), fn);
+    fn(n->key, n->value);
+    VisitNode(n->right.get(), fn);
+  }
+
+  template <typename Fn>
+  void VisitRangeNode(const Node* n, const Key& lo, const Key& hi, Fn& fn) const {
+    if (n == nullptr) {
+      return;
+    }
+    if (cmp_(lo, n->key)) {
+      VisitRangeNode(n->left.get(), lo, hi, fn);
+    }
+    if (!cmp_(n->key, lo) && !cmp_(hi, n->key)) {
+      fn(n->key, n->value);
+    }
+    if (cmp_(n->key, hi)) {
+      VisitRangeNode(n->right.get(), lo, hi, fn);
+    }
+  }
+
+  int CheckNode(const Node* n, const Key* min, const Key* max, bool* ok) const {
+    if (n == nullptr) {
+      return 0;
+    }
+    if ((min != nullptr && !cmp_(*min, n->key)) || (max != nullptr && !cmp_(n->key, *max))) {
+      *ok = false;
+    }
+    int lh = CheckNode(n->left.get(), min, &n->key, ok);
+    int rh = CheckNode(n->right.get(), &n->key, max, ok);
+    if (std::abs(lh - rh) > 1 || n->height != 1 + std::max(lh, rh)) {
+      *ok = false;
+    }
+    return 1 + std::max(lh, rh);
+  }
+
+  NodePtr root_;
+  size_t size_ = 0;
+  Compare cmp_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_UTIL_AVL_TREE_H_

@@ -1,0 +1,123 @@
+#include "src/util/bytes.h"
+
+#include <cstdio>
+
+namespace fremont {
+
+void ByteWriter::WriteString(std::string_view s) {
+  WriteU16(static_cast<uint16_t>(s.size()));
+  WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void ByteWriter::PatchU16(size_t offset, uint16_t v) {
+  if (offset + 2 > buf_.size()) {
+    return;
+  }
+  buf_[offset] = static_cast<uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<uint8_t>(v);
+}
+
+bool ByteReader::Require(size_t n) {
+  if (!ok_ || pos_ + n > len_) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::ReadU8() {
+  if (!Require(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t ByteReader::ReadU16() {
+  if (!Require(2)) {
+    return 0;
+  }
+  uint16_t v = static_cast<uint16_t>(static_cast<uint16_t>(data_[pos_]) << 8 |
+                                     static_cast<uint16_t>(data_[pos_ + 1]));
+  pos_ += 2;
+  return v;
+}
+
+uint32_t ByteReader::ReadU32() {
+  if (!Require(4)) {
+    return 0;
+  }
+  uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
+               static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
+               static_cast<uint32_t>(data_[pos_ + 2]) << 8 | static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t ByteReader::ReadU64() {
+  uint64_t hi = ReadU32();
+  uint64_t lo = ReadU32();
+  return hi << 32 | lo;
+}
+
+ByteBuffer ByteReader::ReadBytes(size_t len) {
+  if (!Require(len)) {
+    return {};
+  }
+  ByteBuffer out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+std::string ByteReader::ReadString() {
+  uint16_t len = ReadU16();
+  if (!Require(len)) {
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+void ByteReader::Skip(size_t len) {
+  if (Require(len)) {
+    pos_ += len;
+  }
+}
+
+ByteBuffer ByteReader::PeekRemaining() const {
+  if (!ok_) {
+    return {};
+  }
+  return ByteBuffer(data_ + pos_, data_ + len_);
+}
+
+uint16_t InternetChecksum(const uint8_t* data, size_t len) {
+  uint32_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < len) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+std::string BytesToHex(const uint8_t* data, size_t len, char sep) {
+  std::string out;
+  out.reserve(len * 3);
+  char buf[4];
+  for (size_t i = 0; i < len; ++i) {
+    std::snprintf(buf, sizeof(buf), "%02x", data[i]);
+    if (i > 0) {
+      out.push_back(sep);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fremont

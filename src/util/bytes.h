@@ -1,0 +1,106 @@
+// Bounds-checked byte buffer reader/writer used by all wire-format codecs.
+//
+// Every protocol in src/net/ (Ethernet, ARP, IPv4, ICMP, UDP, RIP, DNS) and
+// the Journal request/response protocol is encoded through these helpers.
+// Network byte order (big-endian) is the default for multi-byte integers,
+// matching the on-the-wire formats the 1993 Fremont prototype spoke.
+
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fremont {
+
+using ByteBuffer = std::vector<uint8_t>;
+
+// Appends big-endian encoded fields to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU16(uint16_t v) {
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+  void WriteU32(uint32_t v) {
+    buf_.push_back(static_cast<uint8_t>(v >> 24));
+    buf_.push_back(static_cast<uint8_t>(v >> 16));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+  void WriteU64(uint64_t v) {
+    WriteU32(static_cast<uint32_t>(v >> 32));
+    WriteU32(static_cast<uint32_t>(v));
+  }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteBytes(const uint8_t* data, size_t len) { buf_.insert(buf_.end(), data, data + len); }
+  void WriteBytes(const ByteBuffer& data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+  // Length-prefixed (u16) string; used by the Journal protocol, not by IP.
+  void WriteString(std::string_view s);
+
+  // Overwrites two bytes at a previously reserved position (e.g. a checksum
+  // or length field that is only known after the payload is written).
+  void PatchU16(size_t offset, uint16_t v);
+
+  size_t size() const { return buf_.size(); }
+  const ByteBuffer& buffer() const { return buf_; }
+  ByteBuffer TakeBuffer() { return std::move(buf_); }
+
+ private:
+  ByteBuffer buf_;
+};
+
+// Consumes big-endian encoded fields from a fixed buffer. All reads are
+// bounds-checked; after a short read the reader is poisoned (ok() == false)
+// and subsequent reads return zero values. Decoders check ok() once at the
+// end rather than after every field.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit ByteReader(const ByteBuffer& buf) : ByteReader(buf.data(), buf.size()) {}
+
+  uint8_t ReadU8();
+  uint16_t ReadU16();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64() { return static_cast<int64_t>(ReadU64()); }
+  // Reads `len` raw bytes; returns an empty buffer and poisons on short read.
+  ByteBuffer ReadBytes(size_t len);
+  // Reads a u16-length-prefixed string (the ByteWriter::WriteString format).
+  std::string ReadString();
+  // Skips `len` bytes.
+  void Skip(size_t len);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+  // Remaining bytes as a copy, without consuming them.
+  ByteBuffer PeekRemaining() const;
+
+ private:
+  bool Require(size_t n);
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Internet checksum (RFC 1071), used by the IPv4 and ICMP codecs.
+uint16_t InternetChecksum(const uint8_t* data, size_t len);
+inline uint16_t InternetChecksum(const ByteBuffer& buf) {
+  return InternetChecksum(buf.data(), buf.size());
+}
+
+// Hex rendering for diagnostics, e.g. "de:ad:be:ef".
+std::string BytesToHex(const uint8_t* data, size_t len, char sep = ':');
+
+}  // namespace fremont
+
+#endif  // SRC_UTIL_BYTES_H_

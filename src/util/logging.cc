@@ -1,0 +1,48 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+
+namespace fremont {
+namespace {
+
+LogLevel g_min_level = LogLevel::kWarning;
+Logging::Sink g_sink;
+
+void DefaultSink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void Logging::SetMinLevel(LogLevel level) { g_min_level = level; }
+
+LogLevel Logging::min_level() { return g_min_level; }
+
+void Logging::SetSink(Sink sink) { g_sink = std::move(sink); }
+
+void Logging::Emit(LogLevel level, const std::string& message) {
+  if (level < g_min_level) {
+    return;
+  }
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    DefaultSink(level, message);
+  }
+}
+
+}  // namespace fremont

@@ -1,0 +1,57 @@
+// Minimal leveled logging.
+//
+// Explorer Modules and the Journal Server log their activity through this
+// sink. Tests capture log output by swapping the sink; benchmarks silence it.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace fremont {
+
+enum class LogLevel { kDebug, kInfo, kWarning, kError };
+
+const char* LogLevelName(LogLevel level);
+
+// Process-wide log configuration. Not thread-safe by design: the simulator
+// is single-threaded (a discrete event loop), as was the 1993 prototype.
+class Logging {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+  // Replaces the output sink; pass nullptr to restore the default (stderr).
+  static void SetSink(Sink sink);
+  static void Emit(LogLevel level, const std::string& message);
+};
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logging::Emit(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace fremont
+
+#define FLOG(level)                                                     \
+  if (::fremont::LogLevel::level < ::fremont::Logging::min_level()) {   \
+  } else                                                                \
+    ::fremont::log_internal::LogMessage(::fremont::LogLevel::level).stream()
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,70 @@
+// Negative cache for discovery attempts (the paper's Future Work):
+//
+// "we would like to have a flag to prevent continually retrying discovery of
+//  some datum that we know is unavailable. This would be similar to the
+//  negative caching concept that has been suggested for the DNS."
+//
+// Keys are opaque 64-bit identities (an address, an (address, probe-type)
+// pair — the caller chooses). Each failure pushes the retry-after horizon
+// out exponentially, capped at `max_backoff`; a success clears the entry.
+
+#ifndef SRC_UTIL_NEGATIVE_CACHE_H_
+#define SRC_UTIL_NEGATIVE_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/util/sim_time.h"
+
+namespace fremont {
+
+class NegativeCache {
+ public:
+  explicit NegativeCache(Duration initial_backoff = Duration::Hours(6),
+                         Duration max_backoff = Duration::Days(14))
+      : initial_backoff_(initial_backoff), max_backoff_(max_backoff) {}
+
+  // True if the key failed recently enough that retrying now is wasteful.
+  bool ShouldSkip(uint64_t key, SimTime now) const {
+    auto it = entries_.find(key);
+    return it != entries_.end() && now < it->second.retry_after;
+  }
+
+  // Records a failed attempt; the next retry horizon doubles per consecutive
+  // failure.
+  void RecordFailure(uint64_t key, SimTime now) {
+    Entry& entry = entries_[key];
+    Duration backoff = initial_backoff_;
+    for (int i = 0; i < entry.failures && backoff < max_backoff_; ++i) {
+      backoff = backoff * 2;
+    }
+    if (backoff > max_backoff_) {
+      backoff = max_backoff_;
+    }
+    ++entry.failures;
+    entry.retry_after = now + backoff;
+  }
+
+  // A success forgets the history entirely.
+  void RecordSuccess(uint64_t key) { entries_.erase(key); }
+
+  int failures(uint64_t key) const {
+    auto it = entries_.find(key);
+    return it != entries_.end() ? it->second.failures : 0;
+  }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    int failures = 0;
+    SimTime retry_after;
+  };
+
+  Duration initial_backoff_;
+  Duration max_backoff_;
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_UTIL_NEGATIVE_CACHE_H_

@@ -1,0 +1,51 @@
+#include "src/util/sim_time.h"
+
+#include <cstdio>
+
+namespace fremont {
+namespace {
+
+std::string FormatMicros(int64_t us) {
+  char buf[64];
+  bool negative = us < 0;
+  if (negative) {
+    us = -us;
+  }
+  const int64_t days = us / (86400LL * 1000000);
+  const int64_t hours = (us / (3600LL * 1000000)) % 24;
+  const int64_t minutes = (us / (60LL * 1000000)) % 60;
+  const int64_t seconds = (us / 1000000) % 60;
+  const int64_t millis = (us / 1000) % 1000;
+  const int64_t micros = us % 1000;
+
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldd%02lldh", static_cast<long long>(days),
+                  static_cast<long long>(hours));
+  } else if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldh%02lldm", static_cast<long long>(hours),
+                  static_cast<long long>(minutes));
+  } else if (minutes > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldm%02llds", static_cast<long long>(minutes),
+                  static_cast<long long>(seconds));
+  } else if (seconds > 0) {
+    std::snprintf(buf, sizeof(buf), "%lld.%03llds", static_cast<long long>(seconds),
+                  static_cast<long long>(millis));
+  } else if (millis > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(millis));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros));
+  }
+  std::string out = buf;
+  if (negative) {
+    out.insert(out.begin(), '-');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Duration::ToString() const { return FormatMicros(micros_); }
+
+std::string SimTime::ToString() const { return "T+" + FormatMicros(micros_); }
+
+}  // namespace fremont

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules.
+
+#ifndef SRC_UTIL_STRING_UTIL_H_
+#define SRC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fremont {
+
+// Splits on a single character; empty fields are preserved.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+// Strips leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view input);
+
+// Case-insensitive ASCII comparison (DNS names are case-insensitive).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Lowercases ASCII.
+std::string ToLowerAscii(std::string_view input);
+
+// True if `name` ends with `suffix`, ignoring ASCII case.
+bool EndsWithIgnoreCase(std::string_view name, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace fremont
+
+#endif  // SRC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,182 @@
+// Tests for the analysis programs: mask conflicts, address conflicts (with
+// the duplicate-vs-hardware-change classification), staleness, and RIP
+// source analysis.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/conflicts.h"
+#include "src/analysis/rip_analysis.h"
+#include "src/analysis/staleness.h"
+
+namespace fremont {
+namespace {
+
+SimTime At(int64_t hours) { return SimTime::Epoch() + Duration::Hours(hours); }
+
+InterfaceRecord MakeRecord(RecordId id, Ipv4Address ip, std::optional<MacAddress> mac,
+                           std::optional<SubnetMask> mask = std::nullopt) {
+  InterfaceRecord rec;
+  rec.id = id;
+  rec.ip = ip;
+  rec.mac = mac;
+  rec.mask = mask;
+  rec.sources = SourceBit(DiscoverySource::kArpWatch);
+  rec.ts.first_discovered = rec.ts.last_changed = rec.ts.last_verified = At(1);
+  rec.ts.last_wire_verified = At(1);
+  return rec;
+}
+
+TEST(MaskConflictTest, DetectsDissenter) {
+  std::vector<InterfaceRecord> records;
+  for (uint8_t i = 1; i <= 5; ++i) {
+    records.push_back(MakeRecord(i, Ipv4Address(128, 138, 238, i), std::nullopt,
+                                 SubnetMask::FromPrefixLength(24)));
+  }
+  records.push_back(MakeRecord(6, Ipv4Address(128, 138, 238, 6), std::nullopt,
+                               SubnetMask::FromPrefixLength(16)));
+
+  auto conflicts = FindMaskConflicts(records);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].majority_mask.PrefixLength(), 24);
+  ASSERT_EQ(conflicts[0].dissenters.size(), 1u);
+  EXPECT_EQ(conflicts[0].dissenters[0].ip, Ipv4Address(128, 138, 238, 6));
+  EXPECT_NE(conflicts[0].ToString().find("mask conflict"), std::string::npos);
+}
+
+TEST(MaskConflictTest, ConsistentMasksAreClean) {
+  std::vector<InterfaceRecord> records;
+  for (uint8_t i = 1; i <= 5; ++i) {
+    records.push_back(MakeRecord(i, Ipv4Address(128, 138, 238, i), std::nullopt,
+                                 SubnetMask::FromPrefixLength(24)));
+  }
+  // A different *network* with a different mask is not a conflict.
+  records.push_back(
+      MakeRecord(9, Ipv4Address(192, 52, 106, 1), std::nullopt, SubnetMask::FromPrefixLength(26)));
+  EXPECT_TRUE(FindMaskConflicts(records).empty());
+}
+
+TEST(MaskConflictTest, UnknownMasksIgnored) {
+  std::vector<InterfaceRecord> records;
+  records.push_back(MakeRecord(1, Ipv4Address(128, 138, 238, 1), std::nullopt));
+  records.push_back(MakeRecord(2, Ipv4Address(128, 138, 238, 2), std::nullopt,
+                               SubnetMask::FromPrefixLength(24)));
+  EXPECT_TRUE(FindMaskConflicts(records).empty());
+}
+
+TEST(AddressConflictTest, DuplicateIpWhenBothRecentlyAlive) {
+  std::vector<InterfaceRecord> records;
+  auto a = MakeRecord(1, Ipv4Address(10, 0, 0, 5), MacAddress(2, 0, 0, 0, 0, 1));
+  auto b = MakeRecord(2, Ipv4Address(10, 0, 0, 5), MacAddress(2, 0, 0, 0, 0, 2));
+  a.ts.last_verified = At(99);
+  b.ts.last_verified = At(100);
+  records = {a, b};
+
+  auto conflicts = FindAddressConflicts(records, {}, At(100));
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].kind, AddressConflict::Kind::kDuplicateIp);
+  EXPECT_EQ(conflicts[0].records.size(), 2u);
+}
+
+TEST(AddressConflictTest, HardwareChangeWhenOldRecordWentSilent) {
+  std::vector<InterfaceRecord> records;
+  auto old_card = MakeRecord(1, Ipv4Address(10, 0, 0, 5), MacAddress(2, 0, 0, 0, 0, 1));
+  auto new_card = MakeRecord(2, Ipv4Address(10, 0, 0, 5), MacAddress(2, 0, 0, 0, 0, 2));
+  old_card.ts.last_verified = At(10);   // Silent for days.
+  new_card.ts.last_verified = At(100);
+  records = {old_card, new_card};
+
+  auto conflicts = FindAddressConflicts(records, {}, At(100));
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].kind, AddressConflict::Kind::kHardwareChange);
+}
+
+TEST(AddressConflictTest, GatewayMacOnTwoSubnetsIsBenign) {
+  const MacAddress mac(0, 0, 0x0c, 0, 0, 7);
+  std::vector<InterfaceRecord> records = {
+      MakeRecord(1, Ipv4Address(128, 138, 238, 1), mac, SubnetMask::FromPrefixLength(24)),
+      MakeRecord(2, Ipv4Address(128, 138, 240, 1), mac, SubnetMask::FromPrefixLength(24)),
+  };
+  auto conflicts = FindAddressConflicts(records, {}, At(100));
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].kind, AddressConflict::Kind::kGatewayOrProxy);
+}
+
+TEST(AddressConflictTest, GatewayMembershipOverridesClassification) {
+  const MacAddress mac(0, 0, 0x0c, 0, 0, 7);
+  std::vector<InterfaceRecord> records = {
+      MakeRecord(1, Ipv4Address(128, 138, 238, 1), mac, SubnetMask::FromPrefixLength(24)),
+      MakeRecord(2, Ipv4Address(128, 138, 238, 2), mac, SubnetMask::FromPrefixLength(24)),
+  };
+  GatewayRecord gw;
+  gw.id = 1;
+  gw.interface_ids = {1};
+  auto conflicts = FindAddressConflicts(records, {gw}, At(100));
+  ASSERT_EQ(conflicts.size(), 1u);
+  // Same subnet, but a known gateway member: proxy-ARP device, not reconfig.
+  EXPECT_EQ(conflicts[0].kind, AddressConflict::Kind::kGatewayOrProxy);
+}
+
+TEST(AddressConflictTest, SameSubnetReaddressIsReconfiguration) {
+  const MacAddress mac(0x08, 0, 0x20, 0, 0, 7);
+  std::vector<InterfaceRecord> records = {
+      MakeRecord(1, Ipv4Address(128, 138, 238, 10), mac, SubnetMask::FromPrefixLength(24)),
+      MakeRecord(2, Ipv4Address(128, 138, 238, 99), mac, SubnetMask::FromPrefixLength(24)),
+  };
+  auto conflicts = FindAddressConflicts(records, {}, At(100));
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].kind, AddressConflict::Kind::kReconfiguredHost);
+  EXPECT_NE(conflicts[0].ToString().find("reconfigured-host"), std::string::npos);
+}
+
+TEST(StalenessTest, OldInterfacesFlagged) {
+  std::vector<InterfaceRecord> records;
+  auto active = MakeRecord(1, Ipv4Address(10, 0, 0, 1), MacAddress(2, 0, 0, 0, 0, 1));
+  active.ts.last_verified = active.ts.last_wire_verified = At(95);
+  auto stale = MakeRecord(2, Ipv4Address(10, 0, 0, 2), MacAddress(2, 0, 0, 0, 0, 2));
+  stale.ts.last_verified = stale.ts.last_wire_verified = At(10);
+  records = {active, stale};
+
+  auto found = FindStaleInterfaces(records, At(100), Duration::Days(2));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].record.ip, Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(found[0].silent_for, Duration::Hours(90));
+  EXPECT_NE(found[0].ToString().find("silent for"), std::string::npos);
+}
+
+TEST(StalenessTest, DnsOnlyRecordsSeparated) {
+  auto dns_only = MakeRecord(1, Ipv4Address(10, 0, 0, 1), std::nullopt);
+  dns_only.sources = SourceBit(DiscoverySource::kDns);
+  dns_only.ts.last_verified = At(1);
+  dns_only.ts.last_wire_verified = SimTime::Epoch();  // Never on the wire.
+  auto confirmed = MakeRecord(2, Ipv4Address(10, 0, 0, 2), MacAddress(2, 0, 0, 0, 0, 2));
+  confirmed.sources = SourceBit(DiscoverySource::kDns) | SourceBit(DiscoverySource::kArpWatch);
+  confirmed.ts.last_verified = confirmed.ts.last_wire_verified = At(1);
+  std::vector<InterfaceRecord> records = {dns_only, confirmed};
+
+  // DNS-only records are never "stale" (they were never alive on the wire).
+  auto stale = FindStaleInterfaces(records, At(100), Duration::Days(1));
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].record.ip, Ipv4Address(10, 0, 0, 2));
+
+  auto ghosts = FindDnsOnlyInterfaces(records);
+  ASSERT_EQ(ghosts.size(), 1u);
+  EXPECT_EQ(ghosts[0].ip, Ipv4Address(10, 0, 0, 1));
+}
+
+TEST(RipAnalysisTest, FlagsSorted) {
+  auto honest = MakeRecord(1, Ipv4Address(10, 0, 0, 1), std::nullopt);
+  honest.rip_source = true;
+  auto promiscuous = MakeRecord(2, Ipv4Address(10, 0, 0, 2), std::nullopt);
+  promiscuous.rip_source = true;
+  promiscuous.rip_promiscuous = true;
+  auto plain = MakeRecord(3, Ipv4Address(10, 0, 0, 3), std::nullopt);
+  std::vector<InterfaceRecord> records = {honest, promiscuous, plain};
+
+  EXPECT_EQ(FindRipSources(records).size(), 2u);
+  auto bad = FindPromiscuousRipSources(records);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].ip, Ipv4Address(10, 0, 0, 2));
+}
+
+}  // namespace
+}  // namespace fremont

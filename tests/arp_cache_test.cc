@@ -1,0 +1,77 @@
+// Tests for the per-host ARP cache.
+
+#include "src/sim/arp_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace fremont {
+namespace {
+
+const Ipv4Address kIp(10, 0, 0, 5);
+const MacAddress kMacA(2, 0, 0, 0, 0, 1);
+const MacAddress kMacB(2, 0, 0, 0, 0, 2);
+
+TEST(ArpCacheTest, InsertAndLookup) {
+  ArpCache cache;
+  SimTime t0;
+  EXPECT_FALSE(cache.Lookup(kIp, t0).has_value());
+  cache.Update(kIp, kMacA, t0);
+  auto mac = cache.Lookup(kIp, t0 + Duration::Minutes(5));
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(*mac, kMacA);
+}
+
+TEST(ArpCacheTest, EntryExpires) {
+  ArpCache cache(Duration::Minutes(20));
+  SimTime t0;
+  cache.Update(kIp, kMacA, t0);
+  EXPECT_TRUE(cache.Contains(kIp, t0 + Duration::Minutes(19)));
+  EXPECT_FALSE(cache.Contains(kIp, t0 + Duration::Minutes(21)));
+}
+
+TEST(ArpCacheTest, RefreshExtendsLifetime) {
+  ArpCache cache(Duration::Minutes(20));
+  SimTime t0;
+  cache.Update(kIp, kMacA, t0);
+  cache.Update(kIp, kMacA, t0 + Duration::Minutes(15));
+  EXPECT_TRUE(cache.Contains(kIp, t0 + Duration::Minutes(30)));
+}
+
+TEST(ArpCacheTest, NewMacOverwritesSilently) {
+  // The duplicate-IP failure mode: the cache keeps only the latest claimant,
+  // which is exactly why the Journal's long memory is needed.
+  ArpCache cache;
+  SimTime t0;
+  cache.Update(kIp, kMacA, t0);
+  cache.Update(kIp, kMacB, t0 + Duration::Seconds(1));
+  EXPECT_EQ(*cache.Lookup(kIp, t0 + Duration::Seconds(2)), kMacB);
+  EXPECT_EQ(cache.RawSize(), 1u);
+}
+
+TEST(ArpCacheTest, SnapshotSkipsExpired) {
+  ArpCache cache(Duration::Minutes(20));
+  SimTime t0;
+  cache.Update(kIp, kMacA, t0);
+  cache.Update(Ipv4Address(10, 0, 0, 6), kMacB, t0 + Duration::Minutes(15));
+  auto snapshot = cache.Snapshot(t0 + Duration::Minutes(25));
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].mac, kMacB);
+  // Raw size still holds both until cleared.
+  EXPECT_EQ(cache.RawSize(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.RawSize(), 0u);
+}
+
+TEST(ArpCacheTest, SnapshotPreservesInsertionTime) {
+  ArpCache cache;
+  SimTime t0;
+  cache.Update(kIp, kMacA, t0);
+  cache.Update(kIp, kMacA, t0 + Duration::Minutes(5));
+  auto snapshot = cache.Snapshot(t0 + Duration::Minutes(6));
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].inserted, t0);
+  EXPECT_EQ(snapshot[0].last_updated, t0 + Duration::Minutes(5));
+}
+
+}  // namespace
+}  // namespace fremont

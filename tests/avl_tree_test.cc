@@ -1,0 +1,171 @@
+// Unit and property tests for the AVL tree backing the Journal's indexes.
+
+#include "src/util/avl_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace fremont {
+namespace {
+
+TEST(AvlTreeTest, EmptyTree) {
+  AvlTree<int, int> tree;
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Find(42), nullptr);
+  EXPECT_FALSE(tree.Erase(42));
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(AvlTreeTest, InsertAndFind) {
+  AvlTree<int, std::string> tree;
+  EXPECT_TRUE(tree.Insert(2, "two"));
+  EXPECT_TRUE(tree.Insert(1, "one"));
+  EXPECT_TRUE(tree.Insert(3, "three"));
+  EXPECT_EQ(tree.Size(), 3u);
+  ASSERT_NE(tree.Find(1), nullptr);
+  EXPECT_EQ(*tree.Find(1), "one");
+  EXPECT_EQ(*tree.Find(2), "two");
+  EXPECT_EQ(*tree.Find(3), "three");
+  EXPECT_EQ(tree.Find(4), nullptr);
+}
+
+TEST(AvlTreeTest, InsertOverwrites) {
+  AvlTree<int, int> tree;
+  EXPECT_TRUE(tree.Insert(1, 10));
+  EXPECT_FALSE(tree.Insert(1, 20));  // Same key → replace, not insert.
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_EQ(*tree.Find(1), 20);
+}
+
+TEST(AvlTreeTest, EraseLeafRootAndInner) {
+  AvlTree<int, int> tree;
+  for (int k : {5, 3, 8, 1, 4, 7, 9}) {
+    tree.Insert(k, k * 10);
+  }
+  EXPECT_TRUE(tree.Erase(1));  // Leaf.
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_TRUE(tree.Erase(5));  // Root with two children.
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_TRUE(tree.Erase(8));  // Inner with two children.
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.Size(), 4u);
+  EXPECT_EQ(tree.Find(5), nullptr);
+  EXPECT_NE(tree.Find(4), nullptr);
+}
+
+TEST(AvlTreeTest, InOrderIsSorted) {
+  AvlTree<int, int> tree;
+  for (int k : {9, 2, 7, 1, 8, 3, 6, 4, 5}) {
+    tree.Insert(k, k);
+  }
+  std::vector<int> keys;
+  tree.VisitInOrder([&](const int& k, const int&) { keys.push_back(k); });
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), 9u);
+}
+
+TEST(AvlTreeTest, RangeVisit) {
+  AvlTree<int, int> tree;
+  for (int k = 0; k < 100; ++k) {
+    tree.Insert(k, k);
+  }
+  std::vector<int> keys;
+  tree.VisitRange(25, 34, [&](const int& k, const int&) { keys.push_back(k); });
+  ASSERT_EQ(keys.size(), 10u);
+  EXPECT_EQ(keys.front(), 25);
+  EXPECT_EQ(keys.back(), 34);
+}
+
+TEST(AvlTreeTest, RangeVisitEmptyAndSingleton) {
+  AvlTree<int, int> tree;
+  for (int k = 0; k < 20; k += 2) {
+    tree.Insert(k, k);
+  }
+  std::vector<int> keys;
+  tree.VisitRange(3, 3, [&](const int& k, const int&) { keys.push_back(k); });
+  EXPECT_TRUE(keys.empty());  // 3 is not present.
+  tree.VisitRange(4, 4, [&](const int& k, const int&) { keys.push_back(k); });
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys.front(), 4);
+}
+
+TEST(AvlTreeTest, LowerBound) {
+  AvlTree<int, int> tree;
+  for (int k : {10, 20, 30}) {
+    tree.Insert(k, k);
+  }
+  ASSERT_NE(tree.LowerBound(15), nullptr);
+  EXPECT_EQ(*tree.LowerBound(15), 20);
+  EXPECT_EQ(*tree.LowerBound(10), 10);
+  EXPECT_EQ(tree.LowerBound(31), nullptr);
+}
+
+TEST(AvlTreeTest, SequentialInsertStaysBalanced) {
+  // The classic AVL stress: strictly increasing keys degenerate a plain BST
+  // into a list; AVL must keep height ≈ 1.44 log2(n).
+  AvlTree<int, int> tree;
+  const int n = 4096;
+  for (int k = 0; k < n; ++k) {
+    tree.Insert(k, k);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  const double max_height = 1.44 * std::log2(n + 2);
+  EXPECT_LE(tree.Height(), static_cast<int>(max_height) + 1);
+}
+
+TEST(AvlTreeTest, StringKeys) {
+  AvlTree<std::string, int> tree;
+  tree.Insert("boulder.cs.colorado.edu", 1);
+  tree.Insert("alpha.cs.colorado.edu", 2);
+  tree.Insert("cs-gw.colorado.edu", 3);
+  std::vector<std::string> keys;
+  tree.VisitInOrder([&](const std::string& k, const int&) { keys.push_back(k); });
+  EXPECT_EQ(keys.front(), "alpha.cs.colorado.edu");
+  EXPECT_EQ(keys.back(), "cs-gw.colorado.edu");
+}
+
+// Property test: random interleaved inserts and erases, checked against a
+// reference std::map at every step batch.
+class AvlTreeRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AvlTreeRandomizedTest, MatchesReferenceMap) {
+  Rng rng(GetParam());
+  AvlTree<int64_t, int64_t> tree;
+  std::map<int64_t, int64_t> reference;
+
+  for (int step = 0; step < 4000; ++step) {
+    const int64_t key = rng.Uniform(0, 500);
+    if (rng.Bernoulli(0.6)) {
+      const int64_t value = rng.Uniform(0, 1000000);
+      const bool inserted = tree.Insert(key, value);
+      const bool expected_new = !reference.contains(key);
+      EXPECT_EQ(inserted, expected_new);
+      reference[key] = value;
+    } else {
+      const bool erased = tree.Erase(key);
+      EXPECT_EQ(erased, reference.erase(key) > 0);
+    }
+  }
+  EXPECT_EQ(tree.Size(), reference.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+
+  std::vector<std::pair<int64_t, int64_t>> from_tree;
+  tree.VisitInOrder([&](const int64_t& k, const int64_t& v) { from_tree.emplace_back(k, v); });
+  std::vector<std::pair<int64_t, int64_t>> from_map(reference.begin(), reference.end());
+  EXPECT_EQ(from_tree, from_map);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvlTreeRandomizedTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1993u, 0xdeadbeefu));
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,119 @@
+// Tests for the byte reader/writer and the Internet checksum.
+
+#include "src/util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace fremont {
+namespace {
+
+TEST(ByteWriterTest, BigEndianEncoding) {
+  ByteWriter writer;
+  writer.WriteU8(0x01);
+  writer.WriteU16(0x0203);
+  writer.WriteU32(0x04050607);
+  const ByteBuffer& buf = writer.buffer();
+  ASSERT_EQ(buf.size(), 7u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(buf[6], 0x07);
+}
+
+TEST(ByteWriterTest, PatchU16) {
+  ByteWriter writer;
+  writer.WriteU16(0);
+  writer.WriteU32(0xaabbccdd);
+  writer.PatchU16(0, 0x1234);
+  EXPECT_EQ(writer.buffer()[0], 0x12);
+  EXPECT_EQ(writer.buffer()[1], 0x34);
+  // Out-of-range patch is ignored.
+  writer.PatchU16(5, 0xffff);
+  EXPECT_EQ(writer.buffer()[5], 0xdd);
+}
+
+TEST(ByteRoundTripTest, AllTypes) {
+  ByteWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU16(0xcdef);
+  writer.WriteU32(0x12345678);
+  writer.WriteU64(0x1122334455667788ull);
+  writer.WriteI64(-42);
+  writer.WriteString("fremont");
+  ByteBuffer raw{0xde, 0xad};
+  writer.WriteBytes(raw);
+
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadU8(), 0xab);
+  EXPECT_EQ(reader.ReadU16(), 0xcdef);
+  EXPECT_EQ(reader.ReadU32(), 0x12345678u);
+  EXPECT_EQ(reader.ReadU64(), 0x1122334455667788ull);
+  EXPECT_EQ(reader.ReadI64(), -42);
+  EXPECT_EQ(reader.ReadString(), "fremont");
+  EXPECT_EQ(reader.ReadBytes(2), raw);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteReaderTest, ShortReadPoisons) {
+  ByteBuffer buf{0x01, 0x02};
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.ReadU32(), 0u);  // Short: poisoned, returns zero.
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.ReadU8(), 0u);  // Stays poisoned.
+}
+
+TEST(ByteReaderTest, StringWithTruncatedBody) {
+  ByteWriter writer;
+  writer.WriteU16(100);  // Claims 100 bytes...
+  writer.WriteU8('x');   // ...delivers 1.
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadString(), "");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ByteReaderTest, SkipAndPeek) {
+  ByteBuffer buf{1, 2, 3, 4, 5};
+  ByteReader reader(buf);
+  reader.Skip(2);
+  EXPECT_EQ(reader.remaining(), 3u);
+  ByteBuffer rest = reader.PeekRemaining();
+  EXPECT_EQ(rest, (ByteBuffer{3, 4, 5}));
+  EXPECT_EQ(reader.remaining(), 3u);  // Peek does not consume.
+  reader.Skip(10);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.PeekRemaining().empty());
+}
+
+TEST(InternetChecksumTest, Rfc1071Example) {
+  // RFC 1071 sample: 00 01 f2 03 f4 f5 f6 f7 → sum 0xddf2, checksum ~0xddf2.
+  ByteBuffer data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(data), static_cast<uint16_t>(~0xddf2));
+}
+
+TEST(InternetChecksumTest, VerifiesToZero) {
+  ByteBuffer data{0x45, 0x00, 0x00, 0x1c, 0x00, 0x01, 0x00, 0x00,
+                  0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                  0x0a, 0x00, 0x00, 0x02};
+  const uint16_t checksum = InternetChecksum(data);
+  data[10] = static_cast<uint8_t>(checksum >> 8);
+  data[11] = static_cast<uint8_t>(checksum);
+  EXPECT_EQ(InternetChecksum(data), 0);
+}
+
+TEST(InternetChecksumTest, OddLength) {
+  ByteBuffer data{0x01, 0x02, 0x03};
+  // Pads with a virtual zero byte: words 0x0102, 0x0300.
+  EXPECT_EQ(InternetChecksum(data), static_cast<uint16_t>(~(0x0102 + 0x0300)));
+}
+
+TEST(BytesToHexTest, Formats) {
+  ByteBuffer data{0xde, 0xad, 0xbe};
+  EXPECT_EQ(BytesToHex(data.data(), data.size()), "de:ad:be");
+  EXPECT_EQ(BytesToHex(data.data(), data.size(), '-'), "de-ad-be");
+  EXPECT_EQ(BytesToHex(data.data(), 0), "");
+}
+
+}  // namespace
+}  // namespace fremont

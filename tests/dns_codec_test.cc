@@ -1,0 +1,129 @@
+// DNS message codec tests, including name compression and reverse-domain
+// helpers.
+
+#include "src/net/dns.h"
+
+#include <gtest/gtest.h>
+
+namespace fremont {
+namespace {
+
+TEST(DnsCodecTest, QueryRoundTrip) {
+  DnsMessage query;
+  query.id = 0x4242;
+  query.questions.push_back(DnsQuestion{"boulder.cs.colorado.edu", DnsType::kA});
+  auto decoded = DnsMessage::Decode(query.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 0x4242);
+  EXPECT_FALSE(decoded->is_response);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name, "boulder.cs.colorado.edu");
+  EXPECT_EQ(decoded->questions[0].qtype, DnsType::kA);
+}
+
+TEST(DnsCodecTest, ResponseWithAllRecordTypes) {
+  DnsMessage response;
+  response.id = 7;
+  response.is_response = true;
+  response.authoritative = true;
+  response.answers.push_back(
+      DnsResourceRecord::MakeA("gw.colorado.edu", Ipv4Address(128, 138, 238, 1)));
+  response.answers.push_back(
+      DnsResourceRecord::MakePtr("1.238.138.128.in-addr.arpa", "gw.colorado.edu"));
+  response.answers.push_back(DnsResourceRecord::MakeNs("colorado.edu", "ns.cs.colorado.edu"));
+  response.answers.push_back(DnsResourceRecord::MakeCname("www.colorado.edu", "web.colorado.edu"));
+  response.answers.push_back(DnsResourceRecord::MakeHinfo("boulder.cs.colorado.edu",
+                                                          "SUN-4/65", "UNIX"));
+
+  auto decoded = DnsMessage::Decode(response.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_response);
+  EXPECT_TRUE(decoded->authoritative);
+  ASSERT_EQ(decoded->answers.size(), 5u);
+  EXPECT_EQ(decoded->answers[0].type, DnsType::kA);
+  EXPECT_EQ(decoded->answers[0].address, Ipv4Address(128, 138, 238, 1));
+  EXPECT_EQ(decoded->answers[1].type, DnsType::kPtr);
+  EXPECT_EQ(decoded->answers[1].target_name, "gw.colorado.edu");
+  EXPECT_EQ(decoded->answers[2].target_name, "ns.cs.colorado.edu");
+  EXPECT_EQ(decoded->answers[3].target_name, "web.colorado.edu");
+  EXPECT_EQ(decoded->answers[4].hinfo_cpu, "SUN-4/65");
+  EXPECT_EQ(decoded->answers[4].hinfo_os, "UNIX");
+}
+
+TEST(DnsCodecTest, NamesAreCaseFolded) {
+  DnsMessage response;
+  response.is_response = true;
+  response.answers.push_back(
+      DnsResourceRecord::MakeA("Boulder.CS.Colorado.EDU", Ipv4Address(1, 2, 3, 4)));
+  auto decoded = DnsMessage::Decode(response.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers[0].name, "boulder.cs.colorado.edu");
+}
+
+TEST(DnsCodecTest, DecodesCompressionPointers) {
+  // Hand-build a response whose answer name is a pointer to the question
+  // name (the classic 0xc00c pointer).
+  DnsMessage query;
+  query.id = 1;
+  query.questions.push_back(DnsQuestion{"a.b.c", DnsType::kA});
+  ByteBuffer bytes = query.Encode();
+  // Mark as response with one answer.
+  bytes[2] |= 0x80;
+  bytes[7] = 1;  // ANCOUNT = 1.
+  // Append: pointer to offset 12 (question name), type A, class IN, ttl, rdlength 4, rdata.
+  const uint8_t answer[] = {0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00,
+                            0x00, 0x3c, 0x00, 0x04, 0x0a, 0x00, 0x00, 0x01};
+  bytes.insert(bytes.end(), answer, answer + sizeof(answer));
+
+  auto decoded = DnsMessage::Decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->answers[0].name, "a.b.c");
+  EXPECT_EQ(decoded->answers[0].address, Ipv4Address(10, 0, 0, 1));
+}
+
+TEST(DnsCodecTest, RejectsPointerLoops) {
+  DnsMessage query;
+  query.id = 1;
+  query.questions.push_back(DnsQuestion{"x", DnsType::kA});
+  ByteBuffer bytes = query.Encode();
+  // Overwrite the question name with a self-referencing pointer.
+  bytes[12] = 0xc0;
+  bytes[13] = 0x0c;
+  EXPECT_FALSE(DnsMessage::Decode(bytes).has_value());
+}
+
+TEST(DnsCodecTest, RejectsTruncated) {
+  DnsMessage response;
+  response.is_response = true;
+  response.answers.push_back(DnsResourceRecord::MakeA("x.y", Ipv4Address(1, 2, 3, 4)));
+  ByteBuffer bytes = response.Encode();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DnsMessage::Decode(bytes).has_value());
+}
+
+TEST(DnsCodecTest, EmptyRootName) {
+  DnsMessage query;
+  query.questions.push_back(DnsQuestion{"", DnsType::kNs});
+  auto decoded = DnsMessage::Decode(query.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->questions[0].name, "");
+}
+
+TEST(ReverseDomainTest, RoundTrip) {
+  const Ipv4Address ip(128, 138, 238, 18);
+  const std::string name = ReverseDomainName(ip);
+  EXPECT_EQ(name, "18.238.138.128.in-addr.arpa");
+  auto parsed = ParseReverseDomainName(name);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ip);
+}
+
+TEST(ReverseDomainTest, RejectsPartialAndForeignNames) {
+  EXPECT_FALSE(ParseReverseDomainName("238.138.128.in-addr.arpa").has_value());
+  EXPECT_FALSE(ParseReverseDomainName("boulder.cs.colorado.edu").has_value());
+  EXPECT_FALSE(ParseReverseDomainName("x.y.z.w.in-addr.arpa").has_value());
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,146 @@
+// Edge-case tests for the DNS Explorer Module: server failures, empty
+// zones, the record_plain_hosts switch, alias-group gateway inference, and
+// forward-only records revealed by A lookups.
+
+#include "src/explorer/dns_explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/sim/dns_server.h"
+#include "src/sim/simulator.h"
+
+namespace fremont {
+namespace {
+
+class DnsExplorerEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    subnet_ = *Subnet::Parse("192.52.106.0/24");  // Class C network.
+    segment_ = sim_.CreateSegment("lan", subnet_);
+    vantage_ = sim_.CreateHost("vantage");
+    vantage_->AttachTo(segment_, subnet_.HostAt(250), subnet_.mask(),
+                       MacAddress(2, 0, 0, 9, 0, 250));
+    ns_host_ = sim_.CreateHost("ns");
+    ns_host_->AttachTo(segment_, subnet_.HostAt(53), subnet_.mask(),
+                       MacAddress(2, 0, 0, 9, 0, 53));
+    server_ = std::make_unique<JournalServer>([this]() { return sim_.Now(); });
+    client_ = std::make_unique<JournalClient>(server_.get());
+  }
+
+  DnsExplorerParams Params() {
+    DnsExplorerParams params;
+    params.network = subnet_.network();  // Class C → 3-octet reverse zone.
+    params.server = subnet_.HostAt(53);
+    params.query_timeout = Duration::Seconds(2);
+    return params;
+  }
+
+  Simulator sim_{404};
+  Subnet subnet_;
+  Segment* segment_ = nullptr;
+  Host* vantage_ = nullptr;
+  Host* ns_host_ = nullptr;
+  std::unique_ptr<JournalServer> server_;
+  std::unique_ptr<JournalClient> client_;
+};
+
+TEST_F(DnsExplorerEdgeTest, ServerDownYieldsEmptyReport) {
+  ns_host_->SetUp(false);  // No DNS service at all.
+  DnsExplorer dns(vantage_, client_.get(), Params());
+  ExplorerReport report = dns.Run();
+  EXPECT_EQ(report.discovered, 0);
+  EXPECT_EQ(report.records_written, 0);
+  EXPECT_EQ(dns.interfaces_found(), 0);
+  // The module gave up after its timeout, not hung.
+  EXPECT_LT(report.Elapsed(), Duration::Minutes(1));
+}
+
+TEST_F(DnsExplorerEdgeTest, EmptyZoneYieldsEmptyReport) {
+  DnsServer dns_service(ns_host_, ZoneDb{});  // Server up, zone empty.
+  DnsExplorer dns(vantage_, client_.get(), Params());
+  ExplorerReport report = dns.Run();
+  EXPECT_EQ(dns.interfaces_found(), 0);
+  EXPECT_EQ(report.records_written, 0);
+}
+
+TEST_F(DnsExplorerEdgeTest, RecordPlainHostsSwitch) {
+  ZoneDb zone;
+  zone.AddHost("alpha.colorado.edu", subnet_.HostAt(10));
+  zone.AddHost("beta.colorado.edu", subnet_.HostAt(11));
+  DnsServer dns_service(ns_host_, std::move(zone));
+
+  // Default (faithful): plain name/address pairs are NOT recorded.
+  {
+    DnsExplorer dns(vantage_, client_.get(), Params());
+    dns.Run();
+    EXPECT_EQ(dns.interfaces_found(), 2);
+    EXPECT_EQ(client_->GetStats().interface_count, 0u);
+  }
+  // With the switch: they are.
+  {
+    JournalServer fresh_server([this]() { return sim_.Now(); });
+    JournalClient fresh_client(&fresh_server);
+    DnsExplorerParams params = Params();
+    params.record_plain_hosts = true;
+    DnsExplorer dns(vantage_, &fresh_client, params);
+    dns.Run();
+    EXPECT_EQ(fresh_client.GetStats().interface_count, 2u);
+    auto records = fresh_client.GetInterfaces(Selector::ByName("alpha.colorado.edu"));
+    ASSERT_EQ(records.size(), 1u);
+    // DNS-only records carry no wire verification.
+    EXPECT_EQ(records[0].ts.last_wire_verified, SimTime::Epoch());
+  }
+}
+
+TEST_F(DnsExplorerEdgeTest, AliasGroupGatewayInference) {
+  // One address with two names, one of which follows the "-gw" convention:
+  // the paper's "multiple names for the same address" heuristic.
+  ZoneDb zone;
+  zone.AddHost("zeus.colorado.edu", subnet_.HostAt(1));
+  zone.AddHost("engr-gw.colorado.edu", subnet_.HostAt(1));  // Same address.
+  DnsServer dns_service(ns_host_, std::move(zone));
+
+  DnsExplorer dns(vantage_, client_.get(), Params());
+  dns.Run();
+  EXPECT_EQ(dns.gateways_found(), 1);
+  auto gateways = client_->GetGateways();
+  ASSERT_EQ(gateways.size(), 1u);
+  EXPECT_EQ(gateways[0].name, "engr-gw.colorado.edu");
+}
+
+TEST_F(DnsExplorerEdgeTest, ForwardOnlyAddressFoundViaALookup) {
+  // A gateway whose second interface is registered forward-only (a reverse
+  // tree gap): the reverse walk misses it, the A lookup recovers it.
+  ZoneDb zone;
+  zone.AddHost("site-gw.colorado.edu", subnet_.HostAt(1));
+  zone.AddForwardOnly("site-gw.colorado.edu", Ipv4Address(192, 52, 107, 1));
+  DnsServer dns_service(ns_host_, std::move(zone));
+
+  DnsExplorer dns(vantage_, client_.get(), Params());
+  dns.Run();
+  EXPECT_EQ(dns.interfaces_found(), 2);  // Both addresses, despite one PTR.
+  EXPECT_EQ(dns.gateways_found(), 1);
+  auto gateways = client_->GetGateways();
+  ASSERT_EQ(gateways.size(), 1u);
+  EXPECT_EQ(gateways[0].interface_ids.size(), 2u);
+}
+
+TEST_F(DnsExplorerEdgeTest, MaskFallsBackWhenServerWontAnswer) {
+  // The name server refuses mask requests; the module asks the first
+  // discovered hosts instead (the paper's fallback order).
+  ns_host_->config().responds_to_mask_request = false;
+  ZoneDb zone;
+  zone.AddHost("alpha.colorado.edu", subnet_.HostAt(10));
+  DnsServer dns_service(ns_host_, std::move(zone));
+  Host* alpha = sim_.CreateHost("alpha");
+  alpha->AttachTo(segment_, subnet_.HostAt(10), subnet_.mask(), MacAddress(2, 0, 0, 9, 0, 10));
+
+  DnsExplorer dns(vantage_, client_.get(), Params());
+  dns.Run();
+  EXPECT_EQ(dns.discovered_mask(), subnet_.mask());
+}
+
+}  // namespace
+}  // namespace fremont

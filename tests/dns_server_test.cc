@@ -1,0 +1,187 @@
+// Tests for the zone database and the simulated DNS server.
+
+#include "src/sim/dns_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/udp.h"
+#include "src/sim/simulator.h"
+
+namespace fremont {
+namespace {
+
+TEST(ZoneDbTest, HostAddsForwardAndReverse) {
+  ZoneDb zone;
+  zone.AddHost("boulder.cs.colorado.edu", Ipv4Address(128, 138, 238, 18));
+  auto a_records = zone.Query("boulder.cs.colorado.edu", DnsType::kA);
+  ASSERT_EQ(a_records.size(), 1u);
+  EXPECT_EQ(a_records[0].address, Ipv4Address(128, 138, 238, 18));
+  auto ptr_records = zone.Query("18.238.138.128.in-addr.arpa", DnsType::kPtr);
+  ASSERT_EQ(ptr_records.size(), 1u);
+  EXPECT_EQ(ptr_records[0].target_name, "boulder.cs.colorado.edu");
+}
+
+TEST(ZoneDbTest, MultiHomedHostHasTwoARecords) {
+  ZoneDb zone;
+  zone.AddHost("cs-gw.colorado.edu", Ipv4Address(128, 138, 238, 1));
+  zone.AddHost("cs-gw.colorado.edu", Ipv4Address(128, 138, 0, 238));
+  EXPECT_EQ(zone.Query("cs-gw.colorado.edu", DnsType::kA).size(), 2u);
+}
+
+TEST(ZoneDbTest, QueryIsCaseInsensitive) {
+  ZoneDb zone;
+  zone.AddHost("Boulder.CS.Colorado.EDU", Ipv4Address(1, 2, 3, 4));
+  EXPECT_EQ(zone.Query("boulder.cs.colorado.edu", DnsType::kA).size(), 1u);
+  EXPECT_EQ(zone.Query("BOULDER.cs.colorado.EDU", DnsType::kA).size(), 1u);
+}
+
+TEST(ZoneDbTest, CnameChase) {
+  ZoneDb zone;
+  zone.AddHost("web.colorado.edu", Ipv4Address(1, 2, 3, 4));
+  zone.AddCname("www.colorado.edu", "web.colorado.edu");
+  auto records = zone.Query("www.colorado.edu", DnsType::kA);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].type, DnsType::kCname);
+  EXPECT_EQ(records[1].type, DnsType::kA);
+  EXPECT_EQ(records[1].address, Ipv4Address(1, 2, 3, 4));
+}
+
+TEST(ZoneDbTest, RemoveHostCleansBothTrees) {
+  ZoneDb zone;
+  zone.AddHost("x.colorado.edu", Ipv4Address(1, 2, 3, 4));
+  zone.RemoveHost("x.colorado.edu");
+  EXPECT_TRUE(zone.Query("x.colorado.edu", DnsType::kA).empty());
+  EXPECT_TRUE(zone.Query("4.3.2.1.in-addr.arpa", DnsType::kPtr).empty());
+  EXPECT_EQ(zone.record_count(), 0u);
+}
+
+TEST(ZoneDbTest, ZoneTransferScopesBySuffix) {
+  ZoneDb zone;
+  zone.AddHost("a.cs.colorado.edu", Ipv4Address(128, 138, 238, 1));
+  zone.AddHost("b.ee.colorado.edu", Ipv4Address(128, 138, 240, 1));
+  zone.AddHost("evil.csx.colorado.edu", Ipv4Address(128, 138, 241, 1));  // Not in cs zone!
+
+  auto cs_zone = zone.ZoneTransfer("cs.colorado.edu");
+  ASSERT_EQ(cs_zone.size(), 1u);
+  EXPECT_EQ(cs_zone[0].name, "a.cs.colorado.edu");
+
+  // The reverse tree for the class B network catches all three PTRs.
+  auto reverse = zone.ZoneTransfer("138.128.in-addr.arpa");
+  EXPECT_EQ(reverse.size(), 3u);
+
+  // Exact-name zone transfer returns that node's records.
+  auto exact = zone.ZoneTransfer("a.cs.colorado.edu");
+  EXPECT_EQ(exact.size(), 1u);
+}
+
+TEST(ZoneDbTest, HinfoAndNs) {
+  ZoneDb zone;
+  zone.AddNs("colorado.edu", "ns.cs.colorado.edu");
+  zone.AddHinfo("boulder.cs.colorado.edu", "SUN-4/65", "UNIX");
+  auto ns = zone.Query("colorado.edu", DnsType::kNs);
+  ASSERT_EQ(ns.size(), 1u);
+  EXPECT_EQ(ns[0].target_name, "ns.cs.colorado.edu");
+  auto hinfo = zone.Query("boulder.cs.colorado.edu", DnsType::kHinfo);
+  ASSERT_EQ(hinfo.size(), 1u);
+  EXPECT_EQ(hinfo[0].hinfo_cpu, "SUN-4/65");
+}
+
+class DnsServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Subnet subnet(Ipv4Address(10, 0, 0, 0), SubnetMask::FromPrefixLength(24));
+    segment_ = sim_.CreateSegment("lan", subnet);
+    server_host_ = sim_.CreateHost("ns");
+    server_host_->AttachTo(segment_, Ipv4Address(10, 0, 0, 53), subnet.mask(),
+                           MacAddress(2, 0, 0, 0, 0, 53));
+    client_ = sim_.CreateHost("client");
+    client_->AttachTo(segment_, Ipv4Address(10, 0, 0, 9), subnet.mask(),
+                      MacAddress(2, 0, 0, 0, 0, 9));
+    ZoneDb zone;
+    for (int i = 0; i < 250; ++i) {
+      zone.AddHost("host" + std::to_string(i) + ".colorado.edu",
+                   Ipv4Address(10, 0, 1, static_cast<uint8_t>(i)));
+    }
+    server_ = std::make_unique<DnsServer>(server_host_, std::move(zone));
+  }
+
+  std::vector<DnsMessage> Ask(const DnsMessage& query) {
+    std::vector<DnsMessage> responses;
+    client_->BindUdp(5353, [&](const Ipv4Packet&, const UdpDatagram& datagram) {
+      auto response = DnsMessage::Decode(datagram.payload);
+      if (response.has_value()) {
+        responses.push_back(std::move(*response));
+      }
+    });
+    client_->SendUdp(server_->address(), 5353, kDnsPort, query.Encode());
+    sim_.events().RunUntilIdle();
+    client_->UnbindUdp(5353);
+    return responses;
+  }
+
+  Simulator sim_{47};
+  Segment* segment_ = nullptr;
+  Host* server_host_ = nullptr;
+  Host* client_ = nullptr;
+  std::unique_ptr<DnsServer> server_;
+};
+
+TEST_F(DnsServerTest, AnswersAQuery) {
+  DnsMessage query;
+  query.id = 5;
+  query.questions.push_back(DnsQuestion{"host3.colorado.edu", DnsType::kA});
+  auto responses = Ask(query);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].id, 5);
+  EXPECT_TRUE(responses[0].is_response);
+  EXPECT_TRUE(responses[0].authoritative);
+  ASSERT_EQ(responses[0].answers.size(), 1u);
+  EXPECT_EQ(responses[0].answers[0].address, Ipv4Address(10, 0, 1, 3));
+  EXPECT_EQ(server_->queries_served(), 1u);
+}
+
+TEST_F(DnsServerTest, NxdomainForUnknownName) {
+  DnsMessage query;
+  query.questions.push_back(DnsQuestion{"nosuch.colorado.edu", DnsType::kA});
+  auto responses = Ask(query);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].rcode, DnsRcode::kNameError);
+  EXPECT_TRUE(responses[0].answers.empty());
+}
+
+TEST_F(DnsServerTest, LargeAxfrIsChunkedWithSoaBrackets) {
+  DnsMessage query;
+  query.id = 9;
+  query.questions.push_back(DnsQuestion{"10.in-addr.arpa", DnsType::kAxfr});
+  auto responses = Ask(query);
+  // 250 PTR records + 2 SOA = 252 answers across ≥3 chunks of ≤100.
+  ASSERT_GE(responses.size(), 3u);
+  int soas = 0;
+  int ptrs = 0;
+  for (const auto& response : responses) {
+    EXPECT_EQ(response.id, 9);
+    for (const auto& rr : response.answers) {
+      if (rr.type == DnsType::kSoa) {
+        ++soas;
+      } else if (rr.type == DnsType::kPtr) {
+        ++ptrs;
+      }
+    }
+  }
+  EXPECT_EQ(soas, 2);
+  EXPECT_EQ(ptrs, 250);
+}
+
+TEST_F(DnsServerTest, IgnoresResponsesAndGarbage) {
+  DnsMessage not_a_query;
+  not_a_query.is_response = true;
+  not_a_query.questions.push_back(DnsQuestion{"x", DnsType::kA});
+  EXPECT_TRUE(Ask(not_a_query).empty());
+  // Raw garbage doesn't crash the server.
+  client_->SendUdp(server_->address(), 5353, kDnsPort, {0xff, 0x00, 0x13});
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(server_->queries_served(), 0u);
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,102 @@
+// Tests for the discrete-event scheduler.
+
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fremont {
+namespace {
+
+TEST(EventQueueTest, StartsAtEpoch) {
+  EventQueue queue;
+  EXPECT_EQ(queue.Now(), SimTime::Epoch());
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_FALSE(queue.Step());
+}
+
+TEST(EventQueueTest, EventsRunInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(Duration::Seconds(3), [&]() { order.push_back(3); });
+  queue.Schedule(Duration::Seconds(1), [&]() { order.push_back(1); });
+  queue.Schedule(Duration::Seconds(2), [&]() { order.push_back(2); });
+  queue.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.Now(), SimTime::Epoch() + Duration::Seconds(3));
+}
+
+TEST(EventQueueTest, SimultaneousEventsRunFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(Duration::Seconds(1), [&order, i]() { order.push_back(i); });
+  }
+  queue.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime) {
+  EventQueue queue;
+  SimTime observed;
+  queue.Schedule(Duration::Minutes(5), [&]() { observed = queue.Now(); });
+  queue.RunUntilIdle();
+  EXPECT_EQ(observed, SimTime::Epoch() + Duration::Minutes(5));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.Schedule(Duration::Seconds(1), [&]() { ++fired; });
+  queue.Schedule(Duration::Seconds(10), [&]() { ++fired; });
+  queue.RunUntil(SimTime::Epoch() + Duration::Seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.Now(), SimTime::Epoch() + Duration::Seconds(5));
+  EXPECT_EQ(queue.PendingCount(), 1u);
+  queue.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) {
+      queue.Schedule(Duration::Seconds(1), recurse);
+    }
+  };
+  queue.Schedule(Duration::Seconds(1), recurse);
+  queue.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(queue.Now(), SimTime::Epoch() + Duration::Seconds(5));
+}
+
+TEST(EventQueueTest, PastScheduleClampsToNow) {
+  EventQueue queue;
+  queue.Schedule(Duration::Seconds(10), []() {});
+  queue.RunUntilIdle();
+  bool ran = false;
+  queue.ScheduleAt(SimTime::Epoch() + Duration::Seconds(1), [&]() {
+    ran = true;
+    EXPECT_EQ(queue.Now(), SimTime::Epoch() + Duration::Seconds(10));
+  });
+  queue.RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, RunWhileHonorsPredicate) {
+  EventQueue queue;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) {
+    queue.Schedule(Duration::Seconds(i), [&]() { ++count; });
+  }
+  queue.RunWhile([&]() { return count < 10; });
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(queue.executed_count(), 10u);
+}
+
+}  // namespace
+}  // namespace fremont

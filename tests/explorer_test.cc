@@ -1,0 +1,457 @@
+// Per-module Explorer tests on small controlled topologies, exercising each
+// module's specific behaviours and edge cases (beyond the full-stack runs in
+// integration_test.cc).
+
+#include <gtest/gtest.h>
+
+#include "src/explorer/arpwatch.h"
+#include "src/explorer/broadcast_ping.h"
+#include "src/explorer/etherhostprobe.h"
+#include "src/explorer/ripwatch.h"
+#include "src/explorer/seq_ping.h"
+#include "src/explorer/subnet_mask.h"
+#include "src/explorer/traceroute.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/sim/rip_daemon.h"
+#include "src/sim/simulator.h"
+#include "src/sim/traffic.h"
+
+namespace fremont {
+namespace {
+
+Subnet Net(const char* text) { return *Subnet::Parse(text); }
+
+// A tiny lab: one subnet (10.1.1.0/24) with a vantage host and helpers.
+class ExplorerLabTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    subnet_ = Net("10.1.1.0/24");
+    segment_ = sim_.CreateSegment("lab", subnet_);
+    vantage_ = AddHost("vantage", 250);
+    server_ = std::make_unique<JournalServer>([this]() { return sim_.Now(); });
+    client_ = std::make_unique<JournalClient>(server_.get());
+  }
+
+  Host* AddHost(const std::string& name, uint8_t last_octet, HostConfig config = {}) {
+    Host* host = sim_.CreateHost(name, config);
+    host->AttachTo(segment_, subnet_.HostAt(last_octet), subnet_.mask(),
+                   MacAddress(2, 0, 0, 0, 1, last_octet));
+    return host;
+  }
+
+  Simulator sim_{77};
+  Subnet subnet_;
+  Segment* segment_ = nullptr;
+  Host* vantage_ = nullptr;
+  std::unique_ptr<JournalServer> server_;
+  std::unique_ptr<JournalClient> client_;
+};
+
+// --- ARPwatch ----------------------------------------------------------------
+
+TEST_F(ExplorerLabTest, ArpWatchSeesBothSidesOfExchange) {
+  Host* a = AddHost("a", 10);
+  Host* b = AddHost("b", 11);
+  b->BindUdp(5000, [](const Ipv4Packet&, const UdpDatagram&) {});
+
+  ArpWatch watch(vantage_, client_.get());
+  ASSERT_TRUE(watch.Start());
+  a->SendUdp(b->primary_interface()->ip, 1, 5000, {});
+  sim_.events().RunUntilIdle();
+  watch.Stop();
+
+  // Requester visible from the broadcast request, responder from the reply.
+  EXPECT_EQ(watch.unique_pairs_seen(), 2);
+  auto records = client_->GetInterfaces();
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& rec : records) {
+    EXPECT_TRUE(rec.mac.has_value());
+    EXPECT_EQ(rec.sources, SourceBit(DiscoverySource::kArpWatch));
+  }
+}
+
+TEST_F(ExplorerLabTest, ArpWatchThrottlesRewrites) {
+  Host* a = AddHost("a", 10);
+  Host* b = AddHost("b", 11);
+  b->BindUdp(5000, [](const Ipv4Packet&, const UdpDatagram&) {});
+  ArpWatchParams params;
+  params.write_throttle = Duration::Minutes(10);
+  ArpWatch watch(vantage_, client_.get(), params);
+  watch.Start();
+
+  // ARP cache timeout is 20 min; exchanges every ~21 min re-ARP each time.
+  for (int i = 0; i < 4; ++i) {
+    a->SendUdp(b->primary_interface()->ip, 1, 5000, {});
+    sim_.RunFor(Duration::Minutes(21));
+  }
+  watch.Stop();
+  EXPECT_EQ(watch.unique_pairs_seen(), 2);
+  // Journal received several verifications but the record set stayed at 2.
+  EXPECT_EQ(client_->GetInterfaces().size(), 2u);
+  ExplorerReport report = watch.report();
+  EXPECT_GE(report.records_written, 4);  // Throttled, but re-verified.
+  EXPECT_EQ(report.packets_sent, 0u);    // Strictly passive.
+}
+
+TEST_F(ExplorerLabTest, ArpWatchIgnoresAddressProbes) {
+  // Sender IP 0.0.0.0 (DHCP-style address probe) must not create a record.
+  ArpWatch watch(vantage_, client_.get());
+  watch.Start();
+  ArpPacket probe;
+  probe.op = ArpOp::kRequest;
+  probe.sender_mac = MacAddress(2, 0, 0, 0, 9, 9);
+  probe.sender_ip = Ipv4Address();
+  probe.target_ip = subnet_.HostAt(77);
+  EthernetFrame frame;
+  frame.dst = MacAddress::Broadcast();
+  frame.src = probe.sender_mac;
+  frame.ethertype = EtherType::kArp;
+  frame.payload = probe.Encode();
+  segment_->Transmit(frame);
+  sim_.events().RunUntilIdle();
+  watch.Stop();
+  EXPECT_EQ(watch.unique_pairs_seen(), 0);
+}
+
+// --- EtherHostProbe ----------------------------------------------------------
+
+TEST_F(ExplorerLabTest, EtherHostProbeRangeRestriction) {
+  AddHost("a", 10);
+  AddHost("b", 20);
+  AddHost("c", 30);
+  EtherHostProbeParams params;
+  params.first = subnet_.HostAt(5);
+  params.last = subnet_.HostAt(25);  // Excludes .30.
+  EtherHostProbe probe(vantage_, client_.get(), params);
+  ExplorerReport report = probe.Run();
+  EXPECT_EQ(report.discovered, 2);
+  for (const auto& rec : client_->GetInterfaces()) {
+    EXPECT_NE(rec.ip, subnet_.HostAt(30));
+  }
+}
+
+TEST_F(ExplorerLabTest, EtherHostProbeSkipsProxyArpBlocks) {
+  AddHost("a", 10);
+  // A terminal server proxying for .100-.107.
+  RouterConfig ts_config;
+  ts_config.proxy_arp_local_base = subnet_.HostAt(100);
+  ts_config.proxy_arp_local_count = 8;
+  Router* terminal_server = sim_.CreateRouter("ts", ts_config);
+  terminal_server->AttachTo(segment_, subnet_.HostAt(99), subnet_.mask(),
+                            MacAddress(2, 0, 0, 0, 1, 99));
+
+  EtherHostProbeParams params;
+  params.first = subnet_.HostAt(5);
+  params.last = subnet_.HostAt(110);
+  EtherHostProbe probe(vantage_, client_.get(), params);
+  ExplorerReport report = probe.Run();
+
+  EXPECT_EQ(probe.proxy_suspects(), 1);
+  // Only the real host is recorded: the terminal server's MAC answered for
+  // nine addresses (its own plus the proxied block), and the module cannot
+  // tell which one is genuine — so it records none of them.
+  EXPECT_EQ(report.discovered, 1);
+  auto records = client_->GetInterfaces();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].ip, subnet_.HostAt(10));
+}
+
+TEST_F(ExplorerLabTest, EtherHostProbeRateLimit) {
+  AddHost("a", 10);
+  EtherHostProbeParams params;
+  params.first = subnet_.HostAt(1);
+  params.last = subnet_.HostAt(40);
+  params.packets_per_second = 4.0;
+  EtherHostProbe probe(vantage_, client_.get(), params);
+  ExplorerReport report = probe.Run();
+  // 40 addresses at 4/s: at least 10 simulated seconds.
+  EXPECT_GE(report.Elapsed(), Duration::Seconds(10));
+}
+
+// --- SeqPing -----------------------------------------------------------------
+
+TEST_F(ExplorerLabTest, SeqPingRetriesNonResponders) {
+  AddHost("a", 10);
+  HostConfig deaf;
+  deaf.responds_to_echo = false;
+  AddHost("b", 11, deaf);
+
+  SeqPingParams params;
+  params.first = subnet_.HostAt(10);
+  params.last = subnet_.HostAt(11);
+  SeqPing ping(vantage_, client_.get(), params);
+  ExplorerReport report = ping.Run();
+  EXPECT_EQ(report.discovered, 1);
+  ASSERT_EQ(ping.responders().size(), 1u);
+  EXPECT_EQ(ping.responders()[0], subnet_.HostAt(10));
+  // First pass pings both, retry pass pings the deaf one again: the echo
+  // requests alone are 3 = 2 + 1.
+  EXPECT_GE(report.packets_sent, 3u);
+}
+
+TEST_F(ExplorerLabTest, SeqPingTwoSecondPacing) {
+  AddHost("a", 10);
+  AddHost("b", 11);
+  AddHost("c", 12);
+  SeqPingParams params;
+  params.first = subnet_.HostAt(10);
+  params.last = subnet_.HostAt(12);
+  SeqPing ping(vantage_, client_.get(), params);
+  ExplorerReport report = ping.Run();
+  // 3 addresses at 2 s spacing + 10 s reply timeout ≥ 16 s.
+  EXPECT_GE(report.Elapsed(), Duration::Seconds(14));
+  EXPECT_EQ(report.discovered, 3);
+}
+
+// --- BroadcastPing -----------------------------------------------------------
+
+TEST_F(ExplorerLabTest, BroadcastPingLocalSubnet) {
+  for (uint8_t i = 10; i < 30; ++i) {
+    AddHost("h" + std::to_string(i), i);
+  }
+  BroadcastPing bping(vantage_, client_.get());
+  ExplorerReport report = bping.Run();
+  EXPECT_GT(report.discovered, 10);
+  EXPECT_LE(report.discovered, 20);
+  // A couple of broadcast requests only — the whole point of the module.
+  EXPECT_LE(report.packets_sent, 4u);
+}
+
+TEST_F(ExplorerLabTest, BroadcastPingRespectsOptOut) {
+  HostConfig shy;
+  shy.responds_to_broadcast_ping = false;
+  AddHost("shy", 10, shy);
+  AddHost("ok", 11);
+  BroadcastPing bping(vantage_, client_.get());
+  ExplorerReport report = bping.Run();
+  EXPECT_EQ(report.discovered, 1);
+}
+
+// --- SubnetMasks ---------------------------------------------------------------
+
+TEST_F(ExplorerLabTest, SubnetMaskTargetsFromJournal) {
+  AddHost("a", 10);
+  HostConfig quiet;
+  quiet.responds_to_mask_request = false;
+  AddHost("b", 11, quiet);
+
+  // Seed the Journal with both addresses, mask unknown.
+  for (uint8_t i : {10, 11}) {
+    InterfaceObservation obs;
+    obs.ip = subnet_.HostAt(i);
+    client_->StoreInterface(obs, DiscoverySource::kSeqPing);
+  }
+  SubnetMaskExplorer masks(vantage_, client_.get());
+  ExplorerReport report = masks.Run();
+  EXPECT_EQ(report.discovered, 1);  // Only the host that answers.
+  auto recs = client_->GetInterfaces(Selector::ByIp(subnet_.HostAt(10)));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].mask->PrefixLength(), 24);
+}
+
+// --- RIPwatch ------------------------------------------------------------------
+
+TEST_F(ExplorerLabTest, RipWatchClassifiesRoutes) {
+  // A router advertising subnets of our class A network plus a foreign net.
+  Router* gw = sim_.CreateRouter("gw", {});
+  Interface* gw_iface = gw->AttachTo(segment_, subnet_.HostAt(1), subnet_.mask(),
+                                     MacAddress(2, 0, 0, 0, 1, 1));
+  Segment* other = sim_.CreateSegment("other", Net("10.1.2.0/24"));
+  gw->AttachTo(other, Ipv4Address(10, 1, 2, 1), SubnetMask::FromPrefixLength(24),
+               MacAddress(2, 0, 0, 0, 1, 2));
+  // A foreign class B network learned over the far interface: RIPv1 carries
+  // no mask, so RIPwatch must fall back to the natural (classful) mask.
+  gw->routing_table().Learn(Net("150.50.0.0/16"), Ipv4Address(10, 1, 2, 9),
+                            gw->interfaces().back().get(), 3, sim_.Now());
+  RipDaemon daemon(gw, gw, {});
+  daemon.Start();
+
+  RipWatch watch(vantage_, client_.get());
+  ExplorerReport report = watch.Run(Duration::Minutes(2));
+  (void)gw_iface;
+  // Local subnet (implicit) + 10.1.2/24 + foreign 150.50/16 (natural mask).
+  EXPECT_EQ(report.discovered, 3);
+  auto subnets = client_->GetSubnets();
+  bool found_foreign = false;
+  for (const auto& rec : subnets) {
+    if (rec.subnet == Subnet(Ipv4Address(150, 50, 0, 0), SubnetMask::FromPrefixLength(16))) {
+      found_foreign = true;
+    }
+  }
+  EXPECT_TRUE(found_foreign);
+}
+
+TEST_F(ExplorerLabTest, RipWatchIgnoresPromiscuousRoutes) {
+  Router* gw = sim_.CreateRouter("gw", {});
+  gw->AttachTo(segment_, subnet_.HostAt(1), subnet_.mask(), MacAddress(2, 0, 0, 0, 1, 1));
+  Segment* other = sim_.CreateSegment("other", Net("10.1.2.0/24"));
+  gw->AttachTo(other, Ipv4Address(10, 1, 2, 1), SubnetMask::FromPrefixLength(24),
+               MacAddress(2, 0, 0, 0, 1, 2));
+  RipDaemon honest(gw, gw, {});
+  honest.Start();
+
+  Host* chatty = AddHost("chatty", 66);
+  RipDaemonConfig bad;
+  bad.promiscuous_rebroadcast = true;
+  RipDaemon echo(chatty, nullptr, bad);
+  echo.Start();
+
+  RipWatch watch(vantage_, client_.get());
+  watch.Run(Duration::Minutes(3));
+
+  auto promiscuous = watch.promiscuous_sources();
+  ASSERT_EQ(promiscuous.size(), 1u);
+  EXPECT_EQ(promiscuous[0], subnet_.HostAt(66));
+  // The promiscuous source is flagged in the Journal; honest gateway is not.
+  for (const auto& rec : client_->GetInterfaces()) {
+    if (rec.ip == subnet_.HostAt(66)) {
+      EXPECT_TRUE(rec.rip_promiscuous);
+      EXPECT_TRUE(rec.rip_source);
+    } else if (rec.ip == subnet_.HostAt(1)) {
+      EXPECT_FALSE(rec.rip_promiscuous);
+      EXPECT_TRUE(rec.rip_source);
+    }
+  }
+}
+
+// --- Traceroute -----------------------------------------------------------------
+
+class TracerouteLabTest : public ::testing::Test {
+ protected:
+  // vantage(10.2.1.250) — [10.2.1/24] r1 — [10.2.0/24 backbone] r2 — [10.2.5/24] host .10
+  void SetUp() override {
+    lan_ = sim_.CreateSegment("lan", Net("10.2.1.0/24"));
+    backbone_ = sim_.CreateSegment("backbone", Net("10.2.0.0/24"));
+    target_lan_ = sim_.CreateSegment("target", Net("10.2.5.0/24"));
+
+    r1_ = sim_.CreateRouter("r1", {});
+    r1_lan_ = r1_->AttachTo(lan_, Ipv4Address(10, 2, 1, 1), SubnetMask::FromPrefixLength(24),
+                            MacAddress(2, 0, 0, 1, 0, 1));
+    r1_bb_ = r1_->AttachTo(backbone_, Ipv4Address(10, 2, 0, 1), SubnetMask::FromPrefixLength(24),
+                           MacAddress(2, 0, 0, 1, 0, 2));
+    r2_ = sim_.CreateRouter("r2", {});
+    r2_bb_ = r2_->AttachTo(backbone_, Ipv4Address(10, 2, 0, 2), SubnetMask::FromPrefixLength(24),
+                           MacAddress(2, 0, 0, 1, 0, 3));
+    r2_target_ = r2_->AttachTo(target_lan_, Ipv4Address(10, 2, 5, 1),
+                               SubnetMask::FromPrefixLength(24), MacAddress(2, 0, 0, 1, 0, 4));
+    r1_->routing_table().Learn(Net("10.2.5.0/24"), r2_bb_->ip, r1_bb_, 2, sim_.Now());
+    r2_->routing_table().Learn(Net("10.2.1.0/24"), r1_bb_->ip, r2_bb_, 2, sim_.Now());
+
+    vantage_ = sim_.CreateHost("vantage");
+    vantage_->AttachTo(lan_, Ipv4Address(10, 2, 1, 250), SubnetMask::FromPrefixLength(24),
+                       MacAddress(2, 0, 0, 1, 0, 5));
+    vantage_->SetDefaultGateway(r1_lan_->ip);
+
+    target_host_ = sim_.CreateHost("deep");
+    target_host_->AttachTo(target_lan_, Ipv4Address(10, 2, 5, 10),
+                           SubnetMask::FromPrefixLength(24), MacAddress(2, 0, 0, 1, 0, 6));
+    target_host_->SetDefaultGateway(r2_target_->ip);
+
+    server_ = std::make_unique<JournalServer>([this]() { return sim_.Now(); });
+    client_ = std::make_unique<JournalClient>(server_.get());
+  }
+
+  Simulator sim_{101};
+  Segment* lan_ = nullptr;
+  Segment* backbone_ = nullptr;
+  Segment* target_lan_ = nullptr;
+  Router* r1_ = nullptr;
+  Router* r2_ = nullptr;
+  Interface* r1_lan_ = nullptr;
+  Interface* r1_bb_ = nullptr;
+  Interface* r2_bb_ = nullptr;
+  Interface* r2_target_ = nullptr;
+  Host* vantage_ = nullptr;
+  Host* target_host_ = nullptr;
+  std::unique_ptr<JournalServer> server_;
+  std::unique_ptr<JournalClient> client_;
+};
+
+TEST_F(TracerouteLabTest, DiscoversHopsAndGatewaySubnetLinks) {
+  TracerouteParams params;
+  params.targets = {Net("10.2.5.0/24")};
+  Traceroute trace(vantage_, client_.get(), params);
+  ExplorerReport report = trace.Run();
+
+  ASSERT_EQ(trace.results().size(), 1u);
+  const TraceResult& result = trace.results()[0];
+  EXPECT_TRUE(result.reached);
+  ASSERT_GE(result.hops.size(), 2u);
+  EXPECT_EQ(result.hops[0].address, r1_lan_->ip);  // Near-side interfaces only.
+  EXPECT_EQ(result.hops[1].address, r2_bb_->ip);
+
+  // Target subnet confirmed, and r2 linked to it.
+  EXPECT_GE(report.discovered, 3);  // lan + backbone + target.
+  const auto gateways = client_->GetGateways();
+  bool r2_linked = false;
+  for (const auto& gw : gateways) {
+    for (const auto& subnet : gw.connected_subnets) {
+      if (subnet == Net("10.2.5.0/24")) {
+        r2_linked = true;
+      }
+    }
+  }
+  EXPECT_TRUE(r2_linked);
+}
+
+TEST_F(TracerouteLabTest, ThreeAddressProbingFindsSubnetWithoutHosts) {
+  target_host_->SetUp(false);  // No ordinary host will answer.
+  TracerouteParams params;
+  params.targets = {Net("10.2.5.0/24")};
+  Traceroute trace(vantage_, client_.get(), params);
+  trace.Run();
+  // Host-zero (or .1, the gateway interface) still answers: subnet found.
+  ASSERT_EQ(trace.results().size(), 1u);
+  EXPECT_TRUE(trace.results()[0].reached);
+}
+
+TEST_F(TracerouteLabTest, SingleAddressAblationCanStillReachViaHostZero) {
+  TracerouteParams params;
+  params.targets = {Net("10.2.5.0/24")};
+  params.probe_three_addresses = false;
+  Traceroute trace(vantage_, client_.get(), params);
+  ExplorerReport report = trace.Run();
+  EXPECT_TRUE(trace.results()[0].reached);
+  // One address traced → roughly a third of the probes.
+  EXPECT_LT(report.packets_sent, 20u);
+}
+
+TEST_F(TracerouteLabTest, StopsAtBackboneNetworks) {
+  TracerouteParams params;
+  params.targets = {Net("10.2.5.0/24")};
+  params.stop_networks = {Net("10.2.0.0/24")};  // Declare the backbone off-limits.
+  Traceroute trace(vantage_, client_.get(), params);
+  trace.Run();
+  const TraceResult& result = trace.results()[0];
+  // The trace stops at the r2 backbone hop; the destination is never probed.
+  EXPECT_FALSE(result.terminal_in_target);
+}
+
+TEST_F(TracerouteLabTest, SilentGatewayHidesSubnet) {
+  r2_->router_config().silent_ttl_drop = true;
+  r2_->config().accepts_host_zero = false;
+  r2_->config().sends_port_unreachable = false;
+  target_host_->SetUp(false);
+  TracerouteParams params;
+  params.targets = {Net("10.2.5.0/24")};
+  Traceroute trace(vantage_, client_.get(), params);
+  trace.Run();
+  EXPECT_FALSE(trace.results()[0].reached);
+}
+
+TEST_F(TracerouteLabTest, RateLimitHolds) {
+  TracerouteParams params;
+  params.targets = {Net("10.2.5.0/24")};
+  params.packets_per_second = 8.0;
+  Traceroute trace(vantage_, client_.get(), params);
+  ExplorerReport report = trace.Run();
+  // Packets per simulated second must not exceed the configured rate by
+  // much (ARP traffic rides on top, hence the small allowance).
+  const double rate = static_cast<double>(report.packets_sent) /
+                      std::max<double>(1.0, report.Elapsed().ToSecondsF());
+  EXPECT_LE(rate, 10.0);
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,163 @@
+// Tests for the paper's Future Work features implemented here: RIP directed
+// probes (Request/Poll), multi-vantage traceroute, and the traceroute TTL
+// head start.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/explorer/rip_probe.h"
+#include "src/explorer/ripwatch.h"
+#include "src/explorer/traceroute.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace fremont {
+namespace {
+
+class FutureWorkCampusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CampusParams params;
+    params.assigned_subnets = 20;
+    params.connected_subnets = 20;
+    params.faulty_gateway_subnets = 0;
+    params.dns_registered_subnets = 20;
+    params.dns_named_gateways = 4;
+    campus_ = BuildCampus(sim_, params);
+    server_ = std::make_unique<JournalServer>([this]() { return sim_.Now(); });
+    client_ = std::make_unique<JournalClient>(server_.get());
+    sim_.RunFor(Duration::Minutes(5));
+  }
+
+  Simulator sim_{4242};
+  Campus campus_;
+  std::unique_ptr<JournalServer> server_;
+  std::unique_ptr<JournalClient> client_;
+};
+
+TEST_F(FutureWorkCampusTest, RipProbeReadsRemoteRoutingTables) {
+  // Query a *remote* gateway (on the backbone, not on the vantage subnet) —
+  // the capability passive RIPwatch fundamentally lacks.
+  Router* remote = campus_.gateways.back();
+  ASSERT_NE(remote->primary_interface()->segment, campus_.vantage_segment);
+
+  RipProbeParams params;
+  params.targets = {remote->primary_interface()->ip};
+  RipProbe probe(campus_.vantage, client_.get(), params);
+  ExplorerReport report = probe.Run();
+
+  EXPECT_TRUE(probe.silent_targets().empty());
+  ASSERT_EQ(probe.tables().size(), 1u);
+  const auto& table = probe.tables().begin()->second;
+  // The remote router knows every campus subnet (20 + backbone).
+  EXPECT_GE(table.size(), 20u);
+  EXPECT_GE(report.discovered, 20);
+
+  // Its metric-1 entries became a gateway record with connected subnets.
+  const GatewayRecord* gw =
+      server_->journal().FindGatewayByInterfaceIp(remote->primary_interface()->ip);
+  ASSERT_NE(gw, nullptr);
+  EXPECT_GE(gw->connected_subnets.size(), 2u);  // Backbone + its own subnets.
+}
+
+TEST_F(FutureWorkCampusTest, RipProbeTargetsFromJournal) {
+  // Seed the Journal via RIPwatch (finds the local RIP source), then let
+  // RipProbe self-direct.
+  RipWatch watch(campus_.vantage, client_.get());
+  watch.Run(Duration::Minutes(2));
+  RipProbe probe(campus_.vantage, client_.get());
+  ExplorerReport report = probe.Run();
+  EXPECT_GE(report.replies_received, 1u);
+  EXPECT_GE(report.discovered, 20);
+}
+
+TEST_F(FutureWorkCampusTest, RipProbePollCommandAlsoAnswered) {
+  RipProbeParams params;
+  params.targets = {campus_.gateways.front()->primary_interface()->ip};
+  params.use_poll = true;
+  RipProbe probe(campus_.vantage, client_.get(), params);
+  probe.Run();
+  EXPECT_EQ(probe.tables().size(), 1u);
+}
+
+TEST_F(FutureWorkCampusTest, RipProbeToleratesSilentTargets) {
+  Host* mute = campus_.hosts.front();  // Runs no RIP daemon.
+  RipProbeParams params;
+  params.targets = {mute->primary_interface()->ip};
+  params.reply_timeout = Duration::Seconds(2);
+  RipProbe probe(campus_.vantage, client_.get(), params);
+  ExplorerReport report = probe.Run();
+  ASSERT_EQ(probe.silent_targets().size(), 1u);
+  EXPECT_EQ(probe.silent_targets()[0], mute->primary_interface()->ip);
+  EXPECT_EQ(report.discovered, 0);
+}
+
+TEST_F(FutureWorkCampusTest, MultiVantageTracerouteSeesMoreInterfaces) {
+  // Vantage A on subnet 1; vantage B a host on a different subnet.
+  Host* vantage_b = nullptr;
+  for (Host* host : campus_.hosts) {
+    if (host->primary_interface() != nullptr &&
+        host->primary_interface()->segment != campus_.vantage_segment && host->IsUp()) {
+      vantage_b = host;
+      break;
+    }
+  }
+  ASSERT_NE(vantage_b, nullptr);
+
+  TracerouteParams params;
+  for (const Subnet& subnet : campus_.truth.connected_subnets) {
+    params.targets.push_back(subnet);
+  }
+
+  // Single vantage baseline.
+  JournalServer single_server([this]() { return sim_.Now(); });
+  JournalClient single_client(&single_server);
+  Traceroute single(campus_.vantage, &single_client, params);
+  single.Run();
+  std::set<uint32_t> single_ifaces;
+  for (const auto& rec : single_client.GetInterfaces()) {
+    single_ifaces.insert(rec.ip.value());
+  }
+
+  // Two vantages, merged in one Journal.
+  auto reports = Traceroute::RunFromVantages({campus_.vantage, vantage_b}, client_.get(), params);
+  ASSERT_EQ(reports.size(), 2u);
+  std::set<uint32_t> multi_ifaces;
+  for (const auto& rec : client_->GetInterfaces()) {
+    multi_ifaces.insert(rec.ip.value());
+  }
+  // The second vantage sees router interfaces from its own side of the
+  // network — strictly more knowledge after the merge.
+  EXPECT_GT(multi_ifaces.size(), single_ifaces.size());
+}
+
+TEST_F(FutureWorkCampusTest, TtlHeadStartSavesProbes) {
+  TracerouteParams slow;
+  for (const Subnet& subnet : campus_.truth.connected_subnets) {
+    slow.targets.push_back(subnet);
+  }
+  TracerouteParams fast = slow;
+  // Every campus trace shares the first hop (the vantage subnet's gateway).
+  fast.initial_ttl = 2;
+
+  JournalServer slow_server([this]() { return sim_.Now(); });
+  JournalClient slow_client(&slow_server);
+  Traceroute baseline(campus_.vantage, &slow_client, slow);
+  ExplorerReport slow_report = baseline.Run();
+
+  JournalServer fast_server([this]() { return sim_.Now(); });
+  JournalClient fast_client(&fast_server);
+  Traceroute headstart(campus_.vantage, &fast_client, fast);
+  ExplorerReport fast_report = headstart.Run();
+
+  // Same subnets found, fewer packets and less time.
+  EXPECT_EQ(fast_report.discovered + 1, slow_report.discovered);  // Loses only hop-1's subnet.
+  EXPECT_LT(fast_report.packets_sent, slow_report.packets_sent);
+  EXPECT_LT(fast_report.Elapsed(), slow_report.Elapsed());
+}
+
+}  // namespace
+}  // namespace fremont

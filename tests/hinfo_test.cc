@@ -1,0 +1,96 @@
+// Tests for HINFO host-type discovery via DNS additional-data processing.
+
+#include <gtest/gtest.h>
+
+#include "src/explorer/dns_explorer.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/sim/dns_server.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace fremont {
+namespace {
+
+TEST(HinfoTest, ServerAppendsHinfoToAResponses) {
+  Simulator sim(9);
+  Subnet subnet = *Subnet::Parse("10.4.0.0/24");
+  Segment* lan = sim.CreateSegment("lan", subnet);
+  Host* server_host = sim.CreateHost("ns");
+  server_host->AttachTo(lan, subnet.HostAt(53), subnet.mask(), MacAddress(2, 0, 0, 4, 0, 53));
+  Host* client_host = sim.CreateHost("client");
+  client_host->AttachTo(lan, subnet.HostAt(9), subnet.mask(), MacAddress(2, 0, 0, 4, 0, 9));
+
+  ZoneDb zone;
+  zone.AddHost("boulder.colorado.edu", Ipv4Address(10, 4, 0, 10));
+  zone.AddHinfo("boulder.colorado.edu", "SUN-4/65", "UNIX");
+  zone.AddHost("plain.colorado.edu", Ipv4Address(10, 4, 0, 11));  // No HINFO.
+  DnsServer dns(server_host, std::move(zone));
+
+  auto ask = [&](const std::string& name) {
+    std::optional<DnsMessage> response;
+    client_host->BindUdp(5353, [&](const Ipv4Packet&, const UdpDatagram& datagram) {
+      response = DnsMessage::Decode(datagram.payload);
+    });
+    DnsMessage query;
+    query.id = 1;
+    query.questions.push_back(DnsQuestion{name, DnsType::kA});
+    client_host->SendUdp(dns.address(), 5353, kDnsPort, query.Encode());
+    sim.events().RunUntilIdle();
+    client_host->UnbindUdp(5353);
+    return response;
+  };
+
+  auto with_hinfo = ask("boulder.colorado.edu");
+  ASSERT_TRUE(with_hinfo.has_value());
+  ASSERT_EQ(with_hinfo->additional.size(), 1u);
+  EXPECT_EQ(with_hinfo->additional[0].type, DnsType::kHinfo);
+  EXPECT_EQ(with_hinfo->additional[0].hinfo_cpu, "SUN-4/65");
+
+  auto without = ask("plain.colorado.edu");
+  ASSERT_TRUE(without.has_value());
+  EXPECT_TRUE(without->additional.empty());
+}
+
+TEST(HinfoTest, DnsExplorerCollectsHostTypes) {
+  Simulator sim(9);
+  DepartmentParams params;
+  params.hinfo_fraction = 0.5;
+  DepartmentSubnet dept = BuildDepartmentSubnet(sim, params);
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient client(&server);
+
+  DnsExplorerParams dns_params;
+  dns_params.network = Ipv4Address(128, 138, 0, 0);
+  dns_params.server = dept.dns_host->primary_interface()->ip;
+  DnsExplorer dns(dept.vantage, &client, dns_params);
+  dns.Run();
+
+  // Roughly half the plain hosts supplied HINFO; none of it is for stale
+  // entries, and every value is "vendor/UNIX".
+  EXPECT_GT(dns.host_types().size(), 10u);
+  EXPECT_LT(dns.host_types().size(), 45u);
+  for (const auto& [name, type] : dns.host_types()) {
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(type.find("/UNIX"), std::string::npos) << name << " → " << type;
+  }
+}
+
+TEST(HinfoTest, RarelySuppliedByDefault) {
+  // The default hinfo_fraction models the paper's observation: most zones
+  // don't carry type data.
+  Simulator sim(10);
+  DepartmentParams params;  // Default fraction.
+  DepartmentSubnet dept = BuildDepartmentSubnet(sim, params);
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient client(&server);
+  DnsExplorerParams dns_params;
+  dns_params.network = Ipv4Address(128, 138, 0, 0);
+  dns_params.server = dept.dns_host->primary_interface()->ip;
+  DnsExplorer dns(dept.vantage, &client, dns_params);
+  dns.Run();
+  EXPECT_LT(static_cast<int>(dns.host_types().size()), dns.interfaces_found() / 2);
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,278 @@
+// Tests for the Host IP stack: ARP resolution and caching, ICMP echo and
+// mask behaviour, UDP delivery, port unreachable, host-zero, and the
+// configurable misbehaviours.
+
+#include "src/sim/host.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+
+namespace fremont {
+namespace {
+
+class HostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    subnet_ = Subnet(Ipv4Address(10, 0, 0, 0), SubnetMask::FromPrefixLength(24));
+    segment_ = sim_.CreateSegment("lan", subnet_);
+    alice_ = sim_.CreateHost("alice");
+    bob_ = sim_.CreateHost("bob");
+    alice_->AttachTo(segment_, Ipv4Address(10, 0, 0, 1), subnet_.mask(),
+                     MacAddress(2, 0, 0, 0, 0, 1));
+    bob_->AttachTo(segment_, Ipv4Address(10, 0, 0, 2), subnet_.mask(),
+                   MacAddress(2, 0, 0, 0, 0, 2));
+  }
+
+  Simulator sim_{5};
+  Subnet subnet_;
+  Segment* segment_ = nullptr;
+  Host* alice_ = nullptr;
+  Host* bob_ = nullptr;
+};
+
+TEST_F(HostTest, ArpResolutionThenDelivery) {
+  ByteBuffer received;
+  bob_->BindUdp(4000, [&](const Ipv4Packet&, const UdpDatagram& datagram) {
+    received = datagram.payload;
+  });
+  EXPECT_TRUE(alice_->SendUdp(bob_->primary_interface()->ip, 4001, 4000, {1, 2, 3}));
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(received, (ByteBuffer{1, 2, 3}));
+  // Both sides learned the binding (requester from the reply; responder from
+  // the request).
+  EXPECT_TRUE(alice_->arp_cache().Contains(bob_->primary_interface()->ip, sim_.Now()));
+  EXPECT_TRUE(bob_->arp_cache().Contains(alice_->primary_interface()->ip, sim_.Now()));
+}
+
+TEST_F(HostTest, PacketsQueueBehindArpResolution) {
+  int received = 0;
+  bob_->BindUdp(4000, [&](const Ipv4Packet&, const UdpDatagram&) { ++received; });
+  // Three sends before any resolution completes: one ARP request, all three
+  // packets delivered after the reply.
+  alice_->SendUdp(bob_->primary_interface()->ip, 4001, 4000, {1});
+  alice_->SendUdp(bob_->primary_interface()->ip, 4001, 4000, {2});
+  alice_->SendUdp(bob_->primary_interface()->ip, 4001, 4000, {3});
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(received, 3);
+}
+
+TEST_F(HostTest, ArpGivesUpOnSilentTarget) {
+  EXPECT_TRUE(alice_->SendUdp(Ipv4Address(10, 0, 0, 99), 4001, 4000, {1}));
+  sim_.events().RunUntilIdle();
+  EXPECT_FALSE(alice_->arp_cache().Contains(Ipv4Address(10, 0, 0, 99), sim_.Now()));
+}
+
+TEST_F(HostTest, ArpCacheExpires) {
+  alice_->SendUdp(bob_->primary_interface()->ip, 4001, 4000, {1});
+  sim_.events().RunUntilIdle();
+  ASSERT_TRUE(alice_->arp_cache().Contains(bob_->primary_interface()->ip, sim_.Now()));
+  // Default timeout is 20 minutes.
+  EXPECT_FALSE(alice_->arp_cache().Contains(bob_->primary_interface()->ip,
+                                            sim_.Now() + Duration::Minutes(21)));
+}
+
+TEST_F(HostTest, EchoRequestGetsReply) {
+  int replies = 0;
+  alice_->SetIcmpListener([&](const Ipv4Packet& packet, const IcmpMessage& message) {
+    if (message.type == IcmpType::kEchoReply) {
+      EXPECT_EQ(packet.src, bob_->primary_interface()->ip);
+      EXPECT_EQ(message.identifier, 77);
+      ++replies;
+    }
+  });
+  alice_->SendIcmp(bob_->primary_interface()->ip, IcmpMessage::EchoRequest(77, 1));
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(replies, 1);
+}
+
+TEST_F(HostTest, EchoDisabledHostIsSilent) {
+  bob_->config().responds_to_echo = false;
+  int replies = 0;
+  alice_->SetIcmpListener([&](const Ipv4Packet&, const IcmpMessage& message) {
+    if (message.type == IcmpType::kEchoReply) {
+      ++replies;
+    }
+  });
+  alice_->SendIcmp(bob_->primary_interface()->ip, IcmpMessage::EchoRequest(77, 1));
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(replies, 0);
+}
+
+TEST_F(HostTest, BroadcastPingAnswered) {
+  int replies = 0;
+  alice_->SetIcmpListener([&](const Ipv4Packet&, const IcmpMessage& message) {
+    if (message.type == IcmpType::kEchoReply) {
+      ++replies;
+    }
+  });
+  alice_->SendIcmp(subnet_.BroadcastAddress(), IcmpMessage::EchoRequest(77, 1), 1);
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(replies, 1);  // Bob answers; alice doesn't answer herself.
+
+  bob_->config().responds_to_broadcast_ping = false;
+  replies = 0;
+  alice_->SendIcmp(subnet_.BroadcastAddress(), IcmpMessage::EchoRequest(77, 2), 1);
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(replies, 0);
+}
+
+TEST_F(HostTest, MaskRequestHonest) {
+  uint32_t mask = 0;
+  alice_->SetIcmpListener([&](const Ipv4Packet&, const IcmpMessage& message) {
+    if (message.type == IcmpType::kMaskReply) {
+      mask = message.address_mask;
+    }
+  });
+  alice_->SendIcmp(bob_->primary_interface()->ip, IcmpMessage::MaskRequest(1, 1));
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(mask, SubnetMask::FromPrefixLength(24).value());
+}
+
+TEST_F(HostTest, MaskRequestMisconfigured) {
+  bob_->config().wrong_advertised_mask = SubnetMask::FromPrefixLength(16);
+  uint32_t mask = 0;
+  alice_->SetIcmpListener([&](const Ipv4Packet&, const IcmpMessage& message) {
+    if (message.type == IcmpType::kMaskReply) {
+      mask = message.address_mask;
+    }
+  });
+  alice_->SendIcmp(bob_->primary_interface()->ip, IcmpMessage::MaskRequest(1, 1));
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(mask, SubnetMask::FromPrefixLength(16).value());
+}
+
+TEST_F(HostTest, MaskRequestCanBeDisabled) {
+  bob_->config().responds_to_mask_request = false;
+  bool any = false;
+  alice_->SetIcmpListener([&](const Ipv4Packet&, const IcmpMessage&) { any = true; });
+  alice_->SendIcmp(bob_->primary_interface()->ip, IcmpMessage::MaskRequest(1, 1));
+  sim_.events().RunUntilIdle();
+  EXPECT_FALSE(any);
+}
+
+TEST_F(HostTest, UdpEchoService) {
+  ByteBuffer echoed;
+  alice_->BindUdp(5123, [&](const Ipv4Packet&, const UdpDatagram& datagram) {
+    echoed = datagram.payload;
+  });
+  alice_->SendUdp(bob_->primary_interface()->ip, 5123, kUdpEchoPort, {0xaa, 0xbb});
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(echoed, (ByteBuffer{0xaa, 0xbb}));
+}
+
+TEST_F(HostTest, UnboundPortYieldsPortUnreachable) {
+  bool unreachable = false;
+  alice_->SetIcmpListener([&](const Ipv4Packet&, const IcmpMessage& message) {
+    if (message.type == IcmpType::kDestUnreachable &&
+        message.code == static_cast<uint8_t>(IcmpUnreachableCode::kPortUnreachable)) {
+      // The embedded original datagram must identify the offending probe.
+      auto original = Ipv4Packet::Decode(message.original_datagram);
+      ASSERT_TRUE(original.has_value());
+      EXPECT_EQ(original->dst, bob_->primary_interface()->ip);
+      unreachable = true;
+    }
+  });
+  alice_->SendUdp(bob_->primary_interface()->ip, 4001, 33434, {});
+  sim_.events().RunUntilIdle();
+  EXPECT_TRUE(unreachable);
+}
+
+TEST_F(HostTest, BroadcastUdpNeverTriggersUnreachable) {
+  bool any_icmp = false;
+  alice_->SetIcmpListener([&](const Ipv4Packet&, const IcmpMessage&) { any_icmp = true; });
+  Ipv4Packet packet;
+  packet.protocol = IpProtocol::kUdp;
+  packet.src = alice_->primary_interface()->ip;
+  packet.dst = subnet_.BroadcastAddress();
+  UdpDatagram datagram;
+  datagram.src_port = 1;
+  datagram.dst_port = 9999;
+  packet.payload = datagram.Encode();
+  alice_->SendIpPacket(std::move(packet));
+  sim_.events().RunUntilIdle();
+  EXPECT_FALSE(any_icmp);
+}
+
+TEST_F(HostTest, HostZeroAccepted) {
+  bool unreachable = false;
+  alice_->SetIcmpListener([&](const Ipv4Packet& packet, const IcmpMessage& message) {
+    if (message.type == IcmpType::kDestUnreachable) {
+      EXPECT_EQ(packet.src, bob_->primary_interface()->ip);
+      unreachable = true;
+    }
+  });
+  // A UDP probe to host zero: bob treats it as his own and answers Port
+  // Unreachable — exactly what Fremont's traceroute exploits. (Bob receives
+  // it because host-zero is sent as link broadcast? No — it must be ARPed;
+  // in practice the gateway answers. On a flat segment nobody owns .0, so
+  // route it via bob's MAC directly using a raw frame path: simpler, send to
+  // bob's unicast IP is covered elsewhere. Here we hand-deliver.)
+  Ipv4Packet packet;
+  packet.protocol = IpProtocol::kUdp;
+  packet.src = alice_->primary_interface()->ip;
+  packet.dst = subnet_.HostZero();
+  UdpDatagram datagram;
+  datagram.src_port = 4001;
+  datagram.dst_port = 33434;
+  packet.payload = datagram.Encode();
+  EthernetFrame frame;
+  frame.dst = bob_->primary_interface()->mac;
+  frame.src = alice_->primary_interface()->mac;
+  frame.ethertype = EtherType::kIpv4;
+  frame.payload = packet.Encode();
+  segment_->Transmit(frame);
+  sim_.events().RunUntilIdle();
+  EXPECT_TRUE(unreachable);
+
+  // With host-zero acceptance off, the packet is ignored (hosts don't
+  // forward).
+  bob_->config().accepts_host_zero = false;
+  unreachable = false;
+  segment_->Transmit(frame);
+  sim_.events().RunUntilIdle();
+  EXPECT_FALSE(unreachable);
+}
+
+TEST_F(HostTest, DownHostAnswersNothing) {
+  bob_->SetUp(false);
+  int events = 0;
+  alice_->SetIcmpListener([&](const Ipv4Packet&, const IcmpMessage&) { ++events; });
+  alice_->SendIcmp(bob_->primary_interface()->ip, IcmpMessage::EchoRequest(1, 1));
+  alice_->SendUdp(bob_->primary_interface()->ip, 1, kUdpEchoPort, {});
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(events, 0);
+  // Power-off also cleared bob's volatile state.
+  EXPECT_EQ(bob_->arp_cache().RawSize(), 0u);
+
+  bob_->SetUp(true);
+  alice_->SendIcmp(bob_->primary_interface()->ip, IcmpMessage::EchoRequest(1, 2));
+  sim_.events().RunUntilIdle();
+  EXPECT_EQ(events, 1);
+}
+
+TEST_F(HostTest, OffSubnetWithoutGatewayFails) {
+  EXPECT_FALSE(alice_->SendUdp(Ipv4Address(10, 0, 5, 1), 1, 2, {}));
+}
+
+TEST_F(HostTest, DuplicateIpBothAnswerArp) {
+  // A third host squats on bob's address: alice's ARP gets two replies and
+  // her cache ends up with whichever arrived last.
+  Host* rogue = sim_.CreateHost("rogue");
+  rogue->AttachTo(segment_, bob_->primary_interface()->ip, subnet_.mask(),
+                  MacAddress(2, 0, 0, 0, 0, 9));
+  alice_->SendUdp(bob_->primary_interface()->ip, 1, 9999, {});
+  sim_.events().RunUntilIdle();
+  auto cached = alice_->arp_cache().Lookup(bob_->primary_interface()->ip, sim_.Now());
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_TRUE(*cached == bob_->primary_interface()->mac ||
+              *cached == rogue->primary_interface()->mac);
+}
+
+TEST_F(HostTest, OversizedUdpRefused) {
+  ByteBuffer huge(70000, 0);
+  EXPECT_FALSE(alice_->SendUdp(bob_->primary_interface()->ip, 1, 2, std::move(huge)));
+}
+
+}  // namespace
+}  // namespace fremont

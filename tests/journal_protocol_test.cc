@@ -1,0 +1,199 @@
+// Tests for the Journal wire protocol and the server/client round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/journal/client.h"
+#include "src/journal/protocol.h"
+#include "src/journal/server.h"
+
+namespace fremont {
+namespace {
+
+InterfaceObservation SampleInterfaceObs() {
+  InterfaceObservation obs;
+  obs.ip = Ipv4Address(128, 138, 238, 10);
+  obs.mac = MacAddress(0x08, 0x00, 0x20, 1, 2, 3);
+  obs.dns_name = "boulder.cs.colorado.edu";
+  obs.mask = SubnetMask::FromPrefixLength(24);
+  obs.rip_source = true;
+  return obs;
+}
+
+TEST(JournalProtocolTest, StoreInterfaceRequestRoundTrip) {
+  JournalRequest req;
+  req.type = RequestType::kStoreInterface;
+  req.source = DiscoverySource::kArpWatch;
+  req.interface_obs = SampleInterfaceObs();
+
+  auto decoded = JournalRequest::Decode(req.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, RequestType::kStoreInterface);
+  EXPECT_EQ(decoded->source, DiscoverySource::kArpWatch);
+  ASSERT_TRUE(decoded->interface_obs.has_value());
+  EXPECT_EQ(decoded->interface_obs->ip, req.interface_obs->ip);
+  EXPECT_EQ(decoded->interface_obs->mac, req.interface_obs->mac);
+  EXPECT_EQ(decoded->interface_obs->dns_name, req.interface_obs->dns_name);
+  EXPECT_EQ(decoded->interface_obs->mask, req.interface_obs->mask);
+  EXPECT_TRUE(decoded->interface_obs->rip_source);
+}
+
+TEST(JournalProtocolTest, SelectorRoundTrips) {
+  for (const Selector& selector :
+       {Selector::All(), Selector::ByIp(Ipv4Address(1, 2, 3, 4)),
+        Selector::ByMac(MacAddress(1, 2, 3, 4, 5, 6)), Selector::ByName("x.colorado.edu"),
+        Selector::InSubnet(*Subnet::Parse("128.138.238.0/24")),
+        Selector::ModifiedSince(SimTime::FromMicros(123456))}) {
+    JournalRequest req;
+    req.type = RequestType::kGetInterfaces;
+    req.selector = selector;
+    auto decoded = JournalRequest::Decode(req.Encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->selector.kind, selector.kind);
+    EXPECT_EQ(decoded->selector.ip, selector.ip);
+    EXPECT_EQ(decoded->selector.ip_hi, selector.ip_hi);
+    EXPECT_EQ(decoded->selector.name, selector.name);
+    EXPECT_EQ(decoded->selector.since, selector.since);
+  }
+}
+
+TEST(JournalProtocolTest, ResponseWithRecordsRoundTrips) {
+  JournalResponse resp;
+  resp.status = ResponseStatus::kOk;
+  InterfaceRecord iface;
+  iface.id = 3;
+  iface.ip = Ipv4Address(1, 2, 3, 4);
+  iface.mac = MacAddress(9, 8, 7, 6, 5, 4);
+  iface.dns_name = "a.b";
+  iface.sources = SourceBit(DiscoverySource::kDns);
+  iface.ts.last_verified = SimTime::FromMicros(42);
+  resp.interfaces.push_back(iface);
+  GatewayRecord gw;
+  gw.id = 5;
+  gw.name = "gw.a.b";
+  gw.interface_ids = {3};
+  gw.connected_subnets = {*Subnet::Parse("1.2.3.0/24")};
+  resp.gateways.push_back(gw);
+  SubnetRecord subnet;
+  subnet.id = 7;
+  subnet.subnet = *Subnet::Parse("1.2.3.0/24");
+  subnet.gateway_ids = {5};
+  subnet.host_count = 12;
+  resp.subnets.push_back(subnet);
+
+  auto decoded = JournalResponse::Decode(resp.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->interfaces.size(), 1u);
+  EXPECT_EQ(decoded->interfaces[0].id, 3u);
+  EXPECT_EQ(decoded->interfaces[0].ts.last_verified, SimTime::FromMicros(42));
+  ASSERT_EQ(decoded->gateways.size(), 1u);
+  EXPECT_EQ(decoded->gateways[0].name, "gw.a.b");
+  EXPECT_EQ(decoded->gateways[0].connected_subnets[0], *Subnet::Parse("1.2.3.0/24"));
+  ASSERT_EQ(decoded->subnets.size(), 1u);
+  EXPECT_EQ(decoded->subnets[0].host_count, 12);
+}
+
+TEST(JournalProtocolTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(JournalRequest::Decode({}).has_value());
+  EXPECT_FALSE(JournalRequest::Decode({0xff, 0x00}).has_value());
+  EXPECT_FALSE(JournalResponse::Decode({0xff}).has_value());
+}
+
+class JournalServerTest : public ::testing::Test {
+ protected:
+  JournalServerTest() : server_([this]() { return now_; }), client_(&server_) {}
+
+  SimTime now_ = SimTime::Epoch() + Duration::Hours(1);
+  JournalServer server_;
+  JournalClient client_;
+};
+
+TEST_F(JournalServerTest, StoreAndGetThroughWireProtocol) {
+  auto result = client_.StoreInterface(SampleInterfaceObs(), DiscoverySource::kArpWatch);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.created);
+  EXPECT_NE(result.id, kInvalidRecordId);
+
+  auto all = client_.GetInterfaces();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].dns_name, "boulder.cs.colorado.edu");
+  EXPECT_EQ(all[0].ts.last_verified, now_);
+
+  auto by_name = client_.GetInterfaces(Selector::ByName("boulder.cs.colorado.edu"));
+  EXPECT_EQ(by_name.size(), 1u);
+  auto by_ip = client_.GetInterfaces(Selector::ByIp(Ipv4Address(128, 138, 238, 10)));
+  EXPECT_EQ(by_ip.size(), 1u);
+  EXPECT_TRUE(client_.GetInterfaces(Selector::ByIp(Ipv4Address(9, 9, 9, 9))).empty());
+}
+
+TEST_F(JournalServerTest, TimestampsComeFromServerClock) {
+  client_.StoreInterface(SampleInterfaceObs(), DiscoverySource::kArpWatch);
+  now_ += Duration::Hours(2);
+  client_.StoreInterface(SampleInterfaceObs(), DiscoverySource::kSeqPing);
+  auto all = client_.GetInterfaces();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].ts.first_discovered, SimTime::Epoch() + Duration::Hours(1));
+  EXPECT_EQ(all[0].ts.last_verified, SimTime::Epoch() + Duration::Hours(3));
+}
+
+TEST_F(JournalServerTest, ModifiedSinceSelector) {
+  client_.StoreInterface(SampleInterfaceObs(), DiscoverySource::kArpWatch);
+  now_ += Duration::Hours(5);
+  InterfaceObservation other;
+  other.ip = Ipv4Address(1, 1, 1, 1);
+  client_.StoreInterface(other, DiscoverySource::kSeqPing);
+  auto recent =
+      client_.GetInterfaces(Selector::ModifiedSince(SimTime::Epoch() + Duration::Hours(4)));
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].ip, Ipv4Address(1, 1, 1, 1));
+}
+
+TEST_F(JournalServerTest, GatewaySubnetAndDelete) {
+  GatewayObservation gw;
+  gw.name = "gw";
+  gw.interface_ips = {Ipv4Address(10, 0, 0, 1)};
+  gw.connected_subnets = {*Subnet::Parse("10.0.0.0/24")};
+  auto stored = client_.StoreGateway(gw, DiscoverySource::kTraceroute);
+  EXPECT_TRUE(stored.ok);
+  EXPECT_EQ(client_.GetGateways().size(), 1u);
+  EXPECT_EQ(client_.GetSubnets().size(), 1u);
+
+  auto stats = client_.GetStats();
+  EXPECT_EQ(stats.interface_count, 1u);
+  EXPECT_EQ(stats.gateway_count, 1u);
+  EXPECT_EQ(stats.subnet_count, 1u);
+
+  EXPECT_TRUE(client_.DeleteGateway(stored.id));
+  EXPECT_FALSE(client_.DeleteGateway(stored.id));
+  EXPECT_TRUE(client_.GetGateways().empty());
+}
+
+TEST_F(JournalServerTest, MalformedRequestRejected) {
+  ByteBuffer garbage{0x00, 0x99, 0x99};
+  auto response = JournalResponse::Decode(server_.HandleRequest(garbage));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, ResponseStatus::kMalformedRequest);
+}
+
+TEST_F(JournalServerTest, CheckpointWritesPeriodically) {
+  const std::string path = ::testing::TempDir() + "/journal_checkpoint.bin";
+  std::remove(path.c_str());
+  server_.EnableCheckpoint(path, Duration::Minutes(30));
+  client_.StoreInterface(SampleInterfaceObs(), DiscoverySource::kArpWatch);
+  // Not yet due.
+  EXPECT_NE(std::ifstream(path).good(), true);
+  now_ += Duration::Hours(1);
+  InterfaceObservation other;
+  other.ip = Ipv4Address(2, 2, 2, 2);
+  client_.StoreInterface(other, DiscoverySource::kArpWatch);
+
+  Journal loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path));
+  EXPECT_EQ(loaded.Stats().interface_count, 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fremont

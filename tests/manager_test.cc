@@ -1,0 +1,280 @@
+// Tests for the Discovery Manager: schedule file round-trip, adaptive
+// intervals, due-module selection, and the correlation pass.
+
+#include <gtest/gtest.h>
+
+#include "src/manager/correlate.h"
+#include "src/manager/discovery_manager.h"
+#include "src/manager/schedule.h"
+
+namespace fremont {
+namespace {
+
+TEST(ScheduleDurationTest, ParseAndFormat) {
+  EXPECT_EQ(ParseScheduleDuration("90s"), Duration::Seconds(90));
+  EXPECT_EQ(ParseScheduleDuration("30m"), Duration::Minutes(30));
+  EXPECT_EQ(ParseScheduleDuration("2h"), Duration::Hours(2));
+  EXPECT_EQ(ParseScheduleDuration("1d"), Duration::Days(1));
+  EXPECT_EQ(ParseScheduleDuration("45"), Duration::Seconds(45));
+  EXPECT_FALSE(ParseScheduleDuration("").has_value());
+  EXPECT_FALSE(ParseScheduleDuration("h").has_value());
+  EXPECT_FALSE(ParseScheduleDuration("2x").has_value());
+  EXPECT_FALSE(ParseScheduleDuration("1.5h").has_value());
+
+  EXPECT_EQ(FormatScheduleDuration(Duration::Days(7)), "7d");
+  EXPECT_EQ(FormatScheduleDuration(Duration::Hours(2)), "2h");
+  EXPECT_EQ(FormatScheduleDuration(Duration::Minutes(30)), "30m");
+  EXPECT_EQ(FormatScheduleDuration(Duration::Seconds(90)), "90s");
+  // Round trip.
+  EXPECT_EQ(ParseScheduleDuration(FormatScheduleDuration(Duration::Hours(36))),
+            Duration::Hours(36));
+}
+
+TEST(ScheduleFileTest, FormatParseRoundTrip) {
+  std::vector<ModuleSchedule> modules(2);
+  modules[0].name = "arpwatch";
+  modules[0].min_interval = Duration::Hours(2);
+  modules[0].max_interval = Duration::Days(7);
+  modules[0].current_interval = Duration::Hours(4);
+  modules[0].last_run = SimTime::FromMicros(123456789);
+  modules[0].ever_run = true;
+  modules[0].last_discovered = 42;
+  modules[1].name = "traceroute";
+  modules[1].min_interval = Duration::Days(2);
+  modules[1].max_interval = Duration::Days(14);
+
+  const std::string text = FormatScheduleFile(modules);
+  auto parsed = ParseScheduleFile(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].name, "arpwatch");
+  EXPECT_EQ((*parsed)[0].current_interval, Duration::Hours(4));
+  EXPECT_EQ((*parsed)[0].last_run, SimTime::FromMicros(123456789));
+  EXPECT_TRUE((*parsed)[0].ever_run);
+  EXPECT_EQ((*parsed)[0].last_discovered, 42);
+  EXPECT_EQ((*parsed)[1].min_interval, Duration::Days(2));
+  EXPECT_FALSE((*parsed)[1].ever_run);
+}
+
+TEST(ScheduleFileTest, ParseSkipsCommentsRejectsGarbage) {
+  auto ok = ParseScheduleFile("# comment\n\nmodule m min 1h max 2h\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->size(), 1u);
+  EXPECT_FALSE(ParseScheduleFile("bogus line\n").has_value());
+  EXPECT_FALSE(ParseScheduleFile("module m min notaduration\n").has_value());
+}
+
+TEST(ScheduleFileTest, SaveLoad) {
+  std::vector<ModuleSchedule> modules(1);
+  modules[0].name = "dns";
+  const std::string path = ::testing::TempDir() + "/schedule_test.txt";
+  ASSERT_TRUE(SaveScheduleFile(path, modules));
+  auto loaded = LoadScheduleFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ((*loaded)[0].name, "dns");
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadScheduleFile(path).has_value());
+}
+
+class DiscoveryManagerTest : public ::testing::Test {
+ protected:
+  DiscoveryManagerTest() : manager_(&events_, nullptr) {}
+
+  // Registers a fake module whose per-run yields come from `yields` (repeating
+  // the last value when exhausted).
+  void AddFakeModule(const std::string& name, Duration min_interval, Duration max_interval,
+                     std::vector<int> yields) {
+    auto counter = std::make_shared<size_t>(0);
+    auto yields_ptr = std::make_shared<std::vector<int>>(std::move(yields));
+    ModuleRegistration reg;
+    reg.name = name;
+    reg.min_interval = min_interval;
+    reg.max_interval = max_interval;
+    reg.run = [this, name, counter, yields_ptr]() {
+      ExplorerReport report;
+      report.module = name;
+      report.started = events_.Now();
+      const size_t index = std::min(*counter, yields_ptr->size() - 1);
+      ++*counter;
+      report.discovered = (*yields_ptr)[index];
+      report.records_written = report.discovered;
+      report.new_info = report.discovered;  // Yields model *new* information.
+      report.finished = events_.Now();
+      ++total_runs_;
+      return report;
+    };
+    manager_.RegisterModule(std::move(reg));
+  }
+
+  EventQueue events_;
+  DiscoveryManager manager_;
+  int total_runs_ = 0;
+};
+
+TEST_F(DiscoveryManagerTest, NeverRunModulesAreDueImmediately) {
+  AddFakeModule("m", Duration::Hours(2), Duration::Days(7), {5});
+  EXPECT_EQ(manager_.NextDue(), SimTime::Epoch());
+  auto reports = manager_.Tick();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].module, "m");
+  // Now scheduled in the future.
+  EXPECT_GT(manager_.NextDue(), events_.Now());
+}
+
+TEST_F(DiscoveryManagerTest, BarrenRunsBackOffToMax) {
+  AddFakeModule("m", Duration::Hours(2), Duration::Hours(16), {0});
+  manager_.RunFor(Duration::Days(4));
+  const auto& state = manager_.modules()[0];
+  EXPECT_EQ(state.schedule.current_interval, Duration::Hours(16));
+  // ~2+4+8+16+16... hours over 4 days: far fewer runs than at min interval.
+  EXPECT_LE(state.runs, 9);
+  EXPECT_GE(state.runs, 4);
+}
+
+TEST_F(DiscoveryManagerTest, FruitfulRunsTightenToMin) {
+  // Yields keep growing: every run discovers more → interval halves to min.
+  AddFakeModule("m", Duration::Hours(1), Duration::Hours(32),
+                {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  manager_.RunFor(Duration::Days(2));
+  EXPECT_EQ(manager_.modules()[0].schedule.current_interval, Duration::Hours(1));
+}
+
+TEST_F(DiscoveryManagerTest, SteadyYieldHoldsInterval) {
+  // Same non-zero yield every run: the paper's "don't shorten" case — the
+  // interval neither halves nor doubles.
+  AddFakeModule("m", Duration::Hours(1), Duration::Hours(64), {10, 10, 10, 10, 10});
+  manager_.Tick();                      // First run (interval stays at min).
+  const Duration after_first = manager_.modules()[0].schedule.current_interval;
+  manager_.RunFor(Duration::Days(1));
+  EXPECT_EQ(manager_.modules()[0].schedule.current_interval, after_first);
+}
+
+TEST_F(DiscoveryManagerTest, MultipleModulesIndependentSchedules) {
+  AddFakeModule("fast", Duration::Hours(1), Duration::Hours(2), {3, 4, 5, 6, 7, 8, 9, 10});
+  AddFakeModule("slow", Duration::Hours(8), Duration::Days(4), {0});
+  manager_.RunFor(Duration::Days(2));
+  const auto& fast = manager_.modules()[0];
+  const auto& slow = manager_.modules()[1];
+  EXPECT_GT(fast.runs, slow.runs * 2);
+}
+
+TEST_F(DiscoveryManagerTest, ScheduleExportRestoreRoundTrip) {
+  AddFakeModule("m", Duration::Hours(2), Duration::Days(7), {0});
+  manager_.RunFor(Duration::Days(1));
+  auto exported = manager_.ExportSchedule();
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_TRUE(exported[0].ever_run);
+
+  // A fresh manager restoring this schedule does not re-run immediately.
+  DiscoveryManager fresh(&events_, nullptr);
+  int runs = 0;
+  ModuleRegistration reg;
+  reg.name = "m";
+  reg.min_interval = Duration::Hours(2);
+  reg.max_interval = Duration::Days(7);
+  reg.run = [&runs, this]() {
+    ++runs;
+    ExplorerReport r;
+    r.started = r.finished = events_.Now();
+    return r;
+  };
+  fresh.RegisterModule(std::move(reg));
+  fresh.RestoreSchedule(exported);
+  fresh.Tick();
+  EXPECT_EQ(runs, 0);  // Not due: history restored.
+  EXPECT_EQ(fresh.NextDue(), exported[0].NextDue());
+}
+
+TEST(DiscoveryManagerJournalTest, TracksJournalGrowthPerRun) {
+  EventQueue events;
+  JournalServer server([&events]() { return events.Now(); });
+  JournalClient client(&server);
+  DiscoveryManager manager(&events, &client);
+
+  int run_index = 0;
+  ModuleRegistration reg;
+  reg.name = "writer";
+  reg.min_interval = Duration::Hours(1);
+  reg.max_interval = Duration::Hours(64);
+  reg.run = [&]() {
+    ExplorerReport report;
+    report.started = events.Now();
+    // First run writes three interfaces; later runs re-verify them.
+    for (uint8_t i = 0; i < 3; ++i) {
+      InterfaceObservation obs;
+      obs.ip = Ipv4Address(10, 0, 0, static_cast<uint8_t>(1 + i));
+      auto result = client.StoreInterface(obs, DiscoverySource::kSeqPing);
+      ++report.records_written;
+      if (result.created || result.changed) {
+        ++report.new_info;
+      }
+    }
+    report.discovered = 3;
+    report.finished = events.Now();
+    ++run_index;
+    return report;
+  };
+  manager.RegisterModule(std::move(reg));
+
+  manager.Tick();
+  EXPECT_EQ(manager.modules()[0].last_journal_growth, 3);  // Three new records.
+  manager.RunFor(Duration::Hours(3));
+  EXPECT_GE(run_index, 2);
+  EXPECT_EQ(manager.modules()[0].last_journal_growth, 0);  // Only re-verification.
+}
+
+TEST(CorrelateTest, InfersGatewayFromSharedMac) {
+  JournalServer server([]() { return SimTime::Epoch() + Duration::Hours(1); });
+  JournalClient client(&server);
+  const MacAddress shared_mac(0, 0, 0x0c, 1, 2, 3);
+  // The same MAC observed with different IPs on two subnets (two ARP module
+  // runs from different vantage points).
+  for (auto ip : {Ipv4Address(128, 138, 238, 1), Ipv4Address(128, 138, 240, 1)}) {
+    InterfaceObservation obs;
+    obs.ip = ip;
+    obs.mac = shared_mac;
+    client.StoreInterface(obs, DiscoverySource::kArpWatch);
+  }
+  CorrelationReport report = Correlate(client);
+  EXPECT_EQ(report.gateways_inferred_from_mac, 1);
+  auto gateways = client.GetGateways();
+  ASSERT_EQ(gateways.size(), 1u);
+  EXPECT_EQ(gateways[0].interface_ids.size(), 2u);
+  EXPECT_EQ(gateways[0].connected_subnets.size(), 2u);
+}
+
+TEST(CorrelateTest, SameSubnetReaddressIsNotAGateway) {
+  JournalServer server([]() { return SimTime::Epoch(); });
+  JournalClient client(&server);
+  const MacAddress mac(0x08, 0, 0x20, 1, 2, 3);
+  for (auto ip : {Ipv4Address(128, 138, 238, 10), Ipv4Address(128, 138, 238, 77)}) {
+    InterfaceObservation obs;
+    obs.ip = ip;
+    obs.mac = mac;
+    client.StoreInterface(obs, DiscoverySource::kArpWatch);
+  }
+  CorrelationReport report = Correlate(client);
+  EXPECT_EQ(report.gateways_inferred_from_mac, 0);
+  EXPECT_EQ(report.same_subnet_multi_ip_macs, 1);
+  EXPECT_TRUE(client.GetGateways().empty());
+}
+
+TEST(CorrelateTest, DirectivesListMissingData) {
+  JournalServer server([]() { return SimTime::Epoch(); });
+  JournalClient client(&server);
+  InterfaceObservation no_mask;
+  no_mask.ip = Ipv4Address(128, 138, 238, 10);
+  client.StoreInterface(no_mask, DiscoverySource::kSeqPing);
+  SubnetObservation orphan_subnet;
+  orphan_subnet.subnet = *Subnet::Parse("128.138.250.0/24");
+  client.StoreSubnet(orphan_subnet, DiscoverySource::kRipWatch);
+
+  CorrelationReport report = Correlate(client);
+  ASSERT_EQ(report.interfaces_without_mask.size(), 1u);
+  EXPECT_EQ(report.interfaces_without_mask[0], Ipv4Address(128, 138, 238, 10));
+  ASSERT_EQ(report.subnets_without_gateway.size(), 1u);
+  EXPECT_EQ(report.subnets_without_gateway[0], *Subnet::Parse("128.138.250.0/24"));
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,109 @@
+// Tests for the negative cache and its integration with the subnet-mask
+// module.
+
+#include "src/util/negative_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/explorer/subnet_mask.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/sim/simulator.h"
+
+namespace fremont {
+namespace {
+
+SimTime At(int64_t hours) { return SimTime::Epoch() + Duration::Hours(hours); }
+
+TEST(NegativeCacheTest, BackoffDoublesPerFailure) {
+  NegativeCache cache(Duration::Hours(6), Duration::Days(14));
+  EXPECT_FALSE(cache.ShouldSkip(1, At(0)));
+
+  cache.RecordFailure(1, At(0));  // Retry after 6h.
+  EXPECT_TRUE(cache.ShouldSkip(1, At(5)));
+  EXPECT_FALSE(cache.ShouldSkip(1, At(7)));
+
+  cache.RecordFailure(1, At(7));  // Second failure: 12h.
+  EXPECT_TRUE(cache.ShouldSkip(1, At(18)));
+  EXPECT_FALSE(cache.ShouldSkip(1, At(20)));
+  EXPECT_EQ(cache.failures(1), 2);
+}
+
+TEST(NegativeCacheTest, BackoffCapped) {
+  NegativeCache cache(Duration::Hours(1), Duration::Hours(8));
+  SimTime now = At(0);
+  for (int i = 0; i < 10; ++i) {
+    cache.RecordFailure(7, now);
+  }
+  // Even after many failures the horizon is at most max_backoff away.
+  EXPECT_FALSE(cache.ShouldSkip(7, now + Duration::Hours(9)));
+  EXPECT_TRUE(cache.ShouldSkip(7, now + Duration::Hours(7)));
+}
+
+TEST(NegativeCacheTest, SuccessClears) {
+  NegativeCache cache;
+  cache.RecordFailure(9, At(0));
+  cache.RecordFailure(9, At(1));
+  cache.RecordSuccess(9);
+  EXPECT_FALSE(cache.ShouldSkip(9, At(1)));
+  EXPECT_EQ(cache.failures(9), 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(NegativeCacheTest, KeysIndependent) {
+  NegativeCache cache(Duration::Hours(6), Duration::Days(1));
+  cache.RecordFailure(1, At(0));
+  EXPECT_TRUE(cache.ShouldSkip(1, At(1)));
+  EXPECT_FALSE(cache.ShouldSkip(2, At(1)));
+}
+
+TEST(SubnetMaskNegativeCacheTest, SkipsKnownSilentTargets) {
+  Simulator sim(66);
+  Subnet subnet = *Subnet::Parse("10.5.0.0/24");
+  Segment* lan = sim.CreateSegment("lan", subnet);
+  Host* vantage = sim.CreateHost("vantage");
+  vantage->AttachTo(lan, subnet.HostAt(250), subnet.mask(), MacAddress(2, 0, 0, 5, 0, 250));
+  Host* answers = sim.CreateHost("answers");
+  answers->AttachTo(lan, subnet.HostAt(10), subnet.mask(), MacAddress(2, 0, 0, 5, 0, 10));
+  HostConfig mute_config;
+  mute_config.responds_to_mask_request = false;
+  Host* mute = sim.CreateHost("mute", mute_config);
+  mute->AttachTo(lan, subnet.HostAt(11), subnet.mask(), MacAddress(2, 0, 0, 5, 0, 11));
+
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient client(&server);
+  NegativeCache cache(Duration::Hours(6), Duration::Days(14));
+
+  SubnetMaskParams params;
+  params.targets = {subnet.HostAt(10), subnet.HostAt(11)};
+  params.negative_cache = &cache;
+
+  // Run 1: both probed; the mute host fails into the cache.
+  {
+    SubnetMaskExplorer masks(vantage, &client, params);
+    ExplorerReport report = masks.Run();
+    EXPECT_EQ(report.discovered, 1);
+    EXPECT_EQ(masks.skipped_by_negative_cache(), 0);
+    EXPECT_EQ(cache.failures(subnet.HostAt(11).value()), 1);
+    EXPECT_EQ(cache.failures(subnet.HostAt(10).value()), 0);
+  }
+  // Run 2, an hour later: the mute host is skipped entirely.
+  sim.RunFor(Duration::Hours(1));
+  {
+    SubnetMaskExplorer masks(vantage, &client, params);
+    ExplorerReport report = masks.Run();
+    EXPECT_EQ(masks.skipped_by_negative_cache(), 1);
+    EXPECT_EQ(report.discovered, 1);  // The answering host still verified.
+  }
+  // Run 3, past the backoff horizon: retried (and fails again, doubling).
+  sim.RunFor(Duration::Hours(8));
+  {
+    SubnetMaskExplorer masks(vantage, &client, params);
+    masks.Run();
+    EXPECT_EQ(masks.skipped_by_negative_cache(), 0);
+    EXPECT_EQ(cache.failures(subnet.HostAt(11).value()), 2);
+  }
+}
+
+}  // namespace
+}  // namespace fremont

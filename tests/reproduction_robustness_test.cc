@@ -1,0 +1,122 @@
+// Robustness of the headline reproductions across random seeds: the Table 5
+// and Table 6 shapes must hold for any reasonable seed, not just the one the
+// bench binaries print. (Parameterized over several seeds; each case builds
+// a fresh world.)
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/explorer/dns_explorer.h"
+#include "src/explorer/etherhostprobe.h"
+#include "src/explorer/ripwatch.h"
+#include "src/explorer/seq_ping.h"
+#include "src/explorer/traceroute.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace fremont {
+namespace {
+
+class Table6RobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Table6RobustnessTest, SubnetDiscoveryShapeHolds) {
+  Simulator sim(GetParam());
+  CampusParams params;
+  Campus campus = BuildCampus(sim, params);
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient client(&server);
+  sim.RunFor(Duration::Minutes(5));
+  const int total = static_cast<int>(campus.truth.connected_subnets.size());
+
+  std::set<uint32_t> truth;
+  for (const Subnet& subnet : campus.truth.connected_subnets) {
+    truth.insert(subnet.network().value());
+  }
+  auto count_connected = [&](const std::vector<SubnetRecord>& subnets) {
+    int found = 0;
+    for (const auto& rec : subnets) {
+      found += truth.contains(rec.subnet.network().value());
+    }
+    return found;
+  };
+
+  // RIPwatch: complete census, every seed.
+  RipWatch ripwatch(campus.vantage, &client);
+  ripwatch.Run(Duration::Minutes(2));
+  EXPECT_EQ(count_connected(client.GetSubnets()), total) << "seed " << GetParam();
+
+  // Traceroute: misses exactly the subnets hidden behind silent firmware,
+  // within a small tolerance for unlucky packet loss.
+  Traceroute trace(campus.vantage, &client);
+  trace.Run();
+  int reached = 0;
+  {
+    std::set<uint32_t> confirmed;
+    for (const auto& result : trace.results()) {
+      if (result.reached) {
+        confirmed.insert(result.target.network().value());
+      }
+    }
+    confirmed.insert(campus.vantage_segment->subnet().network().value());
+    for (uint32_t network : truth) {
+      reached += confirmed.contains(network);
+    }
+  }
+  const int expected = total - campus.truth.traceroute_hidden_subnets;
+  EXPECT_GE(reached, expected - 3) << "seed " << GetParam();
+  EXPECT_LE(reached, expected) << "seed " << GetParam();
+
+  // DNS: finds the registered subnets (gateway names can add a couple).
+  DnsExplorerParams dns_params;
+  dns_params.network = params.class_b;
+  dns_params.server = campus.dns_host->primary_interface()->ip;
+  DnsExplorer dns(campus.vantage, &client, dns_params);
+  dns.Run();
+  EXPECT_GE(dns.subnets_found(), params.dns_registered_subnets) << "seed " << GetParam();
+  EXPECT_LE(dns.subnets_found(), params.dns_registered_subnets + 10) << "seed " << GetParam();
+  EXPECT_EQ(dns.gateways_found(), params.dns_named_gateways) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Table6RobustnessTest, ::testing::Values(2u, 77u, 4096u));
+
+class Table5RobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Table5RobustnessTest, InterfaceDiscoveryShapeHolds) {
+  Simulator sim(GetParam());
+  DepartmentParams params;
+  DepartmentSubnet dept = BuildDepartmentSubnet(sim, params);
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient client(&server);
+  const int total = dept.dns_entry_count;
+
+  // Daytime sweep.
+  sim.RunUntil(SimTime::Epoch() + Duration::Hours(11));
+  EtherHostProbe ehp(dept.vantage, &client);
+  const int day_found = ehp.Run().discovered + 1;
+
+  // Overnight sweep two days later.
+  sim.RunUntil(SimTime::Epoch() + Duration::Hours(50));
+  SeqPing ping(dept.vantage, &client);
+  const int night_found = ping.Run().discovered + 1;
+
+  // DNS census.
+  DnsExplorerParams dns_params;
+  dns_params.network = Ipv4Address(128, 138, 0, 0);
+  dns_params.server = dept.dns_host->primary_interface()->ip;
+  DnsExplorer dns(dept.vantage, &client, dns_params);
+  dns.Run();
+
+  EXPECT_EQ(dns.interfaces_in(params.subnet), total) << "seed " << GetParam();
+  EXPECT_GT(day_found, night_found) << "seed " << GetParam();
+  EXPECT_GE(day_found, total * 3 / 4) << "seed " << GetParam();
+  EXPECT_GE(night_found, total / 2) << "seed " << GetParam();
+  EXPECT_LT(night_found, total) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Table5RobustnessTest, ::testing::Values(5u, 808u, 90210u));
+
+}  // namespace
+}  // namespace fremont

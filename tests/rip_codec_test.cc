@@ -1,0 +1,84 @@
+// RIPv1 codec tests.
+
+#include "src/net/rip.h"
+
+#include <gtest/gtest.h>
+
+namespace fremont {
+namespace {
+
+TEST(RipCodecTest, RoundTrip) {
+  RipPacket packet;
+  packet.command = RipCommand::kResponse;
+  packet.entries.push_back(RipEntry{Ipv4Address(128, 138, 238, 0), 1});
+  packet.entries.push_back(RipEntry{Ipv4Address(128, 138, 240, 0), 2});
+
+  auto decoded = RipPacket::Decode(packet.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->command, RipCommand::kResponse);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0].address, Ipv4Address(128, 138, 238, 0));
+  EXPECT_EQ(decoded->entries[0].metric, 1u);
+  EXPECT_EQ(decoded->entries[1].metric, 2u);
+}
+
+TEST(RipCodecTest, RequestAndPollCommands) {
+  for (RipCommand command : {RipCommand::kRequest, RipCommand::kPoll}) {
+    RipPacket packet;
+    packet.command = command;
+    auto decoded = RipPacket::Decode(packet.Encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->command, command);
+    EXPECT_TRUE(decoded->entries.empty());
+  }
+}
+
+TEST(RipCodecTest, TruncatesAtTwentyFiveEntries) {
+  RipPacket packet;
+  for (int i = 0; i < 40; ++i) {
+    packet.entries.push_back(RipEntry{Ipv4Address(10, 0, static_cast<uint8_t>(i), 0), 1});
+  }
+  auto decoded = RipPacket::Decode(packet.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->entries.size(), RipPacket::kMaxEntries);
+}
+
+TEST(RipCodecTest, SkipsNonIpFamilies) {
+  RipPacket packet;
+  packet.entries.push_back(RipEntry{Ipv4Address(10, 1, 0, 0), 3});
+  ByteBuffer bytes = packet.Encode();
+  bytes[4] = 0;
+  bytes[5] = 7;  // Bogus address family on the first entry.
+  auto decoded = RipPacket::Decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->entries.empty());
+}
+
+TEST(RipCodecTest, RejectsWrongVersionBadCommandTrailingGarbage) {
+  RipPacket packet;
+  packet.entries.push_back(RipEntry{Ipv4Address(10, 1, 0, 0), 1});
+  ByteBuffer bytes = packet.Encode();
+
+  ByteBuffer wrong_version = bytes;
+  wrong_version[1] = 2;
+  EXPECT_FALSE(RipPacket::Decode(wrong_version).has_value());
+
+  ByteBuffer bad_command = bytes;
+  bad_command[0] = 77;
+  EXPECT_FALSE(RipPacket::Decode(bad_command).has_value());
+
+  ByteBuffer garbage = bytes;
+  garbage.push_back(0xff);
+  EXPECT_FALSE(RipPacket::Decode(garbage).has_value());
+}
+
+TEST(RipCodecTest, MetricInfinityRoundTrips) {
+  RipPacket packet;
+  packet.entries.push_back(RipEntry{Ipv4Address(10, 2, 0, 0), kRipMetricInfinity});
+  auto decoded = RipPacket::Decode(packet.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->entries[0].metric, kRipMetricInfinity);
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,119 @@
+// Tests for route inference over the Journal's gateway-subnet graph.
+
+#include "src/analysis/route_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "src/explorer/ripwatch.h"
+#include "src/explorer/traceroute.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace fremont {
+namespace {
+
+Subnet Net(const char* text) { return *Subnet::Parse(text); }
+
+GatewayRecord Gw(RecordId id, const char* name, std::initializer_list<const char*> subnets) {
+  GatewayRecord gw;
+  gw.id = id;
+  gw.name = name;
+  for (const char* text : subnets) {
+    gw.connected_subnets.push_back(Net(text));
+  }
+  return gw;
+}
+
+TEST(InferRouteTest, DirectGateway) {
+  std::vector<GatewayRecord> gateways = {Gw(1, "gw", {"10.0.1.0/24", "10.0.2.0/24"})};
+  auto route = InferRoute(gateways, Net("10.0.1.0/24"), Net("10.0.2.0/24"));
+  ASSERT_TRUE(route.found);
+  ASSERT_EQ(route.gateways.size(), 1u);
+  EXPECT_EQ(route.gateways[0].name, "gw");
+  ASSERT_EQ(route.subnets.size(), 2u);
+  EXPECT_NE(route.ToString().find("--[gw]-->"), std::string::npos);
+}
+
+TEST(InferRouteTest, MultiHopShortestPath) {
+  // a —g1— b —g2— c, plus a long way round a —g3— d —g4— c.
+  std::vector<GatewayRecord> gateways = {
+      Gw(1, "g1", {"10.0.1.0/24", "10.0.2.0/24"}),
+      Gw(2, "g2", {"10.0.2.0/24", "10.0.3.0/24"}),
+      Gw(3, "g3", {"10.0.1.0/24", "10.0.4.0/24"}),
+      Gw(4, "g4", {"10.0.4.0/24", "10.0.5.0/24"}),
+      Gw(5, "g5", {"10.0.5.0/24", "10.0.3.0/24"}),
+  };
+  auto route = InferRoute(gateways, Net("10.0.1.0/24"), Net("10.0.3.0/24"));
+  ASSERT_TRUE(route.found);
+  EXPECT_EQ(route.gateways.size(), 2u);  // The short way: g1, g2.
+  EXPECT_EQ(route.gateways[0].name, "g1");
+  EXPECT_EQ(route.gateways[1].name, "g2");
+}
+
+TEST(InferRouteTest, NoRouteAndTrivialRoute) {
+  std::vector<GatewayRecord> gateways = {Gw(1, "g1", {"10.0.1.0/24", "10.0.2.0/24"})};
+  EXPECT_FALSE(InferRoute(gateways, Net("10.0.1.0/24"), Net("10.0.9.0/24")).found);
+  EXPECT_EQ(InferRoute(gateways, Net("10.0.9.0/24"), Net("10.0.9.0/24")).subnets.size(), 1u);
+  EXPECT_EQ(InferRoute({}, Net("10.0.1.0/24"), Net("10.0.2.0/24")).ToString(),
+            "no known route");
+}
+
+TEST(SubnetsDependingOnTest, SinglePointOfFailure) {
+  // backbone hub-and-spoke: g1 connects A+backbone; g2 connects backbone+B;
+  // g3 connects backbone+C and C+D via one box (g4).
+  std::vector<GatewayRecord> gateways = {
+      Gw(1, "g1", {"10.0.1.0/24", "10.0.0.0/24"}),
+      Gw(2, "g2", {"10.0.0.0/24", "10.0.2.0/24"}),
+      Gw(3, "g3", {"10.0.0.0/24", "10.0.3.0/24"}),
+      Gw(4, "coach-sun", {"10.0.3.0/24", "10.0.4.0/24"}),
+  };
+  // From subnet A: everything beyond C depends on the coach's Sun.
+  auto dependent = SubnetsDependingOn(gateways, Net("10.0.1.0/24"), 4);
+  ASSERT_EQ(dependent.size(), 1u);
+  EXPECT_EQ(dependent[0].network(), Net("10.0.4.0/24").network());
+  // Nothing depends solely on g2 except subnet B itself.
+  auto g2_dependent = SubnetsDependingOn(gateways, Net("10.0.1.0/24"), 2);
+  ASSERT_EQ(g2_dependent.size(), 1u);
+  EXPECT_EQ(g2_dependent[0].network(), Net("10.0.2.0/24").network());
+}
+
+TEST(InferRouteTest, WorksOnDiscoveredCampusData) {
+  // End-to-end: discover a campus, then answer "how do I reach subnet N?"
+  // purely from the Journal.
+  Simulator sim(606);
+  CampusParams params;
+  params.assigned_subnets = 12;
+  params.connected_subnets = 12;
+  params.faulty_gateway_subnets = 0;
+  params.dns_registered_subnets = 12;
+  params.dns_named_gateways = 3;
+  Campus campus = BuildCampus(sim, params);
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient client(&server);
+  sim.RunFor(Duration::Minutes(5));
+
+  RipWatch ripwatch(campus.vantage, &client);
+  ripwatch.Run(Duration::Minutes(2));
+  Traceroute trace(campus.vantage, &client);
+  trace.Run();
+
+  const Subnet from = campus.vantage_segment->subnet();
+  int routable = 0;
+  for (const Subnet& target : campus.truth.connected_subnets) {
+    if (target == from) {
+      continue;
+    }
+    auto route = InferRoute(client.GetGateways(), from, target);
+    if (route.found) {
+      ++routable;
+      EXPECT_GE(route.gateways.size(), 1u);
+      EXPECT_LE(route.gateways.size(), 3u);  // vantage-gw [+ backbone hop].
+    }
+  }
+  EXPECT_GE(routable, 11);  // Every other connected subnet is explainable.
+}
+
+}  // namespace
+}  // namespace fremont

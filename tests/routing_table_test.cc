@@ -1,0 +1,103 @@
+// Tests for the longest-prefix-match routing table with RIP-style metrics.
+
+#include "src/sim/routing_table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/segment.h"
+
+namespace fremont {
+namespace {
+
+Subnet Net(const char* text) { return *Subnet::Parse(text); }
+
+class RoutingTableTest : public ::testing::Test {
+ protected:
+  RoutingTable table_;
+  Interface iface_a_;
+  Interface iface_b_;
+  SimTime t0_;
+};
+
+TEST_F(RoutingTableTest, ConnectedRouteLookup) {
+  table_.AddConnected(Net("10.0.1.0/24"), &iface_a_);
+  auto route = table_.Lookup(Ipv4Address(10, 0, 1, 5));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_TRUE(route->connected);
+  EXPECT_EQ(route->out_iface, &iface_a_);
+  EXPECT_FALSE(table_.Lookup(Ipv4Address(10, 0, 2, 5)).has_value());
+}
+
+TEST_F(RoutingTableTest, LongestPrefixWins) {
+  table_.AddConnected(Net("10.0.0.0/16"), &iface_a_);
+  table_.AddConnected(Net("10.0.5.0/24"), &iface_b_);
+  auto route = table_.Lookup(Ipv4Address(10, 0, 5, 9));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->out_iface, &iface_b_);
+  route = table_.Lookup(Ipv4Address(10, 0, 6, 9));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->out_iface, &iface_a_);
+}
+
+TEST_F(RoutingTableTest, BetterMetricDisplacesWorse) {
+  EXPECT_TRUE(table_.Learn(Net("10.1.0.0/24"), Ipv4Address(10, 0, 0, 1), &iface_a_, 5, t0_));
+  EXPECT_FALSE(table_.Learn(Net("10.1.0.0/24"), Ipv4Address(10, 0, 0, 2), &iface_b_, 7, t0_));
+  auto route = table_.Lookup(Ipv4Address(10, 1, 0, 1));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->gateway, Ipv4Address(10, 0, 0, 1));
+
+  EXPECT_TRUE(table_.Learn(Net("10.1.0.0/24"), Ipv4Address(10, 0, 0, 2), &iface_b_, 3, t0_));
+  route = table_.Lookup(Ipv4Address(10, 1, 0, 1));
+  EXPECT_EQ(route->gateway, Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(route->metric, 3u);
+}
+
+TEST_F(RoutingTableTest, SameGatewayUpdateAlwaysApplies) {
+  table_.Learn(Net("10.1.0.0/24"), Ipv4Address(10, 0, 0, 1), &iface_a_, 3, t0_);
+  // The same gateway now reports a worse metric (e.g. its own path changed):
+  // accepted, per distance-vector rules.
+  EXPECT_TRUE(table_.Learn(Net("10.1.0.0/24"), Ipv4Address(10, 0, 0, 1), &iface_a_, 9, t0_));
+  EXPECT_EQ(table_.Lookup(Ipv4Address(10, 1, 0, 1))->metric, 9u);
+}
+
+TEST_F(RoutingTableTest, ConnectedNeverDisplaced) {
+  table_.AddConnected(Net("10.0.1.0/24"), &iface_a_);
+  EXPECT_FALSE(table_.Learn(Net("10.0.1.0/24"), Ipv4Address(9, 9, 9, 9), &iface_b_, 1, t0_));
+  EXPECT_TRUE(table_.Lookup(Ipv4Address(10, 0, 1, 1))->connected);
+}
+
+TEST_F(RoutingTableTest, InfinityRoutesUnreachable) {
+  EXPECT_FALSE(
+      table_.Learn(Net("10.1.0.0/24"), Ipv4Address(10, 0, 0, 1), &iface_a_, 16, t0_));
+  EXPECT_FALSE(table_.Lookup(Ipv4Address(10, 1, 0, 1)).has_value());
+
+  // Poisoning an existing route makes it unreachable.
+  table_.Learn(Net("10.2.0.0/24"), Ipv4Address(10, 0, 0, 1), &iface_a_, 2, t0_);
+  table_.Learn(Net("10.2.0.0/24"), Ipv4Address(10, 0, 0, 1), &iface_a_, 16, t0_);
+  EXPECT_FALSE(table_.Lookup(Ipv4Address(10, 2, 0, 1)).has_value());
+}
+
+TEST_F(RoutingTableTest, ExpiryMarksStaleRoutes) {
+  table_.AddConnected(Net("10.0.1.0/24"), &iface_a_);
+  table_.Learn(Net("10.1.0.0/24"), Ipv4Address(10, 0, 0, 1), &iface_a_, 2, t0_);
+  const SimTime later = t0_ + Duration::Minutes(10);
+  EXPECT_EQ(table_.ExpireStale(later, Duration::Seconds(180)), 1);
+  EXPECT_FALSE(table_.Lookup(Ipv4Address(10, 1, 0, 1)).has_value());
+  // Connected routes never expire.
+  EXPECT_TRUE(table_.Lookup(Ipv4Address(10, 0, 1, 1)).has_value());
+  // Refreshed routes survive.
+  table_.Learn(Net("10.3.0.0/24"), Ipv4Address(10, 0, 0, 1), &iface_a_, 2, later);
+  EXPECT_EQ(table_.ExpireStale(later + Duration::Seconds(60), Duration::Seconds(180)), 0);
+}
+
+TEST_F(RoutingTableTest, ToStringRenders) {
+  table_.AddConnected(Net("10.0.1.0/24"), &iface_a_);
+  table_.Learn(Net("10.1.0.0/24"), Ipv4Address(10, 0, 0, 1), &iface_a_, 2, t0_);
+  const std::string text = table_.ToString();
+  EXPECT_NE(text.find("10.0.1.0/24"), std::string::npos);
+  EXPECT_NE(text.find("(connected)"), std::string::npos);
+  EXPECT_NE(text.find("10.0.0.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fremont

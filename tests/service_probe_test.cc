@@ -1,0 +1,148 @@
+// Tests for the ServiceProbe Explorer Module and the service bitmask on
+// interface records.
+
+#include "src/explorer/service_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/sim/dns_server.h"
+#include "src/sim/rip_daemon.h"
+#include "src/sim/simulator.h"
+
+namespace fremont {
+namespace {
+
+class ServiceProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    subnet_ = *Subnet::Parse("10.3.0.0/24");
+    segment_ = sim_.CreateSegment("lan", subnet_);
+    vantage_ = AddHost("vantage", 250);
+    server_ = std::make_unique<JournalServer>([this]() { return sim_.Now(); });
+    client_ = std::make_unique<JournalClient>(server_.get());
+  }
+
+  Host* AddHost(const std::string& name, uint8_t octet, HostConfig config = {}) {
+    Host* host = sim_.CreateHost(name, config);
+    host->AttachTo(segment_, subnet_.HostAt(octet), subnet_.mask(),
+                   MacAddress(2, 0, 0, 3, 0, octet));
+    return host;
+  }
+
+  Simulator sim_{555};
+  Subnet subnet_;
+  Segment* segment_ = nullptr;
+  Host* vantage_ = nullptr;
+  std::unique_ptr<JournalServer> server_;
+  std::unique_ptr<JournalClient> client_;
+};
+
+TEST_F(ServiceProbeTest, DetectsEchoService) {
+  AddHost("plain", 10);  // UDP echo on by default.
+  ServiceProbeParams params;
+  params.targets = {subnet_.HostAt(10)};
+  params.services = {KnownService::kUdpEcho};
+  ServiceProbe probe(vantage_, client_.get(), params);
+  ExplorerReport report = probe.Run();
+  EXPECT_EQ(report.discovered, 1);
+
+  auto records = client_->GetInterfaces(Selector::ByIp(subnet_.HostAt(10)));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].services, ServiceBit(KnownService::kUdpEcho));
+}
+
+TEST_F(ServiceProbeTest, AbsentVsUnknown) {
+  HostConfig no_echo;
+  no_echo.udp_echo_enabled = false;
+  AddHost("noecho", 11, no_echo);  // Alive, answers Port Unreachable.
+  Host* down = AddHost("down", 12);
+  down->SetUp(false);              // Silent.
+
+  ServiceProbeParams params;
+  params.targets = {subnet_.HostAt(11), subnet_.HostAt(12)};
+  params.services = {KnownService::kUdpEcho};
+  params.reply_timeout = Duration::Seconds(2);
+  ServiceProbe probe(vantage_, client_.get(), params);
+  ExplorerReport report = probe.Run();
+  EXPECT_EQ(report.discovered, 0);
+  EXPECT_EQ(report.records_written, 0);  // Nothing confirmed, nothing stored.
+
+  using Verdict = ServiceProbe::Verdict;
+  EXPECT_EQ(probe.verdicts().at({subnet_.HostAt(11).value(),
+                                 ServiceBit(KnownService::kUdpEcho)}),
+            Verdict::kAbsent);
+  EXPECT_EQ(probe.verdicts().at({subnet_.HostAt(12).value(),
+                                 ServiceBit(KnownService::kUdpEcho)}),
+            Verdict::kUnknown);
+}
+
+TEST_F(ServiceProbeTest, DetectsDnsAndRipServices) {
+  Host* ns_host = AddHost("ns", 53);
+  ZoneDb zone;
+  zone.AddHost("localhost", Ipv4Address(127, 0, 0, 1));
+  DnsServer dns(ns_host, std::move(zone));
+
+  Router* gw = sim_.CreateRouter("gw", {});
+  gw->AttachTo(segment_, subnet_.HostAt(1), subnet_.mask(), MacAddress(2, 0, 0, 3, 0, 1));
+  RipDaemon daemon(gw, gw, {});
+  daemon.Start();
+
+  ServiceProbeParams params;
+  params.targets = {subnet_.HostAt(53), subnet_.HostAt(1)};
+  ServiceProbe probe(vantage_, client_.get(), params);
+  probe.Run();
+
+  auto ns_records = client_->GetInterfaces(Selector::ByIp(subnet_.HostAt(53)));
+  ASSERT_EQ(ns_records.size(), 1u);
+  EXPECT_TRUE(ns_records[0].services & ServiceBit(KnownService::kDns));
+  EXPECT_TRUE(ns_records[0].services & ServiceBit(KnownService::kUdpEcho));
+
+  auto gw_records = client_->GetInterfaces(Selector::ByIp(subnet_.HostAt(1)));
+  ASSERT_EQ(gw_records.size(), 1u);
+  EXPECT_TRUE(gw_records[0].services & ServiceBit(KnownService::kRip));
+}
+
+TEST_F(ServiceProbeTest, TargetsFromJournalSkipDnsGhosts) {
+  AddHost("real", 10);
+  // A confirmed interface and a DNS-only ghost.
+  InterfaceObservation real_obs;
+  real_obs.ip = subnet_.HostAt(10);
+  client_->StoreInterface(real_obs, DiscoverySource::kSeqPing);
+  InterfaceObservation ghost;
+  ghost.ip = subnet_.HostAt(200);
+  client_->StoreInterface(ghost, DiscoverySource::kDns);
+
+  ServiceProbeParams params;
+  params.services = {KnownService::kUdpEcho};
+  params.reply_timeout = Duration::Seconds(1);
+  ServiceProbe probe(vantage_, client_.get(), params);
+  probe.Run();
+  // Only the real interface was probed.
+  EXPECT_EQ(probe.verdicts().size(), 1u);
+  EXPECT_EQ(probe.verdicts().begin()->first.first, subnet_.HostAt(10).value());
+}
+
+TEST_F(ServiceProbeTest, RepeatRunsAreNotNewInfo) {
+  AddHost("plain", 10);
+  ServiceProbeParams params;
+  params.targets = {subnet_.HostAt(10)};
+  params.services = {KnownService::kUdpEcho};
+  ServiceProbe first(vantage_, client_.get(), params);
+  EXPECT_GT(first.Run().new_info, 0);
+  ServiceProbe second(vantage_, client_.get(), params);
+  EXPECT_EQ(second.Run().new_info, 0);  // Already known: re-verification only.
+}
+
+TEST(ServiceMaskTest, Rendering) {
+  EXPECT_EQ(ServiceMaskToString(0), "none");
+  EXPECT_EQ(ServiceMaskToString(ServiceBit(KnownService::kUdpEcho)), "echo");
+  EXPECT_EQ(ServiceMaskToString(ServiceBit(KnownService::kUdpEcho) |
+                                ServiceBit(KnownService::kDns) |
+                                ServiceBit(KnownService::kRip)),
+            "echo+dns+rip");
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,69 @@
+// Tests for simulated time types.
+
+#include "src/util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace fremont {
+namespace {
+
+TEST(DurationTest, Constructors) {
+  EXPECT_EQ(Duration::Micros(5).ToMicros(), 5);
+  EXPECT_EQ(Duration::Millis(2).ToMicros(), 2000);
+  EXPECT_EQ(Duration::Seconds(3).ToMillis(), 3000);
+  EXPECT_EQ(Duration::Minutes(2).ToSeconds(), 120);
+  EXPECT_EQ(Duration::Hours(1).ToSeconds(), 3600);
+  EXPECT_EQ(Duration::Days(1).ToSeconds(), 86400);
+  EXPECT_EQ(Duration::SecondsF(0.25).ToMicros(), 250000);
+  EXPECT_EQ(Duration::Zero().ToMicros(), 0);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration d = Duration::Seconds(10) + Duration::Seconds(5);
+  EXPECT_EQ(d.ToSeconds(), 15);
+  d -= Duration::Seconds(5);
+  EXPECT_EQ(d.ToSeconds(), 10);
+  EXPECT_EQ((d * 3).ToSeconds(), 30);
+  EXPECT_EQ((d / 2).ToSeconds(), 5);
+  EXPECT_EQ((Duration::Seconds(1) - Duration::Seconds(2)).ToSeconds(), -1);
+}
+
+TEST(DurationTest, Comparison) {
+  EXPECT_LT(Duration::Seconds(1), Duration::Seconds(2));
+  EXPECT_EQ(Duration::Minutes(1), Duration::Seconds(60));
+  EXPECT_GT(Duration::Hours(1), Duration::Minutes(59));
+}
+
+TEST(DurationTest, ToString) {
+  EXPECT_EQ(Duration::Micros(17).ToString(), "17us");
+  EXPECT_EQ(Duration::Millis(450).ToString(), "450ms");
+  EXPECT_EQ(Duration::SecondsF(2.5).ToString(), "2.500s");
+  EXPECT_EQ(Duration::Minutes(2).ToString() , "2m00s");
+  EXPECT_EQ((Duration::Minutes(2) + Duration::Seconds(30)).ToString(), "2m30s");
+  EXPECT_EQ((Duration::Hours(3) + Duration::Minutes(4)).ToString(), "3h04m");
+  EXPECT_EQ((Duration::Days(2) + Duration::Hours(5)).ToString(), "2d05h");
+  EXPECT_EQ((Duration::Zero() - Duration::Seconds(90)).ToString(), "-1m30s");
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime t = SimTime::Epoch() + Duration::Hours(2);
+  EXPECT_EQ(t.ToMicros(), Duration::Hours(2).ToMicros());
+  EXPECT_EQ((t + Duration::Hours(1)) - t, Duration::Hours(1));
+  EXPECT_EQ(t - Duration::Hours(2), SimTime::Epoch());
+  t += Duration::Minutes(30);
+  EXPECT_EQ(t - SimTime::Epoch(), Duration::Hours(2) + Duration::Minutes(30));
+}
+
+TEST(SimTimeTest, Comparison) {
+  const SimTime a = SimTime::Epoch() + Duration::Seconds(1);
+  const SimTime b = SimTime::Epoch() + Duration::Seconds(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, SimTime::FromMicros(1000000));
+}
+
+TEST(SimTimeTest, ToString) {
+  EXPECT_EQ((SimTime::Epoch() + Duration::Hours(1) + Duration::Minutes(2)).ToString(), "T+1h02m");
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,177 @@
+// Tests for the byte-stream framing layer and the socket-like connection to
+// the Journal Server, plus the host reflect-TTL fault added alongside.
+
+#include "src/journal/stream_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace fremont {
+namespace {
+
+TEST(StreamFramerTest, FrameAndReassemble) {
+  ByteBuffer message{1, 2, 3, 4, 5};
+  ByteBuffer framed = StreamFramer::Frame(message);
+  ASSERT_EQ(framed.size(), 9u);
+
+  StreamFramer framer;
+  EXPECT_TRUE(framer.Feed(framed));
+  ASSERT_TRUE(framer.HasMessage());
+  EXPECT_EQ(framer.NextMessage(), message);
+  EXPECT_FALSE(framer.HasMessage());
+  EXPECT_EQ(framer.pending_bytes(), 0u);
+}
+
+TEST(StreamFramerTest, ByteAtATimeDelivery) {
+  ByteBuffer message(100);
+  for (size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<uint8_t>(i);
+  }
+  ByteBuffer framed = StreamFramer::Frame(message);
+  StreamFramer framer;
+  for (uint8_t byte : framed) {
+    EXPECT_TRUE(framer.Feed(&byte, 1));
+  }
+  ASSERT_TRUE(framer.HasMessage());
+  EXPECT_EQ(framer.NextMessage(), message);
+}
+
+TEST(StreamFramerTest, MultipleMessagesInOneChunk) {
+  ByteBuffer chunk;
+  for (uint8_t i = 0; i < 5; ++i) {
+    ByteBuffer framed = StreamFramer::Frame({i, i, i});
+    chunk.insert(chunk.end(), framed.begin(), framed.end());
+  }
+  StreamFramer framer;
+  EXPECT_TRUE(framer.Feed(chunk));
+  for (uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(framer.HasMessage());
+    EXPECT_EQ(framer.NextMessage(), (ByteBuffer{i, i, i}));
+  }
+}
+
+TEST(StreamFramerTest, EmptyMessageIsLegal) {
+  StreamFramer framer;
+  EXPECT_TRUE(framer.Feed(StreamFramer::Frame({})));
+  ASSERT_TRUE(framer.HasMessage());
+  EXPECT_TRUE(framer.NextMessage().empty());
+}
+
+TEST(StreamFramerTest, OversizedFramePoisons) {
+  StreamFramer framer;
+  ByteBuffer evil{0xff, 0xff, 0xff, 0xff};  // Claims a 4 GB message.
+  EXPECT_FALSE(framer.Feed(evil));
+  EXPECT_FALSE(framer.ok());
+  EXPECT_FALSE(framer.Feed(StreamFramer::Frame({1})));  // Stays poisoned.
+}
+
+TEST(StreamFramerTest, RandomChunkingSoak) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    // Several random messages, concatenated, then split at random points.
+    std::vector<ByteBuffer> messages;
+    ByteBuffer wire;
+    const int count = static_cast<int>(rng.Uniform(1, 8));
+    for (int i = 0; i < count; ++i) {
+      ByteBuffer message(static_cast<size_t>(rng.Uniform(0, 300)));
+      for (auto& byte : message) {
+        byte = static_cast<uint8_t>(rng.Uniform(0, 255));
+      }
+      ByteBuffer framed = StreamFramer::Frame(message);
+      wire.insert(wire.end(), framed.begin(), framed.end());
+      messages.push_back(std::move(message));
+    }
+    StreamFramer framer;
+    size_t offset = 0;
+    while (offset < wire.size()) {
+      const size_t n = static_cast<size_t>(
+          rng.Uniform(1, std::min<int64_t>(64, static_cast<int64_t>(wire.size() - offset))));
+      ASSERT_TRUE(framer.Feed(wire.data() + offset, n));
+      offset += n;
+    }
+    for (const auto& expected : messages) {
+      ASSERT_TRUE(framer.HasMessage());
+      EXPECT_EQ(framer.NextMessage(), expected);
+    }
+    EXPECT_FALSE(framer.HasMessage());
+  }
+}
+
+TEST(StreamConnectionTest, FullClientOverChunkedStream) {
+  JournalServer server([]() { return SimTime::Epoch() + Duration::Hours(1); });
+  StreamConnection connection(&server);
+  JournalClient client(connection.MakeTransport(/*chunk_size=*/3));
+
+  InterfaceObservation obs;
+  obs.ip = Ipv4Address(128, 138, 238, 10);
+  obs.mac = MacAddress(8, 0, 0x20, 1, 2, 3);
+  obs.dns_name = "boulder.cs.colorado.edu";
+  auto stored = client.StoreInterface(obs, DiscoverySource::kArpWatch);
+  EXPECT_TRUE(stored.ok);
+  EXPECT_TRUE(stored.created);
+
+  auto records = client.GetInterfaces(Selector::ByName("boulder.cs.colorado.edu"));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].ip, obs.ip);
+  EXPECT_EQ(client.GetStats().interface_count, 1u);
+  EXPECT_TRUE(connection.ok());
+}
+
+TEST(HostReflectTtlTest, TracerouteTerminalResolvesAtRoundTripTtl) {
+  // vantage —[lan]— r1 —[middle]— r2 —[far]— buggy host (.10).
+  // The destination is 3 hops away and reflects the probe's remaining TTL in
+  // its Port Unreachable. Probe TTL 3 arrives with TTL 1; the reflected
+  // reply dies before coming home. Only at probe TTL ≥ 5 does the reply
+  // survive the 3-hop return — traceroute still gets its terminal, just at
+  // a higher TTL ("The Traceroute Explorer Module can handle most of the
+  // common failure modes").
+  Simulator sim(41);
+  Subnet lan = *Subnet::Parse("10.8.1.0/24");
+  Subnet middle = *Subnet::Parse("10.8.2.0/24");
+  Subnet far = *Subnet::Parse("10.8.3.0/24");
+  Segment* seg_lan = sim.CreateSegment("lan", lan);
+  Segment* seg_middle = sim.CreateSegment("middle", middle);
+  Segment* seg_far = sim.CreateSegment("far", far);
+
+  Router* r1 = sim.CreateRouter("r1", {});
+  Interface* r1_lan = r1->AttachTo(seg_lan, lan.HostAt(1), lan.mask(),
+                                   MacAddress(2, 0, 0, 8, 0, 1));
+  Interface* r1_mid = r1->AttachTo(seg_middle, middle.HostAt(1), middle.mask(),
+                                   MacAddress(2, 0, 0, 8, 0, 2));
+  Router* r2 = sim.CreateRouter("r2", {});
+  Interface* r2_mid = r2->AttachTo(seg_middle, middle.HostAt(2), middle.mask(),
+                                   MacAddress(2, 0, 0, 8, 0, 3));
+  r2->AttachTo(seg_far, far.HostAt(1), far.mask(), MacAddress(2, 0, 0, 8, 0, 4));
+  r1->routing_table().Learn(far, r2_mid->ip, r1_mid, 2, sim.Now());
+  r2->routing_table().Learn(lan, r1_mid->ip, r2_mid, 2, sim.Now());
+
+  HostConfig buggy;
+  buggy.reflects_ttl_in_replies = true;
+  Host* destination = sim.CreateHost("buggy", buggy);
+  destination->AttachTo(seg_far, far.HostAt(10), far.mask(), MacAddress(2, 0, 0, 8, 0, 5));
+  destination->SetDefaultGateway(far.HostAt(1));
+
+  Host* vantage = sim.CreateHost("vantage");
+  vantage->AttachTo(seg_lan, lan.HostAt(250), lan.mask(), MacAddress(2, 0, 0, 8, 0, 6));
+  vantage->SetDefaultGateway(r1_lan->ip);
+
+  // A probe with round-trip TTL gets an answer; one with only one-way TTL
+  // does not, because the buggy destination reflects the remaining TTL.
+  int unreachables = 0;
+  vantage->SetIcmpListener([&](const Ipv4Packet&, const IcmpMessage& message) {
+    if (message.type == IcmpType::kDestUnreachable) {
+      ++unreachables;
+    }
+  });
+  vantage->SendUdp(destination->primary_interface()->ip, 4001, 33434, {}, 3);  // One-way only.
+  sim.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(unreachables, 0);  // Reply died en route (left with TTL 1).
+  vantage->SendUdp(destination->primary_interface()->ip, 4002, 33435, {}, 6);  // Round trip.
+  sim.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(unreachables, 1);
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,71 @@
+// Tests for string helpers.
+
+#include "src/util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace fremont {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  auto parts = SplitString("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, EmptyFieldsPreserved) {
+  auto parts = SplitString("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitStringTest, NoSeparator) {
+  auto parts = SplitString("plain", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "plain");
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  auto parts = SplitString("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimWhitespaceTest, Trims) {
+  EXPECT_EQ(TrimWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(TrimWhitespace("hello"), "hello");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("a b"), "a b");
+}
+
+TEST(EqualsIgnoreCaseTest, Comparisons) {
+  EXPECT_TRUE(EqualsIgnoreCase("CS-GW.Colorado.EDU", "cs-gw.colorado.edu"));
+  EXPECT_FALSE(EqualsIgnoreCase("cs-gw", "cs-gw2"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(ToLowerAsciiTest, Lowercases) {
+  EXPECT_EQ(ToLowerAscii("Boulder.CS.Colorado.EDU"), "boulder.cs.colorado.edu");
+  EXPECT_EQ(ToLowerAscii("123-abc"), "123-abc");
+}
+
+TEST(EndsWithIgnoreCaseTest, Matches) {
+  EXPECT_TRUE(EndsWithIgnoreCase("cs-GW", "-gw"));
+  EXPECT_FALSE(EndsWithIgnoreCase("gw", "-gw"));
+  EXPECT_FALSE(EndsWithIgnoreCase("x", "longer"));
+  EXPECT_TRUE(EndsWithIgnoreCase("anything", ""));
+}
+
+TEST(StringPrintfTest, Formats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StringPrintf("%05.1f", 3.25), "003.2");
+  // Long output is not truncated.
+  std::string long_arg(500, 'y');
+  EXPECT_EQ(StringPrintf("%s", long_arg.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,78 @@
+// Tests for the subnet utilization analysis.
+
+#include "src/analysis/utilization.h"
+
+#include <gtest/gtest.h>
+
+namespace fremont {
+namespace {
+
+SimTime At(int64_t days) { return SimTime::Epoch() + Duration::Days(days); }
+
+InterfaceRecord Iface(RecordId id, Ipv4Address ip, SimTime verified) {
+  InterfaceRecord rec;
+  rec.id = id;
+  rec.ip = ip;
+  rec.sources = SourceBit(DiscoverySource::kArpWatch);
+  rec.ts.first_discovered = rec.ts.last_changed = SimTime::Epoch();
+  rec.ts.last_verified = verified;
+  return rec;
+}
+
+SubnetRecord SubnetRec(RecordId id, const char* cidr, int32_t host_count = -1) {
+  SubnetRecord rec;
+  rec.id = id;
+  rec.subnet = *Subnet::Parse(cidr);
+  rec.host_count = host_count;
+  return rec;
+}
+
+TEST(UtilizationTest, CountsLiveAndReclaimable) {
+  std::vector<SubnetRecord> subnets = {SubnetRec(1, "10.0.1.0/24")};
+  std::vector<InterfaceRecord> interfaces = {
+      Iface(1, Ipv4Address(10, 0, 1, 10), At(30)),  // Live.
+      Iface(2, Ipv4Address(10, 0, 1, 11), At(29)),  // Live.
+      Iface(3, Ipv4Address(10, 0, 1, 12), At(2)),   // Long silent: reclaimable.
+      Iface(4, Ipv4Address(10, 0, 2, 10), At(30)),  // Other subnet: ignored.
+  };
+  auto report = AnalyzeUtilization(subnets, interfaces, At(30), Duration::Days(14));
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].known_interfaces, 3);
+  EXPECT_EQ(report[0].live_interfaces, 2);
+  EXPECT_EQ(report[0].reclaimable, 1);
+  EXPECT_EQ(report[0].capacity, 254u);
+  EXPECT_NEAR(report[0].occupancy, 3.0 / 254.0, 1e-9);
+  EXPECT_NE(report[0].ToString().find("reclaimable"), std::string::npos);
+}
+
+TEST(UtilizationTest, DnsCensusRaisesKnownCount) {
+  // The DNS module saw 56 assignments; we only hold 2 interface records.
+  std::vector<SubnetRecord> subnets = {SubnetRec(1, "10.0.1.0/24", 56)};
+  std::vector<InterfaceRecord> interfaces = {
+      Iface(1, Ipv4Address(10, 0, 1, 10), At(30)),
+      Iface(2, Ipv4Address(10, 0, 1, 11), At(30)),
+  };
+  auto report = AnalyzeUtilization(subnets, interfaces, At(30));
+  EXPECT_EQ(report[0].known_interfaces, 56);
+  EXPECT_EQ(report[0].dns_host_count, 56);
+  EXPECT_NEAR(report[0].occupancy, 56.0 / 254.0, 1e-9);
+}
+
+TEST(UtilizationTest, CrowdedSubnetsFlagged) {
+  std::vector<SubnetRecord> subnets = {
+      SubnetRec(1, "10.0.1.0/28", 13),  // 13/14 assignable: crowded.
+      SubnetRec(2, "10.0.2.0/24", 20),  // 20/254: fine.
+  };
+  auto report = AnalyzeUtilization(subnets, {}, At(1));
+  auto crowded = FindCrowdedSubnets(report, 0.8);
+  ASSERT_EQ(crowded.size(), 1u);
+  EXPECT_EQ(crowded[0].subnet, *Subnet::Parse("10.0.1.0/28"));
+}
+
+TEST(UtilizationTest, EmptyInputs) {
+  EXPECT_TRUE(AnalyzeUtilization({}, {}, At(1)).empty());
+  EXPECT_TRUE(FindCrowdedSubnets({}).empty());
+}
+
+}  // namespace
+}  // namespace fremont

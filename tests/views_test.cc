@@ -1,0 +1,175 @@
+// Tests for the presentation programs.
+
+#include "src/present/views.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/oui.h"
+
+namespace fremont {
+namespace {
+
+SimTime At(int64_t hours) { return SimTime::Epoch() + Duration::Hours(hours); }
+
+std::vector<InterfaceRecord> SampleInterfaces() {
+  std::vector<InterfaceRecord> records;
+  InterfaceRecord a;
+  a.id = 1;
+  a.ip = Ipv4Address(128, 138, 238, 10);
+  a.mac = MacAddress::FromOui(kOuiSun, 0x42);
+  a.dns_name = "boulder.cs.colorado.edu";
+  a.mask = SubnetMask::FromPrefixLength(24);
+  a.sources = SourceBit(DiscoverySource::kArpWatch) | SourceBit(DiscoverySource::kDns);
+  a.ts.first_discovered = At(1);
+  a.ts.last_changed = At(2);
+  a.ts.last_verified = a.ts.last_wire_verified = At(3);
+  records.push_back(a);
+
+  InterfaceRecord gw;
+  gw.id = 2;
+  gw.ip = Ipv4Address(128, 138, 238, 1);
+  gw.mac = MacAddress::FromOui(kOuiCisco, 0x01);
+  gw.dns_name = "cs-gw.colorado.edu";
+  gw.gateway_id = 1;
+  gw.rip_source = true;
+  gw.ts.last_verified = gw.ts.last_wire_verified = At(4);
+  records.push_back(gw);
+
+  InterfaceRecord other_net;
+  other_net.id = 3;
+  other_net.ip = Ipv4Address(128, 138, 240, 9);
+  other_net.ts.last_verified = other_net.ts.last_wire_verified = At(4);
+  records.push_back(other_net);
+  return records;
+}
+
+std::vector<GatewayRecord> SampleGateways() {
+  GatewayRecord gw;
+  gw.id = 1;
+  gw.name = "cs-gw.colorado.edu";
+  gw.interface_ids = {2};
+  gw.connected_subnets = {*Subnet::Parse("128.138.238.0/24"), *Subnet::Parse("128.138.0.0/24")};
+  return {gw};
+}
+
+std::vector<SubnetRecord> SampleSubnets() {
+  SubnetRecord a;
+  a.id = 1;
+  a.subnet = *Subnet::Parse("128.138.238.0/24");
+  a.gateway_ids = {1};
+  a.host_count = 56;
+  SubnetRecord b;
+  b.id = 2;
+  b.subnet = *Subnet::Parse("128.138.0.0/24");
+  b.gateway_ids = {1};
+  return {a, b};
+}
+
+TEST(DumpJournalTest, ContainsEverything) {
+  const std::string dump =
+      DumpJournal(SampleInterfaces(), SampleGateways(), SampleSubnets(), At(5));
+  EXPECT_NE(dump.find("3 interfaces"), std::string::npos);
+  EXPECT_NE(dump.find("1 gateways"), std::string::npos);
+  EXPECT_NE(dump.find("2 subnets"), std::string::npos);
+  EXPECT_NE(dump.find("boulder.cs.colorado.edu"), std::string::npos);
+  EXPECT_NE(dump.find("arpwatch+dns"), std::string::npos);
+}
+
+TEST(InterfaceViewTest, Level1FiltersAndSorts) {
+  const std::string view =
+      InterfaceViewLevel1(SampleInterfaces(), *Subnet::Parse("128.138.238.0/24"), At(5));
+  EXPECT_NE(view.find("128.138.238.1"), std::string::npos);
+  EXPECT_NE(view.find("128.138.238.10"), std::string::npos);
+  EXPECT_EQ(view.find("128.138.240.9"), std::string::npos);  // Other subnet excluded.
+  // Time since last verification appears ("1h" for the .10 host at At(5)-At(3)).
+  EXPECT_NE(view.find("2h00m ago"), std::string::npos);
+  // .1 sorts before .10.
+  EXPECT_LT(view.find("128.138.238.1 "), view.find("128.138.238.10"));
+}
+
+TEST(InterfaceViewTest, Level2ShowsMacVendorRipGw) {
+  const std::string view =
+      InterfaceViewLevel2(SampleInterfaces(), *Subnet::Parse("128.138.238.0/24"), At(5));
+  EXPECT_NE(view.find("Sun Microsystems"), std::string::npos);
+  EXPECT_NE(view.find("cisco Systems"), std::string::npos);
+  EXPECT_NE(view.find("yes"), std::string::npos);  // RIP and gateway flags.
+}
+
+TEST(InterfaceViewTest, Level3AllFields) {
+  const std::string view = InterfaceViewLevel3(SampleInterfaces()[0], At(5));
+  EXPECT_NE(view.find("network address : 128.138.238.10"), std::string::npos);
+  EXPECT_NE(view.find("Sun Microsystems"), std::string::npos);
+  EXPECT_NE(view.find("255.255.255.0"), std::string::npos);
+  EXPECT_NE(view.find("first discovered"), std::string::npos);
+  EXPECT_NE(view.find("arpwatch+dns"), std::string::npos);
+}
+
+TEST(InterfaceViewTest, Level3PromiscuousFlag) {
+  InterfaceRecord rec = SampleInterfaces()[1];
+  rec.rip_promiscuous = true;
+  const std::string view = InterfaceViewLevel3(rec, At(5));
+  EXPECT_NE(view.find("PROMISCUOUS"), std::string::npos);
+}
+
+TEST(TopologyExportTest, SunNetManagerFormat) {
+  const std::string out =
+      ExportSunNetManager(SampleGateways(), SampleSubnets(), SampleInterfaces());
+  EXPECT_NE(out.find("component.network \"128.138.238.0/24\""), std::string::npos);
+  EXPECT_NE(out.find("component.router \"cs-gw.colorado.edu\""), std::string::npos);
+  EXPECT_NE(out.find("connection \"cs-gw.colorado.edu\" \"128.138.238.0/24\""),
+            std::string::npos);
+}
+
+TEST(TopologyExportTest, GraphvizDot) {
+  const std::string dot = ExportGraphvizDot(SampleGateways(), SampleSubnets(), SampleInterfaces());
+  EXPECT_NE(dot.find("graph fremont_topology"), std::string::npos);
+  EXPECT_NE(dot.find("g1 [shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("s1 [shape=ellipse"), std::string::npos);
+  // Both subnets connected to the gateway.
+  EXPECT_NE(dot.find("g1 -- s1"), std::string::npos);
+  EXPECT_NE(dot.find("g1 -- s2"), std::string::npos);
+}
+
+TEST(VendorInventoryTest, CountsAndSorts) {
+  std::vector<InterfaceRecord> records = SampleInterfaces();
+  // Two more Suns so Sun outranks cisco.
+  for (uint8_t i = 0; i < 2; ++i) {
+    InterfaceRecord rec;
+    rec.id = static_cast<RecordId>(10 + i);
+    rec.ip = Ipv4Address(128, 138, 238, static_cast<uint8_t>(30 + i));
+    rec.mac = MacAddress::FromOui(kOuiSun, 0x100u + i);
+    records.push_back(rec);
+  }
+  InterfaceRecord oddball;
+  oddball.id = 20;
+  oddball.ip = Ipv4Address(128, 138, 238, 99);
+  oddball.mac = MacAddress::FromIndex(5);  // Locally administered: unknown OUI.
+  records.push_back(oddball);
+
+  const std::string inventory = VendorInventory(records);
+  EXPECT_NE(inventory.find("Sun Microsystems"), std::string::npos);
+  EXPECT_NE(inventory.find("cisco Systems"), std::string::npos);
+  EXPECT_NE(inventory.find("(unknown OUI)"), std::string::npos);
+  EXPECT_NE(inventory.find("(MAC not yet discovered)"), std::string::npos);
+  // Sorted descending: Sun (3) before cisco (1).
+  EXPECT_LT(inventory.find("Sun Microsystems"), inventory.find("cisco Systems"));
+}
+
+TEST(InterfaceViewTest, Level2ShowsServices) {
+  auto records = SampleInterfaces();
+  records[0].services = ServiceBit(KnownService::kUdpEcho) | ServiceBit(KnownService::kDns);
+  const std::string view =
+      InterfaceViewLevel2(records, *Subnet::Parse("128.138.238.0/24"), At(5));
+  EXPECT_NE(view.find("echo+dns"), std::string::npos);
+  EXPECT_NE(view.find("SERVICES"), std::string::npos);
+}
+
+TEST(TopologyExportTest, UnnamedGatewayGetsSyntheticLabel) {
+  auto gateways = SampleGateways();
+  gateways[0].name.clear();
+  const std::string dot = ExportGraphvizDot(gateways, SampleSubnets(), {});
+  EXPECT_NE(dot.find("gateway-1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fremont

@@ -1,0 +1,189 @@
+// fremont_report: offline analysis of a Journal checkpoint.
+//
+// The Journal Server checkpoints its store to disk; this tool loads such a
+// file and runs the presentation and analysis programs against it — no
+// network (simulated or otherwise) required. The "now" reference for
+// staleness is the newest verification timestamp in the file.
+//
+//   fremont_report <journal-file> dump
+//   fremont_report <journal-file> interfaces <network/prefix>
+//   fremont_report <journal-file> subnet <subnet/prefix>
+//   fremont_report <journal-file> topology [dot|snm]
+//   fremont_report <journal-file> problems
+//   fremont_report <journal-file> utilization
+//   fremont_report <journal-file> stats
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/analysis/conflicts.h"
+#include "src/analysis/rip_analysis.h"
+#include "src/analysis/route_inference.h"
+#include "src/analysis/staleness.h"
+#include "src/analysis/utilization.h"
+#include "src/journal/journal.h"
+#include "src/present/views.h"
+
+using namespace fremont;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <journal-file> <command> [args]\n"
+               "commands:\n"
+               "  dump                        raw journal contents\n"
+               "  interfaces <net/prefix>     level-1 interface view\n"
+               "  subnet <subnet/prefix>      level-2 subnet detail\n"
+               "  topology [dot|snm]          topology export (default dot)\n"
+               "  problems                    run every analysis program\n"
+               "  utilization                 subnet occupancy report\n"
+               "  route <from/prefix> <to/prefix>  inferred gateway path\n"
+               "  vendors                     interface counts by manufacturer\n"
+               "  stats                       record counts and memory use\n",
+               argv0);
+  return 2;
+}
+
+SimTime NewestVerification(const Journal& journal) {
+  SimTime newest;
+  for (const auto& rec : journal.AllInterfaces()) {
+    newest = std::max(newest, rec.ts.last_verified);
+  }
+  for (const auto& rec : journal.AllSubnets()) {
+    newest = std::max(newest, rec.ts.last_verified);
+  }
+  return newest;
+}
+
+int RunProblems(const Journal& journal, SimTime now) {
+  const auto interfaces = journal.AllInterfaces();
+  const auto gateways = journal.AllGateways();
+  int findings = 0;
+
+  std::printf("--- address conflicts ---\n");
+  for (const auto& conflict : FindAddressConflicts(interfaces, gateways, now)) {
+    if (conflict.kind == AddressConflict::Kind::kGatewayOrProxy) {
+      continue;
+    }
+    std::printf("%s\n", conflict.ToString().c_str());
+    ++findings;
+  }
+  std::printf("--- mask conflicts ---\n");
+  for (const auto& conflict : FindMaskConflicts(interfaces)) {
+    std::printf("%s\n", conflict.ToString().c_str());
+    ++findings;
+  }
+  std::printf("--- promiscuous RIP sources ---\n");
+  for (const auto& rec : FindPromiscuousRipSources(interfaces)) {
+    std::printf("%s\n", rec.ip.ToString().c_str());
+    ++findings;
+  }
+  std::printf("--- stale interfaces (silent > 7 days) ---\n");
+  for (const auto& stale : FindStaleInterfaces(interfaces, now, Duration::Days(7))) {
+    std::printf("%s\n", stale.ToString().c_str());
+    ++findings;
+  }
+  std::printf("--- DNS-only ghosts (never seen on the wire) ---\n");
+  for (const auto& rec : FindDnsOnlyInterfaces(interfaces)) {
+    std::printf("%s (%s)\n", rec.ip.ToString().c_str(), rec.dns_name.c_str());
+    ++findings;
+  }
+  std::printf("\n%d finding(s).\n", findings);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage(argv[0]);
+  }
+  Journal journal;
+  if (!journal.LoadFromFile(argv[1])) {
+    std::fprintf(stderr, "error: cannot load journal from %s\n", argv[1]);
+    return 1;
+  }
+  const SimTime now = NewestVerification(journal);
+  const std::string command = argv[2];
+
+  if (command == "dump") {
+    std::printf("%s", DumpJournal(journal.AllInterfaces(), journal.AllGateways(),
+                                  journal.AllSubnets(), now)
+                          .c_str());
+    return 0;
+  }
+  if (command == "interfaces") {
+    if (argc < 4) {
+      return Usage(argv[0]);
+    }
+    auto network = Subnet::Parse(argv[3]);
+    if (!network.has_value()) {
+      std::fprintf(stderr, "error: bad network %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("%s", InterfaceViewLevel1(journal.AllInterfaces(), *network, now).c_str());
+    return 0;
+  }
+  if (command == "subnet") {
+    if (argc < 4) {
+      return Usage(argv[0]);
+    }
+    auto subnet = Subnet::Parse(argv[3]);
+    if (!subnet.has_value()) {
+      std::fprintf(stderr, "error: bad subnet %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("%s", InterfaceViewLevel2(journal.AllInterfaces(), *subnet, now).c_str());
+    return 0;
+  }
+  if (command == "topology") {
+    const bool snm = argc >= 4 && std::strcmp(argv[3], "snm") == 0;
+    const auto interfaces = journal.AllInterfaces();
+    const auto gateways = journal.AllGateways();
+    const auto subnets = journal.AllSubnets();
+    std::printf("%s", snm ? ExportSunNetManager(gateways, subnets, interfaces).c_str()
+                          : ExportGraphvizDot(gateways, subnets, interfaces).c_str());
+    return 0;
+  }
+  if (command == "problems") {
+    return RunProblems(journal, now);
+  }
+  if (command == "utilization") {
+    auto report = AnalyzeUtilization(journal.AllSubnets(), journal.AllInterfaces(), now);
+    for (const auto& row : report) {
+      std::printf("%s\n", row.ToString().c_str());
+    }
+    auto crowded = FindCrowdedSubnets(report);
+    std::printf("\n%zu subnet(s) above 80%% occupancy.\n", crowded.size());
+    return 0;
+  }
+  if (command == "route") {
+    if (argc < 5) {
+      return Usage(argv[0]);
+    }
+    auto from = Subnet::Parse(argv[3]);
+    auto to = Subnet::Parse(argv[4]);
+    if (!from.has_value() || !to.has_value()) {
+      std::fprintf(stderr, "error: bad subnet arguments\n");
+      return 1;
+    }
+    auto route = InferRoute(journal.AllGateways(), *from, *to);
+    std::printf("%s\n", route.ToString().c_str());
+    return route.found ? 0 : 3;
+  }
+  if (command == "vendors") {
+    std::printf("%s", VendorInventory(journal.AllInterfaces()).c_str());
+    return 0;
+  }
+  if (command == "stats") {
+    const JournalStats stats = journal.Stats();
+    const JournalMemoryUsage usage = journal.MemoryUsage();
+    std::printf("interfaces: %zu\ngateways:   %zu\nsubnets:    %zu\nmemory:     %.1f KB\n",
+                stats.interface_count, stats.gateway_count, stats.subnet_count,
+                static_cast<double>(usage.total_bytes) / 1024.0);
+    return 0;
+  }
+  return Usage(argv[0]);
+}
