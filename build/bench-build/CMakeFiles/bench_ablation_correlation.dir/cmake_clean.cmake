@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_correlation"
+  "../bench/bench_ablation_correlation.pdb"
+  "CMakeFiles/bench_ablation_correlation.dir/bench_ablation_correlation.cc.o"
+  "CMakeFiles/bench_ablation_correlation.dir/bench_ablation_correlation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scheduling"
+  "../bench/bench_ablation_scheduling.pdb"
+  "CMakeFiles/bench_ablation_scheduling.dir/bench_ablation_scheduling.cc.o"
+  "CMakeFiles/bench_ablation_scheduling.dir/bench_ablation_scheduling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_claims_prose"
+  "../bench/bench_claims_prose.pdb"
+  "CMakeFiles/bench_claims_prose.dir/bench_claims_prose.cc.o"
+  "CMakeFiles/bench_claims_prose.dir/bench_claims_prose.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claims_prose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

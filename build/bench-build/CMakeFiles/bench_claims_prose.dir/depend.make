@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_claims_prose.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure2_topology"
+  "../bench/bench_figure2_topology.pdb"
+  "CMakeFiles/bench_figure2_topology.dir/bench_figure2_topology.cc.o"
+  "CMakeFiles/bench_figure2_topology.dir/bench_figure2_topology.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_journal_micro.cc" "bench-build/CMakeFiles/bench_journal_micro.dir/bench_journal_micro.cc.o" "gcc" "bench-build/CMakeFiles/bench_journal_micro.dir/bench_journal_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/journal/CMakeFiles/fremont_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fremont_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fremont_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

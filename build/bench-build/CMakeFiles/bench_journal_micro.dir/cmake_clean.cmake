@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_journal_micro"
+  "../bench/bench_journal_micro.pdb"
+  "CMakeFiles/bench_journal_micro.dir/bench_journal_micro.cc.o"
+  "CMakeFiles/bench_journal_micro.dir/bench_journal_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_journal_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_storage"
+  "../bench/bench_table2_storage.pdb"
+  "CMakeFiles/bench_table2_storage.dir/bench_table2_storage.cc.o"
+  "CMakeFiles/bench_table2_storage.dir/bench_table2_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_module_io"
+  "../bench/bench_table3_module_io.pdb"
+  "CMakeFiles/bench_table3_module_io.dir/bench_table3_module_io.cc.o"
+  "CMakeFiles/bench_table3_module_io.dir/bench_table3_module_io.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_module_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

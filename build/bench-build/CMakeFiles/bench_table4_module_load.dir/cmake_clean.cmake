@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_module_load"
+  "../bench/bench_table4_module_load.pdb"
+  "CMakeFiles/bench_table4_module_load.dir/bench_table4_module_load.cc.o"
+  "CMakeFiles/bench_table4_module_load.dir/bench_table4_module_load.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_module_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

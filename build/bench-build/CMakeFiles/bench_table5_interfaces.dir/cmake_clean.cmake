@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_interfaces"
+  "../bench/bench_table5_interfaces.pdb"
+  "CMakeFiles/bench_table5_interfaces.dir/bench_table5_interfaces.cc.o"
+  "CMakeFiles/bench_table5_interfaces.dir/bench_table5_interfaces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

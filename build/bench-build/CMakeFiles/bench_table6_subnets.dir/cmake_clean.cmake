@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_subnets"
+  "../bench/bench_table6_subnets.pdb"
+  "CMakeFiles/bench_table6_subnets.dir/bench_table6_subnets.cc.o"
+  "CMakeFiles/bench_table6_subnets.dir/bench_table6_subnets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_subnets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

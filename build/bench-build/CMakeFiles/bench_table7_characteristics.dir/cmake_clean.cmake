@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_characteristics"
+  "../bench/bench_table7_characteristics.pdb"
+  "CMakeFiles/bench_table7_characteristics.dir/bench_table7_characteristics.cc.o"
+  "CMakeFiles/bench_table7_characteristics.dir/bench_table7_characteristics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_problems"
+  "../bench/bench_table8_problems.pdb"
+  "CMakeFiles/bench_table8_problems.dir/bench_table8_problems.cc.o"
+  "CMakeFiles/bench_table8_problems.dir/bench_table8_problems.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_discovery.dir/campus_discovery.cpp.o"
+  "CMakeFiles/campus_discovery.dir/campus_discovery.cpp.o.d"
+  "campus_discovery"
+  "campus_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

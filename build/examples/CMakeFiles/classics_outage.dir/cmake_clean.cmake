@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classics_outage.dir/classics_outage.cpp.o"
+  "CMakeFiles/classics_outage.dir/classics_outage.cpp.o.d"
+  "classics_outage"
+  "classics_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classics_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

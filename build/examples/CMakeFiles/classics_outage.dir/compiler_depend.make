@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for classics_outage.
+# This may be replaced when dependencies are built.

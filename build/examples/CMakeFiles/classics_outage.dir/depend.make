@@ -1,0 +1,2 @@
+# Empty dependencies file for classics_outage.
+# This may be replaced when dependencies are built.

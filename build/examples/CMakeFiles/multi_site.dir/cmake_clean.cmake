@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_site.dir/multi_site.cpp.o"
+  "CMakeFiles/multi_site.dir/multi_site.cpp.o.d"
+  "multi_site"
+  "multi_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/problem_hunt.dir/problem_hunt.cpp.o"
+  "CMakeFiles/problem_hunt.dir/problem_hunt.cpp.o.d"
+  "problem_hunt"
+  "problem_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/problem_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_census.dir/service_census.cpp.o"
+  "CMakeFiles/service_census.dir/service_census.cpp.o.d"
+  "service_census"
+  "service_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

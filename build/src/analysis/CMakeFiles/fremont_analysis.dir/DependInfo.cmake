@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/conflicts.cc" "src/analysis/CMakeFiles/fremont_analysis.dir/conflicts.cc.o" "gcc" "src/analysis/CMakeFiles/fremont_analysis.dir/conflicts.cc.o.d"
+  "/root/repo/src/analysis/rip_analysis.cc" "src/analysis/CMakeFiles/fremont_analysis.dir/rip_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/fremont_analysis.dir/rip_analysis.cc.o.d"
+  "/root/repo/src/analysis/route_inference.cc" "src/analysis/CMakeFiles/fremont_analysis.dir/route_inference.cc.o" "gcc" "src/analysis/CMakeFiles/fremont_analysis.dir/route_inference.cc.o.d"
+  "/root/repo/src/analysis/staleness.cc" "src/analysis/CMakeFiles/fremont_analysis.dir/staleness.cc.o" "gcc" "src/analysis/CMakeFiles/fremont_analysis.dir/staleness.cc.o.d"
+  "/root/repo/src/analysis/utilization.cc" "src/analysis/CMakeFiles/fremont_analysis.dir/utilization.cc.o" "gcc" "src/analysis/CMakeFiles/fremont_analysis.dir/utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/journal/CMakeFiles/fremont_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fremont_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fremont_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

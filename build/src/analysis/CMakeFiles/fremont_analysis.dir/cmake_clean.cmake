@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fremont_analysis.dir/conflicts.cc.o"
+  "CMakeFiles/fremont_analysis.dir/conflicts.cc.o.d"
+  "CMakeFiles/fremont_analysis.dir/rip_analysis.cc.o"
+  "CMakeFiles/fremont_analysis.dir/rip_analysis.cc.o.d"
+  "CMakeFiles/fremont_analysis.dir/route_inference.cc.o"
+  "CMakeFiles/fremont_analysis.dir/route_inference.cc.o.d"
+  "CMakeFiles/fremont_analysis.dir/staleness.cc.o"
+  "CMakeFiles/fremont_analysis.dir/staleness.cc.o.d"
+  "CMakeFiles/fremont_analysis.dir/utilization.cc.o"
+  "CMakeFiles/fremont_analysis.dir/utilization.cc.o.d"
+  "libfremont_analysis.a"
+  "libfremont_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fremont_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explorer/arpwatch.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/arpwatch.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/arpwatch.cc.o.d"
+  "/root/repo/src/explorer/broadcast_ping.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/broadcast_ping.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/broadcast_ping.cc.o.d"
+  "/root/repo/src/explorer/dns_explorer.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/dns_explorer.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/dns_explorer.cc.o.d"
+  "/root/repo/src/explorer/etherhostprobe.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/etherhostprobe.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/etherhostprobe.cc.o.d"
+  "/root/repo/src/explorer/explorer.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/explorer.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/explorer.cc.o.d"
+  "/root/repo/src/explorer/rip_probe.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/rip_probe.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/rip_probe.cc.o.d"
+  "/root/repo/src/explorer/ripwatch.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/ripwatch.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/ripwatch.cc.o.d"
+  "/root/repo/src/explorer/seq_ping.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/seq_ping.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/seq_ping.cc.o.d"
+  "/root/repo/src/explorer/service_probe.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/service_probe.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/service_probe.cc.o.d"
+  "/root/repo/src/explorer/subnet_mask.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/subnet_mask.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/subnet_mask.cc.o.d"
+  "/root/repo/src/explorer/traceroute.cc" "src/explorer/CMakeFiles/fremont_explorer.dir/traceroute.cc.o" "gcc" "src/explorer/CMakeFiles/fremont_explorer.dir/traceroute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fremont_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/fremont_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fremont_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fremont_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

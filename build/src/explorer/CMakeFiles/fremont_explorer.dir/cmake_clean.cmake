@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fremont_explorer.dir/arpwatch.cc.o"
+  "CMakeFiles/fremont_explorer.dir/arpwatch.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/broadcast_ping.cc.o"
+  "CMakeFiles/fremont_explorer.dir/broadcast_ping.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/dns_explorer.cc.o"
+  "CMakeFiles/fremont_explorer.dir/dns_explorer.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/etherhostprobe.cc.o"
+  "CMakeFiles/fremont_explorer.dir/etherhostprobe.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/explorer.cc.o"
+  "CMakeFiles/fremont_explorer.dir/explorer.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/rip_probe.cc.o"
+  "CMakeFiles/fremont_explorer.dir/rip_probe.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/ripwatch.cc.o"
+  "CMakeFiles/fremont_explorer.dir/ripwatch.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/seq_ping.cc.o"
+  "CMakeFiles/fremont_explorer.dir/seq_ping.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/service_probe.cc.o"
+  "CMakeFiles/fremont_explorer.dir/service_probe.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/subnet_mask.cc.o"
+  "CMakeFiles/fremont_explorer.dir/subnet_mask.cc.o.d"
+  "CMakeFiles/fremont_explorer.dir/traceroute.cc.o"
+  "CMakeFiles/fremont_explorer.dir/traceroute.cc.o.d"
+  "libfremont_explorer.a"
+  "libfremont_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fremont_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

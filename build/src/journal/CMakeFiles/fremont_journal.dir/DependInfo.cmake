@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/journal/client.cc" "src/journal/CMakeFiles/fremont_journal.dir/client.cc.o" "gcc" "src/journal/CMakeFiles/fremont_journal.dir/client.cc.o.d"
+  "/root/repo/src/journal/journal.cc" "src/journal/CMakeFiles/fremont_journal.dir/journal.cc.o" "gcc" "src/journal/CMakeFiles/fremont_journal.dir/journal.cc.o.d"
+  "/root/repo/src/journal/protocol.cc" "src/journal/CMakeFiles/fremont_journal.dir/protocol.cc.o" "gcc" "src/journal/CMakeFiles/fremont_journal.dir/protocol.cc.o.d"
+  "/root/repo/src/journal/records.cc" "src/journal/CMakeFiles/fremont_journal.dir/records.cc.o" "gcc" "src/journal/CMakeFiles/fremont_journal.dir/records.cc.o.d"
+  "/root/repo/src/journal/replicate.cc" "src/journal/CMakeFiles/fremont_journal.dir/replicate.cc.o" "gcc" "src/journal/CMakeFiles/fremont_journal.dir/replicate.cc.o.d"
+  "/root/repo/src/journal/server.cc" "src/journal/CMakeFiles/fremont_journal.dir/server.cc.o" "gcc" "src/journal/CMakeFiles/fremont_journal.dir/server.cc.o.d"
+  "/root/repo/src/journal/stream_transport.cc" "src/journal/CMakeFiles/fremont_journal.dir/stream_transport.cc.o" "gcc" "src/journal/CMakeFiles/fremont_journal.dir/stream_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/fremont_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fremont_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

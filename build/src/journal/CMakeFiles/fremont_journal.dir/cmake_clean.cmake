@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fremont_journal.dir/client.cc.o"
+  "CMakeFiles/fremont_journal.dir/client.cc.o.d"
+  "CMakeFiles/fremont_journal.dir/journal.cc.o"
+  "CMakeFiles/fremont_journal.dir/journal.cc.o.d"
+  "CMakeFiles/fremont_journal.dir/protocol.cc.o"
+  "CMakeFiles/fremont_journal.dir/protocol.cc.o.d"
+  "CMakeFiles/fremont_journal.dir/records.cc.o"
+  "CMakeFiles/fremont_journal.dir/records.cc.o.d"
+  "CMakeFiles/fremont_journal.dir/replicate.cc.o"
+  "CMakeFiles/fremont_journal.dir/replicate.cc.o.d"
+  "CMakeFiles/fremont_journal.dir/server.cc.o"
+  "CMakeFiles/fremont_journal.dir/server.cc.o.d"
+  "CMakeFiles/fremont_journal.dir/stream_transport.cc.o"
+  "CMakeFiles/fremont_journal.dir/stream_transport.cc.o.d"
+  "libfremont_journal.a"
+  "libfremont_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fremont_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fremont_manager.dir/correlate.cc.o"
+  "CMakeFiles/fremont_manager.dir/correlate.cc.o.d"
+  "CMakeFiles/fremont_manager.dir/discovery_manager.cc.o"
+  "CMakeFiles/fremont_manager.dir/discovery_manager.cc.o.d"
+  "CMakeFiles/fremont_manager.dir/schedule.cc.o"
+  "CMakeFiles/fremont_manager.dir/schedule.cc.o.d"
+  "libfremont_manager.a"
+  "libfremont_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fremont_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arp.cc" "src/net/CMakeFiles/fremont_net.dir/arp.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/arp.cc.o.d"
+  "/root/repo/src/net/dns.cc" "src/net/CMakeFiles/fremont_net.dir/dns.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/dns.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/net/CMakeFiles/fremont_net.dir/ethernet.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/ethernet.cc.o.d"
+  "/root/repo/src/net/icmp.cc" "src/net/CMakeFiles/fremont_net.dir/icmp.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/icmp.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/fremont_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/ipv4_address.cc" "src/net/CMakeFiles/fremont_net.dir/ipv4_address.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/ipv4_address.cc.o.d"
+  "/root/repo/src/net/mac_address.cc" "src/net/CMakeFiles/fremont_net.dir/mac_address.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/mac_address.cc.o.d"
+  "/root/repo/src/net/oui.cc" "src/net/CMakeFiles/fremont_net.dir/oui.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/oui.cc.o.d"
+  "/root/repo/src/net/rip.cc" "src/net/CMakeFiles/fremont_net.dir/rip.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/rip.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/fremont_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/fremont_net.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fremont_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fremont_net.dir/arp.cc.o"
+  "CMakeFiles/fremont_net.dir/arp.cc.o.d"
+  "CMakeFiles/fremont_net.dir/dns.cc.o"
+  "CMakeFiles/fremont_net.dir/dns.cc.o.d"
+  "CMakeFiles/fremont_net.dir/ethernet.cc.o"
+  "CMakeFiles/fremont_net.dir/ethernet.cc.o.d"
+  "CMakeFiles/fremont_net.dir/icmp.cc.o"
+  "CMakeFiles/fremont_net.dir/icmp.cc.o.d"
+  "CMakeFiles/fremont_net.dir/ipv4.cc.o"
+  "CMakeFiles/fremont_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/fremont_net.dir/ipv4_address.cc.o"
+  "CMakeFiles/fremont_net.dir/ipv4_address.cc.o.d"
+  "CMakeFiles/fremont_net.dir/mac_address.cc.o"
+  "CMakeFiles/fremont_net.dir/mac_address.cc.o.d"
+  "CMakeFiles/fremont_net.dir/oui.cc.o"
+  "CMakeFiles/fremont_net.dir/oui.cc.o.d"
+  "CMakeFiles/fremont_net.dir/rip.cc.o"
+  "CMakeFiles/fremont_net.dir/rip.cc.o.d"
+  "CMakeFiles/fremont_net.dir/udp.cc.o"
+  "CMakeFiles/fremont_net.dir/udp.cc.o.d"
+  "libfremont_net.a"
+  "libfremont_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fremont_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

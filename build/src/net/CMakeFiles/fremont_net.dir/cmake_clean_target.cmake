@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfremont_net.a"
+)

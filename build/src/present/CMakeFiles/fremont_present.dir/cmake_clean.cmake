@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fremont_present.dir/views.cc.o"
+  "CMakeFiles/fremont_present.dir/views.cc.o.d"
+  "libfremont_present.a"
+  "libfremont_present.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fremont_present.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

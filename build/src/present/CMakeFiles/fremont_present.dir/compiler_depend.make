@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fremont_present.
+# This may be replaced when dependencies are built.

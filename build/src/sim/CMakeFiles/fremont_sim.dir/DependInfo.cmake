@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arp_cache.cc" "src/sim/CMakeFiles/fremont_sim.dir/arp_cache.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/arp_cache.cc.o.d"
+  "/root/repo/src/sim/dns_server.cc" "src/sim/CMakeFiles/fremont_sim.dir/dns_server.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/dns_server.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/fremont_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/host.cc" "src/sim/CMakeFiles/fremont_sim.dir/host.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/host.cc.o.d"
+  "/root/repo/src/sim/rip_daemon.cc" "src/sim/CMakeFiles/fremont_sim.dir/rip_daemon.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/rip_daemon.cc.o.d"
+  "/root/repo/src/sim/router.cc" "src/sim/CMakeFiles/fremont_sim.dir/router.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/router.cc.o.d"
+  "/root/repo/src/sim/routing_table.cc" "src/sim/CMakeFiles/fremont_sim.dir/routing_table.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/routing_table.cc.o.d"
+  "/root/repo/src/sim/segment.cc" "src/sim/CMakeFiles/fremont_sim.dir/segment.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/segment.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/fremont_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/sim/CMakeFiles/fremont_sim.dir/topology.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/topology.cc.o.d"
+  "/root/repo/src/sim/traffic.cc" "src/sim/CMakeFiles/fremont_sim.dir/traffic.cc.o" "gcc" "src/sim/CMakeFiles/fremont_sim.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/fremont_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fremont_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fremont_sim.dir/arp_cache.cc.o"
+  "CMakeFiles/fremont_sim.dir/arp_cache.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/dns_server.cc.o"
+  "CMakeFiles/fremont_sim.dir/dns_server.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/event_queue.cc.o"
+  "CMakeFiles/fremont_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/host.cc.o"
+  "CMakeFiles/fremont_sim.dir/host.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/rip_daemon.cc.o"
+  "CMakeFiles/fremont_sim.dir/rip_daemon.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/router.cc.o"
+  "CMakeFiles/fremont_sim.dir/router.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/routing_table.cc.o"
+  "CMakeFiles/fremont_sim.dir/routing_table.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/segment.cc.o"
+  "CMakeFiles/fremont_sim.dir/segment.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/simulator.cc.o"
+  "CMakeFiles/fremont_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/topology.cc.o"
+  "CMakeFiles/fremont_sim.dir/topology.cc.o.d"
+  "CMakeFiles/fremont_sim.dir/traffic.cc.o"
+  "CMakeFiles/fremont_sim.dir/traffic.cc.o.d"
+  "libfremont_sim.a"
+  "libfremont_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fremont_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fremont_util.dir/bytes.cc.o"
+  "CMakeFiles/fremont_util.dir/bytes.cc.o.d"
+  "CMakeFiles/fremont_util.dir/logging.cc.o"
+  "CMakeFiles/fremont_util.dir/logging.cc.o.d"
+  "CMakeFiles/fremont_util.dir/sim_time.cc.o"
+  "CMakeFiles/fremont_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/fremont_util.dir/string_util.cc.o"
+  "CMakeFiles/fremont_util.dir/string_util.cc.o.d"
+  "libfremont_util.a"
+  "libfremont_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fremont_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

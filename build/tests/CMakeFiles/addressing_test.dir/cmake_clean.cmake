@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/addressing_test.dir/addressing_test.cc.o"
+  "CMakeFiles/addressing_test.dir/addressing_test.cc.o.d"
+  "addressing_test"
+  "addressing_test.pdb"
+  "addressing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addressing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arp_cache_test.dir/arp_cache_test.cc.o"
+  "CMakeFiles/arp_cache_test.dir/arp_cache_test.cc.o.d"
+  "arp_cache_test"
+  "arp_cache_test.pdb"
+  "arp_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arp_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avl_tree_test.dir/avl_tree_test.cc.o"
+  "CMakeFiles/avl_tree_test.dir/avl_tree_test.cc.o.d"
+  "avl_tree_test"
+  "avl_tree_test.pdb"
+  "avl_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avl_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_explorer_test.dir/dns_explorer_test.cc.o"
+  "CMakeFiles/dns_explorer_test.dir/dns_explorer_test.cc.o.d"
+  "dns_explorer_test"
+  "dns_explorer_test.pdb"
+  "dns_explorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_server_test.dir/dns_server_test.cc.o"
+  "CMakeFiles/dns_server_test.dir/dns_server_test.cc.o.d"
+  "dns_server_test"
+  "dns_server_test.pdb"
+  "dns_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_test.dir/futurework_test.cc.o"
+  "CMakeFiles/futurework_test.dir/futurework_test.cc.o.d"
+  "futurework_test"
+  "futurework_test.pdb"
+  "futurework_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

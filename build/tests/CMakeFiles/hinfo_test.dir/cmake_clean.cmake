@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hinfo_test.dir/hinfo_test.cc.o"
+  "CMakeFiles/hinfo_test.dir/hinfo_test.cc.o.d"
+  "hinfo_test"
+  "hinfo_test.pdb"
+  "hinfo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hinfo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

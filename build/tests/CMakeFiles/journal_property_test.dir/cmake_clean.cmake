@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_property_test.dir/journal_property_test.cc.o"
+  "CMakeFiles/journal_property_test.dir/journal_property_test.cc.o.d"
+  "journal_property_test"
+  "journal_property_test.pdb"
+  "journal_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_protocol_test.dir/journal_protocol_test.cc.o"
+  "CMakeFiles/journal_protocol_test.dir/journal_protocol_test.cc.o.d"
+  "journal_protocol_test"
+  "journal_protocol_test.pdb"
+  "journal_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

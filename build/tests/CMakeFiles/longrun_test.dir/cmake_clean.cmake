@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longrun_test.dir/longrun_test.cc.o"
+  "CMakeFiles/longrun_test.dir/longrun_test.cc.o.d"
+  "longrun_test"
+  "longrun_test.pdb"
+  "longrun_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longrun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

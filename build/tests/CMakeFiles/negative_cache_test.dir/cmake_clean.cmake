@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_cache_test.dir/negative_cache_test.cc.o"
+  "CMakeFiles/negative_cache_test.dir/negative_cache_test.cc.o.d"
+  "negative_cache_test"
+  "negative_cache_test.pdb"
+  "negative_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

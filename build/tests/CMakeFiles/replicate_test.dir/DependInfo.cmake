@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/replicate_test.cc" "tests/CMakeFiles/replicate_test.dir/replicate_test.cc.o" "gcc" "tests/CMakeFiles/replicate_test.dir/replicate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/present/CMakeFiles/fremont_present.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fremont_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/fremont_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/explorer/CMakeFiles/fremont_explorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/fremont_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fremont_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fremont_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fremont_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicate_test.dir/replicate_test.cc.o"
+  "CMakeFiles/replicate_test.dir/replicate_test.cc.o.d"
+  "replicate_test"
+  "replicate_test.pdb"
+  "replicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

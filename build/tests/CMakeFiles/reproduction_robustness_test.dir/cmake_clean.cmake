@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduction_robustness_test.dir/reproduction_robustness_test.cc.o"
+  "CMakeFiles/reproduction_robustness_test.dir/reproduction_robustness_test.cc.o.d"
+  "reproduction_robustness_test"
+  "reproduction_robustness_test.pdb"
+  "reproduction_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduction_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

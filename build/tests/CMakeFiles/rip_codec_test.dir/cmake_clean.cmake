@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rip_codec_test.dir/rip_codec_test.cc.o"
+  "CMakeFiles/rip_codec_test.dir/rip_codec_test.cc.o.d"
+  "rip_codec_test"
+  "rip_codec_test.pdb"
+  "rip_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rip_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

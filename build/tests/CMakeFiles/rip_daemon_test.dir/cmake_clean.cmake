@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rip_daemon_test.dir/rip_daemon_test.cc.o"
+  "CMakeFiles/rip_daemon_test.dir/rip_daemon_test.cc.o.d"
+  "rip_daemon_test"
+  "rip_daemon_test.pdb"
+  "rip_daemon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rip_daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

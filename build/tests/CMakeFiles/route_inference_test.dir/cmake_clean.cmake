@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_inference_test.dir/route_inference_test.cc.o"
+  "CMakeFiles/route_inference_test.dir/route_inference_test.cc.o.d"
+  "route_inference_test"
+  "route_inference_test.pdb"
+  "route_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

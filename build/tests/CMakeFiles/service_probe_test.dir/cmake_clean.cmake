@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_probe_test.dir/service_probe_test.cc.o"
+  "CMakeFiles/service_probe_test.dir/service_probe_test.cc.o.d"
+  "service_probe_test"
+  "service_probe_test.pdb"
+  "service_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

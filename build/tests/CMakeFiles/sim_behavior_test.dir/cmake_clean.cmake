@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_behavior_test.dir/sim_behavior_test.cc.o"
+  "CMakeFiles/sim_behavior_test.dir/sim_behavior_test.cc.o.d"
+  "sim_behavior_test"
+  "sim_behavior_test.pdb"
+  "sim_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/views_test.dir/views_test.cc.o"
+  "CMakeFiles/views_test.dir/views_test.cc.o.d"
+  "views_test"
+  "views_test.pdb"
+  "views_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[LongRunTest.MonthOfManagedDiscovery]=]  /root/repo/build/tests/longrun_test [==[--gtest_filter=LongRunTest.MonthOfManagedDiscovery]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[LongRunTest.MonthOfManagedDiscovery]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  longrun_test_TESTS LongRunTest.MonthOfManagedDiscovery)

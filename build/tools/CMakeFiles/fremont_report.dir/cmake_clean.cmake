@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fremont_report.dir/fremont_report.cpp.o"
+  "CMakeFiles/fremont_report.dir/fremont_report.cpp.o.d"
+  "fremont_report"
+  "fremont_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fremont_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
