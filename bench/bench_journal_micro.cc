@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "src/journal/client.h"
 #include "src/journal/server.h"
 #include "src/util/avl_tree.h"
@@ -165,4 +166,18 @@ BENCHMARK(BM_JournalSaveLoad);
 }  // namespace
 }  // namespace fremont
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  fremont::benchjson::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  fremont::benchjson::WriteBenchJson(
+      "BENCH_journal_micro.json", reporter.results(),
+      {"journal_client/requests", "journal_client/bytes_sent", "journal_client/bytes_received",
+       "journal_server/ops_store_interface", "journal_server/records_created",
+       "journal_server/records_changed"});
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "src/explorer/ripwatch.h"
 #include "src/explorer/traceroute.h"
 #include "src/journal/client.h"
@@ -80,4 +81,17 @@ BENCHMARK(BM_FullTracerouteSweep)->Arg(16)->Arg(111)->Unit(benchmark::kMilliseco
 }  // namespace
 }  // namespace fremont
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  fremont::benchjson::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  fremont::benchjson::WriteBenchJson(
+      "BENCH_sim_scale.json", reporter.results(),
+      {"sim/events_dispatched", "traceroute/packets_sent", "traceroute/replies_received",
+       "ripwatch/runs", "journal_client/requests"});
+  benchmark::Shutdown();
+  return 0;
+}

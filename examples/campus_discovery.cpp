@@ -30,6 +30,7 @@
 #include "src/present/views.h"
 #include "src/sim/simulator.h"
 #include "src/sim/topology.h"
+#include "src/telemetry/export.h"
 
 using namespace fremont;
 
@@ -103,7 +104,7 @@ int main(int argc, char** argv) {
   // Three simulated days of managed discovery, correlating after each day.
   for (int day = 1; day <= 3; ++day) {
     auto reports = manager.RunFor(Duration::Days(1));
-    CorrelationReport correlation = Correlate(journal);
+    CorrelationReport correlation = Correlate(journal, 24, sim.Now());
     std::printf("--- day %d: %zu module runs ---\n", day, reports.size());
     for (const auto& report : reports) {
       std::printf("  %s\n", report.Summary().c_str());
@@ -134,10 +135,15 @@ int main(int argc, char** argv) {
     snm << ExportSunNetManager(gateways, subnets, interfaces);
     std::ofstream dot(out_dir + "/fremont-topology.dot");
     dot << ExportGraphvizDot(gateways, subnets, interfaces);
+    // Telemetry for the whole run; fremont_report --telemetry reads this.
+    std::ofstream telemetry_out(out_dir + "/fremont-telemetry.json");
+    telemetry_out << telemetry::ExportJson();
   }
-  std::printf("Wrote %s/fremont-topology.{snm,dot}, journal checkpoint, and schedule file.\n",
+  std::printf("Wrote %s/fremont-topology.{snm,dot}, fremont-telemetry.json, journal "
+              "checkpoint, and schedule file.\n",
               out_dir.c_str());
   std::printf("\nSchedule after adaptation:\n%s",
               FormatScheduleFile(manager.ExportSchedule()).c_str());
+  std::printf("\n%s", RuntimeStatisticsView().c_str());
   return 0;
 }

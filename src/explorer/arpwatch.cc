@@ -87,10 +87,13 @@ int ArpWatch::unique_ips_in(const Subnet& subnet) const {
 }
 
 ExplorerReport ArpWatch::Run(Duration watch) {
+  TraceModuleStart("arpwatch", vantage_->Now());
   Start();
   vantage_->events()->RunFor(watch);
   Stop();
-  return report();
+  ExplorerReport result = report();
+  RecordModuleReport("arpwatch", result);
+  return result;
 }
 
 ExplorerReport ArpWatch::report() const {

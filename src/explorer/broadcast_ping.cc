@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "src/telemetry/trace.h"
+
 namespace fremont {
 namespace {
 constexpr uint16_t kBroadcastPingIdent = 0x4250;
@@ -14,10 +16,12 @@ ExplorerReport BroadcastPing::Run() {
   ExplorerReport report;
   report.module = "BrdcastPing";
   report.started = vantage_->Now();
+  TraceModuleStart("broadcastping", report.started);
 
   Interface* iface = vantage_->primary_interface();
   if (iface == nullptr) {
     report.finished = vantage_->Now();
+    RecordModuleReport("broadcastping", report);
     return report;
   }
   const Subnet target = params_.target.value_or(iface->AttachedSubnet());
@@ -75,6 +79,7 @@ ExplorerReport BroadcastPing::Run() {
   report.discovered = static_cast<int>(replied.size());
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.finished = vantage_->Now();
+  RecordModuleReport("broadcastping", report);
   return report;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/net/udp.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -43,6 +44,8 @@ std::optional<DnsMessage> DnsExplorer::QueryAndWait(const std::string& name, Dns
   vantage_->events()->RunFor(params_.query_spacing);
   if (answer->has_value()) {
     ++replies_;
+  } else {
+    telemetry::MetricsRegistry::Global().GetCounter("dns/timeouts")->Increment();
   }
   return *answer;
 }
@@ -140,6 +143,7 @@ ExplorerReport DnsExplorer::Run() {
   ExplorerReport report;
   report.module = "DNS";
   report.started = vantage_->Now();
+  TraceModuleStart("dns", report.started);
   const uint64_t sent_before = vantage_->packets_sent();
   auto track = [&report](const JournalClient::StoreResult& result) {
     ++report.records_written;
@@ -169,6 +173,8 @@ ExplorerReport DnsExplorer::Run() {
   if (transfer.empty()) {
     FLOG(kWarning) << "dns: zone transfer of " << reverse_zone << " failed";
     report.finished = vantage_->Now();
+    report.packets_sent = vantage_->packets_sent() - sent_before;
+    RecordModuleReport("dns", report);
     return report;
   }
   for (const auto& rr : transfer) {
@@ -316,6 +322,7 @@ ExplorerReport DnsExplorer::Run() {
   report.replies_received = replies_;
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.finished = vantage_->Now();
+  RecordModuleReport("dns", report);
   return report;
 }
 

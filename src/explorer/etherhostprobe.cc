@@ -3,6 +3,7 @@
 #include <map>
 
 #include "src/net/udp.h"
+#include "src/telemetry/trace.h"
 #include "src/util/logging.h"
 
 namespace fremont {
@@ -15,11 +16,13 @@ ExplorerReport EtherHostProbe::Run() {
   ExplorerReport report;
   report.module = "EtherHostProbe";
   report.started = vantage_->Now();
+  TraceModuleStart("etherhostprobe", report.started);
 
   Interface* iface = vantage_->primary_interface();
   if (iface == nullptr || iface->segment == nullptr) {
     FLOG(kError) << "etherhostprobe: vantage host has no attached segment";
     report.finished = vantage_->Now();
+    RecordModuleReport("etherhostprobe", report);
     return report;
   }
   const Subnet subnet = iface->AttachedSubnet();
@@ -42,6 +45,11 @@ ExplorerReport EtherHostProbe::Run() {
     }
     vantage_->events()->Schedule(spacing * i, [this, target]() {
       vantage_->SendUdp(target, 40000, kUdpEchoPort, {});
+      auto& tracer = telemetry::Tracer::Global();
+      if (tracer.enabled()) {
+        tracer.Record(vantage_->Now(), telemetry::TraceEventKind::kProbeSent, "etherhostprobe",
+                      target.ToString());
+      }
     });
   }
   vantage_->events()->Schedule(spacing * count + params_.settle, [&done]() { done = true; });
@@ -79,6 +87,7 @@ ExplorerReport EtherHostProbe::Run() {
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.replies_received = static_cast<uint64_t>(report.discovered);
   report.finished = vantage_->Now();
+  RecordModuleReport("etherhostprobe", report);
   return report;
 }
 

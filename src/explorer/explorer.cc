@@ -1,5 +1,6 @@
 #include "src/explorer/explorer.h"
 
+#include "src/telemetry/export.h"
 #include "src/util/string_util.h"
 
 namespace fremont {
@@ -10,6 +11,30 @@ std::string ExplorerReport::Summary() const {
       module.c_str(), discovered, records_written, new_info,
       static_cast<unsigned long long>(packets_sent),
       static_cast<unsigned long long>(replies_received), Elapsed().ToString().c_str());
+}
+
+void TraceModuleStart(const char* key, SimTime now) {
+  telemetry::Tracer::Global().Record(now, telemetry::TraceEventKind::kModuleRunStart, key);
+}
+
+void RecordModuleReport(const char* key, const ExplorerReport& report) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  const std::string prefix(key);
+  registry.GetCounter(prefix + "/runs")->Increment();
+  registry.GetCounter(prefix + "/packets_sent")->Add(report.packets_sent);
+  registry.GetCounter(prefix + "/replies_received")->Add(report.replies_received);
+  registry.GetCounter(prefix + "/discovered")
+      ->Add(static_cast<uint64_t>(report.discovered > 0 ? report.discovered : 0));
+  registry.GetCounter(prefix + "/records_written")
+      ->Add(static_cast<uint64_t>(report.records_written > 0 ? report.records_written : 0));
+  registry.GetCounter(prefix + "/new_info")
+      ->Add(static_cast<uint64_t>(report.new_info > 0 ? report.new_info : 0));
+  registry.GetHistogram(prefix + "/run_duration_us", telemetry::DurationBucketsMicros())
+      ->Observe(report.Elapsed().ToMicros());
+  telemetry::Tracer::Global().Record(
+      report.finished, telemetry::TraceEventKind::kModuleRunEnd, key,
+      StringPrintf("discovered=%d new=%d sent=%llu", report.discovered, report.new_info,
+                   static_cast<unsigned long long>(report.packets_sent)));
 }
 
 }  // namespace fremont

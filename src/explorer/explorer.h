@@ -37,6 +37,16 @@ struct ExplorerReport {
   std::string Summary() const;
 };
 
+// Telemetry hooks shared by every Explorer Module. `key` is the module's
+// metric-family name, lowercase (matching the Discovery Manager registration
+// names: "arpwatch", "etherhostprobe", "seqping", ...). TraceModuleStart
+// opens the run span; RecordModuleReport closes it and publishes the run's
+// counters (<key>/runs, <key>/packets_sent, <key>/replies_received,
+// <key>/discovered, <key>/records_written, <key>/new_info) plus the
+// <key>/run_duration_us histogram into the global registry.
+void TraceModuleStart(const char* key, SimTime now);
+void RecordModuleReport(const char* key, const ExplorerReport& report);
+
 }  // namespace fremont
 
 #endif  // SRC_EXPLORER_EXPLORER_H_

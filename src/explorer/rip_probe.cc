@@ -3,6 +3,7 @@
 #include <set>
 
 #include "src/net/udp.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/logging.h"
 
 namespace fremont {
@@ -28,6 +29,7 @@ ExplorerReport RipProbe::Run() {
   ExplorerReport report;
   report.module = "RIPprobe";
   report.started = vantage_->Now();
+  TraceModuleStart("ripprobe", report.started);
 
   std::vector<Ipv4Address> targets = params_.targets;
   if (targets.empty()) {
@@ -140,7 +142,11 @@ ExplorerReport RipProbe::Run() {
   report.finished = vantage_->Now();
   if (!silent_.empty()) {
     FLOG(kInfo) << "ripprobe: " << silent_.size() << " target(s) did not answer";
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("ripprobe/timeouts")
+        ->Add(static_cast<int64_t>(silent_.size()));
   }
+  RecordModuleReport("ripprobe", report);
   return report;
 }
 

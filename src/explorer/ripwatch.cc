@@ -174,6 +174,7 @@ int RipWatch::WriteFindings(int* new_info_out) {
 }
 
 ExplorerReport RipWatch::Run(Duration duration) {
+  TraceModuleStart("ripwatch", vantage_->Now());
   Start();
   vantage_->events()->RunFor(duration);
   Stop();
@@ -186,6 +187,7 @@ ExplorerReport RipWatch::Run(Duration duration) {
   report.records_written = WriteFindings(&report.new_info);
   report.discovered = subnets_seen();
   report.finished = vantage_->Now();
+  RecordModuleReport("ripwatch", report);
   return report;
 }
 

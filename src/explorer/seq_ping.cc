@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/util/logging.h"
 
 namespace fremont {
@@ -16,10 +18,12 @@ ExplorerReport SeqPing::Run() {
   ExplorerReport report;
   report.module = "SeqPing";
   report.started = vantage_->Now();
+  TraceModuleStart("seqping", report.started);
 
   Interface* iface = vantage_->primary_interface();
   if (iface == nullptr) {
     report.finished = vantage_->Now();
+    RecordModuleReport("seqping", report);
     return report;
   }
   const Subnet subnet = iface->AttachedSubnet();
@@ -42,6 +46,11 @@ ExplorerReport SeqPing::Run() {
     if (message.type == IcmpType::kEchoReply && message.identifier == kPingIdent) {
       replied.insert(packet.src.value());
       ++report.replies_received;
+      auto& tracer = telemetry::Tracer::Global();
+      if (tracer.enabled()) {
+        tracer.Record(vantage_->Now(), telemetry::TraceEventKind::kReplyMatched, "seqping",
+                      packet.src.ToString());
+      }
     }
   });
 
@@ -86,6 +95,15 @@ ExplorerReport SeqPing::Run() {
   report.discovered = static_cast<int>(replied.size());
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.finished = vantage_->Now();
+  // Addresses that stayed silent through both passes timed out.
+  uint64_t silent = 0;
+  for (const Ipv4Address target : targets) {
+    if (!replied.contains(target.value())) {
+      ++silent;
+    }
+  }
+  telemetry::MetricsRegistry::Global().GetCounter("seqping/timeouts")->Add(silent);
+  RecordModuleReport("seqping", report);
   return report;
 }
 

@@ -3,6 +3,7 @@
 #include "src/net/dns.h"
 #include "src/net/rip.h"
 #include "src/net/udp.h"
+#include "src/telemetry/metrics.h"
 
 namespace fremont {
 namespace {
@@ -97,6 +98,7 @@ ExplorerReport ServiceProbe::Run() {
   ExplorerReport report;
   report.module = "ServiceProbe";
   report.started = vantage_->Now();
+  TraceModuleStart("serviceprobe", report.started);
   const uint64_t sent_before = vantage_->packets_sent();
 
   std::vector<Ipv4Address> targets = params_.targets;
@@ -108,6 +110,7 @@ ExplorerReport ServiceProbe::Run() {
     }
   }
 
+  int64_t timeouts = 0;
   for (const Ipv4Address target : targets) {
     uint16_t found_mask = 0;
     for (KnownService service : params_.services) {
@@ -116,6 +119,11 @@ ExplorerReport ServiceProbe::Run() {
       if (verdict == Verdict::kPresent) {
         found_mask |= ServiceBit(service);
         ++services_found_;
+        ++report.replies_received;
+      } else if (verdict == Verdict::kAbsent) {
+        ++report.replies_received;  // Port unreachable is still a reply.
+      } else {
+        ++timeouts;
       }
     }
     if (found_mask != 0) {
@@ -130,9 +138,13 @@ ExplorerReport ServiceProbe::Run() {
     }
   }
 
+  if (timeouts > 0) {
+    telemetry::MetricsRegistry::Global().GetCounter("serviceprobe/timeouts")->Add(timeouts);
+  }
   report.discovered = services_found_;
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.finished = vantage_->Now();
+  RecordModuleReport("serviceprobe", report);
   return report;
 }
 

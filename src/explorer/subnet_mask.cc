@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "src/telemetry/metrics.h"
+
 namespace fremont {
 namespace {
 constexpr uint16_t kMaskIdent = 0x4d53;
@@ -15,6 +17,7 @@ ExplorerReport SubnetMaskExplorer::Run() {
   ExplorerReport report;
   report.module = "SubnetMasks";
   report.started = vantage_->Now();
+  TraceModuleStart("subnetmasks", report.started);
 
   std::vector<Ipv4Address> targets = params_.targets;
   if (targets.empty()) {
@@ -90,6 +93,17 @@ ExplorerReport SubnetMaskExplorer::Run() {
   }
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.finished = vantage_->Now();
+  uint64_t silent = 0;
+  for (const Ipv4Address target : targets) {
+    if (!replies.contains(target.value())) {
+      ++silent;
+    }
+  }
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry.GetCounter("subnetmasks/timeouts")->Add(silent);
+  registry.GetCounter("subnetmasks/negative_cache_skips")
+      ->Add(static_cast<uint64_t>(skipped_ > 0 ? skipped_ : 0));
+  RecordModuleReport("subnetmasks", report);
   return report;
 }
 

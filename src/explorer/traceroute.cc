@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "src/net/udp.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace fremont {
 
@@ -29,6 +32,7 @@ ExplorerReport Traceroute::Run() {
   ExplorerReport report;
   report.module = "Traceroute";
   report.started = vantage_->Now();
+  TraceModuleStart("traceroute", report.started);
 
   targets_ = params_.targets;
   if (targets_.empty()) {
@@ -46,6 +50,7 @@ ExplorerReport Traceroute::Run() {
   }
   if (targets_.empty()) {
     report.finished = vantage_->Now();
+    RecordModuleReport("traceroute", report);
     return report;
   }
 
@@ -107,6 +112,7 @@ ExplorerReport Traceroute::Run() {
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.replies_received = replies_;
   report.finished = vantage_->Now();
+  RecordModuleReport("traceroute", report);
   return report;
 }
 
@@ -168,6 +174,7 @@ void Traceroute::AdvanceAfterTimeout(size_t trace_index, int ttl, int attempt) {
   if (trace.done || trace.current_ttl != ttl) {
     return;
   }
+  telemetry::MetricsRegistry::Global().GetCounter("traceroute/timeouts")->Increment();
   if (attempt + 1 < params_.attempts_per_hop) {
     // Retry this TTL.
     ready_.push_back(trace_index);
@@ -219,6 +226,11 @@ void Traceroute::OnIcmp(const Ipv4Packet& packet, const IcmpMessage& message) {
   const Outstanding probe = it->second;
   outstanding_.erase(it);
   ++replies_;
+  auto& tracer = telemetry::Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.Record(vantage_->Now(), telemetry::TraceEventKind::kReplyMatched, "traceroute",
+                  StringPrintf("ttl=%d hop=%s", probe.ttl, packet.src.ToString().c_str()));
+  }
 
   AddressTrace& trace = traces_[probe.trace_index];
   if (trace.done) {

@@ -1,14 +1,24 @@
 #include "src/journal/client.h"
 
+#include "src/telemetry/metrics.h"
+
 namespace fremont {
 
 JournalResponse JournalClient::RoundTrip(const JournalRequest& request) {
   ++requests_sent_;
-  ByteBuffer response_bytes = transport_(request.Encode());
+  ByteBuffer request_bytes = request.Encode();
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.GetCounter("journal_client/requests")->Increment();
+  metrics.GetCounter("journal_client/bytes_sent")
+      ->Add(static_cast<int64_t>(request_bytes.size()));
+  ByteBuffer response_bytes = transport_(request_bytes);
+  metrics.GetCounter("journal_client/bytes_received")
+      ->Add(static_cast<int64_t>(response_bytes.size()));
   auto response = JournalResponse::Decode(response_bytes);
   if (!response.has_value()) {
     JournalResponse bad;
     bad.status = ResponseStatus::kMalformedRequest;
+    metrics.GetCounter("journal_client/decode_failures")->Increment();
     return bad;
   }
   return *response;

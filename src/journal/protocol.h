@@ -38,6 +38,33 @@ enum class RequestType : uint8_t {
   kGetStats = 10,
 };
 
+// Stable lowercase name for telemetry keys and trace details.
+inline const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kStoreInterface:
+      return "store_interface";
+    case RequestType::kStoreGateway:
+      return "store_gateway";
+    case RequestType::kStoreSubnet:
+      return "store_subnet";
+    case RequestType::kGetInterfaces:
+      return "get_interfaces";
+    case RequestType::kGetGateways:
+      return "get_gateways";
+    case RequestType::kGetSubnets:
+      return "get_subnets";
+    case RequestType::kDeleteInterface:
+      return "delete_interface";
+    case RequestType::kDeleteGateway:
+      return "delete_gateway";
+    case RequestType::kDeleteSubnet:
+      return "delete_subnet";
+    case RequestType::kGetStats:
+      return "get_stats";
+  }
+  return "unknown";
+}
+
 // Selection criteria for Get requests.
 struct Selector {
   enum class Kind : uint8_t {

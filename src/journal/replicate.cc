@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/telemetry/metrics.h"
+
 namespace fremont {
 
 ReplicationStats ReplicationPeer::Pull(JournalClient& local) {
@@ -66,8 +68,18 @@ ReplicationStats ReplicationPeer::Pull(JournalClient& local) {
     }
   }
 
+  // Lag between consecutive pulls: how stale this site was just before the
+  // pull, measured by the newest remote change it had been missing.
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  if (ever_synced_ && newest > last_sync_) {
+    metrics.GetGauge("journal_replication/lag_us")->Set((newest - last_sync_).ToMicros());
+  }
   last_sync_ = newest;
   ever_synced_ = true;
+  metrics.GetCounter("journal_replication/pulls")->Increment();
+  metrics.GetCounter("journal_replication/records_pulled")
+      ->Add(stats.interfaces_pulled + stats.gateways_pulled + stats.subnets_pulled);
+  metrics.GetCounter("journal_replication/new_or_changed")->Add(stats.new_or_changed);
   return stats;
 }
 

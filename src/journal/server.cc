@@ -1,5 +1,9 @@
 #include "src/journal/server.h"
 
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/util/logging.h"
 
 namespace fremont {
@@ -24,24 +28,40 @@ void JournalServer::MaybeCheckpoint() {
   if (now - last_checkpoint_ >= checkpoint_interval_) {
     journal_.SaveToFile(checkpoint_path_);
     last_checkpoint_ = now;
+    telemetry::MetricsRegistry::Global().GetCounter("journal_server/checkpoints")->Increment();
   }
 }
 
 ByteBuffer JournalServer::HandleRequest(const ByteBuffer& request_bytes) {
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.GetCounter("journal_server/bytes_in")
+      ->Add(static_cast<int64_t>(request_bytes.size()));
   auto request = JournalRequest::Decode(request_bytes);
   if (!request.has_value()) {
+    metrics.GetCounter("journal_server/malformed_requests")->Increment();
     JournalResponse resp;
     resp.status = ResponseStatus::kMalformedRequest;
     return resp.Encode();
   }
   JournalResponse resp = Handle(*request);
   MaybeCheckpoint();
-  return resp.Encode();
+  ByteBuffer response_bytes = resp.Encode();
+  metrics.GetCounter("journal_server/bytes_out")
+      ->Add(static_cast<int64_t>(response_bytes.size()));
+  return response_bytes;
 }
 
 JournalResponse JournalServer::Handle(const JournalRequest& request) {
   ++requests_handled_;
   const SimTime now = clock_();
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.GetCounter(std::string("journal_server/ops_") + RequestTypeName(request.type))
+      ->Increment();
+  auto& tracer = telemetry::Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.Record(now, telemetry::TraceEventKind::kJournalRpc, "journal_server",
+                  RequestTypeName(request.type));
+  }
   JournalResponse resp;
 
   switch (request.type) {
@@ -148,6 +168,24 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
       resp.subnet_count = static_cast<uint32_t>(stats.subnet_count);
       break;
     }
+  }
+
+  const bool is_store = request.type == RequestType::kStoreInterface ||
+                        request.type == RequestType::kStoreGateway ||
+                        request.type == RequestType::kStoreSubnet;
+  if (is_store && resp.status == ResponseStatus::kOk) {
+    if (resp.created) {
+      metrics.GetCounter("journal_server/records_created")->Increment();
+    } else if (resp.changed) {
+      metrics.GetCounter("journal_server/records_changed")->Increment();
+    }
+    const JournalStats stats = journal_.Stats();
+    metrics.GetGauge("journal_server/interface_records")
+        ->Set(static_cast<int64_t>(stats.interface_count));
+    metrics.GetGauge("journal_server/gateway_records")
+        ->Set(static_cast<int64_t>(stats.gateway_count));
+    metrics.GetGauge("journal_server/subnet_records")
+        ->Set(static_cast<int64_t>(stats.subnet_count));
   }
   return resp;
 }

@@ -3,9 +3,13 @@
 #include <map>
 #include <set>
 
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+#include "src/util/string_util.h"
+
 namespace fremont {
 
-CorrelationReport Correlate(JournalClient& journal, int assumed_prefix) {
+CorrelationReport Correlate(JournalClient& journal, int assumed_prefix, SimTime now) {
   CorrelationReport report;
   const auto interfaces = journal.GetInterfaces();
   const auto subnets = journal.GetSubnets();
@@ -56,6 +60,17 @@ CorrelationReport Correlate(JournalClient& journal, int assumed_prefix) {
     if (rec.gateway_ids.empty()) {
       report.subnets_without_gateway.push_back(rec.subnet);
     }
+  }
+
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.GetCounter("correlate/passes")->Increment();
+  metrics.GetCounter("correlate/gateways_inferred")->Add(report.gateways_inferred_from_mac);
+  auto& tracer = telemetry::Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.Record(now, telemetry::TraceEventKind::kCorrelationPass, "correlate",
+                  StringPrintf("gateways_inferred=%d orphan_subnets=%d",
+                               report.gateways_inferred_from_mac,
+                               static_cast<int>(report.subnets_without_gateway.size())));
   }
   return report;
 }

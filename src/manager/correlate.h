@@ -31,7 +31,10 @@ struct CorrelationReport {
 
 // Reads the Journal, writes inferred gateways back, returns directives.
 // `assumed_prefix` is used when an interface has no recorded mask yet.
-CorrelationReport Correlate(JournalClient& journal, int assumed_prefix = 24);
+// `now` stamps the telemetry trace event for this pass; callers inside the
+// simulation should pass the current sim time.
+CorrelationReport Correlate(JournalClient& journal, int assumed_prefix = 24,
+                            SimTime now = SimTime::Epoch());
 
 }  // namespace fremont
 

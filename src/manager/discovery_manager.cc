@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace fremont {
 
@@ -77,10 +80,32 @@ void DiscoveryManager::RunModule(ModuleState& state, std::vector<ExplorerReport>
   // knows is the paper's "that was true before the module was last invoked"
   // case: it must not shorten the interval.
   ModuleSchedule& sched = state.schedule;
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.GetCounter("manager/module_runs")->Increment();
+  metrics
+      .GetHistogram("manager/fruitfulness",
+                    {0, 1, 2, 5, 10, 20, 50, 100})
+      ->Observe(std::max(0, report.new_info));
+  const Duration before_interval = sched.current_interval;
   if (report.new_info > 0) {
     sched.current_interval = std::max(sched.min_interval, sched.current_interval / 2);
   } else {
     sched.current_interval = std::min(sched.max_interval, sched.current_interval * 2);
+  }
+  if (sched.current_interval < before_interval) {
+    metrics.GetCounter("manager/interval_shortened")->Increment();
+  } else if (sched.current_interval > before_interval) {
+    metrics.GetCounter("manager/interval_lengthened")->Increment();
+  } else {
+    metrics.GetCounter("manager/interval_held")->Increment();
+  }
+  auto& tracer = telemetry::Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.Record(events_->Now(), telemetry::TraceEventKind::kScheduleDecision,
+                  sched.name,
+                  StringPrintf("new_info=%d interval %s -> %s", report.new_info,
+                               before_interval.ToString().c_str(),
+                               sched.current_interval.ToString().c_str()));
   }
   sched.last_discovered = report.discovered;
   sched.last_run = events_->Now();
@@ -89,6 +114,7 @@ void DiscoveryManager::RunModule(ModuleState& state, std::vector<ExplorerReport>
 
 std::vector<ExplorerReport> DiscoveryManager::Tick() {
   std::vector<ExplorerReport> reports;
+  telemetry::MetricsRegistry::Global().GetCounter("manager/ticks")->Increment();
   const SimTime now = events_->Now();
   for (auto& state : modules_) {
     if (state.schedule.NextDue() <= now) {

@@ -1,9 +1,11 @@
 #include "src/present/views.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <map>
 
 #include "src/net/oui.h"
+#include "src/telemetry/export.h"
 #include "src/util/string_util.h"
 
 namespace fremont {
@@ -216,6 +218,15 @@ std::string ExportGraphvizDot(const std::vector<GatewayRecord>& gateways,
     }
   }
   out += "}\n";
+  return out;
+}
+
+std::string RuntimeStatisticsView() {
+  std::string out = "=== Runtime statistics ===\n";
+  out += telemetry::ExportText();
+  const auto& tracer = telemetry::Tracer::Global();
+  out += StringPrintf("--- trace ring: %" PRIu64 " recorded, %" PRIu64 " dropped (capacity %zu) ---\n",
+                      tracer.recorded_count(), tracer.dropped_count(), tracer.capacity());
   return out;
 }
 

@@ -50,6 +50,11 @@ std::string ExportGraphvizDot(const std::vector<GatewayRecord>& gateways,
 // of the discovered interface"). Sorted by count, descending.
 std::string VendorInventory(const std::vector<InterfaceRecord>& interfaces);
 
+// Runtime statistics: the telemetry registry rendered as an operator-facing
+// view — per-module probe/yield counts, Journal server load, scheduler
+// adaptation — next to the data views above.
+std::string RuntimeStatisticsView();
+
 }  // namespace fremont
 
 #endif  // SRC_PRESENT_VIEWS_H_

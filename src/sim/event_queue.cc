@@ -4,11 +4,21 @@
 
 namespace fremont {
 
+EventQueue::EventQueue() {
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  events_dispatched_ = metrics.GetCounter("sim/events_dispatched");
+  queue_depth_high_water_ = metrics.GetGauge("sim/queue_depth_high_water");
+}
+
 void EventQueue::ScheduleAt(SimTime when, Action action) {
   if (when < now_) {
     when = now_;
   }
   queue_.push(Entry{when, next_seq_++, std::move(action)});
+  const int64_t depth = static_cast<int64_t>(queue_.size());
+  if (depth > queue_depth_high_water_->value()) {
+    queue_depth_high_water_->Set(depth);
+  }
 }
 
 bool EventQueue::Step() {
@@ -22,6 +32,7 @@ bool EventQueue::Step() {
   queue_.pop();
   now_ = entry.when;
   ++executed_;
+  events_dispatched_->Increment();
   entry.action();
   return true;
 }

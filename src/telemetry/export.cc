@@ -1,0 +1,140 @@
+#include "src/telemetry/export.h"
+
+#include <cinttypes>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace fremont::telemetry {
+namespace {
+
+void AppendHistogramJson(std::string* out, const Histogram& histogram) {
+  *out += StringPrintf("{\"count\": %" PRIu64 ", \"sum\": %" PRId64 ", \"min\": %" PRId64
+                       ", \"max\": %" PRId64 ", \"buckets\": [",
+                       histogram.count(), histogram.sum(), histogram.min(), histogram.max());
+  const auto& bounds = histogram.bounds();
+  const auto& counts = histogram.bucket_counts();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i > 0) {
+      *out += ", ";
+    }
+    if (i < bounds.size()) {
+      *out += StringPrintf("{\"le\": %" PRId64 ", \"count\": %" PRIu64 "}", bounds[i], counts[i]);
+    } else {
+      *out += StringPrintf("{\"le\": \"inf\", \"count\": %" PRIu64 "}", counts[i]);
+    }
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+void SyncExternalCounters(MetricsRegistry& registry) {
+  registry.GetCounter("log/warnings")->Set(Logging::warning_count());
+  registry.GetCounter("log/errors")->Set(Logging::error_count());
+}
+
+std::string ExportText(MetricsRegistry& registry) {
+  SyncExternalCounters(registry);
+  std::string out = "=== telemetry ===\n";
+  out += StringPrintf("--- %zu counters ---\n", registry.counters().size());
+  for (const auto& [name, counter] : registry.counters()) {
+    out += StringPrintf("  %-44s %12" PRIu64 "\n", name.c_str(), counter.value());
+  }
+  out += StringPrintf("--- %zu gauges ---\n", registry.gauges().size());
+  for (const auto& [name, gauge] : registry.gauges()) {
+    out += StringPrintf("  %-44s %12" PRId64 "  (max %" PRId64 ")\n", name.c_str(), gauge.value(),
+                        gauge.max_value());
+  }
+  out += StringPrintf("--- %zu histograms ---\n", registry.histograms().size());
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const double mean = histogram.count() > 0
+                            ? static_cast<double>(histogram.sum()) /
+                                  static_cast<double>(histogram.count())
+                            : 0.0;
+    out += StringPrintf("  %-44s count=%-8" PRIu64 " min=%-10" PRId64 " mean=%-12.1f max=%" PRId64
+                        "\n",
+                        name.c_str(), histogram.count(), histogram.min(), mean, histogram.max());
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ExportJson(MetricsRegistry& registry, const Tracer& tracer,
+                       size_t max_trace_events) {
+  SyncExternalCounters(registry);
+  std::string out;
+  out += StringPrintf("{\"schema\": \"%s\",\n \"counters\": {", kJsonSchemaName);
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    out += StringPrintf("%s\"%s\": %" PRIu64, first ? "" : ", ", JsonEscape(name).c_str(),
+                        counter.value());
+    first = false;
+  }
+  out += "},\n \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    out += StringPrintf("%s\"%s\": {\"value\": %" PRId64 ", \"max\": %" PRId64 "}",
+                        first ? "" : ", ", JsonEscape(name).c_str(), gauge.value(),
+                        gauge.max_value());
+    first = false;
+  }
+  out += "},\n \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : registry.histograms()) {
+    out += StringPrintf("%s\"%s\": ", first ? "" : ", ", JsonEscape(name).c_str());
+    AppendHistogramJson(&out, histogram);
+    first = false;
+  }
+  out += StringPrintf("},\n \"trace\": {\"capacity\": %zu, \"recorded\": %" PRIu64
+                      ", \"dropped\": %" PRIu64,
+                      tracer.capacity(), tracer.recorded_count(), tracer.dropped_count());
+  if (max_trace_events > 0) {
+    out += ", \"events\": [";
+    auto events = tracer.Events();
+    const size_t start = events.size() > max_trace_events ? events.size() - max_trace_events : 0;
+    for (size_t i = start; i < events.size(); ++i) {
+      const TraceEvent& event = events[i];
+      out += StringPrintf("%s\n  {\"at_us\": %" PRId64
+                          ", \"kind\": \"%s\", \"module\": \"%s\", \"detail\": \"%s\"}",
+                          i == start ? "" : ",", event.at.ToMicros(),
+                          TraceEventKindName(event.kind), JsonEscape(event.module).c_str(),
+                          JsonEscape(event.detail).c_str());
+    }
+    out += "]";
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace fremont::telemetry

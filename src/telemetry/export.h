@@ -1,0 +1,47 @@
+// Telemetry exporters: human-readable text and stable JSON.
+//
+// The JSON schema ("fremont.telemetry.v1") is a compatibility surface:
+// fremont_report --telemetry prints it, the bench binaries embed it in their
+// BENCH_*.json result files, and tests/telemetry_test.cc pins its shape.
+// Keys are emitted in sorted order (the registry's std::map order), so equal
+// telemetry state always serializes to identical bytes.
+
+#ifndef SRC_TELEMETRY_EXPORT_H_
+#define SRC_TELEMETRY_EXPORT_H_
+
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace fremont::telemetry {
+
+inline constexpr char kJsonSchemaName[] = "fremont.telemetry.v1";
+
+// Copies tallies kept outside the registry (Logging's warning/error counts)
+// into it as "log/..." counters. Both exporters call this first, so exported
+// documents always carry them.
+void SyncExternalCounters(MetricsRegistry& registry);
+
+// Aligned-column dump of every instrument, for terminals and logs.
+std::string ExportText(MetricsRegistry& registry = MetricsRegistry::Global());
+
+// The stable JSON document:
+//   {"schema": "fremont.telemetry.v1",
+//    "counters": {name: value, ...},
+//    "gauges": {name: {"value": v, "max": m}, ...},
+//    "histograms": {name: {"count": n, "sum": s, "min": lo, "max": hi,
+//                          "buckets": [{"le": bound|"inf", "count": c}, ...]}, ...},
+//    "trace": {"capacity": n, "recorded": n, "dropped": n,
+//              "events": [{"at_us": t, "kind": k, "module": m, "detail": d}, ...]}}
+// `max_trace_events` bounds the embedded trace tail (0 = omit the events
+// array entirely, keeping just the ring statistics).
+std::string ExportJson(MetricsRegistry& registry = MetricsRegistry::Global(),
+                       const Tracer& tracer = Tracer::Global(), size_t max_trace_events = 256);
+
+// JSON string escaping (exposed for the bench result writers).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace fremont::telemetry
+
+#endif  // SRC_TELEMETRY_EXPORT_H_

@@ -1,0 +1,69 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace fremont::telemetry {
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  bucket_counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(int64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++bucket_counts_[static_cast<size_t>(it - bounds_.begin())];
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (count_ == 0 || value > max_) {
+    max_ = value;
+  }
+  sum_ += value;
+  ++count_;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) { return &counters_[name]; }
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) { return &gauges_[name]; }
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, std::vector<int64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  }
+  return &it->second;
+}
+
+void Histogram::Reset() {
+  bucket_counts_.assign(bounds_.size() + 1, 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, counter] : counters_) {
+    (void)name;
+    counter.Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    (void)name;
+    gauge.Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    (void)name;
+    histogram.Reset();
+  }
+}
+
+std::vector<int64_t> DurationBucketsMicros() {
+  return {1000,        10000,      100000,      1000000,
+          10000000,    60000000,   600000000,   3600000000LL};
+}
+
+}  // namespace fremont::telemetry

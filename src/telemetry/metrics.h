@@ -1,0 +1,119 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms.
+//
+// Every subsystem (the Explorer Modules, the Journal client and server, the
+// Discovery Manager, the simulator's event queue) registers its metrics here
+// under a "<module>/<metric>" name, e.g. "seqping/packets_sent" or
+// "journal_server/ops_store_interface". Instruments are plain integer
+// updates with no locking — the simulator is single-threaded by design, and
+// hot paths cache the instrument pointer so the name lookup happens once.
+//
+// Exporters (src/telemetry/export.h) walk the registry to produce the text
+// dump and the stable JSON document consumed by fremont_report --telemetry.
+
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fremont::telemetry {
+
+// Monotonic event count. Set() exists only to import snapshots taken by
+// subsystems that keep their own tallies (e.g. Logging's warning count).
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(uint64_t delta) { value_ += delta; }
+  void Set(uint64_t value) { value_ = value; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time level (queue depth, record count). Tracks its high-water
+// mark so a one-shot export still shows the peak.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_ = value;
+    if (value > max_value_) {
+      max_value_ = value;
+    }
+  }
+  void Add(int64_t delta) { Set(value_ + delta); }
+  int64_t value() const { return value_; }
+  int64_t max_value() const { return max_value_; }
+  void Reset() { value_ = max_value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+  int64_t max_value_ = 0;
+};
+
+// Fixed-bucket histogram. Bucket i counts observations with
+// value <= bounds[i]; one implicit overflow bucket counts the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return min_; }
+  int64_t max() const { return max_; }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  // bucket_counts().size() == bounds().size() + 1 (last is overflow).
+  const std::vector<uint64_t>& bucket_counts() const { return bucket_counts_; }
+  void Reset();
+
+ private:
+  std::vector<int64_t> bounds_;
+  std::vector<uint64_t> bucket_counts_;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+// Name-keyed instrument store. Returned pointers stay valid until Reset():
+// hot paths fetch once and increment through the pointer.
+class MetricsRegistry {
+ public:
+  // The process-wide registry everything instruments against by default.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // The first caller fixes the bucket bounds; later calls with the same name
+  // return the existing histogram regardless of `bounds`.
+  Histogram* GetHistogram(const std::string& name, std::vector<int64_t> bounds);
+
+  // Ordered iteration for the exporters (std::map keeps names sorted, which
+  // is what makes the JSON export stable).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  // Zeroes every instrument in place (tests; fresh measurement windows).
+  // Previously returned pointers remain valid — hot paths that cached an
+  // instrument keep writing to the same, now-zeroed cell.
+  void Reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+// Duration bucket bounds shared by the per-module run-time histograms
+// (microseconds: 1ms, 10ms, 100ms, 1s, 10s, 1m, 10m, 1h).
+std::vector<int64_t> DurationBucketsMicros();
+
+}  // namespace fremont::telemetry
+
+#endif  // SRC_TELEMETRY_METRICS_H_

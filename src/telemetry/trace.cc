@@ -1,0 +1,68 @@
+#include "src/telemetry/trace.h"
+
+namespace fremont::telemetry {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kModuleRunStart:
+      return "module_run_start";
+    case TraceEventKind::kModuleRunEnd:
+      return "module_run_end";
+    case TraceEventKind::kProbeSent:
+      return "probe_sent";
+    case TraceEventKind::kReplyMatched:
+      return "reply_matched";
+    case TraceEventKind::kJournalRpc:
+      return "journal_rpc";
+    case TraceEventKind::kCorrelationPass:
+      return "correlation_pass";
+    case TraceEventKind::kScheduleDecision:
+      return "schedule_decision";
+  }
+  return "?";
+}
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer(size_t capacity) { ring_.resize(capacity == 0 ? 1 : capacity); }
+
+void Tracer::Record(SimTime at, TraceEventKind kind, std::string module, std::string detail) {
+  if (!enabled_) {
+    return;
+  }
+  TraceEvent& slot = ring_[next_];
+  slot.at = at;
+  slot.kind = kind;
+  slot.module = std::move(module);
+  slot.detail = std::move(detail);
+  next_ = (next_ + 1) % ring_.size();
+  ++recorded_;
+  if (sink_) {
+    sink_(slot);
+  }
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  const size_t retained = recorded_ < ring_.size() ? static_cast<size_t>(recorded_) : ring_.size();
+  out.reserve(retained);
+  // Oldest retained event: `next_` once wrapped, slot 0 before that.
+  const size_t start = recorded_ < ring_.size() ? 0 : next_;
+  for (size_t i = 0; i < retained; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  for (auto& slot : ring_) {
+    slot = TraceEvent{};
+  }
+  next_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace fremont::telemetry

@@ -1,0 +1,86 @@
+// Probe tracer: span-like structured events over the discovery pipeline.
+//
+// Where the metrics registry answers "how many", the tracer answers "in what
+// order, and when (sim-time)": module run start/end, individual probes and
+// matched replies, Journal RPCs, correlation passes, schedule decisions.
+// Events land in a fixed-capacity ring buffer (old events are overwritten —
+// the tail of a long run is what debugging needs) and, optionally, in a
+// pluggable sink for live streaming.
+
+#ifndef SRC_TELEMETRY_TRACE_H_
+#define SRC_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace fremont::telemetry {
+
+enum class TraceEventKind : uint8_t {
+  kModuleRunStart = 0,
+  kModuleRunEnd = 1,
+  kProbeSent = 2,
+  kReplyMatched = 3,
+  kJournalRpc = 4,
+  kCorrelationPass = 5,
+  kScheduleDecision = 6,
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  SimTime at;
+  TraceEventKind kind = TraceEventKind::kModuleRunStart;
+  std::string module;  // Metric-family key, e.g. "seqping", "journal_client".
+  std::string detail;  // Free-form: target address, op name, decision.
+};
+
+class Tracer {
+ public:
+  using Sink = std::function<void(const TraceEvent&)>;
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  // The process-wide tracer everything records into by default.
+  static Tracer& Global();
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  void Record(SimTime at, TraceEventKind kind, std::string module, std::string detail = "");
+
+  // Disabled tracers drop events at the call site (per-probe recording in a
+  // large sweep is the hot case).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Replaces the streaming sink; pass nullptr to remove it. The ring buffer
+  // keeps recording either way.
+  void SetSink(Sink sink) { sink_ = std::move(sink); }
+
+  size_t capacity() const { return ring_.size(); }
+  // Total events ever recorded (>= Events().size() once the ring wraps).
+  uint64_t recorded_count() const { return recorded_; }
+  uint64_t dropped_count() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+
+  // The retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  // Empties the ring buffer and zeroes the recorded count.
+  void Clear();
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;      // Ring slot the next event lands in.
+  uint64_t recorded_ = 0;
+  Sink sink_;
+};
+
+}  // namespace fremont::telemetry
+
+#endif  // SRC_TELEMETRY_TRACE_H_

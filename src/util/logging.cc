@@ -7,9 +7,12 @@ namespace {
 
 LogLevel g_min_level = LogLevel::kWarning;
 Logging::Sink g_sink;
+Logging::Clock g_clock;
+uint64_t g_warning_count = 0;
+uint64_t g_error_count = 0;
 
-void DefaultSink(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+void DefaultSink(LogLevel, const std::string& line) {
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace
@@ -34,15 +37,41 @@ LogLevel Logging::min_level() { return g_min_level; }
 
 void Logging::SetSink(Sink sink) { g_sink = std::move(sink); }
 
+void Logging::SetClock(Clock clock) { g_clock = std::move(clock); }
+
+std::string Logging::Format(LogLevel level, const std::string& message) {
+  std::string line = "[";
+  line += LogLevelName(level);
+  line += "] ";
+  if (g_clock) {
+    line += g_clock().ToString();
+    line += " ";
+  }
+  line += message;
+  return line;
+}
+
 void Logging::Emit(LogLevel level, const std::string& message) {
   if (level < g_min_level) {
     return;
   }
+  if (level == LogLevel::kWarning) {
+    ++g_warning_count;
+  } else if (level == LogLevel::kError) {
+    ++g_error_count;
+  }
+  const std::string line = Format(level, message);
   if (g_sink) {
-    g_sink(level, message);
+    g_sink(level, line);
   } else {
-    DefaultSink(level, message);
+    DefaultSink(level, line);
   }
 }
+
+uint64_t Logging::warning_count() { return g_warning_count; }
+
+uint64_t Logging::error_count() { return g_error_count; }
+
+void Logging::ResetCounts() { g_warning_count = g_error_count = 0; }
 
 }  // namespace fremont

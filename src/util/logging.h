@@ -2,13 +2,21 @@
 //
 // Explorer Modules and the Journal Server log their activity through this
 // sink. Tests capture log output by swapping the sink; benchmarks silence it.
+//
+// Emit formats the per-message metadata — "[LEVEL] " plus, when a clock is
+// installed, the sim-time prefix "T+… " — exactly once and hands the
+// finished line to the sink, so every sink (and every captured test line)
+// sees identical formatting without repeating it.
 
 #ifndef SRC_UTIL_LOGGING_H_
 #define SRC_UTIL_LOGGING_H_
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
+
+#include "src/util/sim_time.h"
 
 namespace fremont {
 
@@ -20,13 +28,27 @@ const char* LogLevelName(LogLevel level);
 // is single-threaded (a discrete event loop), as was the 1993 prototype.
 class Logging {
  public:
+  // The string is the fully formatted line (metadata already applied).
   using Sink = std::function<void(LogLevel, const std::string&)>;
+  using Clock = std::function<SimTime()>;
 
   static void SetMinLevel(LogLevel level);
   static LogLevel min_level();
   // Replaces the output sink; pass nullptr to restore the default (stderr).
   static void SetSink(Sink sink);
+  // Installs a sim-time source for the "T+…" prefix; nullptr removes it.
+  static void SetClock(Clock clock);
   static void Emit(LogLevel level, const std::string& message);
+
+  // Builds the formatted line Emit hands to the sink (exposed for tests).
+  static std::string Format(LogLevel level, const std::string& message);
+
+  // Running totals of emitted (not suppressed) messages by severity; the
+  // telemetry exporter publishes these as the log/warnings and log/errors
+  // counters.
+  static uint64_t warning_count();
+  static uint64_t error_count();
+  static void ResetCounts();
 };
 
 namespace log_internal {

@@ -1,0 +1,96 @@
+// Tests for the logging layer: level filtering, sink contract (fully
+// formatted lines), the sim-time clock prefix, and the severity tallies the
+// telemetry exporter imports.
+
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fremont {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_min_level_ = Logging::min_level();
+    Logging::SetSink([this](LogLevel level, const std::string& line) {
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+    Logging::ResetCounts();
+  }
+
+  void TearDown() override {
+    Logging::SetSink(nullptr);
+    Logging::SetClock(nullptr);
+    Logging::SetMinLevel(saved_min_level_);
+    Logging::ResetCounts();
+  }
+
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+  LogLevel saved_min_level_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, SetMinLevelRoundTrips) {
+  Logging::SetMinLevel(LogLevel::kDebug);
+  EXPECT_EQ(Logging::min_level(), LogLevel::kDebug);
+  Logging::SetMinLevel(LogLevel::kError);
+  EXPECT_EQ(Logging::min_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MinLevelSuppressesLowerSeverities) {
+  Logging::SetMinLevel(LogLevel::kWarning);
+  FLOG(kInfo) << "hidden";
+  FLOG(kWarning) << "shown";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(levels_[0], LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, SinkReceivesFormattedLine) {
+  Logging::SetMinLevel(LogLevel::kDebug);
+  FLOG(kError) << "disk on fire";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[ERROR] disk on fire");
+}
+
+TEST_F(LoggingTest, ClockAddsSimTimePrefix) {
+  Logging::SetMinLevel(LogLevel::kDebug);
+  const SimTime now = SimTime::FromMicros(90 * 1000000);
+  Logging::SetClock([now]() { return now; });
+  FLOG(kWarning) << "late";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[WARN] " + now.ToString() + " late");
+  Logging::SetClock(nullptr);
+  FLOG(kWarning) << "late";
+  EXPECT_EQ(lines_[1], "[WARN] late");
+}
+
+TEST_F(LoggingTest, FormatMatchesEmitOutput) {
+  Logging::SetMinLevel(LogLevel::kDebug);
+  FLOG(kInfo) << "x=1";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], Logging::Format(LogLevel::kInfo, "x=1"));
+}
+
+TEST_F(LoggingTest, CountsEmittedWarningsAndErrors) {
+  Logging::SetMinLevel(LogLevel::kWarning);
+  FLOG(kWarning) << "w1";
+  FLOG(kWarning) << "w2";
+  FLOG(kError) << "e1";
+  EXPECT_EQ(Logging::warning_count(), 2u);
+  EXPECT_EQ(Logging::error_count(), 1u);
+  // Suppressed messages are not counted: they never reached anyone.
+  Logging::SetMinLevel(LogLevel::kError);
+  FLOG(kWarning) << "suppressed";
+  EXPECT_EQ(Logging::warning_count(), 2u);
+  Logging::ResetCounts();
+  EXPECT_EQ(Logging::warning_count(), 0u);
+  EXPECT_EQ(Logging::error_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fremont

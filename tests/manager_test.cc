@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/explorer/explorer.h"
 #include "src/manager/correlate.h"
 #include "src/manager/discovery_manager.h"
 #include "src/manager/schedule.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace fremont {
 namespace {
@@ -221,6 +224,65 @@ TEST(DiscoveryManagerJournalTest, TracksJournalGrowthPerRun) {
   manager.RunFor(Duration::Hours(3));
   EXPECT_GE(run_index, 2);
   EXPECT_EQ(manager.modules()[0].last_journal_growth, 0);  // Only re-verification.
+}
+
+TEST_F(DiscoveryManagerTest, RunForPopulatesTelemetryCounters) {
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.Reset();
+  telemetry::Tracer::Global().Clear();
+
+  // A module that reports through the explorer-side telemetry hook, the way
+  // every real Explorer Module does.
+  ModuleRegistration reg;
+  reg.name = "faketelemetry";
+  reg.min_interval = Duration::Hours(2);
+  reg.max_interval = Duration::Days(7);
+  reg.run = [this]() {
+    ExplorerReport report;
+    report.module = "faketelemetry";
+    report.started = events_.Now();
+    report.packets_sent = 4;
+    report.replies_received = 2;
+    report.discovered = 1;
+    report.records_written = 1;
+    report.new_info = 1;
+    report.finished = events_.Now();
+    RecordModuleReport("faketelemetry", report);
+    ++total_runs_;
+    return report;
+  };
+  manager_.RegisterModule(std::move(reg));
+  AddFakeModule("plain", Duration::Hours(8), Duration::Days(4), {0});
+
+  manager_.RunFor(Duration::Days(2));
+  ASSERT_GT(total_runs_, 0);
+
+  // Manager-side counters cover every run; one adaptation decision per run.
+  EXPECT_EQ(metrics.GetCounter("manager/module_runs")->value(),
+            static_cast<uint64_t>(total_runs_));
+  EXPECT_GT(metrics.GetCounter("manager/ticks")->value(), 0u);
+  const uint64_t decisions = metrics.GetCounter("manager/interval_shortened")->value() +
+                             metrics.GetCounter("manager/interval_lengthened")->value() +
+                             metrics.GetCounter("manager/interval_held")->value();
+  EXPECT_EQ(decisions, static_cast<uint64_t>(total_runs_));
+  EXPECT_EQ(metrics.histograms().at("manager/fruitfulness").count(),
+            static_cast<uint64_t>(total_runs_));
+
+  // Module-side counters: nonzero runs and per-run yield for the module that
+  // reports through the hook.
+  EXPECT_GT(metrics.GetCounter("faketelemetry/runs")->value(), 0u);
+  EXPECT_GT(metrics.GetCounter("faketelemetry/packets_sent")->value(), 0u);
+  EXPECT_GT(metrics.GetCounter("faketelemetry/new_info")->value(), 0u);
+
+  // Every adaptation leaves a schedule-decision trace event.
+  bool saw_schedule_decision = false;
+  for (const auto& event : telemetry::Tracer::Global().Events()) {
+    if (event.kind == telemetry::TraceEventKind::kScheduleDecision) {
+      saw_schedule_decision = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_schedule_decision);
 }
 
 TEST(CorrelateTest, InfersGatewayFromSharedMac) {

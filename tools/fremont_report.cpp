@@ -12,9 +12,17 @@
 //   fremont_report <journal-file> problems
 //   fremont_report <journal-file> utilization
 //   fremont_report <journal-file> stats
+//   fremont_report <journal-file> --telemetry [telemetry-file]
+//
+// --telemetry prints the telemetry JSON document the discovery run exported
+// next to its checkpoint (examples/campus_discovery writes
+// fremont-telemetry.json into its output directory). The default path is
+// "fremont-telemetry.json" in the journal file's directory.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/analysis/conflicts.h"
@@ -24,6 +32,7 @@
 #include "src/analysis/utilization.h"
 #include "src/journal/journal.h"
 #include "src/present/views.h"
+#include "src/telemetry/export.h"
 
 using namespace fremont;
 
@@ -41,9 +50,39 @@ int Usage(const char* argv0) {
                "  utilization                 subnet occupancy report\n"
                "  route <from/prefix> <to/prefix>  inferred gateway path\n"
                "  vendors                     interface counts by manufacturer\n"
-               "  stats                       record counts and memory use\n",
+               "  stats                       record counts and memory use\n"
+               "  --telemetry [file]          telemetry JSON exported by the discovery run\n"
+               "                              (default: fremont-telemetry.json beside the journal)\n",
                argv0);
   return 2;
+}
+
+int PrintTelemetry(const std::string& journal_path, const char* explicit_path) {
+  std::string path;
+  if (explicit_path != nullptr) {
+    path = explicit_path;
+  } else {
+    const size_t slash = journal_path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : journal_path.substr(0, slash);
+    path = dir + "/fremont-telemetry.json";
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot load telemetry from %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string document = contents.str();
+  const std::string expected_prefix =
+      std::string("{\"schema\": \"") + telemetry::kJsonSchemaName + "\"";
+  if (document.compare(0, expected_prefix.size(), expected_prefix) != 0) {
+    std::fprintf(stderr, "error: %s is not a %s document\n", path.c_str(),
+                 telemetry::kJsonSchemaName);
+    return 1;
+  }
+  std::fputs(document.c_str(), stdout);
+  return 0;
 }
 
 SimTime NewestVerification(const Journal& journal) {
@@ -108,6 +147,9 @@ int main(int argc, char** argv) {
   const SimTime now = NewestVerification(journal);
   const std::string command = argv[2];
 
+  if (command == "--telemetry" || command == "telemetry") {
+    return PrintTelemetry(argv[1], argc >= 4 ? argv[3] : nullptr);
+  }
   if (command == "dump") {
     std::printf("%s", DumpJournal(journal.AllInterfaces(), journal.AllGateways(),
                                   journal.AllSubnets(), now)
