@@ -43,6 +43,10 @@ struct Site {
     campus = BuildCampus(sim, params);
     server = std::make_unique<JournalServer>([this]() { return sim.Now(); });
     journal = std::make_unique<JournalClient>(server.get());
+    // Each site's client is the only mutator of its own server, so
+    // generation-exclusive query caching is sound; replication pulls from the
+    // peer then revalidate with conditional gets.
+    journal->EnableQueryCache();
     sim.RunFor(Duration::Minutes(5));
   }
 

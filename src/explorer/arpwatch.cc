@@ -7,7 +7,10 @@
 namespace fremont {
 
 ArpWatch::ArpWatch(Host* vantage, JournalClient* journal, ArpWatchParams params)
-    : vantage_(vantage), journal_(journal), params_(params) {}
+    : vantage_(vantage),
+      journal_(journal),
+      params_(params),
+      writer_(journal, [this]() { return vantage_->Now(); }) {}
 
 ArpWatch::~ArpWatch() { Stop(); }
 
@@ -32,6 +35,7 @@ void ArpWatch::Stop() {
     segment_->RemoveTap(tap_token_);
   }
   tap_token_ = -1;
+  writer_.Flush();
 }
 
 void ArpWatch::OnFrame(const EthernetFrame& frame, SimTime now) {
@@ -59,11 +63,7 @@ void ArpWatch::Observe(MacAddress mac, Ipv4Address ip, SimTime now) {
   InterfaceObservation obs;
   obs.ip = ip;
   obs.mac = mac;
-  auto result = journal_->StoreInterface(obs, DiscoverySource::kArpWatch);
-  ++records_written_;
-  if (result.created || result.changed) {
-    ++new_info_;
-  }
+  writer_.StoreInterface(obs, DiscoverySource::kArpWatch);
 }
 
 int ArpWatch::unique_ips_seen() const {
@@ -103,8 +103,8 @@ ExplorerReport ArpWatch::report() const {
   report.finished = vantage_->Now();
   report.packets_sent = 0;  // Passive: generates no traffic.
   report.discovered = unique_pairs_seen();
-  report.records_written = records_written_;
-  report.new_info = new_info_;
+  report.records_written = writer_.totals().records_written;
+  report.new_info = writer_.totals().new_info;
   return report;
 }
 

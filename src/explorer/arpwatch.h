@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "src/explorer/explorer.h"
+#include "src/journal/batch_writer.h"
 #include "src/net/arp.h"
 #include "src/sim/segment.h"
 
@@ -55,11 +56,13 @@ class ArpWatch {
   Host* vantage_;
   JournalClient* journal_;
   ArpWatchParams params_;
+  // Long-running passive watcher: bindings queue here and ship in batches,
+  // each stamped with the frame time it was observed at. Stop() flushes, so
+  // report() totals are final once the tap is detached.
+  JournalBatchWriter writer_;
   Segment* segment_ = nullptr;
   int tap_token_ = -1;
   SimTime started_;
-  int records_written_ = 0;
-  int new_info_ = 0;
   std::map<std::pair<uint64_t, uint32_t>, SimTime> seen_;  // (mac, ip) → last write.
 };
 

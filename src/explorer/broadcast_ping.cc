@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "src/journal/batch_writer.h"
 #include "src/telemetry/trace.h"
 
 namespace fremont {
@@ -66,16 +67,16 @@ ExplorerReport BroadcastPing::Run() {
   vantage_->events()->RunWhile([&done]() { return !done; });
   vantage_->ClearIcmpListener();
 
+  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
   for (uint32_t v : replied) {
     InterfaceObservation obs;
     obs.ip = Ipv4Address(v);
-    auto result = journal_->StoreInterface(obs, DiscoverySource::kBroadcastPing);
+    writer.StoreInterface(obs, DiscoverySource::kBroadcastPing);
     responders_.push_back(obs.ip);
-    ++report.records_written;
-    if (result.created || result.changed) {
-      ++report.new_info;
-    }
   }
+  writer.Flush();
+  report.records_written = writer.totals().records_written;
+  report.new_info = writer.totals().new_info;
   report.discovered = static_cast<int>(replied.size());
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.finished = vantage_->Now();

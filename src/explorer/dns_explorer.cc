@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/journal/batch_writer.h"
 #include "src/net/udp.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/logging.h"
@@ -145,12 +146,7 @@ ExplorerReport DnsExplorer::Run() {
   report.started = vantage_->Now();
   TraceModuleStart("dns", report.started);
   const uint64_t sent_before = vantage_->packets_sent();
-  auto track = [&report](const JournalClient::StoreResult& result) {
-    ++report.records_written;
-    if (result.created || result.changed) {
-      ++report.new_info;
-    }
-  };
+  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
 
   // Phase 1a: reverse zone transfer for the network. The zone depth follows
   // the network's class: a.in-addr.arpa for class A, b.a for class B, c.b.a
@@ -276,7 +272,7 @@ ExplorerReport DnsExplorer::Run() {
       gw.connected_subnets.push_back(subnet);
       gateway_subnets_.insert(subnet.network().value());
     }
-    track(journal_->StoreGateway(gw, DiscoverySource::kDns));
+    writer.StoreGateway(gw, DiscoverySource::kDns);
     ++gateways_found_;
     // Gateway member interfaces get their names recorded (the exception to
     // the don't-record-plain-DNS-data rule).
@@ -285,7 +281,7 @@ ExplorerReport DnsExplorer::Run() {
       obs.ip = ip;
       obs.dns_name = name;
       obs.mask = mask_;
-      track(journal_->StoreInterface(obs, DiscoverySource::kDns));
+      writer.StoreInterface(obs, DiscoverySource::kDns);
     }
   }
 
@@ -303,7 +299,7 @@ ExplorerReport DnsExplorer::Run() {
     obs.host_count = static_cast<int32_t>(ips.size());
     obs.lowest_assigned = Ipv4Address(*std::min_element(ips.begin(), ips.end()));
     obs.highest_assigned = Ipv4Address(*std::max_element(ips.begin(), ips.end()));
-    track(journal_->StoreSubnet(obs, DiscoverySource::kDns));
+    writer.StoreSubnet(obs, DiscoverySource::kDns);
   }
 
   if (params_.record_plain_hosts) {
@@ -314,9 +310,12 @@ ExplorerReport DnsExplorer::Run() {
         obs.dns_name = names.front();
       }
       obs.mask = mask_;
-      track(journal_->StoreInterface(obs, DiscoverySource::kDns));
+      writer.StoreInterface(obs, DiscoverySource::kDns);
     }
   }
+  writer.Flush();
+  report.records_written = writer.totals().records_written;
+  report.new_info = writer.totals().new_info;
 
   report.discovered = interfaces_found();
   report.replies_received = replies_;

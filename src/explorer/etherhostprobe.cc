@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/journal/batch_writer.h"
 #include "src/net/udp.h"
 #include "src/telemetry/trace.h"
 #include "src/util/logging.h"
@@ -62,6 +63,7 @@ ExplorerReport EtherHostProbe::Run() {
       by_mac[entry.mac.ToU64()].push_back(entry);
     }
   }
+  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
   for (const auto& [mac_key, entries] : by_mac) {
     (void)mac_key;
     if (static_cast<int>(entries.size()) >= params_.proxy_arp_threshold) {
@@ -75,14 +77,13 @@ ExplorerReport EtherHostProbe::Run() {
       InterfaceObservation obs;
       obs.ip = entry.ip;
       obs.mac = entry.mac;
-      auto result = journal_->StoreInterface(obs, DiscoverySource::kEtherHostProbe);
-      ++report.records_written;
+      writer.StoreInterface(obs, DiscoverySource::kEtherHostProbe);
       ++report.discovered;
-      if (result.created || result.changed) {
-        ++report.new_info;
-      }
     }
   }
+  writer.Flush();
+  report.records_written = writer.totals().records_written;
+  report.new_info = writer.totals().new_info;
 
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.replies_received = static_cast<uint64_t>(report.discovered);

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "src/journal/batch_writer.h"
 #include "src/net/udp.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/logging.h"
@@ -100,19 +101,14 @@ ExplorerReport RipProbe::Run() {
 
   // Write findings: the responding router is a RIP source and a gateway; its
   // metric-1 routes are its directly connected subnets.
-  auto track = [&report](const JournalClient::StoreResult& result) {
-    ++report.records_written;
-    if (result.created || result.changed) {
-      ++report.new_info;
-    }
-  };
+  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
   std::set<uint32_t> subnets_seen;
   for (const auto& [target_value, entries] : tables_) {
     const Ipv4Address target(target_value);
     InterfaceObservation source_obs;
     source_obs.ip = target;
     source_obs.rip_source = true;
-    track(journal_->StoreInterface(source_obs, DiscoverySource::kRipWatch));
+    writer.StoreInterface(source_obs, DiscoverySource::kRipWatch);
 
     GatewayObservation gw;
     gw.interface_ips = {target};
@@ -126,15 +122,18 @@ ExplorerReport RipProbe::Run() {
       subnets_seen.insert(subnet.network().value());
       SubnetObservation subnet_obs;
       subnet_obs.subnet = subnet;
-      track(journal_->StoreSubnet(subnet_obs, DiscoverySource::kRipWatch));
+      writer.StoreSubnet(subnet_obs, DiscoverySource::kRipWatch);
       if (entry.metric <= 1) {
         gw.connected_subnets.push_back(subnet);
       }
     }
     if (!gw.connected_subnets.empty()) {
-      track(journal_->StoreGateway(gw, DiscoverySource::kRipWatch));
+      writer.StoreGateway(gw, DiscoverySource::kRipWatch);
     }
   }
+  writer.Flush();
+  report.records_written = writer.totals().records_written;
+  report.new_info = writer.totals().new_info;
 
   subnets_discovered_ = static_cast<int>(subnets_seen.size());
   report.discovered = subnets_discovered_;

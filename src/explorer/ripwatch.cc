@@ -1,5 +1,6 @@
 #include "src/explorer/ripwatch.h"
 
+#include "src/journal/batch_writer.h"
 #include "src/net/ipv4.h"
 #include "src/net/udp.h"
 #include "src/util/logging.h"
@@ -126,18 +127,11 @@ std::vector<Ipv4Address> RipWatch::promiscuous_sources() const {
 }
 
 int RipWatch::WriteFindings(int* new_info_out) {
-  int written = 0;
-  int new_info = 0;
-  auto track = [&](const JournalClient::StoreResult& result) {
-    ++written;
-    if (result.created || result.changed) {
-      ++new_info;
-    }
-  };
+  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
   if (vantage_->primary_interface() != nullptr) {
     SubnetObservation local_obs;
     local_obs.subnet = vantage_->primary_interface()->AttachedSubnet();
-    track(journal_->StoreSubnet(local_obs, DiscoverySource::kRipWatch));
+    writer.StoreSubnet(local_obs, DiscoverySource::kRipWatch);
   }
   const auto promiscuous = promiscuous_sources();
   auto is_promiscuous = [&](uint32_t src) {
@@ -155,7 +149,7 @@ int RipWatch::WriteFindings(int* new_info_out) {
     source_obs.mac = state.mac;
     source_obs.rip_source = true;
     source_obs.rip_promiscuous = is_promiscuous(src);
-    track(journal_->StoreInterface(source_obs, DiscoverySource::kRipWatch));
+    writer.StoreInterface(source_obs, DiscoverySource::kRipWatch);
 
     if (source_obs.rip_promiscuous) {
       continue;  // Routes from untrustworthy sources are not recorded.
@@ -164,13 +158,14 @@ int RipWatch::WriteFindings(int* new_info_out) {
       (void)metric;
       SubnetObservation subnet_obs;
       subnet_obs.subnet = InferSubnet(Ipv4Address(addr));
-      track(journal_->StoreSubnet(subnet_obs, DiscoverySource::kRipWatch));
+      writer.StoreSubnet(subnet_obs, DiscoverySource::kRipWatch);
     }
   }
+  writer.Flush();
   if (new_info_out != nullptr) {
-    *new_info_out = new_info;
+    *new_info_out = writer.totals().new_info;
   }
-  return written;
+  return writer.totals().records_written;
 }
 
 ExplorerReport RipWatch::Run(Duration duration) {

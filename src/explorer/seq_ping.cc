@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 #include "src/util/logging.h"
@@ -82,16 +83,16 @@ ExplorerReport SeqPing::Run() {
 
   vantage_->ClearIcmpListener();
 
+  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
   for (uint32_t v : replied) {
     InterfaceObservation obs;
     obs.ip = Ipv4Address(v);
-    auto result = journal_->StoreInterface(obs, DiscoverySource::kSeqPing);
+    writer.StoreInterface(obs, DiscoverySource::kSeqPing);
     responders_.push_back(obs.ip);
-    ++report.records_written;
-    if (result.created || result.changed) {
-      ++report.new_info;
-    }
   }
+  writer.Flush();
+  report.records_written = writer.totals().records_written;
+  report.new_info = writer.totals().new_info;
   report.discovered = static_cast<int>(replied.size());
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.finished = vantage_->Now();

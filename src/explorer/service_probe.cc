@@ -1,5 +1,6 @@
 #include "src/explorer/service_probe.h"
 
+#include "src/journal/batch_writer.h"
 #include "src/net/dns.h"
 #include "src/net/rip.h"
 #include "src/net/udp.h"
@@ -110,6 +111,7 @@ ExplorerReport ServiceProbe::Run() {
     }
   }
 
+  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
   int64_t timeouts = 0;
   for (const Ipv4Address target : targets) {
     uint16_t found_mask = 0;
@@ -130,13 +132,12 @@ ExplorerReport ServiceProbe::Run() {
       InterfaceObservation obs;
       obs.ip = target;
       obs.services = found_mask;
-      auto result = journal_->StoreInterface(obs, DiscoverySource::kManual);
-      ++report.records_written;
-      if (result.created || result.changed) {
-        ++report.new_info;
-      }
+      writer.StoreInterface(obs, DiscoverySource::kManual);
     }
   }
+  writer.Flush();
+  report.records_written = writer.totals().records_written;
+  report.new_info = writer.totals().new_info;
 
   if (timeouts > 0) {
     telemetry::MetricsRegistry::Global().GetCounter("serviceprobe/timeouts")->Add(timeouts);

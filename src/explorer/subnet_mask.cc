@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
 
 namespace fremont {
@@ -75,6 +76,7 @@ ExplorerReport SubnetMaskExplorer::Run() {
     }
   }
 
+  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
   for (const auto& [ip, raw_mask] : replies) {
     auto mask = SubnetMask::FromValue(raw_mask);
     if (!mask.has_value()) {
@@ -84,13 +86,12 @@ ExplorerReport SubnetMaskExplorer::Run() {
     InterfaceObservation obs;
     obs.ip = Ipv4Address(ip);
     obs.mask = *mask;
-    auto result = journal_->StoreInterface(obs, DiscoverySource::kSubnetMask);
-    ++report.records_written;
+    writer.StoreInterface(obs, DiscoverySource::kSubnetMask);
     ++report.discovered;
-    if (result.created || result.changed) {
-      ++report.new_info;
-    }
   }
+  writer.Flush();
+  report.records_written = writer.totals().records_written;
+  report.new_info = writer.totals().new_info;
   report.packets_sent = vantage_->packets_sent() - sent_before;
   report.finished = vantage_->Now();
   uint64_t silent = 0;

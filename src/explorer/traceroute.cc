@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/journal/batch_writer.h"
 #include "src/net/udp.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
@@ -275,12 +276,7 @@ void Traceroute::OnIcmp(const Ipv4Packet& packet, const IcmpMessage& message) {
 
 void Traceroute::WriteFindings(ExplorerReport* report) {
   std::set<uint32_t> confirmed_subnets;
-  auto track = [report](const JournalClient::StoreResult& result) {
-    ++report->records_written;
-    if (result.created || result.changed) {
-      ++report->new_info;
-    }
-  };
+  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
 
   for (const auto& result : results_) {
     // Each responding hop is a gateway interface.
@@ -300,9 +296,9 @@ void Traceroute::WriteFindings(ExplorerReport* report) {
         GatewayObservation prev;
         prev.interface_ips = {previous_hop};
         prev.connected_subnets = {AssumedSubnet(hop.address)};
-        track(journal_->StoreGateway(prev, DiscoverySource::kTraceroute));
+        writer.StoreGateway(prev, DiscoverySource::kTraceroute);
       }
-      track(journal_->StoreGateway(gw, DiscoverySource::kTraceroute));
+      writer.StoreGateway(gw, DiscoverySource::kTraceroute);
       confirmed_subnets.insert(AssumedSubnet(hop.address).network().value());
       previous_hop = hop.address;
     }
@@ -313,15 +309,15 @@ void Traceroute::WriteFindings(ExplorerReport* report) {
         // A real interface inside the target subnet answered.
         InterfaceObservation obs;
         obs.ip = result.terminal;
-        track(journal_->StoreInterface(obs, DiscoverySource::kTraceroute));
+        writer.StoreInterface(obs, DiscoverySource::kTraceroute);
         SubnetObservation subnet_obs;
         subnet_obs.subnet = result.target;
-        track(journal_->StoreSubnet(subnet_obs, DiscoverySource::kTraceroute));
+        writer.StoreSubnet(subnet_obs, DiscoverySource::kTraceroute);
         if (!result.hops.empty() && !result.hops.back().address.IsZero()) {
           GatewayObservation last_gw;
           last_gw.interface_ips = {result.hops.back().address};
           last_gw.connected_subnets = {result.target};
-          track(journal_->StoreGateway(last_gw, DiscoverySource::kTraceroute));
+          writer.StoreGateway(last_gw, DiscoverySource::kTraceroute);
         }
       } else {
         // The paper's special case: a gateway answered for the subnet; it is
@@ -329,10 +325,13 @@ void Traceroute::WriteFindings(ExplorerReport* report) {
         GatewayObservation gw;
         gw.interface_ips = {result.terminal};
         gw.connected_subnets = {result.target, AssumedSubnet(result.terminal)};
-        track(journal_->StoreGateway(gw, DiscoverySource::kTraceroute));
+        writer.StoreGateway(gw, DiscoverySource::kTraceroute);
       }
     }
   }
+  writer.Flush();
+  report->records_written = writer.totals().records_written;
+  report->new_info = writer.totals().new_info;
 
   subnets_discovered_ = static_cast<int>(confirmed_subnets.size());
   report->discovered = subnets_discovered_;

@@ -1,0 +1,131 @@
+#include "src/journal/batch_writer.h"
+
+namespace fremont {
+
+JournalBatchWriter::JournalBatchWriter(JournalClient* client, Clock clock)
+    : client_(client), max_batch_(client->store_batch_size()), clock_(std::move(clock)) {
+  if (max_batch_ > 0) {
+    pending_.reserve(max_batch_);
+    client_->AttachWriter(this);
+  }
+}
+
+JournalBatchWriter::~JournalBatchWriter() {
+  if (client_ == nullptr) {
+    return;  // Orphaned: the client died first, nothing left to flush into.
+  }
+  Flush();
+  if (max_batch_ > 0) {
+    client_->DetachWriter(this);
+  }
+}
+
+JournalRequest& JournalBatchWriter::Emplace(RequestType type) {
+  JournalRequest& item = count_ < pending_.size() ? pending_[count_] : pending_.emplace_back();
+  ++count_;
+  item.type = type;
+  if (clock_) {
+    item.obs_time = clock_();
+  } else {
+    item.obs_time.reset();  // A reused slot may carry a stale stamp.
+  }
+  return item;
+}
+
+void JournalBatchWriter::Commit() {
+  if (max_batch_ == 0) {
+    // Batching disabled: behave exactly like the v1 per-record client calls.
+    JournalRequest& item = pending_[--count_];
+    JournalClient::StoreResult result;
+    switch (item.type) {
+      case RequestType::kStoreInterface:
+        result = client_->StoreInterface(*item.interface_obs, item.source);
+        break;
+      case RequestType::kStoreGateway:
+        result = client_->StoreGateway(*item.gateway_obs, item.source);
+        break;
+      case RequestType::kStoreSubnet:
+        result = client_->StoreSubnet(*item.subnet_obs, item.source);
+        break;
+      case RequestType::kDeleteInterface:
+        result.ok = client_->DeleteInterface(item.delete_id);
+        break;
+      case RequestType::kDeleteGateway:
+        result.ok = client_->DeleteGateway(item.delete_id);
+        break;
+      case RequestType::kDeleteSubnet:
+        result.ok = client_->DeleteSubnet(item.delete_id);
+        break;
+      default:
+        break;
+    }
+    ++totals_.records_written;
+    if (result.created || result.changed) {
+      ++totals_.new_info;
+    }
+    if (!result.ok) {
+      ++totals_.failed;
+    }
+    return;
+  }
+  if (count_ >= max_batch_) {
+    Flush();
+  }
+}
+
+void JournalBatchWriter::Flush() {
+  if (count_ == 0) {
+    return;
+  }
+  const size_t count = count_;
+  count_ = 0;  // Before the round trip: the slots are no longer "queued".
+  auto results = client_->StoreBatch(pending_.data(), count);
+  ++totals_.flushes;
+  for (const auto& result : results) {
+    ++totals_.records_written;
+    if (result.created || result.changed) {
+      ++totals_.new_info;
+    }
+    if (result.status != ResponseStatus::kOk) {
+      ++totals_.failed;
+    }
+  }
+}
+
+void JournalBatchWriter::StoreInterface(const InterfaceObservation& obs, DiscoverySource source) {
+  JournalRequest& item = Emplace(RequestType::kStoreInterface);
+  item.source = source;
+  item.interface_obs = obs;
+  Commit();
+}
+
+void JournalBatchWriter::StoreGateway(const GatewayObservation& obs, DiscoverySource source) {
+  JournalRequest& item = Emplace(RequestType::kStoreGateway);
+  item.source = source;
+  item.gateway_obs = obs;
+  Commit();
+}
+
+void JournalBatchWriter::StoreSubnet(const SubnetObservation& obs, DiscoverySource source) {
+  JournalRequest& item = Emplace(RequestType::kStoreSubnet);
+  item.source = source;
+  item.subnet_obs = obs;
+  Commit();
+}
+
+void JournalBatchWriter::DeleteInterface(RecordId id) {
+  Emplace(RequestType::kDeleteInterface).delete_id = id;
+  Commit();
+}
+
+void JournalBatchWriter::DeleteGateway(RecordId id) {
+  Emplace(RequestType::kDeleteGateway).delete_id = id;
+  Commit();
+}
+
+void JournalBatchWriter::DeleteSubnet(RecordId id) {
+  Emplace(RequestType::kDeleteSubnet).delete_id = id;
+  Commit();
+}
+
+}  // namespace fremont

@@ -1,0 +1,84 @@
+// JournalBatchWriter: the buffering front end explorer modules write through.
+//
+// Explorers produce bursts of observations; shipping each one as its own
+// round trip makes protocol overhead the system-wide hot path. The writer
+// queues store/delete requests, stamps each with the observation time from
+// its clock callback, and flushes them as one kBatch request when the batch
+// reaches the client's configured size, on explicit Flush(), on destruction,
+// or implicitly before any read on the same client (read-your-writes).
+//
+// With the client's batch size set to 0 the writer degenerates to eager
+// per-record stores — the v1 wire behavior — which is what the equivalence
+// property test compares against.
+
+#ifndef SRC_JOURNAL_BATCH_WRITER_H_
+#define SRC_JOURNAL_BATCH_WRITER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/journal/client.h"
+#include "src/journal/protocol.h"
+
+namespace fremont {
+
+class JournalBatchWriter {
+ public:
+  // Returns the simulated time an observation is made; the server stamps the
+  // record with it even though the store lands later. Null means "stamp at
+  // flush time with the server clock".
+  using Clock = std::function<SimTime()>;
+
+  // What the queued writes amounted to — explorer reports are built from
+  // this after the final Flush().
+  struct Totals {
+    int records_written = 0;
+    int new_info = 0;  // Items that created or changed a record.
+    int failed = 0;
+    int flushes = 0;
+  };
+
+  explicit JournalBatchWriter(JournalClient* client, Clock clock = nullptr);
+  ~JournalBatchWriter();
+  JournalBatchWriter(const JournalBatchWriter&) = delete;
+  JournalBatchWriter& operator=(const JournalBatchWriter&) = delete;
+
+  void StoreInterface(const InterfaceObservation& obs, DiscoverySource source);
+  void StoreGateway(const GatewayObservation& obs, DiscoverySource source);
+  void StoreSubnet(const SubnetObservation& obs, DiscoverySource source);
+  void DeleteInterface(RecordId id);
+  void DeleteGateway(RecordId id);
+  void DeleteSubnet(RecordId id);
+
+  // Ships everything queued; no-op when empty.
+  void Flush();
+
+  size_t pending() const { return count_; }
+  const Totals& totals() const { return totals_; }
+
+ private:
+  friend class JournalClient;
+  // Called by a dying client so our destructor does not chase it.
+  void OrphanFromClient() { client_ = nullptr; }
+
+  // Hands out the next slot of the pool for the caller to fill; Commit() then
+  // either flushes at capacity or, with batching disabled, ships the slot as
+  // an eager v1 call. Slots outlive flushes (count_ resets, objects stay), so
+  // a steady-state writer re-fills existing requests — string capacity and
+  // all — instead of constructing and destroying one per observation. Only
+  // the fields of the slot's current type are filled; encode ignores the
+  // rest.
+  JournalRequest& Emplace(RequestType type);
+  void Commit();
+
+  JournalClient* client_;
+  size_t max_batch_;
+  Clock clock_;
+  std::vector<JournalRequest> pending_;  // Slot pool; first count_ are queued.
+  size_t count_ = 0;
+  Totals totals_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_JOURNAL_BATCH_WRITER_H_

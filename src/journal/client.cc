@@ -1,17 +1,60 @@
 #include "src/journal/client.h"
 
+#include <algorithm>
+
+#include "src/journal/batch_writer.h"
+#include "src/journal/query_cache.h"
 #include "src/telemetry/metrics.h"
 
 namespace fremont {
 
+JournalClient::~JournalClient() {
+  // Writers normally outlive nothing: they flush and detach in their own
+  // destructors. If one is still attached here, orphan it so its destructor
+  // does not touch a dead client.
+  for (JournalBatchWriter* writer : writers_) {
+    writer->OrphanFromClient();
+  }
+}
+
+void JournalClient::EnableQueryCache(bool exclusive) {
+  cache_ = std::make_unique<JournalQueryCache>(this, exclusive);
+}
+
+void JournalClient::AttachWriter(JournalBatchWriter* writer) { writers_.push_back(writer); }
+
+void JournalClient::DetachWriter(JournalBatchWriter* writer) {
+  writers_.erase(std::remove(writers_.begin(), writers_.end(), writer), writers_.end());
+}
+
+void JournalClient::FlushAttachedWriters() {
+  for (JournalBatchWriter* writer : writers_) {
+    writer->Flush();
+  }
+}
+
 JournalResponse JournalClient::RoundTrip(const JournalRequest& request) {
+  if (request.type != RequestType::kBatch) {
+    // Read-your-writes: buffered stores must land before any other request.
+    // Flush() itself arrives here as kBatch, which keeps this from recursing.
+    FlushAttachedWriters();
+  }
+  const size_t reusable = scratch_.capacity();
+  scratch_.Clear();
+  request.EncodeTo(scratch_);
+  return Transact(reusable);
+}
+
+JournalResponse JournalClient::Transact(size_t reusable) {
   ++requests_sent_;
-  ByteBuffer request_bytes = request.Encode();
   auto& metrics = telemetry::MetricsRegistry::Global();
+  if (reusable > 0) {
+    metrics.GetCounter("journal_client/encode_bytes_reused")
+        ->Add(static_cast<int64_t>(std::min(reusable, scratch_.size())));
+  }
   metrics.GetCounter("journal_client/requests")->Increment();
-  metrics.GetCounter("journal_client/bytes_sent")
-      ->Add(static_cast<int64_t>(request_bytes.size()));
-  ByteBuffer response_bytes = transport_(request_bytes);
+  metrics.GetCounter("journal_client/bytes_sent")->Add(static_cast<int64_t>(scratch_.size()));
+  ByteBuffer response_bytes = transport_(scratch_.buffer());
   metrics.GetCounter("journal_client/bytes_received")
       ->Add(static_cast<int64_t>(response_bytes.size()));
   auto response = JournalResponse::Decode(response_bytes);
@@ -21,7 +64,8 @@ JournalResponse JournalClient::RoundTrip(const JournalRequest& request) {
     metrics.GetCounter("journal_client/decode_failures")->Increment();
     return bad;
   }
-  return *response;
+  last_seen_generation_ = response->generation;
+  return std::move(*response);
 }
 
 JournalClient::StoreResult JournalClient::StoreInterface(const InterfaceObservation& obs,
@@ -57,7 +101,37 @@ JournalClient::StoreResult JournalClient::StoreSubnet(const SubnetObservation& o
                      resp.status == ResponseStatus::kOk};
 }
 
+std::vector<BatchItemResult> JournalClient::StoreBatch(std::vector<JournalRequest> items) {
+  return StoreBatch(items.data(), items.size());
+}
+
+std::vector<BatchItemResult> JournalClient::StoreBatch(const JournalRequest* items, size_t count) {
+  if (count == 0) {
+    return {};
+  }
+  telemetry::MetricsRegistry::Global()
+      .GetHistogram("journal_client/batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256})
+      ->Observe(static_cast<int64_t>(count));
+  const size_t reusable = scratch_.capacity();
+  scratch_.Clear();
+  JournalRequest::EncodeBatchFrame(scratch_, DiscoverySource::kNone, items, count);
+  JournalResponse resp = Transact(reusable);
+  if (resp.status != ResponseStatus::kOk || resp.batch_results.size() != count) {
+    // Whole-batch failure: report every item as failed rather than lying
+    // about partial success.
+    std::vector<BatchItemResult> failed(count);
+    for (auto& item : failed) {
+      item.status = ResponseStatus::kMalformedRequest;
+    }
+    return failed;
+  }
+  return std::move(resp.batch_results);
+}
+
 std::vector<InterfaceRecord> JournalClient::GetInterfaces(const Selector& selector) {
+  if (cache_ != nullptr) {
+    return cache_->GetInterfaces(selector);
+  }
   JournalRequest req;
   req.type = RequestType::kGetInterfaces;
   req.selector = selector;
@@ -73,12 +147,18 @@ std::optional<InterfaceRecord> JournalClient::GetInterfaceById(RecordId id) {
 }
 
 std::vector<GatewayRecord> JournalClient::GetGateways() {
+  if (cache_ != nullptr) {
+    return cache_->GetGateways();
+  }
   JournalRequest req;
   req.type = RequestType::kGetGateways;
   return RoundTrip(req).gateways;
 }
 
 std::vector<SubnetRecord> JournalClient::GetSubnets() {
+  if (cache_ != nullptr) {
+    return cache_->GetSubnets();
+  }
   JournalRequest req;
   req.type = RequestType::kGetSubnets;
   return RoundTrip(req).subnets;
@@ -106,6 +186,9 @@ bool JournalClient::DeleteSubnet(RecordId id) {
 }
 
 JournalStats JournalClient::GetStats() {
+  if (cache_ != nullptr) {
+    return cache_->GetStats();
+  }
   JournalRequest req;
   req.type = RequestType::kGetStats;
   JournalResponse resp = RoundTrip(req);

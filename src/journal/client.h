@@ -5,17 +5,30 @@
 // The client serializes each call through the full wire protocol and hands
 // the bytes to a Transport. The default transport is an in-process call into
 // a JournalServer; a socket transport would carry the same bytes.
+//
+// Protocol v2 client machinery lives here too:
+//  - StoreBatch() ships N writes in one round trip (see JournalBatchWriter
+//    for the buffering front end explorers use).
+//  - EnableQueryCache() attaches a JournalQueryCache that answers repeated
+//    Get*/GetStats calls from memory while the Journal's mutation generation
+//    is unchanged.
+//  - RoundTrip() reuses one scratch encode buffer across requests instead of
+//    allocating per call.
 
 #ifndef SRC_JOURNAL_CLIENT_H_
 #define SRC_JOURNAL_CLIENT_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/journal/protocol.h"
+#include "src/journal/query_cache.h"
 #include "src/journal/server.h"
 
 namespace fremont {
+
+class JournalBatchWriter;
 
 class JournalClient {
  public:
@@ -25,6 +38,9 @@ class JournalClient {
   // Convenience: direct in-process connection to a server.
   explicit JournalClient(JournalServer* server)
       : transport_([server](const ByteBuffer& req) { return server->HandleRequest(req); }) {}
+  ~JournalClient();
+  JournalClient(const JournalClient&) = delete;
+  JournalClient& operator=(const JournalClient&) = delete;
 
   struct StoreResult {
     RecordId id = kInvalidRecordId;
@@ -36,6 +52,12 @@ class JournalClient {
   StoreResult StoreInterface(const InterfaceObservation& obs, DiscoverySource source);
   StoreResult StoreGateway(const GatewayObservation& obs, DiscoverySource source);
   StoreResult StoreSubnet(const SubnetObservation& obs, DiscoverySource source);
+  // v2: ships `items` (store/delete requests) as one kBatch round trip and
+  // returns one result per item, in order. The span form encodes straight
+  // from the caller's buffer — JournalBatchWriter flushes its slot pool
+  // through it without moving or destroying the queued requests.
+  std::vector<BatchItemResult> StoreBatch(std::vector<JournalRequest> items);
+  std::vector<BatchItemResult> StoreBatch(const JournalRequest* items, size_t count);
 
   std::vector<InterfaceRecord> GetInterfaces(const Selector& selector = Selector::All());
   // Convenience point lookup.
@@ -49,13 +71,46 @@ class JournalClient {
 
   JournalStats GetStats();
 
+  // v2 knobs ------------------------------------------------------------------
+
+  // Preferred flush threshold for JournalBatchWriters on this client.
+  // 0 turns batching off: writers degenerate to eager per-record stores.
+  void set_store_batch_size(size_t n) { store_batch_size_ = n; }
+  size_t store_batch_size() const { return store_batch_size_; }
+
+  // Attaches a JournalQueryCache. `exclusive` promises that every mutation of
+  // the Journal flows through THIS client, which lets repeated queries be
+  // answered with zero round trips; non-exclusive clients still save the
+  // record payload via conditional gets but always revalidate on the wire.
+  void EnableQueryCache(bool exclusive = true);
+  JournalQueryCache* query_cache() { return cache_.get(); }
+
+  // Generation stamped on the most recent response seen by this client.
+  uint64_t last_seen_generation() const { return last_seen_generation_; }
+
   uint64_t requests_sent() const { return requests_sent_; }
 
  private:
+  friend class JournalBatchWriter;
+  friend class JournalQueryCache;
+
   JournalResponse RoundTrip(const JournalRequest& request);
+  // Ships whatever is in scratch_ and decodes the reply. `reusable` is the
+  // scratch capacity before this encode, for the bytes-reused counter.
+  JournalResponse Transact(size_t reusable);
+  // Any read issued while attached writers hold buffered stores must observe
+  // those stores: flush them first (read-your-writes).
+  void FlushAttachedWriters();
+  void AttachWriter(JournalBatchWriter* writer);
+  void DetachWriter(JournalBatchWriter* writer);
 
   Transport transport_;
   uint64_t requests_sent_ = 0;
+  uint64_t last_seen_generation_ = 0;
+  size_t store_batch_size_ = 64;
+  ByteWriter scratch_;  // Request encode buffer, reused across round trips.
+  std::vector<JournalBatchWriter*> writers_;
+  std::unique_ptr<JournalQueryCache> cache_;
 };
 
 }  // namespace fremont

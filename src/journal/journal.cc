@@ -71,11 +71,11 @@ Journal::StoreResult Journal::StoreInterface(const InterfaceObservation& obs,
                                              DiscoverySource source, SimTime now) {
   StoreResult result;
 
-  // Candidate records sharing this IP.
-  std::vector<RecordId> candidates;
-  if (const auto* ids = by_ip_.Find(obs.ip.value()); ids != nullptr) {
-    candidates = *ids;
-  }
+  // Candidate records sharing this IP, read in place: this is the store hot
+  // path, and the candidate scans below finish before any index mutation.
+  static const std::vector<RecordId> kNoCandidates;
+  const auto* found_ids = by_ip_.Find(obs.ip.value());
+  const std::vector<RecordId>& candidates = found_ids != nullptr ? *found_ids : kNoCandidates;
 
   InterfaceRecord* target = nullptr;
   if (obs.mac.has_value()) {
@@ -129,6 +129,7 @@ Journal::StoreResult Journal::StoreInterface(const InterfaceObservation& obs,
     RecordId id = rec.id;
     interfaces_.emplace(id, std::move(rec));
     TouchInterface(id);
+    ++generation_;
     result.id = id;
     result.created = true;
     result.changed = true;
@@ -179,6 +180,7 @@ Journal::StoreResult Journal::StoreInterface(const InterfaceObservation& obs,
     target->ts.last_changed = now;
     TouchInterface(target->id);
   }
+  ++generation_;  // last_verified moved even when nothing else changed.
   result.id = target->id;
   result.changed = changed;
   return result;
@@ -334,6 +336,7 @@ Journal::StoreResult Journal::StoreGateway(const GatewayObservation& obs, Discov
   if (changed) {
     gw.ts.last_changed = now;
   }
+  ++generation_;
   result.id = gw_id;
   result.changed = changed;
   return result;
@@ -355,6 +358,7 @@ Journal::StoreResult Journal::StoreSubnet(const SubnetObservation& obs, Discover
     RecordId id = rec.id;
     subnet_by_network_.Insert(obs.subnet.network().value(), id);
     subnets_.emplace(id, std::move(rec));
+    ++generation_;
     result.id = id;
     result.created = true;
     result.changed = true;
@@ -388,6 +392,7 @@ Journal::StoreResult Journal::StoreSubnet(const SubnetObservation& obs, Discover
   if (changed) {
     rec.ts.last_changed = now;
   }
+  ++generation_;
   result.id = rec.id;
   result.changed = changed;
   return result;
@@ -480,6 +485,7 @@ bool Journal::DeleteInterface(RecordId id) {
     interface_mod_pos_.erase(pos);
   }
   interfaces_.erase(it);
+  ++generation_;
   return true;
 }
 
@@ -530,6 +536,7 @@ bool Journal::DeleteGateway(RecordId id) {
     gw_ids.erase(std::remove(gw_ids.begin(), gw_ids.end(), id), gw_ids.end());
   }
   gateways_.erase(it);
+  ++generation_;
   return true;
 }
 
@@ -561,6 +568,7 @@ bool Journal::DeleteSubnet(RecordId id) {
   }
   subnet_by_network_.Erase(it->second.subnet.network().value());
   subnets_.erase(it);
+  ++generation_;
   return true;
 }
 
@@ -657,6 +665,8 @@ constexpr uint16_t kJournalVersion = 3;  // v3: timestamps carry last_wire_verif
 }  // namespace
 
 void Journal::EncodeAll(ByteWriter& writer) const {
+  // Rough per-record sizes keep the snapshot encode to O(1) reallocations.
+  writer.Reserve(32 + interfaces_.size() * 96 + gateways_.size() * 72 + subnets_.size() * 56);
   writer.WriteU32(kJournalMagic);
   writer.WriteU16(kJournalVersion);
   // Interfaces in modification order so Load reconstructs the same ordering.
@@ -716,6 +726,9 @@ bool Journal::DecodeAll(ByteReader& reader) {
   if (!reader.ok()) {
     return false;
   }
+  // Loading replaces the whole record set: advance past every generation this
+  // instance has handed out so stale cache tags can never match.
+  fresh.generation_ = generation_ + 1;
   *this = std::move(fresh);
   return true;
 }

@@ -96,6 +96,12 @@ class Journal {
   // including index shares — the Table 2 reproduction.
   JournalMemoryUsage MemoryUsage() const;
 
+  // Mutation generation: bumped on every successful store or delete
+  // (verify-only stores count — they still touch last_verified, which is
+  // observable through EncodeAll). Never reused across LoadFromFile, so a
+  // cached query tagged with a generation is valid iff the numbers match.
+  uint64_t generation() const { return generation_; }
+
   // Verifies index ↔ record consistency; test-only.
   bool CheckIndexes() const;
 
@@ -140,6 +146,7 @@ class Journal {
   RecordId next_interface_id_ = 1;
   RecordId next_gateway_id_ = 1;
   RecordId next_subnet_id_ = 1;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace fremont

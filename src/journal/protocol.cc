@@ -68,10 +68,8 @@ std::optional<Selector> Selector::Decode(ByteReader& reader) {
   s.kind = static_cast<Kind>(kind);
   s.ip = Ipv4Address(reader.ReadU32());
   s.ip_hi = Ipv4Address(reader.ReadU32());
-  ByteBuffer mac = reader.ReadBytes(6);
-  if (mac.size() == 6) {
-    std::array<uint8_t, 6> octets;
-    std::copy(mac.begin(), mac.end(), octets.begin());
+  std::array<uint8_t, 6> octets;
+  if (reader.ReadInto(octets.data(), octets.size())) {
     s.mac = MacAddress(octets);
   }
   s.name = reader.ReadString();
@@ -83,8 +81,35 @@ std::optional<Selector> Selector::Decode(ByteReader& reader) {
   return s;
 }
 
-ByteBuffer JournalRequest::Encode() const {
-  ByteWriter writer;
+namespace {
+// Wire sentinel for "batch item carries no observation time".
+constexpr int64_t kNoObsTime = INT64_MIN;
+
+bool IsGetType(RequestType type) {
+  return type == RequestType::kGetInterfaces || type == RequestType::kGetGateways ||
+         type == RequestType::kGetSubnets || type == RequestType::kGetStats;
+}
+}  // namespace
+
+void JournalRequest::EncodeBatchFrame(ByteWriter& writer, DiscoverySource source,
+                                      const JournalRequest* items, size_t count) {
+  writer.Reserve(16 + count * 104);
+  writer.WriteU8(static_cast<uint8_t>(RequestType::kBatch));
+  writer.WriteU16(SourceBit(source));
+  writer.WriteU32(static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const JournalRequest& item = items[i];
+    writer.WriteI64(item.obs_time.has_value() ? item.obs_time->ToMicros() : kNoObsTime);
+    item.EncodeTo(writer);
+  }
+}
+
+void JournalRequest::EncodeTo(ByteWriter& writer) const {
+  if (type == RequestType::kBatch) {
+    EncodeBatchFrame(writer, source, batch.data(), batch.size());
+    return;
+  }
+  writer.Reserve(96);
   writer.WriteU8(static_cast<uint8_t>(type));
   writer.WriteU16(SourceBit(source));
   switch (type) {
@@ -115,64 +140,99 @@ ByteBuffer JournalRequest::Encode() const {
       break;
     case RequestType::kGetStats:
       break;
+    case RequestType::kBatch:
+      break;  // Handled above via EncodeBatchFrame.
   }
+  // Conditional-get tag. Written only when set, after the v1 body, so a v1
+  // request is byte-identical and a v1 decoder's trailing bytes are ignored.
+  if (if_generation != 0 && IsGetType(type)) {
+    writer.WriteU64(if_generation);
+  }
+}
+
+ByteBuffer JournalRequest::Encode() const {
+  ByteWriter writer;
+  EncodeTo(writer);
   return writer.TakeBuffer();
 }
 
-std::optional<JournalRequest> JournalRequest::Decode(const ByteBuffer& bytes) {
-  ByteReader reader(bytes);
-  JournalRequest req;
+bool JournalRequest::DecodeInto(JournalRequest& out, ByteReader& reader, bool inside_batch) {
   uint8_t type = reader.ReadU8();
-  if (type < 1 || type > static_cast<uint8_t>(RequestType::kGetStats)) {
-    return std::nullopt;
+  if (type < 1 || type > static_cast<uint8_t>(RequestType::kBatch)) {
+    return false;
   }
-  req.type = static_cast<RequestType>(type);
+  out.type = static_cast<RequestType>(type);
+  if (inside_batch && !IsBatchableType(out.type)) {
+    return false;  // No nested batches, no reads inside a batch.
+  }
   uint16_t source_bits = reader.ReadU16();
-  req.source = static_cast<DiscoverySource>(source_bits);
-  switch (req.type) {
-    case RequestType::kStoreInterface: {
-      auto obs = InterfaceObservation::Decode(reader);
-      if (!obs.has_value()) {
-        return std::nullopt;
+  out.source = static_cast<DiscoverySource>(source_bits);
+  switch (out.type) {
+    case RequestType::kStoreInterface:
+      if (!InterfaceObservation::DecodeInto(out.interface_obs.emplace(), reader)) {
+        return false;
       }
-      req.interface_obs = std::move(*obs);
       break;
-    }
-    case RequestType::kStoreGateway: {
-      auto obs = GatewayObservation::Decode(reader);
-      if (!obs.has_value()) {
-        return std::nullopt;
+    case RequestType::kStoreGateway:
+      if (!GatewayObservation::DecodeInto(out.gateway_obs.emplace(), reader)) {
+        return false;
       }
-      req.gateway_obs = std::move(*obs);
       break;
-    }
-    case RequestType::kStoreSubnet: {
-      auto obs = SubnetObservation::Decode(reader);
-      if (!obs.has_value()) {
-        return std::nullopt;
+    case RequestType::kStoreSubnet:
+      if (!SubnetObservation::DecodeInto(out.subnet_obs.emplace(), reader)) {
+        return false;
       }
-      req.subnet_obs = std::move(*obs);
       break;
-    }
     case RequestType::kGetInterfaces:
     case RequestType::kGetGateways:
     case RequestType::kGetSubnets: {
       auto selector = Selector::Decode(reader);
       if (!selector.has_value()) {
-        return std::nullopt;
+        return false;
       }
-      req.selector = std::move(*selector);
+      out.selector = std::move(*selector);
       break;
     }
     case RequestType::kDeleteInterface:
     case RequestType::kDeleteGateway:
     case RequestType::kDeleteSubnet:
-      req.delete_id = reader.ReadU32();
+      out.delete_id = reader.ReadU32();
       break;
     case RequestType::kGetStats:
       break;
+    case RequestType::kBatch: {
+      uint32_t count = reader.ReadU32();
+      // Each item needs at least its obs-time plus a type+source header, so a
+      // count that outruns the buffer is rejected before any allocation.
+      if (!reader.ok() || count > reader.remaining() / 11) {
+        return false;
+      }
+      out.batch.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        int64_t obs_us = reader.ReadI64();
+        JournalRequest& item = out.batch.emplace_back();
+        if (!DecodeInto(item, reader, /*inside_batch=*/true)) {
+          return false;
+        }
+        if (obs_us != kNoObsTime) {
+          item.obs_time = SimTime::FromMicros(obs_us);
+        }
+      }
+      break;
+    }
   }
-  if (!reader.ok()) {
+  // Batch items decode mid-buffer, where the remaining bytes belong to the
+  // next item — only a top-level Get may consume a trailing generation tag.
+  if (!inside_batch && IsGetType(out.type) && reader.remaining() >= 8) {
+    out.if_generation = reader.ReadU64();
+  }
+  return reader.ok();
+}
+
+std::optional<JournalRequest> JournalRequest::Decode(const ByteBuffer& bytes) {
+  ByteReader reader(bytes);
+  JournalRequest req;
+  if (!DecodeInto(req, reader, /*inside_batch=*/false)) {
     return std::nullopt;
   }
   return req;
@@ -180,6 +240,8 @@ std::optional<JournalRequest> JournalRequest::Decode(const ByteBuffer& bytes) {
 
 ByteBuffer JournalResponse::Encode() const {
   ByteWriter writer;
+  writer.Reserve(48 + interfaces.size() * 96 + gateways.size() * 72 + subnets.size() * 56 +
+                 batch_results.size() * 6);
   writer.WriteU8(static_cast<uint8_t>(status));
   writer.WriteU32(record_id);
   writer.WriteU8(static_cast<uint8_t>((created ? 1 : 0) | (changed ? 2 : 0)));
@@ -198,6 +260,13 @@ ByteBuffer JournalResponse::Encode() const {
   writer.WriteU32(interface_count);
   writer.WriteU32(gateway_count);
   writer.WriteU32(subnet_count);
+  writer.WriteU64(generation);
+  writer.WriteU32(static_cast<uint32_t>(batch_results.size()));
+  for (const auto& item : batch_results) {
+    writer.WriteU8(static_cast<uint8_t>(item.status));
+    writer.WriteU32(item.record_id);
+    writer.WriteU8(static_cast<uint8_t>((item.created ? 1 : 0) | (item.changed ? 2 : 0)));
+  }
   return writer.TakeBuffer();
 }
 
@@ -205,7 +274,7 @@ std::optional<JournalResponse> JournalResponse::Decode(const ByteBuffer& bytes) 
   ByteReader reader(bytes);
   JournalResponse resp;
   uint8_t status = reader.ReadU8();
-  if (status > static_cast<uint8_t>(ResponseStatus::kNotFound)) {
+  if (status > static_cast<uint8_t>(ResponseStatus::kNotModified)) {
     return std::nullopt;
   }
   resp.status = static_cast<ResponseStatus>(status);
@@ -214,6 +283,12 @@ std::optional<JournalResponse> JournalResponse::Decode(const ByteBuffer& bytes) 
   resp.created = (flags & 1) != 0;
   resp.changed = (flags & 2) != 0;
   uint32_t n_interfaces = reader.ReadU32();
+  // Every record encoding is ≥16 bytes, so counts that outrun the buffer are
+  // rejected before reserving anything.
+  if (!reader.ok() || n_interfaces > reader.remaining() / 16) {
+    return std::nullopt;
+  }
+  resp.interfaces.reserve(n_interfaces);
   for (uint32_t i = 0; i < n_interfaces; ++i) {
     auto rec = InterfaceRecord::Decode(reader);
     if (!rec.has_value()) {
@@ -222,6 +297,10 @@ std::optional<JournalResponse> JournalResponse::Decode(const ByteBuffer& bytes) 
     resp.interfaces.push_back(std::move(*rec));
   }
   uint32_t n_gateways = reader.ReadU32();
+  if (!reader.ok() || n_gateways > reader.remaining() / 16) {
+    return std::nullopt;
+  }
+  resp.gateways.reserve(n_gateways);
   for (uint32_t i = 0; i < n_gateways; ++i) {
     auto rec = GatewayRecord::Decode(reader);
     if (!rec.has_value()) {
@@ -230,6 +309,10 @@ std::optional<JournalResponse> JournalResponse::Decode(const ByteBuffer& bytes) 
     resp.gateways.push_back(std::move(*rec));
   }
   uint32_t n_subnets = reader.ReadU32();
+  if (!reader.ok() || n_subnets > reader.remaining() / 16) {
+    return std::nullopt;
+  }
+  resp.subnets.reserve(n_subnets);
   for (uint32_t i = 0; i < n_subnets; ++i) {
     auto rec = SubnetRecord::Decode(reader);
     if (!rec.has_value()) {
@@ -240,6 +323,25 @@ std::optional<JournalResponse> JournalResponse::Decode(const ByteBuffer& bytes) 
   resp.interface_count = reader.ReadU32();
   resp.gateway_count = reader.ReadU32();
   resp.subnet_count = reader.ReadU32();
+  resp.generation = reader.ReadU64();
+  uint32_t n_batch = reader.ReadU32();
+  if (!reader.ok() || n_batch > reader.remaining() / 6) {
+    return std::nullopt;
+  }
+  resp.batch_results.reserve(n_batch);
+  for (uint32_t i = 0; i < n_batch; ++i) {
+    BatchItemResult item;
+    uint8_t item_status = reader.ReadU8();
+    if (item_status > static_cast<uint8_t>(ResponseStatus::kNotModified)) {
+      return std::nullopt;
+    }
+    item.status = static_cast<ResponseStatus>(item_status);
+    item.record_id = reader.ReadU32();
+    uint8_t item_flags = reader.ReadU8();
+    item.created = (item_flags & 1) != 0;
+    item.changed = (item_flags & 2) != 0;
+    resp.batch_results.push_back(item);
+  }
   if (!reader.ok()) {
     return std::nullopt;
   }

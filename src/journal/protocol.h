@@ -12,6 +12,15 @@
 // selector; Get responses may return multiple records (paper: "The Get
 // function may return multiple data records depending on the selection
 // criteria in the request").
+//
+// Protocol v2 (additive, v1 bytes decode unchanged):
+//  - kBatch carries N heterogeneous store/delete sub-requests, each with an
+//    optional client-stamped observation time, and the response returns one
+//    BatchItemResult per item.
+//  - Every response is stamped with the Journal's mutation generation; Get
+//    requests may carry `if_generation` (encoded only when nonzero, as a
+//    trailing field v1 decoders never wrote) and receive kNotModified when
+//    the Journal has not mutated since — the record payload is skipped.
 
 #ifndef SRC_JOURNAL_PROTOCOL_H_
 #define SRC_JOURNAL_PROTOCOL_H_
@@ -36,7 +45,23 @@ enum class RequestType : uint8_t {
   kDeleteGateway = 8,
   kDeleteSubnet = 9,
   kGetStats = 10,
+  kBatch = 11,  // v2: N store/delete sub-requests, applied in one round trip.
 };
+
+// True for the request types that may appear inside a kBatch.
+inline bool IsBatchableType(RequestType type) {
+  switch (type) {
+    case RequestType::kStoreInterface:
+    case RequestType::kStoreGateway:
+    case RequestType::kStoreSubnet:
+    case RequestType::kDeleteInterface:
+    case RequestType::kDeleteGateway:
+    case RequestType::kDeleteSubnet:
+      return true;
+    default:
+      return false;
+  }
+}
 
 // Stable lowercase name for telemetry keys and trace details.
 inline const char* RequestTypeName(RequestType type) {
@@ -61,6 +86,8 @@ inline const char* RequestTypeName(RequestType type) {
       return "delete_subnet";
     case RequestType::kGetStats:
       return "get_stats";
+    case RequestType::kBatch:
+      return "batch";
   }
   return "unknown";
 }
@@ -105,15 +132,47 @@ struct JournalRequest {
   std::optional<SubnetObservation> subnet_obs;
   Selector selector;
   RecordId delete_id = kInvalidRecordId;
+  // v2: conditional Get/GetStats — "answer only if the Journal mutated since
+  // generation N". 0 means unconditional, and 0 is also what v1 bytes decode
+  // to (the field is a trailing optional on the wire).
+  uint64_t if_generation = 0;
+  // v2: batch items only — the simulated time the observation was made, so a
+  // deferred flush stamps records exactly as an immediate store would have.
+  std::optional<SimTime> obs_time;
+  // v2: sub-requests for kBatch. Only batchable (store/delete) types.
+  std::vector<JournalRequest> batch;
 
+  // Appends this request to `writer` (the scratch-buffer hot path).
+  void EncodeTo(ByteWriter& writer) const;
   ByteBuffer Encode() const;
   static std::optional<JournalRequest> Decode(const ByteBuffer& bytes);
+
+  // Encodes a kBatch frame directly from a span of sub-requests —
+  // byte-identical to wrapping them in a kBatch JournalRequest, without
+  // constructing one. JournalBatchWriter flushes straight from its slot pool
+  // through this.
+  static void EncodeBatchFrame(ByteWriter& writer, DiscoverySource source,
+                               const JournalRequest* items, size_t count);
+
+ private:
+  // Decodes into `out` in place — batch items land directly in their slot of
+  // the batch vector instead of bouncing through an optional and a move.
+  static bool DecodeInto(JournalRequest& out, ByteReader& reader, bool inside_batch);
 };
 
 enum class ResponseStatus : uint8_t {
   kOk = 0,
   kMalformedRequest = 1,
   kNotFound = 2,
+  kNotModified = 3,  // v2: conditional Get matched `if_generation`.
+};
+
+// v2: per-item outcome of a kBatch request, in item order.
+struct BatchItemResult {
+  ResponseStatus status = ResponseStatus::kOk;
+  RecordId record_id = kInvalidRecordId;
+  bool created = false;
+  bool changed = false;
 };
 
 struct JournalResponse {
@@ -130,6 +189,10 @@ struct JournalResponse {
   uint32_t interface_count = 0;
   uint32_t gateway_count = 0;
   uint32_t subnet_count = 0;
+  // v2: the Journal's mutation generation after handling this request.
+  uint64_t generation = 0;
+  // v2: per-item results for kBatch.
+  std::vector<BatchItemResult> batch_results;
 
   ByteBuffer Encode() const;
   static std::optional<JournalResponse> Decode(const ByteBuffer& bytes);

@@ -1,0 +1,79 @@
+#include "src/journal/query_cache.h"
+
+#include "src/journal/client.h"
+#include "src/telemetry/metrics.h"
+
+namespace fremont {
+
+namespace {
+// Cache key: the request's v1 wire form (type + source + selector), which is
+// exactly what distinguishes one query from another.
+std::string KeyFor(const JournalRequest& request) {
+  ByteBuffer bytes = request.Encode();
+  return std::string(bytes.begin(), bytes.end());
+}
+}  // namespace
+
+const JournalQueryCache::Entry& JournalQueryCache::Lookup(const JournalRequest& request) {
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  const std::string key = KeyFor(request);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && exclusive_ &&
+      it->second.generation == client_->last_seen_generation()) {
+    // Sole mutator + unchanged generation ⇒ the Journal cannot differ from
+    // what we cached. No wire traffic at all.
+    ++stats_.hits;
+    metrics.GetCounter("journal_client/cache_hits")->Increment();
+    return it->second;
+  }
+
+  JournalRequest conditional = request;
+  if (it != entries_.end()) {
+    conditional.if_generation = it->second.generation;
+  }
+  JournalResponse resp = client_->RoundTrip(conditional);
+  if (it != entries_.end() && resp.status == ResponseStatus::kNotModified) {
+    ++stats_.validations;
+    metrics.GetCounter("journal_client/cache_hits")->Increment();
+    return it->second;
+  }
+
+  ++stats_.misses;
+  metrics.GetCounter("journal_client/cache_misses")->Increment();
+  Entry entry;
+  entry.generation = resp.generation;
+  entry.interfaces = std::move(resp.interfaces);
+  entry.gateways = std::move(resp.gateways);
+  entry.subnets = std::move(resp.subnets);
+  entry.counts = JournalStats{resp.interface_count, resp.gateway_count, resp.subnet_count};
+  return entries_.insert_or_assign(it != entries_.end() ? it : entries_.end(), key,
+                                   std::move(entry))
+      ->second;
+}
+
+std::vector<InterfaceRecord> JournalQueryCache::GetInterfaces(const Selector& selector) {
+  JournalRequest req;
+  req.type = RequestType::kGetInterfaces;
+  req.selector = selector;
+  return Lookup(req).interfaces;
+}
+
+std::vector<GatewayRecord> JournalQueryCache::GetGateways() {
+  JournalRequest req;
+  req.type = RequestType::kGetGateways;
+  return Lookup(req).gateways;
+}
+
+std::vector<SubnetRecord> JournalQueryCache::GetSubnets() {
+  JournalRequest req;
+  req.type = RequestType::kGetSubnets;
+  return Lookup(req).subnets;
+}
+
+JournalStats JournalQueryCache::GetStats() {
+  JournalRequest req;
+  req.type = RequestType::kGetStats;
+  return Lookup(req).counts;
+}
+
+}  // namespace fremont

@@ -1,0 +1,72 @@
+// JournalQueryCache: generation-validated read caching for JournalClient.
+//
+// The Journal bumps a mutation generation on every successful store/delete
+// and stamps it on every response. The cache keys each Get*/GetStats request
+// by its encoded wire form and remembers the records together with the
+// generation they were fetched at. Two validation paths:
+//
+//  - Exclusive mode (every mutation flows through this client): if the entry
+//    generation equals the last generation this client saw, the Journal
+//    cannot have changed — answer from memory with zero round trips.
+//  - Otherwise send a conditional get (`if_generation`): the server answers
+//    kNotModified with no payload when nothing mutated, which still skips
+//    the record copy + serialization; a full response replaces the entry.
+//
+// Invalidation is implicit: any mutation bumps the generation, so stale
+// entries simply fail validation and are refreshed on next use.
+
+#ifndef SRC_JOURNAL_QUERY_CACHE_H_
+#define SRC_JOURNAL_QUERY_CACHE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/journal/journal.h"
+#include "src/journal/protocol.h"
+
+namespace fremont {
+
+class JournalClient;
+
+class JournalQueryCache {
+ public:
+  struct CacheStats {
+    uint64_t hits = 0;         // Served from memory, zero round trips.
+    uint64_t validations = 0;  // Conditional get answered kNotModified.
+    uint64_t misses = 0;       // Full fetch over the wire.
+  };
+
+  JournalQueryCache(JournalClient* client, bool exclusive)
+      : client_(client), exclusive_(exclusive) {}
+
+  std::vector<InterfaceRecord> GetInterfaces(const Selector& selector);
+  std::vector<GatewayRecord> GetGateways();
+  std::vector<SubnetRecord> GetSubnets();
+  JournalStats GetStats();
+
+  const CacheStats& stats() const { return stats_; }
+  void Invalidate() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    uint64_t generation = 0;
+    // Only the vector matching the request type is populated.
+    std::vector<InterfaceRecord> interfaces;
+    std::vector<GatewayRecord> gateways;
+    std::vector<SubnetRecord> subnets;
+    JournalStats counts;
+  };
+
+  // Runs `request` through the cache; returns the live entry for it.
+  const Entry& Lookup(const JournalRequest& request);
+
+  JournalClient* client_;
+  bool exclusive_;
+  std::unordered_map<std::string, Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_JOURNAL_QUERY_CACHE_H_

@@ -30,12 +30,10 @@ std::optional<MacAddress> DecodeOptionalMac(ByteReader& reader) {
   if (reader.ReadU8() == 0) {
     return std::nullopt;
   }
-  ByteBuffer raw = reader.ReadBytes(6);
-  if (raw.size() != 6) {
+  std::array<uint8_t, 6> octets;
+  if (!reader.ReadInto(octets.data(), octets.size())) {
     return std::nullopt;
   }
-  std::array<uint8_t, 6> octets;
-  std::copy(raw.begin(), raw.end(), octets.begin());
   return MacAddress(octets);
 }
 
@@ -182,8 +180,7 @@ void InterfaceObservation::Encode(ByteWriter& writer) const {
   writer.WriteU16(services);
 }
 
-std::optional<InterfaceObservation> InterfaceObservation::Decode(ByteReader& reader) {
-  InterfaceObservation obs;
+bool InterfaceObservation::DecodeInto(InterfaceObservation& obs, ByteReader& reader) {
   obs.ip = Ipv4Address(reader.ReadU32());
   obs.mac = DecodeOptionalMac(reader);
   obs.dns_name = reader.ReadString();
@@ -197,7 +194,12 @@ std::optional<InterfaceObservation> InterfaceObservation::Decode(ByteReader& rea
   obs.rip_source = (flags & 1) != 0;
   obs.rip_promiscuous = (flags & 2) != 0;
   obs.services = reader.ReadU16();
-  if (!reader.ok()) {
+  return reader.ok();
+}
+
+std::optional<InterfaceObservation> InterfaceObservation::Decode(ByteReader& reader) {
+  InterfaceObservation obs;
+  if (!DecodeInto(obs, reader)) {
     return std::nullopt;
   }
   return obs;
@@ -252,8 +254,7 @@ void GatewayObservation::Encode(ByteWriter& writer) const {
   }
 }
 
-std::optional<GatewayObservation> GatewayObservation::Decode(ByteReader& reader) {
-  GatewayObservation obs;
+bool GatewayObservation::DecodeInto(GatewayObservation& obs, ByteReader& reader) {
   obs.name = reader.ReadString();
   uint16_t n_ips = reader.ReadU16();
   for (uint16_t i = 0; i < n_ips && reader.ok(); ++i) {
@@ -263,7 +264,12 @@ std::optional<GatewayObservation> GatewayObservation::Decode(ByteReader& reader)
   for (uint16_t i = 0; i < n_subnets && reader.ok(); ++i) {
     obs.connected_subnets.push_back(DecodeSubnet(reader));
   }
-  if (!reader.ok()) {
+  return reader.ok();
+}
+
+std::optional<GatewayObservation> GatewayObservation::Decode(ByteReader& reader) {
+  GatewayObservation obs;
+  if (!DecodeInto(obs, reader)) {
     return std::nullopt;
   }
   return obs;
@@ -311,13 +317,17 @@ void SubnetObservation::Encode(ByteWriter& writer) const {
   writer.WriteU32(highest_assigned.value());
 }
 
-std::optional<SubnetObservation> SubnetObservation::Decode(ByteReader& reader) {
-  SubnetObservation obs;
+bool SubnetObservation::DecodeInto(SubnetObservation& obs, ByteReader& reader) {
   obs.subnet = DecodeSubnet(reader);
   obs.host_count = static_cast<int32_t>(reader.ReadU32());
   obs.lowest_assigned = Ipv4Address(reader.ReadU32());
   obs.highest_assigned = Ipv4Address(reader.ReadU32());
-  if (!reader.ok()) {
+  return reader.ok();
+}
+
+std::optional<SubnetObservation> SubnetObservation::Decode(ByteReader& reader) {
+  SubnetObservation obs;
+  if (!DecodeInto(obs, reader)) {
     return std::nullopt;
   }
   return obs;

@@ -106,6 +106,9 @@ struct InterfaceObservation {
 
   void Encode(ByteWriter& writer) const;
   static std::optional<InterfaceObservation> Decode(ByteReader& reader);
+  // In-place decode for the batch hot path; Decode() wraps it. On failure
+  // `out` is partially written and must be discarded.
+  static bool DecodeInto(InterfaceObservation& out, ByteReader& reader);
 };
 
 // --- Gateway -----------------------------------------------------------------
@@ -132,6 +135,9 @@ struct GatewayObservation {
 
   void Encode(ByteWriter& writer) const;
   static std::optional<GatewayObservation> Decode(ByteReader& reader);
+  // In-place decode for the batch hot path; Decode() wraps it. On failure
+  // `out` is partially written and must be discarded.
+  static bool DecodeInto(GatewayObservation& out, ByteReader& reader);
 };
 
 // --- Subnet ------------------------------------------------------------------
@@ -158,6 +164,9 @@ struct SubnetObservation {
 
   void Encode(ByteWriter& writer) const;
   static std::optional<SubnetObservation> Decode(ByteReader& reader);
+  // In-place decode for the batch hot path; Decode() wraps it. On failure
+  // `out` is partially written and must be discarded.
+  static bool DecodeInto(SubnetObservation& out, ByteReader& reader);
 };
 
 }  // namespace fremont

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 
+#include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
 
 namespace fremont {
 
 ReplicationStats ReplicationPeer::Pull(JournalClient& local) {
   ReplicationStats stats;
+  // All local replays ride one batch writer. No clock: time does not advance
+  // during a pull, so server-side stamping at flush matches per-record v1.
+  JournalBatchWriter writer(&local);
 
   // Interfaces: incremental via the predicate-based query. ModifiedSince is
   // inclusive, so ask for strictly-after the last sync instant.
@@ -24,11 +28,8 @@ ReplicationStats ReplicationPeer::Pull(JournalClient& local) {
     obs.rip_source = rec.rip_source;
     obs.rip_promiscuous = rec.rip_promiscuous;
     obs.services = rec.services;
-    auto result = local.StoreInterface(obs, DiscoverySource::kManual);
+    writer.StoreInterface(obs, DiscoverySource::kManual);
     ++stats.interfaces_pulled;
-    if (result.created || result.changed) {
-      ++stats.new_or_changed;
-    }
     newest = std::max(newest, rec.ts.last_changed);
   }
 
@@ -47,11 +48,8 @@ ReplicationStats ReplicationPeer::Pull(JournalClient& local) {
     if (obs.interface_ips.empty() && obs.name.empty()) {
       continue;
     }
-    auto result = local.StoreGateway(obs, DiscoverySource::kManual);
+    writer.StoreGateway(obs, DiscoverySource::kManual);
     ++stats.gateways_pulled;
-    if (result.created || result.changed) {
-      ++stats.new_or_changed;
-    }
   }
 
   // Subnets: full replay (small and idempotent).
@@ -61,12 +59,11 @@ ReplicationStats ReplicationPeer::Pull(JournalClient& local) {
     obs.host_count = subnet.host_count;
     obs.lowest_assigned = subnet.lowest_assigned;
     obs.highest_assigned = subnet.highest_assigned;
-    auto result = local.StoreSubnet(obs, DiscoverySource::kManual);
+    writer.StoreSubnet(obs, DiscoverySource::kManual);
     ++stats.subnets_pulled;
-    if (result.created || result.changed) {
-      ++stats.new_or_changed;
-    }
   }
+  writer.Flush();
+  stats.new_or_changed = writer.totals().new_info;
 
   // Lag between consecutive pulls: how stale this site was just before the
   // pull, measured by the newest remote change it had been missing.

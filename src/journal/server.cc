@@ -1,5 +1,6 @@
 #include "src/journal/server.h"
 
+#include <algorithm>
 #include <string>
 
 #include "src/telemetry/metrics.h"
@@ -51,6 +52,63 @@ ByteBuffer JournalServer::HandleRequest(const ByteBuffer& request_bytes) {
   return response_bytes;
 }
 
+BatchItemResult JournalServer::ApplyWrite(const JournalRequest& item, SimTime now) {
+  // Deferred stores carry the time the module actually made the observation;
+  // records end up stamped exactly as if each store had been sent eagerly.
+  const SimTime stamp =
+      item.obs_time.has_value() ? std::min(*item.obs_time, now) : now;
+  BatchItemResult r;
+  Journal::StoreResult result;
+  switch (item.type) {
+    case RequestType::kStoreInterface:
+      if (!item.interface_obs.has_value()) {
+        r.status = ResponseStatus::kMalformedRequest;
+        return r;
+      }
+      result = journal_.StoreInterface(*item.interface_obs, item.source, stamp);
+      break;
+    case RequestType::kStoreGateway:
+      if (!item.gateway_obs.has_value()) {
+        r.status = ResponseStatus::kMalformedRequest;
+        return r;
+      }
+      result = journal_.StoreGateway(*item.gateway_obs, item.source, stamp);
+      break;
+    case RequestType::kStoreSubnet:
+      if (!item.subnet_obs.has_value()) {
+        r.status = ResponseStatus::kMalformedRequest;
+        return r;
+      }
+      result = journal_.StoreSubnet(*item.subnet_obs, item.source, stamp);
+      break;
+    case RequestType::kDeleteInterface:
+      r.status = journal_.DeleteInterface(item.delete_id) ? ResponseStatus::kOk
+                                                          : ResponseStatus::kNotFound;
+      return r;
+    case RequestType::kDeleteGateway:
+      r.status = journal_.DeleteGateway(item.delete_id) ? ResponseStatus::kOk
+                                                        : ResponseStatus::kNotFound;
+      return r;
+    case RequestType::kDeleteSubnet:
+      r.status = journal_.DeleteSubnet(item.delete_id) ? ResponseStatus::kOk
+                                                       : ResponseStatus::kNotFound;
+      return r;
+    default:
+      r.status = ResponseStatus::kMalformedRequest;
+      return r;
+  }
+  r.record_id = result.id;
+  r.created = result.created;
+  r.changed = result.changed;
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  if (r.created) {
+    metrics.GetCounter("journal_server/records_created")->Increment();
+  } else if (r.changed) {
+    metrics.GetCounter("journal_server/records_changed")->Increment();
+  }
+  return r;
+}
+
 JournalResponse JournalServer::Handle(const JournalRequest& request) {
   ++requests_handled_;
   const SimTime now = clock_();
@@ -64,38 +122,46 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
   }
   JournalResponse resp;
 
+  // Conditional read: the client proved it already has the answer for this
+  // generation, so skip the record copy and serialization entirely.
+  const bool is_get =
+      request.type == RequestType::kGetInterfaces || request.type == RequestType::kGetGateways ||
+      request.type == RequestType::kGetSubnets || request.type == RequestType::kGetStats;
+  if (is_get && request.if_generation != 0 && request.if_generation == journal_.generation()) {
+    resp.status = ResponseStatus::kNotModified;
+    resp.generation = journal_.generation();
+    return resp;
+  }
+
   switch (request.type) {
-    case RequestType::kStoreInterface: {
-      if (!request.interface_obs.has_value()) {
-        resp.status = ResponseStatus::kMalformedRequest;
-        break;
-      }
-      auto result = journal_.StoreInterface(*request.interface_obs, request.source, now);
-      resp.record_id = result.id;
-      resp.created = result.created;
-      resp.changed = result.changed;
-      break;
-    }
-    case RequestType::kStoreGateway: {
-      if (!request.gateway_obs.has_value()) {
-        resp.status = ResponseStatus::kMalformedRequest;
-        break;
-      }
-      auto result = journal_.StoreGateway(*request.gateway_obs, request.source, now);
-      resp.record_id = result.id;
-      resp.created = result.created;
-      resp.changed = result.changed;
-      break;
-    }
+    case RequestType::kStoreInterface:
+    case RequestType::kStoreGateway:
     case RequestType::kStoreSubnet: {
-      if (!request.subnet_obs.has_value()) {
+      BatchItemResult r = ApplyWrite(request, now);
+      resp.status = r.status;
+      resp.record_id = r.record_id;
+      resp.created = r.created;
+      resp.changed = r.changed;
+      break;
+    }
+    case RequestType::kBatch: {
+      bool nested = false;
+      for (const auto& item : request.batch) {
+        if (!IsBatchableType(item.type)) {
+          nested = true;  // Decode rejects these; guard typed-dispatch callers too.
+          break;
+        }
+      }
+      if (nested) {
         resp.status = ResponseStatus::kMalformedRequest;
         break;
       }
-      auto result = journal_.StoreSubnet(*request.subnet_obs, request.source, now);
-      resp.record_id = result.id;
-      resp.created = result.created;
-      resp.changed = result.changed;
+      metrics.GetCounter("journal_server/batch_ops")
+          ->Add(static_cast<int64_t>(request.batch.size()));
+      resp.batch_results.reserve(request.batch.size());
+      for (const auto& item : request.batch) {
+        resp.batch_results.push_back(ApplyWrite(item, now));
+      }
       break;
     }
     case RequestType::kGetInterfaces: {
@@ -147,19 +213,9 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
       }
       break;
     case RequestType::kDeleteInterface:
-      if (!journal_.DeleteInterface(request.delete_id)) {
-        resp.status = ResponseStatus::kNotFound;
-      }
-      break;
     case RequestType::kDeleteGateway:
-      if (!journal_.DeleteGateway(request.delete_id)) {
-        resp.status = ResponseStatus::kNotFound;
-      }
-      break;
     case RequestType::kDeleteSubnet:
-      if (!journal_.DeleteSubnet(request.delete_id)) {
-        resp.status = ResponseStatus::kNotFound;
-      }
+      resp.status = ApplyWrite(request, now).status;
       break;
     case RequestType::kGetStats: {
       JournalStats stats = journal_.Stats();
@@ -172,13 +228,9 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
 
   const bool is_store = request.type == RequestType::kStoreInterface ||
                         request.type == RequestType::kStoreGateway ||
-                        request.type == RequestType::kStoreSubnet;
+                        request.type == RequestType::kStoreSubnet ||
+                        request.type == RequestType::kBatch;
   if (is_store && resp.status == ResponseStatus::kOk) {
-    if (resp.created) {
-      metrics.GetCounter("journal_server/records_created")->Increment();
-    } else if (resp.changed) {
-      metrics.GetCounter("journal_server/records_changed")->Increment();
-    }
     const JournalStats stats = journal_.Stats();
     metrics.GetGauge("journal_server/interface_records")
         ->Set(static_cast<int64_t>(stats.interface_count));
@@ -187,6 +239,7 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
     metrics.GetGauge("journal_server/subnet_records")
         ->Set(static_cast<int64_t>(stats.subnet_count));
   }
+  resp.generation = journal_.generation();
   return resp;
 }
 

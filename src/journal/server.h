@@ -43,6 +43,10 @@ class JournalServer {
 
  private:
   void MaybeCheckpoint();
+  // Applies one store/delete (top-level or batch item). `now` is the server
+  // clock; batch items carrying an observation time are stamped with it,
+  // clamped so a client can never post-date the Journal.
+  BatchItemResult ApplyWrite(const JournalRequest& item, SimTime now);
 
   Clock clock_;
   Journal journal_;

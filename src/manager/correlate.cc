@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 #include "src/util/string_util.h"
@@ -30,6 +31,9 @@ CorrelationReport Correlate(JournalClient& journal, int assumed_prefix, SimTime 
     }
   }
 
+  // Inferred gateways are batched; sim time does not advance inside this
+  // pass, so server-side stamping at flush matches per-record stamping.
+  JournalBatchWriter writer(&journal);
   for (const auto& [mac, recs] : by_mac) {
     (void)mac;
     if (recs.size() < 2) {
@@ -49,12 +53,13 @@ CorrelationReport Correlate(JournalClient& journal, int assumed_prefix, SimTime 
           gw.name = rec->dns_name;
         }
       }
-      journal.StoreGateway(gw, DiscoverySource::kManual);
+      writer.StoreGateway(gw, DiscoverySource::kManual);
       ++report.gateways_inferred_from_mac;
     } else {
       ++report.same_subnet_multi_ip_macs;
     }
   }
+  writer.Flush();
 
   for (const auto& rec : subnets) {
     if (rec.gateway_ids.empty()) {

@@ -1,5 +1,6 @@
 #include "src/util/bytes.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace fremont {
@@ -17,48 +18,6 @@ void ByteWriter::PatchU16(size_t offset, uint16_t v) {
   buf_[offset + 1] = static_cast<uint8_t>(v);
 }
 
-bool ByteReader::Require(size_t n) {
-  if (!ok_ || pos_ + n > len_) {
-    ok_ = false;
-    return false;
-  }
-  return true;
-}
-
-uint8_t ByteReader::ReadU8() {
-  if (!Require(1)) {
-    return 0;
-  }
-  return data_[pos_++];
-}
-
-uint16_t ByteReader::ReadU16() {
-  if (!Require(2)) {
-    return 0;
-  }
-  uint16_t v = static_cast<uint16_t>(static_cast<uint16_t>(data_[pos_]) << 8 |
-                                     static_cast<uint16_t>(data_[pos_ + 1]));
-  pos_ += 2;
-  return v;
-}
-
-uint32_t ByteReader::ReadU32() {
-  if (!Require(4)) {
-    return 0;
-  }
-  uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
-               static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
-               static_cast<uint32_t>(data_[pos_ + 2]) << 8 | static_cast<uint32_t>(data_[pos_ + 3]);
-  pos_ += 4;
-  return v;
-}
-
-uint64_t ByteReader::ReadU64() {
-  uint64_t hi = ReadU32();
-  uint64_t lo = ReadU32();
-  return hi << 32 | lo;
-}
-
 ByteBuffer ByteReader::ReadBytes(size_t len) {
   if (!Require(len)) {
     return {};
@@ -66,6 +25,16 @@ ByteBuffer ByteReader::ReadBytes(size_t len) {
   ByteBuffer out(data_ + pos_, data_ + pos_ + len);
   pos_ += len;
   return out;
+}
+
+bool ByteReader::ReadInto(uint8_t* out, size_t len) {
+  if (!Require(len)) {
+    std::fill(out, out + len, static_cast<uint8_t>(0));
+    return false;
+  }
+  std::copy(data_ + pos_, data_ + pos_ + len, out);
+  pos_ += len;
+  return true;
 }
 
 std::string ByteReader::ReadString() {

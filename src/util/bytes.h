@@ -25,18 +25,22 @@ class ByteWriter {
 
   void WriteU8(uint8_t v) { buf_.push_back(v); }
   void WriteU16(uint16_t v) {
-    buf_.push_back(static_cast<uint8_t>(v >> 8));
-    buf_.push_back(static_cast<uint8_t>(v));
+    uint8_t* p = Extend(2);
+    p[0] = static_cast<uint8_t>(v >> 8);
+    p[1] = static_cast<uint8_t>(v);
   }
   void WriteU32(uint32_t v) {
-    buf_.push_back(static_cast<uint8_t>(v >> 24));
-    buf_.push_back(static_cast<uint8_t>(v >> 16));
-    buf_.push_back(static_cast<uint8_t>(v >> 8));
-    buf_.push_back(static_cast<uint8_t>(v));
+    uint8_t* p = Extend(4);
+    p[0] = static_cast<uint8_t>(v >> 24);
+    p[1] = static_cast<uint8_t>(v >> 16);
+    p[2] = static_cast<uint8_t>(v >> 8);
+    p[3] = static_cast<uint8_t>(v);
   }
   void WriteU64(uint64_t v) {
-    WriteU32(static_cast<uint32_t>(v >> 32));
-    WriteU32(static_cast<uint32_t>(v));
+    uint8_t* p = Extend(8);
+    for (int i = 0; i < 8; ++i) {
+      p[i] = static_cast<uint8_t>(v >> (56 - 8 * i));
+    }
   }
   void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
   void WriteBytes(const uint8_t* data, size_t len) { buf_.insert(buf_.end(), data, data + len); }
@@ -48,11 +52,27 @@ class ByteWriter {
   // or length field that is only known after the payload is written).
   void PatchU16(size_t offset, uint16_t v);
 
+  // Pre-sizes the backing buffer so the next `n` bytes append without
+  // reallocating. A hint: writing past it is still legal.
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+  // Drops the contents but keeps the allocation, so a scratch writer can be
+  // reused across encodes without churning the allocator.
+  void Clear() { buf_.clear(); }
+
   size_t size() const { return buf_.size(); }
+  size_t capacity() const { return buf_.capacity(); }
   const ByteBuffer& buffer() const { return buf_; }
   ByteBuffer TakeBuffer() { return std::move(buf_); }
 
  private:
+  // Grows the buffer by `n` and returns the write position — one capacity
+  // check per field instead of one per byte.
+  uint8_t* Extend(size_t n) {
+    const size_t pos = buf_.size();
+    buf_.resize(pos + n);
+    return buf_.data() + pos;
+  }
+
   ByteBuffer buf_;
 };
 
@@ -65,13 +85,51 @@ class ByteReader {
   ByteReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
   explicit ByteReader(const ByteBuffer& buf) : ByteReader(buf.data(), buf.size()) {}
 
-  uint8_t ReadU8();
-  uint16_t ReadU16();
-  uint32_t ReadU32();
-  uint64_t ReadU64();
+  // The fixed-width reads are inline: codecs issue a dozen of them per record
+  // and the call overhead would rival the work.
+  uint8_t ReadU8() {
+    if (!Require(1)) {
+      return 0;
+    }
+    return data_[pos_++];
+  }
+  uint16_t ReadU16() {
+    if (!Require(2)) {
+      return 0;
+    }
+    uint16_t v = static_cast<uint16_t>(static_cast<uint16_t>(data_[pos_]) << 8 |
+                                       static_cast<uint16_t>(data_[pos_ + 1]));
+    pos_ += 2;
+    return v;
+  }
+  uint32_t ReadU32() {
+    if (!Require(4)) {
+      return 0;
+    }
+    uint32_t v = static_cast<uint32_t>(data_[pos_]) << 24 |
+                 static_cast<uint32_t>(data_[pos_ + 1]) << 16 |
+                 static_cast<uint32_t>(data_[pos_ + 2]) << 8 |
+                 static_cast<uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t ReadU64() {
+    if (!Require(8)) {
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = v << 8 | data_[pos_ + i];
+    }
+    pos_ += 8;
+    return v;
+  }
   int64_t ReadI64() { return static_cast<int64_t>(ReadU64()); }
   // Reads `len` raw bytes; returns an empty buffer and poisons on short read.
   ByteBuffer ReadBytes(size_t len);
+  // Copies `len` raw bytes into `out` without allocating; returns false and
+  // poisons on short read (hot-path alternative to ReadBytes).
+  bool ReadInto(uint8_t* out, size_t len);
   // Reads a u16-length-prefixed string (the ByteWriter::WriteString format).
   std::string ReadString();
   // Skips `len` bytes.
@@ -84,7 +142,13 @@ class ByteReader {
   ByteBuffer PeekRemaining() const;
 
  private:
-  bool Require(size_t n);
+  bool Require(size_t n) {
+    if (!ok_ || pos_ + n > len_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
 
   const uint8_t* data_;
   size_t len_;

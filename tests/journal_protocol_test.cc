@@ -177,6 +177,163 @@ TEST_F(JournalServerTest, MalformedRequestRejected) {
   EXPECT_EQ(response->status, ResponseStatus::kMalformedRequest);
 }
 
+// --- Protocol v2: batch framing and generation-stamped queries --------------
+
+TEST(JournalProtocolTest, BatchRequestRoundTrip) {
+  JournalRequest batch;
+  batch.type = RequestType::kBatch;
+
+  JournalRequest store;
+  store.type = RequestType::kStoreInterface;
+  store.source = DiscoverySource::kSeqPing;
+  store.interface_obs = SampleInterfaceObs();
+  store.obs_time = SimTime::FromMicros(777);
+  batch.batch.push_back(store);
+
+  JournalRequest subnet;
+  subnet.type = RequestType::kStoreSubnet;
+  subnet.source = DiscoverySource::kRipWatch;
+  subnet.subnet_obs = SubnetObservation{};
+  subnet.subnet_obs->subnet = *Subnet::Parse("128.138.238.0/24");
+  batch.batch.push_back(subnet);  // No obs_time: stamped at flush.
+
+  JournalRequest del;
+  del.type = RequestType::kDeleteGateway;
+  del.delete_id = 42;
+  batch.batch.push_back(del);
+
+  auto decoded = JournalRequest::Decode(batch.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, RequestType::kBatch);
+  ASSERT_EQ(decoded->batch.size(), 3u);
+  EXPECT_EQ(decoded->batch[0].type, RequestType::kStoreInterface);
+  EXPECT_EQ(decoded->batch[0].source, DiscoverySource::kSeqPing);
+  ASSERT_TRUE(decoded->batch[0].obs_time.has_value());
+  EXPECT_EQ(*decoded->batch[0].obs_time, SimTime::FromMicros(777));
+  ASSERT_TRUE(decoded->batch[0].interface_obs.has_value());
+  EXPECT_EQ(decoded->batch[0].interface_obs->dns_name, "boulder.cs.colorado.edu");
+  EXPECT_EQ(decoded->batch[1].type, RequestType::kStoreSubnet);
+  EXPECT_FALSE(decoded->batch[1].obs_time.has_value());
+  EXPECT_EQ(decoded->batch[2].type, RequestType::kDeleteGateway);
+  EXPECT_EQ(decoded->batch[2].delete_id, 42u);
+}
+
+TEST(JournalProtocolTest, BatchFrameFromSpanMatchesWrapperEncoding) {
+  std::vector<JournalRequest> items(2);
+  items[0].type = RequestType::kStoreInterface;
+  items[0].source = DiscoverySource::kArpWatch;
+  items[0].interface_obs = SampleInterfaceObs();
+  items[1].type = RequestType::kDeleteSubnet;
+  items[1].delete_id = 9;
+
+  JournalRequest wrapper;
+  wrapper.type = RequestType::kBatch;
+  wrapper.batch = items;
+
+  ByteWriter span_writer;
+  JournalRequest::EncodeBatchFrame(span_writer, DiscoverySource::kNone, items.data(),
+                                   items.size());
+  EXPECT_EQ(span_writer.buffer(), wrapper.Encode());
+}
+
+TEST(JournalProtocolTest, NestedBatchAndReadsInsideBatchRejected) {
+  JournalRequest inner;
+  inner.type = RequestType::kBatch;
+  JournalRequest outer;
+  outer.type = RequestType::kBatch;
+  outer.batch.push_back(inner);
+  EXPECT_FALSE(JournalRequest::Decode(outer.Encode()).has_value());
+
+  JournalRequest get;
+  get.type = RequestType::kGetInterfaces;
+  JournalRequest batch;
+  batch.type = RequestType::kBatch;
+  batch.batch.push_back(get);
+  EXPECT_FALSE(JournalRequest::Decode(batch.Encode()).has_value());
+}
+
+TEST(JournalProtocolTest, V1FramingBytesUnchanged) {
+  // GetStats is the minimal request: type + source, nothing else. A v2
+  // encoder must not grow it.
+  JournalRequest stats;
+  stats.type = RequestType::kGetStats;
+  EXPECT_EQ(stats.Encode().size(), 3u);
+
+  // Get with if_generation == 0 (the v1 value) stays at the v1 length:
+  // 3-byte header + 29-byte selector. Setting the generation appends
+  // exactly the 8-byte trailing tag.
+  JournalRequest get;
+  get.type = RequestType::kGetInterfaces;
+  EXPECT_EQ(get.Encode().size(), 32u);
+  get.if_generation = 7;
+  EXPECT_EQ(get.Encode().size(), 40u);
+
+  auto decoded = JournalRequest::Decode(get.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->if_generation, 7u);
+}
+
+TEST_F(JournalServerTest, BatchThroughServerAppliesEveryItemWithItsObsTime) {
+  std::vector<JournalRequest> items(2);
+  items[0].type = RequestType::kStoreInterface;
+  items[0].source = DiscoverySource::kArpWatch;
+  items[0].interface_obs = SampleInterfaceObs();
+  items[0].obs_time = now_ - Duration::Minutes(10);  // Observed before the flush.
+  items[1].type = RequestType::kStoreInterface;
+  items[1].source = DiscoverySource::kSeqPing;
+  items[1].interface_obs = InterfaceObservation{};
+  items[1].interface_obs->ip = Ipv4Address(10, 0, 0, 9);
+
+  auto results = client_.StoreBatch(std::move(items));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, ResponseStatus::kOk);
+  EXPECT_TRUE(results[0].created);
+  EXPECT_EQ(results[1].status, ResponseStatus::kOk);
+
+  auto stored = client_.GetInterfaces(Selector::ByIp(Ipv4Address(128, 138, 238, 10)));
+  ASSERT_EQ(stored.size(), 1u);
+  EXPECT_EQ(stored[0].ts.last_verified, now_ - Duration::Minutes(10));
+  auto unstamped = client_.GetInterfaces(Selector::ByIp(Ipv4Address(10, 0, 0, 9)));
+  ASSERT_EQ(unstamped.size(), 1u);
+  EXPECT_EQ(unstamped[0].ts.last_verified, now_);  // No obs_time: server clock.
+}
+
+TEST_F(JournalServerTest, ConditionalGetReturnsNotModified) {
+  client_.StoreInterface(SampleInterfaceObs(), DiscoverySource::kArpWatch);
+  const uint64_t gen = client_.last_seen_generation();
+  ASSERT_NE(gen, 0u);
+
+  JournalRequest get;
+  get.type = RequestType::kGetInterfaces;
+  get.if_generation = gen;
+  auto unchanged = JournalResponse::Decode(server_.HandleRequest(get.Encode()));
+  ASSERT_TRUE(unchanged.has_value());
+  EXPECT_EQ(unchanged->status, ResponseStatus::kNotModified);
+  EXPECT_TRUE(unchanged->interfaces.empty());
+  EXPECT_EQ(unchanged->generation, gen);
+
+  // Any mutation bumps the generation and the same conditional get now
+  // returns the records.
+  InterfaceObservation other;
+  other.ip = Ipv4Address(3, 3, 3, 3);
+  client_.StoreInterface(other, DiscoverySource::kSeqPing);
+  auto modified = JournalResponse::Decode(server_.HandleRequest(get.Encode()));
+  ASSERT_TRUE(modified.has_value());
+  EXPECT_EQ(modified->status, ResponseStatus::kOk);
+  EXPECT_EQ(modified->interfaces.size(), 2u);
+  EXPECT_GT(modified->generation, gen);
+}
+
+TEST_F(JournalServerTest, EveryResponseCarriesGeneration) {
+  client_.StoreInterface(SampleInterfaceObs(), DiscoverySource::kArpWatch);
+  const uint64_t after_store = client_.last_seen_generation();
+  EXPECT_NE(after_store, 0u);
+  client_.GetInterfaces();
+  EXPECT_EQ(client_.last_seen_generation(), after_store);  // Reads do not bump it.
+  client_.DeleteInterface(client_.GetInterfaces()[0].id);
+  EXPECT_GT(client_.last_seen_generation(), after_store);
+}
+
 TEST_F(JournalServerTest, CheckpointWritesPeriodically) {
   const std::string path = ::testing::TempDir() + "/journal_checkpoint.bin";
   std::remove(path.c_str());

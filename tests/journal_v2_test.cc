@@ -1,0 +1,95 @@
+// Protocol v2 equivalence property: the same discovery campaign must leave
+// the Journal Server in a byte-identical state whether the modules store
+// per-record (the v1 wire behavior, batch size 0), through small batches, or
+// through batch-64 with the client query cache enabled. Batching defers
+// stores but stamps each with its observation time, and reads flush buffered
+// writes first, so no explorer can observe — or record — a difference.
+
+#include <gtest/gtest.h>
+
+#include "src/explorer/arpwatch.h"
+#include "src/explorer/ripwatch.h"
+#include "src/explorer/seq_ping.h"
+#include "src/explorer/traceroute.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/manager/correlate.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace fremont {
+namespace {
+
+// A small campus keeps the three pipeline runs fast while still exercising
+// every store type (interfaces, gateways, subnets) and the correlation pass.
+CampusParams SmallCampus() {
+  CampusParams params;
+  params.assigned_subnets = 12;
+  params.connected_subnets = 11;
+  params.faulty_gateway_subnets = 2;
+  params.dns_registered_subnets = 9;
+  params.dns_named_gateways = 3;
+  return params;
+}
+
+struct PipelineResult {
+  ByteBuffer journal_bytes;
+  uint64_t rpcs = 0;
+  bool indexes_ok = false;
+};
+
+PipelineResult RunPipeline(size_t batch_size, bool use_cache) {
+  Simulator sim(1993);
+  Campus campus = BuildCampus(sim, SmallCampus());
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient client(&server);
+  client.set_store_batch_size(batch_size);
+  if (use_cache) {
+    client.EnableQueryCache();
+  }
+  sim.RunFor(Duration::Minutes(5));  // RIP converges, ARP caches warm.
+
+  RipWatch rip(campus.vantage, &client);
+  rip.Run(Duration::Minutes(2));
+  {
+    ArpWatch arp(campus.vantage, &client);
+    arp.Run(Duration::Minutes(30));
+  }
+  SeqPing ping(campus.vantage, &client);
+  ping.Run();
+  Traceroute trace(campus.vantage, &client);
+  trace.Run();
+  Correlate(client);
+
+  PipelineResult result;
+  ByteWriter writer;
+  server.journal().EncodeAll(writer);
+  result.journal_bytes = writer.TakeBuffer();
+  result.rpcs = client.requests_sent();
+  result.indexes_ok = server.journal().CheckIndexes();
+  return result;
+}
+
+TEST(JournalV2EquivalenceTest, BatchedPipelineMatchesPerRecordByteForByte) {
+  PipelineResult v1 = RunPipeline(/*batch_size=*/0, /*use_cache=*/false);
+  PipelineResult batched = RunPipeline(/*batch_size=*/64, /*use_cache=*/true);
+
+  EXPECT_TRUE(v1.indexes_ok);
+  EXPECT_TRUE(batched.indexes_ok);
+  ASSERT_FALSE(v1.journal_bytes.empty());
+  EXPECT_EQ(v1.journal_bytes, batched.journal_bytes);
+
+  // The whole point of v2: the same campaign takes far fewer round trips.
+  EXPECT_LT(batched.rpcs, v1.rpcs / 2);
+}
+
+TEST(JournalV2EquivalenceTest, SmallBatchesMatchToo) {
+  PipelineResult v1 = RunPipeline(/*batch_size=*/0, /*use_cache=*/false);
+  PipelineResult small = RunPipeline(/*batch_size=*/3, /*use_cache=*/false);
+  EXPECT_TRUE(small.indexes_ok);
+  EXPECT_EQ(v1.journal_bytes, small.journal_bytes);
+  EXPECT_LT(small.rpcs, v1.rpcs);
+}
+
+}  // namespace
+}  // namespace fremont

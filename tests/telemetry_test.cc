@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/journal/batch_writer.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
 #include "src/util/logging.h"
 
 namespace fremont::telemetry {
@@ -210,6 +213,40 @@ TEST(ExportTest, SyncExternalCountersImportsLogTallies) {
 TEST(ExportTest, JsonEscapesControlAndQuoteCharacters) {
   EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// Protocol v2 wires its own instruments into the global registry: the batch
+// writer records flush sizes, the server counts batched sub-operations, the
+// query cache tallies hits/misses, and the client counts scratch-buffer
+// capacity it reused instead of reallocating.
+TEST(JournalTelemetryTest, V2InstrumentsCoverBatchingCachingAndScratchReuse) {
+  auto& metrics = MetricsRegistry::Global();
+  metrics.Reset();
+
+  JournalServer server([]() { return SimTime::Epoch(); });
+  JournalClient client(&server);
+  client.set_store_batch_size(4);
+  client.EnableQueryCache();
+  {
+    JournalBatchWriter writer(&client);
+    for (uint32_t i = 0; i < 8; ++i) {
+      InterfaceObservation obs;
+      obs.ip = Ipv4Address(0x80800000u + i);
+      writer.StoreInterface(obs, DiscoverySource::kArpWatch);
+    }
+  }  // 8 stores at batch size 4: exactly two kBatch flushes.
+  client.GetInterfaces();  // Journal changed since the last response: miss.
+  client.GetInterfaces();  // Unchanged generation: served client-side.
+
+  const Histogram& batch_sizes = metrics.histograms().at("journal_client/batch_size");
+  EXPECT_EQ(batch_sizes.count(), 2u);
+  EXPECT_EQ(batch_sizes.sum(), 8);
+  EXPECT_EQ(metrics.counters().at("journal_server/batch_ops").value(), 8u);
+  EXPECT_EQ(metrics.counters().at("journal_client/cache_misses").value(), 1u);
+  EXPECT_EQ(metrics.counters().at("journal_client/cache_hits").value(), 1u);
+  // The first encode starts from an empty scratch buffer; every round trip
+  // after it reuses the allocation.
+  EXPECT_GT(metrics.counters().at("journal_client/encode_bytes_reused").value(), 0u);
 }
 
 TEST(ExportTest, TextDumpListsEveryInstrument) {

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Builds the tree and runs the tier-1 test suite, optionally under a
+# sanitizer. Each mode gets its own build directory so sanitized and plain
+# objects never mix.
+#
+#   tools/check.sh            # plain build + ctest
+#   tools/check.sh asan       # AddressSanitizer build + ctest
+#   tools/check.sh ubsan      # UndefinedBehaviorSanitizer build + ctest
+#   tools/check.sh all        # all three, in that order
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+mode=${1:-plain}
+
+run_one() {
+  name=$1
+  sanitize=$2
+  build_dir="$root/build-check-$name"
+  echo "== $name: configure + build ($build_dir) =="
+  cmake -B "$build_dir" -S "$root" -G Ninja \
+    -DFREMONT_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)"
+  echo "== $name: ctest =="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+case "$mode" in
+  plain) run_one plain "" ;;
+  asan) run_one asan address ;;
+  ubsan) run_one ubsan undefined ;;
+  all)
+    run_one plain ""
+    run_one asan address
+    run_one ubsan undefined
+    ;;
+  *)
+    echo "usage: $0 [plain|asan|ubsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "check.sh: $mode OK"
