@@ -23,11 +23,26 @@ JournalBatchWriter::~JournalBatchWriter() {
 JournalRequest& JournalBatchWriter::Emplace(RequestType type) {
   JournalRequest& item = count_ < pending_.size() ? pending_[count_] : pending_.emplace_back();
   ++count_;
+  // A reused slot keeps the fields of its previous occupant: reset everything
+  // the caller is not about to fill so nothing stale leaks onto the wire. The
+  // observation optional matching `type` stays engaged — assignment into it
+  // reuses its string capacity, which is the point of the slot pool.
   item.type = type;
+  item.source = DiscoverySource::kNone;
+  item.delete_id = kInvalidRecordId;
+  if (type != RequestType::kStoreInterface) {
+    item.interface_obs.reset();
+  }
+  if (type != RequestType::kStoreGateway) {
+    item.gateway_obs.reset();
+  }
+  if (type != RequestType::kStoreSubnet) {
+    item.subnet_obs.reset();
+  }
   if (clock_) {
     item.obs_time = clock_();
   } else {
-    item.obs_time.reset();  // A reused slot may carry a stale stamp.
+    item.obs_time.reset();
   }
   return item;
 }

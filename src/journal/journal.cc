@@ -172,12 +172,15 @@ Journal::StoreResult Journal::StoreInterface(const InterfaceObservation& obs,
     // not a change to the interface itself: timestamps other than
     // last_verified are untouched.
   }
-  target->ts.last_verified = now;
+  // max(): a batched store flushing after another module already verified
+  // this record carries an older observation stamp; verification times only
+  // move forward, exactly as eager per-record stores would have left them.
+  target->ts.last_verified = std::max(target->ts.last_verified, now);
   if (source != DiscoverySource::kDns) {
-    target->ts.last_wire_verified = now;
+    target->ts.last_wire_verified = std::max(target->ts.last_wire_verified, now);
   }
   if (changed) {
-    target->ts.last_changed = now;
+    target->ts.last_changed = std::max(target->ts.last_changed, now);
     TouchInterface(target->id);
   }
   ++generation_;  // last_verified moved even when nothing else changed.
@@ -216,8 +219,8 @@ void Journal::MergeGateways(RecordId to, RecordId from, SimTime now) {
     dst.name = src.name;
   }
   dst.sources |= src.sources;
-  dst.ts.last_changed = now;
-  dst.ts.last_verified = now;
+  dst.ts.last_changed = std::max(dst.ts.last_changed, now);
+  dst.ts.last_verified = std::max({dst.ts.last_verified, src.ts.last_verified, now});
   dst.ts.first_discovered = std::min(dst.ts.first_discovered, src.ts.first_discovered);
 
   // Re-point subnet records.
@@ -246,7 +249,7 @@ void Journal::AttachGatewayToSubnet(const Subnet& subnet, RecordId gateway_id,
   auto& gw_ids = it->second.gateway_ids;
   if (std::find(gw_ids.begin(), gw_ids.end(), gateway_id) == gw_ids.end()) {
     gw_ids.push_back(gateway_id);
-    it->second.ts.last_changed = now;
+    it->second.ts.last_changed = std::max(it->second.ts.last_changed, now);
   }
 }
 
@@ -315,7 +318,7 @@ Journal::StoreResult Journal::StoreGateway(const GatewayObservation& obs, Discov
     if (InterfaceRecord* rec = MutableInterface(iface_id);
         rec != nullptr && rec->gateway_id != gw_id) {
       rec->gateway_id = gw_id;
-      rec->ts.last_changed = now;
+      rec->ts.last_changed = std::max(rec->ts.last_changed, now);
       TouchInterface(iface_id);
     }
   }
@@ -332,9 +335,9 @@ Journal::StoreResult Journal::StoreGateway(const GatewayObservation& obs, Discov
     changed = true;
   }
   gw.sources |= SourceBit(source);
-  gw.ts.last_verified = now;
+  gw.ts.last_verified = std::max(gw.ts.last_verified, now);
   if (changed) {
-    gw.ts.last_changed = now;
+    gw.ts.last_changed = std::max(gw.ts.last_changed, now);
   }
   ++generation_;
   result.id = gw_id;
@@ -388,9 +391,9 @@ Journal::StoreResult Journal::StoreSubnet(const SubnetObservation& obs, Discover
     changed = true;
   }
   rec.sources |= SourceBit(source);
-  rec.ts.last_verified = now;
+  rec.ts.last_verified = std::max(rec.ts.last_verified, now);
   if (changed) {
-    rec.ts.last_changed = now;
+    rec.ts.last_changed = std::max(rec.ts.last_changed, now);
   }
   ++generation_;
   result.id = rec.id;

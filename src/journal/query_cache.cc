@@ -16,6 +16,11 @@ std::string KeyFor(const JournalRequest& request) {
 
 const JournalQueryCache::Entry& JournalQueryCache::Lookup(const JournalRequest& request) {
   auto& metrics = telemetry::MetricsRegistry::Global();
+  // Read-your-writes: buffered batch-writer stores must land (bumping the
+  // Journal's generation) before a generation match can prove the cached
+  // entry current. RoundTrip flushes on its own, but the exclusive fast path
+  // below answers without one. No-op when nothing is queued.
+  client_->FlushAttachedWriters();
   const std::string key = KeyFor(request);
   auto it = entries_.find(key);
   if (it != entries_.end() && exclusive_ &&

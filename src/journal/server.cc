@@ -54,7 +54,10 @@ ByteBuffer JournalServer::HandleRequest(const ByteBuffer& request_bytes) {
 
 BatchItemResult JournalServer::ApplyWrite(const JournalRequest& item, SimTime now) {
   // Deferred stores carry the time the module actually made the observation;
-  // records end up stamped exactly as if each store had been sent eagerly.
+  // records end up stamped as if each store had been sent eagerly. The clamp
+  // here rejects future stamps; the Journal's store paths clamp the other
+  // direction (verification times only move forward), so a long-buffered
+  // store flushing after a fresher verify cannot rewind a record's stamps.
   const SimTime stamp =
       item.obs_time.has_value() ? std::min(*item.obs_time, now) : now;
   BatchItemResult r;

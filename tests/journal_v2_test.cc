@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "src/explorer/arpwatch.h"
+#include "src/journal/batch_writer.h"
 #include "src/explorer/ripwatch.h"
 #include "src/explorer/seq_ping.h"
 #include "src/explorer/traceroute.h"
@@ -81,6 +82,99 @@ TEST(JournalV2EquivalenceTest, BatchedPipelineMatchesPerRecordByteForByte) {
 
   // The whole point of v2: the same campaign takes far fewer round trips.
   EXPECT_LT(batched.rpcs, v1.rpcs / 2);
+}
+
+// Regression: the exclusive query cache's zero-round-trip path must flush
+// attached batch writers first. Buffered stores don't bump the generation, so
+// without the flush the generation-equality check "proves" a stale entry
+// current and the read silently misses every queued write.
+TEST(JournalV2QueryCacheTest, ExclusiveCacheObservesBufferedWrites) {
+  SimTime now = SimTime::FromMicros(1000);
+  JournalServer server([&now]() { return now; });
+  JournalClient client(&server);
+  client.set_store_batch_size(64);
+  client.EnableQueryCache(/*exclusive=*/true);
+  JournalBatchWriter writer(&client);
+
+  InterfaceObservation a;
+  a.ip = Ipv4Address(10, 0, 0, 1);
+  writer.StoreInterface(a, DiscoverySource::kArpWatch);
+  EXPECT_EQ(writer.pending(), 1u);
+  EXPECT_EQ(client.GetInterfaces().size(), 1u);  // Flushes, then caches.
+
+  InterfaceObservation b;
+  b.ip = Ipv4Address(10, 0, 0, 2);
+  writer.StoreInterface(b, DiscoverySource::kArpWatch);
+  EXPECT_EQ(writer.pending(), 1u);
+  // A cached read with a write still queued: read-your-writes.
+  EXPECT_EQ(client.GetInterfaces().size(), 2u);
+  EXPECT_EQ(writer.pending(), 0u);
+}
+
+// Regression: a long-buffered store flushing after another module already
+// verified the same record carries an older observation stamp; it must not
+// rewind last_verified/last_wire_verified — an ordering eager v1 stores could
+// never produce.
+TEST(JournalV2StampTest, LateFlushedStoreCannotRewindVerificationStamps) {
+  SimTime now = SimTime::FromMicros(0);
+  JournalServer server([&now]() { return now; });
+  JournalClient client(&server);
+
+  InterfaceObservation obs;
+  obs.ip = Ipv4Address(10, 0, 0, 7);
+  obs.mac = MacAddress(0x08, 0x00, 0x20, 9, 9, 9);
+  now = SimTime::FromMicros(10'000'000);
+  ASSERT_TRUE(client.StoreInterface(obs, DiscoverySource::kSeqPing).ok);
+
+  // The same interface seen at t=5s by a module whose writer only flushes at
+  // t=12s (ArpWatch holds stores until Stop()).
+  JournalRequest late;
+  late.type = RequestType::kStoreInterface;
+  late.source = DiscoverySource::kArpWatch;
+  late.interface_obs = obs;
+  late.obs_time = SimTime::FromMicros(5'000'000);
+  now = SimTime::FromMicros(12'000'000);
+  auto results = client.StoreBatch({late});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, ResponseStatus::kOk);
+
+  auto records = client.GetInterfaces();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].ts.last_verified.ToMicros(), 10'000'000);
+  EXPECT_EQ(records[0].ts.last_wire_verified.ToMicros(), 10'000'000);
+}
+
+// Regression: the batch writer's slot pool re-fills existing JournalRequests;
+// a delete reusing a store slot must not transmit the store's leftover source
+// bits (or any other stale field) on the wire.
+TEST(JournalV2BatchWriterTest, ReusedSlotDoesNotLeakPreviousItemOntoWire) {
+  SimTime now = SimTime::FromMicros(1000);
+  JournalServer server([&now]() { return now; });
+  std::vector<JournalRequest> batches;
+  JournalClient client([&](const ByteBuffer& bytes) {
+    if (auto req = JournalRequest::Decode(bytes);
+        req.has_value() && req->type == RequestType::kBatch) {
+      batches.push_back(*req);
+    }
+    return server.HandleRequest(bytes);
+  });
+  client.set_store_batch_size(1);  // Flush per item: slot 0 is reused each time.
+  JournalBatchWriter writer(&client);
+
+  InterfaceObservation obs;
+  obs.ip = Ipv4Address(10, 1, 2, 3);
+  writer.StoreInterface(obs, DiscoverySource::kArpWatch);
+  const auto records = server.journal().AllInterfaces();
+  ASSERT_EQ(records.size(), 1u);
+  writer.DeleteInterface(records[0].id);
+
+  ASSERT_EQ(batches.size(), 2u);
+  ASSERT_EQ(batches[1].batch.size(), 1u);
+  const JournalRequest& del = batches[1].batch[0];
+  EXPECT_EQ(del.type, RequestType::kDeleteInterface);
+  EXPECT_EQ(del.delete_id, records[0].id);
+  EXPECT_EQ(del.source, DiscoverySource::kNone);
+  EXPECT_FALSE(del.interface_obs.has_value());
 }
 
 TEST(JournalV2EquivalenceTest, SmallBatchesMatchToo) {
