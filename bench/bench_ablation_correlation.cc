@@ -64,7 +64,7 @@ int Main() {
   // (a) Traceroute alone (with its RIPwatch feeder, as the paper runs it).
   JournalServer trace_server([&sim]() { return sim.Now(); });
   JournalClient trace_client(&trace_server);
-  RipWatch(campus.vantage, &trace_client).Run(Duration::Minutes(2));
+  RipWatch(campus.vantage, &trace_client, {.watch = Duration::Minutes(2)}).Run();
   Traceroute(campus.vantage, &trace_client).Run();
   PictureStats trace_only = Measure(trace_client);
 
@@ -77,7 +77,7 @@ int Main() {
   // (c) Everything into one Journal, plus the correlation pass.
   JournalServer merged_server([&sim]() { return sim.Now(); });
   JournalClient merged_client(&merged_server);
-  RipWatch(campus.vantage, &merged_client).Run(Duration::Minutes(2));
+  RipWatch(campus.vantage, &merged_client, {.watch = Duration::Minutes(2)}).Run();
   Traceroute(campus.vantage, &merged_client).Run();
   DnsExplorer(campus.vantage, &merged_client, dns_params).Run();
   CorrelationReport correlation = Correlate(merged_client);

@@ -8,6 +8,7 @@
 // against the final Journal coverage.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/explorer/etherhostprobe.h"
@@ -41,25 +42,22 @@ WeekResult RunWeek(bool adaptive, uint64_t seed) {
   Host* vantage = dept.vantage;
   // With `adaptive` off, min == max pins every interval (no backoff possible).
   auto reg = [&](const std::string& name, Duration min_interval, Duration max_interval,
-                 std::function<ExplorerReport()> run) {
+                 std::function<std::unique_ptr<ExplorerModule>()> make) {
     manager.RegisterModule(
-        {name, min_interval, adaptive ? max_interval : min_interval, std::move(run)});
+        {name, min_interval, adaptive ? max_interval : min_interval, std::move(make)});
   };
   reg("etherhostprobe", Duration::Hours(12), Duration::Days(7), [&]() {
-    EtherHostProbe module(vantage, &journal);
-    return module.Run();
+    return std::make_unique<EtherHostProbe>(vantage, &journal);
   });
   reg("seqping", Duration::Hours(12), Duration::Days(7), [&]() {
-    SeqPing module(vantage, &journal);
-    return module.Run();
+    return std::make_unique<SeqPing>(vantage, &journal);
   });
   reg("subnetmasks", Duration::Hours(12), Duration::Days(7), [&]() {
-    SubnetMaskExplorer module(vantage, &journal);
-    return module.Run();
+    return std::make_unique<SubnetMaskExplorer>(vantage, &journal);
   });
   reg("ripwatch", Duration::Hours(6), Duration::Days(7), [&]() {
-    RipWatch module(vantage, &journal);
-    return module.Run(Duration::Minutes(2));
+    return std::make_unique<RipWatch>(vantage, &journal,
+                                      RipWatchParams{.watch = Duration::Minutes(2)});
   });
 
   WeekResult result;

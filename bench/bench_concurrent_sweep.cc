@@ -1,0 +1,199 @@
+// Concurrent vs serial sweep: the payoff of the cooperative module runtime.
+//
+// With every Explorer Module due at the same tick, the historical serial
+// manager ran them back to back, so a full campus sweep took the SUM of the
+// module durations. The concurrent Tick launches all due modules into one
+// event-queue pass, overlapping their probe waits, so the sweep takes close
+// to the MAX. This bench warms the Journal identically in both runs, then
+// measures an all-modules-due sweep on the campus topology in each mode
+// (same seed), quantifies the sim-time speedup and the per-module overlap
+// factor, checks the two Journals are record-for-record equivalent, and
+// writes BENCH_concurrent_sweep.json for CI trending.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/explorer/dns_explorer.h"
+#include "src/journal/client.h"
+#include "src/journal/server.h"
+#include "src/manager/discovery_manager.h"
+#include "src/manager/module_registry.h"
+#include "src/manager/schedule.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace fremont {
+namespace {
+
+struct JournalKeys {
+  std::set<std::string> interfaces;
+  std::set<std::string> gateways;
+  std::set<std::string> subnets;
+};
+
+struct SweepResult {
+  double sweep_seconds = 0.0;        // Sim-time from launch to last completion.
+  double sum_module_seconds = 0.0;   // Σ per-module Elapsed().
+  double overlap_factor = 0.0;       // sum / sweep; 1.0 means fully serial.
+  int module_runs = 0;
+  JournalKeys keys;
+  std::vector<ExplorerReport> reports;
+};
+
+SweepResult RunSweep(bool serial, uint64_t seed) {
+  Simulator sim(seed);
+  CampusParams params;
+  Campus campus = BuildCampus(sim, params);
+  sim.RunFor(Duration::Minutes(5));  // Let RIP converge.
+
+  JournalServer server([&sim]() { return sim.Now(); });
+  JournalClient journal(&server);
+  Host* vantage = campus.vantage;
+
+  DiscoveryManager manager(&sim.events(), &journal);
+  for (const char* name : {"arpwatch", "etherhostprobe", "seqping", "broadcastping",
+                           "subnetmasks", "ripwatch", "traceroute", "ripprobe",
+                           "serviceprobe"}) {
+    manager.RegisterModule(MakeStandardRegistration(name, vantage, &journal));
+  }
+  const ModuleSpec* dns_spec = FindModuleSpec("dns");
+  manager.RegisterModule({"dns", dns_spec->min_interval, dns_spec->max_interval, [&]() {
+                            DnsExplorerParams dns_params;
+                            dns_params.network = params.class_b;
+                            dns_params.server = campus.dns_host->primary_interface()->ip;
+                            return std::make_unique<DnsExplorer>(vantage, &journal, dns_params);
+                          }});
+
+  // Warm the Journal with an identical serial first tick in BOTH runs:
+  // journal-driven modules (traceroute, RIPprobe, serviceprobe) need records
+  // to chase, and warming serially keeps the pre-sweep state byte-identical
+  // across modes. Then mark every module never-run again so the measured
+  // tick launches the full set at once.
+  manager.set_serial(true);
+  manager.Tick();
+  std::vector<ModuleSchedule> fresh = manager.ExportSchedule();
+  for (auto& entry : fresh) {
+    entry.ever_run = false;
+  }
+  manager.RestoreSchedule(fresh);
+  manager.set_serial(serial);
+
+  const SimTime sweep_start = sim.Now();
+  SweepResult result;
+  result.reports = manager.Tick();
+  result.module_runs = static_cast<int>(result.reports.size());
+  result.sweep_seconds = (sim.Now() - sweep_start).ToSecondsF();
+  for (const auto& report : result.reports) {
+    result.sum_module_seconds += report.Elapsed().ToSecondsF();
+  }
+  result.overlap_factor =
+      result.sweep_seconds > 0.0 ? result.sum_module_seconds / result.sweep_seconds : 0.0;
+
+  for (const auto& rec : journal.GetInterfaces()) {
+    result.keys.interfaces.insert(rec.ip.ToString());
+  }
+  for (const auto& rec : journal.GetGateways()) {
+    // Completion order may differ between modes, so normalise the
+    // connected-subnet list before comparing.
+    std::vector<std::string> connected;
+    for (const auto& subnet : rec.connected_subnets) {
+      connected.push_back(subnet.ToString());
+    }
+    std::sort(connected.begin(), connected.end());
+    std::string key = rec.name;
+    for (const auto& subnet : connected) {
+      key += "|" + subnet;
+    }
+    result.keys.gateways.insert(std::move(key));
+  }
+  for (const auto& rec : journal.GetSubnets()) {
+    result.keys.subnets.insert(rec.subnet.ToString());
+  }
+  return result;
+}
+
+bool WriteJson(const std::string& path, const SweepResult& serial,
+               const SweepResult& concurrent, double speedup, bool journals_equal) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_concurrent_sweep: cannot write %s\n", path.c_str());
+    return false;
+  }
+  auto emit_mode = [out](const char* name, const SweepResult& r) {
+    std::fprintf(out,
+                 " \"%s\": {\"sweep_sim_seconds\": %.3f, \"sum_module_sim_seconds\": %.3f,"
+                 " \"overlap_factor\": %.3f, \"module_runs\": %d,"
+                 " \"interfaces\": %zu, \"gateways\": %zu, \"subnets\": %zu,\n"
+                 "  \"modules\": [",
+                 name, r.sweep_seconds, r.sum_module_seconds, r.overlap_factor, r.module_runs,
+                 r.keys.interfaces.size(), r.keys.gateways.size(), r.keys.subnets.size());
+    for (size_t i = 0; i < r.reports.size(); ++i) {
+      const auto& report = r.reports[i];
+      std::fprintf(out, "%s\n   {\"name\": \"%s\", \"sim_seconds\": %.3f}",
+                   i == 0 ? "" : ",", report.module.c_str(),
+                   report.Elapsed().ToSecondsF());
+    }
+    std::fprintf(out, "]}");
+  };
+  std::fprintf(out, "{\"schema\": \"fremont.bench.v1\",\n");
+  emit_mode("serial", serial);
+  std::fprintf(out, ",\n");
+  emit_mode("concurrent", concurrent);
+  std::fprintf(out, ",\n \"speedup\": %.3f,\n \"journals_equivalent\": %s}\n", speedup,
+               journals_equal ? "true" : "false");
+  std::fclose(out);
+  return true;
+}
+
+int Main() {
+  bench::PrintHeader("Concurrent vs serial campus sweep",
+                     "the Discovery Manager section (cooperative module runtime)");
+
+  const uint64_t kSeed = 19930901;
+  const SweepResult serial = RunSweep(/*serial=*/true, kSeed);
+  const SweepResult concurrent = RunSweep(/*serial=*/false, kSeed);
+  const double speedup =
+      concurrent.sweep_seconds > 0.0 ? serial.sweep_seconds / concurrent.sweep_seconds : 0.0;
+  const bool journals_equal = serial.keys.interfaces == concurrent.keys.interfaces &&
+                              serial.keys.gateways == concurrent.keys.gateways &&
+                              serial.keys.subnets == concurrent.keys.subnets;
+
+  std::printf("%-24s %16s %20s %16s\n", "Mode (all modules due)", "Sweep sim-time",
+              "Σ module sim-time", "Overlap factor");
+  std::printf("%-24s %15.1fs %19.1fs %15.2fx\n", "Serial (historical)", serial.sweep_seconds,
+              serial.sum_module_seconds, serial.overlap_factor);
+  std::printf("%-24s %15.1fs %19.1fs %15.2fx\n", "Concurrent (default)",
+              concurrent.sweep_seconds, concurrent.sum_module_seconds,
+              concurrent.overlap_factor);
+
+  std::printf("\nPer-module durations (identical work, overlapped waits):\n");
+  for (const auto& report : concurrent.reports) {
+    std::printf("  %-16s %8.1fs\n", report.module.c_str(),
+                report.Elapsed().ToSecondsF());
+  }
+
+  std::printf("\nConcurrent sweep is %.2fx faster in sim-time; journals are %s.\n", speedup,
+              journals_equal ? "record-for-record equivalent" : "DIFFERENT (bug!)");
+
+  const bool wrote = WriteJson("BENCH_concurrent_sweep.json", serial, concurrent, speedup,
+                               journals_equal);
+
+  bool shape_ok = true;
+  shape_ok &= serial.module_runs == concurrent.module_runs;  // Same modules launched...
+  shape_ok &= speedup >= 1.5;                // ...measurably overlapped (acceptance bar)...
+  shape_ok &= concurrent.overlap_factor > serial.overlap_factor;
+  shape_ok &= journals_equal;                // ...with no loss of discovered records.
+  shape_ok &= wrote;
+  std::printf("shape check: %s\n", shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fremont
+
+int main() { return fremont::Main(); }

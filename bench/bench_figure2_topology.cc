@@ -35,8 +35,8 @@ int Main() {
   JournalClient client(&server);
   sim.RunFor(Duration::Minutes(5));
 
-  RipWatch ripwatch(campus.vantage, &client);
-  ripwatch.Run(Duration::Minutes(2));
+  RipWatch ripwatch(campus.vantage, &client, {.watch = Duration::Minutes(2)});
+  ripwatch.Run();
   Traceroute(campus.vantage, &client).Run();
   DnsExplorerParams dns_params;
   dns_params.network = params.class_b;

@@ -68,8 +68,8 @@ void BM_FullTracerouteSweep(benchmark::State& state) {
     sim.RunFor(Duration::Minutes(3));
     JournalServer server([&sim]() { return sim.Now(); });
     JournalClient client(&server);
-    RipWatch feeder(campus.vantage, &client);
-    feeder.Run(Duration::Minutes(2));
+    RipWatch feeder(campus.vantage, &client, {.watch = Duration::Minutes(2)});
+    feeder.Run();
     Traceroute trace(campus.vantage, &client);
     ExplorerReport report = trace.Run();
     benchmark::DoNotOptimize(report.discovered);

@@ -63,9 +63,9 @@ int Main() {
   std::vector<LoadRow> rows;
 
   {
-    ArpWatch module(dept.vantage, &client);
+    ArpWatch module(dept.vantage, &client, {.watch = Duration::Hours(2)});
     std::clock_t cpu = std::clock();
-    ExplorerReport report = module.Run(Duration::Hours(2));
+    ExplorerReport report = module.Run();
     rows.push_back({"ARPwatch", "2 hours; 1 week", "continuous", Rate(report), "none",
                     CpuMillisSince(cpu)});
   }
@@ -100,9 +100,9 @@ int Main() {
                     ".5 pkts/sec", CpuMillisSince(cpu)});
   }
   {
-    RipWatch module(dept.vantage, &client);
+    RipWatch module(dept.vantage, &client, {.watch = Duration::Minutes(2)});
     std::clock_t cpu = std::clock();
-    ExplorerReport report = module.Run(Duration::Minutes(2));
+    ExplorerReport report = module.Run();
     rows.push_back({"RIPwatch", "2 hours; 1 week", report.Elapsed().ToString(), Rate(report),
                     "none", CpuMillisSince(cpu)});
   }
@@ -115,8 +115,8 @@ int Main() {
   JournalClient campus_client(&campus_server);
   campus_sim.RunFor(Duration::Minutes(5));
   {
-    RipWatch feeder(campus.vantage, &campus_client);
-    feeder.Run(Duration::Minutes(2));
+    RipWatch feeder(campus.vantage, &campus_client, {.watch = Duration::Minutes(2)});
+    feeder.Run();
     Traceroute module(campus.vantage, &campus_client);
     std::clock_t cpu = std::clock();
     ExplorerReport report = module.Run();

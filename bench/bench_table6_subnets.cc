@@ -47,8 +47,8 @@ int Main() {
   // --- RIPwatch (2 minutes of listening, per Table 4).
   JournalServer rip_server([&sim]() { return sim.Now(); });
   JournalClient rip_client(&rip_server);
-  RipWatch ripwatch(campus.vantage, &rip_client);
-  ripwatch.Run(Duration::Minutes(2));
+  RipWatch ripwatch(campus.vantage, &rip_client, {.watch = Duration::Minutes(2)});
+  ripwatch.Run();
   const int rip_found = CountConnected(campus, rip_client.GetSubnets());
 
   // --- Traceroute, fed by the RIPwatch census (the paper's cross-module
@@ -56,8 +56,8 @@ int Main() {
   JournalServer trace_server([&sim]() { return sim.Now(); });
   JournalClient trace_client(&trace_server);
   {
-    RipWatch feeder(campus.vantage, &trace_client);
-    feeder.Run(Duration::Minutes(2));
+    RipWatch feeder(campus.vantage, &trace_client, {.watch = Duration::Minutes(2)});
+    feeder.Run();
   }
   Traceroute traceroute(campus.vantage, &trace_client);
   ExplorerReport trace_report = traceroute.Run();
@@ -81,8 +81,8 @@ int Main() {
   JournalServer ablation_server([&sim]() { return sim.Now(); });
   JournalClient ablation_client(&ablation_server);
   {
-    RipWatch feeder(campus.vantage, &ablation_client);
-    feeder.Run(Duration::Minutes(2));
+    RipWatch feeder(campus.vantage, &ablation_client, {.watch = Duration::Minutes(2)});
+    feeder.Run();
   }
   TracerouteParams one_address;
   one_address.probe_three_addresses = false;

@@ -37,8 +37,8 @@ int Main() {
 
   // The full pipeline, in the Discovery Manager's natural order.
   EtherHostProbe(campus.vantage, &client).Run();
-  RipWatch ripwatch(campus.vantage, &client);
-  ripwatch.Run(Duration::Minutes(2));
+  RipWatch ripwatch(campus.vantage, &client, {.watch = Duration::Minutes(2)});
+  ripwatch.Run();
   Traceroute(campus.vantage, &client).Run();
   SubnetMaskExplorer(campus.vantage, &client).Run();
   DnsExplorerParams dns_params;

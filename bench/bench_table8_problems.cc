@@ -39,11 +39,11 @@ int Main() {
   // Phase 1 (day 1, daytime): full discovery.
   sim.RunUntil(SimTime::Epoch() + Duration::Hours(10));
   ArpWatch arpwatch(dept.vantage, &client);
-  arpwatch.Start();
+  arpwatch.StartCapture();
   EtherHostProbe(dept.vantage, &client).Run();
   SubnetMaskExplorer(dept.vantage, &client).Run();
-  RipWatch ripwatch(dept.vantage, &client);
-  ripwatch.Run(Duration::Minutes(3));
+  RipWatch ripwatch(dept.vantage, &client, {.watch = Duration::Minutes(3)});
+  ripwatch.Run();
 
   // Phase 2: a machine leaves the network for good ("IP no longer in use"),
   // and another machine's Ethernet card is swapped ("hardware change").
@@ -63,7 +63,7 @@ int Main() {
   // so the Journal remembers the old bindings far beyond any ARP cache TTL.
   sim.RunFor(Duration::Days(7));
   EtherHostProbe(dept.vantage, &client).Run();
-  arpwatch.Stop();
+  arpwatch.StopCapture();
 
   // Analysis programs.
   const auto interfaces = client.GetInterfaces();

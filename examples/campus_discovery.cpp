@@ -1,6 +1,6 @@
 // Campus discovery: the full Fremont system end to end.
 //
-// Builds the 111-subnet campus, registers all eight Explorer Modules with
+// Builds the 111-subnet campus, registers all ten Explorer Modules with
 // the Discovery Manager, and lets the manager run them on its adaptive
 // schedule for three simulated days. The Journal checkpoints to disk, the
 // startup/history file is written the way the 1993 prototype maintained it,
@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "src/explorer/arpwatch.h"
@@ -27,6 +28,7 @@
 #include "src/journal/server.h"
 #include "src/manager/correlate.h"
 #include "src/manager/discovery_manager.h"
+#include "src/manager/module_registry.h"
 #include "src/present/views.h"
 #include "src/sim/simulator.h"
 #include "src/sim/topology.h"
@@ -50,51 +52,23 @@ int main(int argc, char** argv) {
   journal.EnableQueryCache();
   Host* vantage = campus.vantage;
 
-  // Register all eight modules with the paper's Table 4 intervals.
+  // Register all ten modules with the paper's Table 4 intervals. Every due
+  // module launches into one event-queue pass per tick, so their probe waits
+  // overlap instead of running back to back.
   DiscoveryManager manager(&sim.events(), &journal);
-  manager.RegisterModule({"arpwatch", Duration::Hours(2), Duration::Days(7), [&]() {
-                            ArpWatch module(vantage, &journal);
-                            return module.Run(Duration::Hours(1));
-                          }});
-  manager.RegisterModule({"etherhostprobe", Duration::Days(1), Duration::Days(7), [&]() {
-                            EtherHostProbe module(vantage, &journal);
-                            return module.Run();
-                          }});
-  manager.RegisterModule({"seqping", Duration::Days(2), Duration::Days(14), [&]() {
-                            SeqPing module(vantage, &journal);
-                            return module.Run();
-                          }});
-  manager.RegisterModule({"broadcastping", Duration::Days(7), Duration::Days(28), [&]() {
-                            BroadcastPing module(vantage, &journal);
-                            return module.Run();
-                          }});
-  manager.RegisterModule({"subnetmasks", Duration::Days(1), Duration::Days(7), [&]() {
-                            SubnetMaskExplorer module(vantage, &journal);
-                            return module.Run();
-                          }});
-  manager.RegisterModule({"ripwatch", Duration::Hours(2), Duration::Days(7), [&]() {
-                            RipWatch module(vantage, &journal);
-                            return module.Run(Duration::Minutes(2));
-                          }});
-  manager.RegisterModule({"traceroute", Duration::Days(2), Duration::Days(14), [&]() {
-                            Traceroute module(vantage, &journal);  // Targets from the Journal.
-                            return module.Run();
-                          }});
-  manager.RegisterModule({"dns", Duration::Days(2), Duration::Days(14), [&]() {
+  for (const char* name : {"arpwatch", "etherhostprobe", "seqping", "broadcastping",
+                           "subnetmasks", "ripwatch", "traceroute", "ripprobe",
+                           "serviceprobe"}) {
+    manager.RegisterModule(MakeStandardRegistration(name, vantage, &journal));
+  }
+  // DNS needs site knowledge (the zone and its server) the registry cannot
+  // supply, so it gets a bespoke factory with the standard interval band.
+  const ModuleSpec* dns_spec = FindModuleSpec("dns");
+  manager.RegisterModule({"dns", dns_spec->min_interval, dns_spec->max_interval, [&]() {
                             DnsExplorerParams dns_params;
                             dns_params.network = params.class_b;
                             dns_params.server = campus.dns_host->primary_interface()->ip;
-                            DnsExplorer module(vantage, &journal, dns_params);
-                            return module.Run();
-                          }});
-  // The future-work modules ride the same schedule machinery.
-  manager.RegisterModule({"ripprobe", Duration::Days(2), Duration::Days(14), [&]() {
-                            RipProbe module(vantage, &journal);  // Targets from the Journal.
-                            return module.Run();
-                          }});
-  manager.RegisterModule({"serviceprobe", Duration::Days(3), Duration::Days(14), [&]() {
-                            ServiceProbe module(vantage, &journal);
-                            return module.Run();
+                            return std::make_unique<DnsExplorer>(vantage, &journal, dns_params);
                           }});
 
   // Resume a previous schedule if one exists (the startup/history file).

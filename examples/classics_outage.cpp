@@ -93,8 +93,8 @@ int main() {
   JournalClient journal(&server);
 
   // --- Week 1: routine discovery while everything works. -------------------
-  RipWatch ripwatch(vantage, &journal);
-  ripwatch.Run(Duration::Minutes(2));
+  RipWatch ripwatch(vantage, &journal, {.watch = Duration::Minutes(2)});
+  ripwatch.Run();
   Traceroute traceroute(vantage, &journal);
   traceroute.Run();
 

@@ -51,9 +51,8 @@ struct Site {
   }
 
   void Discover() {
-    RipWatch ripwatch(campus.vantage, journal.get());
-    std::printf("[%s] %s\n", label.c_str(),
-                ripwatch.Run(Duration::Minutes(2)).Summary().c_str());
+    RipWatch ripwatch(campus.vantage, journal.get(), {.watch = Duration::Minutes(2)});
+    std::printf("[%s] %s\n", label.c_str(), ripwatch.Run().Summary().c_str());
     Traceroute trace(campus.vantage, journal.get());
     std::printf("[%s] %s\n", label.c_str(), trace.Run().Summary().c_str());
   }

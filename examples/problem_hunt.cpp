@@ -35,17 +35,17 @@ int main() {
 
   std::printf("Running discovery on %s ...\n", params.subnet.ToString().c_str());
   ArpWatch arpwatch(dept.vantage, &journal);
-  arpwatch.Start();
+  arpwatch.StartCapture();
   EtherHostProbe(dept.vantage, &journal).Run();
   SubnetMaskExplorer(dept.vantage, &journal).Run();
-  RipWatch(dept.vantage, &journal).Run(Duration::Minutes(3));
+  RipWatch(dept.vantage, &journal, {.watch = Duration::Minutes(3)}).Run();
 
   // A machine quietly leaves the network; keep watching for a few days so
   // its record goes stale while everyone else stays fresh.
   dept.churn->Decommission(dept.hosts[20]);
   sim.RunFor(Duration::Days(4));
   EtherHostProbe(dept.vantage, &journal).Run();
-  arpwatch.Stop();
+  arpwatch.StopCapture();
 
   const auto interfaces = journal.GetInterfaces();
   const auto gateways = journal.GetGateways();

@@ -38,8 +38,8 @@ int main() {
 
   // Step 1: passive census of the local subnet, then directed RIP probes at
   // every gateway the campus advertises.
-  RipWatch ripwatch(campus.vantage, &journal);
-  std::printf("%s\n", ripwatch.Run(Duration::Minutes(2)).Summary().c_str());
+  RipWatch ripwatch(campus.vantage, &journal, {.watch = Duration::Minutes(2)});
+  std::printf("%s\n", ripwatch.Run().Summary().c_str());
   RipProbe rip_probe(campus.vantage, &journal);
   ExplorerReport probe_report = rip_probe.Run();
   std::printf("%s\n", probe_report.Summary().c_str());

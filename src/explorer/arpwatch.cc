@@ -7,14 +7,14 @@
 namespace fremont {
 
 ArpWatch::ArpWatch(Host* vantage, JournalClient* journal, ArpWatchParams params)
-    : vantage_(vantage),
-      journal_(journal),
+    : ExplorerModule("arpwatch", "ARPwatch", vantage->events(), journal),
+      vantage_(vantage),
       params_(params),
       writer_(journal, [this]() { return vantage_->Now(); }) {}
 
-ArpWatch::~ArpWatch() { Stop(); }
+ArpWatch::~ArpWatch() { StopCapture(); }
 
-bool ArpWatch::Start() {
+bool ArpWatch::StartCapture() {
   if (tap_token_ >= 0) {
     return true;
   }
@@ -24,18 +24,36 @@ bool ArpWatch::Start() {
     return false;
   }
   segment_ = iface->segment;
-  started_ = vantage_->Now();
+  capture_started_ = vantage_->Now();
   tap_token_ = segment_->AddTap(
       [this](const EthernetFrame& frame, SimTime now) { OnFrame(frame, now); });
   return true;
 }
 
-void ArpWatch::Stop() {
+void ArpWatch::StopCapture() {
   if (tap_token_ >= 0 && segment_ != nullptr) {
     segment_->RemoveTap(tap_token_);
   }
   tap_token_ = -1;
   writer_.Flush();
+}
+
+void ArpWatch::StartImpl() {
+  if (!StartCapture()) {
+    FillReport();
+    Complete();
+    return;
+  }
+  ScheduleGuarded(params_.watch, [this]() {
+    StopCapture();
+    FillReport();
+    Complete();
+  });
+}
+
+void ArpWatch::CancelImpl() {
+  StopCapture();
+  FillReport();
 }
 
 void ArpWatch::OnFrame(const EthernetFrame& frame, SimTime now) {
@@ -86,20 +104,18 @@ int ArpWatch::unique_ips_in(const Subnet& subnet) const {
   return static_cast<int>(ips.size());
 }
 
-ExplorerReport ArpWatch::Run(Duration watch) {
-  TraceModuleStart("arpwatch", vantage_->Now());
-  Start();
-  vantage_->events()->RunFor(watch);
-  Stop();
-  ExplorerReport result = report();
-  RecordModuleReport("arpwatch", result);
-  return result;
+void ArpWatch::FillReport() {
+  ExplorerReport& report = mutable_report();
+  report.packets_sent = 0;  // Passive: generates no traffic.
+  report.discovered = unique_pairs_seen();
+  report.records_written = writer_.totals().records_written;
+  report.new_info = writer_.totals().new_info;
 }
 
 ExplorerReport ArpWatch::report() const {
   ExplorerReport report;
   report.module = "ARPwatch";
-  report.started = started_;
+  report.started = capture_started_;
   report.finished = vantage_->Now();
   report.packets_sent = 0;  // Passive: generates no traffic.
   report.discovered = unique_pairs_seen();

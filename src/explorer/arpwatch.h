@@ -21,48 +21,53 @@
 namespace fremont {
 
 struct ArpWatchParams {
+  // How long a managed run keeps the tap attached before reporting.
+  Duration watch = Duration::Hours(1);
   // Re-writing an unchanged pair to the Journal is throttled to this period
   // (the record's last_verified still advances on each write).
   Duration write_throttle = Duration::Minutes(10);
 };
 
-class ArpWatch {
+class ArpWatch : public ExplorerModule {
  public:
   ArpWatch(Host* vantage, JournalClient* journal, ArpWatchParams params = {});
-  ~ArpWatch();
-  ArpWatch(const ArpWatch&) = delete;
-  ArpWatch& operator=(const ArpWatch&) = delete;
+  ~ArpWatch() override;
 
   // Attaches the tap. Requires "system privileges" in the original; here it
-  // requires the vantage host to have an attached segment.
-  bool Start();
-  void Stop();
+  // requires the vantage host to have an attached segment. Callers that want
+  // an open-ended capture (no `watch` deadline) may drive these directly
+  // instead of Start()/Run().
+  bool StartCapture();
+  void StopCapture();
 
-  // Convenience: Start, advance the simulation `watch` long, Stop, report.
-  ExplorerReport Run(Duration watch);
-
-  // Distinct (MAC, IP) pairs seen since Start.
+  // Distinct (MAC, IP) pairs seen since StartCapture.
   int unique_pairs_seen() const { return static_cast<int>(seen_.size()); }
   // Distinct IP addresses seen, optionally restricted to one subnet (the
   // Table 5 accounting unit).
   int unique_ips_seen() const;
   int unique_ips_in(const Subnet& subnet) const;
+  // Live snapshot of the watch so far (final once the tap is detached).
   ExplorerReport report() const;
+
+ protected:
+  // Managed lifecycle: attach the tap, detach `watch` later, report.
+  void StartImpl() override;
+  void CancelImpl() override;
 
  private:
   void OnFrame(const EthernetFrame& frame, SimTime now);
   void Observe(MacAddress mac, Ipv4Address ip, SimTime now);
+  void FillReport();
 
   Host* vantage_;
-  JournalClient* journal_;
   ArpWatchParams params_;
   // Long-running passive watcher: bindings queue here and ship in batches,
-  // each stamped with the frame time it was observed at. Stop() flushes, so
-  // report() totals are final once the tap is detached.
+  // each stamped with the frame time it was observed at. StopCapture()
+  // flushes, so report() totals are final once the tap is detached.
   JournalBatchWriter writer_;
   Segment* segment_ = nullptr;
   int tap_token_ = -1;
-  SimTime started_;
+  SimTime capture_started_;
   std::map<std::pair<uint64_t, uint32_t>, SimTime> seen_;  // (mac, ip) → last write.
 };
 

@@ -1,7 +1,5 @@
 #include "src/explorer/broadcast_ping.h"
 
-#include <set>
-
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/trace.h"
 
@@ -11,77 +9,88 @@ constexpr uint16_t kBroadcastPingIdent = 0x4250;
 }
 
 BroadcastPing::BroadcastPing(Host* vantage, JournalClient* journal, BroadcastPingParams params)
-    : vantage_(vantage), journal_(journal), params_(params) {}
+    : ExplorerModule("broadcastping", "BrdcastPing", vantage->events(), journal),
+      vantage_(vantage),
+      params_(params) {}
 
-ExplorerReport BroadcastPing::Run() {
-  ExplorerReport report;
-  report.module = "BrdcastPing";
-  report.started = vantage_->Now();
-  TraceModuleStart("broadcastping", report.started);
+BroadcastPing::~BroadcastPing() {
+  // Destroyed mid-run (no Cancel): detach quietly, write nothing.
+  if (icmp_token_ >= 0) {
+    vantage_->RemoveIcmpListener(icmp_token_);
+    icmp_token_ = -1;
+  }
+}
 
+void BroadcastPing::StartImpl() {
   Interface* iface = vantage_->primary_interface();
   if (iface == nullptr) {
-    report.finished = vantage_->Now();
-    RecordModuleReport("broadcastping", report);
-    return report;
+    Complete();
+    return;
   }
   const Subnet target = params_.target.value_or(iface->AttachedSubnet());
   const bool local = iface->AttachedSubnet() == target;
   const Ipv4Address broadcast = target.BroadcastAddress();
 
-  std::set<uint32_t> replied;
-  vantage_->SetIcmpListener([&](const Ipv4Packet& packet, const IcmpMessage& message) {
-    if (message.type == IcmpType::kEchoReply && message.identifier == kBroadcastPingIdent &&
-        target.Contains(packet.src)) {
-      replied.insert(packet.src.value());
-      ++report.replies_received;
-    }
-  });
+  icmp_token_ = vantage_->AddIcmpListener(
+      [this, target](const Ipv4Packet& packet, const IcmpMessage& message) {
+        if (message.type == IcmpType::kEchoReply && message.identifier == kBroadcastPingIdent &&
+            target.Contains(packet.src)) {
+          replied_.insert(packet.src.value());
+          ++mutable_report().replies_received;
+        }
+      });
 
-  const uint64_t sent_before = vantage_->packets_sent();
+  sent_before_ = vantage_->packets_sent();
 
   // Minimal TTL: 1 on the attached subnet; towards a remote subnet, ramp up
   // one hop at a time so a looping broadcast dies quickly.
-  bool done = false;
   uint16_t seq = 0;
   for (int ping = 0; ping < params_.pings; ++ping) {
     if (local) {
-      vantage_->events()->Schedule(params_.spacing * ping, [this, broadcast, seq]() {
+      ScheduleGuarded(params_.spacing * ping, [this, broadcast, seq]() {
         vantage_->SendIcmp(broadcast, IcmpMessage::EchoRequest(kBroadcastPingIdent, seq), 1);
       });
       ++seq;
     } else {
       for (int ttl = 2; ttl <= params_.max_ttl; ++ttl) {
-        vantage_->events()->Schedule(
-            params_.spacing * ping + Duration::Seconds(ttl - 2),
-            [this, broadcast, seq, ttl]() {
-              vantage_->SendIcmp(broadcast, IcmpMessage::EchoRequest(kBroadcastPingIdent, seq),
-                                 static_cast<uint8_t>(ttl));
-            });
+        ScheduleGuarded(params_.spacing * ping + Duration::Seconds(ttl - 2),
+                        [this, broadcast, seq, ttl]() {
+                          vantage_->SendIcmp(broadcast,
+                                             IcmpMessage::EchoRequest(kBroadcastPingIdent, seq),
+                                             static_cast<uint8_t>(ttl));
+                        });
         ++seq;
       }
     }
   }
-  vantage_->events()->Schedule(params_.spacing * params_.pings + params_.collect,
-                               [&done]() { done = true; });
-  vantage_->events()->RunWhile([&done]() { return !done; });
-  vantage_->ClearIcmpListener();
+  ScheduleGuarded(params_.spacing * params_.pings + params_.collect, [this]() {
+    Teardown();
+    Complete();
+  });
+}
 
-  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
-  for (uint32_t v : replied) {
+void BroadcastPing::Teardown() {
+  if (icmp_token_ < 0) {
+    return;
+  }
+  vantage_->RemoveIcmpListener(icmp_token_);
+  icmp_token_ = -1;
+
+  JournalBatchWriter writer(journal(), [this]() { return vantage_->Now(); });
+  for (uint32_t v : replied_) {
     InterfaceObservation obs;
     obs.ip = Ipv4Address(v);
     writer.StoreInterface(obs, DiscoverySource::kBroadcastPing);
     responders_.push_back(obs.ip);
   }
   writer.Flush();
+  ExplorerReport& report = mutable_report();
   report.records_written = writer.totals().records_written;
   report.new_info = writer.totals().new_info;
-  report.discovered = static_cast<int>(replied.size());
-  report.packets_sent = vantage_->packets_sent() - sent_before;
-  report.finished = vantage_->Now();
-  RecordModuleReport("broadcastping", report);
-  return report;
+  report.discovered = static_cast<int>(replied_.size());
+  report.packets_sent = vantage_->packets_sent() - sent_before_;
 }
+
+void BroadcastPing::CancelImpl() { Teardown(); }
 
 }  // namespace fremont

@@ -11,6 +11,7 @@
 #ifndef SRC_EXPLORER_BROADCAST_PING_H_
 #define SRC_EXPLORER_BROADCAST_PING_H_
 
+#include <set>
 #include <vector>
 
 #include "src/explorer/explorer.h"
@@ -31,19 +32,26 @@ struct BroadcastPingParams {
   int max_ttl = 8;
 };
 
-class BroadcastPing {
+class BroadcastPing : public ExplorerModule {
  public:
   BroadcastPing(Host* vantage, JournalClient* journal, BroadcastPingParams params = {});
-
-  ExplorerReport Run();
+  ~BroadcastPing() override;
 
   const std::vector<Ipv4Address>& responders() const { return responders_; }
 
+ protected:
+  void StartImpl() override;
+  void CancelImpl() override;
+
  private:
+  void Teardown();
+
   Host* vantage_;
-  JournalClient* journal_;
   BroadcastPingParams params_;
+  std::set<uint32_t> replied_;
   std::vector<Ipv4Address> responders_;
+  uint64_t sent_before_ = 0;
+  int icmp_token_ = -1;
 };
 
 }  // namespace fremont

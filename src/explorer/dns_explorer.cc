@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "src/journal/batch_writer.h"
-#include "src/net/udp.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -15,43 +14,67 @@ constexpr uint16_t kMaskIdent = 0x444d;
 }  // namespace
 
 DnsExplorer::DnsExplorer(Host* vantage, JournalClient* journal, DnsExplorerParams params)
-    : vantage_(vantage), journal_(journal), params_(std::move(params)) {}
+    : ExplorerModule("dns", "DNS", vantage->events(), journal),
+      vantage_(vantage),
+      params_(std::move(params)) {}
 
-std::optional<DnsMessage> DnsExplorer::QueryAndWait(const std::string& name, DnsType qtype) {
+DnsExplorer::~DnsExplorer() {
+  vantage_->UnbindUdp(kDnsClientPort);
+  if (icmp_token_ >= 0) {
+    vantage_->RemoveIcmpListener(icmp_token_);
+    icmp_token_ = -1;
+  }
+}
+
+void DnsExplorer::CancelImpl() {
+  vantage_->UnbindUdp(kDnsClientPort);
+  if (icmp_token_ >= 0) {
+    vantage_->RemoveIcmpListener(icmp_token_);
+    icmp_token_ = -1;
+  }
+  FinishReport();
+}
+
+void DnsExplorer::StartQuery(const std::string& name, DnsType qtype,
+                             std::function<void(std::optional<DnsMessage>)> then) {
   DnsMessage query;
   query.id = next_query_id_++;
   query.questions.push_back(DnsQuestion{ToLowerAscii(name), qtype});
 
-  // Shared flags: the timeout event may fire after this frame returns (when
-  // the answer arrives first), so it must not reference the stack.
+  // The answer and the settle latch are shared between the reply handler and
+  // the timeout event; whichever fires first settles the query.
   auto answer = std::make_shared<std::optional<DnsMessage>>();
-  auto timed_out = std::make_shared<bool>(false);
+  auto settled = std::make_shared<bool>(false);
   const uint16_t want_id = query.id;
-  vantage_->BindUdp(kDnsClientPort, [answer, want_id](const Ipv4Packet&,
-                                                      const UdpDatagram& datagram) {
+  auto settle = [this, answer, settled, then = std::move(then)]() {
+    if (*settled) {
+      return;
+    }
+    *settled = true;
+    vantage_->UnbindUdp(kDnsClientPort);
+    if (answer->has_value()) {
+      ++replies_;
+    } else {
+      telemetry::MetricsRegistry::Global().GetCounter("dns/timeouts")->Increment();
+    }
+    // Pace the next query.
+    ScheduleGuarded(params_.query_spacing, [answer, then]() { then(*answer); });
+  };
+  vantage_->BindUdp(kDnsClientPort, [answer, want_id, settle](const Ipv4Packet&,
+                                                              const UdpDatagram& datagram) {
     auto response = DnsMessage::Decode(datagram.payload);
     if (response.has_value() && response->is_response && response->id == want_id) {
       *answer = std::move(response);
+      settle();
     }
   });
   vantage_->SendUdp(params_.server, kDnsClientPort, kDnsPort, query.Encode());
   ++queries_sent_;
-
-  vantage_->events()->Schedule(params_.query_timeout, [timed_out]() { *timed_out = true; });
-  vantage_->events()->RunWhile([&]() { return !answer->has_value() && !*timed_out; });
-  vantage_->UnbindUdp(kDnsClientPort);
-
-  // Pace the next query.
-  vantage_->events()->RunFor(params_.query_spacing);
-  if (answer->has_value()) {
-    ++replies_;
-  } else {
-    telemetry::MetricsRegistry::Global().GetCounter("dns/timeouts")->Increment();
-  }
-  return *answer;
+  ScheduleGuarded(params_.query_timeout, [settle]() { settle(); });
 }
 
-std::vector<DnsResourceRecord> DnsExplorer::ZoneTransferAndWait(const std::string& zone) {
+void DnsExplorer::StartZoneTransfer(const std::string& zone,
+                                    std::function<void(std::vector<DnsResourceRecord>)> then) {
   DnsMessage query;
   query.id = next_query_id_++;
   query.questions.push_back(DnsQuestion{ToLowerAscii(zone), DnsType::kAxfr});
@@ -60,10 +83,21 @@ std::vector<DnsResourceRecord> DnsExplorer::ZoneTransferAndWait(const std::strin
   // several messages; collect until the closing SOA or timeout.
   auto records = std::make_shared<std::vector<DnsResourceRecord>>();
   auto soas_seen = std::make_shared<int>(0);
-  auto timed_out = std::make_shared<bool>(false);
+  auto settled = std::make_shared<bool>(false);
   const uint16_t want_id = query.id;
-  vantage_->BindUdp(kDnsClientPort, [records, soas_seen, want_id](const Ipv4Packet&,
-                                                                  const UdpDatagram& datagram) {
+  auto settle = [this, records, soas_seen, settled, then = std::move(then)]() {
+    if (*settled) {
+      return;
+    }
+    *settled = true;
+    vantage_->UnbindUdp(kDnsClientPort);
+    if (*soas_seen > 0) {
+      ++replies_;
+    }
+    ScheduleGuarded(params_.query_spacing, [records, then]() { then(std::move(*records)); });
+  };
+  vantage_->BindUdp(kDnsClientPort, [records, soas_seen, want_id, settle](
+                                        const Ipv4Packet&, const UdpDatagram& datagram) {
     auto response = DnsMessage::Decode(datagram.payload);
     if (!response.has_value() || !response->is_response || response->id != want_id) {
       return;
@@ -75,34 +109,41 @@ std::vector<DnsResourceRecord> DnsExplorer::ZoneTransferAndWait(const std::strin
         records->push_back(std::move(rr));
       }
     }
+    if (*soas_seen >= 2) {
+      settle();
+    }
   });
   vantage_->SendUdp(params_.server, kDnsClientPort, kDnsPort, query.Encode());
   ++queries_sent_;
-  vantage_->events()->Schedule(params_.query_timeout, [timed_out]() { *timed_out = true; });
-  vantage_->events()->RunWhile([&]() { return *soas_seen < 2 && !*timed_out; });
-  vantage_->UnbindUdp(kDnsClientPort);
-  vantage_->events()->RunFor(params_.query_spacing);
-  if (*soas_seen > 0) {
-    ++replies_;
-  }
-  return *records;
+  ScheduleGuarded(params_.query_timeout, [settle]() { settle(); });
 }
 
-std::optional<SubnetMask> DnsExplorer::MaskRequest(Ipv4Address target) {
+void DnsExplorer::StartMaskRequest(Ipv4Address target,
+                                   std::function<void(std::optional<SubnetMask>)> then) {
   auto result = std::make_shared<std::optional<SubnetMask>>();
-  auto timed_out = std::make_shared<bool>(false);
-  vantage_->SetIcmpListener([result, target](const Ipv4Packet& packet,
-                                             const IcmpMessage& message) {
-    if (message.type == IcmpType::kMaskReply && message.identifier == kMaskIdent &&
-        packet.src == target) {
-      *result = SubnetMask::FromValue(message.address_mask);
+  auto settled = std::make_shared<bool>(false);
+  auto settle = [this, result, settled, then = std::move(then)]() {
+    if (*settled) {
+      return;
     }
-  });
+    *settled = true;
+    if (icmp_token_ >= 0) {
+      vantage_->RemoveIcmpListener(icmp_token_);
+      icmp_token_ = -1;
+    }
+    // Mask requests are not paced (they are one-offs between query phases).
+    then(*result);
+  };
+  icmp_token_ = vantage_->AddIcmpListener(
+      [result, target, settle](const Ipv4Packet& packet, const IcmpMessage& message) {
+        if (message.type == IcmpType::kMaskReply && message.identifier == kMaskIdent &&
+            packet.src == target) {
+          *result = SubnetMask::FromValue(message.address_mask);
+          settle();
+        }
+      });
   vantage_->SendIcmp(target, IcmpMessage::MaskRequest(kMaskIdent, 0));
-  vantage_->events()->Schedule(params_.query_timeout, [timed_out]() { *timed_out = true; });
-  vantage_->events()->RunWhile([&]() { return !result->has_value() && !*timed_out; });
-  vantage_->ClearIcmpListener();
-  return *result;
+  ScheduleGuarded(params_.query_timeout, [settle]() { settle(); });
 }
 
 std::vector<Ipv4Address> DnsExplorer::discovered_addresses() const {
@@ -140,13 +181,8 @@ bool DnsExplorer::MatchesGatewayConvention(const std::string& name) const {
   return false;
 }
 
-ExplorerReport DnsExplorer::Run() {
-  ExplorerReport report;
-  report.module = "DNS";
-  report.started = vantage_->Now();
-  TraceModuleStart("dns", report.started);
-  const uint64_t sent_before = vantage_->packets_sent();
-  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
+void DnsExplorer::StartImpl() {
+  sent_before_ = vantage_->packets_sent();
 
   // Phase 1a: reverse zone transfer for the network. The zone depth follows
   // the network's class: a.in-addr.arpa for class A, b.a for class B, c.b.a
@@ -165,14 +201,18 @@ ExplorerReport DnsExplorer::Run() {
                                   net >> 24);
       break;
   }
-  const std::vector<DnsResourceRecord> transfer = ZoneTransferAndWait(reverse_zone);
-  if (transfer.empty()) {
-    FLOG(kWarning) << "dns: zone transfer of " << reverse_zone << " failed";
-    report.finished = vantage_->Now();
-    report.packets_sent = vantage_->packets_sent() - sent_before;
-    RecordModuleReport("dns", report);
-    return report;
-  }
+  StartZoneTransfer(reverse_zone, [this, reverse_zone](std::vector<DnsResourceRecord> transfer) {
+    if (transfer.empty()) {
+      FLOG(kWarning) << "dns: zone transfer of " << reverse_zone << " failed";
+      FinishReport();
+      Complete();
+      return;
+    }
+    OnTransferDone(std::move(transfer));
+  });
+}
+
+void DnsExplorer::OnTransferDone(std::vector<DnsResourceRecord> transfer) {
   for (const auto& rr : transfer) {
     if (rr.type != DnsType::kPtr) {
       continue;
@@ -190,55 +230,78 @@ ExplorerReport DnsExplorer::Run() {
   // Phase 1b: the subnet mask, asked of the name server itself first (the
   // paper: "usually one of the name servers, thus increasing the likelihood
   // that the returned mask is correct"), then of the first discovered hosts.
-  std::optional<SubnetMask> mask = MaskRequest(params_.server);
-  if (!mask.has_value()) {
-    for (const auto& [ip, names] : ip_to_names_) {
-      (void)names;
-      mask = MaskRequest(Ipv4Address(ip));
-      if (mask.has_value()) {
-        break;
-      }
-    }
+  mask_candidates_.clear();
+  mask_candidates_.push_back(params_.server);
+  for (const auto& [ip, names] : ip_to_names_) {
+    (void)names;
+    mask_candidates_.push_back(Ipv4Address(ip));
   }
-  if (mask.has_value()) {
-    mask_ = *mask;
-  }
+  TryNextMask(0);
+}
 
-  // Phase 1c: forward A lookups for every discovered name (finds the other
-  // interfaces of multi-homed machines).
+void DnsExplorer::TryNextMask(size_t index) {
+  if (index >= mask_candidates_.size()) {
+    BeginForwardLookups();
+    return;
+  }
+  StartMaskRequest(mask_candidates_[index], [this, index](std::optional<SubnetMask> mask) {
+    if (mask.has_value()) {
+      mask_ = *mask;
+      BeginForwardLookups();
+    } else {
+      TryNextMask(index + 1);
+    }
+  });
+}
+
+// Phase 1c: forward A lookups for every discovered name (finds the other
+// interfaces of multi-homed machines).
+void DnsExplorer::BeginForwardLookups() {
   std::set<std::string> all_names;
   for (const auto& [ip, names] : ip_to_names_) {
     (void)ip;
     all_names.insert(names.begin(), names.end());
   }
-  for (const auto& name : all_names) {
-    auto response = QueryAndWait(name, DnsType::kA);
-    if (!response.has_value()) {
-      continue;
-    }
-    for (const auto& rr : response->answers) {
-      if (rr.type != DnsType::kA) {
-        continue;
-      }
-      auto& ips = name_to_ips_[name];
-      if (std::find(ips.begin(), ips.end(), rr.address) == ips.end()) {
-        ips.push_back(rr.address);
-      }
-      // A records may reveal addresses missing from the reverse tree.
-      auto& names = ip_to_names_[rr.address.value()];
-      if (std::find(names.begin(), names.end(), name) == names.end()) {
-        names.push_back(name);
-      }
-    }
-    // Host/OS type from additional-data HINFO, where the zone supplies it.
-    for (const auto& rr : response->additional) {
-      if (rr.type == DnsType::kHinfo) {
-        host_types_[rr.name] = rr.hinfo_cpu + "/" + rr.hinfo_os;
-      }
-    }
-  }
+  lookup_names_.assign(all_names.begin(), all_names.end());
+  NextForwardLookup(0);
+}
 
-  // Phase 2: CPU-bound analysis — gateway inference and subnet statistics.
+void DnsExplorer::NextForwardLookup(size_t index) {
+  if (index >= lookup_names_.size()) {
+    Analyze();
+    return;
+  }
+  const std::string name = lookup_names_[index];
+  StartQuery(name, DnsType::kA, [this, name, index](std::optional<DnsMessage> response) {
+    if (response.has_value()) {
+      for (const auto& rr : response->answers) {
+        if (rr.type != DnsType::kA) {
+          continue;
+        }
+        auto& ips = name_to_ips_[name];
+        if (std::find(ips.begin(), ips.end(), rr.address) == ips.end()) {
+          ips.push_back(rr.address);
+        }
+        // A records may reveal addresses missing from the reverse tree.
+        auto& names = ip_to_names_[rr.address.value()];
+        if (std::find(names.begin(), names.end(), name) == names.end()) {
+          names.push_back(name);
+        }
+      }
+      // Host/OS type from additional-data HINFO, where the zone supplies it.
+      for (const auto& rr : response->additional) {
+        if (rr.type == DnsType::kHinfo) {
+          host_types_[rr.name] = rr.hinfo_cpu + "/" + rr.hinfo_os;
+        }
+      }
+    }
+    NextForwardLookup(index + 1);
+  });
+}
+
+// Phase 2: CPU-bound analysis — gateway inference and subnet statistics.
+void DnsExplorer::Analyze() {
+  JournalBatchWriter writer(journal(), [this]() { return vantage_->Now(); });
   std::set<std::string> gateway_names;
   for (const auto& [name, ips] : name_to_ips_) {
     if (ips.size() >= 2 || MatchesGatewayConvention(name)) {
@@ -314,15 +377,19 @@ ExplorerReport DnsExplorer::Run() {
     }
   }
   writer.Flush();
+  ExplorerReport& report = mutable_report();
   report.records_written = writer.totals().records_written;
   report.new_info = writer.totals().new_info;
 
+  FinishReport();
+  Complete();
+}
+
+void DnsExplorer::FinishReport() {
+  ExplorerReport& report = mutable_report();
   report.discovered = interfaces_found();
   report.replies_received = replies_;
-  report.packets_sent = vantage_->packets_sent() - sent_before;
-  report.finished = vantage_->Now();
-  RecordModuleReport("dns", report);
-  return report;
+  report.packets_sent = vantage_->packets_sent() - sent_before_;
 }
 
 }  // namespace fremont

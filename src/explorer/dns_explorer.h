@@ -47,11 +47,10 @@ struct DnsExplorerParams {
   std::vector<std::string> gateway_suffixes = {"-gw", "-gate", "-gateway", "-router"};
 };
 
-class DnsExplorer {
+class DnsExplorer : public ExplorerModule {
  public:
-  DnsExplorer(Host* vantage, JournalClient* journal, DnsExplorerParams params);
-
-  ExplorerReport Run();
+  DnsExplorer(Host* vantage, JournalClient* journal, DnsExplorerParams params = {});
+  ~DnsExplorer() override;
 
   // Distinct addresses found in the zone (Table 5's DNS row).
   int interfaces_found() const { return static_cast<int>(ip_to_names_.size()); }
@@ -69,18 +68,39 @@ class DnsExplorer {
   // this "rarely supplied" in deployed zones; the count quantifies it.
   const std::map<std::string, std::string>& host_types() const { return host_types_; }
 
+ protected:
+  void StartImpl() override;
+  void CancelImpl() override;
+
  private:
-  // Sends one DNS query and drives the simulation until answer or timeout.
-  std::optional<DnsMessage> QueryAndWait(const std::string& name, DnsType qtype);
+  // Event-driven query primitives: each binds/sends/schedules and invokes
+  // its continuation once the answer arrives or the timeout fires (queries
+  // pace the continuation by query_spacing, matching the paper's 10 pkt/s).
+  void StartQuery(const std::string& name, DnsType qtype,
+                  std::function<void(std::optional<DnsMessage>)> then);
   // AXFR: collects the SOA-bracketed, possibly multi-message record stream.
-  std::vector<DnsResourceRecord> ZoneTransferAndWait(const std::string& zone);
+  void StartZoneTransfer(const std::string& zone,
+                         std::function<void(std::vector<DnsResourceRecord>)> then);
   // ICMP mask request to `target`, per the paper invoked from this module.
-  std::optional<SubnetMask> MaskRequest(Ipv4Address target);
+  void StartMaskRequest(Ipv4Address target,
+                        std::function<void(std::optional<SubnetMask>)> then);
+
+  // Phase chain: zone transfer → mask chain → forward lookups → analysis.
+  void OnTransferDone(std::vector<DnsResourceRecord> transfer);
+  void TryNextMask(size_t index);
+  void BeginForwardLookups();
+  void NextForwardLookup(size_t index);
+  void Analyze();
+  void FinishReport();
+
   bool MatchesGatewayConvention(const std::string& name) const;
 
   Host* vantage_;
-  JournalClient* journal_;
   DnsExplorerParams params_;
+  uint64_t sent_before_ = 0;
+  int icmp_token_ = -1;
+  std::vector<Ipv4Address> mask_candidates_;
+  std::vector<std::string> lookup_names_;
 
   std::map<uint32_t, std::vector<std::string>> ip_to_names_;
   std::map<std::string, std::vector<Ipv4Address>> name_to_ips_;

@@ -11,40 +11,35 @@ namespace fremont {
 
 EtherHostProbe::EtherHostProbe(Host* vantage, JournalClient* journal,
                                EtherHostProbeParams params)
-    : vantage_(vantage), journal_(journal), params_(params) {}
+    : ExplorerModule("etherhostprobe", "EtherHostProbe", vantage->events(), journal),
+      vantage_(vantage),
+      params_(params) {}
 
-ExplorerReport EtherHostProbe::Run() {
-  ExplorerReport report;
-  report.module = "EtherHostProbe";
-  report.started = vantage_->Now();
-  TraceModuleStart("etherhostprobe", report.started);
-
+void EtherHostProbe::StartImpl() {
   Interface* iface = vantage_->primary_interface();
   if (iface == nullptr || iface->segment == nullptr) {
     FLOG(kError) << "etherhostprobe: vantage host has no attached segment";
-    report.finished = vantage_->Now();
-    RecordModuleReport("etherhostprobe", report);
-    return report;
+    Complete();
+    return;
   }
   const Subnet subnet = iface->AttachedSubnet();
-  Ipv4Address first = params_.first.IsZero() ? subnet.HostAt(1) : params_.first;
-  Ipv4Address last =
+  first_ = params_.first.IsZero() ? subnet.HostAt(1) : params_.first;
+  last_ =
       params_.last.IsZero() ? Ipv4Address(subnet.BroadcastAddress().value() - 1) : params_.last;
-  if (last < first) {
-    std::swap(first, last);
+  if (last_ < first_) {
+    std::swap(first_, last_);
   }
 
-  const uint64_t sent_before = vantage_->packets_sent();
+  sent_before_ = vantage_->packets_sent();
   const Duration spacing = Duration::SecondsF(1.0 / params_.packets_per_second);
 
-  bool done = false;
-  uint32_t count = last.value() - first.value() + 1;
+  const uint32_t count = last_.value() - first_.value() + 1;
   for (uint32_t i = 0; i < count; ++i) {
-    const Ipv4Address target(first.value() + i);
+    const Ipv4Address target(first_.value() + i);
     if (target == iface->ip) {
       continue;  // Don't probe ourselves.
     }
-    vantage_->events()->Schedule(spacing * i, [this, target]() {
+    ScheduleGuarded(spacing * i, [this, target]() {
       vantage_->SendUdp(target, 40000, kUdpEchoPort, {});
       auto& tracer = telemetry::Tracer::Global();
       if (tracer.enabled()) {
@@ -53,17 +48,26 @@ ExplorerReport EtherHostProbe::Run() {
       }
     });
   }
-  vantage_->events()->Schedule(spacing * count + params_.settle, [&done]() { done = true; });
-  vantage_->events()->RunWhile([&done]() { return !done; });
+  ScheduleGuarded(spacing * count + params_.settle, [this]() {
+    Harvest();
+    Complete();
+  });
+}
 
-  // Read the local ARP table — the kernel did the discovery for us.
+// Read the local ARP table — the kernel did the discovery for us.
+void EtherHostProbe::Harvest() {
+  if (harvested_) {
+    return;
+  }
+  harvested_ = true;
   std::map<uint64_t, std::vector<ArpCache::Entry>> by_mac;
   for (const auto& entry : vantage_->arp_cache().Snapshot(vantage_->Now())) {
-    if (entry.ip >= first && entry.ip <= last) {
+    if (entry.ip >= first_ && entry.ip <= last_) {
       by_mac[entry.mac.ToU64()].push_back(entry);
     }
   }
-  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
+  ExplorerReport& report = mutable_report();
+  JournalBatchWriter writer(journal(), [this]() { return vantage_->Now(); });
   for (const auto& [mac_key, entries] : by_mac) {
     (void)mac_key;
     if (static_cast<int>(entries.size()) >= params_.proxy_arp_threshold) {
@@ -84,12 +88,10 @@ ExplorerReport EtherHostProbe::Run() {
   writer.Flush();
   report.records_written = writer.totals().records_written;
   report.new_info = writer.totals().new_info;
-
-  report.packets_sent = vantage_->packets_sent() - sent_before;
+  report.packets_sent = vantage_->packets_sent() - sent_before_;
   report.replies_received = static_cast<uint64_t>(report.discovered);
-  report.finished = vantage_->Now();
-  RecordModuleReport("etherhostprobe", report);
-  return report;
 }
+
+void EtherHostProbe::CancelImpl() { Harvest(); }
 
 }  // namespace fremont

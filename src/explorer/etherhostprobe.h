@@ -31,19 +31,25 @@ struct EtherHostProbeParams {
   int proxy_arp_threshold = 4;
 };
 
-class EtherHostProbe {
+class EtherHostProbe : public ExplorerModule {
  public:
   EtherHostProbe(Host* vantage, JournalClient* journal, EtherHostProbeParams params = {});
 
-  // Runs to completion (drives the event queue).
-  ExplorerReport Run();
-
   int proxy_suspects() const { return proxy_suspects_; }
 
+ protected:
+  void StartImpl() override;
+  void CancelImpl() override;
+
  private:
+  void Harvest();
+
   Host* vantage_;
-  JournalClient* journal_;
   EtherHostProbeParams params_;
+  Ipv4Address first_;
+  Ipv4Address last_;
+  uint64_t sent_before_ = 0;
+  bool harvested_ = false;
   int proxy_suspects_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "src/explorer/explorer.h"
 
 #include "src/telemetry/export.h"
+#include "src/util/logging.h"
 #include "src/util/string_util.h"
 
 namespace fremont {
@@ -11,6 +12,71 @@ std::string ExplorerReport::Summary() const {
       module.c_str(), discovered, records_written, new_info,
       static_cast<unsigned long long>(packets_sent),
       static_cast<unsigned long long>(replies_received), Elapsed().ToString().c_str());
+}
+
+ExplorerModule::ExplorerModule(std::string key, std::string display_name, EventQueue* events,
+                               JournalClient* journal)
+    : key_(std::move(key)), events_(events), journal_(journal) {
+  report_.module = std::move(display_name);
+}
+
+void ExplorerModule::Start(CompletionFn done) {
+  if (started_) {
+    FLOG(kError) << key_ << ": Start() on an already-started module instance";
+    return;
+  }
+  started_ = true;
+  running_ = true;
+  done_ = std::move(done);
+  report_.started = events_->Now();
+  TraceModuleStart(key_.c_str(), report_.started);
+  StartImpl();
+}
+
+void ExplorerModule::Cancel() {
+  if (!running_) {
+    return;
+  }
+  CancelImpl();
+  Complete();
+}
+
+void ExplorerModule::Complete() {
+  if (finished_ || !started_) {
+    return;
+  }
+  running_ = false;
+  finished_ = true;
+  report_.finished = events_->Now();
+  RecordModuleReport(key_.c_str(), report_);
+  CompletionFn done = std::move(done_);
+  done_ = nullptr;
+  if (done) {
+    // Snapshot first: the callback may destroy this module, so nothing may
+    // touch members once it runs.
+    const ExplorerReport snapshot = report_;
+    done(snapshot);
+  }
+}
+
+ExplorerReport ExplorerModule::Run() {
+  bool completed = false;
+  ExplorerReport result;
+  Start([&completed, &result](const ExplorerReport& report) {
+    result = report;
+    completed = true;
+  });
+  events_->RunWhile([&completed]() { return !completed; });
+  return result;
+}
+
+void ExplorerModule::ScheduleGuarded(Duration delay, std::function<void()> fn) {
+  std::weak_ptr<bool> alive = alive_;
+  events_->Schedule(delay, [alive = std::move(alive), fn = std::move(fn)]() {
+    if (alive.lock() != nullptr) {
+      fn();
+    }
+  });
 }
 
 void TraceModuleStart(const char* key, SimTime now) {

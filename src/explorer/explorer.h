@@ -5,18 +5,25 @@
 // produces an ExplorerReport with the cost/effectiveness numbers the paper's
 // Tables 4-6 are built from.
 //
-// Active modules (EtherHostProbe, SequentialPing, BroadcastPing, SubnetMasks,
-// Traceroute, Dns) drive the event queue from Run() until their own
-// completion flag flips. Passive modules (ArpWatch, RipWatch) register a
-// promiscuous tap and observe for a configured duration.
+// Modules share one cooperative, non-blocking lifecycle (ExplorerModule):
+// Start(done) schedules the module's own probe/timeout events on the event
+// queue and returns immediately; when the module's work completes it invokes
+// the completion callback with its final report. Nothing blocks, so the
+// Discovery Manager can launch every due module into a single event-queue
+// pass and overlap their probe waits. The blocking Run() wrapper drives the
+// queue until completion for callers that want the old synchronous shape.
 
 #ifndef SRC_EXPLORER_EXPLORER_H_
 #define SRC_EXPLORER_EXPLORER_H_
 
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "src/journal/client.h"
 #include "src/journal/records.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/host.h"
 #include "src/util/sim_time.h"
 
@@ -37,7 +44,92 @@ struct ExplorerReport {
   std::string Summary() const;
 };
 
-// Telemetry hooks shared by every Explorer Module. `key` is the module's
+// Uniform Explorer Module lifecycle. A module instance is single-shot:
+//
+//   idle --Start(done)--> running --Complete()--> finished
+//                            |                        ^
+//                            +--------Cancel()--------+
+//
+// Start() stamps the report, opens the telemetry run span, and calls the
+// module's StartImpl(), which schedules events and attaches listeners but
+// never drives the queue. When the module's last event fires it calls
+// Complete(), which closes the span, publishes the per-module counters, and
+// invokes the completion callback — the callback is the last thing that
+// touches the object, so it may destroy the module. Events a module leaves
+// behind in the queue (e.g. probe timeouts outlived by their replies) are
+// guarded by a liveness token and become no-ops once the module is gone.
+class ExplorerModule {
+ public:
+  using CompletionFn = std::function<void(const ExplorerReport&)>;
+
+  virtual ~ExplorerModule() = default;
+  ExplorerModule(const ExplorerModule&) = delete;
+  ExplorerModule& operator=(const ExplorerModule&) = delete;
+
+  // Begins the run. Non-blocking; `done` (may be null) fires exactly once
+  // with the final report, possibly synchronously for degenerate runs (no
+  // vantage interface, nothing to probe).
+  void Start(CompletionFn done = nullptr);
+
+  // Tears the run down early: detaches listeners/taps, writes whatever was
+  // gathered so far, and fires the completion callback. No-op unless running.
+  void Cancel();
+
+  // Blocking convenience: Start() and drive the event queue until the module
+  // completes. The pre-refactor behaviour, kept for tests and one-off tools.
+  ExplorerReport Run();
+
+  bool running() const { return running_; }
+  bool finished() const { return finished_; }
+  // Telemetry/registry key, lowercase ("arpwatch", "seqping", ...).
+  const std::string& key() const { return key_; }
+  // Report as of the last Complete(); undefined detail before finished().
+  const ExplorerReport& last_report() const { return report_; }
+
+ protected:
+  // `key` names the metric family; `display_name` is the human module name
+  // the paper's tables use ("ARPwatch", "SeqPing", ...).
+  ExplorerModule(std::string key, std::string display_name, EventQueue* events,
+                 JournalClient* journal);
+
+  // Module-specific startup: compute targets, attach listeners, schedule
+  // events. Must arrange for Complete() to eventually run (directly for
+  // degenerate cases).
+  virtual void StartImpl() = 0;
+  // Module-specific teardown for Cancel(): detach listeners/taps and settle
+  // the report; Cancel() calls Complete() afterwards. Must be idempotent
+  // against the normal completion path.
+  virtual void CancelImpl() {}
+
+  // Finalizes the run: stamps report.finished, publishes telemetry, fires
+  // the completion callback. Idempotent; after the callback returns nothing
+  // touches the object (the callback may destroy it).
+  void Complete();
+
+  // Schedules `fn` after `delay`; the event is dropped if the module has
+  // been destroyed by the time it fires. Every event a module schedules must
+  // go through this (or capture only shared state), because completion no
+  // longer drains the queue before the module can be destroyed.
+  void ScheduleGuarded(Duration delay, std::function<void()> fn);
+
+  EventQueue* events() const { return events_; }
+  JournalClient* journal() const { return journal_; }
+  ExplorerReport& mutable_report() { return report_; }
+
+ private:
+  std::string key_;
+  EventQueue* events_;
+  JournalClient* journal_;
+  ExplorerReport report_;
+  CompletionFn done_;
+  bool started_ = false;
+  bool running_ = false;
+  bool finished_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+// Telemetry hooks shared by every Explorer Module; the ExplorerModule driver
+// calls them so individual modules no longer do. `key` is the module's
 // metric-family name, lowercase (matching the Discovery Manager registration
 // names: "arpwatch", "etherhostprobe", "seqping", ...). TraceModuleStart
 // opens the run span; RecordModuleReport closes it and publishes the run's

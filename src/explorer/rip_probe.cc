@@ -13,7 +13,16 @@ constexpr uint16_t kRipProbePort = 30520;
 }
 
 RipProbe::RipProbe(Host* vantage, JournalClient* journal, RipProbeParams params)
-    : vantage_(vantage), journal_(journal), params_(std::move(params)) {}
+    : ExplorerModule("ripprobe", "RIPprobe", vantage->events(), journal),
+      vantage_(vantage),
+      params_(std::move(params)) {}
+
+RipProbe::~RipProbe() {
+  if (port_bound_) {
+    vantage_->UnbindUdp(kRipProbePort);
+    port_bound_ = false;
+  }
+}
 
 Subnet RipProbe::InferSubnet(Ipv4Address advertised) const {
   Interface* iface = vantage_->primary_interface();
@@ -26,82 +35,86 @@ Subnet RipProbe::InferSubnet(Ipv4Address advertised) const {
   return Subnet(advertised, advertised.NaturalMask());
 }
 
-ExplorerReport RipProbe::Run() {
-  ExplorerReport report;
-  report.module = "RIPprobe";
-  report.started = vantage_->Now();
-  TraceModuleStart("ripprobe", report.started);
-
-  std::vector<Ipv4Address> targets = params_.targets;
-  if (targets.empty()) {
+void RipProbe::StartImpl() {
+  targets_ = params_.targets;
+  if (targets_.empty()) {
     // Direct further discovery from the Journal: known RIP sources plus
     // every gateway member interface.
     std::set<uint32_t> unique;
-    for (const auto& rec : journal_->GetInterfaces()) {
+    for (const auto& rec : journal()->GetInterfaces()) {
       if (rec.rip_source && !rec.rip_promiscuous) {
         unique.insert(rec.ip.value());
       }
     }
-    for (const auto& gw : journal_->GetGateways()) {
+    for (const auto& gw : journal()->GetGateways()) {
       for (RecordId iface_id : gw.interface_ids) {
-        auto rec = journal_->GetInterfaceById(iface_id);
+        auto rec = journal()->GetInterfaceById(iface_id);
         if (rec.has_value()) {
           unique.insert(rec->ip.value());
         }
       }
     }
     for (uint32_t v : unique) {
-      targets.push_back(Ipv4Address(v));
+      targets_.push_back(Ipv4Address(v));
     }
   }
 
-  const uint64_t sent_before = vantage_->packets_sent();
+  sent_before_ = vantage_->packets_sent();
+  ProbeNext(0);
+}
 
-  std::map<uint32_t, Ipv4Address> responder_for_target;
-  for (const Ipv4Address target : targets) {
-    // One probe at a time: bind, send, wait, unbind. The daemon's reply
-    // carries the router's full table. A multihomed router may answer from a
-    // *different* interface than the one probed — which is itself a finding:
-    // both addresses belong to the same box.
-    auto entries = std::make_shared<std::optional<std::vector<RipEntry>>>();
-    auto responder = std::make_shared<Ipv4Address>();
-    vantage_->BindUdp(kRipProbePort,
-                      [entries, responder](const Ipv4Packet& packet,
-                                           const UdpDatagram& datagram) {
-                        auto rip = RipPacket::Decode(datagram.payload);
-                        if (rip.has_value() && rip->command == RipCommand::kResponse) {
-                          if (!entries->has_value()) {
-                            *entries = std::vector<RipEntry>();
-                          }
-                          *responder = packet.src;
-                          (*entries)->insert((*entries)->end(), rip->entries.begin(),
-                                             rip->entries.end());
+void RipProbe::ProbeNext(size_t index) {
+  if (index >= targets_.size()) {
+    Finish();
+    Complete();
+    return;
+  }
+  const Ipv4Address target = targets_[index];
+  // One probe at a time: bind, send, wait the full timeout window (a
+  // multi-chunk reply keeps arriving inside it — routers pace their chunks a
+  // few milliseconds apart), unbind. The daemon's reply carries the router's
+  // full table. A multihomed router may answer from a *different* interface
+  // than the one probed — which is itself a finding: both addresses belong
+  // to the same box.
+  auto entries = std::make_shared<std::optional<std::vector<RipEntry>>>();
+  auto responder = std::make_shared<Ipv4Address>();
+  vantage_->BindUdp(kRipProbePort,
+                    [entries, responder](const Ipv4Packet& packet,
+                                         const UdpDatagram& datagram) {
+                      auto rip = RipPacket::Decode(datagram.payload);
+                      if (rip.has_value() && rip->command == RipCommand::kResponse) {
+                        if (!entries->has_value()) {
+                          *entries = std::vector<RipEntry>();
                         }
-                      });
-    RipPacket request;
-    request.command = params_.use_poll ? RipCommand::kPoll : RipCommand::kRequest;
-    vantage_->SendUdp(target, kRipProbePort, kRipPort, request.Encode());
+                        *responder = packet.src;
+                        (*entries)->insert((*entries)->end(), rip->entries.begin(),
+                                           rip->entries.end());
+                      }
+                    });
+  port_bound_ = true;
+  RipPacket request;
+  request.command = params_.use_poll ? RipCommand::kPoll : RipCommand::kRequest;
+  vantage_->SendUdp(target, kRipProbePort, kRipPort, request.Encode());
 
-    auto timed_out = std::make_shared<bool>(false);
-    vantage_->events()->Schedule(params_.reply_timeout, [timed_out]() { *timed_out = true; });
-    // Wait for the timeout window; a multi-chunk reply keeps arriving inside
-    // it (routers pace their chunks a few milliseconds apart).
-    vantage_->events()->RunWhile([&]() { return !*timed_out; });
+  ScheduleGuarded(params_.reply_timeout, [this, index, target, entries, responder]() {
     vantage_->UnbindUdp(kRipProbePort);
-
+    port_bound_ = false;
     if (!entries->has_value()) {
       silent_.push_back(target);
     } else {
       tables_[target.value()] = **entries;
-      responder_for_target[target.value()] = *responder;
-      ++report.replies_received;
+      responder_for_target_[target.value()] = *responder;
+      ++mutable_report().replies_received;
     }
-    vantage_->events()->RunFor(params_.spacing);
-  }
+    ScheduleGuarded(params_.spacing, [this, index]() { ProbeNext(index + 1); });
+  });
+}
 
-  // Write findings: the responding router is a RIP source and a gateway; its
-  // metric-1 routes are its directly connected subnets.
-  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
+// Write findings: the responding router is a RIP source and a gateway; its
+// metric-1 routes are its directly connected subnets.
+void RipProbe::Finish() {
+  ExplorerReport& report = mutable_report();
+  JournalBatchWriter writer(journal(), [this]() { return vantage_->Now(); });
   std::set<uint32_t> subnets_seen;
   for (const auto& [target_value, entries] : tables_) {
     const Ipv4Address target(target_value);
@@ -112,7 +125,7 @@ ExplorerReport RipProbe::Run() {
 
     GatewayObservation gw;
     gw.interface_ips = {target};
-    const Ipv4Address responder = responder_for_target[target_value];
+    const Ipv4Address responder = responder_for_target_[target_value];
     if (!responder.IsZero() && responder != target) {
       // Answered from another interface: same router, two known addresses.
       gw.interface_ips.push_back(responder);
@@ -137,16 +150,21 @@ ExplorerReport RipProbe::Run() {
 
   subnets_discovered_ = static_cast<int>(subnets_seen.size());
   report.discovered = subnets_discovered_;
-  report.packets_sent = vantage_->packets_sent() - sent_before;
-  report.finished = vantage_->Now();
+  report.packets_sent = vantage_->packets_sent() - sent_before_;
   if (!silent_.empty()) {
     FLOG(kInfo) << "ripprobe: " << silent_.size() << " target(s) did not answer";
     telemetry::MetricsRegistry::Global()
         .GetCounter("ripprobe/timeouts")
         ->Add(static_cast<int64_t>(silent_.size()));
   }
-  RecordModuleReport("ripprobe", report);
-  return report;
+}
+
+void RipProbe::CancelImpl() {
+  if (port_bound_) {
+    vantage_->UnbindUdp(kRipProbePort);
+    port_bound_ = false;
+  }
+  Finish();
 }
 
 }  // namespace fremont

@@ -40,11 +40,10 @@ struct RipProbeParams {
   int assumed_prefix = 24;
 };
 
-class RipProbe {
+class RipProbe : public ExplorerModule {
  public:
   RipProbe(Host* vantage, JournalClient* journal, RipProbeParams params = {});
-
-  ExplorerReport Run();
+  ~RipProbe() override;
 
   // Target address → full routing table it reported.
   const std::map<uint32_t, std::vector<RipEntry>>& tables() const { return tables_; }
@@ -52,12 +51,21 @@ class RipProbe {
   const std::vector<Ipv4Address>& silent_targets() const { return silent_; }
   int subnets_discovered() const { return subnets_discovered_; }
 
+ protected:
+  void StartImpl() override;
+  void CancelImpl() override;
+
  private:
   Subnet InferSubnet(Ipv4Address advertised) const;
+  void ProbeNext(size_t index);
+  void Finish();
 
   Host* vantage_;
-  JournalClient* journal_;
   RipProbeParams params_;
+  std::vector<Ipv4Address> targets_;
+  std::map<uint32_t, Ipv4Address> responder_for_target_;
+  uint64_t sent_before_ = 0;
+  bool port_bound_ = false;
   std::map<uint32_t, std::vector<RipEntry>> tables_;
   std::vector<Ipv4Address> silent_;
   int subnets_discovered_ = 0;

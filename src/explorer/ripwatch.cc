@@ -7,12 +7,14 @@
 
 namespace fremont {
 
-RipWatch::RipWatch(Host* vantage, JournalClient* journal, RipWatchParams)
-    : vantage_(vantage), journal_(journal) {}
+RipWatch::RipWatch(Host* vantage, JournalClient* journal, RipWatchParams params)
+    : ExplorerModule("ripwatch", "RIPwatch", vantage->events(), journal),
+      vantage_(vantage),
+      params_(params) {}
 
-RipWatch::~RipWatch() { Stop(); }
+RipWatch::~RipWatch() { StopCapture(); }
 
-bool RipWatch::Start() {
+bool RipWatch::StartCapture() {
   if (tap_token_ >= 0) {
     return true;
   }
@@ -22,17 +24,42 @@ bool RipWatch::Start() {
     return false;
   }
   segment_ = iface->segment;
-  started_ = vantage_->Now();
   tap_token_ = segment_->AddTap(
       [this](const EthernetFrame& frame, SimTime now) { OnFrame(frame, now); });
   return true;
 }
 
-void RipWatch::Stop() {
+void RipWatch::StopCapture() {
   if (tap_token_ >= 0 && segment_ != nullptr) {
     segment_->RemoveTap(tap_token_);
   }
   tap_token_ = -1;
+}
+
+void RipWatch::StartImpl() {
+  if (!StartCapture()) {
+    FillReport();
+    Complete();
+    return;
+  }
+  ScheduleGuarded(params_.watch, [this]() {
+    StopCapture();
+    FillReport();
+    Complete();
+  });
+}
+
+void RipWatch::CancelImpl() {
+  StopCapture();
+  FillReport();
+}
+
+void RipWatch::FillReport() {
+  ExplorerReport& report = mutable_report();
+  report.packets_sent = 0;  // Passive.
+  report.replies_received = packets_seen_;
+  report.records_written = WriteFindings(&report.new_info);
+  report.discovered = subnets_seen();
 }
 
 void RipWatch::OnFrame(const EthernetFrame& frame, SimTime) {
@@ -127,7 +154,7 @@ std::vector<Ipv4Address> RipWatch::promiscuous_sources() const {
 }
 
 int RipWatch::WriteFindings(int* new_info_out) {
-  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
+  JournalBatchWriter writer(journal(), [this]() { return vantage_->Now(); });
   if (vantage_->primary_interface() != nullptr) {
     SubnetObservation local_obs;
     local_obs.subnet = vantage_->primary_interface()->AttachedSubnet();
@@ -166,24 +193,6 @@ int RipWatch::WriteFindings(int* new_info_out) {
     *new_info_out = writer.totals().new_info;
   }
   return writer.totals().records_written;
-}
-
-ExplorerReport RipWatch::Run(Duration duration) {
-  TraceModuleStart("ripwatch", vantage_->Now());
-  Start();
-  vantage_->events()->RunFor(duration);
-  Stop();
-
-  ExplorerReport report;
-  report.module = "RIPwatch";
-  report.started = started_;
-  report.packets_sent = 0;  // Passive.
-  report.replies_received = packets_seen_;
-  report.records_written = WriteFindings(&report.new_info);
-  report.discovered = subnets_seen();
-  report.finished = vantage_->Now();
-  RecordModuleReport("ripwatch", report);
-  return report;
 }
 
 }  // namespace fremont

@@ -27,30 +27,34 @@
 namespace fremont {
 
 struct RipWatchParams {
-  // Nothing to configure: the module watches whatever arrives.
+  // How long a managed run keeps the tap attached before writing findings.
+  // The paper used ~2 minutes: four RIP periods.
+  Duration watch = Duration::Minutes(2);
 };
 
-class RipWatch {
+class RipWatch : public ExplorerModule {
  public:
   RipWatch(Host* vantage, JournalClient* journal, RipWatchParams params = {});
-  ~RipWatch();
-  RipWatch(const RipWatch&) = delete;
-  RipWatch& operator=(const RipWatch&) = delete;
+  ~RipWatch() override;
 
-  bool Start();
-  void Stop();
+  // Open-ended capture controls for callers that manage the tap themselves
+  // (no `watch` deadline); Start()/Run() drive these internally.
+  bool StartCapture();
+  void StopCapture();
 
-  // Convenience: watch for `duration` (the paper used ~2 minutes, four RIP
-  // periods), then write findings and report.
-  ExplorerReport Run(Duration duration);
-
-  // Writes accumulated findings to the Journal; called by Run, or manually
-  // after Start/Stop. Returns records written; `new_info_out` (optional)
-  // receives the count of stores that created or changed a record.
+  // Writes accumulated findings to the Journal; called by the managed run,
+  // or manually after StartCapture/StopCapture. Returns records written;
+  // `new_info_out` (optional) receives the count of stores that created or
+  // changed a record.
   int WriteFindings(int* new_info_out = nullptr);
 
   int subnets_seen() const;
   std::vector<Ipv4Address> promiscuous_sources() const;
+
+ protected:
+  // Managed lifecycle: attach the tap, detach `watch` later, write, report.
+  void StartImpl() override;
+  void CancelImpl() override;
 
  private:
   struct SourceState {
@@ -61,12 +65,12 @@ class RipWatch {
 
   void OnFrame(const EthernetFrame& frame, SimTime now);
   Subnet InferSubnet(Ipv4Address advertised) const;
+  void FillReport();
 
   Host* vantage_;
-  JournalClient* journal_;
+  RipWatchParams params_;
   Segment* segment_ = nullptr;
   int tap_token_ = -1;
-  SimTime started_;
   uint64_t packets_seen_ = 0;
   std::map<uint32_t, SourceState> sources_;  // Keyed by source IP.
 };

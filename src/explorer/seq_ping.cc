@@ -1,7 +1,5 @@
 #include "src/explorer/seq_ping.h"
 
-#include <set>
-
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
@@ -10,22 +8,27 @@
 namespace fremont {
 namespace {
 constexpr uint16_t kPingIdent = 0x5051;
+constexpr int kPasses = 2;
 }
 
 SeqPing::SeqPing(Host* vantage, JournalClient* journal, SeqPingParams params)
-    : vantage_(vantage), journal_(journal), params_(params) {}
+    : ExplorerModule("seqping", "SeqPing", vantage->events(), journal),
+      vantage_(vantage),
+      params_(params) {}
 
-ExplorerReport SeqPing::Run() {
-  ExplorerReport report;
-  report.module = "SeqPing";
-  report.started = vantage_->Now();
-  TraceModuleStart("seqping", report.started);
+SeqPing::~SeqPing() {
+  // Destroyed mid-run (no Cancel): detach quietly, write nothing.
+  if (icmp_token_ >= 0) {
+    vantage_->RemoveIcmpListener(icmp_token_);
+    icmp_token_ = -1;
+  }
+}
 
+void SeqPing::StartImpl() {
   Interface* iface = vantage_->primary_interface();
   if (iface == nullptr) {
-    report.finished = vantage_->Now();
-    RecordModuleReport("seqping", report);
-    return report;
+    Complete();
+    return;
   }
   const Subnet subnet = iface->AttachedSubnet();
   Ipv4Address first = params_.first.IsZero() ? subnet.HostAt(1) : params_.first;
@@ -34,78 +37,89 @@ ExplorerReport SeqPing::Run() {
   if (last < first) {
     std::swap(first, last);
   }
-
-  std::vector<Ipv4Address> targets;
   for (uint32_t v = first.value(); v <= last.value(); ++v) {
     if (Ipv4Address(v) != iface->ip) {
-      targets.push_back(Ipv4Address(v));
+      targets_.push_back(Ipv4Address(v));
     }
   }
 
-  std::set<uint32_t> replied;
-  vantage_->SetIcmpListener([&](const Ipv4Packet& packet, const IcmpMessage& message) {
-    if (message.type == IcmpType::kEchoReply && message.identifier == kPingIdent) {
-      replied.insert(packet.src.value());
-      ++report.replies_received;
-      auto& tracer = telemetry::Tracer::Global();
-      if (tracer.enabled()) {
-        tracer.Record(vantage_->Now(), telemetry::TraceEventKind::kReplyMatched, "seqping",
-                      packet.src.ToString());
-      }
+  icmp_token_ = vantage_->AddIcmpListener(
+      [this](const Ipv4Packet& packet, const IcmpMessage& message) {
+        if (message.type == IcmpType::kEchoReply && message.identifier == kPingIdent) {
+          replied_.insert(packet.src.value());
+          ++mutable_report().replies_received;
+          auto& tracer = telemetry::Tracer::Global();
+          if (tracer.enabled()) {
+            tracer.Record(vantage_->Now(), telemetry::TraceEventKind::kReplyMatched, "seqping",
+                          packet.src.ToString());
+          }
+        }
+      });
+
+  sent_before_ = vantage_->packets_sent();
+  BeginPass(0);
+}
+
+// Two passes: the full range, then one retry over the silent addresses.
+void SeqPing::BeginPass(int pass) {
+  std::vector<Ipv4Address> to_probe;
+  for (Ipv4Address target : targets_) {
+    if (!replied_.contains(target.value())) {
+      to_probe.push_back(target);
+    }
+  }
+  if (to_probe.empty()) {
+    Teardown();
+    Complete();
+    return;
+  }
+  uint16_t seq = 0;
+  for (const Ipv4Address target : to_probe) {
+    ScheduleGuarded(params_.interval * seq, [this, target, seq]() {
+      vantage_->SendIcmp(target, IcmpMessage::EchoRequest(kPingIdent, seq));
+    });
+    ++seq;
+  }
+  ScheduleGuarded(params_.interval * seq + params_.reply_timeout, [this, pass]() {
+    if (pass + 1 < kPasses) {
+      BeginPass(pass + 1);
+    } else {
+      Teardown();
+      Complete();
     }
   });
+}
 
-  const uint64_t sent_before = vantage_->packets_sent();
-
-  // Two passes: the full range, then one retry over the silent addresses.
-  for (int pass = 0; pass < 2; ++pass) {
-    std::vector<Ipv4Address> to_probe;
-    for (Ipv4Address target : targets) {
-      if (!replied.contains(target.value())) {
-        to_probe.push_back(target);
-      }
-    }
-    if (to_probe.empty()) {
-      break;
-    }
-    bool pass_done = false;
-    uint16_t seq = 0;
-    for (const Ipv4Address target : to_probe) {
-      vantage_->events()->Schedule(params_.interval * seq, [this, target, seq]() {
-        vantage_->SendIcmp(target, IcmpMessage::EchoRequest(kPingIdent, seq));
-      });
-      ++seq;
-    }
-    vantage_->events()->Schedule(params_.interval * seq + params_.reply_timeout,
-                                 [&pass_done]() { pass_done = true; });
-    vantage_->events()->RunWhile([&pass_done]() { return !pass_done; });
+void SeqPing::Teardown() {
+  if (icmp_token_ < 0) {
+    return;
   }
+  vantage_->RemoveIcmpListener(icmp_token_);
+  icmp_token_ = -1;
 
-  vantage_->ClearIcmpListener();
-
-  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
-  for (uint32_t v : replied) {
+  JournalBatchWriter writer(journal(), [this]() { return vantage_->Now(); });
+  for (uint32_t v : replied_) {
     InterfaceObservation obs;
     obs.ip = Ipv4Address(v);
     writer.StoreInterface(obs, DiscoverySource::kSeqPing);
     responders_.push_back(obs.ip);
   }
   writer.Flush();
+  ExplorerReport& report = mutable_report();
   report.records_written = writer.totals().records_written;
   report.new_info = writer.totals().new_info;
-  report.discovered = static_cast<int>(replied.size());
-  report.packets_sent = vantage_->packets_sent() - sent_before;
-  report.finished = vantage_->Now();
+  report.discovered = static_cast<int>(replied_.size());
+  report.packets_sent = vantage_->packets_sent() - sent_before_;
   // Addresses that stayed silent through both passes timed out.
   uint64_t silent = 0;
-  for (const Ipv4Address target : targets) {
-    if (!replied.contains(target.value())) {
+  for (const Ipv4Address target : targets_) {
+    if (!replied_.contains(target.value())) {
       ++silent;
     }
   }
   telemetry::MetricsRegistry::Global().GetCounter("seqping/timeouts")->Add(silent);
-  RecordModuleReport("seqping", report);
-  return report;
 }
+
+void SeqPing::CancelImpl() { Teardown(); }
 
 }  // namespace fremont

@@ -9,6 +9,7 @@
 #ifndef SRC_EXPLORER_SEQ_PING_H_
 #define SRC_EXPLORER_SEQ_PING_H_
 
+#include <set>
 #include <vector>
 
 #include "src/explorer/explorer.h"
@@ -23,19 +24,28 @@ struct SeqPingParams {
   Duration reply_timeout = Duration::Seconds(10);
 };
 
-class SeqPing {
+class SeqPing : public ExplorerModule {
  public:
   SeqPing(Host* vantage, JournalClient* journal, SeqPingParams params = {});
-
-  ExplorerReport Run();
+  ~SeqPing() override;
 
   const std::vector<Ipv4Address>& responders() const { return responders_; }
 
+ protected:
+  void StartImpl() override;
+  void CancelImpl() override;
+
  private:
+  void BeginPass(int pass);
+  void Teardown();
+
   Host* vantage_;
-  JournalClient* journal_;
   SeqPingParams params_;
+  std::vector<Ipv4Address> targets_;
+  std::set<uint32_t> replied_;
   std::vector<Ipv4Address> responders_;
+  uint64_t sent_before_ = 0;
+  int icmp_token_ = -1;
 };
 
 }  // namespace fremont

@@ -1,6 +1,5 @@
 #include "src/explorer/service_probe.h"
 
-#include "src/journal/batch_writer.h"
 #include "src/net/dns.h"
 #include "src/net/rip.h"
 #include "src/net/udp.h"
@@ -28,12 +27,90 @@ uint16_t ServicePort(KnownService service) {
 }  // namespace
 
 ServiceProbe::ServiceProbe(Host* vantage, JournalClient* journal, ServiceProbeParams params)
-    : vantage_(vantage), journal_(journal), params_(std::move(params)) {}
+    : ExplorerModule("serviceprobe", "ServiceProbe", vantage->events(), journal),
+      vantage_(vantage),
+      params_(std::move(params)),
+      writer_(journal, [this]() { return vantage_->Now(); }) {}
 
-ServiceProbe::Verdict ServiceProbe::ProbeOne(Ipv4Address target, KnownService service) {
+ServiceProbe::~ServiceProbe() { TeardownProbe(); }
+
+void ServiceProbe::TeardownProbe() {
+  if (!probe_active_) {
+    return;
+  }
+  probe_active_ = false;
+  vantage_->UnbindUdp(kProbeSrcPort);
+  if (icmp_token_ >= 0) {
+    vantage_->RemoveIcmpListener(icmp_token_);
+    icmp_token_ = -1;
+  }
+}
+
+void ServiceProbe::StartImpl() {
+  sent_before_ = vantage_->packets_sent();
+  targets_ = params_.targets;
+  if (targets_.empty()) {
+    for (const auto& rec : journal()->GetInterfaces()) {
+      if (rec.sources != SourceBit(DiscoverySource::kDns)) {  // Skip DNS-only ghosts.
+        targets_.push_back(rec.ip);
+      }
+    }
+  }
+  cur_found_mask_ = 0;
+  ProbeNext(0, 0);
+}
+
+void ServiceProbe::ProbeNext(size_t target_index, size_t service_index) {
+  if (target_index >= targets_.size()) {
+    Finish();
+    Complete();
+    return;
+  }
+  if (service_index >= params_.services.size()) {
+    // Target finished: record its confirmed-service bitmask and move on.
+    if (cur_found_mask_ != 0) {
+      InterfaceObservation obs;
+      obs.ip = targets_[target_index];
+      obs.services = cur_found_mask_;
+      writer_.StoreInterface(obs, DiscoverySource::kManual);
+    }
+    cur_found_mask_ = 0;
+    ProbeNext(target_index + 1, 0);
+    return;
+  }
+
+  const Ipv4Address target = targets_[target_index];
+  const KnownService service = params_.services[service_index];
   const uint16_t port = ServicePort(service);
+
+  // Continuation shared by the three ways a probe can settle: an answer, a
+  // Port Unreachable, or the timeout — first one wins.
+  auto settled = std::make_shared<bool>(false);
+  auto settle = [this, settled, target, service, target_index,
+                 service_index](Verdict verdict) {
+    if (*settled) {
+      return;
+    }
+    *settled = true;
+    TeardownProbe();
+    verdicts_[{target.value(), ServiceBit(service)}] = verdict;
+    if (verdict == Verdict::kPresent) {
+      cur_found_mask_ |= ServiceBit(service);
+      ++services_found_;
+      ++mutable_report().replies_received;
+    } else if (verdict == Verdict::kAbsent) {
+      ++mutable_report().replies_received;  // Port unreachable is still a reply.
+    } else {
+      ++timeouts_;
+    }
+    ScheduleGuarded(params_.spacing, [this, target_index, service_index]() {
+      ProbeNext(target_index, service_index + 1);
+    });
+  };
+
   if (port == 0) {
-    return Verdict::kUnknown;
+    settle(Verdict::kUnknown);
+    return;
   }
 
   // Service-appropriate payload, so a real server actually answers.
@@ -59,94 +136,42 @@ ServiceProbe::Verdict ServiceProbe::ProbeOne(Ipv4Address target, KnownService se
       break;
   }
 
-  auto answered = std::make_shared<bool>(false);
-  auto unreachable = std::make_shared<bool>(false);
-  auto timed_out = std::make_shared<bool>(false);
-
   vantage_->BindUdp(kProbeSrcPort,
-                    [answered, target](const Ipv4Packet& packet, const UdpDatagram&) {
+                    [settle, target](const Ipv4Packet& packet, const UdpDatagram&) {
                       if (packet.src == target) {
-                        *answered = true;
+                        settle(Verdict::kPresent);
                       }
                     });
-  vantage_->SetIcmpListener([unreachable, target](const Ipv4Packet& packet,
-                                                  const IcmpMessage& message) {
-    if (message.type == IcmpType::kDestUnreachable &&
-        message.code == static_cast<uint8_t>(IcmpUnreachableCode::kPortUnreachable) &&
-        packet.src == target) {
-      *unreachable = true;
-    }
-  });
+  icmp_token_ = vantage_->AddIcmpListener(
+      [settle, target](const Ipv4Packet& packet, const IcmpMessage& message) {
+        if (message.type == IcmpType::kDestUnreachable &&
+            message.code == static_cast<uint8_t>(IcmpUnreachableCode::kPortUnreachable) &&
+            packet.src == target) {
+          settle(Verdict::kAbsent);
+        }
+      });
+  probe_active_ = true;
 
   vantage_->SendUdp(target, kProbeSrcPort, port, std::move(payload));
-  vantage_->events()->Schedule(params_.reply_timeout, [timed_out]() { *timed_out = true; });
-  vantage_->events()->RunWhile(
-      [&]() { return !*answered && !*unreachable && !*timed_out; });
-  vantage_->UnbindUdp(kProbeSrcPort);
-  vantage_->ClearIcmpListener();
-  vantage_->events()->RunFor(params_.spacing);
-
-  if (*answered) {
-    return Verdict::kPresent;
-  }
-  if (*unreachable) {
-    return Verdict::kAbsent;
-  }
-  return Verdict::kUnknown;
+  ScheduleGuarded(params_.reply_timeout, [settle]() { settle(Verdict::kUnknown); });
 }
 
-ExplorerReport ServiceProbe::Run() {
-  ExplorerReport report;
-  report.module = "ServiceProbe";
-  report.started = vantage_->Now();
-  TraceModuleStart("serviceprobe", report.started);
-  const uint64_t sent_before = vantage_->packets_sent();
+void ServiceProbe::Finish() {
+  writer_.Flush();
+  ExplorerReport& report = mutable_report();
+  report.records_written = writer_.totals().records_written;
+  report.new_info = writer_.totals().new_info;
 
-  std::vector<Ipv4Address> targets = params_.targets;
-  if (targets.empty()) {
-    for (const auto& rec : journal_->GetInterfaces()) {
-      if (rec.sources != SourceBit(DiscoverySource::kDns)) {  // Skip DNS-only ghosts.
-        targets.push_back(rec.ip);
-      }
-    }
-  }
-
-  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
-  int64_t timeouts = 0;
-  for (const Ipv4Address target : targets) {
-    uint16_t found_mask = 0;
-    for (KnownService service : params_.services) {
-      const Verdict verdict = ProbeOne(target, service);
-      verdicts_[{target.value(), ServiceBit(service)}] = verdict;
-      if (verdict == Verdict::kPresent) {
-        found_mask |= ServiceBit(service);
-        ++services_found_;
-        ++report.replies_received;
-      } else if (verdict == Verdict::kAbsent) {
-        ++report.replies_received;  // Port unreachable is still a reply.
-      } else {
-        ++timeouts;
-      }
-    }
-    if (found_mask != 0) {
-      InterfaceObservation obs;
-      obs.ip = target;
-      obs.services = found_mask;
-      writer.StoreInterface(obs, DiscoverySource::kManual);
-    }
-  }
-  writer.Flush();
-  report.records_written = writer.totals().records_written;
-  report.new_info = writer.totals().new_info;
-
-  if (timeouts > 0) {
-    telemetry::MetricsRegistry::Global().GetCounter("serviceprobe/timeouts")->Add(timeouts);
+  if (timeouts_ > 0) {
+    telemetry::MetricsRegistry::Global().GetCounter("serviceprobe/timeouts")->Add(timeouts_);
   }
   report.discovered = services_found_;
-  report.packets_sent = vantage_->packets_sent() - sent_before;
-  report.finished = vantage_->Now();
-  RecordModuleReport("serviceprobe", report);
-  return report;
+  report.packets_sent = vantage_->packets_sent() - sent_before_;
+}
+
+void ServiceProbe::CancelImpl() {
+  TeardownProbe();
+  Finish();
 }
 
 }  // namespace fremont

@@ -1,7 +1,5 @@
 #include "src/explorer/subnet_mask.h"
 
-#include <map>
-
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
 
@@ -12,63 +10,74 @@ constexpr uint16_t kMaskIdent = 0x4d53;
 
 SubnetMaskExplorer::SubnetMaskExplorer(Host* vantage, JournalClient* journal,
                                        SubnetMaskParams params)
-    : vantage_(vantage), journal_(journal), params_(std::move(params)) {}
+    : ExplorerModule("subnetmasks", "SubnetMasks", vantage->events(), journal),
+      vantage_(vantage),
+      params_(std::move(params)) {}
 
-ExplorerReport SubnetMaskExplorer::Run() {
-  ExplorerReport report;
-  report.module = "SubnetMasks";
-  report.started = vantage_->Now();
-  TraceModuleStart("subnetmasks", report.started);
+SubnetMaskExplorer::~SubnetMaskExplorer() {
+  if (icmp_token_ >= 0) {
+    vantage_->RemoveIcmpListener(icmp_token_);
+    icmp_token_ = -1;
+  }
+}
 
-  std::vector<Ipv4Address> targets = params_.targets;
-  if (targets.empty()) {
+void SubnetMaskExplorer::StartImpl() {
+  targets_ = params_.targets;
+  if (targets_.empty()) {
     // Direct further discovery from the Journal: every interface we know of
     // that has no mask recorded yet.
-    for (const auto& rec : journal_->GetInterfaces()) {
+    for (const auto& rec : journal()->GetInterfaces()) {
       if (!rec.mask.has_value()) {
-        targets.push_back(rec.ip);
+        targets_.push_back(rec.ip);
       }
     }
   }
   // Skip targets the negative cache knows won't answer (yet).
   if (params_.negative_cache != nullptr) {
     std::vector<Ipv4Address> filtered;
-    for (const Ipv4Address target : targets) {
+    for (const Ipv4Address target : targets_) {
       if (params_.negative_cache->ShouldSkip(target.value(), vantage_->Now())) {
         ++skipped_;
       } else {
         filtered.push_back(target);
       }
     }
-    targets = std::move(filtered);
+    targets_ = std::move(filtered);
   }
 
-  std::map<uint32_t, uint32_t> replies;  // source ip → raw mask.
-  vantage_->SetIcmpListener([&](const Ipv4Packet& packet, const IcmpMessage& message) {
-    if (message.type == IcmpType::kMaskReply && message.identifier == kMaskIdent) {
-      replies[packet.src.value()] = message.address_mask;
-      ++report.replies_received;
-    }
-  });
+  icmp_token_ = vantage_->AddIcmpListener(
+      [this](const Ipv4Packet& packet, const IcmpMessage& message) {
+        if (message.type == IcmpType::kMaskReply && message.identifier == kMaskIdent) {
+          replies_[packet.src.value()] = message.address_mask;
+          ++mutable_report().replies_received;
+        }
+      });
 
-  const uint64_t sent_before = vantage_->packets_sent();
-  bool done = false;
+  sent_before_ = vantage_->packets_sent();
   uint16_t seq = 0;
-  for (const Ipv4Address target : targets) {
-    vantage_->events()->Schedule(params_.interval * seq, [this, target, seq]() {
+  for (const Ipv4Address target : targets_) {
+    ScheduleGuarded(params_.interval * seq, [this, target, seq]() {
       vantage_->SendIcmp(target, IcmpMessage::MaskRequest(kMaskIdent, seq));
     });
     ++seq;
   }
-  vantage_->events()->Schedule(params_.interval * seq + params_.reply_timeout,
-                               [&done]() { done = true; });
-  vantage_->events()->RunWhile([&done]() { return !done; });
-  vantage_->ClearIcmpListener();
+  ScheduleGuarded(params_.interval * seq + params_.reply_timeout, [this]() {
+    Teardown();
+    Complete();
+  });
+}
+
+void SubnetMaskExplorer::Teardown() {
+  if (icmp_token_ < 0) {
+    return;
+  }
+  vantage_->RemoveIcmpListener(icmp_token_);
+  icmp_token_ = -1;
 
   // Feed the negative cache: silence is a failure, any reply is a success.
   if (params_.negative_cache != nullptr) {
-    for (const Ipv4Address target : targets) {
-      if (replies.contains(target.value())) {
+    for (const Ipv4Address target : targets_) {
+      if (replies_.contains(target.value())) {
         params_.negative_cache->RecordSuccess(target.value());
       } else {
         params_.negative_cache->RecordFailure(target.value(), vantage_->Now());
@@ -76,8 +85,9 @@ ExplorerReport SubnetMaskExplorer::Run() {
     }
   }
 
-  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
-  for (const auto& [ip, raw_mask] : replies) {
+  ExplorerReport& report = mutable_report();
+  JournalBatchWriter writer(journal(), [this]() { return vantage_->Now(); });
+  for (const auto& [ip, raw_mask] : replies_) {
     auto mask = SubnetMask::FromValue(raw_mask);
     if (!mask.has_value()) {
       ++invalid_masks_;
@@ -92,11 +102,10 @@ ExplorerReport SubnetMaskExplorer::Run() {
   writer.Flush();
   report.records_written = writer.totals().records_written;
   report.new_info = writer.totals().new_info;
-  report.packets_sent = vantage_->packets_sent() - sent_before;
-  report.finished = vantage_->Now();
+  report.packets_sent = vantage_->packets_sent() - sent_before_;
   uint64_t silent = 0;
-  for (const Ipv4Address target : targets) {
-    if (!replies.contains(target.value())) {
+  for (const Ipv4Address target : targets_) {
+    if (!replies_.contains(target.value())) {
       ++silent;
     }
   }
@@ -104,8 +113,8 @@ ExplorerReport SubnetMaskExplorer::Run() {
   registry.GetCounter("subnetmasks/timeouts")->Add(silent);
   registry.GetCounter("subnetmasks/negative_cache_skips")
       ->Add(static_cast<uint64_t>(skipped_ > 0 ? skipped_ : 0));
-  RecordModuleReport("subnetmasks", report);
-  return report;
 }
+
+void SubnetMaskExplorer::CancelImpl() { Teardown(); }
 
 }  // namespace fremont

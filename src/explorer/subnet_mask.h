@@ -10,6 +10,7 @@
 #ifndef SRC_EXPLORER_SUBNET_MASK_H_
 #define SRC_EXPLORER_SUBNET_MASK_H_
 
+#include <map>
 #include <vector>
 
 #include "src/explorer/explorer.h"
@@ -29,21 +30,29 @@ struct SubnetMaskParams {
   NegativeCache* negative_cache = nullptr;
 };
 
-class SubnetMaskExplorer {
+class SubnetMaskExplorer : public ExplorerModule {
  public:
   SubnetMaskExplorer(Host* vantage, JournalClient* journal, SubnetMaskParams params = {});
-
-  ExplorerReport Run();
+  ~SubnetMaskExplorer() override;
 
   // Replies carrying a non-contiguous (invalid) mask.
   int invalid_masks_seen() const { return invalid_masks_; }
   // Targets skipped because the negative cache said "known unavailable".
   int skipped_by_negative_cache() const { return skipped_; }
 
+ protected:
+  void StartImpl() override;
+  void CancelImpl() override;
+
  private:
+  void Teardown();
+
   Host* vantage_;
-  JournalClient* journal_;
   SubnetMaskParams params_;
+  std::vector<Ipv4Address> targets_;
+  std::map<uint32_t, uint32_t> replies_;  // Source ip → raw mask.
+  uint64_t sent_before_ = 0;
+  int icmp_token_ = -1;
   int invalid_masks_ = 0;
   int skipped_ = 0;
 };

@@ -12,7 +12,16 @@
 namespace fremont {
 
 Traceroute::Traceroute(Host* vantage, JournalClient* journal, TracerouteParams params)
-    : vantage_(vantage), journal_(journal), params_(std::move(params)) {}
+    : ExplorerModule("traceroute", "Traceroute", vantage->events(), journal),
+      vantage_(vantage),
+      params_(std::move(params)) {}
+
+Traceroute::~Traceroute() {
+  if (icmp_token_ >= 0) {
+    vantage_->RemoveIcmpListener(icmp_token_);
+    icmp_token_ = -1;
+  }
+}
 
 Subnet Traceroute::AssumedSubnet(Ipv4Address ip) const {
   return Subnet(ip, SubnetMask::FromPrefixLength(params_.assumed_prefix));
@@ -29,17 +38,12 @@ std::vector<ExplorerReport> Traceroute::RunFromVantages(const std::vector<Host*>
   return reports;
 }
 
-ExplorerReport Traceroute::Run() {
-  ExplorerReport report;
-  report.module = "Traceroute";
-  report.started = vantage_->Now();
-  TraceModuleStart("traceroute", report.started);
-
+void Traceroute::StartImpl() {
   targets_ = params_.targets;
   if (targets_.empty()) {
     // Direct discovery from the Journal: trace towards every known subnet.
     // (RIPwatch results are the usual feeder, per the paper.)
-    for (const auto& rec : journal_->GetSubnets()) {
+    for (const auto& rec : journal()->GetSubnets()) {
       targets_.push_back(rec.subnet);
     }
   }
@@ -50,9 +54,8 @@ ExplorerReport Traceroute::Run() {
     std::erase_if(targets_, [&](const Subnet& s) { return s == own; });
   }
   if (targets_.empty()) {
-    report.finished = vantage_->Now();
-    RecordModuleReport("traceroute", report);
-    return report;
+    Complete();
+    return;
   }
 
   // Build per-address traces: host zero, .1, .2 (or just host zero).
@@ -68,17 +71,34 @@ ExplorerReport Traceroute::Run() {
     }
   }
 
-  vantage_->SetIcmpListener(
-      [this](const Ipv4Packet& packet, const IcmpMessage& message) { OnIcmp(packet, message); });
+  icmp_token_ = vantage_->AddIcmpListener(
+      [this](const Ipv4Packet& packet, const IcmpMessage& message) {
+        OnIcmp(packet, message);
+        // A terminal reply (or loop/backbone stop) may have been the last
+        // open question; nothing after this touches the module.
+        MaybeFinish();
+      });
 
-  const uint64_t sent_before = vantage_->packets_sent();
+  sent_before_ = vantage_->packets_sent();
   PumpSend();
-  vantage_->events()->RunWhile([this]() { return !AllDone(); });
-  vantage_->ClearIcmpListener();
-  // Drain queued probe-timeout events (replies that beat their timeout leave
-  // the event behind; each captures `this`, so they must fire before this
-  // object can safely be destroyed).
-  vantage_->events()->RunFor(params_.reply_timeout + Duration::Seconds(1));
+}
+
+void Traceroute::MaybeFinish() {
+  if (finished() || !AllDone()) {
+    return;
+  }
+  CancelImpl();
+  Complete();
+}
+
+// Shared teardown: collate, write findings, settle the report. Runs once —
+// from MaybeFinish when the last probe resolves, or early via Cancel().
+void Traceroute::CancelImpl() {
+  if (icmp_token_ < 0) {
+    return;
+  }
+  vantage_->RemoveIcmpListener(icmp_token_);
+  icmp_token_ = -1;
 
   // Collate per-target results.
   results_.clear();
@@ -109,12 +129,10 @@ ExplorerReport Traceroute::Run() {
     results_.push_back(std::move(result));
   }
 
+  ExplorerReport& report = mutable_report();
   WriteFindings(&report);
-  report.packets_sent = vantage_->packets_sent() - sent_before;
+  report.packets_sent = vantage_->packets_sent() - sent_before_;
   report.replies_received = replies_;
-  report.finished = vantage_->Now();
-  RecordModuleReport("traceroute", report);
-  return report;
 }
 
 bool Traceroute::AllDone() const {
@@ -133,7 +151,7 @@ void Traceroute::PumpSend() {
   }
   pump_scheduled_ = true;
   const Duration spacing = Duration::SecondsF(1.0 / params_.packets_per_second);
-  vantage_->events()->Schedule(spacing, [this]() {
+  ScheduleGuarded(spacing, [this]() {
     pump_scheduled_ = false;
     if (ready_.empty()) {
       return;
@@ -160,13 +178,14 @@ void Traceroute::SendProbe(size_t trace_index) {
   // Timeout: if this probe is still outstanding after reply_timeout, advance.
   const int ttl = trace.current_ttl;
   const int attempt = trace.attempts_at_ttl - 1;
-  vantage_->events()->Schedule(params_.reply_timeout, [this, trace_index, ttl, attempt, port]() {
+  ScheduleGuarded(params_.reply_timeout, [this, trace_index, ttl, attempt, port]() {
     auto it = outstanding_.find(port);
     if (it != outstanding_.end() && it->second.trace_index == trace_index &&
         it->second.ttl == ttl && it->second.attempt == attempt) {
       outstanding_.erase(it);
       AdvanceAfterTimeout(trace_index, ttl, attempt);
     }
+    MaybeFinish();
   });
 }
 
@@ -276,7 +295,7 @@ void Traceroute::OnIcmp(const Ipv4Packet& packet, const IcmpMessage& message) {
 
 void Traceroute::WriteFindings(ExplorerReport* report) {
   std::set<uint32_t> confirmed_subnets;
-  JournalBatchWriter writer(journal_, [this]() { return vantage_->Now(); });
+  JournalBatchWriter writer(journal(), [this]() { return vantage_->Now(); });
 
   for (const auto& result : results_) {
     // Each responding hop is a gateway interface.

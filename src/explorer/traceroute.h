@@ -71,11 +71,10 @@ struct TraceResult {
   bool loop_detected = false;
 };
 
-class Traceroute {
+class Traceroute : public ExplorerModule {
  public:
   Traceroute(Host* vantage, JournalClient* journal, TracerouteParams params = {});
-
-  ExplorerReport Run();
+  ~Traceroute() override;
 
   const std::vector<TraceResult>& results() const { return results_; }
   // Subnets confirmed (terminal reply, or gateway-link inference).
@@ -88,6 +87,10 @@ class Traceroute {
   static std::vector<ExplorerReport> RunFromVantages(const std::vector<Host*>& vantages,
                                                      JournalClient* journal,
                                                      const TracerouteParams& params = {});
+
+ protected:
+  void StartImpl() override;
+  void CancelImpl() override;
 
  private:
   struct AddressTrace {
@@ -109,12 +112,15 @@ class Traceroute {
   void AdvanceAfterTimeout(size_t trace_index, int ttl, int attempt);
   void AdvanceTrace(size_t trace_index, bool got_reply);
   bool AllDone() const;
+  // Collates results, writes findings, and Complete()s once AllDone().
+  void MaybeFinish();
   void WriteFindings(ExplorerReport* report);
   Subnet AssumedSubnet(Ipv4Address ip) const;
 
   Host* vantage_;
-  JournalClient* journal_;
   TracerouteParams params_;
+  uint64_t sent_before_ = 0;
+  int icmp_token_ = -1;
 
   std::vector<Subnet> targets_;
   std::vector<AddressTrace> traces_;

@@ -8,6 +8,18 @@
 #include "src/util/string_util.h"
 
 namespace fremont {
+namespace {
+
+int64_t TotalRecords(JournalClient* journal) {
+  if (journal == nullptr) {
+    return 0;
+  }
+  const JournalStats stats = journal->GetStats();
+  return static_cast<int64_t>(stats.interface_count) +
+         static_cast<int64_t>(stats.gateway_count) + static_cast<int64_t>(stats.subnet_count);
+}
+
+}  // namespace
 
 DiscoveryManager::DiscoveryManager(EventQueue* events, JournalClient* journal)
     : events_(events), journal_(journal) {}
@@ -49,30 +61,53 @@ std::vector<ModuleSchedule> DiscoveryManager::ExportSchedule() const {
   return out;
 }
 
-SimTime DiscoveryManager::NextDue() const {
-  SimTime earliest = SimTime::FromMicros(INT64_MAX);
+std::optional<SimTime> DiscoveryManager::NextDue() const {
+  std::optional<SimTime> earliest;
   for (const auto& state : modules_) {
-    earliest = std::min(earliest, state.schedule.NextDue());
+    const SimTime due = state.schedule.NextDue();
+    if (!earliest.has_value() || due < *earliest) {
+      earliest = due;
+    }
   }
   return earliest;
 }
 
-void DiscoveryManager::RunModule(ModuleState& state, std::vector<ExplorerReport>* reports) {
+void DiscoveryManager::LaunchModule(ModuleState& state, std::vector<ExplorerReport>* reports) {
   FLOG(kInfo) << "manager: running " << state.schedule.name << " at "
               << events_->Now().ToString();
-  JournalStats before{};
-  if (journal_ != nullptr) {
-    before = journal_->GetStats();
+  std::unique_ptr<ExplorerModule> module = state.registration.make();
+  if (module == nullptr) {
+    FLOG(kError) << "manager: factory for " << state.schedule.name
+                 << " returned no module; skipping this run";
+    return;
   }
-  ExplorerReport report = state.registration.run();
+  if (in_flight_ == 0) {
+    // Fresh completion boundary: growth before this point (e.g. Correlate
+    // between ticks) is not attributable to any module run.
+    growth_baseline_ = TotalRecords(journal_);
+  }
+  running_.push_back(std::move(module));
+  ExplorerModule* launched = running_.back().get();
+  ++in_flight_;
+  telemetry::MetricsRegistry::Global().GetGauge("manager/modules_in_flight")->Set(in_flight_);
+  // The completion callback may fire synchronously (degenerate runs) or many
+  // sim-minutes later; `state` and `reports` outlive the tick either way.
+  launched->Start(
+      [this, &state, reports](const ExplorerReport& report) { FinishModule(state, report, reports); });
+}
+
+void DiscoveryManager::FinishModule(ModuleState& state, const ExplorerReport& report,
+                                    std::vector<ExplorerReport>* reports) {
   reports->push_back(report);
   ++state.runs;
+  --in_flight_;
   if (journal_ != nullptr) {
-    const JournalStats after = journal_->GetStats();
-    state.last_journal_growth =
-        static_cast<int>(after.interface_count - before.interface_count) +
-        static_cast<int>(after.gateway_count - before.gateway_count) +
-        static_cast<int>(after.subnet_count - before.subnet_count);
+    // Growth since the previous completion boundary. With overlapping runs
+    // this charges each completion the records landed since the one before
+    // it — exact for serial ticks, completion-order attribution otherwise.
+    const int64_t now_total = TotalRecords(journal_);
+    state.last_journal_growth = static_cast<int>(now_total - growth_baseline_);
+    growth_baseline_ = now_total;
   }
 
   // Fruitfulness-based interval adaptation, driven by *new* information
@@ -116,25 +151,56 @@ std::vector<ExplorerReport> DiscoveryManager::Tick() {
   std::vector<ExplorerReport> reports;
   telemetry::MetricsRegistry::Global().GetCounter("manager/ticks")->Increment();
   const SimTime now = events_->Now();
+  std::vector<ModuleState*> due;
   for (auto& state : modules_) {
     if (state.schedule.NextDue() <= now) {
-      RunModule(state, &reports);
+      due.push_back(&state);
     }
   }
+  if (due.empty()) {
+    return reports;
+  }
+
+  if (serial_) {
+    // Historical order: each due module runs to completion before the next
+    // starts, exactly as the blocking Run() loop did.
+    for (ModuleState* state : due) {
+      LaunchModule(*state, &reports);
+      events_->RunWhile([this]() { return in_flight_ > 0; });
+    }
+  } else {
+    // Cooperative launch: every due module schedules its probes into the
+    // same event-queue pass, overlapping their reply/timeout waits.
+    if (due.size() >= 2) {
+      telemetry::MetricsRegistry::Global().GetCounter("manager/concurrent_runs")->Increment();
+    }
+    for (ModuleState* state : due) {
+      LaunchModule(*state, &reports);
+    }
+    events_->RunWhile([this]() { return in_flight_ > 0; });
+  }
+
+  // All completion callbacks have fired; retire the spent instances.
+  running_.clear();
   return reports;
 }
 
 std::vector<ExplorerReport> DiscoveryManager::RunUntil(SimTime deadline) {
   std::vector<ExplorerReport> reports;
   while (true) {
-    const SimTime due = NextDue();
-    if (due > deadline) {
+    const std::optional<SimTime> due = NextDue();
+    if (!due.has_value()) {
+      // No modules registered: nothing will ever become due, so driving the
+      // clock to the deadline would just spin. Documented no-op.
+      return reports;
+    }
+    if (*due > deadline) {
       // Nothing more scheduled inside the window; let the network idle on.
       events_->RunUntil(deadline);
       break;
     }
-    if (due > events_->Now()) {
-      events_->RunUntil(due);
+    if (*due > events_->Now()) {
+      events_->RunUntil(*due);
     }
     auto batch = Tick();
     reports.insert(reports.end(), batch.begin(), batch.end());

@@ -10,11 +10,19 @@
 // module's minimum); a run that discovers nothing new doubles it (capped at
 // the maximum). "This ensures that the resulting exploration effort is as
 // fruitful as possible."
+//
+// Modules launch through the cooperative ExplorerModule lifecycle: a Tick
+// starts every due module into a single event-queue pass and drives the
+// queue until all of them have completed, overlapping their probe waits
+// (concurrent mode, the default). set_serial(true) restores the historical
+// one-module-at-a-time order for A/B comparison.
 
 #ifndef SRC_MANAGER_DISCOVERY_MANAGER_H_
 #define SRC_MANAGER_DISCOVERY_MANAGER_H_
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,8 +37,9 @@ struct ModuleRegistration {
   std::string name;
   Duration min_interval;
   Duration max_interval;
-  // Invokes the module; the runner drives the event queue itself.
-  std::function<ExplorerReport()> run;
+  // Builds a fresh single-shot module instance for each run; the manager
+  // Start()s it and owns it until it completes.
+  std::function<std::unique_ptr<ExplorerModule>()> make;
 };
 
 class DiscoveryManager {
@@ -43,18 +52,27 @@ class DiscoveryManager {
   void RestoreSchedule(const std::vector<ModuleSchedule>& history);
   std::vector<ModuleSchedule> ExportSchedule() const;
 
-  // Runs every currently due module once. Returns their reports.
+  // Launches every currently due module and drives the event queue until all
+  // of them complete. Returns their reports in completion order.
   std::vector<ExplorerReport> Tick();
 
   // Runs the scheduling loop until `deadline`: advances simulated time to
-  // each next-due instant and ticks. Returns all reports.
+  // each next-due instant and ticks. Returns all reports. With no modules
+  // registered this is a documented no-op: it returns immediately without
+  // advancing the simulated clock.
   std::vector<ExplorerReport> RunUntil(SimTime deadline);
   std::vector<ExplorerReport> RunFor(Duration duration) {
     return RunUntil(events_->Now() + duration);
   }
 
-  // Earliest next-due time across modules (Epoch if something is due now).
-  SimTime NextDue() const;
+  // Earliest next-due time across modules (Epoch if something is due now);
+  // nullopt when no modules are registered.
+  std::optional<SimTime> NextDue() const;
+
+  // Historical one-module-at-a-time launch order (each due module runs to
+  // completion before the next starts). Default is concurrent.
+  void set_serial(bool serial) { serial_ = serial; }
+  bool serial() const { return serial_; }
 
   struct ModuleState {
     ModuleRegistration registration;
@@ -67,11 +85,24 @@ class DiscoveryManager {
   const std::vector<ModuleState>& modules() const { return modules_; }
 
  private:
-  void RunModule(ModuleState& state, std::vector<ExplorerReport>* reports);
+  // Starts `state`'s module; FinishModule() runs from its completion
+  // callback (adaptation, schedule stamping, telemetry).
+  void LaunchModule(ModuleState& state, std::vector<ExplorerReport>* reports);
+  void FinishModule(ModuleState& state, const ExplorerReport& report,
+                    std::vector<ExplorerReport>* reports);
 
   EventQueue* events_;
   JournalClient* journal_;
   std::vector<ModuleState> modules_;
+  bool serial_ = false;
+  // Modules mid-run during a Tick. Completed instances stay here (their
+  // completion callback must not destroy them) until the tick retires them.
+  std::vector<std::unique_ptr<ExplorerModule>> running_;
+  int in_flight_ = 0;
+  // Journal record count at the previous completion boundary, for growth
+  // attribution when runs overlap: each completion is charged the growth
+  // since the one before it.
+  int64_t growth_baseline_ = 0;
 };
 
 }  // namespace fremont

@@ -1,0 +1,75 @@
+#include "src/manager/module_registry.h"
+
+#include "src/explorer/arpwatch.h"
+#include "src/explorer/broadcast_ping.h"
+#include "src/explorer/dns_explorer.h"
+#include "src/explorer/etherhostprobe.h"
+#include "src/explorer/rip_probe.h"
+#include "src/explorer/ripwatch.h"
+#include "src/explorer/seq_ping.h"
+#include "src/explorer/service_probe.h"
+#include "src/explorer/subnet_mask.h"
+#include "src/explorer/traceroute.h"
+#include "src/util/logging.h"
+
+namespace fremont {
+namespace {
+
+template <typename Module>
+std::function<std::unique_ptr<ExplorerModule>(Host*, JournalClient*)> Factory() {
+  return [](Host* vantage, JournalClient* journal) -> std::unique_ptr<ExplorerModule> {
+    return std::make_unique<Module>(vantage, journal);
+  };
+}
+
+std::vector<ModuleSpec> BuildStandardSpecs() {
+  std::vector<ModuleSpec> specs;
+  specs.push_back({"arpwatch", Duration::Hours(2), Duration::Days(7), Factory<ArpWatch>()});
+  specs.push_back(
+      {"etherhostprobe", Duration::Days(1), Duration::Days(7), Factory<EtherHostProbe>()});
+  specs.push_back({"seqping", Duration::Days(2), Duration::Days(14), Factory<SeqPing>()});
+  specs.push_back(
+      {"broadcastping", Duration::Days(7), Duration::Days(28), Factory<BroadcastPing>()});
+  specs.push_back(
+      {"subnetmasks", Duration::Days(1), Duration::Days(7), Factory<SubnetMaskExplorer>()});
+  specs.push_back({"ripwatch", Duration::Hours(2), Duration::Days(7), Factory<RipWatch>()});
+  specs.push_back({"traceroute", Duration::Days(2), Duration::Days(14), Factory<Traceroute>()});
+  specs.push_back({"dns", Duration::Days(2), Duration::Days(14), Factory<DnsExplorer>()});
+  specs.push_back({"ripprobe", Duration::Days(2), Duration::Days(14), Factory<RipProbe>()});
+  specs.push_back(
+      {"serviceprobe", Duration::Days(3), Duration::Days(14), Factory<ServiceProbe>()});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<ModuleSpec>& StandardModuleSpecs() {
+  static const std::vector<ModuleSpec>* specs = new std::vector<ModuleSpec>(BuildStandardSpecs());
+  return *specs;
+}
+
+const ModuleSpec* FindModuleSpec(const std::string& name) {
+  for (const auto& spec : StandardModuleSpecs()) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+ModuleRegistration MakeStandardRegistration(const std::string& name, Host* vantage,
+                                            JournalClient* journal) {
+  const ModuleSpec* spec = FindModuleSpec(name);
+  if (spec == nullptr) {
+    FLOG(kError) << "module_registry: no standard spec named '" << name << "'";
+    return {};
+  }
+  ModuleRegistration registration;
+  registration.name = spec->name;
+  registration.min_interval = spec->min_interval;
+  registration.max_interval = spec->max_interval;
+  registration.make = [spec, vantage, journal]() { return spec->make(vantage, journal); };
+  return registration;
+}
+
+}  // namespace fremont

@@ -1,0 +1,49 @@
+// Name-keyed Explorer Module registry.
+//
+// The 1993 prototype's startup/history file named each module by "the
+// command name" the Discovery Manager would exec. This registry is that
+// name→command table: a ModuleSpec carries the registration name, the
+// paper's Table 4 invocation-interval band, and a factory that builds a
+// fresh single-shot module instance against a vantage host and Journal
+// client. The Discovery Manager consumes factories (ModuleRegistration), so
+// anything launchable — standard spec or bespoke closure — registers the
+// same way.
+
+#ifndef SRC_MANAGER_MODULE_REGISTRY_H_
+#define SRC_MANAGER_MODULE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/explorer/explorer.h"
+#include "src/manager/discovery_manager.h"
+
+namespace fremont {
+
+struct ModuleSpec {
+  std::string name;
+  Duration min_interval;
+  Duration max_interval;
+  // Builds a fresh instance for one run.
+  std::function<std::unique_ptr<ExplorerModule>(Host* vantage, JournalClient* journal)> make;
+};
+
+// All ten modules with their default parameters and Table 4 interval bands.
+// The "dns" spec probes with default DnsExplorerParams (no zone, no server)
+// and so discovers nothing until the caller re-registers it with a real
+// server — site knowledge the registry cannot invent.
+const std::vector<ModuleSpec>& StandardModuleSpecs();
+
+// Looks up a standard spec by registration name; nullptr if unknown.
+const ModuleSpec* FindModuleSpec(const std::string& name);
+
+// Convenience: binds a standard spec to a vantage/journal pair, yielding a
+// registration the Discovery Manager accepts directly.
+ModuleRegistration MakeStandardRegistration(const std::string& name, Host* vantage,
+                                            JournalClient* journal);
+
+}  // namespace fremont
+
+#endif  // SRC_MANAGER_MODULE_REGISTRY_H_

@@ -162,6 +162,26 @@ bool Host::BindUdp(uint16_t port, UdpHandler handler) {
 
 void Host::UnbindUdp(uint16_t port) { udp_handlers_.erase(port); }
 
+int Host::AddIcmpListener(IcmpListener listener) {
+  const int token = next_icmp_token_++;
+  icmp_listeners_.emplace(token, std::move(listener));
+  return token;
+}
+
+void Host::RemoveIcmpListener(int token) { icmp_listeners_.erase(token); }
+
+void Host::SetIcmpListener(IcmpListener listener) {
+  ClearIcmpListener();
+  legacy_icmp_token_ = AddIcmpListener(std::move(listener));
+}
+
+void Host::ClearIcmpListener() {
+  if (legacy_icmp_token_ >= 0) {
+    RemoveIcmpListener(legacy_icmp_token_);
+    legacy_icmp_token_ = -1;
+  }
+}
+
 void Host::TransmitViaArp(Interface* iface, Ipv4Address next_hop_ip, Ipv4Packet packet) {
   ++packets_sent_;
   if (auto mac = arp_cache_.Lookup(next_hop_ip, Now()); mac.has_value()) {
@@ -356,8 +376,25 @@ void Host::HandleIcmp(Interface* iface, const Ipv4Packet& packet, const IcmpMess
     case IcmpType::kMaskReply:
     case IcmpType::kTimeExceeded:
     case IcmpType::kDestUnreachable:
-      if (icmp_listener_) {
-        icmp_listener_(packet, message);
+      if (!icmp_listeners_.empty()) {
+        // Snapshot the tokens: a listener may remove itself or its peers
+        // while being dispatched, and a removed listener must not run.
+        std::vector<int> tokens;
+        tokens.reserve(icmp_listeners_.size());
+        for (const auto& [token, listener] : icmp_listeners_) {
+          (void)listener;
+          tokens.push_back(token);
+        }
+        for (int token : tokens) {
+          auto it = icmp_listeners_.find(token);
+          if (it == icmp_listeners_.end()) {
+            continue;
+          }
+          // Copy so self-removal inside the call cannot destroy the
+          // std::function mid-invocation.
+          IcmpListener listener = it->second;
+          listener(packet, message);
+        }
       }
       break;
   }
@@ -375,7 +412,10 @@ void Host::HandleUdp(Interface* iface, const Ipv4Packet& packet) {
   const bool addressed_to_us = !IsBroadcastDestination(packet.dst);
 
   if (auto it = udp_handlers_.find(datagram->dst_port); it != udp_handlers_.end()) {
-    it->second(packet, *datagram);
+    // Copy: event-driven Explorer Modules unbind their port from inside the
+    // handler the moment the awaited reply arrives.
+    UdpHandler handler = it->second;
+    handler(packet, *datagram);
     return;
   }
 

@@ -103,11 +103,19 @@ class Host : public FrameSink {
   // --- Receiving hooks for Explorer Modules ---------------------------------
 
   // All ICMP messages delivered to this host (after default processing) are
-  // passed to the listener. At most one listener at a time (modules run
-  // serially, as the Discovery Manager runs them).
+  // passed to every registered listener. Multiple listeners may be active at
+  // once — the Discovery Manager overlaps Explorer Modules, so several can
+  // await ICMP replies on the same vantage host simultaneously; each filters
+  // by its own identifier. A listener may remove itself (or register others)
+  // from inside its callback.
   using IcmpListener = std::function<void(const Ipv4Packet&, const IcmpMessage&)>;
-  void SetIcmpListener(IcmpListener listener) { icmp_listener_ = std::move(listener); }
-  void ClearIcmpListener() { icmp_listener_ = nullptr; }
+  int AddIcmpListener(IcmpListener listener);
+  void RemoveIcmpListener(int token);
+  // Legacy single-slot interface: manages one dedicated listener slot on top
+  // of Add/Remove (Set replaces the slot, Clear empties it). Listeners added
+  // via AddIcmpListener are unaffected.
+  void SetIcmpListener(IcmpListener listener);
+  void ClearIcmpListener();
 
   // Binds a UDP port. The handler receives the enclosing IP packet too (for
   // source addresses). Returns false if the port is already bound.
@@ -193,7 +201,9 @@ class Host : public FrameSink {
   };
   std::map<uint32_t, PendingArp> pending_arp_;
 
-  IcmpListener icmp_listener_;
+  std::map<int, IcmpListener> icmp_listeners_;
+  int next_icmp_token_ = 0;
+  int legacy_icmp_token_ = -1;  // Slot owned by Set/ClearIcmpListener.
   std::map<uint16_t, UdpHandler> udp_handlers_;
 };
 

@@ -56,10 +56,10 @@ TEST_F(ExplorerLabTest, ArpWatchSeesBothSidesOfExchange) {
   b->BindUdp(5000, [](const Ipv4Packet&, const UdpDatagram&) {});
 
   ArpWatch watch(vantage_, client_.get());
-  ASSERT_TRUE(watch.Start());
+  ASSERT_TRUE(watch.StartCapture());
   a->SendUdp(b->primary_interface()->ip, 1, 5000, {});
   sim_.events().RunUntilIdle();
-  watch.Stop();
+  watch.StopCapture();
 
   // Requester visible from the broadcast request, responder from the reply.
   EXPECT_EQ(watch.unique_pairs_seen(), 2);
@@ -78,14 +78,14 @@ TEST_F(ExplorerLabTest, ArpWatchThrottlesRewrites) {
   ArpWatchParams params;
   params.write_throttle = Duration::Minutes(10);
   ArpWatch watch(vantage_, client_.get(), params);
-  watch.Start();
+  watch.StartCapture();
 
   // ARP cache timeout is 20 min; exchanges every ~21 min re-ARP each time.
   for (int i = 0; i < 4; ++i) {
     a->SendUdp(b->primary_interface()->ip, 1, 5000, {});
     sim_.RunFor(Duration::Minutes(21));
   }
-  watch.Stop();
+  watch.StopCapture();
   EXPECT_EQ(watch.unique_pairs_seen(), 2);
   // Journal received several verifications but the record set stayed at 2.
   EXPECT_EQ(client_->GetInterfaces().size(), 2u);
@@ -97,7 +97,7 @@ TEST_F(ExplorerLabTest, ArpWatchThrottlesRewrites) {
 TEST_F(ExplorerLabTest, ArpWatchIgnoresAddressProbes) {
   // Sender IP 0.0.0.0 (DHCP-style address probe) must not create a record.
   ArpWatch watch(vantage_, client_.get());
-  watch.Start();
+  watch.StartCapture();
   ArpPacket probe;
   probe.op = ArpOp::kRequest;
   probe.sender_mac = MacAddress(2, 0, 0, 0, 9, 9);
@@ -110,7 +110,7 @@ TEST_F(ExplorerLabTest, ArpWatchIgnoresAddressProbes) {
   frame.payload = probe.Encode();
   segment_->Transmit(frame);
   sim_.events().RunUntilIdle();
-  watch.Stop();
+  watch.StopCapture();
   EXPECT_EQ(watch.unique_pairs_seen(), 0);
 }
 
@@ -267,8 +267,8 @@ TEST_F(ExplorerLabTest, RipWatchClassifiesRoutes) {
   RipDaemon daemon(gw, gw, {});
   daemon.Start();
 
-  RipWatch watch(vantage_, client_.get());
-  ExplorerReport report = watch.Run(Duration::Minutes(2));
+  RipWatch watch(vantage_, client_.get(), {.watch = Duration::Minutes(2)});
+  ExplorerReport report = watch.Run();
   (void)gw_iface;
   // Local subnet (implicit) + 10.1.2/24 + foreign 150.50/16 (natural mask).
   EXPECT_EQ(report.discovered, 3);
@@ -297,8 +297,8 @@ TEST_F(ExplorerLabTest, RipWatchIgnoresPromiscuousRoutes) {
   RipDaemon echo(chatty, nullptr, bad);
   echo.Start();
 
-  RipWatch watch(vantage_, client_.get());
-  watch.Run(Duration::Minutes(3));
+  RipWatch watch(vantage_, client_.get(), {.watch = Duration::Minutes(3)});
+  watch.Run();
 
   auto promiscuous = watch.promiscuous_sources();
   ASSERT_EQ(promiscuous.size(), 1u);

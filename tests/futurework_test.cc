@@ -66,8 +66,8 @@ TEST_F(FutureWorkCampusTest, RipProbeReadsRemoteRoutingTables) {
 TEST_F(FutureWorkCampusTest, RipProbeTargetsFromJournal) {
   // Seed the Journal via RIPwatch (finds the local RIP source), then let
   // RipProbe self-direct.
-  RipWatch watch(campus_.vantage, client_.get());
-  watch.Run(Duration::Minutes(2));
+  RipWatch watch(campus_.vantage, client_.get(), {.watch = Duration::Minutes(2)});
+  watch.Run();
   RipProbe probe(campus_.vantage, client_.get());
   ExplorerReport report = probe.Run();
   EXPECT_GE(report.replies_received, 1u);

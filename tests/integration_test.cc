@@ -84,12 +84,12 @@ TEST_F(DepartmentIntegrationTest, BroadcastPingSuffersCollisions) {
 
 TEST_F(DepartmentIntegrationTest, ArpWatchSeesTalkersOverTime) {
   ArpWatch watch(dept_.vantage, client_.get());
-  watch.Start();
+  watch.StartCapture();
   sim_.RunFor(Duration::Minutes(30));
   const int after_30min = watch.unique_pairs_seen();
   sim_.RunFor(Duration::Hours(24) - Duration::Minutes(30));
   const int after_24h = watch.unique_pairs_seen();
-  watch.Stop();
+  watch.StopCapture();
   EXPECT_GT(after_30min, 10);
   EXPECT_GT(after_24h, after_30min);
   EXPECT_GT(after_24h, 40);
@@ -129,8 +129,8 @@ TEST_F(DepartmentIntegrationTest, SubnetMaskModuleFillsMasks) {
 }
 
 TEST_F(DepartmentIntegrationTest, RipWatchHearsGateway) {
-  RipWatch watch(dept_.vantage, client_.get());
-  ExplorerReport report = watch.Run(Duration::Minutes(2));
+  RipWatch watch(dept_.vantage, client_.get(), {.watch = Duration::Minutes(2)});
+  ExplorerReport report = watch.Run();
   EXPECT_GE(report.discovered, 1);  // At least the backbone subnet.
   bool found_source = false;
   for (const auto& rec : client_->GetInterfaces()) {
@@ -152,8 +152,8 @@ TEST(DepartmentFaultsTest, PromiscuousRipHostIsFlagged) {
   JournalClient client(&server);
   sim.RunFor(Duration::Minutes(5));  // Let the echo host learn some routes.
 
-  RipWatch watch(dept.vantage, &client);
-  watch.Run(Duration::Minutes(3));
+  RipWatch watch(dept.vantage, &client, {.watch = Duration::Minutes(3)});
+  watch.Run();
   auto promiscuous = FindPromiscuousRipSources(client.GetInterfaces());
   ASSERT_EQ(promiscuous.size(), 1u);
   EXPECT_EQ(promiscuous.front().ip, dept.hosts.front()->primary_interface()->ip);
@@ -172,8 +172,8 @@ TEST(DepartmentFaultsTest, DuplicateIpDetected) {
   probe.Run();
   // Run a second probe a bit later: the two claimants race; over two runs
   // both MACs typically get seen. To be deterministic, also watch ARP.
-  ArpWatch watch(dept.vantage, &client);
-  watch.Run(Duration::Hours(4));
+  ArpWatch watch(dept.vantage, &client, {.watch = Duration::Hours(4)});
+  watch.Run();
 
   auto conflicts =
       FindAddressConflicts(client.GetInterfaces(), client.GetGateways(), sim.Now());
@@ -240,8 +240,8 @@ TEST_F(CampusIntegrationTest, GroundTruthShape) {
 }
 
 TEST_F(CampusIntegrationTest, RipWatchFindsAllConnectedSubnets) {
-  RipWatch watch(campus_.vantage, client_.get());
-  ExplorerReport report = watch.Run(Duration::Minutes(2));
+  RipWatch watch(campus_.vantage, client_.get(), {.watch = Duration::Minutes(2)});
+  ExplorerReport report = watch.Run();
   // The vantage subnet's gateway advertises routes to every connected subnet
   // (plus the backbone); RIPwatch should census 111 subnets + backbone.
   EXPECT_GE(report.discovered, 111);
@@ -249,8 +249,8 @@ TEST_F(CampusIntegrationTest, RipWatchFindsAllConnectedSubnets) {
 }
 
 TEST_F(CampusIntegrationTest, TracerouteMissesFaultySubnets) {
-  RipWatch watch(campus_.vantage, client_.get());
-  watch.Run(Duration::Minutes(2));
+  RipWatch watch(campus_.vantage, client_.get(), {.watch = Duration::Minutes(2)});
+  watch.Run();
   // Traceroute takes its targets from the Journal (fed by RIPwatch).
   Traceroute trace(campus_.vantage, client_.get());
   ExplorerReport report = trace.Run();
@@ -310,8 +310,8 @@ TEST_F(CampusIntegrationTest, CrossCorrelationMergesGatewayInterfaces) {
 }
 
 TEST_F(CampusIntegrationTest, TopologyExportsRender) {
-  RipWatch watch(campus_.vantage, client_.get());
-  watch.Run(Duration::Minutes(2));
+  RipWatch watch(campus_.vantage, client_.get(), {.watch = Duration::Minutes(2)});
+  watch.Run();
   Traceroute trace(campus_.vantage, client_.get());
   trace.Run();
 

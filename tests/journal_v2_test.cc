@@ -50,11 +50,11 @@ PipelineResult RunPipeline(size_t batch_size, bool use_cache) {
   }
   sim.RunFor(Duration::Minutes(5));  // RIP converges, ARP caches warm.
 
-  RipWatch rip(campus.vantage, &client);
-  rip.Run(Duration::Minutes(2));
+  RipWatch rip(campus.vantage, &client, {.watch = Duration::Minutes(2)});
+  rip.Run();
   {
-    ArpWatch arp(campus.vantage, &client);
-    arp.Run(Duration::Minutes(30));
+    ArpWatch arp(campus.vantage, &client, {.watch = Duration::Minutes(30)});
+    arp.Run();
   }
   SeqPing ping(campus.vantage, &client);
   ping.Run();

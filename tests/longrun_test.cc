@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/analysis/staleness.h"
 #include "src/explorer/arpwatch.h"
 #include "src/explorer/etherhostprobe.h"
@@ -36,21 +38,19 @@ TEST(LongRunTest, MonthOfManagedDiscovery) {
   DiscoveryManager manager(&sim.events(), &journal);
   Host* vantage = dept.vantage;
   manager.RegisterModule({"arpwatch", Duration::Hours(4), Duration::Days(7), [&]() {
-                            ArpWatch module(vantage, &journal);
-                            return module.Run(Duration::Hours(1));
-                          }});
+    return std::make_unique<ArpWatch>(vantage, &journal,
+                                      ArpWatchParams{.watch = Duration::Hours(1)});
+  }});
   manager.RegisterModule({"etherhostprobe", Duration::Days(1), Duration::Days(7), [&]() {
-                            EtherHostProbe module(vantage, &journal);
-                            return module.Run();
-                          }});
+    return std::make_unique<EtherHostProbe>(vantage, &journal);
+  }});
   manager.RegisterModule({"subnetmasks", Duration::Days(1), Duration::Days(7), [&]() {
-                            SubnetMaskExplorer module(vantage, &journal);
-                            return module.Run();
-                          }});
+    return std::make_unique<SubnetMaskExplorer>(vantage, &journal);
+  }});
   manager.RegisterModule({"ripwatch", Duration::Hours(6), Duration::Days(7), [&]() {
-                            RipWatch module(vantage, &journal);
-                            return module.Run(Duration::Minutes(2));
-                          }});
+    return std::make_unique<RipWatch>(vantage, &journal,
+                                      RipWatchParams{.watch = Duration::Minutes(2)});
+  }});
 
   // Week 1: steady state.
   manager.RunFor(Duration::Days(7));

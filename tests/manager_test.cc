@@ -1,7 +1,11 @@
 // Tests for the Discovery Manager: schedule file round-trip, adaptive
-// intervals, due-module selection, and the correlation pass.
+// intervals, due-module selection, concurrent vs serial ticks, and the
+// correlation pass.
 
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
 
 #include "src/explorer/explorer.h"
 #include "src/manager/correlate.h"
@@ -79,6 +83,44 @@ TEST(ScheduleFileTest, SaveLoad) {
   EXPECT_FALSE(LoadScheduleFile(path).has_value());
 }
 
+// A scriptable ExplorerModule for manager tests: runs `runtime` of simulated
+// time (scheduling its own completion event, like a real module), then
+// reports the configured yield.
+class FakeModule : public ExplorerModule {
+ public:
+  struct Config {
+    Duration runtime;  // Sim time between Start and completion.
+    int yield = 0;     // Becomes discovered/records_written/new_info.
+    uint64_t packets_sent = 0;
+    uint64_t replies_received = 0;
+    std::function<void()> on_complete;  // Runs just before Complete().
+  };
+
+  FakeModule(const std::string& name, EventQueue* events, Config config)
+      : ExplorerModule(name, name, events, nullptr), config_(std::move(config)) {}
+
+ protected:
+  void StartImpl() override {
+    ScheduleGuarded(config_.runtime, [this]() { Finish(); });
+  }
+
+ private:
+  void Finish() {
+    ExplorerReport& report = mutable_report();
+    report.discovered = config_.yield;
+    report.records_written = config_.yield;
+    report.new_info = config_.yield;  // Yields model *new* information.
+    report.packets_sent = config_.packets_sent;
+    report.replies_received = config_.replies_received;
+    if (config_.on_complete) {
+      config_.on_complete();
+    }
+    Complete();
+  }
+
+  Config config_;
+};
+
 class DiscoveryManagerTest : public ::testing::Test {
  protected:
   DiscoveryManagerTest() : manager_(&events_, nullptr) {}
@@ -93,18 +135,13 @@ class DiscoveryManagerTest : public ::testing::Test {
     reg.name = name;
     reg.min_interval = min_interval;
     reg.max_interval = max_interval;
-    reg.run = [this, name, counter, yields_ptr]() {
-      ExplorerReport report;
-      report.module = name;
-      report.started = events_.Now();
+    reg.make = [this, name, counter, yields_ptr]() {
       const size_t index = std::min(*counter, yields_ptr->size() - 1);
       ++*counter;
-      report.discovered = (*yields_ptr)[index];
-      report.records_written = report.discovered;
-      report.new_info = report.discovered;  // Yields model *new* information.
-      report.finished = events_.Now();
-      ++total_runs_;
-      return report;
+      FakeModule::Config config;
+      config.yield = (*yields_ptr)[index];
+      config.on_complete = [this]() { ++total_runs_; };
+      return std::make_unique<FakeModule>(name, &events_, config);
     };
     manager_.RegisterModule(std::move(reg));
   }
@@ -175,11 +212,10 @@ TEST_F(DiscoveryManagerTest, ScheduleExportRestoreRoundTrip) {
   reg.name = "m";
   reg.min_interval = Duration::Hours(2);
   reg.max_interval = Duration::Days(7);
-  reg.run = [&runs, this]() {
-    ++runs;
-    ExplorerReport r;
-    r.started = r.finished = events_.Now();
-    return r;
+  reg.make = [&runs, this]() {
+    FakeModule::Config config;
+    config.on_complete = [&runs]() { ++runs; };
+    return std::make_unique<FakeModule>("m", &events_, config);
   };
   fresh.RegisterModule(std::move(reg));
   fresh.RestoreSchedule(exported);
@@ -199,23 +235,19 @@ TEST(DiscoveryManagerJournalTest, TracksJournalGrowthPerRun) {
   reg.name = "writer";
   reg.min_interval = Duration::Hours(1);
   reg.max_interval = Duration::Hours(64);
-  reg.run = [&]() {
-    ExplorerReport report;
-    report.started = events.Now();
+  reg.make = [&]() {
+    FakeModule::Config config;
+    config.yield = 3;
     // First run writes three interfaces; later runs re-verify them.
-    for (uint8_t i = 0; i < 3; ++i) {
-      InterfaceObservation obs;
-      obs.ip = Ipv4Address(10, 0, 0, static_cast<uint8_t>(1 + i));
-      auto result = client.StoreInterface(obs, DiscoverySource::kSeqPing);
-      ++report.records_written;
-      if (result.created || result.changed) {
-        ++report.new_info;
+    config.on_complete = [&]() {
+      for (uint8_t i = 0; i < 3; ++i) {
+        InterfaceObservation obs;
+        obs.ip = Ipv4Address(10, 0, 0, static_cast<uint8_t>(1 + i));
+        client.StoreInterface(obs, DiscoverySource::kSeqPing);
       }
-    }
-    report.discovered = 3;
-    report.finished = events.Now();
-    ++run_index;
-    return report;
+      ++run_index;
+    };
+    return std::make_unique<FakeModule>("writer", &events, config);
   };
   manager.RegisterModule(std::move(reg));
 
@@ -231,25 +263,19 @@ TEST_F(DiscoveryManagerTest, RunForPopulatesTelemetryCounters) {
   metrics.Reset();
   telemetry::Tracer::Global().Clear();
 
-  // A module that reports through the explorer-side telemetry hook, the way
-  // every real Explorer Module does.
+  // Every ExplorerModule reports through the shared lifecycle driver, so the
+  // module-side counters come for free from Complete().
   ModuleRegistration reg;
   reg.name = "faketelemetry";
   reg.min_interval = Duration::Hours(2);
   reg.max_interval = Duration::Days(7);
-  reg.run = [this]() {
-    ExplorerReport report;
-    report.module = "faketelemetry";
-    report.started = events_.Now();
-    report.packets_sent = 4;
-    report.replies_received = 2;
-    report.discovered = 1;
-    report.records_written = 1;
-    report.new_info = 1;
-    report.finished = events_.Now();
-    RecordModuleReport("faketelemetry", report);
-    ++total_runs_;
-    return report;
+  reg.make = [this]() {
+    FakeModule::Config config;
+    config.yield = 1;
+    config.packets_sent = 4;
+    config.replies_received = 2;
+    config.on_complete = [this]() { ++total_runs_; };
+    return std::make_unique<FakeModule>("faketelemetry", &events_, config);
   };
   manager_.RegisterModule(std::move(reg));
   AddFakeModule("plain", Duration::Hours(8), Duration::Days(4), {0});
@@ -283,6 +309,133 @@ TEST_F(DiscoveryManagerTest, RunForPopulatesTelemetryCounters) {
     }
   }
   EXPECT_TRUE(saw_schedule_decision);
+}
+
+TEST(DiscoveryManagerEmptyTest, RunUntilWithoutModulesIsNoOp) {
+  EventQueue events;
+  DiscoveryManager manager(&events, nullptr);
+  EXPECT_FALSE(manager.NextDue().has_value());
+  const SimTime before = events.Now();
+  auto reports = manager.RunUntil(before + Duration::Days(1));
+  EXPECT_TRUE(reports.empty());
+  // Documented no-op: nothing will ever become due, so the simulated clock
+  // must not be driven to the deadline.
+  EXPECT_EQ(events.Now(), before);
+}
+
+TEST_F(DiscoveryManagerTest, RestoreScheduleResetsFutureLastRunViaScheduleFile) {
+  AddFakeModule("m", Duration::Hours(2), Duration::Days(7), {1});
+
+  // History written under a different clock epoch: last_run is *ahead* of
+  // this manager's clock. Round-trip it through the startup/history file the
+  // way a real restart would.
+  std::vector<ModuleSchedule> history(1);
+  history[0].name = "m";
+  history[0].min_interval = Duration::Hours(2);
+  history[0].max_interval = Duration::Days(7);
+  history[0].current_interval = Duration::Hours(4);
+  history[0].ever_run = true;
+  history[0].last_discovered = 9;
+  history[0].last_run = events_.Now() + Duration::Days(2);
+  const std::string path = ::testing::TempDir() + "/future_schedule_test.txt";
+  ASSERT_TRUE(SaveScheduleFile(path, history));
+  auto loaded = LoadScheduleFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+
+  manager_.RestoreSchedule(*loaded);
+  // The future last_run is treated as never-run, not deferred two days.
+  EXPECT_FALSE(manager_.modules()[0].schedule.ever_run);
+  EXPECT_EQ(manager_.NextDue(), SimTime::Epoch());
+  auto reports = manager_.Tick();
+  EXPECT_EQ(reports.size(), 1u);
+}
+
+TEST(DiscoveryManagerConcurrencyTest, ConcurrentTickOverlapsModuleRuns) {
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  metrics.Reset();
+
+  auto build = [](EventQueue* events, DiscoveryManager* manager) {
+    for (const char* name : {"a", "b"}) {
+      ModuleRegistration reg;
+      reg.name = name;
+      reg.min_interval = Duration::Hours(2);
+      reg.max_interval = Duration::Days(7);
+      reg.make = [events, name]() {
+        FakeModule::Config config;
+        config.runtime = Duration::Seconds(100);
+        config.yield = 1;
+        return std::make_unique<FakeModule>(name, events, config);
+      };
+      manager->RegisterModule(std::move(reg));
+    }
+  };
+
+  // Serial: the two 100-second runs execute back to back.
+  EventQueue serial_events;
+  DiscoveryManager serial(&serial_events, nullptr);
+  serial.set_serial(true);
+  build(&serial_events, &serial);
+  auto serial_reports = serial.Tick();
+  ASSERT_EQ(serial_reports.size(), 2u);
+  EXPECT_EQ(serial_events.Now(), SimTime::Epoch() + Duration::Seconds(200));
+  // No overlap: the second module starts after the first finishes.
+  EXPECT_GE(serial_reports[1].started, serial_reports[0].finished);
+
+  // Concurrent (default): both launch into one event-queue pass and their
+  // waits overlap, so wall-clock is one runtime, not two.
+  EventQueue concurrent_events;
+  DiscoveryManager concurrent(&concurrent_events, nullptr);
+  EXPECT_FALSE(concurrent.serial());
+  build(&concurrent_events, &concurrent);
+  auto reports = concurrent.Tick();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(concurrent_events.Now(), SimTime::Epoch() + Duration::Seconds(100));
+  EXPECT_EQ(reports[0].started, reports[1].started);
+  EXPECT_LT(reports[0].started, reports[0].finished);
+
+  EXPECT_EQ(metrics.GetCounter("manager/concurrent_runs")->value(), 1u);
+  EXPECT_GE(metrics.GetGauge("manager/modules_in_flight")->max_value(), 2);
+}
+
+TEST(DiscoveryManagerConcurrencyTest, ConcurrentAndSerialTicksYieldSameJournal) {
+  auto run_mode = [](bool serial_mode) {
+    EventQueue events;
+    JournalServer server([&events]() { return events.Now(); });
+    JournalClient client(&server);
+    DiscoveryManager manager(&events, &client);
+    manager.set_serial(serial_mode);
+    for (int m = 0; m < 3; ++m) {
+      ModuleRegistration reg;
+      reg.name = "writer" + std::to_string(m);
+      reg.min_interval = Duration::Hours(2);
+      reg.max_interval = Duration::Days(7);
+      reg.make = [&events, &client, m]() {
+        FakeModule::Config config;
+        config.runtime = Duration::Seconds(30 + m);
+        config.yield = 4;
+        config.on_complete = [&client, m]() {
+          for (uint8_t i = 0; i < 4; ++i) {
+            InterfaceObservation obs;
+            obs.ip = Ipv4Address(10, 0, static_cast<uint8_t>(m), static_cast<uint8_t>(1 + i));
+            client.StoreInterface(obs, DiscoverySource::kSeqPing);
+          }
+        };
+        return std::make_unique<FakeModule>("writer", &events, config);
+      };
+      manager.RegisterModule(std::move(reg));
+    }
+    auto reports = manager.Tick();
+    EXPECT_EQ(reports.size(), 3u);
+    std::set<uint32_t> ips;
+    for (const auto& rec : client.GetInterfaces()) {
+      ips.insert(rec.ip.value());
+    }
+    EXPECT_EQ(ips.size(), 12u);
+    return ips;
+  };
+  // Same records either way: interleaving changes order, never content.
+  EXPECT_EQ(run_mode(true), run_mode(false));
 }
 
 TEST(CorrelateTest, InfersGatewayFromSharedMac) {

@@ -44,8 +44,8 @@ TEST_P(Table6RobustnessTest, SubnetDiscoveryShapeHolds) {
   };
 
   // RIPwatch: complete census, every seed.
-  RipWatch ripwatch(campus.vantage, &client);
-  ripwatch.Run(Duration::Minutes(2));
+  RipWatch ripwatch(campus.vantage, &client, {.watch = Duration::Minutes(2)});
+  ripwatch.Run();
   EXPECT_EQ(count_connected(client.GetSubnets()), total) << "seed " << GetParam();
 
   // Traceroute: misses exactly the subnets hidden behind silent firmware,

@@ -94,8 +94,8 @@ TEST(InferRouteTest, WorksOnDiscoveredCampusData) {
   JournalClient client(&server);
   sim.RunFor(Duration::Minutes(5));
 
-  RipWatch ripwatch(campus.vantage, &client);
-  ripwatch.Run(Duration::Minutes(2));
+  RipWatch ripwatch(campus.vantage, &client, {.watch = Duration::Minutes(2)});
+  ripwatch.Run();
   Traceroute trace(campus.vantage, &client);
   trace.Run();
 

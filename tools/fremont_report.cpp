@@ -13,6 +13,7 @@
 //   fremont_report <journal-file> utilization
 //   fremont_report <journal-file> stats
 //   fremont_report <journal-file> --telemetry [telemetry-file]
+//   fremont_report modules
 //
 // --telemetry prints the telemetry JSON document the discovery run exported
 // next to its checkpoint (examples/campus_discovery writes
@@ -31,6 +32,8 @@
 #include "src/analysis/staleness.h"
 #include "src/analysis/utilization.h"
 #include "src/journal/journal.h"
+#include "src/manager/module_registry.h"
+#include "src/manager/schedule.h"
 #include "src/present/views.h"
 #include "src/telemetry/export.h"
 
@@ -52,9 +55,21 @@ int Usage(const char* argv0) {
                "  vendors                     interface counts by manufacturer\n"
                "  stats                       record counts and memory use\n"
                "  --telemetry [file]          telemetry JSON exported by the discovery run\n"
-               "                              (default: fremont-telemetry.json beside the journal)\n",
+               "                              (default: fremont-telemetry.json beside the journal)\n"
+               "or, without a journal file:\n"
+               "  modules                     standard Explorer Module registry and intervals\n",
                argv0);
   return 2;
+}
+
+int PrintModules() {
+  std::printf("%-16s %12s %12s\n", "module", "min-interval", "max-interval");
+  for (const auto& spec : StandardModuleSpecs()) {
+    std::printf("%-16s %12s %12s\n", spec.name.c_str(),
+                FormatScheduleDuration(spec.min_interval).c_str(),
+                FormatScheduleDuration(spec.max_interval).c_str());
+  }
+  return 0;
 }
 
 int PrintTelemetry(const std::string& journal_path, const char* explicit_path) {
@@ -136,6 +151,10 @@ int RunProblems(const Journal& journal, SimTime now) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Journal-free commands come first: "modules" describes the registry.
+  if (argc >= 2 && std::strcmp(argv[1], "modules") == 0) {
+    return PrintModules();
+  }
   if (argc < 3) {
     return Usage(argv[0]);
   }
