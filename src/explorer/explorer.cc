@@ -47,6 +47,11 @@ void ExplorerModule::Complete() {
   }
   running_ = false;
   finished_ = true;
+  // Drop the liveness token now, not at destruction: a module that finishes
+  // (or is Cancel()ed) while peers are still driving the queue may outlive
+  // its run, and its leftover guarded events (probe sends, timeouts) must
+  // not fire after the report has been published.
+  alive_.reset();
   report_.finished = events_->Now();
   RecordModuleReport(key_.c_str(), report_);
   CompletionFn done = std::move(done_);

@@ -57,7 +57,8 @@ struct ExplorerReport {
 // invokes the completion callback — the callback is the last thing that
 // touches the object, so it may destroy the module. Events a module leaves
 // behind in the queue (e.g. probe timeouts outlived by their replies) are
-// guarded by a liveness token and become no-ops once the module is gone.
+// guarded by a liveness token and become no-ops once the run has completed
+// (Complete() drops the token), even while the instance itself lives on.
 class ExplorerModule {
  public:
   using CompletionFn = std::function<void(const ExplorerReport&)>;
@@ -106,10 +107,11 @@ class ExplorerModule {
   // touches the object (the callback may destroy it).
   void Complete();
 
-  // Schedules `fn` after `delay`; the event is dropped if the module has
-  // been destroyed by the time it fires. Every event a module schedules must
-  // go through this (or capture only shared state), because completion no
-  // longer drains the queue before the module can be destroyed.
+  // Schedules `fn` after `delay`; the event is dropped if the run has
+  // completed (or the module has been destroyed) by the time it fires.
+  // Every event a module schedules must go through this (or capture only
+  // shared state), because completion no longer drains the queue before the
+  // module can be destroyed.
   void ScheduleGuarded(Duration delay, std::function<void()> fn);
 
   EventQueue* events() const { return events_; }

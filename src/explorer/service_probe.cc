@@ -4,11 +4,28 @@
 #include "src/net/rip.h"
 #include "src/net/udp.h"
 #include "src/telemetry/metrics.h"
+#include "src/util/bytes.h"
 
 namespace fremont {
 namespace {
 
 constexpr uint16_t kProbeSrcPort = 31007;
+
+// Pulls the UDP port pair out of an ICMP error's quoted original datagram.
+// The quote is truncated to IP header + 8 bytes (RFC 792), so the IP
+// total-length field exceeds the quoted bytes and the strict
+// Ipv4Packet::Decode rejects it for any probe that carried a payload; read
+// the fields positionally instead.
+bool QuotedUdpPorts(const ByteBuffer& quoted, uint16_t* src_port, uint16_t* dst_port) {
+  if (quoted.size() < Ipv4Packet::kHeaderLength + 4 || quoted[0] != 0x45 ||
+      quoted[9] != static_cast<uint8_t>(IpProtocol::kUdp)) {
+    return false;
+  }
+  ByteReader reader(quoted.data() + Ipv4Packet::kHeaderLength, 4);
+  *src_port = reader.ReadU16();
+  *dst_port = reader.ReadU16();
+  return reader.ok();
+}
 
 uint16_t ServicePort(KnownService service) {
   switch (service) {
@@ -143,10 +160,22 @@ void ServiceProbe::ProbeNext(size_t target_index, size_t service_index) {
                       }
                     });
   icmp_token_ = vantage_->AddIcmpListener(
-      [settle, target](const Ipv4Packet& packet, const IcmpMessage& message) {
-        if (message.type == IcmpType::kDestUnreachable &&
-            message.code == static_cast<uint8_t>(IcmpUnreachableCode::kPortUnreachable) &&
-            packet.src == target) {
+      [settle, target, port](const Ipv4Packet& packet, const IcmpMessage& message) {
+        if (message.type != IcmpType::kDestUnreachable ||
+            message.code != static_cast<uint8_t>(IcmpUnreachableCode::kPortUnreachable) ||
+            !(packet.src == target)) {
+          return;
+        }
+        // Match the embedded original datagram (IP header + UDP header) to
+        // *this* probe. Concurrent modules — EtherHostProbe sweeps,
+        // traceroute's high-port probes — elicit Port Unreachables from the
+        // same hosts, and those must not settle our verdict as absent.
+        uint16_t orig_src_port = 0;
+        uint16_t orig_dst_port = 0;
+        if (!QuotedUdpPorts(message.original_datagram, &orig_src_port, &orig_dst_port)) {
+          return;
+        }
+        if (orig_src_port == kProbeSrcPort && orig_dst_port == port) {
           settle(Verdict::kAbsent);
         }
       });

@@ -79,6 +79,10 @@ void DiscoveryManager::LaunchModule(ModuleState& state, std::vector<ExplorerRepo
   if (module == nullptr) {
     FLOG(kError) << "manager: factory for " << state.schedule.name
                  << " returned no module; skipping this run";
+    // Stamp the schedule anyway: leaving the module due at this same instant
+    // would make RunUntil() loop forever on a persistently failing factory.
+    state.schedule.last_run = events_->Now();
+    state.schedule.ever_run = true;
     return;
   }
   if (in_flight_ == 0) {
@@ -101,6 +105,7 @@ void DiscoveryManager::FinishModule(ModuleState& state, const ExplorerReport& re
   reports->push_back(report);
   ++state.runs;
   --in_flight_;
+  telemetry::MetricsRegistry::Global().GetGauge("manager/modules_in_flight")->Set(in_flight_);
   if (journal_ != nullptr) {
     // Growth since the previous completion boundary. With overlapping runs
     // this charges each completion the records landed since the one before

@@ -20,6 +20,7 @@
 #ifndef SRC_MANAGER_DISCOVERY_MANAGER_H_
 #define SRC_MANAGER_DISCOVERY_MANAGER_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -82,7 +83,7 @@ class DiscoveryManager {
     // kind created), measured through the manager's JournalClient.
     int last_journal_growth = 0;
   };
-  const std::vector<ModuleState>& modules() const { return modules_; }
+  const std::deque<ModuleState>& modules() const { return modules_; }
 
  private:
   // Starts `state`'s module; FinishModule() runs from its completion
@@ -93,7 +94,10 @@ class DiscoveryManager {
 
   EventQueue* events_;
   JournalClient* journal_;
-  std::vector<ModuleState> modules_;
+  // Deque, not vector: in-flight completion callbacks and Tick's due-list
+  // hold ModuleState references across event-queue activity, and a deque
+  // keeps them valid if RegisterModule() grows the set mid-run.
+  std::deque<ModuleState> modules_;
   bool serial_ = false;
   // Modules mid-run during a Tick. Completed instances stay here (their
   // completion callback must not destroy them) until the tick retires them.

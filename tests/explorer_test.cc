@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/explorer/arpwatch.h"
+#include "src/explorer/explorer.h"
 #include "src/explorer/broadcast_ping.h"
 #include "src/explorer/etherhostprobe.h"
 #include "src/explorer/ripwatch.h"
@@ -21,6 +22,50 @@ namespace fremont {
 namespace {
 
 Subnet Net(const char* text) { return *Subnet::Parse(text); }
+
+// --- ExplorerModule lifecycle ------------------------------------------------
+
+// A module that leaves a straggler event behind: completion at t+10 s, plus a
+// guarded event at t+20 s that must never run once the report is published —
+// under concurrent ticks the instance outlives its run while peers drain.
+class StragglerModule : public ExplorerModule {
+ public:
+  StragglerModule(EventQueue* events, int* late_fires)
+      : ExplorerModule("straggler", "Straggler", events, nullptr), late_fires_(late_fires) {}
+
+ protected:
+  void StartImpl() override {
+    ScheduleGuarded(Duration::Seconds(20), [this]() { ++*late_fires_; });
+    ScheduleGuarded(Duration::Seconds(10), [this]() { Complete(); });
+  }
+
+ private:
+  int* late_fires_;
+};
+
+TEST(ExplorerLifecycleTest, LeftoverGuardedEventsDropAfterComplete) {
+  EventQueue events;
+  int late_fires = 0;
+  StragglerModule module(&events, &late_fires);
+  bool done = false;
+  module.Start([&done](const ExplorerReport&) { done = true; });
+  events.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(module.finished());
+  // The instance is still alive, but its t+20 s straggler fired as a no-op.
+  EXPECT_EQ(late_fires, 0);
+}
+
+TEST(ExplorerLifecycleTest, LeftoverGuardedEventsDropAfterCancel) {
+  EventQueue events;
+  int late_fires = 0;
+  StragglerModule module(&events, &late_fires);
+  module.Start();
+  module.Cancel();
+  events.RunUntilIdle();
+  EXPECT_TRUE(module.finished());
+  EXPECT_EQ(late_fires, 0);
+}
 
 // A tiny lab: one subnet (10.1.1.0/24) with a vantage host and helpers.
 class ExplorerLabTest : public ::testing::Test {

@@ -311,6 +311,53 @@ TEST_F(DiscoveryManagerTest, RunForPopulatesTelemetryCounters) {
   EXPECT_TRUE(saw_schedule_decision);
 }
 
+TEST_F(DiscoveryManagerTest, NullFactoryDoesNotStallRunUntil) {
+  ModuleRegistration reg;
+  reg.name = "broken";
+  reg.min_interval = Duration::Hours(2);
+  reg.max_interval = Duration::Hours(8);
+  reg.make = []() -> std::unique_ptr<ExplorerModule> { return nullptr; };
+  manager_.RegisterModule(std::move(reg));
+
+  // A factory that persistently fails must not leave the module due at the
+  // same instant forever: RunUntil has to reach the deadline and return.
+  const SimTime deadline = events_.Now() + Duration::Days(1);
+  auto reports = manager_.RunUntil(deadline);
+  EXPECT_TRUE(reports.empty());
+  EXPECT_EQ(events_.Now(), deadline);
+  EXPECT_TRUE(manager_.modules()[0].schedule.ever_run);  // Stamped per attempt.
+  EXPECT_EQ(manager_.modules()[0].runs, 0);              // But never actually ran.
+}
+
+TEST_F(DiscoveryManagerTest, RegisterWhileTickInFlightKeepsStateReferencesStable) {
+  ModuleRegistration reg;
+  reg.name = "grower";
+  reg.min_interval = Duration::Hours(2);
+  reg.max_interval = Duration::Days(7);
+  reg.make = [this]() {
+    FakeModule::Config config;
+    config.runtime = Duration::Seconds(10);
+    config.yield = 1;
+    config.on_complete = [this]() {
+      // Mid-tick registration: grows modules_ while `grower`'s ModuleState
+      // is still referenced by its in-flight completion callback. The state
+      // container must keep existing elements' addresses stable.
+      for (int i = 0; i < 64; ++i) {
+        AddFakeModule("late" + std::to_string(i), Duration::Hours(4), Duration::Days(7), {0});
+      }
+    };
+    return std::make_unique<FakeModule>("grower", &events_, config);
+  };
+  manager_.RegisterModule(std::move(reg));
+
+  auto reports = manager_.Tick();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(manager_.modules().size(), 65u);
+  // FinishModule stamped the *original* grower state, not a dangling slot.
+  EXPECT_EQ(manager_.modules()[0].runs, 1);
+  EXPECT_TRUE(manager_.modules()[0].schedule.ever_run);
+}
+
 TEST(DiscoveryManagerEmptyTest, RunUntilWithoutModulesIsNoOp) {
   EventQueue events;
   DiscoveryManager manager(&events, nullptr);
@@ -396,6 +443,9 @@ TEST(DiscoveryManagerConcurrencyTest, ConcurrentTickOverlapsModuleRuns) {
 
   EXPECT_EQ(metrics.GetCounter("manager/concurrent_runs")->value(), 1u);
   EXPECT_GE(metrics.GetGauge("manager/modules_in_flight")->max_value(), 2);
+  // The gauge tracks completions too: once the tick drains it reads 0, not
+  // the peak concurrency.
+  EXPECT_EQ(metrics.GetGauge("manager/modules_in_flight")->value(), 0);
 }
 
 TEST(DiscoveryManagerConcurrencyTest, ConcurrentAndSerialTicksYieldSameJournal) {

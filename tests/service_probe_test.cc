@@ -78,6 +78,25 @@ TEST_F(ServiceProbeTest, AbsentVsUnknown) {
             Verdict::kUnknown);
 }
 
+TEST_F(ServiceProbeTest, ForeignPortUnreachableDoesNotSettleVerdict) {
+  AddHost("plain", 10);  // UDP echo on.
+  ServiceProbeParams params;
+  params.targets = {subnet_.HostAt(10)};
+  params.services = {KnownService::kUdpEcho};
+  ServiceProbe probe(vantage_, client_.get(), params);
+  // A concurrent module's sweep from the same vantage (EtherHostProbe /
+  // traceroute shape): UDP from another source port to a closed port on the
+  // very host the probe is waiting on. Its Port Unreachable comes back just
+  // before the echo reply and must not settle the verdict as absent — only
+  // an unreachable quoting *our* probe's ports may.
+  vantage_->SendUdp(subnet_.HostAt(10), 40000, 9999, {0x00});
+  ExplorerReport report = probe.Run();
+  EXPECT_EQ(report.discovered, 1);
+  EXPECT_EQ(probe.verdicts().at({subnet_.HostAt(10).value(),
+                                 ServiceBit(KnownService::kUdpEcho)}),
+            ServiceProbe::Verdict::kPresent);
+}
+
 TEST_F(ServiceProbeTest, DetectsDnsAndRipServices) {
   Host* ns_host = AddHost("ns", 53);
   ZoneDb zone;
