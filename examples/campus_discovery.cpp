@@ -56,6 +56,10 @@ int main(int argc, char** argv) {
   // module launches into one event-queue pass per tick, so their probe waits
   // overlap instead of running back to back.
   DiscoveryManager manager(&sim.events(), &journal);
+  // Correlate incrementally after every tick: each pass folds in only the
+  // records the tick changed (the Journal change feed), so freshly observed
+  // gateways are inferred within the tick that saw them, not at day end.
+  manager.EnableAutoCorrelation(24);
   for (const char* name : {"arpwatch", "etherhostprobe", "seqping", "broadcastping",
                            "subnetmasks", "ripwatch", "traceroute", "ripprobe",
                            "serviceprobe"}) {
@@ -78,10 +82,11 @@ int main(int argc, char** argv) {
     std::printf("Restored schedule history from %s\n", schedule_path.c_str());
   }
 
-  // Three simulated days of managed discovery, correlating after each day.
+  // Three simulated days of managed discovery; the manager correlates
+  // incrementally after every tick, so the day-end report is already current.
   for (int day = 1; day <= 3; ++day) {
     auto reports = manager.RunFor(Duration::Days(1));
-    CorrelationReport correlation = Correlate(journal, 24, sim.Now());
+    const CorrelationReport& correlation = manager.last_correlation();
     std::printf("--- day %d: %zu module runs ---\n", day, reports.size());
     for (const auto& report : reports) {
       std::printf("  %s\n", report.Summary().c_str());

@@ -91,6 +91,9 @@ int main() {
 
   JournalServer server([&sim]() { return sim.Now(); });
   JournalClient journal(&server);
+  // Sole mutator: repeated weekly re-reads validate against the generation
+  // instead of refetching the whole Journal.
+  journal.EnableQueryCache();
 
   // --- Week 1: routine discovery while everything works. -------------------
   RipWatch ripwatch(vantage, &journal, {.watch = Duration::Minutes(2)});

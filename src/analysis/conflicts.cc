@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <utility>
 
 #include "src/util/string_util.h"
 
@@ -22,25 +24,49 @@ std::string MaskConflict::ToString() const {
 }
 
 std::vector<MaskConflict> FindMaskConflicts(const std::vector<InterfaceRecord>& interfaces) {
-  // Group interfaces by classful network, then count masks per network.
-  std::map<uint32_t, std::vector<const InterfaceRecord*>> by_network;
+  // Group interfaces by classful network. Hash map + reserve instead of a
+  // tree map: this runs over every interface each analysis pass. The sorted
+  // key walk below keeps the ascending-network output order callers see.
+  std::unordered_map<uint32_t, std::vector<const InterfaceRecord*>> by_network;
+  by_network.reserve(interfaces.size());
+  std::vector<uint32_t> networks;
+  networks.reserve(interfaces.size());
   for (const auto& rec : interfaces) {
     if (!rec.mask.has_value()) {
       continue;
     }
     const uint32_t network = rec.ip.value() & rec.ip.NaturalMask().value();
-    by_network[network].push_back(&rec);
+    auto [it, inserted] = by_network.try_emplace(network);
+    if (inserted) {
+      networks.push_back(network);
+    }
+    it->second.push_back(&rec);
   }
+  std::sort(networks.begin(), networks.end());
 
   std::vector<MaskConflict> conflicts;
-  for (const auto& [network, recs] : by_network) {
-    std::map<uint32_t, int> mask_votes;
+  std::vector<std::pair<uint32_t, int>> mask_votes;  // Scratch, reused.
+  for (const uint32_t network : networks) {
+    const auto& recs = by_network.find(network)->second;
+    // A network holds a handful of distinct masks at most; a linear scan of
+    // a flat vector beats a node-based map here.
+    mask_votes.clear();
     for (const auto* rec : recs) {
-      ++mask_votes[rec->mask->value()];
+      const uint32_t mask = rec->mask->value();
+      auto vit = std::find_if(mask_votes.begin(), mask_votes.end(),
+                              [mask](const auto& entry) { return entry.first == mask; });
+      if (vit == mask_votes.end()) {
+        mask_votes.emplace_back(mask, 1);
+      } else {
+        ++vit->second;
+      }
     }
     if (mask_votes.size() < 2) {
       continue;
     }
+    // Ascending mask order preserves the historical tie-break: the smallest
+    // mask value among the most-voted wins.
+    std::sort(mask_votes.begin(), mask_votes.end());
     uint32_t majority = 0;
     int best = -1;
     for (const auto& [mask, votes] : mask_votes) {

@@ -155,6 +155,30 @@ std::vector<GatewayRecord> JournalClient::GetGateways() {
   return RoundTrip(req).gateways;
 }
 
+JournalClient::DeltaResult JournalClient::GetChangedSince(RecordKind kind,
+                                                          uint64_t since_generation) {
+  JournalRequest req;
+  req.type = RequestType::kGetChangedSince;
+  req.changed_kind = kind;
+  req.since_generation = since_generation;
+  JournalResponse resp = RoundTrip(req);
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  DeltaResult result;
+  result.status = resp.status;
+  result.generation = resp.generation;
+  if (resp.status == ResponseStatus::kFullResyncRequired) {
+    metrics.GetCounter("journal_client/full_resyncs")->Increment();
+    return result;
+  }
+  result.interfaces = std::move(resp.interfaces);
+  result.gateways = std::move(resp.gateways);
+  result.subnets = std::move(resp.subnets);
+  result.tombstones = std::move(resp.tombstones);
+  metrics.GetCounter("journal_client/delta_records")
+      ->Add(static_cast<int64_t>(result.record_count()));
+  return result;
+}
+
 std::vector<SubnetRecord> JournalClient::GetSubnets() {
   if (cache_ != nullptr) {
     return cache_->GetSubnets();

@@ -65,6 +65,25 @@ class JournalClient {
   std::vector<GatewayRecord> GetGateways();
   std::vector<SubnetRecord> GetSubnets();
 
+  // v2: delta read from the Journal change feed. Returns the records of
+  // `kind` that changed after `since_generation` (the vector matching `kind`
+  // is populated) plus the ids of deleted ones, and the generation the delta
+  // is current to. status kFullResyncRequired means `since_generation`
+  // predates the server's changelog horizon: do a full Get instead.
+  struct DeltaResult {
+    ResponseStatus status = ResponseStatus::kMalformedRequest;
+    std::vector<InterfaceRecord> interfaces;
+    std::vector<GatewayRecord> gateways;
+    std::vector<SubnetRecord> subnets;
+    std::vector<RecordId> tombstones;
+    uint64_t generation = 0;
+    bool ok() const { return status == ResponseStatus::kOk; }
+    size_t record_count() const {
+      return interfaces.size() + gateways.size() + subnets.size() + tombstones.size();
+    }
+  };
+  DeltaResult GetChangedSince(RecordKind kind, uint64_t since_generation);
+
   bool DeleteInterface(RecordId id);
   bool DeleteGateway(RecordId id);
   bool DeleteSubnet(RecordId id);

@@ -59,12 +59,93 @@ void Journal::UnindexInterface(const InterfaceRecord& rec) {
 
 void Journal::TouchInterface(RecordId id) {
   auto pos = interface_mod_pos_.find(id);
-  if (pos == interface_mod_pos_.end()) {
-    interface_mod_order_.push_back(id);
-    interface_mod_pos_[id] = std::prev(interface_mod_order_.end());
-    return;
+  if (pos != interface_mod_pos_.end()) {
+    interface_mod_order_.erase(pos->second);
+    interface_mod_pos_.erase(pos);
   }
-  interface_mod_order_.splice(interface_mod_order_.end(), interface_mod_order_, pos->second);
+  // Canonical position: ascending (last_changed, id). A late-flushed batch
+  // store can carry an observation stamp older than the current tail, so the
+  // walk from the tail is a loop — but a freshly-touched record is almost
+  // always the newest, making the common case a single comparison.
+  const InterfaceRecord& rec = interfaces_.at(id);
+  auto it = interface_mod_order_.end();
+  while (it != interface_mod_order_.begin()) {
+    auto prev = std::prev(it);
+    const InterfaceRecord& other = interfaces_.at(*prev);
+    if (other.ts.last_changed < rec.ts.last_changed ||
+        (other.ts.last_changed == rec.ts.last_changed && *prev < id)) {
+      break;
+    }
+    it = prev;
+  }
+  interface_mod_pos_[id] = interface_mod_order_.insert(it, id);
+}
+
+// --- Change feed ---------------------------------------------------------------
+
+void Journal::LogChange(RecordKind kind, ChangeKind change, RecordId id) {
+  pending_changes_.push_back(PendingChange{kind, change, id});
+}
+
+void Journal::BumpGeneration() {
+  ++generation_;
+  for (const PendingChange& pending : pending_changes_) {
+    const uint64_t key = ChangelogKey(pending.kind, pending.id);
+    auto pos = changelog_pos_.find(key);
+    if (pos != changelog_pos_.end()) {
+      // Compaction: one live entry per record. Ids are never reused, so a
+      // delete is final — a store queued after a delete (impossible today)
+      // would be a bug, not a resurrection; keep the tombstone.
+      ChangelogEntry entry = *pos->second;
+      entry.generation = generation_;
+      if (pending.change == ChangeKind::kDelete) {
+        entry.change = ChangeKind::kDelete;
+      }
+      changelog_.erase(pos->second);
+      changelog_.push_back(entry);
+      pos->second = std::prev(changelog_.end());
+      continue;
+    }
+    changelog_.push_back(ChangelogEntry{generation_, pending.kind, pending.change, pending.id});
+    changelog_pos_[key] = std::prev(changelog_.end());
+    while (changelog_.size() > changelog_capacity_) {
+      const ChangelogEntry& oldest = changelog_.front();
+      changelog_horizon_ = std::max(changelog_horizon_, oldest.generation);
+      changelog_pos_.erase(ChangelogKey(oldest.kind, oldest.id));
+      changelog_.pop_front();
+    }
+  }
+  pending_changes_.clear();
+}
+
+void Journal::set_changelog_capacity(size_t capacity) {
+  changelog_capacity_ = capacity;
+  while (changelog_.size() > changelog_capacity_) {
+    const ChangelogEntry& oldest = changelog_.front();
+    changelog_horizon_ = std::max(changelog_horizon_, oldest.generation);
+    changelog_pos_.erase(ChangelogKey(oldest.kind, oldest.id));
+    changelog_.pop_front();
+  }
+}
+
+Journal::Delta Journal::CollectChangesSince(RecordKind kind, uint64_t since) const {
+  Delta delta;
+  if (since < changelog_horizon_ || since > generation_) {
+    return delta;  // Evicted past, or a different Journal incarnation.
+  }
+  delta.servable = true;
+  // The changelog is nondecreasing by generation front→back; the suffix with
+  // generation > since is what the caller is missing.
+  auto it = changelog_.end();
+  while (it != changelog_.begin() && std::prev(it)->generation > since) {
+    it = std::prev(it);
+  }
+  for (; it != changelog_.end(); ++it) {
+    if (it->kind == kind) {
+      delta.entries.push_back(*it);
+    }
+  }
+  return delta;
 }
 
 Journal::StoreResult Journal::StoreInterface(const InterfaceObservation& obs,
@@ -129,7 +210,8 @@ Journal::StoreResult Journal::StoreInterface(const InterfaceObservation& obs,
     RecordId id = rec.id;
     interfaces_.emplace(id, std::move(rec));
     TouchInterface(id);
-    ++generation_;
+    LogChange(RecordKind::kInterface, ChangeKind::kStore, id);
+    BumpGeneration();
     result.id = id;
     result.created = true;
     result.changed = true;
@@ -183,7 +265,8 @@ Journal::StoreResult Journal::StoreInterface(const InterfaceObservation& obs,
     target->ts.last_changed = std::max(target->ts.last_changed, now);
     TouchInterface(target->id);
   }
-  ++generation_;  // last_verified moved even when nothing else changed.
+  LogChange(RecordKind::kInterface, ChangeKind::kStore, target->id);
+  BumpGeneration();  // last_verified moved even when nothing else changed.
   result.id = target->id;
   result.changed = changed;
   return result;
@@ -206,7 +289,10 @@ void Journal::MergeGateways(RecordId to, RecordId from, SimTime now) {
       dst.interface_ids.push_back(iface_id);
     }
     if (InterfaceRecord* rec = MutableInterface(iface_id); rec != nullptr) {
-      rec->gateway_id = to;
+      if (rec->gateway_id != to) {
+        rec->gateway_id = to;
+        LogChange(RecordKind::kInterface, ChangeKind::kStore, iface_id);
+      }
     }
   }
   for (const Subnet& subnet : src.connected_subnets) {
@@ -225,15 +311,17 @@ void Journal::MergeGateways(RecordId to, RecordId from, SimTime now) {
 
   // Re-point subnet records.
   for (auto& [subnet_id, subnet_rec] : subnets_) {
-    (void)subnet_id;
     auto& gw_ids = subnet_rec.gateway_ids;
     if (std::find(gw_ids.begin(), gw_ids.end(), from) != gw_ids.end()) {
       gw_ids.erase(std::remove(gw_ids.begin(), gw_ids.end(), from), gw_ids.end());
       if (std::find(gw_ids.begin(), gw_ids.end(), to) == gw_ids.end()) {
         gw_ids.push_back(to);
       }
+      LogChange(RecordKind::kSubnet, ChangeKind::kStore, subnet_id);
     }
   }
+  LogChange(RecordKind::kGateway, ChangeKind::kDelete, from);
+  LogChange(RecordKind::kGateway, ChangeKind::kStore, to);
   gateways_.erase(from_it);
 }
 
@@ -250,6 +338,7 @@ void Journal::AttachGatewayToSubnet(const Subnet& subnet, RecordId gateway_id,
   if (std::find(gw_ids.begin(), gw_ids.end(), gateway_id) == gw_ids.end()) {
     gw_ids.push_back(gateway_id);
     it->second.ts.last_changed = std::max(it->second.ts.last_changed, now);
+    LogChange(RecordKind::kSubnet, ChangeKind::kStore, it->second.id);
   }
 }
 
@@ -320,6 +409,7 @@ Journal::StoreResult Journal::StoreGateway(const GatewayObservation& obs, Discov
       rec->gateway_id = gw_id;
       rec->ts.last_changed = std::max(rec->ts.last_changed, now);
       TouchInterface(iface_id);
+      LogChange(RecordKind::kInterface, ChangeKind::kStore, iface_id);
     }
   }
   for (const Subnet& subnet : obs.connected_subnets) {
@@ -339,7 +429,8 @@ Journal::StoreResult Journal::StoreGateway(const GatewayObservation& obs, Discov
   if (changed) {
     gw.ts.last_changed = std::max(gw.ts.last_changed, now);
   }
-  ++generation_;
+  LogChange(RecordKind::kGateway, ChangeKind::kStore, gw_id);
+  BumpGeneration();
   result.id = gw_id;
   result.changed = changed;
   return result;
@@ -361,7 +452,8 @@ Journal::StoreResult Journal::StoreSubnet(const SubnetObservation& obs, Discover
     RecordId id = rec.id;
     subnet_by_network_.Insert(obs.subnet.network().value(), id);
     subnets_.emplace(id, std::move(rec));
-    ++generation_;
+    LogChange(RecordKind::kSubnet, ChangeKind::kStore, id);
+    BumpGeneration();
     result.id = id;
     result.created = true;
     result.changed = true;
@@ -395,7 +487,8 @@ Journal::StoreResult Journal::StoreSubnet(const SubnetObservation& obs, Discover
   if (changed) {
     rec.ts.last_changed = std::max(rec.ts.last_changed, now);
   }
-  ++generation_;
+  LogChange(RecordKind::kSubnet, ChangeKind::kStore, rec.id);
+  BumpGeneration();
   result.id = rec.id;
   result.changed = changed;
   return result;
@@ -469,6 +562,28 @@ std::vector<InterfaceRecord> Journal::AllInterfaces() const {
   return out;
 }
 
+std::vector<InterfaceRecord> Journal::FindInterfacesModifiedSince(SimTime since) const {
+  // The mod-order list is sorted ascending by (last_changed, id), so the
+  // matches are exactly a suffix: walk backward from the tail until the
+  // first record older than `since`, then emit forward.
+  auto it = interface_mod_order_.end();
+  size_t matches = 0;
+  while (it != interface_mod_order_.begin()) {
+    auto prev = std::prev(it);
+    if (interfaces_.at(*prev).ts.last_changed < since) {
+      break;
+    }
+    it = prev;
+    ++matches;
+  }
+  std::vector<InterfaceRecord> out;
+  out.reserve(matches);
+  for (; it != interface_mod_order_.end(); ++it) {
+    out.push_back(interfaces_.at(*it));
+  }
+  return out;
+}
+
 bool Journal::DeleteInterface(RecordId id) {
   auto it = interfaces_.find(id);
   if (it == interfaces_.end()) {
@@ -479,7 +594,11 @@ bool Journal::DeleteInterface(RecordId id) {
     auto gw = gateways_.find(it->second.gateway_id);
     if (gw != gateways_.end()) {
       auto& ids = gw->second.interface_ids;
+      const size_t before = ids.size();
       ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+      if (ids.size() != before) {
+        LogChange(RecordKind::kGateway, ChangeKind::kStore, gw->first);
+      }
     }
   }
   auto pos = interface_mod_pos_.find(id);
@@ -488,7 +607,8 @@ bool Journal::DeleteInterface(RecordId id) {
     interface_mod_pos_.erase(pos);
   }
   interfaces_.erase(it);
-  ++generation_;
+  LogChange(RecordKind::kInterface, ChangeKind::kDelete, id);
+  BumpGeneration();
   return true;
 }
 
@@ -530,16 +650,23 @@ bool Journal::DeleteGateway(RecordId id) {
   }
   for (RecordId iface_id : it->second.interface_ids) {
     if (InterfaceRecord* rec = MutableInterface(iface_id); rec != nullptr) {
-      rec->gateway_id = kInvalidRecordId;
+      if (rec->gateway_id != kInvalidRecordId) {
+        rec->gateway_id = kInvalidRecordId;
+        LogChange(RecordKind::kInterface, ChangeKind::kStore, iface_id);
+      }
     }
   }
   for (auto& [subnet_id, subnet_rec] : subnets_) {
-    (void)subnet_id;
     auto& gw_ids = subnet_rec.gateway_ids;
+    const size_t before = gw_ids.size();
     gw_ids.erase(std::remove(gw_ids.begin(), gw_ids.end(), id), gw_ids.end());
+    if (gw_ids.size() != before) {
+      LogChange(RecordKind::kSubnet, ChangeKind::kStore, subnet_id);
+    }
   }
   gateways_.erase(it);
-  ++generation_;
+  LogChange(RecordKind::kGateway, ChangeKind::kDelete, id);
+  BumpGeneration();
   return true;
 }
 
@@ -571,7 +698,8 @@ bool Journal::DeleteSubnet(RecordId id) {
   }
   subnet_by_network_.Erase(it->second.subnet.network().value());
   subnets_.erase(it);
-  ++generation_;
+  LogChange(RecordKind::kSubnet, ChangeKind::kDelete, id);
+  BumpGeneration();
   return true;
 }
 
@@ -730,8 +858,12 @@ bool Journal::DecodeAll(ByteReader& reader) {
     return false;
   }
   // Loading replaces the whole record set: advance past every generation this
-  // instance has handed out so stale cache tags can never match.
+  // instance has handed out so stale cache tags can never match. The
+  // changelog starts empty with the horizon at the new generation, so every
+  // pre-load delta cursor is told to do a full resync.
   fresh.generation_ = generation_ + 1;
+  fresh.changelog_horizon_ = fresh.generation_;
+  fresh.changelog_capacity_ = changelog_capacity_;
   *this = std::move(fresh);
   return true;
 }

@@ -72,6 +72,10 @@ class Journal {
   std::vector<InterfaceRecord> FindInterfacesInRange(Ipv4Address lo, Ipv4Address hi) const;
   // All interfaces, least-recently-modified first.
   std::vector<InterfaceRecord> AllInterfaces() const;
+  // Interfaces with last_changed >= since, least-recently-modified first.
+  // Walks the modification-order list from the tail with early exit, so the
+  // cost is O(matches), not O(journal).
+  std::vector<InterfaceRecord> FindInterfacesModifiedSince(SimTime since) const;
   bool DeleteInterface(RecordId id);
 
   // --- Gateway queries ---------------------------------------------------------
@@ -102,6 +106,44 @@ class Journal {
   // cached query tagged with a generation is valid iff the numbers match.
   uint64_t generation() const { return generation_; }
 
+  // --- Change feed ------------------------------------------------------------
+  //
+  // Every mutation also lands in a bounded in-memory changelog of
+  // (generation, record kind, record id, store|delete) entries, compacted to
+  // one live entry per record: re-changing a record moves its entry to the
+  // tail with the new generation, and deleting it turns the entry into a
+  // tombstone. When the changelog overflows its capacity the oldest entry is
+  // evicted and the "horizon" advances to that entry's generation — a delta
+  // request from at or past the horizon can be answered exactly; anything
+  // older must fall back to a full fetch.
+
+  struct ChangelogEntry {
+    uint64_t generation = 0;
+    RecordKind kind = RecordKind::kInterface;
+    ChangeKind change = ChangeKind::kStore;
+    RecordId id = kInvalidRecordId;
+  };
+
+  struct Delta {
+    // False when `since` predates the changelog horizon (or comes from a
+    // different Journal incarnation): the caller must do a full fetch.
+    bool servable = false;
+    // Changed/deleted records of the requested kind, oldest change first.
+    std::vector<ChangelogEntry> entries;
+  };
+
+  // Everything of `kind` that changed after generation `since`. A since of
+  // generation() returns an empty servable delta.
+  Delta CollectChangesSince(RecordKind kind, uint64_t since) const;
+
+  // Generation below which CollectChangesSince cannot answer. 0 until the
+  // first eviction.
+  uint64_t changelog_horizon() const { return changelog_horizon_; }
+  size_t changelog_size() const { return changelog_.size(); }
+  // Bounds the changelog; evicts oldest entries (advancing the horizon) if
+  // the new capacity is smaller than the current size.
+  void set_changelog_capacity(size_t capacity);
+
   // Verifies index ↔ record consistency; test-only.
   bool CheckIndexes() const;
 
@@ -116,7 +158,12 @@ class Journal {
   InterfaceRecord* MutableInterface(RecordId id);
   void IndexInterface(const InterfaceRecord& rec);
   void UnindexInterface(const InterfaceRecord& rec);
-  void TouchInterface(RecordId id);  // Moves to the tail of the mod-order list.
+  // Re-inserts `id` at its canonical position in the mod-order list: sorted
+  // ascending by (last_changed, id). The tie-break makes the order a pure
+  // function of record contents, which is what lets a delta-patched client
+  // snapshot reproduce AllInterfaces() byte-for-byte. The common case (the
+  // record just became the newest) stays O(1).
+  void TouchInterface(RecordId id);
   // Merges gateway `from` into `to`, fixing interface and subnet back-links.
   void MergeGateways(RecordId to, RecordId from, SimTime now);
   void AttachGatewayToSubnet(const Subnet& subnet, RecordId gateway_id, DiscoverySource source,
@@ -127,6 +174,18 @@ class Journal {
   template <typename Key>
   static void RemoveFromIndex(AvlTree<Key, std::vector<RecordId>>& index, const Key& key,
                               RecordId id);
+
+  // Queues a changelog entry for the mutation in progress. Entries are held
+  // until BumpGeneration() so they are stamped with the generation the
+  // mutation publishes — clients only ever observe generations at request
+  // boundaries, so every queued change is invisible below that stamp.
+  void LogChange(RecordKind kind, ChangeKind change, RecordId id);
+  // Publishes the mutation: ++generation_, then flushes queued changes into
+  // the changelog stamped with the new generation (compacting + evicting).
+  void BumpGeneration();
+  static uint64_t ChangelogKey(RecordKind kind, RecordId id) {
+    return (static_cast<uint64_t>(kind) << 32) | id;
+  }
 
   std::unordered_map<RecordId, InterfaceRecord> interfaces_;
   std::unordered_map<RecordId, GatewayRecord> gateways_;
@@ -147,6 +206,19 @@ class Journal {
   RecordId next_gateway_id_ = 1;
   RecordId next_subnet_id_ = 1;
   uint64_t generation_ = 0;
+
+  // Change feed (see the public section): compacted bounded changelog,
+  // nondecreasing generation front→back, one live entry per (kind, id).
+  struct PendingChange {
+    RecordKind kind;
+    ChangeKind change;
+    RecordId id;
+  };
+  std::vector<PendingChange> pending_changes_;
+  std::list<ChangelogEntry> changelog_;
+  std::unordered_map<uint64_t, std::list<ChangelogEntry>::iterator> changelog_pos_;
+  size_t changelog_capacity_ = 8192;
+  uint64_t changelog_horizon_ = 0;
 };
 
 }  // namespace fremont

@@ -142,6 +142,10 @@ void JournalRequest::EncodeTo(ByteWriter& writer) const {
       break;
     case RequestType::kBatch:
       break;  // Handled above via EncodeBatchFrame.
+    case RequestType::kGetChangedSince:
+      writer.WriteU8(static_cast<uint8_t>(changed_kind));
+      writer.WriteU64(since_generation);
+      break;
   }
   // Conditional-get tag. Written only when set, after the v1 body, so a v1
   // request is byte-identical and a v1 decoder's trailing bytes are ignored.
@@ -158,7 +162,7 @@ ByteBuffer JournalRequest::Encode() const {
 
 bool JournalRequest::DecodeInto(JournalRequest& out, ByteReader& reader, bool inside_batch) {
   uint8_t type = reader.ReadU8();
-  if (type < 1 || type > static_cast<uint8_t>(RequestType::kBatch)) {
+  if (type < 1 || type > static_cast<uint8_t>(RequestType::kGetChangedSince)) {
     return false;
   }
   out.type = static_cast<RequestType>(type);
@@ -220,6 +224,15 @@ bool JournalRequest::DecodeInto(JournalRequest& out, ByteReader& reader, bool in
       }
       break;
     }
+    case RequestType::kGetChangedSince: {
+      uint8_t kind = reader.ReadU8();
+      if (kind > static_cast<uint8_t>(RecordKind::kSubnet)) {
+        return false;
+      }
+      out.changed_kind = static_cast<RecordKind>(kind);
+      out.since_generation = reader.ReadU64();
+      break;
+    }
   }
   // Batch items decode mid-buffer, where the remaining bytes belong to the
   // next item — only a top-level Get may consume a trailing generation tag.
@@ -267,6 +280,10 @@ ByteBuffer JournalResponse::Encode() const {
     writer.WriteU32(item.record_id);
     writer.WriteU8(static_cast<uint8_t>((item.created ? 1 : 0) | (item.changed ? 2 : 0)));
   }
+  writer.WriteU32(static_cast<uint32_t>(tombstones.size()));
+  for (RecordId id : tombstones) {
+    writer.WriteU32(id);
+  }
   return writer.TakeBuffer();
 }
 
@@ -274,7 +291,7 @@ std::optional<JournalResponse> JournalResponse::Decode(const ByteBuffer& bytes) 
   ByteReader reader(bytes);
   JournalResponse resp;
   uint8_t status = reader.ReadU8();
-  if (status > static_cast<uint8_t>(ResponseStatus::kNotModified)) {
+  if (status > static_cast<uint8_t>(ResponseStatus::kFullResyncRequired)) {
     return std::nullopt;
   }
   resp.status = static_cast<ResponseStatus>(status);
@@ -332,7 +349,7 @@ std::optional<JournalResponse> JournalResponse::Decode(const ByteBuffer& bytes) 
   for (uint32_t i = 0; i < n_batch; ++i) {
     BatchItemResult item;
     uint8_t item_status = reader.ReadU8();
-    if (item_status > static_cast<uint8_t>(ResponseStatus::kNotModified)) {
+    if (item_status > static_cast<uint8_t>(ResponseStatus::kFullResyncRequired)) {
       return std::nullopt;
     }
     item.status = static_cast<ResponseStatus>(item_status);
@@ -341,6 +358,18 @@ std::optional<JournalResponse> JournalResponse::Decode(const ByteBuffer& bytes) 
     item.created = (item_flags & 1) != 0;
     item.changed = (item_flags & 2) != 0;
     resp.batch_results.push_back(item);
+  }
+  // Tombstone ids (trailing: a frame from an encoder that predates them
+  // simply decodes to an empty list).
+  if (reader.remaining() >= 4) {
+    uint32_t n_tombstones = reader.ReadU32();
+    if (!reader.ok() || n_tombstones > reader.remaining() / 4) {
+      return std::nullopt;
+    }
+    resp.tombstones.reserve(n_tombstones);
+    for (uint32_t i = 0; i < n_tombstones; ++i) {
+      resp.tombstones.push_back(reader.ReadU32());
+    }
   }
   if (!reader.ok()) {
     return std::nullopt;

@@ -21,6 +21,11 @@
 //    requests may carry `if_generation` (encoded only when nonzero, as a
 //    trailing field v1 decoders never wrote) and receive kNotModified when
 //    the Journal has not mutated since — the record payload is skipped.
+//  - kGetChangedSince{kind, since_generation} returns only the records of
+//    `kind` that changed after `since_generation`, plus the ids of deleted
+//    ones (tombstones — which Selector::kModifiedSince cannot express), or
+//    kFullResyncRequired when `since_generation` predates the Journal's
+//    changelog horizon. See DESIGN.md §11.
 
 #ifndef SRC_JOURNAL_PROTOCOL_H_
 #define SRC_JOURNAL_PROTOCOL_H_
@@ -46,6 +51,7 @@ enum class RequestType : uint8_t {
   kDeleteSubnet = 9,
   kGetStats = 10,
   kBatch = 11,  // v2: N store/delete sub-requests, applied in one round trip.
+  kGetChangedSince = 12,  // v2: delta read from the Journal change feed.
 };
 
 // True for the request types that may appear inside a kBatch.
@@ -88,6 +94,8 @@ inline const char* RequestTypeName(RequestType type) {
       return "get_stats";
     case RequestType::kBatch:
       return "batch";
+    case RequestType::kGetChangedSince:
+      return "get_changed_since";
   }
   return "unknown";
 }
@@ -141,6 +149,10 @@ struct JournalRequest {
   std::optional<SimTime> obs_time;
   // v2: sub-requests for kBatch. Only batchable (store/delete) types.
   std::vector<JournalRequest> batch;
+  // v2: kGetChangedSince — which record family, and the generation the
+  // caller's snapshot was taken at (the response covers (since, now]).
+  RecordKind changed_kind = RecordKind::kInterface;
+  uint64_t since_generation = 0;
 
   // Appends this request to `writer` (the scratch-buffer hot path).
   void EncodeTo(ByteWriter& writer) const;
@@ -164,7 +176,8 @@ enum class ResponseStatus : uint8_t {
   kOk = 0,
   kMalformedRequest = 1,
   kNotFound = 2,
-  kNotModified = 3,  // v2: conditional Get matched `if_generation`.
+  kNotModified = 3,        // v2: conditional Get matched `if_generation`.
+  kFullResyncRequired = 4, // v2: since_generation predates the changelog horizon.
 };
 
 // v2: per-item outcome of a kBatch request, in item order.
@@ -193,6 +206,9 @@ struct JournalResponse {
   uint64_t generation = 0;
   // v2: per-item results for kBatch.
   std::vector<BatchItemResult> batch_results;
+  // v2: ids of records of the requested kind deleted since since_generation
+  // (kGetChangedSince only). Trailing on the wire; absent decodes as empty.
+  std::vector<RecordId> tombstones;
 
   ByteBuffer Encode() const;
   static std::optional<JournalResponse> Decode(const ByteBuffer& bytes);

@@ -1,5 +1,9 @@
 #include "src/journal/query_cache.h"
 
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
 #include "src/journal/client.h"
 #include "src/telemetry/metrics.h"
 
@@ -12,7 +16,92 @@ std::string KeyFor(const JournalRequest& request) {
   ByteBuffer bytes = request.Encode();
   return std::string(bytes.begin(), bytes.end());
 }
+
+// Whole-table queries can be repaired from a delta; anything with a narrower
+// selector would need the filter re-applied, so those keep conditional gets.
+std::optional<RecordKind> PatchableKind(const JournalRequest& request) {
+  switch (request.type) {
+    case RequestType::kGetInterfaces:
+      if (request.selector.kind == Selector::Kind::kAll) {
+        return RecordKind::kInterface;
+      }
+      return std::nullopt;
+    case RequestType::kGetGateways:
+      return RecordKind::kGateway;
+    case RequestType::kGetSubnets:
+      return RecordKind::kSubnet;
+    default:
+      return std::nullopt;
+  }
+}
+
+template <typename Record>
+void DropChangedAndDead(std::vector<Record>& snapshot, const std::vector<Record>& changed,
+                        const std::vector<RecordId>& tombstones) {
+  std::unordered_set<RecordId> drop;
+  drop.reserve(changed.size() + tombstones.size());
+  for (const Record& rec : changed) {
+    drop.insert(rec.id);
+  }
+  for (RecordId id : tombstones) {
+    drop.insert(id);
+  }
+  snapshot.erase(std::remove_if(snapshot.begin(), snapshot.end(),
+                                [&](const Record& rec) { return drop.contains(rec.id); }),
+                 snapshot.end());
+}
 }  // namespace
+
+void PatchInterfaceSnapshot(std::vector<InterfaceRecord>& snapshot,
+                            std::vector<InterfaceRecord> changed,
+                            const std::vector<RecordId>& tombstones) {
+  if (changed.empty() && tombstones.empty()) {
+    return;
+  }
+  DropChangedAndDead(snapshot, changed, tombstones);
+  // AllInterfaces() is ascending (last_changed, id) — the Journal's mod-order
+  // invariant — so merge the changed records back in by that key.
+  const auto by_mod_order = [](const InterfaceRecord& a, const InterfaceRecord& b) {
+    if (a.ts.last_changed != b.ts.last_changed) {
+      return a.ts.last_changed < b.ts.last_changed;
+    }
+    return a.id < b.id;
+  };
+  std::sort(changed.begin(), changed.end(), by_mod_order);
+  const size_t middle = snapshot.size();
+  snapshot.insert(snapshot.end(), std::make_move_iterator(changed.begin()),
+                  std::make_move_iterator(changed.end()));
+  std::inplace_merge(snapshot.begin(), snapshot.begin() + static_cast<ptrdiff_t>(middle),
+                     snapshot.end(), by_mod_order);
+}
+
+void PatchGatewaySnapshot(std::vector<GatewayRecord>& snapshot,
+                          std::vector<GatewayRecord> changed,
+                          const std::vector<RecordId>& tombstones) {
+  if (changed.empty() && tombstones.empty()) {
+    return;
+  }
+  DropChangedAndDead(snapshot, changed, tombstones);
+  snapshot.insert(snapshot.end(), std::make_move_iterator(changed.begin()),
+                  std::make_move_iterator(changed.end()));
+  // AllGateways() is ascending id.
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const GatewayRecord& a, const GatewayRecord& b) { return a.id < b.id; });
+}
+
+void PatchSubnetSnapshot(std::vector<SubnetRecord>& snapshot, std::vector<SubnetRecord> changed,
+                         const std::vector<RecordId>& tombstones) {
+  if (changed.empty() && tombstones.empty()) {
+    return;
+  }
+  DropChangedAndDead(snapshot, changed, tombstones);
+  snapshot.insert(snapshot.end(), std::make_move_iterator(changed.begin()),
+                  std::make_move_iterator(changed.end()));
+  // AllSubnets() is the in-order walk of the network-address AVL tree.
+  std::sort(snapshot.begin(), snapshot.end(), [](const SubnetRecord& a, const SubnetRecord& b) {
+    return a.subnet.network().value() < b.subnet.network().value();
+  });
+}
 
 const JournalQueryCache::Entry& JournalQueryCache::Lookup(const JournalRequest& request) {
   auto& metrics = telemetry::MetricsRegistry::Global();
@@ -32,8 +121,39 @@ const JournalQueryCache::Entry& JournalQueryCache::Lookup(const JournalRequest& 
     return it->second;
   }
 
+  // Stale whole-table entry: repair it from the change feed instead of
+  // refetching every record. An empty delta (the Journal mutated, just not
+  // this record family) restamps the entry for free.
+  const std::optional<RecordKind> kind = PatchableKind(request);
+  if (it != entries_.end() && kind.has_value()) {
+    JournalClient::DeltaResult delta = client_->GetChangedSince(*kind, it->second.generation);
+    if (delta.ok()) {
+      Entry& entry = it->second;
+      switch (*kind) {
+        case RecordKind::kInterface:
+          PatchInterfaceSnapshot(entry.interfaces, std::move(delta.interfaces),
+                                 delta.tombstones);
+          break;
+        case RecordKind::kGateway:
+          PatchGatewaySnapshot(entry.gateways, std::move(delta.gateways), delta.tombstones);
+          break;
+        case RecordKind::kSubnet:
+          PatchSubnetSnapshot(entry.subnets, std::move(delta.subnets), delta.tombstones);
+          break;
+      }
+      entry.generation = delta.generation;
+      ++stats_.patches;
+      metrics.GetCounter("journal_client/cache_hits")->Increment();
+      return entry;
+    }
+    // Past the changelog horizon (or the delta failed): fall through to a
+    // full fetch. A conditional get cannot help — the generations already
+    // proved unequal.
+    ++stats_.resyncs;
+  }
+
   JournalRequest conditional = request;
-  if (it != entries_.end()) {
+  if (it != entries_.end() && !kind.has_value()) {
     conditional.if_generation = it->second.generation;
   }
   JournalResponse resp = client_->RoundTrip(conditional);

@@ -13,7 +13,16 @@
 //    the record copy + serialization; a full response replaces the entry.
 //
 // Invalidation is implicit: any mutation bumps the generation, so stale
-// entries simply fail validation and are refreshed on next use.
+// entries simply fail validation and are refreshed on next use — and for the
+// whole-table queries (GetInterfaces(kAll), GetGateways, GetSubnets) a stale
+// entry is not refetched but *patched*: a kGetChangedSince round trip brings
+// only the records that changed plus tombstone ids, and the cached vector is
+// spliced back into the exact order the server would have returned. Each
+// record family has a canonical order that is a pure function of record
+// contents (interfaces: ascending (last_changed, id); gateways: ascending
+// id; subnets: ascending network address), which is what makes the patched
+// snapshot byte-identical to a fresh full fetch. Past the server's changelog
+// horizon the patch degrades to a full refetch (a "full resync").
 
 #ifndef SRC_JOURNAL_QUERY_CACHE_H_
 #define SRC_JOURNAL_QUERY_CACHE_H_
@@ -29,11 +38,24 @@ namespace fremont {
 
 class JournalClient;
 
+// Applies a change-feed delta to a cached snapshot, reproducing the server's
+// canonical order exactly (see the file comment). `changed` is consumed.
+void PatchInterfaceSnapshot(std::vector<InterfaceRecord>& snapshot,
+                            std::vector<InterfaceRecord> changed,
+                            const std::vector<RecordId>& tombstones);
+void PatchGatewaySnapshot(std::vector<GatewayRecord>& snapshot,
+                          std::vector<GatewayRecord> changed,
+                          const std::vector<RecordId>& tombstones);
+void PatchSubnetSnapshot(std::vector<SubnetRecord>& snapshot, std::vector<SubnetRecord> changed,
+                         const std::vector<RecordId>& tombstones);
+
 class JournalQueryCache {
  public:
   struct CacheStats {
     uint64_t hits = 0;         // Served from memory, zero round trips.
     uint64_t validations = 0;  // Conditional get answered kNotModified.
+    uint64_t patches = 0;      // Stale entry repaired from a delta.
+    uint64_t resyncs = 0;      // Delta unavailable (past horizon) → full fetch.
     uint64_t misses = 0;       // Full fetch over the wire.
   };
 

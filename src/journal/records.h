@@ -72,6 +72,21 @@ struct Timestamps {
 using RecordId = uint32_t;
 inline constexpr RecordId kInvalidRecordId = 0;
 
+// The three record families the Journal stores. Used by the change feed
+// (Journal changelog, kGetChangedSince) to address "all records of a kind".
+enum class RecordKind : uint8_t {
+  kInterface = 0,
+  kGateway = 1,
+  kSubnet = 2,
+};
+
+// What happened to a record, as seen by the change feed. Record ids are
+// never reused, so a delete is final: tombstone, not a gap.
+enum class ChangeKind : uint8_t {
+  kStore = 0,   // Created or mutated.
+  kDelete = 1,  // Tombstone.
+};
+
 // --- Interface ---------------------------------------------------------------
 
 // Table 1 fields: MAC layer address, network layer address, DNS name, subnet

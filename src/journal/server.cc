@@ -186,11 +186,7 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
           resp.interfaces = journal_.FindInterfacesInRange(sel.ip, sel.ip_hi);
           break;
         case Selector::Kind::kModifiedSince:
-          for (const auto& rec : journal_.AllInterfaces()) {
-            if (rec.ts.last_changed >= sel.since) {
-              resp.interfaces.push_back(rec);
-            }
-          }
+          resp.interfaces = journal_.FindInterfacesModifiedSince(sel.since);
           break;
         case Selector::Kind::kById:
           if (const auto* rec = journal_.GetInterface(sel.record_id); rec != nullptr) {
@@ -225,6 +221,41 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
       resp.interface_count = static_cast<uint32_t>(stats.interface_count);
       resp.gateway_count = static_cast<uint32_t>(stats.gateway_count);
       resp.subnet_count = static_cast<uint32_t>(stats.subnet_count);
+      break;
+    }
+    case RequestType::kGetChangedSince: {
+      metrics.GetCounter("journal_server/delta_ops")->Increment();
+      const Journal::Delta delta =
+          journal_.CollectChangesSince(request.changed_kind, request.since_generation);
+      if (!delta.servable) {
+        resp.status = ResponseStatus::kFullResyncRequired;
+        break;
+      }
+      for (const auto& entry : delta.entries) {
+        if (entry.change == ChangeKind::kDelete) {
+          resp.tombstones.push_back(entry.id);
+          continue;
+        }
+        // Compaction guarantees a live kStore entry references a live record;
+        // the null checks are belt-and-braces.
+        switch (request.changed_kind) {
+          case RecordKind::kInterface:
+            if (const auto* rec = journal_.GetInterface(entry.id); rec != nullptr) {
+              resp.interfaces.push_back(*rec);
+            }
+            break;
+          case RecordKind::kGateway:
+            if (const auto* rec = journal_.GetGateway(entry.id); rec != nullptr) {
+              resp.gateways.push_back(*rec);
+            }
+            break;
+          case RecordKind::kSubnet:
+            if (const auto* rec = journal_.GetSubnet(entry.id); rec != nullptr) {
+              resp.subnets.push_back(*rec);
+            }
+            break;
+        }
+      }
       break;
     }
   }

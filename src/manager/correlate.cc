@@ -1,7 +1,6 @@
 #include "src/manager/correlate.h"
 
-#include <map>
-#include <set>
+#include <algorithm>
 
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
@@ -9,6 +8,15 @@
 #include "src/util/string_util.h"
 
 namespace fremont {
+
+namespace {
+// Sorted-vector dedup: how many distinct values `nets` holds. Leaves the
+// vector sorted; no node allocations.
+size_t CountDistinct(std::vector<uint32_t>& nets) {
+  std::sort(nets.begin(), nets.end());
+  return static_cast<size_t>(std::distance(nets.begin(), std::unique(nets.begin(), nets.end())));
+}
+}  // namespace
 
 CorrelationReport Correlate(JournalClient& journal, int assumed_prefix, SimTime now) {
   CorrelationReport report;
@@ -20,30 +28,41 @@ CorrelationReport Correlate(JournalClient& journal, int assumed_prefix, SimTime 
     return Subnet(rec.ip, mask);
   };
 
-  // Group interfaces by MAC.
-  std::map<uint64_t, std::vector<const InterfaceRecord*>> by_mac;
+  // Group interfaces by MAC. Hash map + reserve keeps this allocation-lean;
+  // the sorted key pass below preserves the ascending-MAC iteration order the
+  // tree map used to provide (it determines gateway store order).
+  std::unordered_map<uint64_t, std::vector<const InterfaceRecord*>> by_mac;
+  by_mac.reserve(interfaces.size());
+  std::vector<uint64_t> macs;
+  macs.reserve(interfaces.size());
   for (const auto& rec : interfaces) {
     if (rec.mac.has_value()) {
-      by_mac[rec.mac->ToU64()].push_back(&rec);
+      auto [it, inserted] = by_mac.try_emplace(rec.mac->ToU64());
+      if (inserted) {
+        macs.push_back(rec.mac->ToU64());
+      }
+      it->second.push_back(&rec);
     }
     if (!rec.mask.has_value()) {
       report.interfaces_without_mask.push_back(rec.ip);
     }
   }
+  std::sort(macs.begin(), macs.end());
 
   // Inferred gateways are batched; sim time does not advance inside this
   // pass, so server-side stamping at flush matches per-record stamping.
   JournalBatchWriter writer(&journal);
-  for (const auto& [mac, recs] : by_mac) {
-    (void)mac;
+  std::vector<uint32_t> distinct_subnets;  // Scratch, reused across groups.
+  for (uint64_t mac : macs) {
+    const auto& recs = by_mac.find(mac)->second;
     if (recs.size() < 2) {
       continue;
     }
-    std::set<uint32_t> distinct_subnets;
+    distinct_subnets.clear();
     for (const auto* rec : recs) {
-      distinct_subnets.insert(subnet_of(*rec).network().value());
+      distinct_subnets.push_back(subnet_of(*rec).network().value());
     }
-    if (distinct_subnets.size() >= 2) {
+    if (CountDistinct(distinct_subnets) >= 2) {
       // The same physical box answers on multiple subnets: a gateway.
       GatewayObservation gw;
       for (const auto* rec : recs) {
@@ -74,6 +93,305 @@ CorrelationReport Correlate(JournalClient& journal, int assumed_prefix, SimTime 
   if (tracer.enabled()) {
     tracer.Record(now, telemetry::TraceEventKind::kCorrelationPass, "correlate",
                   StringPrintf("gateways_inferred=%d orphan_subnets=%d",
+                               report.gateways_inferred_from_mac,
+                               static_cast<int>(report.subnets_without_gateway.size())));
+  }
+  return report;
+}
+
+// --- CorrelationState ----------------------------------------------------------
+
+void CorrelationState::Reset() {
+  initialized_ = false;
+  generation_ = 0;
+  ifaces_.clear();
+  by_mac_.clear();
+  group_class_.clear();
+  gateway_groups_ = 0;
+  same_subnet_groups_ = 0;
+  subnets_.clear();
+}
+
+int CorrelationState::ClassifyGroup(const std::vector<RecordId>& members) const {
+  if (members.size() < 2) {
+    return 0;
+  }
+  std::vector<uint32_t> nets;
+  nets.reserve(members.size());
+  for (RecordId id : members) {
+    nets.push_back(ifaces_.at(id).subnet.network().value());
+  }
+  return CountDistinct(nets) >= 2 ? 1 : 2;
+}
+
+void CorrelationState::ApplyInterfaceRecord(const InterfaceRecord& rec,
+                                            std::vector<uint64_t>* dirty) {
+  IfaceState next;
+  next.ip = rec.ip;
+  next.has_mac = rec.mac.has_value();
+  next.mac = next.has_mac ? rec.mac->ToU64() : 0;
+  next.has_mask = rec.mask.has_value();
+  next.subnet =
+      Subnet(rec.ip, rec.mask.value_or(SubnetMask::FromPrefixLength(assumed_prefix_)));
+  next.dns_name = rec.dns_name;
+  next.last_changed = rec.ts.last_changed;
+
+  auto it = ifaces_.find(rec.id);
+  if (it == ifaces_.end()) {
+    if (next.has_mac) {
+      by_mac_[next.mac].push_back(rec.id);
+      if (dirty != nullptr) {
+        dirty->push_back(next.mac);
+      }
+    }
+    ifaces_.emplace(rec.id, std::move(next));
+    return;
+  }
+
+  IfaceState& cur = it->second;
+  // A verify-only store (or a gateway back-link touch) changes none of the
+  // fields grouping depends on; skip the group re-evaluation for those.
+  const bool regroup = cur.has_mac != next.has_mac || cur.mac != next.mac ||
+                       cur.subnet.network().value() != next.subnet.network().value() ||
+                       cur.dns_name != next.dns_name;
+  if (cur.has_mac && (!next.has_mac || cur.mac != next.mac)) {
+    auto git = by_mac_.find(cur.mac);
+    if (git != by_mac_.end()) {
+      auto& members = git->second;
+      members.erase(std::remove(members.begin(), members.end(), rec.id), members.end());
+      if (members.empty()) {
+        by_mac_.erase(git);
+      }
+    }
+    if (dirty != nullptr) {
+      dirty->push_back(cur.mac);
+    }
+  }
+  if (next.has_mac) {
+    auto& members = by_mac_[next.mac];
+    if (std::find(members.begin(), members.end(), rec.id) == members.end()) {
+      members.push_back(rec.id);
+    }
+    if (regroup && dirty != nullptr) {
+      dirty->push_back(next.mac);
+    }
+  }
+  cur = std::move(next);
+}
+
+void CorrelationState::RemoveInterface(RecordId id, std::vector<uint64_t>* dirty) {
+  auto it = ifaces_.find(id);
+  if (it == ifaces_.end()) {
+    return;
+  }
+  if (it->second.has_mac) {
+    auto git = by_mac_.find(it->second.mac);
+    if (git != by_mac_.end()) {
+      auto& members = git->second;
+      members.erase(std::remove(members.begin(), members.end(), id), members.end());
+      if (members.empty()) {
+        by_mac_.erase(git);
+      }
+    }
+    if (dirty != nullptr) {
+      dirty->push_back(it->second.mac);
+    }
+  }
+  ifaces_.erase(it);
+}
+
+void CorrelationState::ReevaluateGroups(std::vector<uint64_t>& dirty,
+                                        JournalBatchWriter* writer) {
+  // Ascending-MAC order keeps store order identical to the full pass.
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  std::vector<RecordId> members;  // Scratch, reused across groups.
+  for (uint64_t mac : dirty) {
+    auto git = by_mac_.find(mac);
+    const int new_cls = git == by_mac_.end() ? 0 : ClassifyGroup(git->second);
+    auto cit = group_class_.find(mac);
+    const int old_cls = cit == group_class_.end() ? 0 : cit->second;
+    if (old_cls == new_cls && new_cls == 0) {
+      continue;
+    }
+    if (old_cls == 1) {
+      --gateway_groups_;
+    } else if (old_cls == 2) {
+      --same_subnet_groups_;
+    }
+    if (new_cls == 1) {
+      ++gateway_groups_;
+    } else if (new_cls == 2) {
+      ++same_subnet_groups_;
+    }
+    if (new_cls == 0) {
+      if (cit != group_class_.end()) {
+        group_class_.erase(cit);
+      }
+    } else {
+      group_class_[mac] = new_cls;
+    }
+    if (new_cls == 1 && writer != nullptr) {
+      // Members in the Journal's mod-order — ascending (last_changed, id) —
+      // so the observation (member order, name pick) is byte-for-byte what
+      // the full pass would have written this pass.
+      members = git->second;
+      std::sort(members.begin(), members.end(), [&](RecordId a, RecordId b) {
+        const IfaceState& sa = ifaces_.at(a);
+        const IfaceState& sb = ifaces_.at(b);
+        if (sa.last_changed != sb.last_changed) {
+          return sa.last_changed < sb.last_changed;
+        }
+        return a < b;
+      });
+      GatewayObservation gw;
+      for (RecordId id : members) {
+        const IfaceState& state = ifaces_.at(id);
+        gw.interface_ips.push_back(state.ip);
+        gw.connected_subnets.push_back(state.subnet);
+        if (gw.name.empty() && !state.dns_name.empty()) {
+          gw.name = state.dns_name;
+        }
+      }
+      writer->StoreGateway(gw, DiscoverySource::kManual);
+    }
+  }
+}
+
+CorrelationReport CorrelationState::Update(JournalClient& journal, SimTime now) {
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  std::vector<uint64_t> dirty;
+  int64_t skipped = 0;
+
+  if (initialized_) {
+    // Both deltas are fetched before either is applied; nothing can mutate
+    // the Journal between the two in-process round trips.
+    JournalClient::DeltaResult iface_delta =
+        journal.GetChangedSince(RecordKind::kInterface, generation_);
+    JournalClient::DeltaResult subnet_delta =
+        journal.GetChangedSince(RecordKind::kSubnet, generation_);
+    if (iface_delta.ok() && subnet_delta.ok()) {
+      skipped = static_cast<int64_t>(ifaces_.size()) -
+                static_cast<int64_t>(iface_delta.interfaces.size() +
+                                     iface_delta.tombstones.size());
+      for (RecordId id : subnet_delta.tombstones) {
+        subnets_.erase(id);
+      }
+      for (const SubnetRecord& rec : subnet_delta.subnets) {
+        subnets_[rec.id] = SubnetState{rec.subnet, !rec.gateway_ids.empty()};
+      }
+      for (RecordId id : iface_delta.tombstones) {
+        RemoveInterface(id, &dirty);
+      }
+      for (const InterfaceRecord& rec : iface_delta.interfaces) {
+        ApplyInterfaceRecord(rec, &dirty);
+      }
+      generation_ = std::max(iface_delta.generation, subnet_delta.generation);
+      ++incremental_passes_;
+      metrics.GetCounter("correlate/incremental_passes")->Increment();
+      if (skipped > 0) {
+        metrics.GetCounter("correlate/records_skipped")->Add(skipped);
+      }
+    } else {
+      // Past the server's changelog horizon (or a different Journal
+      // incarnation): the held state is unverifiable. Rebuild below.
+      initialized_ = false;
+    }
+  }
+  if (!initialized_) {
+    ifaces_.clear();
+    by_mac_.clear();
+    group_class_.clear();
+    gateway_groups_ = 0;
+    same_subnet_groups_ = 0;
+    subnets_.clear();
+    const auto interfaces = journal.GetInterfaces();
+    const auto subnets = journal.GetSubnets();
+    for (const InterfaceRecord& rec : interfaces) {
+      ApplyInterfaceRecord(rec, &dirty);
+    }
+    for (const SubnetRecord& rec : subnets) {
+      subnets_[rec.id] = SubnetState{rec.subnet, !rec.gateway_ids.empty()};
+    }
+    generation_ = journal.last_seen_generation();
+    initialized_ = true;
+    ++full_rebuilds_;
+    metrics.GetCounter("correlate/full_rebuilds")->Increment();
+  }
+
+  // Re-evaluate the groups touched by this pass; store observations for the
+  // gateway-classified ones (the rebuild path marks every group dirty, so it
+  // stores exactly what a full pass would).
+  JournalBatchWriter writer(&journal);
+  ReevaluateGroups(dirty, &writer);
+  writer.Flush();
+
+  // The report reflects the Journal as read at the start of the pass —
+  // exactly like the full pass, which fetches before it stores.
+  CorrelationReport report;
+  report.gateways_inferred_from_mac = gateway_groups_;
+  report.same_subnet_multi_ip_macs = same_subnet_groups_;
+  for (const auto& [id, state] : subnets_) {
+    if (!state.has_gateway) {
+      report.subnets_without_gateway.push_back(state.subnet);
+    }
+  }
+  std::sort(report.subnets_without_gateway.begin(), report.subnets_without_gateway.end(),
+            [](const Subnet& a, const Subnet& b) {
+              return a.network().value() < b.network().value();
+            });
+  {
+    // (last_changed, id) order == the full pass's mod-order walk.
+    std::vector<std::pair<RecordId, const IfaceState*>> maskless;
+    for (const auto& [id, state] : ifaces_) {
+      if (!state.has_mask) {
+        maskless.emplace_back(id, &state);
+      }
+    }
+    std::sort(maskless.begin(), maskless.end(), [](const auto& a, const auto& b) {
+      if (a.second->last_changed != b.second->last_changed) {
+        return a.second->last_changed < b.second->last_changed;
+      }
+      return a.first < b.first;
+    });
+    report.interfaces_without_mask.reserve(maskless.size());
+    for (const auto& [id, state] : maskless) {
+      report.interfaces_without_mask.push_back(state->ip);
+    }
+  }
+
+  // Absorb our own gateway writes (verification stamps, gateway back-links,
+  // subnet coverage) so the next pass's delta is only real foreign change.
+  // Own writes never alter MAC grouping, but re-evaluate defensively —
+  // without a writer, so this can never loop.
+  JournalClient::DeltaResult iface_echo =
+      journal.GetChangedSince(RecordKind::kInterface, generation_);
+  JournalClient::DeltaResult subnet_echo =
+      journal.GetChangedSince(RecordKind::kSubnet, generation_);
+  if (iface_echo.ok() && subnet_echo.ok()) {
+    std::vector<uint64_t> echo_dirty;
+    for (RecordId id : subnet_echo.tombstones) {
+      subnets_.erase(id);
+    }
+    for (const SubnetRecord& rec : subnet_echo.subnets) {
+      subnets_[rec.id] = SubnetState{rec.subnet, !rec.gateway_ids.empty()};
+    }
+    for (RecordId id : iface_echo.tombstones) {
+      RemoveInterface(id, &echo_dirty);
+    }
+    for (const InterfaceRecord& rec : iface_echo.interfaces) {
+      ApplyInterfaceRecord(rec, &echo_dirty);
+    }
+    ReevaluateGroups(echo_dirty, nullptr);
+    generation_ = std::max(iface_echo.generation, subnet_echo.generation);
+  } else {
+    initialized_ = false;  // Horizon overtook us mid-pass; rebuild next time.
+  }
+
+  auto& tracer = telemetry::Tracer::Global();
+  if (tracer.enabled()) {
+    tracer.Record(now, telemetry::TraceEventKind::kCorrelationPass, "correlate",
+                  StringPrintf("incremental gateways=%d orphan_subnets=%d",
                                report.gateways_inferred_from_mac,
                                static_cast<int>(report.subnets_without_gateway.size())));
   }

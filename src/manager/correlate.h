@@ -16,6 +16,8 @@
 #ifndef SRC_MANAGER_CORRELATE_H_
 #define SRC_MANAGER_CORRELATE_H_
 
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/journal/client.h"
@@ -35,6 +37,82 @@ struct CorrelationReport {
 // simulation should pass the current sim time.
 CorrelationReport Correlate(JournalClient& journal, int assumed_prefix = 24,
                             SimTime now = SimTime::Epoch());
+
+// Incremental correlation over the Journal change feed.
+//
+// Holds the MAC→interface grouping and subnet→gateway coverage between
+// passes, so a steady-state pass costs O(changed records), not O(journal):
+// Update() pulls interface/subnet deltas via kGetChangedSince, re-evaluates
+// only the MAC groups a changed record belongs to, and writes gateway
+// observations only for groups whose membership actually moved. The first
+// Update() (and any pass past the server's changelog horizon) falls back to
+// a full fetch — the same work the full-pass Correlate() does — and then
+// goes incremental again.
+//
+// Equivalence contract (tested): after any interleaving of stores and
+// deletes, Update() returns the same report as a full-pass Correlate() over
+// the same records, with the directive lists in the full pass's own order:
+// subnets_without_gateway ascending by network (AllSubnets order) and
+// interfaces_without_mask ascending by (last_changed, id) (mod-order).
+class CorrelationState {
+ public:
+  explicit CorrelationState(int assumed_prefix = 24) : assumed_prefix_(assumed_prefix) {}
+
+  // One incremental pass; safe to call any time. `now` stamps telemetry.
+  CorrelationReport Update(JournalClient& journal, SimTime now = SimTime::Epoch());
+
+  // Drops all held state; the next Update() does a full rebuild.
+  void Reset();
+
+  // Journal generation this state is current to.
+  uint64_t generation() const { return generation_; }
+  int full_rebuilds() const { return full_rebuilds_; }
+  int incremental_passes() const { return incremental_passes_; }
+
+ private:
+  // The per-interface fields correlation depends on. A delta record whose
+  // tracked fields are unchanged (a verify-only store) does not dirty its
+  // MAC group.
+  struct IfaceState {
+    Ipv4Address ip;
+    uint64_t mac = 0;
+    bool has_mac = false;
+    bool has_mask = false;
+    Subnet subnet;  // Recorded mask, or the assumed prefix.
+    std::string dns_name;
+    // Keeps observation building in the full-pass order: the Journal's
+    // mod-order is ascending (last_changed, id), so sorting members by that
+    // key reproduces exactly what Correlate() would have emitted.
+    SimTime last_changed;
+  };
+  // Group classification: 0 = not a group (<2 members), 1 = gateway
+  // (≥2 distinct subnets), 2 = same-subnet multi-IP.
+  int ClassifyGroup(const std::vector<RecordId>& members) const;
+  // Folds one changed record into the maps; collects affected MACs.
+  void ApplyInterfaceRecord(const InterfaceRecord& rec, std::vector<uint64_t>* dirty);
+  void RemoveInterface(RecordId id, std::vector<uint64_t>* dirty);
+  // Re-evaluates `dirty` groups; when `writer` is non-null, stores a gateway
+  // observation for each dirty gateway-classified group.
+  void ReevaluateGroups(std::vector<uint64_t>& dirty, JournalBatchWriter* writer);
+
+  int assumed_prefix_;
+  bool initialized_ = false;
+  uint64_t generation_ = 0;
+  std::unordered_map<RecordId, IfaceState> ifaces_;
+  std::unordered_map<uint64_t, std::vector<RecordId>> by_mac_;
+  // Last classification per MAC (only 1 and 2 are stored), backing the
+  // aggregate counters below across incremental transitions.
+  std::unordered_map<uint64_t, int> group_class_;
+  int gateway_groups_ = 0;
+  int same_subnet_groups_ = 0;
+  struct SubnetState {
+    Subnet subnet;
+    bool has_gateway = false;
+  };
+  std::unordered_map<RecordId, SubnetState> subnets_;
+  int full_rebuilds_ = 0;
+  int incremental_passes_ = 0;
+};
 
 }  // namespace fremont
 

@@ -187,6 +187,13 @@ std::vector<ExplorerReport> DiscoveryManager::Tick() {
 
   // All completion callbacks have fired; retire the spent instances.
   running_.clear();
+
+  if (correlation_.has_value() && journal_ != nullptr) {
+    // Fold what this tick changed into the persistent correlation state.
+    // Runs after the growth attribution above, so its own gateway writes are
+    // excluded from module growth by the baseline reset in LaunchModule().
+    last_correlation_ = correlation_->Update(*journal_, events_->Now());
+  }
   return reports;
 }
 

@@ -29,6 +29,7 @@
 
 #include "src/explorer/explorer.h"
 #include "src/journal/client.h"
+#include "src/manager/correlate.h"
 #include "src/manager/schedule.h"
 #include "src/sim/event_queue.h"
 
@@ -75,6 +76,20 @@ class DiscoveryManager {
   void set_serial(bool serial) { serial_ = serial; }
   bool serial() const { return serial_; }
 
+  // Opt-in: after each tick that ran at least one module, fold the tick's
+  // Journal changes into a persistent CorrelationState (an incremental
+  // correlation pass — O(changed records), not O(journal)). Off by default
+  // so callers that meter journal growth per module keep exact attribution.
+  void EnableAutoCorrelation(int assumed_prefix = 24) {
+    correlation_.emplace(assumed_prefix);
+  }
+  bool auto_correlation_enabled() const { return correlation_.has_value(); }
+  // Report from the most recent auto-correlation pass (empty before one ran).
+  const CorrelationReport& last_correlation() const { return last_correlation_; }
+  // The persistent state itself, for tests and tools. Requires
+  // EnableAutoCorrelation() to have been called.
+  CorrelationState& correlation_state() { return *correlation_; }
+
   struct ModuleState {
     ModuleRegistration registration;
     ModuleSchedule schedule;
@@ -107,6 +122,9 @@ class DiscoveryManager {
   // attribution when runs overlap: each completion is charged the growth
   // since the one before it.
   int64_t growth_baseline_ = 0;
+  // Engaged by EnableAutoCorrelation(); updated after each fruitful tick.
+  std::optional<CorrelationState> correlation_;
+  CorrelationReport last_correlation_;
 };
 
 }  // namespace fremont

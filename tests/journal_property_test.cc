@@ -6,7 +6,10 @@
 #include <algorithm>
 #include <set>
 
+#include "src/journal/client.h"
 #include "src/journal/journal.h"
+#include "src/journal/query_cache.h"
+#include "src/journal/server.h"
 #include "src/util/rng.h"
 
 namespace fremont {
@@ -163,6 +166,80 @@ TEST_P(JournalPropertyTest, RandomOperationSoak) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JournalPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 1993u, 0xabcdefu));
+
+// Encodes a snapshot so "byte-identical" means exactly that: same records,
+// same field bytes, same order.
+std::vector<uint8_t> EncodeSnapshot(const std::vector<InterfaceRecord>& records) {
+  ByteWriter writer;
+  for (const auto& rec : records) {
+    rec.Encode(writer);
+  }
+  return writer.buffer();
+}
+
+class ChangeFeedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// A cache kept current purely through the change feed must reconstruct the
+// exact full-fetch snapshot after any interleaving of stores and deletes —
+// including across changelog compaction (repeated touches of the same
+// record) and horizon evictions (the tiny capacity below forces the reader
+// past the horizon, exercising the full-resync fallback too).
+TEST_P(ChangeFeedPropertyTest, DeltaPatchedSnapshotMatchesFullFetch) {
+  Rng rng(GetParam());
+  SimTime now = SimTime::Epoch();
+  JournalServer server([&now]() { return now; });
+  server.journal().set_changelog_capacity(32);
+  JournalClient writer(&server);
+  JournalClient reader(&server);
+  // Not the sole mutator: every reader lookup must validate over the wire,
+  // by delta patch when servable and full refetch when not.
+  reader.EnableQueryCache(/*exclusive=*/false);
+  JournalClient fresh(&server);  // Uncached reference reader.
+
+  auto random_ip = [&]() {
+    return Ipv4Address(128, 138, static_cast<uint8_t>(rng.Uniform(1, 4)),
+                       static_cast<uint8_t>(rng.Uniform(1, 30)));
+  };
+
+  for (int step = 0; step < 1200; ++step) {
+    now += Duration::Seconds(rng.Uniform(1, 600));
+    if (rng.Bernoulli(0.8)) {
+      InterfaceObservation obs;
+      obs.ip = random_ip();
+      if (rng.Bernoulli(0.7)) {
+        obs.mac = MacAddress::FromIndex(static_cast<uint64_t>(rng.Uniform(0, 40)));
+      }
+      if (rng.Bernoulli(0.3)) {
+        obs.dns_name = "host" + std::to_string(rng.Uniform(0, 30)) + ".colorado.edu";
+      }
+      if (rng.Bernoulli(0.3)) {
+        obs.mask = SubnetMask::FromPrefixLength(24);
+      }
+      writer.StoreInterface(obs, DiscoverySource::kArpWatch);
+    } else {
+      auto all = fresh.GetInterfaces();
+      if (!all.empty()) {
+        writer.DeleteInterface(all[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(all.size()) - 1))].id);
+      }
+    }
+    // Read cadence varies with the seed: short gaps stay inside the 32-entry
+    // changelog (delta patches), long gaps fall off the horizon (resyncs).
+    if (step % static_cast<int>(rng.Uniform(3, 60)) == 0) {
+      ASSERT_EQ(EncodeSnapshot(reader.GetInterfaces()), EncodeSnapshot(fresh.GetInterfaces()))
+          << "patched snapshot diverged at step " << step;
+    }
+  }
+  ASSERT_EQ(EncodeSnapshot(reader.GetInterfaces()), EncodeSnapshot(fresh.GetInterfaces()));
+
+  // The run must actually have exercised both repair paths.
+  const auto& stats = reader.query_cache()->stats();
+  EXPECT_GT(stats.patches, 0u) << "no lookup was served by a delta patch";
+  EXPECT_GT(stats.resyncs, 0u) << "the changelog horizon was never crossed";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChangeFeedPropertyTest,
+                         ::testing::Values(7u, 8u, 9u, 1993u));
 
 }  // namespace
 }  // namespace fremont

@@ -160,6 +160,47 @@ TEST(JournalInterfaceTest, ModificationOrdering) {
   EXPECT_EQ(all[1].id, a.id);
 }
 
+// FindInterfacesModifiedSince answers from the tail of the modification
+// order, so matches come back least-recently-modified first — the same
+// relative order AllInterfaces() would give them — and records older than
+// `since` are never visited.
+TEST(JournalInterfaceTest, ModifiedSinceWalksTailInModOrder) {
+  Journal journal;
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 5; ++i) {
+    InterfaceObservation obs;
+    obs.ip = Ipv4Address(128, 138, 238, static_cast<uint8_t>(10 + i));
+    obs.mac = MacAddress::FromIndex(static_cast<uint64_t>(i));
+    ids.push_back(journal.StoreInterface(obs, DiscoverySource::kArpWatch, At(10 * (i + 1))).id);
+  }
+  // Touch record 1 late: it moves behind record 4 in the mod-order.
+  InterfaceObservation rename;
+  rename.ip = Ipv4Address(128, 138, 238, 11);
+  rename.mac = MacAddress::FromIndex(1);
+  rename.dns_name = "renamed.colorado.edu";
+  journal.StoreInterface(rename, DiscoverySource::kDns, At(60));
+
+  auto recent = journal.FindInterfacesModifiedSince(At(30));
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent[0].id, ids[2]);  // changed at 30
+  EXPECT_EQ(recent[1].id, ids[3]);  // changed at 40
+  EXPECT_EQ(recent[2].id, ids[4]);  // changed at 50
+  EXPECT_EQ(recent[3].id, ids[1]);  // renamed at 60, now newest
+
+  // Boundary is inclusive; a later threshold excludes everything.
+  EXPECT_EQ(journal.FindInterfacesModifiedSince(At(60)).size(), 1u);
+  EXPECT_TRUE(journal.FindInterfacesModifiedSince(At(61)).empty());
+
+  // Two records sharing one last_changed tie-break ascending by id, exactly
+  // like AllInterfaces() — so delta consumers can merge by (last_changed, id).
+  auto all = journal.AllInterfaces();
+  auto since_epoch = journal.FindInterfacesModifiedSince(SimTime::Epoch());
+  ASSERT_EQ(all.size(), since_epoch.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].id, since_epoch[i].id);
+  }
+}
+
 TEST(JournalInterfaceTest, DeleteCleansIndexes) {
   Journal journal;
   auto r = journal.StoreInterface(Obs(kIp1, kMacA), DiscoverySource::kArpWatch, At(1));

@@ -185,5 +185,86 @@ TEST(JournalV2EquivalenceTest, SmallBatchesMatchToo) {
   EXPECT_LT(small.rpcs, v1.rpcs);
 }
 
+// A delete must reach a delta consumer as a tombstone — and a cached reader
+// patching from that delta must drop the record, not resurrect it.
+TEST(JournalV2ChangeFeedTest, TombstonesPropagateThroughDeltaAndPatchedCache) {
+  SimTime now = SimTime::Epoch();
+  JournalServer server([&now]() { return now; });
+  JournalClient writer(&server);
+  JournalClient reader(&server);
+  reader.EnableQueryCache(/*exclusive=*/false);
+
+  std::vector<RecordId> ids;
+  for (uint32_t i = 0; i < 4; ++i) {
+    InterfaceObservation obs;
+    obs.ip = Ipv4Address(128, 138, 1, static_cast<uint8_t>(10 + i));
+    obs.mac = MacAddress::FromIndex(i);
+    ids.push_back(writer.StoreInterface(obs, DiscoverySource::kArpWatch).id);
+  }
+  ASSERT_EQ(reader.GetInterfaces().size(), 4u);  // Prime the cache.
+  const uint64_t primed_generation = reader.last_seen_generation();
+
+  now += Duration::Seconds(30);
+  ASSERT_TRUE(writer.DeleteInterface(ids[1]));
+
+  // The raw delta carries the delete as a tombstone id, not a record.
+  JournalClient::DeltaResult delta =
+      writer.GetChangedSince(RecordKind::kInterface, primed_generation);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta.interfaces.empty());
+  ASSERT_EQ(delta.tombstones.size(), 1u);
+  EXPECT_EQ(delta.tombstones[0], ids[1]);
+
+  // The cached reader repairs from the same feed and the record is gone.
+  auto patched = reader.GetInterfaces();
+  ASSERT_EQ(patched.size(), 3u);
+  for (const auto& rec : patched) {
+    EXPECT_NE(rec.id, ids[1]);
+  }
+  EXPECT_GT(reader.query_cache()->stats().patches, 0u);
+
+  // Delete overrides store in the compacted changelog: a record stored and
+  // then deleted after `since` must not surface as a changed record.
+  now += Duration::Seconds(30);
+  const uint64_t before_churn = writer.last_seen_generation();
+  InterfaceObservation churn;
+  churn.ip = Ipv4Address(128, 138, 1, 99);
+  churn.mac = MacAddress::FromIndex(99);
+  const RecordId churn_id = writer.StoreInterface(churn, DiscoverySource::kArpWatch).id;
+  ASSERT_TRUE(writer.DeleteInterface(churn_id));
+  delta = writer.GetChangedSince(RecordKind::kInterface, before_churn);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta.interfaces.empty());
+  ASSERT_EQ(delta.tombstones.size(), 1u);
+  EXPECT_EQ(delta.tombstones[0], churn_id);
+  EXPECT_EQ(reader.GetInterfaces().size(), 3u);
+}
+
+// Asking for changes from before the changelog horizon must not return a
+// partial answer: the server says full-resync, and the client surfaces it.
+TEST(JournalV2ChangeFeedTest, HorizonEvictionForcesFullResync) {
+  SimTime now = SimTime::Epoch();
+  JournalServer server([&now]() { return now; });
+  server.journal().set_changelog_capacity(4);
+  JournalClient client(&server);
+
+  for (uint32_t i = 0; i < 12; ++i) {
+    InterfaceObservation obs;
+    obs.ip = Ipv4Address(128, 138, 2, static_cast<uint8_t>(1 + i));
+    client.StoreInterface(obs, DiscoverySource::kArpWatch);
+  }
+  // Generation 1 predates the 4-entry window after 12 distinct stores.
+  JournalClient::DeltaResult stale = client.GetChangedSince(RecordKind::kInterface, 1);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status, ResponseStatus::kFullResyncRequired);
+
+  // A since inside the window is still served incrementally.
+  JournalClient::DeltaResult live =
+      client.GetChangedSince(RecordKind::kInterface, client.last_seen_generation());
+  EXPECT_TRUE(live.ok());
+  EXPECT_TRUE(live.interfaces.empty());
+  EXPECT_TRUE(live.tombstones.empty());
+}
+
 }  // namespace
 }  // namespace fremont

@@ -8,11 +8,13 @@
 #include <set>
 
 #include "src/explorer/explorer.h"
+#include "src/journal/server.h"
 #include "src/manager/correlate.h"
 #include "src/manager/discovery_manager.h"
 #include "src/manager/schedule.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
+#include "src/util/rng.h"
 
 namespace fremont {
 namespace {
@@ -539,6 +541,174 @@ TEST(CorrelateTest, DirectivesListMissingData) {
   EXPECT_EQ(report.interfaces_without_mask[0], Ipv4Address(128, 138, 238, 10));
   ASSERT_EQ(report.subnets_without_gateway.size(), 1u);
   EXPECT_EQ(report.subnets_without_gateway[0], *Subnet::Parse("128.138.250.0/24"));
+}
+
+void ExpectReportsEqual(const CorrelationReport& full, const CorrelationReport& incremental,
+                        int round) {
+  EXPECT_EQ(full.gateways_inferred_from_mac, incremental.gateways_inferred_from_mac)
+      << "round " << round;
+  EXPECT_EQ(full.same_subnet_multi_ip_macs, incremental.same_subnet_multi_ip_macs)
+      << "round " << round;
+  EXPECT_EQ(full.subnets_without_gateway, incremental.subnets_without_gateway)
+      << "round " << round;
+  EXPECT_EQ(full.interfaces_without_mask, incremental.interfaces_without_mask)
+      << "round " << round;
+}
+
+// The equivalence contract: after any interleaving of stores and deletes,
+// a persistent CorrelationState's Update() must return the same report a
+// full-pass Correlate() would compute over the same Journal bytes. The full
+// pass runs against a byte-identical clone each round — it re-stores every
+// gateway group (re-verifying members, bumping timestamps) while the
+// incremental pass only touches dirty groups, so running both against the
+// same live journal (or two live journals) would diverge by design. The
+// clone isolates the comparison to what the contract actually promises.
+TEST(CorrelateTest, IncrementalStateMatchesFullPassEveryRound) {
+  Rng rng(1993);
+  SimTime now = SimTime::Epoch();
+  JournalServer server([&now]() { return now; });
+  JournalClient client(&server);
+  JournalClient incr_client(&server);
+  incr_client.EnableQueryCache(/*exclusive=*/false);
+  CorrelationState state;
+
+  auto random_ip = [&]() {
+    return Ipv4Address(128, 138, static_cast<uint8_t>(rng.Uniform(1, 5)),
+                       static_cast<uint8_t>(rng.Uniform(1, 30)));
+  };
+  for (int round = 0; round < 25; ++round) {
+    for (int op = 0; op < 15; ++op) {
+      now += Duration::Seconds(rng.Uniform(1, 300));
+      const int64_t kind = rng.Uniform(0, 9);
+      if (kind <= 6) {
+        InterfaceObservation obs;
+        obs.ip = random_ip();
+        if (rng.Bernoulli(0.8)) {
+          obs.mac = MacAddress::FromIndex(static_cast<uint64_t>(rng.Uniform(0, 25)));
+        }
+        if (rng.Bernoulli(0.3)) {
+          obs.dns_name = "host" + std::to_string(rng.Uniform(0, 40)) + ".colorado.edu";
+        }
+        if (rng.Bernoulli(0.5)) {
+          obs.mask = SubnetMask::FromPrefixLength(24);
+        }
+        client.StoreInterface(obs, DiscoverySource::kArpWatch);
+      } else if (kind == 7) {
+        SubnetObservation obs;
+        obs.subnet = Subnet(random_ip(), SubnetMask::FromPrefixLength(24));
+        client.StoreSubnet(obs, DiscoverySource::kRipWatch);
+      } else {
+        auto all = client.GetInterfaces();
+        if (!all.empty()) {
+          const RecordId victim =
+              all[static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(all.size()) - 1))].id;
+          ASSERT_TRUE(client.DeleteInterface(victim));
+        }
+      }
+    }
+    now += Duration::Seconds(1);
+
+    // Clone the live journal byte-for-byte, then run the from-scratch pass
+    // on the clone and the incremental pass on the live server.
+    ByteWriter snapshot;
+    server.journal().EncodeAll(snapshot);
+    JournalServer clone([&now]() { return now; });
+    ByteReader reader(snapshot.buffer());
+    ASSERT_TRUE(clone.journal().DecodeAll(reader));
+    JournalClient clone_client(&clone);
+
+    CorrelationReport full = Correlate(clone_client, 24, now);
+    CorrelationReport incremental = state.Update(incr_client, now);
+    ExpectReportsEqual(full, incremental, round);
+
+    // Gateway *records* are not compared: StoreGateway resolves members by
+    // IP, so a full pass that re-stores every group each round steals back
+    // IP-colliding members and merges stale rows the incremental pass leaves
+    // untouched until their group next goes dirty. The report is the
+    // contract; both journals just have to stay internally consistent.
+    ASSERT_TRUE(server.journal().CheckIndexes()) << "round " << round;
+    ASSERT_TRUE(clone.journal().CheckIndexes()) << "round " << round;
+  }
+  EXPECT_GT(state.incremental_passes(), 0);
+  EXPECT_EQ(state.full_rebuilds(), 1);
+}
+
+// After a horizon overrun the state rebuilds itself and keeps matching.
+TEST(CorrelateTest, IncrementalStateRecoversPastChangelogHorizon) {
+  SimTime now = SimTime::Epoch();
+  JournalServer server([&now]() { return now; });
+  server.journal().set_changelog_capacity(4);
+  JournalClient client(&server);
+  CorrelationState state;
+  state.Update(client, now);  // Initial (empty) rebuild.
+
+  // Far more distinct mutations than the changelog holds.
+  const MacAddress shared_mac(0, 0, 0x0c, 9, 9, 9);
+  for (uint8_t i = 0; i < 10; ++i) {
+    now += Duration::Minutes(1);
+    InterfaceObservation obs;
+    obs.ip = Ipv4Address(128, 138, static_cast<uint8_t>(1 + (i % 2)), 1);
+    obs.mac = shared_mac;
+    obs.mask = SubnetMask::FromPrefixLength(24);
+    client.StoreInterface(obs, DiscoverySource::kArpWatch);
+    InterfaceObservation filler;
+    filler.ip = Ipv4Address(10, 1, i, 1);
+    client.StoreInterface(filler, DiscoverySource::kSeqPing);
+  }
+  CorrelationReport incremental = state.Update(client, now);
+  EXPECT_GE(state.full_rebuilds(), 2);  // The horizon forced a rebuild.
+  CorrelationReport full = Correlate(client, 24, now);
+  ExpectReportsEqual(full, incremental, /*round=*/-1);
+  EXPECT_EQ(incremental.gateways_inferred_from_mac, 1);
+}
+
+TEST(DiscoveryManagerJournalTest, AutoCorrelationRunsIncrementallyAfterTicks) {
+  EventQueue events;
+  JournalServer server([&events]() { return events.Now(); });
+  JournalClient client(&server);
+  DiscoveryManager manager(&events, &client);
+  manager.EnableAutoCorrelation();
+
+  const MacAddress shared_mac(0, 0, 0x0c, 1, 2, 3);
+  int run_index = 0;
+  ModuleRegistration reg;
+  reg.name = "arp";
+  reg.min_interval = Duration::Hours(1);
+  reg.max_interval = Duration::Hours(64);
+  reg.make = [&]() {
+    FakeModule::Config config;
+    config.yield = 1;
+    // Run 0 sees the MAC on one subnet; every later run sees it on a second
+    // (RunFor below triggers two more runs; both must land on subnet two or
+    // the gateway would grow a third arm).
+    config.on_complete = [&]() {
+      InterfaceObservation obs;
+      obs.ip = Ipv4Address(128, 138, run_index == 0 ? 238 : 240, 1);
+      obs.mac = shared_mac;
+      obs.mask = SubnetMask::FromPrefixLength(24);
+      client.StoreInterface(obs, DiscoverySource::kArpWatch);
+      ++run_index;
+    };
+    return std::make_unique<FakeModule>("arp", &events, config);
+  };
+  manager.RegisterModule(std::move(reg));
+
+  manager.Tick();
+  // One interface, one MAC group: nothing to infer yet.
+  EXPECT_EQ(manager.last_correlation().gateways_inferred_from_mac, 0);
+  EXPECT_TRUE(client.GetGateways().empty());
+
+  manager.RunFor(Duration::Hours(2));
+  ASSERT_GE(run_index, 2);
+  // The second sighting arrived through the change feed; the tick's pass
+  // inferred the gateway without refetching the Journal.
+  EXPECT_EQ(manager.last_correlation().gateways_inferred_from_mac, 1);
+  ASSERT_EQ(client.GetGateways().size(), 1u);
+  EXPECT_EQ(client.GetGateways()[0].interface_ids.size(), 2u);
+  EXPECT_GT(manager.correlation_state().incremental_passes(), 0);
+  // Growth attribution still charges the module only its own records: the
+  // correlate-written gateway lands between ticks, outside the baseline.
+  EXPECT_LE(manager.modules()[0].last_journal_growth, 1);
 }
 
 }  // namespace

@@ -31,7 +31,9 @@
 #include "src/analysis/route_inference.h"
 #include "src/analysis/staleness.h"
 #include "src/analysis/utilization.h"
+#include "src/journal/client.h"
 #include "src/journal/journal.h"
+#include "src/journal/server.h"
 #include "src/manager/module_registry.h"
 #include "src/manager/schedule.h"
 #include "src/present/views.h"
@@ -111,9 +113,9 @@ SimTime NewestVerification(const Journal& journal) {
   return newest;
 }
 
-int RunProblems(const Journal& journal, SimTime now) {
-  const auto interfaces = journal.AllInterfaces();
-  const auto gateways = journal.AllGateways();
+int RunProblems(JournalClient& client, SimTime now) {
+  const auto interfaces = client.GetInterfaces();
+  const auto gateways = client.GetGateways();
   int findings = 0;
 
   std::printf("--- address conflicts ---\n");
@@ -158,20 +160,26 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     return Usage(argv[0]);
   }
-  Journal journal;
-  if (!journal.LoadFromFile(argv[1])) {
+  // The checkpoint is served through the full server+client stack so the
+  // analysis programs below share one generation-validated query cache:
+  // commands that read the same table several times pay one fetch.
+  SimTime now;
+  JournalServer server([&now] { return now; });
+  if (!server.journal().LoadFromFile(argv[1])) {
     std::fprintf(stderr, "error: cannot load journal from %s\n", argv[1]);
     return 1;
   }
-  const SimTime now = NewestVerification(journal);
+  now = NewestVerification(server.journal());
+  JournalClient client(&server);
+  client.EnableQueryCache(/*exclusive=*/true);
   const std::string command = argv[2];
 
   if (command == "--telemetry" || command == "telemetry") {
     return PrintTelemetry(argv[1], argc >= 4 ? argv[3] : nullptr);
   }
   if (command == "dump") {
-    std::printf("%s", DumpJournal(journal.AllInterfaces(), journal.AllGateways(),
-                                  journal.AllSubnets(), now)
+    std::printf("%s", DumpJournal(client.GetInterfaces(), client.GetGateways(),
+                                  client.GetSubnets(), now)
                           .c_str());
     return 0;
   }
@@ -184,7 +192,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: bad network %s\n", argv[3]);
       return 1;
     }
-    std::printf("%s", InterfaceViewLevel1(journal.AllInterfaces(), *network, now).c_str());
+    std::printf("%s", InterfaceViewLevel1(client.GetInterfaces(), *network, now).c_str());
     return 0;
   }
   if (command == "subnet") {
@@ -196,23 +204,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: bad subnet %s\n", argv[3]);
       return 1;
     }
-    std::printf("%s", InterfaceViewLevel2(journal.AllInterfaces(), *subnet, now).c_str());
+    std::printf("%s", InterfaceViewLevel2(client.GetInterfaces(), *subnet, now).c_str());
     return 0;
   }
   if (command == "topology") {
     const bool snm = argc >= 4 && std::strcmp(argv[3], "snm") == 0;
-    const auto interfaces = journal.AllInterfaces();
-    const auto gateways = journal.AllGateways();
-    const auto subnets = journal.AllSubnets();
+    const auto interfaces = client.GetInterfaces();
+    const auto gateways = client.GetGateways();
+    const auto subnets = client.GetSubnets();
     std::printf("%s", snm ? ExportSunNetManager(gateways, subnets, interfaces).c_str()
                           : ExportGraphvizDot(gateways, subnets, interfaces).c_str());
     return 0;
   }
   if (command == "problems") {
-    return RunProblems(journal, now);
+    return RunProblems(client, now);
   }
   if (command == "utilization") {
-    auto report = AnalyzeUtilization(journal.AllSubnets(), journal.AllInterfaces(), now);
+    auto report = AnalyzeUtilization(client.GetSubnets(), client.GetInterfaces(), now);
     for (const auto& row : report) {
       std::printf("%s\n", row.ToString().c_str());
     }
@@ -230,17 +238,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: bad subnet arguments\n");
       return 1;
     }
-    auto route = InferRoute(journal.AllGateways(), *from, *to);
+    auto route = InferRoute(client.GetGateways(), *from, *to);
     std::printf("%s\n", route.ToString().c_str());
     return route.found ? 0 : 3;
   }
   if (command == "vendors") {
-    std::printf("%s", VendorInventory(journal.AllInterfaces()).c_str());
+    std::printf("%s", VendorInventory(client.GetInterfaces()).c_str());
     return 0;
   }
   if (command == "stats") {
-    const JournalStats stats = journal.Stats();
-    const JournalMemoryUsage usage = journal.MemoryUsage();
+    const JournalStats stats = client.GetStats();
+    const JournalMemoryUsage usage = server.journal().MemoryUsage();
     std::printf("interfaces: %zu\ngateways:   %zu\nsubnets:    %zu\nmemory:     %.1f KB\n",
                 stats.interface_count, stats.gateway_count, stats.subnet_count,
                 static_cast<double>(usage.total_bytes) / 1024.0);
