@@ -4,6 +4,7 @@
 
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -55,7 +56,7 @@ void DnsExplorer::StartQuery(const std::string& name, DnsType qtype,
     if (answer->has_value()) {
       ++replies_;
     } else {
-      telemetry::MetricsRegistry::Global().GetCounter("dns/timeouts")->Increment();
+      telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kDnsTimeouts)->Increment();
     }
     // Pace the next query.
     ScheduleGuarded(params_.query_spacing, [answer, then]() { then(*answer); });

@@ -1,6 +1,7 @@
 #include "src/explorer/explorer.h"
 
 #include "src/telemetry/export.h"
+#include "src/telemetry/names.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -91,16 +92,16 @@ void TraceModuleStart(const char* key, SimTime now) {
 void RecordModuleReport(const char* key, const ExplorerReport& report) {
   auto& registry = telemetry::MetricsRegistry::Global();
   const std::string prefix(key);
-  registry.GetCounter(prefix + "/runs")->Increment();
-  registry.GetCounter(prefix + "/packets_sent")->Add(report.packets_sent);
-  registry.GetCounter(prefix + "/replies_received")->Add(report.replies_received);
-  registry.GetCounter(prefix + "/discovered")
+  registry.GetCounter(prefix + telemetry::names::kSuffixRuns)->Increment();
+  registry.GetCounter(prefix + telemetry::names::kSuffixPacketsSent)->Add(report.packets_sent);
+  registry.GetCounter(prefix + telemetry::names::kSuffixRepliesReceived)->Add(report.replies_received);
+  registry.GetCounter(prefix + telemetry::names::kSuffixDiscovered)
       ->Add(static_cast<uint64_t>(report.discovered > 0 ? report.discovered : 0));
-  registry.GetCounter(prefix + "/records_written")
+  registry.GetCounter(prefix + telemetry::names::kSuffixRecordsWritten)
       ->Add(static_cast<uint64_t>(report.records_written > 0 ? report.records_written : 0));
-  registry.GetCounter(prefix + "/new_info")
+  registry.GetCounter(prefix + telemetry::names::kSuffixNewInfo)
       ->Add(static_cast<uint64_t>(report.new_info > 0 ? report.new_info : 0));
-  registry.GetHistogram(prefix + "/run_duration_us", telemetry::DurationBucketsMicros())
+  registry.GetHistogram(prefix + telemetry::names::kSuffixRunDurationUs, telemetry::DurationBucketsMicros())
       ->Observe(report.Elapsed().ToMicros());
   telemetry::Tracer::Global().Record(
       report.finished, telemetry::TraceEventKind::kModuleRunEnd, key,

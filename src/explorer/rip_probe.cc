@@ -5,6 +5,7 @@
 #include "src/journal/batch_writer.h"
 #include "src/net/udp.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 #include "src/util/logging.h"
 
 namespace fremont {
@@ -154,7 +155,7 @@ void RipProbe::Finish() {
   if (!silent_.empty()) {
     FLOG(kInfo) << "ripprobe: " << silent_.size() << " target(s) did not answer";
     telemetry::MetricsRegistry::Global()
-        .GetCounter("ripprobe/timeouts")
+        .GetCounter(telemetry::names::kRipProbeTimeouts)
         ->Add(static_cast<int64_t>(silent_.size()));
   }
 }

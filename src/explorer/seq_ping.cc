@@ -2,6 +2,7 @@
 
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 #include "src/telemetry/trace.h"
 #include "src/util/logging.h"
 
@@ -117,7 +118,7 @@ void SeqPing::Teardown() {
       ++silent;
     }
   }
-  telemetry::MetricsRegistry::Global().GetCounter("seqping/timeouts")->Add(silent);
+  telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kSeqPingTimeouts)->Add(silent);
 }
 
 void SeqPing::CancelImpl() { Teardown(); }

@@ -4,6 +4,7 @@
 #include "src/net/rip.h"
 #include "src/net/udp.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 #include "src/util/bytes.h"
 
 namespace fremont {
@@ -192,7 +193,7 @@ void ServiceProbe::Finish() {
   report.new_info = writer_.totals().new_info;
 
   if (timeouts_ > 0) {
-    telemetry::MetricsRegistry::Global().GetCounter("serviceprobe/timeouts")->Add(timeouts_);
+    telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kServiceProbeTimeouts)->Add(timeouts_);
   }
   report.discovered = services_found_;
   report.packets_sent = vantage_->packets_sent() - sent_before_;

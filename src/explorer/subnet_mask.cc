@@ -2,6 +2,7 @@
 
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 
 namespace fremont {
 namespace {
@@ -110,8 +111,8 @@ void SubnetMaskExplorer::Teardown() {
     }
   }
   auto& registry = telemetry::MetricsRegistry::Global();
-  registry.GetCounter("subnetmasks/timeouts")->Add(silent);
-  registry.GetCounter("subnetmasks/negative_cache_skips")
+  registry.GetCounter(telemetry::names::kSubnetMasksTimeouts)->Add(silent);
+  registry.GetCounter(telemetry::names::kSubnetMasksNegativeCacheSkips)
       ->Add(static_cast<uint64_t>(skipped_ > 0 ? skipped_ : 0));
 }
 

@@ -5,6 +5,7 @@
 #include "src/journal/batch_writer.h"
 #include "src/net/udp.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 #include "src/telemetry/trace.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -194,7 +195,7 @@ void Traceroute::AdvanceAfterTimeout(size_t trace_index, int ttl, int attempt) {
   if (trace.done || trace.current_ttl != ttl) {
     return;
   }
-  telemetry::MetricsRegistry::Global().GetCounter("traceroute/timeouts")->Increment();
+  telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kTracerouteTimeouts)->Increment();
   if (attempt + 1 < params_.attempts_per_hop) {
     // Retry this TTL.
     ready_.push_back(trace_index);

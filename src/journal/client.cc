@@ -5,6 +5,7 @@
 #include "src/journal/batch_writer.h"
 #include "src/journal/query_cache.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 
 namespace fremont {
 
@@ -49,19 +50,19 @@ JournalResponse JournalClient::Transact(size_t reusable) {
   ++requests_sent_;
   auto& metrics = telemetry::MetricsRegistry::Global();
   if (reusable > 0) {
-    metrics.GetCounter("journal_client/encode_bytes_reused")
+    metrics.GetCounter(telemetry::names::kJournalClientEncodeBytesReused)
         ->Add(static_cast<int64_t>(std::min(reusable, scratch_.size())));
   }
-  metrics.GetCounter("journal_client/requests")->Increment();
-  metrics.GetCounter("journal_client/bytes_sent")->Add(static_cast<int64_t>(scratch_.size()));
+  metrics.GetCounter(telemetry::names::kJournalClientRequests)->Increment();
+  metrics.GetCounter(telemetry::names::kJournalClientBytesSent)->Add(static_cast<int64_t>(scratch_.size()));
   ByteBuffer response_bytes = transport_(scratch_.buffer());
-  metrics.GetCounter("journal_client/bytes_received")
+  metrics.GetCounter(telemetry::names::kJournalClientBytesReceived)
       ->Add(static_cast<int64_t>(response_bytes.size()));
   auto response = JournalResponse::Decode(response_bytes);
   if (!response.has_value()) {
     JournalResponse bad;
     bad.status = ResponseStatus::kMalformedRequest;
-    metrics.GetCounter("journal_client/decode_failures")->Increment();
+    metrics.GetCounter(telemetry::names::kJournalClientDecodeFailures)->Increment();
     return bad;
   }
   last_seen_generation_ = response->generation;
@@ -110,7 +111,7 @@ std::vector<BatchItemResult> JournalClient::StoreBatch(const JournalRequest* ite
     return {};
   }
   telemetry::MetricsRegistry::Global()
-      .GetHistogram("journal_client/batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256})
+      .GetHistogram(telemetry::names::kJournalClientBatchSize, {1, 2, 4, 8, 16, 32, 64, 128, 256})
       ->Observe(static_cast<int64_t>(count));
   const size_t reusable = scratch_.capacity();
   scratch_.Clear();
@@ -167,14 +168,14 @@ JournalClient::DeltaResult JournalClient::GetChangedSince(RecordKind kind,
   result.status = resp.status;
   result.generation = resp.generation;
   if (resp.status == ResponseStatus::kFullResyncRequired) {
-    metrics.GetCounter("journal_client/full_resyncs")->Increment();
+    metrics.GetCounter(telemetry::names::kJournalClientFullResyncs)->Increment();
     return result;
   }
   result.interfaces = std::move(resp.interfaces);
   result.gateways = std::move(resp.gateways);
   result.subnets = std::move(resp.subnets);
   result.tombstones = std::move(resp.tombstones);
-  metrics.GetCounter("journal_client/delta_records")
+  metrics.GetCounter(telemetry::names::kJournalClientDeltaRecords)
       ->Add(static_cast<int64_t>(result.record_count()));
   return result;
 }

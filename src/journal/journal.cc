@@ -116,6 +116,9 @@ void Journal::BumpGeneration() {
     }
   }
   pending_changes_.clear();
+#if FREMONT_AUDIT_ENABLED
+  AuditChangelog();
+#endif
 }
 
 void Journal::set_changelog_capacity(size_t capacity) {
@@ -126,7 +129,66 @@ void Journal::set_changelog_capacity(size_t capacity) {
     changelog_pos_.erase(ChangelogKey(oldest.kind, oldest.id));
     changelog_.pop_front();
   }
+#if FREMONT_AUDIT_ENABLED
+  AuditChangelog();
+#endif
 }
+
+#if FREMONT_AUDIT_ENABLED
+void Journal::AuditChangelog() {
+  FREMONT_AUDIT_CHECK(pending_changes_.empty(), "pending changes survived BumpGeneration");
+  FREMONT_AUDIT_CHECK(changelog_.size() <= changelog_capacity_,
+                      StringPrintf("size=%zu capacity=%zu", changelog_.size(),
+                                   changelog_capacity_));
+  FREMONT_AUDIT_CHECK(
+      changelog_pos_.size() == changelog_.size(),
+      StringPrintf("pos index holds %zu keys for %zu entries", changelog_pos_.size(),
+                   changelog_.size()));
+  FREMONT_AUDIT_CHECK(changelog_horizon_ >= audited_horizon_,
+                      StringPrintf("horizon moved backwards: %llu -> %llu",
+                                   static_cast<unsigned long long>(audited_horizon_),
+                                   static_cast<unsigned long long>(changelog_horizon_)));
+  audited_horizon_ = changelog_horizon_;
+  FREMONT_AUDIT_CHECK(changelog_horizon_ <= generation_,
+                      StringPrintf("horizon=%llu generation=%llu",
+                                   static_cast<unsigned long long>(changelog_horizon_),
+                                   static_cast<unsigned long long>(generation_)));
+  uint64_t prev_generation = 0;
+  for (auto it = changelog_.begin(); it != changelog_.end(); ++it) {
+    const ChangelogEntry& entry = *it;
+    const std::string where = StringPrintf(
+        "entry kind=%d id=%u gen=%llu", static_cast<int>(entry.kind), entry.id,
+        static_cast<unsigned long long>(entry.generation));
+    FREMONT_AUDIT_CHECK(entry.generation >= prev_generation,
+                        where + ": generations must be nondecreasing front-to-back");
+    prev_generation = entry.generation;
+    FREMONT_AUDIT_CHECK(
+        entry.generation >= changelog_horizon_ && entry.generation <= generation_,
+        where + ": generation outside (horizon, current] window");
+    auto pos = changelog_pos_.find(ChangelogKey(entry.kind, entry.id));
+    FREMONT_AUDIT_CHECK(pos != changelog_pos_.end() && pos->second == it,
+                        where + ": compaction lost — not the one live entry for its id");
+    bool live = false;
+    switch (entry.kind) {
+      case RecordKind::kInterface:
+        live = interfaces_.contains(entry.id);
+        break;
+      case RecordKind::kGateway:
+        live = gateways_.contains(entry.id);
+        break;
+      case RecordKind::kSubnet:
+        live = subnets_.contains(entry.id);
+        break;
+    }
+    if (entry.change == ChangeKind::kStore) {
+      FREMONT_AUDIT_CHECK(live, where + ": store entry for a dead record "
+                                        "(delete must override store)");
+    } else {
+      FREMONT_AUDIT_CHECK(!live, where + ": tombstone for a live record");
+    }
+  }
+}
+#endif  // FREMONT_AUDIT_ENABLED
 
 Journal::Delta Journal::CollectChangesSince(RecordKind kind, uint64_t since) const {
   Delta delta;

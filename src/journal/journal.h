@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/journal/records.h"
+#include "src/util/audit.h"
 #include "src/util/avl_tree.h"
 
 namespace fremont {
@@ -219,6 +220,14 @@ class Journal {
   std::unordered_map<uint64_t, std::list<ChangelogEntry>::iterator> changelog_pos_;
   size_t changelog_capacity_ = 8192;
   uint64_t changelog_horizon_ = 0;
+
+#if FREMONT_AUDIT_ENABLED
+  // FREMONT_AUDIT=ON: re-verifies the changelog invariants (compaction to
+  // one live entry per (kind, id), delete-overrides-store, nondecreasing
+  // generations, monotonic horizon) after every mutation; aborts on drift.
+  void AuditChangelog();
+  uint64_t audited_horizon_ = 0;  // Horizon watermark for the monotonic check.
+#endif
 };
 
 }  // namespace fremont

@@ -6,6 +6,9 @@
 
 #include "src/journal/client.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
+#include "src/util/audit.h"
+#include "src/util/string_util.h"
 
 namespace fremont {
 
@@ -50,6 +53,28 @@ void DropChangedAndDead(std::vector<Record>& snapshot, const std::vector<Record>
                                 [&](const Record& rec) { return drop.contains(rec.id); }),
                  snapshot.end());
 }
+
+#if FREMONT_AUDIT_ENABLED
+// FREMONT_AUDIT=ON: a delta-patched snapshot must hold each family's
+// canonical order (strictly — ids are unique) and carry no tombstoned
+// record, or it is no longer byte-identical to a fresh full fetch.
+template <typename Record, typename Less>
+void AuditPatchedSnapshot(const char* family, const std::vector<Record>& snapshot,
+                          const std::vector<RecordId>& tombstones, Less less) {
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    FREMONT_AUDIT_CHECK(less(snapshot[i - 1], snapshot[i]),
+                        StringPrintf("%s snapshot out of canonical order at %zu (ids %u, %u)",
+                                     family, i, snapshot[i - 1].id, snapshot[i].id));
+  }
+  for (RecordId dead : tombstones) {
+    for (const Record& rec : snapshot) {
+      FREMONT_AUDIT_CHECK(rec.id != dead,
+                          StringPrintf("%s snapshot still holds tombstoned id %u", family, dead));
+    }
+  }
+}
+
+#endif  // FREMONT_AUDIT_ENABLED
 }  // namespace
 
 void PatchInterfaceSnapshot(std::vector<InterfaceRecord>& snapshot,
@@ -117,7 +142,7 @@ const JournalQueryCache::Entry& JournalQueryCache::Lookup(const JournalRequest& 
     // Sole mutator + unchanged generation ⇒ the Journal cannot differ from
     // what we cached. No wire traffic at all.
     ++stats_.hits;
-    metrics.GetCounter("journal_client/cache_hits")->Increment();
+    metrics.GetCounter(telemetry::names::kJournalClientCacheHits)->Increment();
     return it->second;
   }
 
@@ -141,9 +166,25 @@ const JournalQueryCache::Entry& JournalQueryCache::Lookup(const JournalRequest& 
           PatchSubnetSnapshot(entry.subnets, std::move(delta.subnets), delta.tombstones);
           break;
       }
+#if FREMONT_AUDIT_ENABLED
+      AuditPatchedSnapshot("interface", entry.interfaces, delta.tombstones,
+                           [](const InterfaceRecord& a, const InterfaceRecord& b) {
+                             if (a.ts.last_changed != b.ts.last_changed) {
+                               return a.ts.last_changed < b.ts.last_changed;
+                             }
+                             return a.id < b.id;
+                           });
+      AuditPatchedSnapshot(
+          "gateway", entry.gateways, delta.tombstones,
+          [](const GatewayRecord& a, const GatewayRecord& b) { return a.id < b.id; });
+      AuditPatchedSnapshot("subnet", entry.subnets, delta.tombstones,
+                           [](const SubnetRecord& a, const SubnetRecord& b) {
+                             return a.subnet.network().value() < b.subnet.network().value();
+                           });
+#endif
       entry.generation = delta.generation;
       ++stats_.patches;
-      metrics.GetCounter("journal_client/cache_hits")->Increment();
+      metrics.GetCounter(telemetry::names::kJournalClientCacheHits)->Increment();
       return entry;
     }
     // Past the changelog horizon (or the delta failed): fall through to a
@@ -159,12 +200,12 @@ const JournalQueryCache::Entry& JournalQueryCache::Lookup(const JournalRequest& 
   JournalResponse resp = client_->RoundTrip(conditional);
   if (it != entries_.end() && resp.status == ResponseStatus::kNotModified) {
     ++stats_.validations;
-    metrics.GetCounter("journal_client/cache_hits")->Increment();
+    metrics.GetCounter(telemetry::names::kJournalClientCacheHits)->Increment();
     return it->second;
   }
 
   ++stats_.misses;
-  metrics.GetCounter("journal_client/cache_misses")->Increment();
+  metrics.GetCounter(telemetry::names::kJournalClientCacheMisses)->Increment();
   Entry entry;
   entry.generation = resp.generation;
   entry.interfaces = std::move(resp.interfaces);

@@ -4,6 +4,7 @@
 
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 
 namespace fremont {
 
@@ -69,14 +70,14 @@ ReplicationStats ReplicationPeer::Pull(JournalClient& local) {
   // pull, measured by the newest remote change it had been missing.
   auto& metrics = telemetry::MetricsRegistry::Global();
   if (ever_synced_ && newest > last_sync_) {
-    metrics.GetGauge("journal_replication/lag_us")->Set((newest - last_sync_).ToMicros());
+    metrics.GetGauge(telemetry::names::kJournalReplicationLagUs)->Set((newest - last_sync_).ToMicros());
   }
   last_sync_ = newest;
   ever_synced_ = true;
-  metrics.GetCounter("journal_replication/pulls")->Increment();
-  metrics.GetCounter("journal_replication/records_pulled")
+  metrics.GetCounter(telemetry::names::kJournalReplicationPulls)->Increment();
+  metrics.GetCounter(telemetry::names::kJournalReplicationRecordsPulled)
       ->Add(stats.interfaces_pulled + stats.gateways_pulled + stats.subnets_pulled);
-  metrics.GetCounter("journal_replication/new_or_changed")->Add(stats.new_or_changed);
+  metrics.GetCounter(telemetry::names::kJournalReplicationNewOrChanged)->Add(stats.new_or_changed);
   return stats;
 }
 

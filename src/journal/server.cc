@@ -4,6 +4,7 @@
 #include <string>
 
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 #include "src/telemetry/trace.h"
 #include "src/util/logging.h"
 
@@ -29,17 +30,17 @@ void JournalServer::MaybeCheckpoint() {
   if (now - last_checkpoint_ >= checkpoint_interval_) {
     journal_.SaveToFile(checkpoint_path_);
     last_checkpoint_ = now;
-    telemetry::MetricsRegistry::Global().GetCounter("journal_server/checkpoints")->Increment();
+    telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kJournalServerCheckpoints)->Increment();
   }
 }
 
 ByteBuffer JournalServer::HandleRequest(const ByteBuffer& request_bytes) {
   auto& metrics = telemetry::MetricsRegistry::Global();
-  metrics.GetCounter("journal_server/bytes_in")
+  metrics.GetCounter(telemetry::names::kJournalServerBytesIn)
       ->Add(static_cast<int64_t>(request_bytes.size()));
   auto request = JournalRequest::Decode(request_bytes);
   if (!request.has_value()) {
-    metrics.GetCounter("journal_server/malformed_requests")->Increment();
+    metrics.GetCounter(telemetry::names::kJournalServerMalformedRequests)->Increment();
     JournalResponse resp;
     resp.status = ResponseStatus::kMalformedRequest;
     return resp.Encode();
@@ -47,7 +48,7 @@ ByteBuffer JournalServer::HandleRequest(const ByteBuffer& request_bytes) {
   JournalResponse resp = Handle(*request);
   MaybeCheckpoint();
   ByteBuffer response_bytes = resp.Encode();
-  metrics.GetCounter("journal_server/bytes_out")
+  metrics.GetCounter(telemetry::names::kJournalServerBytesOut)
       ->Add(static_cast<int64_t>(response_bytes.size()));
   return response_bytes;
 }
@@ -105,9 +106,9 @@ BatchItemResult JournalServer::ApplyWrite(const JournalRequest& item, SimTime no
   r.changed = result.changed;
   auto& metrics = telemetry::MetricsRegistry::Global();
   if (r.created) {
-    metrics.GetCounter("journal_server/records_created")->Increment();
+    metrics.GetCounter(telemetry::names::kJournalServerRecordsCreated)->Increment();
   } else if (r.changed) {
-    metrics.GetCounter("journal_server/records_changed")->Increment();
+    metrics.GetCounter(telemetry::names::kJournalServerRecordsChanged)->Increment();
   }
   return r;
 }
@@ -116,7 +117,7 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
   ++requests_handled_;
   const SimTime now = clock_();
   auto& metrics = telemetry::MetricsRegistry::Global();
-  metrics.GetCounter(std::string("journal_server/ops_") + RequestTypeName(request.type))
+  metrics.GetCounter(std::string(telemetry::names::kJournalServerOpsPrefix) + RequestTypeName(request.type))
       ->Increment();
   auto& tracer = telemetry::Tracer::Global();
   if (tracer.enabled()) {
@@ -159,7 +160,7 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
         resp.status = ResponseStatus::kMalformedRequest;
         break;
       }
-      metrics.GetCounter("journal_server/batch_ops")
+      metrics.GetCounter(telemetry::names::kJournalServerBatchOps)
           ->Add(static_cast<int64_t>(request.batch.size()));
       resp.batch_results.reserve(request.batch.size());
       for (const auto& item : request.batch) {
@@ -224,7 +225,7 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
       break;
     }
     case RequestType::kGetChangedSince: {
-      metrics.GetCounter("journal_server/delta_ops")->Increment();
+      metrics.GetCounter(telemetry::names::kJournalServerDeltaOps)->Increment();
       const Journal::Delta delta =
           journal_.CollectChangesSince(request.changed_kind, request.since_generation);
       if (!delta.servable) {
@@ -266,11 +267,11 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
                         request.type == RequestType::kBatch;
   if (is_store && resp.status == ResponseStatus::kOk) {
     const JournalStats stats = journal_.Stats();
-    metrics.GetGauge("journal_server/interface_records")
+    metrics.GetGauge(telemetry::names::kJournalServerInterfaceRecords)
         ->Set(static_cast<int64_t>(stats.interface_count));
-    metrics.GetGauge("journal_server/gateway_records")
+    metrics.GetGauge(telemetry::names::kJournalServerGatewayRecords)
         ->Set(static_cast<int64_t>(stats.gateway_count));
-    metrics.GetGauge("journal_server/subnet_records")
+    metrics.GetGauge(telemetry::names::kJournalServerSubnetRecords)
         ->Set(static_cast<int64_t>(stats.subnet_count));
   }
   resp.generation = journal_.generation();

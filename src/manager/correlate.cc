@@ -4,6 +4,7 @@
 
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 #include "src/telemetry/trace.h"
 #include "src/util/string_util.h"
 
@@ -87,8 +88,8 @@ CorrelationReport Correlate(JournalClient& journal, int assumed_prefix, SimTime 
   }
 
   auto& metrics = telemetry::MetricsRegistry::Global();
-  metrics.GetCounter("correlate/passes")->Increment();
-  metrics.GetCounter("correlate/gateways_inferred")->Add(report.gateways_inferred_from_mac);
+  metrics.GetCounter(telemetry::names::kCorrelatePasses)->Increment();
+  metrics.GetCounter(telemetry::names::kCorrelateGatewaysInferred)->Add(report.gateways_inferred_from_mac);
   auto& tracer = telemetry::Tracer::Global();
   if (tracer.enabled()) {
     tracer.Record(now, telemetry::TraceEventKind::kCorrelationPass, "correlate",
@@ -258,6 +259,70 @@ void CorrelationState::ReevaluateGroups(std::vector<uint64_t>& dirty,
   }
 }
 
+#if FREMONT_AUDIT_ENABLED
+void CorrelationState::AuditState() const {
+  // Membership soundness: the MAC grouping must be exactly the has_mac
+  // interfaces, each in its own group once.
+  size_t grouped = 0;
+  for (const auto& [mac, members] : by_mac_) {
+    FREMONT_AUDIT_CHECK(!members.empty(),
+                        StringPrintf("empty group for mac=%llx",
+                                     static_cast<unsigned long long>(mac)));
+    grouped += members.size();
+    for (RecordId id : members) {
+      auto it = ifaces_.find(id);
+      FREMONT_AUDIT_CHECK(it != ifaces_.end(),
+                          StringPrintf("group mac=%llx holds unknown interface id=%u",
+                                       static_cast<unsigned long long>(mac), id));
+      FREMONT_AUDIT_CHECK(it->second.has_mac && it->second.mac == mac,
+                          StringPrintf("interface id=%u filed under mac=%llx it does not hold",
+                                       id, static_cast<unsigned long long>(mac)));
+      FREMONT_AUDIT_CHECK(std::count(members.begin(), members.end(), id) == 1,
+                          StringPrintf("interface id=%u appears twice in group mac=%llx", id,
+                                       static_cast<unsigned long long>(mac)));
+    }
+  }
+  size_t with_mac = 0;
+  for (const auto& [id, state] : ifaces_) {
+    if (state.has_mac) {
+      ++with_mac;
+    }
+  }
+  FREMONT_AUDIT_CHECK(grouped == with_mac,
+                      StringPrintf("%zu grouped members vs %zu interfaces with a MAC", grouped,
+                                   with_mac));
+
+  // Dirty-set soundness: stored classifications must match a from-scratch
+  // re-classification of every group, and the aggregate counters must match.
+  int gateway_groups = 0;
+  int same_subnet_groups = 0;
+  for (const auto& [mac, members] : by_mac_) {
+    const int fresh = ClassifyGroup(members);
+    auto cit = group_class_.find(mac);
+    const int stored = cit == group_class_.end() ? 0 : cit->second;
+    FREMONT_AUDIT_CHECK(fresh == stored,
+                        StringPrintf("group mac=%llx classifies as %d but is stored as %d",
+                                     static_cast<unsigned long long>(mac), fresh, stored));
+    if (fresh == 1) {
+      ++gateway_groups;
+    } else if (fresh == 2) {
+      ++same_subnet_groups;
+    }
+  }
+  for (const auto& [mac, cls] : group_class_) {
+    FREMONT_AUDIT_CHECK(by_mac_.contains(mac),
+                        StringPrintf("stale classification %d for vanished group mac=%llx", cls,
+                                     static_cast<unsigned long long>(mac)));
+  }
+  FREMONT_AUDIT_CHECK(gateway_groups_ == gateway_groups,
+                      StringPrintf("gateway_groups_=%d but %d groups classify as gateways",
+                                   gateway_groups_, gateway_groups));
+  FREMONT_AUDIT_CHECK(same_subnet_groups_ == same_subnet_groups,
+                      StringPrintf("same_subnet_groups_=%d but %d groups classify as same-subnet",
+                                   same_subnet_groups_, same_subnet_groups));
+}
+#endif  // FREMONT_AUDIT_ENABLED
+
 CorrelationReport CorrelationState::Update(JournalClient& journal, SimTime now) {
   auto& metrics = telemetry::MetricsRegistry::Global();
   std::vector<uint64_t> dirty;
@@ -288,9 +353,9 @@ CorrelationReport CorrelationState::Update(JournalClient& journal, SimTime now) 
       }
       generation_ = std::max(iface_delta.generation, subnet_delta.generation);
       ++incremental_passes_;
-      metrics.GetCounter("correlate/incremental_passes")->Increment();
+      metrics.GetCounter(telemetry::names::kCorrelateIncrementalPasses)->Increment();
       if (skipped > 0) {
-        metrics.GetCounter("correlate/records_skipped")->Add(skipped);
+        metrics.GetCounter(telemetry::names::kCorrelateRecordsSkipped)->Add(skipped);
       }
     } else {
       // Past the server's changelog horizon (or a different Journal
@@ -316,7 +381,7 @@ CorrelationReport CorrelationState::Update(JournalClient& journal, SimTime now) 
     generation_ = journal.last_seen_generation();
     initialized_ = true;
     ++full_rebuilds_;
-    metrics.GetCounter("correlate/full_rebuilds")->Increment();
+    metrics.GetCounter(telemetry::names::kCorrelateFullRebuilds)->Increment();
   }
 
   // Re-evaluate the groups touched by this pass; store observations for the
@@ -387,6 +452,10 @@ CorrelationReport CorrelationState::Update(JournalClient& journal, SimTime now) 
   } else {
     initialized_ = false;  // Horizon overtook us mid-pass; rebuild next time.
   }
+
+#if FREMONT_AUDIT_ENABLED
+  AuditState();
+#endif
 
   auto& tracer = telemetry::Tracer::Global();
   if (tracer.enabled()) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/journal/client.h"
+#include "src/util/audit.h"
 
 namespace fremont {
 
@@ -112,6 +113,13 @@ class CorrelationState {
   std::unordered_map<RecordId, SubnetState> subnets_;
   int full_rebuilds_ = 0;
   int incremental_passes_ = 0;
+
+#if FREMONT_AUDIT_ENABLED
+  // FREMONT_AUDIT=ON: dirty-set soundness. After Update(), every MAC group's
+  // stored classification must equal a fresh ClassifyGroup() of its members
+  // — if they differ, the dirty-set logic missed a group that changed.
+  void AuditState() const;
+#endif
 };
 
 }  // namespace fremont

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/names.h"
 #include "src/telemetry/trace.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -93,7 +94,7 @@ void DiscoveryManager::LaunchModule(ModuleState& state, std::vector<ExplorerRepo
   running_.push_back(std::move(module));
   ExplorerModule* launched = running_.back().get();
   ++in_flight_;
-  telemetry::MetricsRegistry::Global().GetGauge("manager/modules_in_flight")->Set(in_flight_);
+  telemetry::MetricsRegistry::Global().GetGauge(telemetry::names::kManagerModulesInFlight)->Set(in_flight_);
   // The completion callback may fire synchronously (degenerate runs) or many
   // sim-minutes later; `state` and `reports` outlive the tick either way.
   launched->Start(
@@ -105,7 +106,7 @@ void DiscoveryManager::FinishModule(ModuleState& state, const ExplorerReport& re
   reports->push_back(report);
   ++state.runs;
   --in_flight_;
-  telemetry::MetricsRegistry::Global().GetGauge("manager/modules_in_flight")->Set(in_flight_);
+  telemetry::MetricsRegistry::Global().GetGauge(telemetry::names::kManagerModulesInFlight)->Set(in_flight_);
   if (journal_ != nullptr) {
     // Growth since the previous completion boundary. With overlapping runs
     // this charges each completion the records landed since the one before
@@ -121,9 +122,9 @@ void DiscoveryManager::FinishModule(ModuleState& state, const ExplorerReport& re
   // case: it must not shorten the interval.
   ModuleSchedule& sched = state.schedule;
   auto& metrics = telemetry::MetricsRegistry::Global();
-  metrics.GetCounter("manager/module_runs")->Increment();
+  metrics.GetCounter(telemetry::names::kManagerModuleRuns)->Increment();
   metrics
-      .GetHistogram("manager/fruitfulness",
+      .GetHistogram(telemetry::names::kManagerFruitfulness,
                     {0, 1, 2, 5, 10, 20, 50, 100})
       ->Observe(std::max(0, report.new_info));
   const Duration before_interval = sched.current_interval;
@@ -133,11 +134,11 @@ void DiscoveryManager::FinishModule(ModuleState& state, const ExplorerReport& re
     sched.current_interval = std::min(sched.max_interval, sched.current_interval * 2);
   }
   if (sched.current_interval < before_interval) {
-    metrics.GetCounter("manager/interval_shortened")->Increment();
+    metrics.GetCounter(telemetry::names::kManagerIntervalShortened)->Increment();
   } else if (sched.current_interval > before_interval) {
-    metrics.GetCounter("manager/interval_lengthened")->Increment();
+    metrics.GetCounter(telemetry::names::kManagerIntervalLengthened)->Increment();
   } else {
-    metrics.GetCounter("manager/interval_held")->Increment();
+    metrics.GetCounter(telemetry::names::kManagerIntervalHeld)->Increment();
   }
   auto& tracer = telemetry::Tracer::Global();
   if (tracer.enabled()) {
@@ -154,7 +155,7 @@ void DiscoveryManager::FinishModule(ModuleState& state, const ExplorerReport& re
 
 std::vector<ExplorerReport> DiscoveryManager::Tick() {
   std::vector<ExplorerReport> reports;
-  telemetry::MetricsRegistry::Global().GetCounter("manager/ticks")->Increment();
+  telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kManagerTicks)->Increment();
   const SimTime now = events_->Now();
   std::vector<ModuleState*> due;
   for (auto& state : modules_) {
@@ -177,7 +178,7 @@ std::vector<ExplorerReport> DiscoveryManager::Tick() {
     // Cooperative launch: every due module schedules its probes into the
     // same event-queue pass, overlapping their reply/timeout waits.
     if (due.size() >= 2) {
-      telemetry::MetricsRegistry::Global().GetCounter("manager/concurrent_runs")->Increment();
+      telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kManagerConcurrentRuns)->Increment();
     }
     for (ModuleState* state : due) {
       LaunchModule(*state, &reports);

@@ -2,12 +2,14 @@
 
 #include <utility>
 
+#include "src/telemetry/names.h"
+
 namespace fremont {
 
 EventQueue::EventQueue() {
   auto& metrics = telemetry::MetricsRegistry::Global();
-  events_dispatched_ = metrics.GetCounter("sim/events_dispatched");
-  queue_depth_high_water_ = metrics.GetGauge("sim/queue_depth_high_water");
+  events_dispatched_ = metrics.GetCounter(telemetry::names::kSimEventsDispatched);
+  queue_depth_high_water_ = metrics.GetGauge(telemetry::names::kSimQueueDepthHighWater);
 }
 
 void EventQueue::ScheduleAt(SimTime when, Action action) {

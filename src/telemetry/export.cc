@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 
+#include "src/telemetry/names.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
 
@@ -30,8 +31,8 @@ void AppendHistogramJson(std::string* out, const Histogram& histogram) {
 }  // namespace
 
 void SyncExternalCounters(MetricsRegistry& registry) {
-  registry.GetCounter("log/warnings")->Set(Logging::warning_count());
-  registry.GetCounter("log/errors")->Set(Logging::error_count());
+  registry.GetCounter(names::kLogWarnings)->Set(Logging::warning_count());
+  registry.GetCounter(names::kLogErrors)->Set(Logging::error_count());
 }
 
 std::string ExportText(MetricsRegistry& registry) {

@@ -1,0 +1,22 @@
+#include "src/util/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.h"
+#include "src/util/string_util.h"
+
+namespace fremont {
+
+void AuditFailure(const char* file, int line, const char* expr,
+                  const std::string& detail) {
+  const std::string message =
+      StringPrintf("%s:%d audit failed: %s (%s)", file, line, expr, detail.c_str());
+  FLOG(kError) << message;
+  // The sink may be captured by a test or silenced by a benchmark; make sure
+  // the diagnostic reaches the operator before the process dies.
+  std::fprintf(stderr, "FREMONT_AUDIT: %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace fremont

@@ -1,0 +1,42 @@
+// Compile-time-gated invariant audits.
+//
+// A FREMONT_AUDIT=ON build (cmake -DFREMONT_AUDIT=ON, or tools/check.sh
+// audit) turns FREMONT_AUDIT_CHECK into a real check that logs the violated
+// invariant with a diagnostic and aborts; a plain build compiles it away
+// entirely, so audit sweeps can run O(state) verification on every mutation
+// without taxing the production hot paths. Subsystems keep their audit
+// routines in their own .cc files under #if FREMONT_AUDIT_ENABLED; this
+// header only supplies the gate and the fail-fast primitive.
+
+#ifndef SRC_UTIL_AUDIT_H_
+#define SRC_UTIL_AUDIT_H_
+
+#include <string>
+
+#if defined(FREMONT_AUDIT) && FREMONT_AUDIT
+#define FREMONT_AUDIT_ENABLED 1
+#else
+#define FREMONT_AUDIT_ENABLED 0
+#endif
+
+namespace fremont {
+
+// Logs "<file>:<line> audit failed: <expr> (<detail>)" at ERROR and aborts.
+// Out-of-line so the macro expansion stays a compare and a call.
+[[noreturn]] void AuditFailure(const char* file, int line, const char* expr,
+                               const std::string& detail);
+
+}  // namespace fremont
+
+#if FREMONT_AUDIT_ENABLED
+#define FREMONT_AUDIT_CHECK(cond, detail)                           \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::fremont::AuditFailure(__FILE__, __LINE__, #cond, (detail)); \
+    }                                                               \
+  } while (false)
+#else
+#define FREMONT_AUDIT_CHECK(cond, detail) ((void)0)
+#endif
+
+#endif  // SRC_UTIL_AUDIT_H_

@@ -1,0 +1,15 @@
+// Fixture dispatch with drift: kGet was added to the enum but never here.
+#include "src/journal/protocol.h"
+
+struct JournalServer {
+  int Handle(RequestType type);
+};
+
+int JournalServer::Handle(RequestType type) {
+  switch (type) {
+    case RequestType::kStore:
+      return 1;
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,6 @@
+// Fixture: a raw metric-name literal outside names.h (the violation).
+#include "src/telemetry/names.h"
+
+void Export(int& registry) {
+  GetCounter(registry, "fixture/stores_total");
+}

@@ -1,0 +1,13 @@
+// Fixture explorer: the raw Schedule here captures `this`, which dangles
+// once the run completes (the violation).
+#include "src/telemetry/names.h"
+
+struct Probe {
+  void Start();
+  void Fire();
+  int* queue = nullptr;
+};
+
+void Probe::Start() {
+  queue->Schedule(1, [this]() { Fire(); });
+}

@@ -1,0 +1,98 @@
+// fremont_lint's own coverage: each seeded fixture violation must be
+// flagged, the clean fixture and the live tree must pass. Fixture trees live
+// in tests/lint_fixtures/ and mirror the repo layout the rules key on.
+
+#include "tools/fremont_lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace fremont::lint {
+namespace {
+
+std::string Fixture(const std::string& name) {
+  return std::string(FREMONT_LINT_FIXTURES) + "/" + name;
+}
+
+std::string Dump(const std::vector<Issue>& issues) {
+  std::string out;
+  for (const Issue& issue : issues) {
+    out += issue.Format() + "\n";
+  }
+  return out;
+}
+
+bool AnyMessageContains(const std::vector<Issue>& issues, const std::string& needle) {
+  for (const Issue& issue : issues) {
+    if (issue.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(StripComments, RemovesCommentsKeepsStringsAndLines) {
+  const std::string src =
+      "int a; // trailing \"quoted\"\n"
+      "/* block\n   spanning */ int b;\n"
+      "const char* s = \"not // a comment\";\n";
+  const std::string out = StripComments(src);
+  EXPECT_EQ(out.find("trailing"), std::string::npos);
+  EXPECT_EQ(out.find("spanning"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+  EXPECT_NE(out.find("not // a comment"), std::string::npos);
+  // Newlines survive so line numbers stay stable.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(FremontLint, CleanFixturePassesAllRules) {
+  const std::vector<Issue> issues = RunAllRules(Fixture("clean"));
+  EXPECT_TRUE(issues.empty()) << Dump(issues);
+}
+
+TEST(FremontLint, MissingDispatchCaseIsFlagged) {
+  const std::vector<Issue> issues = CheckWireOpCoverage(Fixture("missing_dispatch"));
+  ASSERT_FALSE(issues.empty());
+  for (const Issue& issue : issues) {
+    EXPECT_EQ(issue.rule, "wire-op-coverage");
+  }
+  // kGet reaches the codec but not the server dispatch.
+  EXPECT_TRUE(AnyMessageContains(issues, "kGet")) << Dump(issues);
+  EXPECT_TRUE(AnyMessageContains(issues, "server dispatch")) << Dump(issues);
+  EXPECT_FALSE(AnyMessageContains(issues, "kStore")) << Dump(issues);
+  EXPECT_FALSE(RunAllRules(Fixture("missing_dispatch")).empty());
+}
+
+TEST(FremontLint, RawMetricLiteralIsFlagged) {
+  const std::vector<Issue> issues = CheckMetricNameLiterals(Fixture("raw_metric"));
+  ASSERT_EQ(issues.size(), 1u) << Dump(issues);
+  EXPECT_EQ(issues[0].rule, "metric-name-literal");
+  EXPECT_EQ(issues[0].file, "src/telemetry/export.cc");
+  EXPECT_GT(issues[0].line, 0);
+  EXPECT_TRUE(AnyMessageContains(issues, "fixture/stores_total")) << Dump(issues);
+  EXPECT_FALSE(RunAllRules(Fixture("raw_metric")).empty());
+}
+
+TEST(FremontLint, UnguardedScheduleIsFlagged) {
+  const std::vector<Issue> issues = CheckUnguardedSchedules(Fixture("unguarded_schedule"));
+  ASSERT_EQ(issues.size(), 1u) << Dump(issues);
+  EXPECT_EQ(issues[0].rule, "unguarded-schedule");
+  EXPECT_EQ(issues[0].file, "src/explorer/probe.cc");
+  EXPECT_TRUE(AnyMessageContains(issues, "ScheduleGuarded")) << Dump(issues);
+  EXPECT_FALSE(RunAllRules(Fixture("unguarded_schedule")).empty());
+}
+
+// The contract the tree ships under: the real repo lints clean. If this
+// fails, either real drift crept in (fix the code) or a rule got stricter
+// (fix the rule or migrate the tree in the same PR).
+TEST(FremontLint, LiveTreeIsClean) {
+  const std::vector<Issue> issues = RunAllRules(FREMONT_LINT_REPO_ROOT);
+  EXPECT_TRUE(issues.empty()) << Dump(issues);
+}
+
+}  // namespace
+}  // namespace fremont::lint

@@ -1,40 +1,82 @@
 #!/bin/sh
 # Builds the tree and runs the tier-1 test suite, optionally under a
-# sanitizer. Each mode gets its own build directory so sanitized and plain
-# objects never mix.
+# sanitizer or with invariant audits compiled in. Each mode gets its own
+# build directory so differently-instrumented objects never mix.
 #
 #   tools/check.sh            # plain build + ctest
 #   tools/check.sh asan       # AddressSanitizer build + ctest
 #   tools/check.sh ubsan      # UndefinedBehaviorSanitizer build + ctest
-#   tools/check.sh all        # all three, in that order
+#   tools/check.sh audit      # FREMONT_AUDIT=ON build + ctest (invariant audits)
+#   tools/check.sh lint       # build fremont_lint, run it over the repo
+#   tools/check.sh tidy       # clang-tidy over src/ tools/ bench/ (skips if absent)
+#   tools/check.sh all        # plain, asan, ubsan, audit, lint — in that order
 set -eu
 
 root=$(cd "$(dirname "$0")/.." && pwd)
 mode=${1:-plain}
 
+# Prefer Ninja when available; otherwise let CMake pick its default generator.
+if command -v ninja >/dev/null 2>&1; then
+  generator="-G Ninja"
+else
+  generator=""
+fi
+
+configure() {
+  # shellcheck disable=SC2086  # $generator is intentionally word-split
+  cmake -B "$1" -S "$root" $generator "$2" >/dev/null
+}
+
 run_one() {
   name=$1
-  sanitize=$2
+  cmake_flag=$2
   build_dir="$root/build-check-$name"
   echo "== $name: configure + build ($build_dir) =="
-  cmake -B "$build_dir" -S "$root" -G Ninja \
-    -DFREMONT_SANITIZE="$sanitize" >/dev/null
+  configure "$build_dir" "$cmake_flag"
   cmake --build "$build_dir" -j "$(nproc)"
   echo "== $name: ctest =="
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 }
 
+run_lint() {
+  build_dir="$root/build-check-lint"
+  echo "== lint: build fremont_lint ($build_dir) =="
+  configure "$build_dir" -DFREMONT_SANITIZE=
+  cmake --build "$build_dir" -j "$(nproc)" --target fremont_lint
+  echo "== lint: fremont_lint $root =="
+  "$build_dir/tools/fremont_lint/fremont_lint" "$root"
+}
+
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "check.sh: clang-tidy not installed — skipping tidy mode" >&2
+    exit 0
+  fi
+  build_dir="$root/build-check-tidy"
+  echo "== tidy: configure for compile_commands.json ($build_dir) =="
+  configure "$build_dir" -DFREMONT_SANITIZE=
+  echo "== tidy: clang-tidy over src/ tools/ bench/ =="
+  # shellcheck disable=SC2046
+  find "$root/src" "$root/tools" "$root/bench" -name '*.cc' -o -name '*.cpp' \
+    | sort | xargs clang-tidy -p "$build_dir" --quiet
+}
+
 case "$mode" in
-  plain) run_one plain "" ;;
-  asan) run_one asan address ;;
-  ubsan) run_one ubsan undefined ;;
+  plain) run_one plain -DFREMONT_SANITIZE= ;;
+  asan) run_one asan -DFREMONT_SANITIZE=address ;;
+  ubsan) run_one ubsan -DFREMONT_SANITIZE=undefined ;;
+  audit) run_one audit -DFREMONT_AUDIT=ON ;;
+  lint) run_lint ;;
+  tidy) run_tidy ;;
   all)
-    run_one plain ""
-    run_one asan address
-    run_one ubsan undefined
+    run_one plain -DFREMONT_SANITIZE=
+    run_one asan -DFREMONT_SANITIZE=address
+    run_one ubsan -DFREMONT_SANITIZE=undefined
+    run_one audit -DFREMONT_AUDIT=ON
+    run_lint
     ;;
   *)
-    echo "usage: $0 [plain|asan|ubsan|all]" >&2
+    echo "usage: $0 [plain|asan|ubsan|audit|lint|tidy|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,383 @@
+#include "tools/fremont_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fremont::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int LineOfOffset(const std::string& text, size_t offset) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + static_cast<ptrdiff_t>(
+                                                           std::min(offset, text.size())),
+                                         '\n'));
+}
+
+// All .h/.cc files under `dir`, sorted for deterministic reports.
+std::vector<fs::path> SourceFilesUnder(const fs::path& dir) {
+  std::vector<fs::path> files;
+  if (!fs::exists(dir)) {
+    return files;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cc") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string Relative(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root, ec);
+  return ec ? file.string() : rel.generic_string();
+}
+
+// Finds `name` at an identifier boundary starting at or after `from`;
+// npos when absent. `name` may contain "::" (boundary applies to its ends).
+size_t FindToken(const std::string& code, const std::string& name, size_t from = 0) {
+  size_t pos = code.find(name, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const size_t end = pos + name.size();
+    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) {
+      return pos;
+    }
+    pos = code.find(name, pos + 1);
+  }
+  return std::string::npos;
+}
+
+bool ContainsToken(const std::string& code, const std::string& name) {
+  return FindToken(code, name) != std::string::npos;
+}
+
+// Extracts the brace-balanced block that follows the first boundary match of
+// `name` (an enum or a qualified function definition). Empty when the name
+// or its opening brace is missing.
+std::string BlockAfter(const std::string& code, const std::string& name) {
+  const size_t at = FindToken(code, name);
+  if (at == std::string::npos) {
+    return {};
+  }
+  const size_t open = code.find('{', at);
+  if (open == std::string::npos) {
+    return {};
+  }
+  int depth = 0;
+  for (size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '{') {
+      ++depth;
+    } else if (code[i] == '}') {
+      --depth;
+      if (depth == 0) {
+        return code.substr(open, i - open + 1);
+      }
+    }
+  }
+  return {};
+}
+
+struct Literal {
+  int line = 0;
+  std::string text;  // Contents between the quotes, escapes left as written.
+};
+
+// String literals in comment-stripped code, with their line numbers.
+std::vector<Literal> ExtractStringLiterals(const std::string& code) {
+  std::vector<Literal> literals;
+  int line = 1;
+  bool in_string = false;
+  bool in_char = false;
+  Literal current;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      // A newline cannot appear inside a non-raw literal; recover from any
+      // tokenizer confusion rather than swallowing the rest of the file.
+      in_string = in_char = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\' && i + 1 < code.size()) {
+        current.text += c;
+        current.text += code[++i];
+      } else if (c == '"') {
+        in_string = false;
+        literals.push_back(current);
+      } else {
+        current.text += c;
+      }
+    } else if (in_char) {
+      if (c == '\\' && i + 1 < code.size()) {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+      current = Literal{line, ""};
+    } else if (c == '\'') {
+      in_char = true;
+    }
+  }
+  return literals;
+}
+
+// "family/name": lowercase identifier segments around exactly one slash —
+// the telemetry naming convention (see src/telemetry/names.h).
+bool LooksLikeMetricName(const std::string& text) {
+  const size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size() ||
+      text.find('/', slash + 1) != std::string::npos) {
+    return false;
+  }
+  const auto segment_ok = [](const std::string& s, size_t from, size_t to) {
+    for (size_t i = from; i < to; ++i) {
+      const char c = s[i];
+      if (!(std::islower(static_cast<unsigned char>(c)) != 0 ||
+            std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_')) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return segment_ok(text, 0, slash) && segment_ok(text, slash + 1, text.size());
+}
+
+}  // namespace
+
+std::string Issue::Format() const {
+  std::ostringstream out;
+  out << file;
+  if (line > 0) {
+    out << ":" << line;
+  }
+  out << ": [" << rule << "] " << message;
+  return out.str();
+}
+
+std::string StripComments(const std::string& source) {
+  std::string out = source;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < out.size() && out[i + 1] == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < out.size()) {
+          ++i;
+        } else if (c == '"' || c == '\n') {
+          state = State::kCode;  // Newline: recover from unterminated literal.
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < out.size()) {
+          ++i;
+        } else if (c == '\'' || c == '\n') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Issue> CheckWireOpCoverage(const std::string& root) {
+  std::vector<Issue> issues;
+  const fs::path protocol_h = fs::path(root) / "src/journal/protocol.h";
+  const std::string header = StripComments(ReadFile(protocol_h));
+  if (header.empty()) {
+    issues.push_back({"src/journal/protocol.h", 0, "wire-op-coverage",
+                      "cannot read the protocol header"});
+    return issues;
+  }
+
+  // Enumerators: identifiers starting with 'k' declared inside the
+  // `enum class RequestType` block.
+  const std::string enum_block = BlockAfter(header, "enum class RequestType");
+  std::vector<std::string> enumerators;
+  for (size_t i = 0; i < enum_block.size(); ++i) {
+    if (enum_block[i] == 'k' && (i == 0 || !IsIdentChar(enum_block[i - 1]))) {
+      size_t end = i;
+      while (end < enum_block.size() && IsIdentChar(enum_block[end])) {
+        ++end;
+      }
+      // Only declarations count: the next non-space char is '=' or ','/'}'.
+      size_t next = end;
+      while (next < enum_block.size() &&
+             std::isspace(static_cast<unsigned char>(enum_block[next])) != 0) {
+        ++next;
+      }
+      if (next < enum_block.size() &&
+          (enum_block[next] == '=' || enum_block[next] == ',' || enum_block[next] == '}')) {
+        enumerators.push_back(enum_block.substr(i, end - i));
+      }
+      i = end;
+    }
+  }
+  if (enumerators.empty()) {
+    issues.push_back({"src/journal/protocol.h", 0, "wire-op-coverage",
+                      "found no RequestType enumerators — enum moved or renamed?"});
+    return issues;
+  }
+
+  struct Surface {
+    const char* file;      // Repo-root-relative.
+    const char* function;  // Token that opens the definition.
+    const char* role;
+  };
+  const Surface kSurfaces[] = {
+      {"src/journal/protocol.cc", "JournalRequest::EncodeTo", "encoder"},
+      {"src/journal/protocol.cc", "JournalRequest::DecodeInto", "decoder"},
+      {"src/journal/server.cc", "JournalServer::Handle", "server dispatch"},
+      {"src/journal/protocol.h", "RequestTypeName", "telemetry name table"},
+  };
+  for (const Surface& surface : kSurfaces) {
+    const std::string code = StripComments(ReadFile(fs::path(root) / surface.file));
+    const std::string body = BlockAfter(code, surface.function);
+    if (body.empty()) {
+      issues.push_back({surface.file, 0, "wire-op-coverage",
+                        std::string("cannot find the ") + surface.role + " (" +
+                            surface.function + ") to check against RequestType"});
+      continue;
+    }
+    for (const std::string& enumerator : enumerators) {
+      if (!ContainsToken(body, enumerator)) {
+        issues.push_back({surface.file, 0, "wire-op-coverage",
+                          "RequestType::" + enumerator + " is not handled by the " +
+                              surface.role + " (" + surface.function + ")"});
+      }
+    }
+  }
+  return issues;
+}
+
+std::vector<Issue> CheckMetricNameLiterals(const std::string& root) {
+  std::vector<Issue> issues;
+  const fs::path src = fs::path(root) / "src";
+  for (const fs::path& file : SourceFilesUnder(src)) {
+    const std::string rel = Relative(file, root);
+    if (rel == "src/telemetry/names.h") {
+      continue;  // The one place raw metric names belong.
+    }
+    const std::string code = StripComments(ReadFile(file));
+    for (const Literal& literal : ExtractStringLiterals(code)) {
+      if (LooksLikeMetricName(literal.text)) {
+        issues.push_back({rel, literal.line, "metric-name-literal",
+                          "raw metric name \"" + literal.text +
+                              "\"; register it in src/telemetry/names.h and reference "
+                              "the constant"});
+      }
+    }
+  }
+  return issues;
+}
+
+std::vector<Issue> CheckUnguardedSchedules(const std::string& root) {
+  std::vector<Issue> issues;
+  for (const fs::path& file : SourceFilesUnder(fs::path(root) / "src/explorer")) {
+    const std::string code = StripComments(ReadFile(file));
+    size_t pos = 0;
+    while ((pos = FindToken(code, "Schedule", pos)) != std::string::npos) {
+      const size_t call = pos;
+      pos += 8;  // strlen("Schedule"); resume after the token either way.
+      size_t open = call + 8;
+      while (open < code.size() && std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+        ++open;
+      }
+      if (open >= code.size() || code[open] != '(') {
+        continue;  // A mention, not a call.
+      }
+      // The call's full argument extent, parenthesis-matched.
+      int depth = 0;
+      size_t close = open;
+      for (; close < code.size(); ++close) {
+        if (code[close] == '(') {
+          ++depth;
+        } else if (code[close] == ')') {
+          if (--depth == 0) {
+            break;
+          }
+        }
+      }
+      const std::string args = code.substr(open, close - open + 1);
+      const bool captures_this = ContainsToken(args, "this");
+      const bool captures_all =
+          args.find("[=]") != std::string::npos || args.find("[&]") != std::string::npos;
+      if (captures_this || captures_all) {
+        issues.push_back(
+            {Relative(file, root), LineOfOffset(code, call), "unguarded-schedule",
+             std::string("raw Schedule() whose callback captures ") +
+                 (captures_this ? "`this`" : "everything ([=]/[&])") +
+                 "; use ExplorerModule::ScheduleGuarded so the event dies with the run"});
+      }
+    }
+  }
+  return issues;
+}
+
+std::vector<Issue> RunAllRules(const std::string& root) {
+  std::vector<Issue> issues = CheckWireOpCoverage(root);
+  std::vector<Issue> metric = CheckMetricNameLiterals(root);
+  issues.insert(issues.end(), metric.begin(), metric.end());
+  std::vector<Issue> schedule = CheckUnguardedSchedules(root);
+  issues.insert(issues.end(), schedule.begin(), schedule.end());
+  return issues;
+}
+
+}  // namespace fremont::lint

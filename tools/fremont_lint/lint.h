@@ -1,0 +1,61 @@
+// fremont_lint: repo-specific correctness lint.
+//
+// A lightweight line/token scanner over src/ (no compiler dependency) that
+// enforces the contracts Fremont's subsystems share by convention:
+//
+//  1. wire-op-coverage — every RequestType enumerator declared in
+//     src/journal/protocol.h must be handled by the encoder
+//     (JournalRequest::EncodeTo), the decoder (JournalRequest::DecodeInto),
+//     the server dispatch (JournalServer::Handle), and the telemetry name
+//     table (RequestTypeName). Catches "added an op, forgot a case" drift
+//     that the compiler cannot (the switches have defaults or live in
+//     different translation units).
+//
+//  2. metric-name-literal — telemetry instruments must be registered through
+//     the constants in src/telemetry/names.h; a raw "family/name" string
+//     literal anywhere else under src/ is flagged. Catches typo'd
+//     near-duplicate counters that would silently fork a time series.
+//
+//  3. unguarded-schedule — explorer modules (src/explorer/) must schedule
+//     deferred work through ExplorerModule::ScheduleGuarded; a raw
+//     Schedule() call whose callback captures `this` (or captures
+//     everything with [=]/[&]) outlives Complete() and dangles once the
+//     Discovery Manager destroys the module mid-tick.
+//
+// The binary (tools/fremont_lint) runs all rules against a repo root and
+// exits nonzero on any finding; the library entry points below let the unit
+// test drive each rule against fixture trees.
+
+#ifndef TOOLS_FREMONT_LINT_LINT_H_
+#define TOOLS_FREMONT_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace fremont::lint {
+
+struct Issue {
+  std::string file;  // Repo-root-relative path.
+  int line = 0;      // 1-based; 0 when the issue is file-level.
+  std::string rule;  // "wire-op-coverage", "metric-name-literal", "unguarded-schedule".
+  std::string message;
+
+  std::string Format() const;  // "file:line: [rule] message"
+};
+
+// Replaces //- and /*-style comments with spaces (newlines kept, so line
+// numbers survive) while leaving string/char literal contents intact.
+// Exposed for tests.
+std::string StripComments(const std::string& source);
+
+// Individual rules; `root` is the repo root holding src/.
+std::vector<Issue> CheckWireOpCoverage(const std::string& root);
+std::vector<Issue> CheckMetricNameLiterals(const std::string& root);
+std::vector<Issue> CheckUnguardedSchedules(const std::string& root);
+
+// All rules, in the order above.
+std::vector<Issue> RunAllRules(const std::string& root);
+
+}  // namespace fremont::lint
+
+#endif  // TOOLS_FREMONT_LINT_LINT_H_

@@ -1,0 +1,39 @@
+// fremont_lint CLI: run the repo-specific lint rules against a source tree.
+//
+//   fremont_lint [repo-root]     # default: current directory
+//
+// Exit status: 0 clean, 1 findings, 2 usage / not a Fremont tree.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/fremont_lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  if (argc == 2) {
+    root = argv[1];
+  } else if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [repo-root]\n", argv[0]);
+    return 2;
+  }
+  if (!std::filesystem::is_directory(std::filesystem::path(root) / "src")) {
+    std::fprintf(stderr, "fremont_lint: %s has no src/ directory — not a Fremont tree?\n",
+                 root.c_str());
+    return 2;
+  }
+
+  const std::vector<fremont::lint::Issue> issues = fremont::lint::RunAllRules(root);
+  for (const auto& issue : issues) {
+    std::fprintf(stderr, "%s\n", issue.Format().c_str());
+  }
+  if (!issues.empty()) {
+    std::fprintf(stderr, "fremont_lint: %zu issue%s\n", issues.size(),
+                 issues.size() == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("fremont_lint: clean\n");
+  return 0;
+}
