@@ -32,6 +32,7 @@
 #include "src/present/views.h"
 #include "src/sim/simulator.h"
 #include "src/sim/topology.h"
+#include "src/telemetry/chrome_export.h"
 #include "src/telemetry/export.h"
 
 using namespace fremont;
@@ -117,12 +118,16 @@ int main(int argc, char** argv) {
     snm << ExportSunNetManager(gateways, subnets, interfaces);
     std::ofstream dot(out_dir + "/fremont-topology.dot");
     dot << ExportGraphvizDot(gateways, subnets, interfaces);
-    // Telemetry for the whole run; fremont_report --telemetry reads this.
+    // Telemetry for the whole run; fremont_report --telemetry reads this,
+    // and fremont_report trace/--chrome-trace read its embedded trace events.
     std::ofstream telemetry_out(out_dir + "/fremont-telemetry.json");
     telemetry_out << telemetry::ExportJson();
+    // The same events, ready for chrome://tracing / Perfetto.
+    std::ofstream chrome_out(out_dir + "/fremont-chrome-trace.json");
+    chrome_out << telemetry::ExportChromeTrace(telemetry::Tracer::Global().Events());
   }
-  std::printf("Wrote %s/fremont-topology.{snm,dot}, fremont-telemetry.json, journal "
-              "checkpoint, and schedule file.\n",
+  std::printf("Wrote %s/fremont-topology.{snm,dot}, fremont-telemetry.json, "
+              "fremont-chrome-trace.json, journal checkpoint, and schedule file.\n",
               out_dir.c_str());
   std::printf("\nSchedule after adaptation:\n%s",
               FormatScheduleFile(manager.ExportSchedule()).c_str());

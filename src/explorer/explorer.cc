@@ -30,7 +30,13 @@ void ExplorerModule::Start(CompletionFn done) {
   running_ = true;
   done_ = std::move(done);
   report_.started = events_->Now();
-  TraceModuleStart(key_.c_str(), report_.started);
+  // make_current = false: the run outlives this call. The span still parents
+  // on whatever is current here (the Discovery Manager's tick span), and
+  // ScheduleGuarded re-activates it for each of the run's events.
+  run_span_.emplace(key_.c_str(), report_.started, telemetry::Tracer::Global(),
+                    telemetry::SpanContext{}, /*make_current=*/false);
+  run_span_->RecordStart(telemetry::TraceEventKind::kModuleRunStart);
+  const telemetry::CurrentSpanScope scope(telemetry::Tracer::Global(), run_span_->context());
   StartImpl();
 }
 
@@ -55,6 +61,17 @@ void ExplorerModule::Complete() {
   alive_.reset();
   report_.finished = events_->Now();
   RecordModuleReport(key_.c_str(), report_);
+  if (run_span_.has_value()) {
+    run_span_->End(telemetry::TraceEventKind::kModuleRunEnd, report_.finished,
+                   StringPrintf("discovered=%d new=%d sent=%llu", report_.discovered,
+                                report_.new_info,
+                                static_cast<unsigned long long>(report_.packets_sent)));
+    telemetry::MetricsRegistry::Global()
+        .GetHistogram(std::string(telemetry::names::kModuleRunLatencyUsPrefix) + key_,
+                      telemetry::DurationBucketsMicros())
+        ->Observe(run_span_->duration_us());
+    run_span_.reset();
+  }
   CompletionFn done = std::move(done_);
   done_ = nullptr;
   if (done) {
@@ -78,15 +95,16 @@ ExplorerReport ExplorerModule::Run() {
 
 void ExplorerModule::ScheduleGuarded(Duration delay, std::function<void()> fn) {
   std::weak_ptr<bool> alive = alive_;
-  events_->Schedule(delay, [alive = std::move(alive), fn = std::move(fn)]() {
+  // The event body executes under the run span's context, so every trace
+  // event and outgoing Journal frame it produces joins the module's trace.
+  const telemetry::SpanContext ctx =
+      run_span_.has_value() ? run_span_->context() : telemetry::SpanContext{};
+  events_->Schedule(delay, [alive = std::move(alive), ctx, fn = std::move(fn)]() {
     if (alive.lock() != nullptr) {
+      const telemetry::CurrentSpanScope scope(telemetry::Tracer::Global(), ctx);
       fn();
     }
   });
-}
-
-void TraceModuleStart(const char* key, SimTime now) {
-  telemetry::Tracer::Global().Record(now, telemetry::TraceEventKind::kModuleRunStart, key);
 }
 
 void RecordModuleReport(const char* key, const ExplorerReport& report) {
@@ -103,10 +121,6 @@ void RecordModuleReport(const char* key, const ExplorerReport& report) {
       ->Add(static_cast<uint64_t>(report.new_info > 0 ? report.new_info : 0));
   registry.GetHistogram(prefix + telemetry::names::kSuffixRunDurationUs, telemetry::DurationBucketsMicros())
       ->Observe(report.Elapsed().ToMicros());
-  telemetry::Tracer::Global().Record(
-      report.finished, telemetry::TraceEventKind::kModuleRunEnd, key,
-      StringPrintf("discovered=%d new=%d sent=%llu", report.discovered, report.new_info,
-                   static_cast<unsigned long long>(report.packets_sent)));
 }
 
 }  // namespace fremont

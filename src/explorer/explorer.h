@@ -18,6 +18,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -25,6 +26,7 @@
 #include "src/journal/records.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/host.h"
+#include "src/telemetry/span.h"
 #include "src/util/sim_time.h"
 
 namespace fremont {
@@ -128,17 +130,21 @@ class ExplorerModule {
   bool running_ = false;
   bool finished_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  // The run span: opened by Start(), closed by Complete(). Not "current" by
+  // RAII (the run executes from the event queue, not Start()'s scope) —
+  // ScheduleGuarded re-activates it around every guarded event instead, so
+  // probe traces and Journal flushes triggered mid-run land under it.
+  std::optional<telemetry::Span> run_span_;
 };
 
-// Telemetry hooks shared by every Explorer Module; the ExplorerModule driver
-// calls them so individual modules no longer do. `key` is the module's
+// Metrics hook shared by every Explorer Module; the ExplorerModule driver
+// calls it so individual modules no longer do. `key` is the module's
 // metric-family name, lowercase (matching the Discovery Manager registration
-// names: "arpwatch", "etherhostprobe", "seqping", ...). TraceModuleStart
-// opens the run span; RecordModuleReport closes it and publishes the run's
+// names: "arpwatch", "etherhostprobe", "seqping", ...). Publishes the run's
 // counters (<key>/runs, <key>/packets_sent, <key>/replies_received,
 // <key>/discovered, <key>/records_written, <key>/new_info) plus the
-// <key>/run_duration_us histogram into the global registry.
-void TraceModuleStart(const char* key, SimTime now);
+// <key>/run_duration_us histogram into the global registry. The run's trace
+// events come from the driver's run span, not from here.
 void RecordModuleReport(const char* key, const ExplorerReport& report);
 
 }  // namespace fremont

@@ -1,5 +1,9 @@
 #include "src/journal/batch_writer.h"
 
+#include "src/telemetry/names.h"
+#include "src/telemetry/span.h"
+#include "src/util/string_util.h"
+
 namespace fremont {
 
 JournalBatchWriter::JournalBatchWriter(JournalClient* client, Clock clock)
@@ -94,7 +98,14 @@ void JournalBatchWriter::Flush() {
   }
   const size_t count = count_;
   count_ = 0;  // Before the round trip: the slots are no longer "queued".
+  // The flush span parents on whatever is current (a module-run span when a
+  // probe triggered the flush) and is itself current across StoreBatch, so
+  // the client stamps it into the batch frame's wire context.
+  const SimTime flush_start = clock_ ? clock_() : SimTime();
+  telemetry::Span span(telemetry::names::kSpanJournalFlush, flush_start);
   auto results = client_->StoreBatch(pending_.data(), count);
+  span.End(telemetry::TraceEventKind::kJournalRpc, clock_ ? clock_() : flush_start,
+           StringPrintf("batch_flush n=%zu", count));
   ++totals_.flushes;
   for (const auto& result : results) {
     ++totals_.records_written;

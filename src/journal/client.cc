@@ -6,6 +6,7 @@
 #include "src/journal/query_cache.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/names.h"
+#include "src/telemetry/span.h"
 
 namespace fremont {
 
@@ -115,7 +116,10 @@ std::vector<BatchItemResult> JournalClient::StoreBatch(const JournalRequest* ite
       ->Observe(static_cast<int64_t>(count));
   const size_t reusable = scratch_.capacity();
   scratch_.Clear();
-  JournalRequest::EncodeBatchFrame(scratch_, DiscoverySource::kNone, items, count);
+  // The caller's active span (the batch writer's flush span, usually) rides
+  // the wire so the server-side store lands in the same trace.
+  JournalRequest::EncodeBatchFrame(scratch_, DiscoverySource::kNone, items, count,
+                                   telemetry::CurrentSpanContext(telemetry::Tracer::Global()));
   JournalResponse resp = Transact(reusable);
   if (resp.status != ResponseStatus::kOk || resp.batch_results.size() != count) {
     // Whole-batch failure: report every item as failed rather than lying
@@ -162,6 +166,9 @@ JournalClient::DeltaResult JournalClient::GetChangedSince(RecordKind kind,
   req.type = RequestType::kGetChangedSince;
   req.changed_kind = kind;
   req.since_generation = since_generation;
+  // Carry the caller's span (the correlation pass) so the server can link
+  // the served delta's producer traces to this consumer.
+  req.span_ctx = telemetry::CurrentSpanContext(telemetry::Tracer::Global());
   JournalResponse resp = RoundTrip(req);
   auto& metrics = telemetry::MetricsRegistry::Global();
   DeltaResult result;

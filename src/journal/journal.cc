@@ -84,7 +84,7 @@ void Journal::TouchInterface(RecordId id) {
 // --- Change feed ---------------------------------------------------------------
 
 void Journal::LogChange(RecordKind kind, ChangeKind change, RecordId id) {
-  pending_changes_.push_back(PendingChange{kind, change, id});
+  pending_changes_.push_back(PendingChange{kind, change, id, store_trace_id_, store_span_id_});
 }
 
 void Journal::BumpGeneration() {
@@ -98,6 +98,9 @@ void Journal::BumpGeneration() {
       // would be a bug, not a resurrection; keep the tombstone.
       ChangelogEntry entry = *pos->second;
       entry.generation = generation_;
+      // Provenance follows the latest writer, matching the generation stamp.
+      entry.trace_id = pending.trace_id;
+      entry.span_id = pending.span_id;
       if (pending.change == ChangeKind::kDelete) {
         entry.change = ChangeKind::kDelete;
       }
@@ -106,7 +109,8 @@ void Journal::BumpGeneration() {
       pos->second = std::prev(changelog_.end());
       continue;
     }
-    changelog_.push_back(ChangelogEntry{generation_, pending.kind, pending.change, pending.id});
+    changelog_.push_back(ChangelogEntry{generation_, pending.kind, pending.change, pending.id,
+                                        pending.trace_id, pending.span_id});
     changelog_pos_[key] = std::prev(changelog_.end());
     while (changelog_.size() > changelog_capacity_) {
       const ChangelogEntry& oldest = changelog_.front();

@@ -123,6 +123,11 @@ class Journal {
     RecordKind kind = RecordKind::kInterface;
     ChangeKind change = ChangeKind::kStore;
     RecordId id = kInvalidRecordId;
+    // Provenance: the span that produced this change (0 when the store was
+    // untraced). In-memory only — the changelog is never persisted, so these
+    // never touch the snapshot format. Compaction keeps the latest writer.
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
   };
 
   struct Delta {
@@ -144,6 +149,15 @@ class Journal {
   // Bounds the changelog; evicts oldest entries (advancing the horizon) if
   // the new capacity is smaller than the current size.
   void set_changelog_capacity(size_t capacity);
+
+  // Provenance context stamped onto changelog entries produced by subsequent
+  // mutations (plain ids — the Journal stays telemetry-agnostic). The server
+  // sets this from the request's span context for the duration of a dispatch
+  // and clears it after; (0, 0) means "untraced".
+  void set_store_context(uint64_t trace_id, uint64_t span_id) {
+    store_trace_id_ = trace_id;
+    store_span_id_ = span_id;
+  }
 
   // Verifies index ↔ record consistency; test-only.
   bool CheckIndexes() const;
@@ -214,12 +228,17 @@ class Journal {
     RecordKind kind;
     ChangeKind change;
     RecordId id;
+    uint64_t trace_id;
+    uint64_t span_id;
   };
   std::vector<PendingChange> pending_changes_;
   std::list<ChangelogEntry> changelog_;
   std::unordered_map<uint64_t, std::list<ChangelogEntry>::iterator> changelog_pos_;
   size_t changelog_capacity_ = 8192;
   uint64_t changelog_horizon_ = 0;
+  // Current provenance context (see set_store_context).
+  uint64_t store_trace_id_ = 0;
+  uint64_t store_span_id_ = 0;
 
 #if FREMONT_AUDIT_ENABLED
   // FREMONT_AUDIT=ON: re-verifies the changelog invariants (compaction to

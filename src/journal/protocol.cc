@@ -85,6 +85,29 @@ namespace {
 // Wire sentinel for "batch item carries no observation time".
 constexpr int64_t kNoObsTime = INT64_MIN;
 
+// Trailing span-context field on v2 frames: tag, length, then the three ids.
+// The tag byte can never open a valid request (request types stop at
+// kGetChangedSince), so a truncated-frame misread cannot alias it.
+constexpr uint8_t kSpanContextTag = 0xC5;
+constexpr uint8_t kSpanContextLen = 24;  // 3 × u64.
+
+// The only frame types that may carry the span-context trailer. Gets reuse
+// their trailing bytes for `if_generation`, and v1 types stay byte-frozen.
+bool CarriesSpanContext(RequestType type) {
+  return type == RequestType::kBatch || type == RequestType::kGetChangedSince;
+}
+
+void EncodeSpanContext(ByteWriter& writer, const telemetry::SpanContext& ctx) {
+  if (!ctx.valid()) {
+    return;
+  }
+  writer.WriteU8(kSpanContextTag);
+  writer.WriteU8(kSpanContextLen);
+  writer.WriteU64(ctx.trace_id);
+  writer.WriteU64(ctx.span_id);
+  writer.WriteU64(ctx.parent_span_id);
+}
+
 bool IsGetType(RequestType type) {
   return type == RequestType::kGetInterfaces || type == RequestType::kGetGateways ||
          type == RequestType::kGetSubnets || type == RequestType::kGetStats;
@@ -92,7 +115,8 @@ bool IsGetType(RequestType type) {
 }  // namespace
 
 void JournalRequest::EncodeBatchFrame(ByteWriter& writer, DiscoverySource source,
-                                      const JournalRequest* items, size_t count) {
+                                      const JournalRequest* items, size_t count,
+                                      const telemetry::SpanContext& ctx) {
   writer.Reserve(16 + count * 104);
   writer.WriteU8(static_cast<uint8_t>(RequestType::kBatch));
   writer.WriteU16(SourceBit(source));
@@ -102,11 +126,12 @@ void JournalRequest::EncodeBatchFrame(ByteWriter& writer, DiscoverySource source
     writer.WriteI64(item.obs_time.has_value() ? item.obs_time->ToMicros() : kNoObsTime);
     item.EncodeTo(writer);
   }
+  EncodeSpanContext(writer, ctx);
 }
 
 void JournalRequest::EncodeTo(ByteWriter& writer) const {
   if (type == RequestType::kBatch) {
-    EncodeBatchFrame(writer, source, batch.data(), batch.size());
+    EncodeBatchFrame(writer, source, batch.data(), batch.size(), span_ctx);
     return;
   }
   writer.Reserve(96);
@@ -151,6 +176,12 @@ void JournalRequest::EncodeTo(ByteWriter& writer) const {
   // request is byte-identical and a v1 decoder's trailing bytes are ignored.
   if (if_generation != 0 && IsGetType(type)) {
     writer.WriteU64(if_generation);
+  }
+  // Span-context trailer, v2 frames only (kBatch appends it inside
+  // EncodeBatchFrame). Gets cannot carry it — their trailing bytes already
+  // mean `if_generation` — and v1 store/delete frames stay byte-frozen.
+  if (CarriesSpanContext(type)) {
+    EncodeSpanContext(writer, span_ctx);
   }
 }
 
@@ -238,6 +269,19 @@ bool JournalRequest::DecodeInto(JournalRequest& out, ByteReader& reader, bool in
   // next item — only a top-level Get may consume a trailing generation tag.
   if (!inside_batch && IsGetType(out.type) && reader.remaining() >= 8) {
     out.if_generation = reader.ReadU64();
+  }
+  // Span-context trailer. Only consumed when the tag and length validate, so
+  // a frame with unrelated trailing bytes decodes exactly as before (trailing
+  // junk has always been ignored) with the zero context.
+  out.span_ctx = telemetry::SpanContext{};
+  if (!inside_batch && CarriesSpanContext(out.type) && reader.remaining() >= 2 + kSpanContextLen) {
+    const ByteBuffer trailer = reader.PeekRemaining();
+    if (trailer[0] == kSpanContextTag && trailer[1] == kSpanContextLen) {
+      reader.Skip(2);
+      out.span_ctx.trace_id = reader.ReadU64();
+      out.span_ctx.span_id = reader.ReadU64();
+      out.span_ctx.parent_span_id = reader.ReadU64();
+    }
   }
   return reader.ok();
 }

@@ -26,6 +26,13 @@
 //    ones (tombstones — which Selector::kModifiedSince cannot express), or
 //    kFullResyncRequired when `since_generation` predates the Journal's
 //    changelog horizon. See DESIGN.md §11.
+//  - v2 request frames (kBatch, kGetChangedSince) may carry the sender's
+//    telemetry SpanContext as a trailing tagged field, so one trace links a
+//    probe's batch flush to the server-side store and a correlation pass to
+//    the deltas it consumed. v1 frames never carry it (their trailing bytes
+//    already mean `if_generation`), and the tag is only consumed when it
+//    validates — absent context decodes to the zero SpanContext. See
+//    DESIGN.md §13.
 
 #ifndef SRC_JOURNAL_PROTOCOL_H_
 #define SRC_JOURNAL_PROTOCOL_H_
@@ -36,6 +43,7 @@
 #include <vector>
 
 #include "src/journal/records.h"
+#include "src/telemetry/trace.h"
 
 namespace fremont {
 
@@ -153,6 +161,10 @@ struct JournalRequest {
   // caller's snapshot was taken at (the response covers (since, now]).
   RecordKind changed_kind = RecordKind::kInterface;
   uint64_t since_generation = 0;
+  // v2: the sender's span context, encoded as a trailing tagged field on
+  // kBatch/kGetChangedSince frames only (v1 framing stays byte-identical).
+  // The zero context means "no span" and is never put on the wire.
+  telemetry::SpanContext span_ctx;
 
   // Appends this request to `writer` (the scratch-buffer hot path).
   void EncodeTo(ByteWriter& writer) const;
@@ -162,9 +174,11 @@ struct JournalRequest {
   // Encodes a kBatch frame directly from a span of sub-requests —
   // byte-identical to wrapping them in a kBatch JournalRequest, without
   // constructing one. JournalBatchWriter flushes straight from its slot pool
-  // through this.
+  // through this. A valid `ctx` is appended as the trailing span-context
+  // field; the zero context leaves the frame untouched.
   static void EncodeBatchFrame(ByteWriter& writer, DiscoverySource source,
-                               const JournalRequest* items, size_t count);
+                               const JournalRequest* items, size_t count,
+                               const telemetry::SpanContext& ctx = telemetry::SpanContext{});
 
  private:
   // Decodes into `out` in place — batch items land directly in their slot of

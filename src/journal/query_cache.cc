@@ -7,6 +7,7 @@
 #include "src/journal/client.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/names.h"
+#include "src/telemetry/trace.h"
 #include "src/util/audit.h"
 #include "src/util/string_util.h"
 
@@ -185,6 +186,16 @@ const JournalQueryCache::Entry& JournalQueryCache::Lookup(const JournalRequest& 
       entry.generation = delta.generation;
       ++stats_.patches;
       metrics.GetCounter(telemetry::names::kJournalClientCacheHits)->Increment();
+      // Untimed breadcrumb in the consumer's trace: the snapshot this pass
+      // read was repaired from deltas, not refetched.
+      auto& tracer = telemetry::Tracer::Global();
+      if (tracer.enabled()) {
+        tracer.Record(SimTime::FromMicros(0), telemetry::TraceEventKind::kChangelogDelta,
+                      "query_cache",
+                      StringPrintf("patched kind=%d records=%zu tombstones=%zu",
+                                   static_cast<int>(*kind), delta.record_count(),
+                                   delta.tombstones.size()));
+      }
       return entry;
     }
     // Past the changelog horizon (or the delta failed): fall through to a

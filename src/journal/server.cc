@@ -1,12 +1,17 @@
 #include "src/journal/server.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/names.h"
+#include "src/telemetry/span.h"
 #include "src/telemetry/trace.h"
 #include "src/util/logging.h"
+#include "src/util/string_util.h"
 
 namespace fremont {
 
@@ -119,11 +124,29 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
   auto& metrics = telemetry::MetricsRegistry::Global();
   metrics.GetCounter(std::string(telemetry::names::kJournalServerOpsPrefix) + RequestTypeName(request.type))
       ->Increment();
-  auto& tracer = telemetry::Tracer::Global();
-  if (tracer.enabled()) {
-    tracer.Record(now, telemetry::TraceEventKind::kJournalRpc, "journal_server",
-                  RequestTypeName(request.type));
-  }
+  // The server-side span: parented on the span context the request carried
+  // over the wire (if any), so a client's flush and the store it caused share
+  // one trace. While the dispatch runs, the Journal stamps every changelog
+  // entry with this span — that is what lets a later delta read name the
+  // store that produced each change.
+  telemetry::Span span(telemetry::names::kSpanJournalServer, now, telemetry::Tracer::Global(),
+                       request.span_ctx);
+  journal_.set_store_context(span.context().trace_id, span.context().span_id);
+  JournalResponse resp = Dispatch(request, now);
+  journal_.set_store_context(0, 0);
+  const SimTime after = clock_();
+  span.End(telemetry::TraceEventKind::kJournalRpc, after, RequestTypeName(request.type));
+  metrics
+      .GetHistogram(std::string(telemetry::names::kJournalServerOpLatencyUsPrefix) +
+                        RequestTypeName(request.type),
+                    telemetry::DurationBucketsMicros())
+      ->Observe(span.duration_us());
+  resp.generation = journal_.generation();
+  return resp;
+}
+
+JournalResponse JournalServer::Dispatch(const JournalRequest& request, SimTime now) {
+  auto& metrics = telemetry::MetricsRegistry::Global();
   JournalResponse resp;
 
   // Conditional read: the client proved it already has the answer for this
@@ -133,8 +156,7 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
       request.type == RequestType::kGetSubnets || request.type == RequestType::kGetStats;
   if (is_get && request.if_generation != 0 && request.if_generation == journal_.generation()) {
     resp.status = ResponseStatus::kNotModified;
-    resp.generation = journal_.generation();
-    return resp;
+    return resp;  // Handle() stamps resp.generation on every path.
   }
 
   switch (request.type) {
@@ -257,6 +279,38 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
             break;
         }
       }
+      // Causal link: one kChangelogDelta event per distinct producer span in
+      // the served delta, recorded into the *producer's* trace and naming the
+      // consuming trace in its detail. That is the join fremont_report's
+      // provenance view follows from a store to the correlation pass that
+      // read it.
+      auto& tracer = telemetry::Tracer::Global();
+      if (tracer.enabled() && !delta.entries.empty()) {
+        const uint64_t consumer_trace = telemetry::CurrentSpanContext(tracer).trace_id;
+        std::vector<std::pair<std::pair<uint64_t, uint64_t>, size_t>> producers;
+        for (const auto& entry : delta.entries) {
+          if (entry.trace_id == 0) {
+            continue;
+          }
+          const std::pair<uint64_t, uint64_t> key{entry.trace_id, entry.span_id};
+          auto it = std::find_if(producers.begin(), producers.end(),
+                                 [&key](const auto& p) { return p.first == key; });
+          if (it == producers.end()) {
+            producers.emplace_back(key, 1);
+          } else {
+            ++it->second;
+          }
+        }
+        for (const auto& [producer, n] : producers) {
+          const telemetry::SpanContext link{producer.first, tracer.NewSpanId(), producer.second};
+          tracer.RecordSpan(now, telemetry::TraceEventKind::kChangelogDelta,
+                            telemetry::names::kSpanJournalServer,
+                            StringPrintf("kind=%d n=%zu consumed_by_trace=%" PRIu64,
+                                         static_cast<int>(request.changed_kind), n,
+                                         consumer_trace),
+                            link, 0);
+        }
+      }
       break;
     }
   }
@@ -274,7 +328,6 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
     metrics.GetGauge(telemetry::names::kJournalServerSubnetRecords)
         ->Set(static_cast<int64_t>(stats.subnet_count));
   }
-  resp.generation = journal_.generation();
   return resp;
 }
 

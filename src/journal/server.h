@@ -43,6 +43,10 @@ class JournalServer {
 
  private:
   void MaybeCheckpoint();
+  // The request switch, minus per-request telemetry. Handle() wraps every
+  // call in a server span (parented on the request's wire span context) and
+  // feeds the per-op latency histogram from the span's duration.
+  JournalResponse Dispatch(const JournalRequest& request, SimTime now);
   // Applies one store/delete (top-level or batch item). `now` is the server
   // clock; batch items carrying an observation time are stamped with it,
   // clamped so a client can never post-date the Journal.

@@ -5,6 +5,7 @@
 #include "src/journal/batch_writer.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/names.h"
+#include "src/telemetry/span.h"
 #include "src/telemetry/trace.h"
 #include "src/util/string_util.h"
 
@@ -20,6 +21,10 @@ size_t CountDistinct(std::vector<uint32_t>& nets) {
 }  // namespace
 
 CorrelationReport Correlate(JournalClient& journal, int assumed_prefix, SimTime now) {
+  // Current for the whole pass: the reads below and the batched gateway
+  // stores all carry this span's context (the stores via the flush span it
+  // parents), so the pass is one traceable unit.
+  telemetry::Span span(telemetry::names::kSpanCorrelate, now);
   CorrelationReport report;
   const auto interfaces = journal.GetInterfaces();
   const auto subnets = journal.GetSubnets();
@@ -90,13 +95,10 @@ CorrelationReport Correlate(JournalClient& journal, int assumed_prefix, SimTime 
   auto& metrics = telemetry::MetricsRegistry::Global();
   metrics.GetCounter(telemetry::names::kCorrelatePasses)->Increment();
   metrics.GetCounter(telemetry::names::kCorrelateGatewaysInferred)->Add(report.gateways_inferred_from_mac);
-  auto& tracer = telemetry::Tracer::Global();
-  if (tracer.enabled()) {
-    tracer.Record(now, telemetry::TraceEventKind::kCorrelationPass, "correlate",
-                  StringPrintf("gateways_inferred=%d orphan_subnets=%d",
-                               report.gateways_inferred_from_mac,
-                               static_cast<int>(report.subnets_without_gateway.size())));
-  }
+  span.End(telemetry::TraceEventKind::kCorrelationPass, now,
+           StringPrintf("gateways_inferred=%d orphan_subnets=%d",
+                        report.gateways_inferred_from_mac,
+                        static_cast<int>(report.subnets_without_gateway.size())));
   return report;
 }
 
@@ -324,6 +326,9 @@ void CorrelationState::AuditState() const {
 #endif  // FREMONT_AUDIT_ENABLED
 
 CorrelationReport CorrelationState::Update(JournalClient& journal, SimTime now) {
+  // Opened before the delta reads so they carry this span over the wire —
+  // that is what lets the server link each producer's trace to this pass.
+  telemetry::Span span(telemetry::names::kSpanCorrelate, now);
   auto& metrics = telemetry::MetricsRegistry::Global();
   std::vector<uint64_t> dirty;
   int64_t skipped = 0;
@@ -457,13 +462,10 @@ CorrelationReport CorrelationState::Update(JournalClient& journal, SimTime now) 
   AuditState();
 #endif
 
-  auto& tracer = telemetry::Tracer::Global();
-  if (tracer.enabled()) {
-    tracer.Record(now, telemetry::TraceEventKind::kCorrelationPass, "correlate",
-                  StringPrintf("incremental gateways=%d orphan_subnets=%d",
-                               report.gateways_inferred_from_mac,
-                               static_cast<int>(report.subnets_without_gateway.size())));
-  }
+  span.End(telemetry::TraceEventKind::kCorrelationPass, now,
+           StringPrintf("incremental gateways=%d orphan_subnets=%d",
+                        report.gateways_inferred_from_mac,
+                        static_cast<int>(report.subnets_without_gateway.size())));
   return report;
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/names.h"
+#include "src/telemetry/span.h"
 #include "src/telemetry/trace.h"
 #include "src/util/logging.h"
 #include "src/util/string_util.h"
@@ -167,6 +168,11 @@ std::vector<ExplorerReport> DiscoveryManager::Tick() {
     return reports;
   }
 
+  // The tick's root span: module launches below inherit it (their run spans
+  // parent on the current span at Start()), and so does the correlation
+  // update — one trace covers everything this tick caused.
+  telemetry::Span tick_span(telemetry::names::kSpanManagerTick, now);
+
   if (serial_) {
     // Historical order: each due module runs to completion before the next
     // starts, exactly as the blocking Run() loop did.
@@ -195,6 +201,8 @@ std::vector<ExplorerReport> DiscoveryManager::Tick() {
     // excluded from module growth by the baseline reset in LaunchModule().
     last_correlation_ = correlation_->Update(*journal_, events_->Now());
   }
+  tick_span.End(telemetry::TraceEventKind::kManagerTick, events_->Now(),
+                StringPrintf("modules=%zu", due.size()));
   return reports;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cstdlib>
 #include <map>
 
 #include "src/net/oui.h"
@@ -227,6 +228,96 @@ std::string RuntimeStatisticsView() {
   const auto& tracer = telemetry::Tracer::Global();
   out += StringPrintf("--- trace ring: %" PRIu64 " recorded, %" PRIu64 " dropped (capacity %zu) ---\n",
                       tracer.recorded_count(), tracer.dropped_count(), tracer.capacity());
+  return out;
+}
+
+namespace {
+
+// One provenance line: sim time, kind, module, span identity, duration and
+// detail when present.
+std::string ProvenanceLine(const telemetry::TraceEvent& event, int depth) {
+  std::string line = StringPrintf("%10" PRId64 "us %*s%s %s", event.at.ToMicros(), depth * 2,
+                                  "", telemetry::TraceEventKindName(event.kind),
+                                  event.module.c_str());
+  if (event.duration_us >= 0) {
+    line += StringPrintf(" [%" PRId64 "us]", event.duration_us);
+  }
+  if (!event.detail.empty()) {
+    line += StringPrintf("  %s", event.detail.c_str());
+  }
+  if (event.ctx.valid()) {
+    line += StringPrintf("  (span %" PRIu64 " <- %" PRIu64 ")", event.ctx.span_id,
+                         event.ctx.parent_span_id);
+  }
+  return line + "\n";
+}
+
+// The trace id named in a kChangelogDelta detail's "consumed_by_trace=" tag,
+// or 0.
+uint64_t ConsumedByTrace(const std::string& detail) {
+  static constexpr char kTag[] = "consumed_by_trace=";
+  const size_t pos = detail.find(kTag);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(detail.c_str() + pos + sizeof(kTag) - 1, nullptr, 10);
+}
+
+}  // namespace
+
+std::string TraceProvenanceView(const std::vector<telemetry::TraceEvent>& events,
+                                uint64_t trace_id) {
+  std::string out = StringPrintf("=== Trace %" PRIu64 " ===\n", trace_id);
+  std::vector<const telemetry::TraceEvent*> own;
+  for (const auto& event : events) {
+    if (event.ctx.trace_id == trace_id) {
+      own.push_back(&event);
+    }
+  }
+  if (own.empty()) {
+    out += "(no events recorded for this trace — it may have wrapped out of the ring)\n";
+    return out;
+  }
+  std::stable_sort(own.begin(), own.end(),
+                   [](const auto* a, const auto* b) { return a->at < b->at; });
+
+  // Depth = ancestor count through the spans this trace recorded. A span
+  // whose parent never recorded an event (e.g. still open) floors at the
+  // depth of its deepest known ancestor.
+  std::map<uint64_t, uint64_t> parent;
+  for (const auto* event : own) {
+    parent[event->ctx.span_id] = event->ctx.parent_span_id;
+  }
+  const auto depth_of = [&parent](uint64_t span_id) {
+    int depth = 0;
+    auto it = parent.find(span_id);
+    uint64_t cur = it == parent.end() ? 0 : it->second;
+    while (cur != 0 && depth < 12) {  // Bound: malformed chains cannot loop.
+      ++depth;
+      it = parent.find(cur);
+      cur = it == parent.end() ? 0 : it->second;
+    }
+    return depth;
+  };
+
+  std::vector<uint64_t> consumers;
+  for (const auto* event : own) {
+    out += ProvenanceLine(*event, depth_of(event->ctx.span_id));
+    const uint64_t consumer = ConsumedByTrace(event->detail);
+    if (consumer != 0 && consumer != trace_id &&
+        std::find(consumers.begin(), consumers.end(), consumer) == consumers.end()) {
+      consumers.push_back(consumer);
+    }
+  }
+
+  for (const uint64_t consumer : consumers) {
+    out += StringPrintf("--- consumed by trace %" PRIu64 " ---\n", consumer);
+    for (const auto& event : events) {
+      if (event.ctx.trace_id == consumer) {
+        out += ProvenanceLine(event, 1);
+      }
+    }
+  }
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/journal/records.h"
+#include "src/telemetry/trace.h"
 
 namespace fremont {
 
@@ -54,6 +55,15 @@ std::string VendorInventory(const std::vector<InterfaceRecord>& interfaces);
 // view — per-module probe/yield counts, Journal server load, scheduler
 // adaptation — next to the data views above.
 std::string RuntimeStatisticsView();
+
+// Causal provenance of one trace: its events indented by span parent/child
+// depth (a module run over its probes, flushes, and the server-side stores
+// they caused), followed by the traces that later consumed its changelog
+// entries — the kChangelogDelta links the Journal server records name the
+// consuming trace, and this view follows them one hop so an operator can see
+// which correlation pass acted on a probe's discovery.
+std::string TraceProvenanceView(const std::vector<telemetry::TraceEvent>& events,
+                                uint64_t trace_id);
 
 }  // namespace fremont
 

@@ -1,0 +1,224 @@
+#include "src/telemetry/chrome_export.h"
+
+#include <cinttypes>
+#include <cstdlib>
+
+#include "src/telemetry/export.h"
+#include "src/util/string_util.h"
+
+namespace fremont::telemetry {
+namespace {
+
+// --- Writing -------------------------------------------------------------------
+
+void AppendChromeEvent(std::string* out, const TraceEvent& event, bool first) {
+  *out += first ? "\n " : ",\n ";
+  *out += StringPrintf("{\"name\": \"%s\", \"cat\": \"%s\"", JsonEscape(event.module).c_str(),
+                       TraceEventKindName(event.kind));
+  if (event.duration_us >= 0) {
+    // Span completion: a complete ("X") slice covering the span's interval.
+    *out += StringPrintf(", \"ph\": \"X\", \"ts\": %" PRId64 ", \"dur\": %" PRId64,
+                         event.at.ToMicros(), event.duration_us);
+  } else {
+    // Point event: a thread-scoped instant.
+    *out += StringPrintf(", \"ph\": \"i\", \"ts\": %" PRId64 ", \"s\": \"t\"",
+                         event.at.ToMicros());
+  }
+  // One row per trace: the viewer then shows each causal chain as a band.
+  *out += StringPrintf(", \"pid\": 1, \"tid\": %" PRIu64, event.ctx.trace_id);
+  *out += StringPrintf(", \"args\": {\"detail\": \"%s\"", JsonEscape(event.detail).c_str());
+  if (event.ctx.valid()) {
+    *out += StringPrintf(", \"span_id\": %" PRIu64 ", \"parent_span_id\": %" PRIu64,
+                         event.ctx.span_id, event.ctx.parent_span_id);
+  }
+  *out += "}}";
+}
+
+// --- Reading -------------------------------------------------------------------
+
+// Skips whitespace, then matches `literal` exactly; advances *pos past it.
+bool SkipLiteral(const std::string& text, size_t* pos, const char* literal) {
+  size_t p = *pos;
+  while (p < text.size() && (text[p] == ' ' || text[p] == '\n' || text[p] == '\r' ||
+                             text[p] == '\t')) {
+    ++p;
+  }
+  for (const char* c = literal; *c != '\0'; ++c, ++p) {
+    if (p >= text.size() || text[p] != *c) {
+      return false;
+    }
+  }
+  *pos = p;
+  return true;
+}
+
+bool ParseInt(const std::string& text, size_t* pos, int64_t* out) {
+  size_t p = *pos;
+  const size_t start = p;
+  if (p < text.size() && text[p] == '-') {
+    ++p;
+  }
+  while (p < text.size() && text[p] >= '0' && text[p] <= '9') {
+    ++p;
+  }
+  if (p == start || (text[start] == '-' && p == start + 1)) {
+    return false;
+  }
+  *out = std::strtoll(text.substr(start, p - start).c_str(), nullptr, 10);
+  *pos = p;
+  return true;
+}
+
+// Reads a JSON string starting after its opening quote (the caller consumes
+// that via SkipLiteral); undoes JsonEscape's escapes.
+bool ParseQuotedString(const std::string& text, size_t* pos, std::string* out) {
+  out->clear();
+  size_t p = *pos;
+  while (p < text.size()) {
+    const char c = text[p];
+    if (c == '"') {
+      *pos = p + 1;
+      return true;
+    }
+    if (c != '\\') {
+      out->push_back(c);
+      ++p;
+      continue;
+    }
+    if (p + 1 >= text.size()) {
+      return false;
+    }
+    const char esc = text[p + 1];
+    p += 2;
+    switch (esc) {
+      case '"':
+        out->push_back('"');
+        break;
+      case '\\':
+        out->push_back('\\');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'u': {
+        if (p + 4 > text.size()) {
+          return false;
+        }
+        const long code = std::strtol(text.substr(p, 4).c_str(), nullptr, 16);
+        out->push_back(static_cast<char>(code));
+        p += 4;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+bool KindFromName(const std::string& name, TraceEventKind* out) {
+  for (int k = 0; k <= static_cast<int>(TraceEventKind::kManagerTick); ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    if (name == TraceEventKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    AppendChromeEvent(&out, event, first);
+    first = false;
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool ParseTelemetryTraceEvents(const std::string& document, std::vector<TraceEvent>* out) {
+  out->clear();
+  const std::string expected_prefix = StringPrintf("{\"schema\": \"%s\"", kJsonSchemaName);
+  if (document.compare(0, expected_prefix.size(), expected_prefix) != 0) {
+    return false;
+  }
+  const size_t array = document.find("\"events\": [");
+  if (array == std::string::npos) {
+    return true;  // Statistics-only document: valid, no events.
+  }
+  size_t pos = array + std::string("\"events\": [").size();
+  if (SkipLiteral(document, &pos, "]")) {
+    return true;  // Empty events array.
+  }
+  while (true) {
+    TraceEvent event;
+    int64_t at_us = 0;
+    std::string kind_name;
+    if (!SkipLiteral(document, &pos, "{\"at_us\": ") || !ParseInt(document, &pos, &at_us) ||
+        !SkipLiteral(document, &pos, ", \"kind\": \"") ||
+        !ParseQuotedString(document, &pos, &kind_name) ||
+        !SkipLiteral(document, &pos, ", \"module\": \"") ||
+        !ParseQuotedString(document, &pos, &event.module) ||
+        !SkipLiteral(document, &pos, ", \"detail\": \"") ||
+        !ParseQuotedString(document, &pos, &event.detail)) {
+      out->clear();
+      return false;
+    }
+    event.at = SimTime::FromMicros(at_us);
+    if (!KindFromName(kind_name, &event.kind)) {
+      out->clear();
+      return false;
+    }
+    int64_t value = 0;
+    if (SkipLiteral(document, &pos, ", \"trace_id\": ")) {
+      if (!ParseInt(document, &pos, &value)) {
+        out->clear();
+        return false;
+      }
+      event.ctx.trace_id = static_cast<uint64_t>(value);
+      if (!SkipLiteral(document, &pos, ", \"span_id\": ") || !ParseInt(document, &pos, &value)) {
+        out->clear();
+        return false;
+      }
+      event.ctx.span_id = static_cast<uint64_t>(value);
+      if (!SkipLiteral(document, &pos, ", \"parent_span_id\": ") ||
+          !ParseInt(document, &pos, &value)) {
+        out->clear();
+        return false;
+      }
+      event.ctx.parent_span_id = static_cast<uint64_t>(value);
+    }
+    if (SkipLiteral(document, &pos, ", \"duration_us\": ")) {
+      if (!ParseInt(document, &pos, &value)) {
+        out->clear();
+        return false;
+      }
+      event.duration_us = value;
+    }
+    if (!SkipLiteral(document, &pos, "}")) {
+      out->clear();
+      return false;
+    }
+    out->push_back(std::move(event));
+    if (SkipLiteral(document, &pos, ",")) {
+      continue;
+    }
+    if (SkipLiteral(document, &pos, "]")) {
+      return true;
+    }
+    out->clear();
+    return false;
+  }
+}
+
+}  // namespace fremont::telemetry

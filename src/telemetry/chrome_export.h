@@ -1,0 +1,37 @@
+// Chrome trace_event exporter and the matching offline event reader.
+//
+// ExportChromeTrace turns a batch of TraceEvents into the JSON Object Format
+// understood by chrome://tracing and Perfetto: span completions become "X"
+// (complete) events with their sim-time duration, point events become "i"
+// (instant) events. Each trace gets its own tid row, so one discovery tick's
+// probe → flush → server-store → correlation chain reads as one horizontal
+// band in the viewer.
+//
+// ParseTelemetryTraceEvents is the inverse of ExportJson's "events" array:
+// it reads a fremont.telemetry.v1 document (the file campus_discovery writes
+// next to its checkpoint) back into TraceEvents, so fremont_report can build
+// Chrome traces and provenance views offline, without a live tracer.
+
+#ifndef SRC_TELEMETRY_CHROME_EXPORT_H_
+#define SRC_TELEMETRY_CHROME_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/telemetry/trace.h"
+
+namespace fremont::telemetry {
+
+// Chrome trace_event JSON ("traceEvents" object form). Timestamps are
+// sim-time microseconds.
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
+
+// Extracts the trace events embedded in a fremont.telemetry.v1 JSON
+// document. Returns false (leaving `out` empty) when the document does not
+// carry that schema; a document without an "events" array parses to an empty
+// vector successfully.
+bool ParseTelemetryTraceEvents(const std::string& document, std::vector<TraceEvent>* out);
+
+}  // namespace fremont::telemetry
+
+#endif  // SRC_TELEMETRY_CHROME_EXPORT_H_

@@ -14,7 +14,7 @@ void AppendHistogramJson(std::string* out, const Histogram& histogram) {
                        ", \"max\": %" PRId64 ", \"buckets\": [",
                        histogram.count(), histogram.sum(), histogram.min(), histogram.max());
   const auto& bounds = histogram.bounds();
-  const auto& counts = histogram.bucket_counts();
+  const auto counts = histogram.bucket_counts();
   for (size_t i = 0; i < counts.size(); ++i) {
     if (i > 0) {
       *out += ", ";
@@ -30,13 +30,16 @@ void AppendHistogramJson(std::string* out, const Histogram& histogram) {
 
 }  // namespace
 
-void SyncExternalCounters(MetricsRegistry& registry) {
+void SyncExternalCounters(MetricsRegistry& registry, const Tracer& tracer) {
   registry.GetCounter(names::kLogWarnings)->Set(Logging::warning_count());
   registry.GetCounter(names::kLogErrors)->Set(Logging::error_count());
+  registry.GetCounter(names::kTelemetryTraceRecorded)->Set(tracer.recorded_count());
+  registry.GetCounter(names::kTelemetryTraceDropped)->Set(tracer.dropped_count());
 }
 
-std::string ExportText(MetricsRegistry& registry) {
-  SyncExternalCounters(registry);
+std::string ExportText(MetricsRegistry& registry, const Tracer& tracer) {
+  SyncExternalCounters(registry, tracer);
+  const auto lock = registry.ExportLock();
   std::string out = "=== telemetry ===\n";
   out += StringPrintf("--- %zu counters ---\n", registry.counters().size());
   for (const auto& [name, counter] : registry.counters()) {
@@ -44,8 +47,8 @@ std::string ExportText(MetricsRegistry& registry) {
   }
   out += StringPrintf("--- %zu gauges ---\n", registry.gauges().size());
   for (const auto& [name, gauge] : registry.gauges()) {
-    out += StringPrintf("  %-44s %12" PRId64 "  (max %" PRId64 ")\n", name.c_str(), gauge.value(),
-                        gauge.max_value());
+    out += StringPrintf("  %-44s %12" PRId64 "  (min %" PRId64 ", max %" PRId64 ")\n",
+                        name.c_str(), gauge.value(), gauge.min_value(), gauge.max_value());
   }
   out += StringPrintf("--- %zu histograms ---\n", registry.histograms().size());
   for (const auto& [name, histogram] : registry.histograms()) {
@@ -54,8 +57,10 @@ std::string ExportText(MetricsRegistry& registry) {
                                   static_cast<double>(histogram.count())
                             : 0.0;
     out += StringPrintf("  %-44s count=%-8" PRIu64 " min=%-10" PRId64 " mean=%-12.1f max=%" PRId64
-                        "\n",
-                        name.c_str(), histogram.count(), histogram.min(), mean, histogram.max());
+                        " p50=%-10.1f p90=%-10.1f p99=%.1f\n",
+                        name.c_str(), histogram.count(), histogram.min(), mean, histogram.max(),
+                        histogram.ApproxPercentile(0.50), histogram.ApproxPercentile(0.90),
+                        histogram.ApproxPercentile(0.99));
   }
   return out;
 }
@@ -93,7 +98,8 @@ std::string JsonEscape(const std::string& text) {
 
 std::string ExportJson(MetricsRegistry& registry, const Tracer& tracer,
                        size_t max_trace_events) {
-  SyncExternalCounters(registry);
+  SyncExternalCounters(registry, tracer);
+  const auto lock = registry.ExportLock();
   std::string out;
   out += StringPrintf("{\"schema\": \"%s\",\n \"counters\": {", kJsonSchemaName);
   bool first = true;
@@ -105,9 +111,10 @@ std::string ExportJson(MetricsRegistry& registry, const Tracer& tracer,
   out += "},\n \"gauges\": {";
   first = true;
   for (const auto& [name, gauge] : registry.gauges()) {
-    out += StringPrintf("%s\"%s\": {\"value\": %" PRId64 ", \"max\": %" PRId64 "}",
+    out += StringPrintf("%s\"%s\": {\"value\": %" PRId64 ", \"max\": %" PRId64
+                        ", \"min\": %" PRId64 "}",
                         first ? "" : ", ", JsonEscape(name).c_str(), gauge.value(),
-                        gauge.max_value());
+                        gauge.max_value(), gauge.min_value());
     first = false;
   }
   out += "},\n \"histograms\": {";
@@ -127,10 +134,19 @@ std::string ExportJson(MetricsRegistry& registry, const Tracer& tracer,
     for (size_t i = start; i < events.size(); ++i) {
       const TraceEvent& event = events[i];
       out += StringPrintf("%s\n  {\"at_us\": %" PRId64
-                          ", \"kind\": \"%s\", \"module\": \"%s\", \"detail\": \"%s\"}",
+                          ", \"kind\": \"%s\", \"module\": \"%s\", \"detail\": \"%s\"",
                           i == start ? "" : ",", event.at.ToMicros(),
                           TraceEventKindName(event.kind), JsonEscape(event.module).c_str(),
                           JsonEscape(event.detail).c_str());
+      if (event.ctx.valid()) {
+        out += StringPrintf(", \"trace_id\": %" PRIu64 ", \"span_id\": %" PRIu64
+                            ", \"parent_span_id\": %" PRIu64,
+                            event.ctx.trace_id, event.ctx.span_id, event.ctx.parent_span_id);
+      }
+      if (event.duration_us >= 0) {
+        out += StringPrintf(", \"duration_us\": %" PRId64, event.duration_us);
+      }
+      out += "}";
     }
     out += "]";
   }

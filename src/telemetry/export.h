@@ -4,7 +4,9 @@
 // fremont_report --telemetry prints it, the bench binaries embed it in their
 // BENCH_*.json result files, and tests/telemetry_test.cc pins its shape.
 // Keys are emitted in sorted order (the registry's std::map order), so equal
-// telemetry state always serializes to identical bytes.
+// telemetry state always serializes to identical bytes. Derivable values
+// (histogram percentiles) appear only in the text dump, never in the JSON —
+// they can always be recomputed from the buckets.
 
 #ifndef SRC_TELEMETRY_EXPORT_H_
 #define SRC_TELEMETRY_EXPORT_H_
@@ -18,22 +20,29 @@ namespace fremont::telemetry {
 
 inline constexpr char kJsonSchemaName[] = "fremont.telemetry.v1";
 
-// Copies tallies kept outside the registry (Logging's warning/error counts)
-// into it as "log/..." counters. Both exporters call this first, so exported
-// documents always carry them.
-void SyncExternalCounters(MetricsRegistry& registry);
+// Copies tallies kept outside the registry into it: Logging's warning/error
+// counts as "log/..." counters and the tracer's ring statistics as
+// "telemetry/trace_recorded" / "telemetry/trace_dropped" — a wrapped ring is
+// visible in every export instead of silently truncating history. Both
+// exporters call this first, so exported documents always carry them.
+void SyncExternalCounters(MetricsRegistry& registry, const Tracer& tracer = Tracer::Global());
 
 // Aligned-column dump of every instrument, for terminals and logs.
-std::string ExportText(MetricsRegistry& registry = MetricsRegistry::Global());
+// Histograms include interpolated p50/p90/p99 columns.
+std::string ExportText(MetricsRegistry& registry = MetricsRegistry::Global(),
+                       const Tracer& tracer = Tracer::Global());
 
 // The stable JSON document:
 //   {"schema": "fremont.telemetry.v1",
 //    "counters": {name: value, ...},
-//    "gauges": {name: {"value": v, "max": m}, ...},
+//    "gauges": {name: {"value": v, "max": m, "min": lo}, ...},
 //    "histograms": {name: {"count": n, "sum": s, "min": lo, "max": hi,
 //                          "buckets": [{"le": bound|"inf", "count": c}, ...]}, ...},
 //    "trace": {"capacity": n, "recorded": n, "dropped": n,
 //              "events": [{"at_us": t, "kind": k, "module": m, "detail": d}, ...]}}
+// Events recorded inside a span additionally carry "trace_id", "span_id",
+// "parent_span_id", and span completions "duration_us" — all additive, so
+// span-free documents are byte-identical to pre-span ones.
 // `max_trace_events` bounds the embedded trace tail (0 = omit the events
 // array entirely, keeping just the ring statistics).
 std::string ExportJson(MetricsRegistry& registry = MetricsRegistry::Global(),

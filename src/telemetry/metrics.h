@@ -3,9 +3,16 @@
 // Every subsystem (the Explorer Modules, the Journal client and server, the
 // Discovery Manager, the simulator's event queue) registers its metrics here
 // under a "<module>/<metric>" name, e.g. "seqping/packets_sent" or
-// "journal_server/ops_store_interface". Instruments are plain integer
-// updates with no locking — the simulator is single-threaded by design, and
-// hot paths cache the instrument pointer so the name lookup happens once.
+// "journal_server/ops_store_interface". Hot paths cache the instrument
+// pointer so the name lookup happens once.
+//
+// Thread safety: instrument updates are relaxed atomics (a counter bump is
+// one fetch_add; gauge/histogram extremes are CAS loops), and registration
+// is mutex-guarded over node-based maps, so previously returned pointers
+// stay valid while other threads register. This is the contract the
+// multi-threaded event queue (ROADMAP item 2) needs: readers see values that
+// are exact once writers quiesce, and exporters take ExportLock() for a
+// consistent walk of the instrument set.
 //
 // Exporters (src/telemetry/export.h) walk the registry to produce the text
 // dump and the stable JSON document consumed by fremont_report --telemetry.
@@ -13,8 +20,10 @@
 #ifndef SRC_TELEMETRY_METRICS_H_
 #define SRC_TELEMETRY_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,64 +33,98 @@ namespace fremont::telemetry {
 // subsystems that keep their own tallies (e.g. Logging's warning count).
 class Counter {
  public:
-  void Increment() { ++value_; }
-  void Add(uint64_t delta) { value_ += delta; }
-  void Set(uint64_t value) { value_ = value; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Set(uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
-// Point-in-time level (queue depth, record count). Tracks its high-water
-// mark so a one-shot export still shows the peak.
+// Point-in-time level (queue depth, record count). Tracks its high- and
+// low-water marks so a one-shot export still shows the extremes — both are
+// relative to the initial level 0, so a gauge that only ever rises keeps
+// min 0 and one that dips below its start is observable through min.
 class Gauge {
  public:
   void Set(int64_t value) {
-    value_ = value;
-    if (value > max_value_) {
-      max_value_ = value;
-    }
+    value_.store(value, std::memory_order_relaxed);
+    UpdateExtremes(value);
   }
-  void Add(int64_t delta) { Set(value_ + delta); }
-  int64_t value() const { return value_; }
-  int64_t max_value() const { return max_value_; }
-  void Reset() { value_ = max_value_ = 0; }
+  void Add(int64_t delta) {
+    const int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    UpdateExtremes(now);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max_value() const { return max_value_.load(std::memory_order_relaxed); }
+  int64_t min_value() const { return min_value_.load(std::memory_order_relaxed); }
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_value_.store(0, std::memory_order_relaxed);
+    min_value_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  int64_t value_ = 0;
-  int64_t max_value_ = 0;
+  void UpdateExtremes(int64_t value) {
+    int64_t seen = max_value_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_value_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+    seen = min_value_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_value_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_value_{0};
+  std::atomic<int64_t> min_value_{0};
 };
 
 // Fixed-bucket histogram. Bucket i counts observations with
 // value <= bounds[i]; one implicit overflow bucket counts the rest.
+// Bounds are fixed at construction; all tallies are relaxed atomics.
 class Histogram {
  public:
   explicit Histogram(std::vector<int64_t> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   void Observe(int64_t value);
 
-  uint64_t count() const { return count_; }
-  int64_t sum() const { return sum_; }
-  int64_t min() const { return min_; }
-  int64_t max() const { return max_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  // 0 while empty, like the pre-atomic histogram.
+  int64_t min() const;
+  int64_t max() const;
   const std::vector<int64_t>& bounds() const { return bounds_; }
-  // bucket_counts().size() == bounds().size() + 1 (last is overflow).
-  const std::vector<uint64_t>& bucket_counts() const { return bucket_counts_; }
+  // Snapshot; size() == bounds().size() + 1 (last is overflow).
+  std::vector<uint64_t> bucket_counts() const;
+  // Linear-interpolated percentile estimate from the bucket tallies,
+  // p in [0, 1] (0.5 = median). Edge buckets are tightened by the observed
+  // min/max, so a single-valued histogram reports that value exactly.
+  // Returns 0 while empty.
+  double ApproxPercentile(double p) const;
   void Reset();
 
  private:
-  std::vector<int64_t> bounds_;
-  std::vector<uint64_t> bucket_counts_;
-  uint64_t count_ = 0;
-  int64_t sum_ = 0;
-  int64_t min_ = 0;
-  int64_t max_ = 0;
+  static constexpr int64_t kEmptyMin = INT64_MAX;
+  static constexpr int64_t kEmptyMax = INT64_MIN;
+
+  const std::vector<int64_t> bounds_;
+  std::vector<std::atomic<uint64_t>> bucket_counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{kEmptyMin};
+  std::atomic<int64_t> max_{kEmptyMax};
 };
 
 // Name-keyed instrument store. Returned pointers stay valid until Reset():
-// hot paths fetch once and increment through the pointer.
+// hot paths fetch once and increment through the pointer. Registration and
+// iteration are mutex-guarded; the maps are node-based, so pointers handed
+// out earlier survive concurrent registration.
 class MetricsRegistry {
  public:
   // The process-wide registry everything instruments against by default.
@@ -94,10 +137,15 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name, std::vector<int64_t> bounds);
 
   // Ordered iteration for the exporters (std::map keeps names sorted, which
-  // is what makes the JSON export stable).
+  // is what makes the JSON export stable). Hold ExportLock() while iterating
+  // if other threads may be registering instruments.
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  // Blocks registration (not updates — those are atomic) for the scope of
+  // the returned lock, giving exporters a stable instrument set to walk.
+  std::unique_lock<std::mutex> ExportLock() const { return std::unique_lock(mutex_); }
 
   // Zeroes every instrument in place (tests; fresh measurement windows).
   // Previously returned pointers remain valid — hot paths that cached an
@@ -105,6 +153,7 @@ class MetricsRegistry {
   void Reset();
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -30,6 +30,9 @@ inline constexpr char kJournalServerGatewayRecords[] = "journal_server/gateway_r
 inline constexpr char kJournalServerSubnetRecords[] = "journal_server/subnet_records";
 // Per-op counters append RequestTypeName(type): "journal_server/ops_batch".
 inline constexpr char kJournalServerOpsPrefix[] = "journal_server/ops_";
+// Per-op sim-time latency histograms, fed from the server request span:
+// "journal_server/op_latency_us/batch".
+inline constexpr char kJournalServerOpLatencyUsPrefix[] = "journal_server/op_latency_us/";
 
 // --- Journal client ----------------------------------------------------------
 inline constexpr char kJournalClientRequests[] = "journal_client/requests";
@@ -73,6 +76,22 @@ inline constexpr char kSimQueueDepthHighWater[] = "sim/queue_depth_high_water";
 // --- Logging (imported by the exporter from Logging's own tallies) ------------
 inline constexpr char kLogWarnings[] = "log/warnings";
 inline constexpr char kLogErrors[] = "log/errors";
+
+// --- Telemetry self-observation (imported by the exporter from the tracer) ----
+inline constexpr char kTelemetryTraceRecorded[] = "telemetry/trace_recorded";
+inline constexpr char kTelemetryTraceDropped[] = "telemetry/trace_dropped";
+
+// --- Span names ----------------------------------------------------------------
+// Every telemetry::Span constructed in src/ must name itself with one of
+// these constants or a runtime string (module-run spans use the module key);
+// fremont_lint rejects raw string literals at Span construction sites.
+inline constexpr char kSpanJournalServer[] = "journal_server";
+inline constexpr char kSpanJournalFlush[] = "journal_client";
+inline constexpr char kSpanCorrelate[] = "correlate";
+inline constexpr char kSpanManagerTick[] = "manager";
+// Per-module sim-time run latency histograms, fed from the run span:
+// "module/run_latency_us/seqping".
+inline constexpr char kModuleRunLatencyUsPrefix[] = "module/run_latency_us/";
 
 // --- Explorer modules ---------------------------------------------------------
 // Shared per-run counters are "<module key>/<suffix>"; RecordModuleReport

@@ -1,5 +1,7 @@
 #include "src/telemetry/trace.h"
 
+#include "src/telemetry/span.h"
+
 namespace fremont::telemetry {
 
 const char* TraceEventKindName(TraceEventKind kind) {
@@ -18,6 +20,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "correlation_pass";
     case TraceEventKind::kScheduleDecision:
       return "schedule_decision";
+    case TraceEventKind::kChangelogDelta:
+      return "changelog_delta";
+    case TraceEventKind::kManagerTick:
+      return "manager_tick";
   }
   return "?";
 }
@@ -27,42 +33,69 @@ Tracer& Tracer::Global() {
   return tracer;
 }
 
-Tracer::Tracer(size_t capacity) { ring_.resize(capacity == 0 ? 1 : capacity); }
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
 
 void Tracer::Record(SimTime at, TraceEventKind kind, std::string module, std::string detail) {
-  if (!enabled_) {
+  RecordSpan(at, kind, std::move(module), std::move(detail), CurrentSpanContext(*this),
+             /*duration_us=*/-1);
+}
+
+void Tracer::RecordSpan(SimTime at, TraceEventKind kind, std::string module, std::string detail,
+                        const SpanContext& ctx, int64_t duration_us) {
+  if (!enabled()) {
     return;
   }
-  TraceEvent& slot = ring_[next_];
-  slot.at = at;
-  slot.kind = kind;
-  slot.module = std::move(module);
-  slot.detail = std::move(detail);
-  next_ = (next_ + 1) % ring_.size();
-  ++recorded_;
-  if (sink_) {
-    sink_(slot);
+  TraceEvent copy;  // For the sink, which runs outside the lock.
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent& slot = ring_[next_];
+    slot.at = at;
+    slot.kind = kind;
+    slot.module = std::move(module);
+    slot.detail = std::move(detail);
+    slot.ctx = ctx;
+    slot.duration_us = duration_us;
+    next_ = (next_ + 1) % capacity_;
+    recorded_.fetch_add(1, std::memory_order_relaxed);
+    if (sink_) {
+      sink = sink_;
+      copy = slot;
+    }
+  }
+  if (sink) {
+    sink(copy);
   }
 }
 
+void Tracer::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
 std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TraceEvent> out;
-  const size_t retained = recorded_ < ring_.size() ? static_cast<size_t>(recorded_) : ring_.size();
+  const uint64_t recorded = recorded_.load(std::memory_order_relaxed);
+  const size_t retained = recorded < capacity_ ? static_cast<size_t>(recorded) : capacity_;
   out.reserve(retained);
   // Oldest retained event: `next_` once wrapped, slot 0 before that.
-  const size_t start = recorded_ < ring_.size() ? 0 : next_;
+  const size_t start = recorded < capacity_ ? 0 : next_;
   for (size_t i = 0; i < retained; ++i) {
-    out.push_back(ring_[(start + i) % ring_.size()]);
+    out.push_back(ring_[(start + i) % capacity_]);
   }
   return out;
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& slot : ring_) {
     slot = TraceEvent{};
   }
   next_ = 0;
-  recorded_ = 0;
+  recorded_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace fremont::telemetry

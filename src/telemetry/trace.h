@@ -1,17 +1,34 @@
-// Probe tracer: span-like structured events over the discovery pipeline.
+// Probe tracer: causal spans and structured events over the discovery
+// pipeline.
 //
 // Where the metrics registry answers "how many", the tracer answers "in what
-// order, and when (sim-time)": module run start/end, individual probes and
-// matched replies, Journal RPCs, correlation passes, schedule decisions.
+// order, when (sim-time), and *because of what*": module run start/end,
+// individual probes and matched replies, Journal RPCs, correlation passes,
+// schedule decisions. Every event may carry a SpanContext — a
+// (trace_id, span_id, parent_span_id) triple — so a probe, the batch flush
+// that carried its observation, the server-side store, the changelog delta
+// and the correlation pass that consumed it all share one trace_id. Span
+// creation and the per-thread "current span" stack live in
+// src/telemetry/span.h; Record() attaches the calling thread's current span
+// automatically, so existing flat call sites become causally tagged with no
+// change.
+//
 // Events land in a fixed-capacity ring buffer (old events are overwritten —
 // the tail of a long run is what debugging needs) and, optionally, in a
 // pluggable sink for live streaming.
+//
+// Thread safety: the ring is guarded by a mutex, `enabled` and the id
+// allocators are atomics, so concurrent Record() calls from a future
+// multi-threaded event queue are safe. The enabled check stays a lock-free
+// fast path for the disabled-per-probe-recording case.
 
 #ifndef SRC_TELEMETRY_TRACE_H_
 #define SRC_TELEMETRY_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,15 +44,34 @@ enum class TraceEventKind : uint8_t {
   kJournalRpc = 4,
   kCorrelationPass = 5,
   kScheduleDecision = 6,
+  kChangelogDelta = 7,  // A delta read served entries this trace produced.
+  kManagerTick = 8,     // One Discovery Manager tick (the per-tick root span).
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
+
+// Identity of a span: which trace it belongs to, which span it is, and which
+// span caused it. trace_id == 0 means "no span" — the zero context is what
+// flat events carry and what v1 wire frames decode to.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = trace root.
+
+  bool valid() const { return trace_id != 0; }
+};
 
 struct TraceEvent {
   SimTime at;
   TraceEventKind kind = TraceEventKind::kModuleRunStart;
   std::string module;  // Metric-family key, e.g. "seqping", "journal_client".
   std::string detail;  // Free-form: target address, op name, decision.
+  // Causal tags. A zero ctx means the event was recorded outside any span.
+  SpanContext ctx;
+  // Span completion events carry the span's sim-time duration; -1 for point
+  // events. For a completion event `at` is the span's *start* time, so
+  // (at, at + duration_us) is the span's interval.
+  int64_t duration_us = -1;
 };
 
 class Tracer {
@@ -49,22 +85,36 @@ class Tracer {
 
   explicit Tracer(size_t capacity = kDefaultCapacity);
 
+  // Records a point event tagged with the calling thread's current span (see
+  // span.h) — existing flat call sites gain causal context for free.
   void Record(SimTime at, TraceEventKind kind, std::string module, std::string detail = "");
+
+  // Records an event with an explicit span context and duration (span
+  // completions; synthesized provenance events like kChangelogDelta).
+  void RecordSpan(SimTime at, TraceEventKind kind, std::string module, std::string detail,
+                  const SpanContext& ctx, int64_t duration_us);
+
+  // Allocates ids for new traces/spans. Plain counters: deterministic under
+  // a single thread, unique under many.
+  uint64_t NewTraceId() { return next_trace_id_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t NewSpanId() { return next_span_id_.fetch_add(1, std::memory_order_relaxed); }
 
   // Disabled tracers drop events at the call site (per-probe recording in a
   // large sweep is the hot case).
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Replaces the streaming sink; pass nullptr to remove it. The ring buffer
-  // keeps recording either way.
-  void SetSink(Sink sink) { sink_ = std::move(sink); }
+  // keeps recording either way. The sink runs outside the ring lock, so it
+  // may call back into the tracer.
+  void SetSink(Sink sink);
 
-  size_t capacity() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
   // Total events ever recorded (>= Events().size() once the ring wraps).
-  uint64_t recorded_count() const { return recorded_; }
+  uint64_t recorded_count() const { return recorded_.load(std::memory_order_relaxed); }
   uint64_t dropped_count() const {
-    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+    const uint64_t recorded = recorded_count();
+    return recorded > capacity_ ? recorded - capacity_ : 0;
   }
 
   // The retained events, oldest first.
@@ -74,10 +124,14 @@ class Tracer {
   void Clear();
 
  private:
-  bool enabled_ = true;
+  const size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_span_id_{1};
+  mutable std::mutex mutex_;  // Guards ring_, next_, sink_.
   std::vector<TraceEvent> ring_;
-  size_t next_ = 0;      // Ring slot the next event lands in.
-  uint64_t recorded_ = 0;
+  size_t next_ = 0;  // Ring slot the next event lands in.
   Sink sink_;
 };
 

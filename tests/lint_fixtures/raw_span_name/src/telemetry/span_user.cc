@@ -1,0 +1,14 @@
+// Fixture violation: a raw string literal names a span at construction.
+#include "src/telemetry/names.h"
+
+namespace telemetry {
+struct Tracer {};
+struct Span {
+  Span(const char* name, int start) {}
+};
+}  // namespace telemetry
+
+void TracedWork() {
+  telemetry::Span span("ad_hoc_span", 0);
+  (void)span;
+}

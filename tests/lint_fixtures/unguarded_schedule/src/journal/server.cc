@@ -2,10 +2,10 @@
 #include "src/journal/protocol.h"
 
 struct JournalServer {
-  int Handle(RequestType type);
+  int Dispatch(RequestType type);
 };
 
-int JournalServer::Handle(RequestType type) {
+int JournalServer::Dispatch(RequestType type) {
   switch (type) {
     case RequestType::kStore:
       return 1;

@@ -86,6 +86,18 @@ TEST(FremontLint, UnguardedScheduleIsFlagged) {
   EXPECT_FALSE(RunAllRules(Fixture("unguarded_schedule")).empty());
 }
 
+TEST(FremontLint, RawSpanNameLiteralIsFlagged) {
+  const std::vector<Issue> issues = CheckSpanNameLiterals(Fixture("raw_span_name"));
+  ASSERT_EQ(issues.size(), 1u) << Dump(issues);
+  EXPECT_EQ(issues[0].rule, "span-name-literal");
+  EXPECT_EQ(issues[0].file, "src/telemetry/span_user.cc");
+  EXPECT_GT(issues[0].line, 0);
+  EXPECT_TRUE(AnyMessageContains(issues, "names.h")) << Dump(issues);
+  EXPECT_FALSE(RunAllRules(Fixture("raw_span_name")).empty());
+  // Constants and runtime names (the only things the real tree uses) pass.
+  EXPECT_TRUE(CheckSpanNameLiterals(Fixture("clean")).empty());
+}
+
 // The contract the tree ships under: the real repo lints clean. If this
 // fails, either real drift crept in (fix the code) or a rule got stricter
 // (fix the rule or migrate the tree in the same PR).

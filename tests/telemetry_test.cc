@@ -45,6 +45,21 @@ TEST(GaugeTest, TracksHighWaterMark) {
   EXPECT_EQ(gauge.max_value(), 0);
 }
 
+TEST(GaugeTest, TracksLowWaterMark) {
+  Gauge gauge;
+  // Both extremes are relative to the initial level 0: a gauge that only
+  // rises keeps min 0.
+  gauge.Set(10);
+  EXPECT_EQ(gauge.min_value(), 0);
+  gauge.Add(-14);
+  EXPECT_EQ(gauge.value(), -4);
+  EXPECT_EQ(gauge.min_value(), -4);
+  gauge.Set(2);
+  EXPECT_EQ(gauge.min_value(), -4);
+  gauge.Reset();
+  EXPECT_EQ(gauge.min_value(), 0);
+}
+
 TEST(HistogramTest, BucketPlacementAndStats) {
   Histogram histogram({10, 100, 1000});
   histogram.Observe(5);      // <= 10.
@@ -78,6 +93,33 @@ TEST(HistogramTest, ResetZeroesEverything) {
   EXPECT_EQ(histogram.sum(), 0);
   EXPECT_EQ(histogram.bucket_counts()[0], 0u);
   EXPECT_EQ(histogram.bucket_counts()[1], 0u);
+}
+
+TEST(HistogramTest, ApproxPercentileInterpolatesWithinBuckets) {
+  Histogram empty({10});
+  EXPECT_DOUBLE_EQ(empty.ApproxPercentile(0.5), 0.0);
+
+  // Degenerate histogram: the edge buckets are tightened by min/max, so a
+  // single repeated value is reported exactly.
+  Histogram single({10, 100});
+  single.Observe(42);
+  single.Observe(42);
+  single.Observe(42);
+  EXPECT_DOUBLE_EQ(single.ApproxPercentile(0.50), 42.0);
+  EXPECT_DOUBLE_EQ(single.ApproxPercentile(0.99), 42.0);
+
+  // Two observations spanning one bucket: the median interpolates halfway.
+  Histogram uniform({10});
+  uniform.Observe(0);
+  uniform.Observe(10);
+  EXPECT_DOUBLE_EQ(uniform.ApproxPercentile(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(uniform.ApproxPercentile(1.0), 10.0);
+
+  // Overflow bucket: (last bound, observed max] bounds the interpolation.
+  Histogram overflow({10});
+  overflow.Observe(5);
+  overflow.Observe(100);
+  EXPECT_NEAR(overflow.ApproxPercentile(0.99), 98.2, 1e-9);
 }
 
 TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
@@ -157,8 +199,9 @@ TEST(ExportTest, JsonGoldenDocument) {
 
   const std::string expected =
       "{\"schema\": \"fremont.telemetry.v1\",\n"
-      " \"counters\": {\"log/errors\": 0, \"log/warnings\": 0, \"m/c\": 3},\n"
-      " \"gauges\": {\"m/g\": {\"value\": 1, \"max\": 2}},\n"
+      " \"counters\": {\"log/errors\": 0, \"log/warnings\": 0, \"m/c\": 3, "
+      "\"telemetry/trace_dropped\": 0, \"telemetry/trace_recorded\": 2},\n"
+      " \"gauges\": {\"m/g\": {\"value\": 1, \"max\": 2, \"min\": 0}},\n"
       " \"histograms\": {\"m/h\": {\"count\": 2, \"sum\": 1005, \"min\": 5, \"max\": 1000, "
       "\"buckets\": [{\"le\": 10, \"count\": 1}, {\"le\": 100, \"count\": 0}, "
       "{\"le\": \"inf\", \"count\": 1}]}},\n"

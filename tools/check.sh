@@ -6,6 +6,7 @@
 #   tools/check.sh            # plain build + ctest
 #   tools/check.sh asan       # AddressSanitizer build + ctest
 #   tools/check.sh ubsan      # UndefinedBehaviorSanitizer build + ctest
+#   tools/check.sh tsan       # ThreadSanitizer build + ctest (telemetry concurrency)
 #   tools/check.sh audit      # FREMONT_AUDIT=ON build + ctest (invariant audits)
 #   tools/check.sh lint       # build fremont_lint, run it over the repo
 #   tools/check.sh tidy       # clang-tidy over src/ tools/ bench/ (skips if absent)
@@ -65,6 +66,7 @@ case "$mode" in
   plain) run_one plain -DFREMONT_SANITIZE= ;;
   asan) run_one asan -DFREMONT_SANITIZE=address ;;
   ubsan) run_one ubsan -DFREMONT_SANITIZE=undefined ;;
+  tsan) run_one tsan -DFREMONT_SANITIZE=thread ;;
   audit) run_one audit -DFREMONT_AUDIT=ON ;;
   lint) run_lint ;;
   tidy) run_tidy ;;
@@ -76,7 +78,7 @@ case "$mode" in
     run_lint
     ;;
   *)
-    echo "usage: $0 [plain|asan|ubsan|audit|lint|tidy|all]" >&2
+    echo "usage: $0 [plain|asan|ubsan|tsan|audit|lint|tidy|all]" >&2
     exit 2
     ;;
 esac

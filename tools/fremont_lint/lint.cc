@@ -284,7 +284,7 @@ std::vector<Issue> CheckWireOpCoverage(const std::string& root) {
   const Surface kSurfaces[] = {
       {"src/journal/protocol.cc", "JournalRequest::EncodeTo", "encoder"},
       {"src/journal/protocol.cc", "JournalRequest::DecodeInto", "decoder"},
-      {"src/journal/server.cc", "JournalServer::Handle", "server dispatch"},
+      {"src/journal/server.cc", "JournalServer::Dispatch", "server dispatch"},
       {"src/journal/protocol.h", "RequestTypeName", "telemetry name table"},
   };
   for (const Surface& surface : kSurfaces) {
@@ -371,12 +371,56 @@ std::vector<Issue> CheckUnguardedSchedules(const std::string& root) {
   return issues;
 }
 
+std::vector<Issue> CheckSpanNameLiterals(const std::string& root) {
+  std::vector<Issue> issues;
+  for (const fs::path& file : SourceFilesUnder(fs::path(root) / "src")) {
+    const std::string rel = Relative(file, root);
+    const std::string code = StripComments(ReadFile(file));
+    size_t pos = 0;
+    while ((pos = FindToken(code, "Span", pos)) != std::string::npos) {
+      const size_t call = pos;
+      pos += 4;  // strlen("Span"); resume after the token either way.
+      size_t open = call + 4;
+      while (open < code.size() && std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+        ++open;
+      }
+      // Construction sites are `Span(...)` temporaries or `Span name(...)`
+      // declarations; allow one declarator identifier before the paren.
+      if (open < code.size() && IsIdentChar(code[open])) {
+        while (open < code.size() && IsIdentChar(code[open])) {
+          ++open;
+        }
+        while (open < code.size() && std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+          ++open;
+        }
+      }
+      if (open >= code.size() || code[open] != '(') {
+        continue;  // A type mention (Span&, SpanContext is boundary-excluded).
+      }
+      // First argument: skip whitespace after '('. A '"' there is a raw span
+      // name literal; constants and runtime strings start with an identifier.
+      size_t arg = open + 1;
+      while (arg < code.size() && std::isspace(static_cast<unsigned char>(code[arg])) != 0) {
+        ++arg;
+      }
+      if (arg < code.size() && code[arg] == '"') {
+        issues.push_back({rel, LineOfOffset(code, call), "span-name-literal",
+                          "raw span name literal at Span construction; register it in "
+                          "src/telemetry/names.h and reference the constant"});
+      }
+    }
+  }
+  return issues;
+}
+
 std::vector<Issue> RunAllRules(const std::string& root) {
   std::vector<Issue> issues = CheckWireOpCoverage(root);
   std::vector<Issue> metric = CheckMetricNameLiterals(root);
   issues.insert(issues.end(), metric.begin(), metric.end());
   std::vector<Issue> schedule = CheckUnguardedSchedules(root);
   issues.insert(issues.end(), schedule.begin(), schedule.end());
+  std::vector<Issue> span = CheckSpanNameLiterals(root);
+  issues.insert(issues.end(), span.begin(), span.end());
   return issues;
 }
 

@@ -6,7 +6,7 @@
 //  1. wire-op-coverage — every RequestType enumerator declared in
 //     src/journal/protocol.h must be handled by the encoder
 //     (JournalRequest::EncodeTo), the decoder (JournalRequest::DecodeInto),
-//     the server dispatch (JournalServer::Handle), and the telemetry name
+//     the server dispatch (JournalServer::Dispatch), and the telemetry name
 //     table (RequestTypeName). Catches "added an op, forgot a case" drift
 //     that the compiler cannot (the switches have defaults or live in
 //     different translation units).
@@ -21,6 +21,12 @@
 //     Schedule() call whose callback captures `this` (or captures
 //     everything with [=]/[&]) outlives Complete() and dangles once the
 //     Discovery Manager destroys the module mid-tick.
+//
+//  4. span-name-literal — spans must be named by the constants in
+//     src/telemetry/names.h (or a runtime string such as a module key); a
+//     raw string literal as the first argument of a Span construction under
+//     src/ is flagged, same rationale as rule 2 — a typo'd span name forks
+//     the trace vocabulary fremont_report and the latency histograms key on.
 //
 // The binary (tools/fremont_lint) runs all rules against a repo root and
 // exits nonzero on any finding; the library entry points below let the unit
@@ -37,7 +43,8 @@ namespace fremont::lint {
 struct Issue {
   std::string file;  // Repo-root-relative path.
   int line = 0;      // 1-based; 0 when the issue is file-level.
-  std::string rule;  // "wire-op-coverage", "metric-name-literal", "unguarded-schedule".
+  std::string rule;  // "wire-op-coverage", "metric-name-literal",
+                     // "unguarded-schedule", "span-name-literal".
   std::string message;
 
   std::string Format() const;  // "file:line: [rule] message"
@@ -52,6 +59,7 @@ std::string StripComments(const std::string& source);
 std::vector<Issue> CheckWireOpCoverage(const std::string& root);
 std::vector<Issue> CheckMetricNameLiterals(const std::string& root);
 std::vector<Issue> CheckUnguardedSchedules(const std::string& root);
+std::vector<Issue> CheckSpanNameLiterals(const std::string& root);
 
 // All rules, in the order above.
 std::vector<Issue> RunAllRules(const std::string& root);

@@ -14,17 +14,27 @@
 //   fremont_report <journal-file> stats
 //   fremont_report <journal-file> --telemetry [telemetry-file]
 //   fremont_report modules
+//   fremont_report trace <trace-id> [telemetry-file]
+//   fremont_report --chrome-trace <out.json> [telemetry-file]
 //
 // --telemetry prints the telemetry JSON document the discovery run exported
 // next to its checkpoint (examples/campus_discovery writes
 // fremont-telemetry.json into its output directory). The default path is
 // "fremont-telemetry.json" in the journal file's directory.
+//
+// "trace" and "--chrome-trace" read the trace events embedded in such a
+// telemetry document (default: ./fremont-telemetry.json) — no journal needed.
+// "trace" prints the causal provenance view for one trace id;
+// "--chrome-trace" writes the whole event buffer as Chrome trace_event JSON
+// for chrome://tracing / Perfetto.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/analysis/conflicts.h"
 #include "src/analysis/rip_analysis.h"
@@ -37,6 +47,7 @@
 #include "src/manager/module_registry.h"
 #include "src/manager/schedule.h"
 #include "src/present/views.h"
+#include "src/telemetry/chrome_export.h"
 #include "src/telemetry/export.h"
 
 using namespace fremont;
@@ -59,7 +70,11 @@ int Usage(const char* argv0) {
                "  --telemetry [file]          telemetry JSON exported by the discovery run\n"
                "                              (default: fremont-telemetry.json beside the journal)\n"
                "or, without a journal file:\n"
-               "  modules                     standard Explorer Module registry and intervals\n",
+               "  modules                     standard Explorer Module registry and intervals\n"
+               "  trace <trace-id> [file]     causal provenance of one trace, from the trace\n"
+               "                              events in a telemetry JSON document\n"
+               "                              (default: ./fremont-telemetry.json)\n"
+               "  --chrome-trace <out> [file] write those events as Chrome trace_event JSON\n",
                argv0);
   return 2;
 }
@@ -99,6 +114,53 @@ int PrintTelemetry(const std::string& journal_path, const char* explicit_path) {
     return 1;
   }
   std::fputs(document.c_str(), stdout);
+  return 0;
+}
+
+// Loads the trace events out of a fremont.telemetry.v1 document.
+int LoadTraceEvents(const char* path, std::vector<telemetry::TraceEvent>* events) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot load telemetry from %s\n", path);
+    return 1;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (!telemetry::ParseTelemetryTraceEvents(contents.str(), events)) {
+    std::fprintf(stderr, "error: %s is not a %s document\n", path, telemetry::kJsonSchemaName);
+    return 1;
+  }
+  return 0;
+}
+
+int PrintTraceProvenance(const char* id_arg, const char* file_arg) {
+  char* end = nullptr;
+  const uint64_t trace_id = std::strtoull(id_arg, &end, 10);
+  if (end == id_arg || *end != '\0' || trace_id == 0) {
+    std::fprintf(stderr, "error: bad trace id %s\n", id_arg);
+    return 2;
+  }
+  std::vector<telemetry::TraceEvent> events;
+  if (const int rc = LoadTraceEvents(file_arg, &events); rc != 0) {
+    return rc;
+  }
+  std::printf("%s", TraceProvenanceView(events, trace_id).c_str());
+  return 0;
+}
+
+int WriteChromeTrace(const char* out_path, const char* file_arg) {
+  std::vector<telemetry::TraceEvent> events;
+  if (const int rc = LoadTraceEvents(file_arg, &events); rc != 0) {
+    return rc;
+  }
+  const std::string json = telemetry::ExportChromeTrace(events);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path);
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "%zu event(s) -> %s\n", events.size(), out_path);
   return 0;
 }
 
@@ -153,9 +215,16 @@ int RunProblems(JournalClient& client, SimTime now) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Journal-free commands come first: "modules" describes the registry.
+  // Journal-free commands come first: "modules" describes the registry, and
+  // the trace commands read a telemetry document instead of a checkpoint.
   if (argc >= 2 && std::strcmp(argv[1], "modules") == 0) {
     return PrintModules();
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "trace") == 0) {
+    return PrintTraceProvenance(argv[2], argc >= 4 ? argv[3] : "fremont-telemetry.json");
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--chrome-trace") == 0) {
+    return WriteChromeTrace(argv[2], argc >= 4 ? argv[3] : "fremont-telemetry.json");
   }
   if (argc < 3) {
     return Usage(argv[0]);
