@@ -57,7 +57,9 @@ void ExplorerModule::Complete() {
   // Drop the liveness token now, not at destruction: a module that finishes
   // (or is Cancel()ed) while peers are still driving the queue may outlive
   // its run, and its leftover guarded events (probe sends, timeouts) must
-  // not fire after the report has been published.
+  // not fire after the report has been published. The flag flips first so
+  // even a holder that already upgraded its weak_ptr observes the kill.
+  alive_->store(false, std::memory_order_release);
   alive_.reset();
   report_.finished = events_->Now();
   RecordModuleReport(key_.c_str(), report_);
@@ -94,13 +96,14 @@ ExplorerReport ExplorerModule::Run() {
 }
 
 void ExplorerModule::ScheduleGuarded(Duration delay, std::function<void()> fn) {
-  std::weak_ptr<bool> alive = alive_;
+  std::weak_ptr<std::atomic<bool>> alive = alive_;
   // The event body executes under the run span's context, so every trace
   // event and outgoing Journal frame it produces joins the module's trace.
   const telemetry::SpanContext ctx =
       run_span_.has_value() ? run_span_->context() : telemetry::SpanContext{};
   events_->Schedule(delay, [alive = std::move(alive), ctx, fn = std::move(fn)]() {
-    if (alive.lock() != nullptr) {
+    const std::shared_ptr<std::atomic<bool>> token = alive.lock();
+    if (token != nullptr && token->load(std::memory_order_acquire)) {
       const telemetry::CurrentSpanScope scope(telemetry::Tracer::Global(), ctx);
       fn();
     }

@@ -16,6 +16,7 @@
 #ifndef SRC_EXPLORER_EXPLORER_H_
 #define SRC_EXPLORER_EXPLORER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -129,7 +130,11 @@ class ExplorerModule {
   bool started_ = false;
   bool running_ = false;
   bool finished_ = false;
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  // Liveness token for guarded events. Atomic payload + atomic control
+  // block: with the sharded runtime a leftover guarded event can fire on a
+  // worker thread while Complete() retires the run elsewhere, so both the
+  // flag write and the weak_ptr upgrade must be thread-safe.
+  std::shared_ptr<std::atomic<bool>> alive_ = std::make_shared<std::atomic<bool>>(true);
   // The run span: opened by Start(), closed by Complete(). Not "current" by
   // RAII (the run executes from the event queue, not Start()'s scope) —
   // ScheduleGuarded re-activates it around every guarded event instead, so

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,26 @@
 #include "src/util/string_util.h"
 
 namespace fremont {
+namespace {
+
+// Requests that mutate the Journal (records, generation, changelog) and so
+// need the exclusive side of the ingest lock.
+bool IsWriteRequest(RequestType type) {
+  switch (type) {
+    case RequestType::kStoreInterface:
+    case RequestType::kStoreGateway:
+    case RequestType::kStoreSubnet:
+    case RequestType::kDeleteInterface:
+    case RequestType::kDeleteGateway:
+    case RequestType::kDeleteSubnet:
+    case RequestType::kBatch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 JournalServer::~JournalServer() {
   if (!checkpoint_path_.empty()) {
@@ -31,6 +52,7 @@ void JournalServer::MaybeCheckpoint() {
   if (checkpoint_path_.empty() || checkpoint_interval_ <= Duration::Zero()) {
     return;
   }
+  const std::unique_lock<std::shared_mutex> lock(ingest_mu_);
   const SimTime now = clock_();
   if (now - last_checkpoint_ >= checkpoint_interval_) {
     journal_.SaveToFile(checkpoint_path_);
@@ -119,7 +141,7 @@ BatchItemResult JournalServer::ApplyWrite(const JournalRequest& item, SimTime no
 }
 
 JournalResponse JournalServer::Handle(const JournalRequest& request) {
-  ++requests_handled_;
+  requests_handled_.fetch_add(1, std::memory_order_relaxed);
   const SimTime now = clock_();
   auto& metrics = telemetry::MetricsRegistry::Global();
   metrics.GetCounter(std::string(telemetry::names::kJournalServerOpsPrefix) + RequestTypeName(request.type))
@@ -131,9 +153,23 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
   // store that produced each change.
   telemetry::Span span(telemetry::names::kSpanJournalServer, now, telemetry::Tracer::Global(),
                        request.span_ctx);
-  journal_.set_store_context(span.context().trace_id, span.context().span_id);
-  JournalResponse resp = Dispatch(request, now);
-  journal_.set_store_context(0, 0);
+  JournalResponse resp;
+  if (IsWriteRequest(request.type)) {
+    // Exclusive: record mutation, generation bump, and changelog append are
+    // one atomic unit, and the store context (used to stamp changelog
+    // entries) is per-request state on the shared Journal.
+    const std::unique_lock<std::shared_mutex> lock(ingest_mu_);
+    journal_.set_store_context(span.context().trace_id, span.context().span_id);
+    resp = Dispatch(request, now);
+    journal_.set_store_context(0, 0);
+    resp.generation = journal_.generation();
+  } else {
+    // Shared: queries (including changelog delta reads) never mutate, so
+    // they may overlap each other freely.
+    const std::shared_lock<std::shared_mutex> lock(ingest_mu_);
+    resp = Dispatch(request, now);
+    resp.generation = journal_.generation();
+  }
   const SimTime after = clock_();
   span.End(telemetry::TraceEventKind::kJournalRpc, after, RequestTypeName(request.type));
   metrics
@@ -141,7 +177,6 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
                         RequestTypeName(request.type),
                     telemetry::DurationBucketsMicros())
       ->Observe(span.duration_us());
-  resp.generation = journal_.generation();
   return resp;
 }
 

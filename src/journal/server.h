@@ -5,11 +5,20 @@
 // time, and periodically checkpoints to disk ("maintains an in-memory
 // representation of the Journal data, which it writes to disk periodically
 // and at termination").
+//
+// Concurrency: with the sharded runtime, clients on different shards reach
+// the server from different worker threads. One reader/writer lock covers
+// the whole Journal — writes (stores, deletes, batches, checkpoints) are
+// exclusive, queries share. Finer striping by record kind is unsound here:
+// gateway stores mutate subnet records, and every write serializes on the
+// global generation counter and changelog anyway.
 
 #ifndef SRC_JOURNAL_SERVER_H_
 #define SRC_JOURNAL_SERVER_H_
 
+#include <atomic>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 
 #include "src/journal/journal.h"
@@ -37,9 +46,13 @@ class JournalServer {
   // happen inside HandleRequest once `interval` has elapsed since the last.
   void EnableCheckpoint(std::string path, Duration interval);
 
+  // Direct Journal access bypasses the ingest lock: only touch it while no
+  // sharded sweep is in flight (tests, setup, post-run analysis).
   Journal& journal() { return journal_; }
   const Journal& journal() const { return journal_; }
-  uint64_t requests_handled() const { return requests_handled_; }
+  uint64_t requests_handled() const {
+    return requests_handled_.load(std::memory_order_relaxed);
+  }
 
  private:
   void MaybeCheckpoint();
@@ -53,8 +66,11 @@ class JournalServer {
   BatchItemResult ApplyWrite(const JournalRequest& item, SimTime now);
 
   Clock clock_;
+  // Guards journal_ and the checkpoint bookkeeping. Shared for queries,
+  // exclusive for anything that mutates records, generation, or changelog.
+  mutable std::shared_mutex ingest_mu_;
   Journal journal_;
-  uint64_t requests_handled_ = 0;
+  std::atomic<uint64_t> requests_handled_{0};
   std::string checkpoint_path_;
   Duration checkpoint_interval_ = Duration::Zero();
   SimTime last_checkpoint_;

@@ -154,8 +154,7 @@ void DiscoveryManager::FinishModule(ModuleState& state, const ExplorerReport& re
   sched.ever_run = true;
 }
 
-std::vector<ExplorerReport> DiscoveryManager::Tick() {
-  std::vector<ExplorerReport> reports;
+size_t DiscoveryManager::BeginTick(std::vector<ExplorerReport>* reports) {
   telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kManagerTicks)->Increment();
   const SimTime now = events_->Now();
   std::vector<ModuleState*> due;
@@ -165,33 +164,39 @@ std::vector<ExplorerReport> DiscoveryManager::Tick() {
     }
   }
   if (due.empty()) {
-    return reports;
+    return 0;
   }
 
   // The tick's root span: module launches below inherit it (their run spans
   // parent on the current span at Start()), and so does the correlation
-  // update — one trace covers everything this tick caused.
-  telemetry::Span tick_span(telemetry::names::kSpanManagerTick, now);
+  // update — one trace covers everything this tick caused. Not current by
+  // RAII: the tick stays open across BeginTick's return, so currency is
+  // scoped explicitly to the launch loop (and EndTick re-activates it).
+  tick_span_.emplace(telemetry::names::kSpanManagerTick, now, telemetry::Tracer::Global(),
+                     telemetry::SpanContext{}, /*make_current=*/false);
+  tick_launched_ = due.size();
 
-  if (serial_) {
-    // Historical order: each due module runs to completion before the next
-    // starts, exactly as the blocking Run() loop did.
-    for (ModuleState* state : due) {
-      LaunchModule(*state, &reports);
-      events_->RunWhile([this]() { return in_flight_ > 0; });
-    }
-  } else {
-    // Cooperative launch: every due module schedules its probes into the
-    // same event-queue pass, overlapping their reply/timeout waits.
-    if (due.size() >= 2) {
-      telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kManagerConcurrentRuns)->Increment();
-    }
-    for (ModuleState* state : due) {
-      LaunchModule(*state, &reports);
-    }
-    events_->RunWhile([this]() { return in_flight_ > 0; });
+  // Cooperative launch: every due module schedules its probes into the same
+  // event-queue pass (or, under the sharded runtime, onto its home shard's
+  // queue), overlapping their reply/timeout waits.
+  if (due.size() >= 2) {
+    telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kManagerConcurrentRuns)->Increment();
   }
+  const telemetry::CurrentSpanScope scope(telemetry::Tracer::Global(), tick_span_->context());
+  for (ModuleState* state : due) {
+    LaunchModule(*state, reports);
+  }
+  return due.size();
+}
 
+void DiscoveryManager::EndTick() {
+  if (!tick_span_.has_value()) {
+    return;  // No open tick (BeginTick found nothing due).
+  }
+  if (in_flight_ > 0) {
+    FLOG(kError) << "manager: EndTick() with " << in_flight_
+                 << " modules still in flight; reports will be incomplete";
+  }
   // All completion callbacks have fired; retire the spent instances.
   running_.clear();
 
@@ -199,10 +204,49 @@ std::vector<ExplorerReport> DiscoveryManager::Tick() {
     // Fold what this tick changed into the persistent correlation state.
     // Runs after the growth attribution above, so its own gateway writes are
     // excluded from module growth by the baseline reset in LaunchModule().
+    const telemetry::CurrentSpanScope scope(telemetry::Tracer::Global(), tick_span_->context());
     last_correlation_ = correlation_->Update(*journal_, events_->Now());
   }
-  tick_span.End(telemetry::TraceEventKind::kManagerTick, events_->Now(),
-                StringPrintf("modules=%zu", due.size()));
+  tick_span_->End(telemetry::TraceEventKind::kManagerTick, events_->Now(),
+                  StringPrintf("modules=%zu", tick_launched_));
+  tick_span_.reset();
+  tick_launched_ = 0;
+}
+
+std::vector<ExplorerReport> DiscoveryManager::Tick() {
+  std::vector<ExplorerReport> reports;
+  if (serial_) {
+    // Historical order: each due module runs to completion before the next
+    // starts, exactly as the blocking Run() loop did.
+    telemetry::MetricsRegistry::Global().GetCounter(telemetry::names::kManagerTicks)->Increment();
+    const SimTime now = events_->Now();
+    std::vector<ModuleState*> due;
+    for (auto& state : modules_) {
+      if (state.schedule.NextDue() <= now) {
+        due.push_back(&state);
+      }
+    }
+    if (due.empty()) {
+      return reports;
+    }
+    telemetry::Span tick_span(telemetry::names::kSpanManagerTick, now);
+    for (ModuleState* state : due) {
+      LaunchModule(*state, &reports);
+      events_->RunWhile([this]() { return in_flight_ > 0; });
+    }
+    running_.clear();
+    if (correlation_.has_value() && journal_ != nullptr) {
+      last_correlation_ = correlation_->Update(*journal_, events_->Now());
+    }
+    tick_span.End(telemetry::TraceEventKind::kManagerTick, events_->Now(),
+                  StringPrintf("modules=%zu", due.size()));
+    return reports;
+  }
+
+  if (BeginTick(&reports) > 0) {
+    events_->RunWhile([this]() { return in_flight_ > 0; });
+  }
+  EndTick();
   return reports;
 }
 

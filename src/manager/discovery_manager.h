@@ -32,6 +32,7 @@
 #include "src/manager/correlate.h"
 #include "src/manager/schedule.h"
 #include "src/sim/event_queue.h"
+#include "src/telemetry/span.h"
 
 namespace fremont {
 
@@ -57,6 +58,17 @@ class DiscoveryManager {
   // Launches every currently due module and drives the event queue until all
   // of them complete. Returns their reports in completion order.
   std::vector<ExplorerReport> Tick();
+
+  // Split-phase tick for external drivers (the sharded runtime's parallel
+  // sweep): BeginTick() launches every due module into the queue and returns
+  // how many were due, without driving anything; the caller runs the
+  // queue(s) until in_flight() drops to zero, then EndTick() retires the
+  // spent instances, folds correlation, and closes the tick span. Reports
+  // accumulate into `*reports`, which must outlive the whole tick.
+  // Tick() (concurrent mode) is exactly BeginTick + drive + EndTick.
+  size_t BeginTick(std::vector<ExplorerReport>* reports);
+  void EndTick();
+  int in_flight() const { return in_flight_; }
 
   // Runs the scheduling loop until `deadline`: advances simulated time to
   // each next-due instant and ticks. Returns all reports. With no modules
@@ -125,6 +137,11 @@ class DiscoveryManager {
   // Engaged by EnableAutoCorrelation(); updated after each fruitful tick.
   std::optional<CorrelationState> correlation_;
   CorrelationReport last_correlation_;
+  // Open tick bookkeeping for the split-phase API: the tick's root span
+  // (engaged from BeginTick with due work until EndTick) and how many
+  // modules that tick launched.
+  std::optional<telemetry::Span> tick_span_;
+  size_t tick_launched_ = 0;
 };
 
 }  // namespace fremont

@@ -1,0 +1,34 @@
+#include "src/manager/parallel_sweep.h"
+
+namespace fremont {
+
+std::vector<ExplorerReport> ParallelSweeper::Sweep() {
+  // Per-manager report sinks: a manager's completion callbacks append to its
+  // own vector from its home shard only, so the sinks need no locking — but
+  // they must stay put until every EndTick below has run.
+  std::vector<std::vector<ExplorerReport>> per_manager(managers_.size());
+  size_t launched = 0;
+  for (size_t i = 0; i < managers_.size(); ++i) {
+    launched += managers_[i]->BeginTick(&per_manager[i]);
+  }
+  last_launched_ = launched;
+
+  if (launched > 0) {
+    runtime_->RunWhile([this]() {
+      int total = 0;
+      for (const DiscoveryManager* manager : managers_) {
+        total += manager->in_flight();
+      }
+      return total > 0;
+    });
+  }
+
+  std::vector<ExplorerReport> merged;
+  for (size_t i = 0; i < managers_.size(); ++i) {
+    managers_[i]->EndTick();
+    merged.insert(merged.end(), per_manager[i].begin(), per_manager[i].end());
+  }
+  return merged;
+}
+
+}  // namespace fremont

@@ -1,0 +1,58 @@
+// ParallelSweeper: one discovery sweep across several per-shard Discovery
+// Managers, driven by the sharded runtime.
+//
+// The Fremont paper runs one Discovery Manager per vantage point. With the
+// sharded runtime each vantage (and its manager, Journal client, and home
+// topology) lives on one shard; a sweep launches every manager's due
+// Explorer Modules from the quiescent control thread, then lets the runtime
+// execute all shards' probe traffic in parallel windows until every module
+// has completed. The Journal Server is shared — its ingest lock serializes
+// the concurrent stores.
+//
+// Phase discipline (this is what makes the concurrency sound):
+//   1. BeginTick() on every manager — control thread only, workers parked.
+//      Module StartImpls read the Journal and schedule their first probes
+//      onto their home shard's queue; nothing executes yet.
+//   2. runtime->RunWhile(any manager has modules in flight) — the parallel
+//      part. in_flight is written by completion callbacks on worker threads
+//      and read here only at window barriers, where the pool's handoff
+//      already orders the memory.
+//   3. EndTick() on every manager — control thread again: retire instances,
+//      fold correlation, close tick spans.
+
+#ifndef SRC_MANAGER_PARALLEL_SWEEP_H_
+#define SRC_MANAGER_PARALLEL_SWEEP_H_
+
+#include <vector>
+
+#include "src/explorer/explorer.h"
+#include "src/manager/discovery_manager.h"
+#include "src/sim/runtime/sharded_event_queue.h"
+
+namespace fremont {
+
+class ParallelSweeper {
+ public:
+  // Neither the runtime nor the managers are owned; all must outlive the
+  // sweeper. Each manager's EventQueue must be one of `runtime`'s shard
+  // queues (that is what puts its modules' events on the right shard).
+  ParallelSweeper(ShardedEventQueue* runtime, std::vector<DiscoveryManager*> managers)
+      : runtime_(runtime), managers_(std::move(managers)) {}
+
+  // Launches every due module across all managers and drives the runtime
+  // until they have all completed. Returns the merged reports, grouped by
+  // manager (in registration order) and in completion order within each.
+  std::vector<ExplorerReport> Sweep();
+
+  // How many module runs the last Sweep() launched (0 = nothing was due).
+  size_t last_launched() const { return last_launched_; }
+
+ private:
+  ShardedEventQueue* runtime_;
+  std::vector<DiscoveryManager*> managers_;
+  size_t last_launched_ = 0;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_MANAGER_PARALLEL_SWEEP_H_

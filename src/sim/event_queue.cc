@@ -18,8 +18,18 @@ void EventQueue::ScheduleAt(SimTime when, Action action) {
   }
   queue_.push(Entry{when, next_seq_++, std::move(action)});
   const int64_t depth = static_cast<int64_t>(queue_.size());
-  if (depth > queue_depth_high_water_->value()) {
-    queue_depth_high_water_->Set(depth);
+  if (depth > depth_high_water_) {
+    depth_high_water_ = depth;
+  }
+}
+
+void EventQueue::FlushTelemetry() {
+  if (executed_ != dispatched_flushed_) {
+    events_dispatched_->Add(executed_ - dispatched_flushed_);
+    dispatched_flushed_ = executed_;
+  }
+  if (depth_high_water_ > queue_depth_high_water_->value()) {
+    queue_depth_high_water_->Set(depth_high_water_);
   }
 }
 
@@ -34,7 +44,6 @@ bool EventQueue::Step() {
   queue_.pop();
   now_ = entry.when;
   ++executed_;
-  events_dispatched_->Increment();
   entry.action();
   return true;
 }
@@ -46,16 +55,29 @@ void EventQueue::RunUntil(SimTime deadline) {
   if (now_ < deadline) {
     now_ = deadline;
   }
+  FlushTelemetry();
+}
+
+void EventQueue::RunWindow(SimTime end_exclusive) {
+  while (!queue_.empty() && queue_.top().when < end_exclusive) {
+    Step();
+  }
+  if (now_ < end_exclusive) {
+    now_ = end_exclusive;
+  }
+  FlushTelemetry();
 }
 
 void EventQueue::RunWhile(const std::function<bool()>& predicate) {
   while (predicate() && Step()) {
   }
+  FlushTelemetry();
 }
 
 void EventQueue::RunUntilIdle() {
   while (Step()) {
   }
+  FlushTelemetry();
 }
 
 }  // namespace fremont

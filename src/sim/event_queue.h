@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -36,6 +37,24 @@ class EventQueue {
   bool Empty() const { return queue_.empty(); }
   size_t PendingCount() const { return queue_.size(); }
 
+  // Timestamp of the earliest pending event; nullopt when the queue is empty.
+  // The sharded runtime uses this to pick each synchronization window's start.
+  std::optional<SimTime> NextEventTime() const {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    return queue_.top().when;
+  }
+
+  // Advances the clock without running anything (never moves it backwards).
+  // Window barriers use this to keep idle shards' clocks aligned with the
+  // active ones, so a later cross-shard delivery clamps against the right now.
+  void AdvanceTo(SimTime to) {
+    if (now_ < to) {
+      now_ = to;
+    }
+  }
+
   // Runs the next event; returns false if the queue is empty.
   bool Step();
 
@@ -43,6 +62,12 @@ class EventQueue {
   // clock to `deadline` (even if no event lands exactly there).
   void RunUntil(SimTime deadline);
   void RunFor(Duration duration) { RunUntil(now_ + duration); }
+
+  // Runs every event strictly before `end_exclusive`, then advances the clock
+  // to `end_exclusive`. One shard's share of a synchronization window
+  // [T, T+delta): events the window's work schedules inside the window run
+  // too; events at or past the edge wait for the next window.
+  void RunWindow(SimTime end_exclusive);
 
   // Runs while `predicate` returns true and events remain. Active Explorer
   // Modules drive the simulation with this until their own completion flag
@@ -70,13 +95,23 @@ class EventQueue {
     }
   };
 
+  // Publishes locally-tallied dispatch counts and the queue-depth high-water
+  // to the global instruments. Called at the end of every run loop — NOT per
+  // event: the global counter is shared by every shard queue, and a per-event
+  // fetch_add from four worker threads turns one cache line into a
+  // serialization point. Step() called directly (scheduler tests) tallies
+  // locally; the instruments catch up at the next run-loop exit.
+  void FlushTelemetry();
+
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> queue_;
   SimTime now_ = SimTime::Epoch();
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  uint64_t dispatched_flushed_ = 0;  // Portion of executed_ already in the counter.
+  int64_t depth_high_water_ = 0;     // This queue's own high-water mark.
   // Cached instruments: registry pointers are stable for the process
-  // lifetime (Reset() zeroes in place), so the hot dispatch path avoids a
-  // map lookup per event.
+  // lifetime (Reset() zeroes in place), so the run-loop flush avoids a
+  // map lookup.
   telemetry::Counter* events_dispatched_ = nullptr;
   telemetry::Gauge* queue_depth_high_water_ = nullptr;
 };

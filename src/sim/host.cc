@@ -16,6 +16,7 @@ Host::Host(std::string name, HostConfig config, EventQueue* events, Rng* rng)
 Interface* Host::AttachTo(Segment* segment, Ipv4Address ip, SubnetMask mask, MacAddress mac) {
   auto iface = std::make_unique<Interface>();
   iface->owner = this;
+  iface->owner_shard = shard_;
   iface->mac = mac;
   iface->ip = ip;
   iface->mask = mask;

@@ -72,6 +72,11 @@ class Host : public FrameSink {
   Rng* rng() { return rng_; }
   SimTime Now() const { return events_->Now(); }
 
+  // Shard this host executes on (Simulator::CreateHost stamps it; 0 in
+  // single-queue mode). New interfaces inherit it as their owner_shard.
+  void set_shard(int shard) { shard_ = shard; }
+  int shard() const { return shard_; }
+
   // --- Topology wiring -----------------------------------------------------
 
   // Creates an interface and attaches it to `segment`.
@@ -186,6 +191,7 @@ class Host : public FrameSink {
   HostConfig config_;
   EventQueue* events_;
   Rng* rng_;
+  int shard_ = 0;
   bool up_ = true;
   std::vector<std::unique_ptr<Interface>> interfaces_;
   std::optional<Ipv4Address> default_gateway_;

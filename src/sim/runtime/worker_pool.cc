@@ -1,0 +1,135 @@
+#include "src/sim/runtime/worker_pool.h"
+
+#include <chrono>
+
+namespace fremont {
+namespace {
+
+// Spin iterations before falling back to the condition variable, on both the
+// worker (waiting for an epoch) and dispatcher (waiting for completion)
+// sides. Around 10-30us on current hardware — longer than a typical window
+// handoff, far shorter than a genuine idle period.
+constexpr int kSpinLimit = 20000;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(int threads)
+    // hardware_concurrency() can report 0 (unknown); both 0 and a count that
+    // cannot host workers + dispatcher concurrently disable spinning.
+    : spin_limit_(static_cast<int>(std::thread::hardware_concurrency()) > threads ? kSpinLimit
+                                                                                  : 0) {
+  threads_.reserve(threads > 0 ? static_cast<size_t>(threads) : 0);
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back([this]() { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_.store(true, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::Run(int jobs, const Job& job) {
+  if (jobs <= 0) {
+    return;
+  }
+  if (threads_.empty()) {
+    for (int i = 0; i < jobs; ++i) {
+      job(i);
+    }
+    return;
+  }
+  job_ = &job;
+  job_count_ = jobs;
+  next_job_.store(0, std::memory_order_relaxed);
+  workers_done_.store(0, std::memory_order_relaxed);
+  // The release store publishes job_/job_count_ to workers that acquire the
+  // new epoch from their spin loop. Parked workers need the lock + notify.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+
+  const int total = static_cast<int>(threads_.size());
+  for (int spin = 0; spin < spin_limit_; ++spin) {
+    if (workers_done_.load(std::memory_order_acquire) == total) {
+      job_ = nullptr;
+      return;
+    }
+    CpuRelax();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock,
+                [this, total]() { return workers_done_.load(std::memory_order_acquire) == total; });
+  job_ = nullptr;
+}
+
+void WorkerPool::WorkerMain() {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    // Fast path: the next epoch lands while we spin.
+    bool have_epoch = false;
+    for (int spin = 0; spin < spin_limit_; ++spin) {
+      if (shutdown_.load(std::memory_order_relaxed) ||
+          epoch_.load(std::memory_order_acquire) != seen_epoch) {
+        have_epoch = true;
+        break;
+      }
+      CpuRelax();
+    }
+    if (!have_epoch) {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto park_start = std::chrono::steady_clock::now();
+      work_cv_.wait(lock, [this, seen_epoch]() {
+        return shutdown_.load(std::memory_order_relaxed) ||
+               epoch_.load(std::memory_order_acquire) != seen_epoch;
+      });
+      const auto park_end = std::chrono::steady_clock::now();
+      idle_wait_us_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(park_end - park_start)
+                  .count()),
+          std::memory_order_relaxed);
+    }
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    seen_epoch = epoch_.load(std::memory_order_acquire);
+    const Job* job = job_;
+    const int jobs = job_count_;
+    while (true) {
+      const int i = next_job_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) {
+        break;
+      }
+      (*job)(i);
+    }
+    // Last worker out signals the dispatcher. The empty lock/unlock pairs
+    // with a dispatcher that has fallen off its spin and into done_cv_ —
+    // without it the notify could land between its predicate check and wait.
+    if (workers_done_.fetch_add(1, std::memory_order_release) + 1 ==
+        static_cast<int>(threads_.size())) {
+      { std::lock_guard<std::mutex> lock(mu_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace fremont

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/sim/runtime/sharded_event_queue.h"
 #include "src/util/logging.h"
 
 namespace fremont {
@@ -9,6 +10,11 @@ namespace fremont {
 Segment::Segment(std::string name, Subnet subnet, SegmentParams params, EventQueue* events,
                  Rng* rng)
     : name_(std::move(name)), subnet_(subnet), params_(params), events_(events), rng_(rng) {}
+
+void Segment::SetShard(ShardedEventQueue* runtime, int shard) {
+  runtime_ = runtime;
+  shard_ = runtime == nullptr ? 0 : shard;
+}
 
 void Segment::Attach(Interface* iface) {
   iface->segment = this;
@@ -40,6 +46,20 @@ int Segment::ConcurrentTransmissions(MacAddress src) {
 }
 
 void Segment::Transmit(const EthernetFrame& frame) {
+  // A sender on another shard hops onto this segment's shard first: the
+  // collision window, stats, and the segment's RNG draw all belong to this
+  // shard and must not run remotely. The hop becomes runnable at the next
+  // window barrier, no earlier than the sender's current time.
+  if (runtime_ != nullptr && ShardedEventQueue::CurrentShard() != shard_) {
+    const EventQueue* sender = ShardedEventQueue::CurrentQueue();
+    const SimTime when = sender != nullptr ? sender->Now() : runtime_->Now();
+    runtime_->Post(shard_, when, [this, frame]() { TransmitLocal(frame); });
+    return;
+  }
+  TransmitLocal(frame);
+}
+
+void Segment::TransmitLocal(const EthernetFrame& frame) {
   ++stats_.frames_sent;
   stats_.bytes_sent += 14 + frame.payload.size();
 
@@ -61,17 +81,34 @@ void Segment::Transmit(const EthernetFrame& frame) {
     if (frame.dst.IsBroadcast() || frame.dst.IsMulticast()) {
       // Deliver to every up interface except the sender's own.
       for (Interface* iface : interfaces_) {
-        if (iface->up && iface->mac != frame.src) {
-          iface->owner->OnFrame(iface, frame);
+        if (iface->mac != frame.src) {
+          DeliverTo(iface, frame);
         }
       }
     } else {
       auto it = by_mac_.find(frame.dst);
-      if (it != by_mac_.end() && it->second->up) {
-        it->second->owner->OnFrame(it->second, frame);
+      if (it != by_mac_.end()) {
+        DeliverTo(it->second, frame);
       }
     }
   });
+}
+
+void Segment::DeliverTo(Interface* iface, const EthernetFrame& frame) {
+  if (runtime_ != nullptr && iface->owner_shard != shard_) {
+    // Receiver lives on another shard: the frame crosses at the next window
+    // barrier, stamped with this segment's delivery time. The up check moves
+    // with it so the receiver's own shard decides.
+    runtime_->Post(iface->owner_shard, events_->Now(), [iface, frame]() {
+      if (iface->up) {
+        iface->owner->OnFrame(iface, frame);
+      }
+    });
+    return;
+  }
+  if (iface->up) {
+    iface->owner->OnFrame(iface, frame);
+  }
 }
 
 int Segment::AddTap(TapFn tap) {

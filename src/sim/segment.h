@@ -12,6 +12,7 @@
 #ifndef SRC_SIM_SEGMENT_H_
 #define SRC_SIM_SEGMENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -29,6 +30,7 @@
 namespace fremont {
 
 class Segment;
+class ShardedEventQueue;
 
 // Receiver half of a node: interfaces hand arriving frames to their owner
 // through this interface. Host implements it.
@@ -43,10 +45,15 @@ class FrameSink {
 struct Interface {
   FrameSink* owner = nullptr;
   Segment* segment = nullptr;
+  // Shard the owning host executes on; frame delivery crossing onto another
+  // shard goes through the runtime's mailbox rather than a direct call.
+  int owner_shard = 0;
   MacAddress mac;
   Ipv4Address ip;
   SubnetMask mask;
-  bool up = true;
+  // Atomic: a segment on one shard reads it at delivery time while the
+  // owner's shard may be flipping it (SetUp).
+  std::atomic<bool> up{true};
 
   Subnet AttachedSubnet() const { return Subnet(ip, mask); }
 };
@@ -80,6 +87,13 @@ class Segment {
   const std::string& name() const { return name_; }
   const Subnet& subnet() const { return subnet_; }
 
+  // Shard placement (Simulator::CreateSegment). With a runtime attached,
+  // Transmit() from another shard hops onto this segment's shard first, and
+  // delivery to an interface whose owner lives elsewhere hops again — both
+  // via mailbox posts that respect window barriers.
+  void SetShard(ShardedEventQueue* runtime, int shard);
+  int shard() const { return shard_; }
+
   // Registers an interface on this segment. The Interface object is owned by
   // its Host; the segment only references it.
   void Attach(Interface* iface);
@@ -106,11 +120,19 @@ class Segment {
   // (its NIC serializes them and carrier-sense defers).
   int ConcurrentTransmissions(MacAddress src);
 
+  // The single-shard transmit path: collision model + delivery scheduling.
+  // Must execute on this segment's shard.
+  void TransmitLocal(const EthernetFrame& frame);
+  // Hands `frame` to one receiver, hopping shards if the owner is remote.
+  void DeliverTo(Interface* iface, const EthernetFrame& frame);
+
   std::string name_;
   Subnet subnet_;
   SegmentParams params_;
   EventQueue* events_;
   Rng* rng_;
+  ShardedEventQueue* runtime_ = nullptr;
+  int shard_ = 0;
   std::vector<Interface*> interfaces_;
   std::unordered_map<MacAddress, Interface*> by_mac_;
   std::unordered_map<int, TapFn> taps_;

@@ -1,22 +1,73 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+
 namespace fremont {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(uint64_t seed, ShardOptions shard_options) : rng_(seed) {
+  if (shard_options.shards > 1) {
+    ShardedEventQueue::Options options;
+    options.shards = shard_options.shards;
+    options.workers = shard_options.workers;
+    options.window = shard_options.window;
+    options.seed = seed;
+    runtime_ = std::make_unique<ShardedEventQueue>(options);
+  }
+}
+
+SimTime Simulator::Now() const {
+  if (const EventQueue* current = ShardedEventQueue::CurrentQueue(); current != nullptr) {
+    return current->Now();
+  }
+  return runtime_ ? runtime_->Now() : events_.Now();
+}
+
+void Simulator::set_creation_shard(int shard) {
+  if (runtime_ == nullptr) {
+    creation_shard_ = 0;
+    return;
+  }
+  creation_shard_ = std::clamp(shard, 0, runtime_->shard_count() - 1);
+}
+
+void Simulator::RunFor(Duration duration) {
+  if (runtime_) {
+    runtime_->RunFor(duration);
+  } else {
+    events_.RunFor(duration);
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  if (runtime_) {
+    runtime_->RunUntil(deadline);
+  } else {
+    events_.RunUntil(deadline);
+  }
+}
 
 Segment* Simulator::CreateSegment(const std::string& name, Subnet subnet, SegmentParams params) {
-  segments_.push_back(std::make_unique<Segment>(name, subnet, params, &events_, &rng_));
+  EventQueue* events = runtime_ ? &runtime_->queue(creation_shard_) : &events_;
+  Rng* rng = runtime_ ? &runtime_->rng(creation_shard_) : &rng_;
+  segments_.push_back(std::make_unique<Segment>(name, subnet, params, events, rng));
+  segments_.back()->SetShard(runtime_.get(), creation_shard_);
   return segments_.back().get();
 }
 
 Host* Simulator::CreateHost(const std::string& name, HostConfig config) {
-  hosts_.push_back(std::make_unique<Host>(name, config, &events_, &rng_));
+  EventQueue* events = runtime_ ? &runtime_->queue(creation_shard_) : &events_;
+  Rng* rng = runtime_ ? &runtime_->rng(creation_shard_) : &rng_;
+  hosts_.push_back(std::make_unique<Host>(name, config, events, rng));
+  hosts_.back()->set_shard(creation_shard_);
   return hosts_.back().get();
 }
 
 Router* Simulator::CreateRouter(const std::string& name, RouterConfig config) {
-  auto router = std::make_unique<Router>(name, config, &events_, &rng_);
+  EventQueue* events = runtime_ ? &runtime_->queue(creation_shard_) : &events_;
+  Rng* rng = runtime_ ? &runtime_->rng(creation_shard_) : &rng_;
+  auto router = std::make_unique<Router>(name, config, events, rng);
   Router* raw = router.get();
+  raw->set_shard(creation_shard_);
   hosts_.push_back(std::move(router));
   routers_.push_back(raw);
   return raw;

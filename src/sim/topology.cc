@@ -573,4 +573,139 @@ Campus BuildCampus(Simulator& sim, const CampusParams& params) {
   return campus;
 }
 
+// ---------------------------------------------------------------------------
+// Sharded campus (parallel-runtime environment)
+// ---------------------------------------------------------------------------
+
+ShardedCampus BuildShardedCampus(Simulator& sim, const ShardedCampusParams& params) {
+  ShardedCampus campus;
+  const SubnetMask slash24 = SubnetMask::FromPrefixLength(24);
+  const SubnetMask slash16 = SubnetMask::FromPrefixLength(16);
+  // MACs are plain serials off fixed OUIs — no RNG anywhere in construction,
+  // so the topology is identical across seeds and shard counts.
+  uint32_t host_serial = 0x7000;
+  uint32_t router_serial = 0xb000;
+
+  SegmentParams lossless;
+  if (params.lossless) {
+    lossless.loss_per_concurrent = 0.0;
+    lossless.max_loss = 0.0;
+  }
+  SegmentParams backbone_params = lossless;
+  backbone_params.latency = params.backbone_latency;
+
+  sim.set_creation_shard(0);
+  campus.backbone = sim.CreateSegment("shared-backbone", params.backbone, backbone_params);
+
+  for (int d = 0; d < params.domains; ++d) {
+    sim.set_creation_shard(d);
+    ShardedCampusDomain dom;
+    dom.shard = sim.creation_shard();
+    dom.name = "d" + std::to_string(d);
+    const uint32_t base =
+        Ipv4Address(128, static_cast<uint8_t>(params.first_class_b_octet + d), 0, 0).value();
+    dom.network = Subnet(Ipv4Address(base), slash16);
+    const std::string domain_suffix = dom.name + ".colorado.edu";
+
+    ZoneDb zone;
+    zone.AddNs(domain_suffix, "ns." + domain_suffix);
+
+    dom.gateway = sim.CreateRouter(dom.name + "-gw", RouterConfig{});
+    dom.backbone_iface = dom.gateway->AttachTo(
+        campus.backbone, params.backbone.HostAt(10 + static_cast<uint32_t>(d)),
+        params.backbone.mask(), MacAddress::FromOui(kOuiCisco, router_serial++));
+    const std::string gw_name = dom.name + "-gw.colorado.edu";
+    zone.AddHost(gw_name, dom.backbone_iface->ip);
+    ++campus.total_interfaces;
+
+    size_t name_index = 0;
+    for (int s = 1; s <= params.subnets_per_domain; ++s) {
+      const Subnet subnet(Ipv4Address(base + (static_cast<uint32_t>(s) << 8)), slash24);
+      dom.subnets.push_back(subnet);
+      Segment* segment =
+          sim.CreateSegment(dom.name + "-subnet-" + std::to_string(s), subnet, lossless);
+      dom.segments.push_back(segment);
+
+      Interface* gw_iface = dom.gateway->AttachTo(segment, subnet.HostAt(1), slash24,
+                                                  MacAddress::FromOui(kOuiCisco, router_serial++));
+      zone.AddHost(gw_name, gw_iface->ip);
+      ++campus.total_interfaces;
+
+      const int host_count =
+          params.hosts_per_subnet + ((d == 0 && s == 1) ? params.extra_hosts : 0);
+      for (int h = 0; h < host_count; ++h) {
+        const std::string name = CampusHostName(name_index++, dom.name);
+        Host* host = sim.CreateHost(name);
+        Interface* iface =
+            host->AttachTo(segment, subnet.HostAt(10 + static_cast<uint32_t>(h)), slash24,
+                           MacAddress::FromOui(kOuiSun, host_serial++));
+        host->SetDefaultGateway(gw_iface->ip);
+        zone.AddHost(name, iface->ip);
+        dom.hosts.push_back(host);
+        ++campus.total_interfaces;
+      }
+    }
+
+    // Vantage machine and name server live on the domain's first subnet.
+    const Subnet& home = dom.subnets.front();
+    Segment* home_segment = dom.segments.front();
+    const Ipv4Address home_gw = home.HostAt(1);
+
+    dom.vantage = sim.CreateHost("fremont." + domain_suffix);
+    Interface* vantage_iface = dom.vantage->AttachTo(
+        home_segment, home.HostAt(250), slash24, MacAddress::FromOui(kOuiSun, host_serial++));
+    dom.vantage->SetDefaultGateway(home_gw);
+    zone.AddHost(dom.vantage->name(), vantage_iface->ip);
+    ++campus.total_interfaces;
+
+    dom.dns_host = sim.CreateHost("ns." + domain_suffix);
+    Interface* ns_iface = dom.dns_host->AttachTo(
+        home_segment, home.HostAt(53), slash24, MacAddress::FromOui(kOuiSun, host_serial++));
+    dom.dns_host->SetDefaultGateway(home_gw);
+    zone.AddHost(dom.dns_host->name(), ns_iface->ip);
+    dom.dns_ip = ns_iface->ip;
+    ++campus.total_interfaces;
+
+    dom.dns = std::make_unique<DnsServer>(dom.dns_host, std::move(zone));
+
+    if (params.enable_traffic) {
+      // The generator runs on the domain's own shard (its queue, its RNG
+      // stream); fixed per-host intervals keep construction draw-free.
+      dom.traffic = std::make_unique<TrafficGenerator>(&sim.shard_events(dom.shard),
+                                                       &sim.shard_rng(dom.shard));
+      for (Host* host : dom.hosts) {
+        dom.traffic->AddHost(host, params.traffic_mean_interval);
+      }
+      dom.traffic->Start();
+    }
+
+    campus.domains.push_back(std::move(dom));
+  }
+  sim.set_creation_shard(0);
+
+  // Inter-domain routes: every gateway reaches every other domain's class B
+  // across the backbone (metric 2); RIP keeps them fresh thereafter.
+  if (params.static_routes) {
+    for (auto& from : campus.domains) {
+      for (const auto& to : campus.domains) {
+        if (&from == &to) {
+          continue;
+        }
+        from.gateway->routing_table().Learn(to.network, to.backbone_iface->ip,
+                                            from.backbone_iface, 2, sim.Now());
+      }
+    }
+  }
+
+  if (params.enable_rip) {
+    for (auto& dom : campus.domains) {
+      auto daemon = std::make_unique<RipDaemon>(dom.gateway, dom.gateway, RipDaemonConfig{});
+      daemon->Start();
+      dom.rip_daemons.push_back(std::move(daemon));
+    }
+  }
+
+  return campus;
+}
+
 }  // namespace fremont

@@ -204,6 +204,71 @@ struct Campus {
 
 Campus BuildCampus(Simulator& sim, const CampusParams& params);
 
+// ---------------------------------------------------------------------------
+// Sharded campus (parallel-runtime environment)
+// ---------------------------------------------------------------------------
+//
+// A campus laid out for the sharded runtime: `domains` independent
+// administrative domains, each a class B network with its own gateway,
+// subnets, hosts, name server, and vantage machine, placed on its own shard
+// via Simulator::set_creation_shard(). The domains meet on one shared
+// backbone segment (shard 0) whose latency provides the cross-shard
+// lookahead. Construction draws nothing from any RNG — the same params
+// produce the identical topology at every (seed, shard_count), which is what
+// the shards=1-vs-N journal-equivalence tests rely on.
+//
+// Defaults yield 255 interfaces: per domain a gateway (1 backbone + 4 subnet
+// interfaces), 4 x 14 hosts, a vantage, and a name server = 63; times 4
+// domains = 252; plus 3 extra hosts on domain 0's first subnet.
+
+struct ShardedCampusParams {
+  int domains = 4;
+  int subnets_per_domain = 4;
+  int hosts_per_subnet = 14;
+  // Extra hosts on domain 0's first subnet (tops up the interface total).
+  int extra_hosts = 3;
+  // Domain d's network is <first_class_b_octet + d> in 128.x.0.0/16.
+  uint32_t first_class_b_octet = 140;
+  Subnet backbone = *Subnet::Parse("128.139.0.0/24");
+  // Backbone latency doubles as the cross-shard lookahead: a frame between
+  // domains is in flight at least this long, so a runtime window no wider
+  // than it adds no observable slip.
+  Duration backbone_latency = Duration::Millis(5);
+  // Zero collision loss everywhere. Keep on for cross-shard-count
+  // equivalence runs: collision loss draws from per-shard RNG streams, which
+  // differ by construction between shard counts.
+  bool lossless = true;
+  bool enable_rip = true;
+  bool static_routes = true;
+  bool enable_traffic = false;
+  Duration traffic_mean_interval = Duration::Minutes(30);
+};
+
+struct ShardedCampusDomain {
+  int shard = 0;
+  std::string name;     // "d0", "d1", ...
+  Subnet network;       // The domain's class B.
+  std::vector<Subnet> subnets;
+  std::vector<Segment*> segments;
+  Router* gateway = nullptr;
+  Interface* backbone_iface = nullptr;
+  Host* vantage = nullptr;
+  Host* dns_host = nullptr;
+  Ipv4Address dns_ip;
+  std::vector<Host*> hosts;  // Plain hosts (excluding vantage/dns/gateway).
+  std::unique_ptr<DnsServer> dns;
+  std::unique_ptr<TrafficGenerator> traffic;
+  std::vector<std::unique_ptr<RipDaemon>> rip_daemons;
+};
+
+struct ShardedCampus {
+  Segment* backbone = nullptr;
+  std::vector<ShardedCampusDomain> domains;
+  int total_interfaces = 0;
+};
+
+ShardedCampus BuildShardedCampus(Simulator& sim, const ShardedCampusParams& params = {});
+
 // Deterministic host-name generator shared by the builders (classic early-90s
 // workstation names, qualified by department).
 std::string CampusHostName(size_t index, const std::string& department);

@@ -73,6 +73,12 @@ inline constexpr char kCorrelateFullRebuilds[] = "correlate/full_rebuilds";
 inline constexpr char kSimEventsDispatched[] = "sim/events_dispatched";
 inline constexpr char kSimQueueDepthHighWater[] = "sim/queue_depth_high_water";
 
+// --- Sharded runtime ----------------------------------------------------------
+inline constexpr char kRuntimeShards[] = "runtime/shards";
+inline constexpr char kRuntimeWindowBarriers[] = "runtime/window_barriers";
+inline constexpr char kRuntimeCrossShardEvents[] = "runtime/cross_shard_events";
+inline constexpr char kRuntimeWorkerIdleUs[] = "runtime/worker_idle_us";
+
 // --- Logging (imported by the exporter from Logging's own tallies) ------------
 inline constexpr char kLogWarnings[] = "log/warnings";
 inline constexpr char kLogErrors[] = "log/errors";
@@ -89,6 +95,7 @@ inline constexpr char kSpanJournalServer[] = "journal_server";
 inline constexpr char kSpanJournalFlush[] = "journal_client";
 inline constexpr char kSpanCorrelate[] = "correlate";
 inline constexpr char kSpanManagerTick[] = "manager";
+inline constexpr char kSpanShardRun[] = "runtime_shard";
 // Per-module sim-time run latency histograms, fed from the run span:
 // "module/run_latency_us/seqping".
 inline constexpr char kModuleRunLatencyUsPrefix[] = "module/run_latency_us/";

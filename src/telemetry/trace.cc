@@ -24,6 +24,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "changelog_delta";
     case TraceEventKind::kManagerTick:
       return "manager_tick";
+    case TraceEventKind::kShardRun:
+      return "shard_run";
   }
   return "?";
 }

@@ -46,6 +46,7 @@ enum class TraceEventKind : uint8_t {
   kScheduleDecision = 6,
   kChangelogDelta = 7,  // A delta read served entries this trace produced.
   kManagerTick = 8,     // One Discovery Manager tick (the per-tick root span).
+  kShardRun = 9,        // One shard's share of a parallel runtime drive call.
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

@@ -1,5 +1,6 @@
 #include "src/util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace fremont {
@@ -8,8 +9,8 @@ namespace {
 LogLevel g_min_level = LogLevel::kWarning;
 Logging::Sink g_sink;
 Logging::Clock g_clock;
-uint64_t g_warning_count = 0;
-uint64_t g_error_count = 0;
+std::atomic<uint64_t> g_warning_count{0};
+std::atomic<uint64_t> g_error_count{0};
 
 void DefaultSink(LogLevel, const std::string& line) {
   std::fprintf(stderr, "%s\n", line.c_str());
@@ -56,9 +57,9 @@ void Logging::Emit(LogLevel level, const std::string& message) {
     return;
   }
   if (level == LogLevel::kWarning) {
-    ++g_warning_count;
+    g_warning_count.fetch_add(1, std::memory_order_relaxed);
   } else if (level == LogLevel::kError) {
-    ++g_error_count;
+    g_error_count.fetch_add(1, std::memory_order_relaxed);
   }
   const std::string line = Format(level, message);
   if (g_sink) {
@@ -68,10 +69,13 @@ void Logging::Emit(LogLevel level, const std::string& message) {
   }
 }
 
-uint64_t Logging::warning_count() { return g_warning_count; }
+uint64_t Logging::warning_count() { return g_warning_count.load(std::memory_order_relaxed); }
 
-uint64_t Logging::error_count() { return g_error_count; }
+uint64_t Logging::error_count() { return g_error_count.load(std::memory_order_relaxed); }
 
-void Logging::ResetCounts() { g_warning_count = g_error_count = 0; }
+void Logging::ResetCounts() {
+  g_warning_count.store(0, std::memory_order_relaxed);
+  g_error_count.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace fremont

@@ -24,8 +24,10 @@ enum class LogLevel { kDebug, kInfo, kWarning, kError };
 
 const char* LogLevelName(LogLevel level);
 
-// Process-wide log configuration. Not thread-safe by design: the simulator
-// is single-threaded (a discrete event loop), as was the 1993 prototype.
+// Process-wide log configuration. Configuration (sink, clock, min level) is
+// installed once, before any worker threads run, and stays fixed while they
+// do; the severity counters are atomic so Emit() itself is safe from the
+// sharded runtime's worker threads.
 class Logging {
  public:
   // The string is the fully formatted line (metadata already applied).

@@ -98,5 +98,43 @@ TEST(EventQueueTest, RunWhileHonorsPredicate) {
   EXPECT_EQ(queue.executed_count(), 10u);
 }
 
+TEST(EventQueueTest, RunWindowStopsAtExclusiveEdge) {
+  EventQueue queue;
+  std::vector<int> ran;
+  queue.ScheduleAt(SimTime::Epoch() + Duration::Millis(5), [&]() { ran.push_back(5); });
+  queue.ScheduleAt(SimTime::Epoch() + Duration::Millis(19), [&]() { ran.push_back(19); });
+  // Exactly at the window edge: belongs to the NEXT window, not this one.
+  queue.ScheduleAt(SimTime::Epoch() + Duration::Millis(20), [&]() { ran.push_back(20); });
+  queue.RunWindow(SimTime::Epoch() + Duration::Millis(20));
+  EXPECT_EQ(ran, (std::vector<int>{5, 19}));
+  // The clock still lands on the edge, so a barrier leaves every shard's
+  // clock aligned even when its last event was earlier.
+  EXPECT_EQ(queue.Now(), SimTime::Epoch() + Duration::Millis(20));
+  queue.RunWindow(SimTime::Epoch() + Duration::Millis(40));
+  EXPECT_EQ(ran, (std::vector<int>{5, 19, 20}));
+}
+
+TEST(EventQueueTest, RunWindowRunsEventsScheduledInsideTheWindow) {
+  EventQueue queue;
+  std::vector<int> ran;
+  queue.ScheduleAt(SimTime::Epoch() + Duration::Millis(2), [&]() {
+    ran.push_back(2);
+    // Inside the window: runs in this same pass.
+    queue.ScheduleAt(SimTime::Epoch() + Duration::Millis(8), [&]() { ran.push_back(8); });
+    // Past the edge: waits for the next window.
+    queue.ScheduleAt(SimTime::Epoch() + Duration::Millis(30), [&]() { ran.push_back(30); });
+  });
+  queue.RunWindow(SimTime::Epoch() + Duration::Millis(10));
+  EXPECT_EQ(ran, (std::vector<int>{2, 8}));
+}
+
+TEST(EventQueueTest, AdvanceToNeverMovesClockBackwards) {
+  EventQueue queue;
+  queue.AdvanceTo(SimTime::Epoch() + Duration::Millis(50));
+  EXPECT_EQ(queue.Now(), SimTime::Epoch() + Duration::Millis(50));
+  queue.AdvanceTo(SimTime::Epoch() + Duration::Millis(10));
+  EXPECT_EQ(queue.Now(), SimTime::Epoch() + Duration::Millis(50));
+}
+
 }  // namespace
 }  // namespace fremont

@@ -1,0 +1,16 @@
+// Fixture: a manager that spins up its own OS thread instead of going
+// through the sharded runtime's WorkerPool. Both the std::thread and the
+// detach() must be flagged.
+
+#include <thread>
+
+namespace fixture {
+
+void StartBackgroundPoller() {
+  std::thread poller([]() {
+    // pretend to poll something
+  });
+  poller.detach();
+}
+
+}  // namespace fixture

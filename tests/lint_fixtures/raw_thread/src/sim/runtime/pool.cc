@@ -1,0 +1,18 @@
+// Fixture: the runtime directory is the one place allowed to create
+// threads — this file must NOT be flagged (it joins, never detaches).
+
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+struct Pool {
+  std::vector<std::thread> workers;
+  ~Pool() {
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+};
+
+}  // namespace fixture

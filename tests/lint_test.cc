@@ -98,6 +98,21 @@ TEST(FremontLint, RawSpanNameLiteralIsFlagged) {
   EXPECT_TRUE(CheckSpanNameLiterals(Fixture("clean")).empty());
 }
 
+TEST(FremontLint, RawThreadOutsideRuntimeIsFlagged) {
+  const std::vector<Issue> issues = CheckRawThreads(Fixture("raw_thread"));
+  ASSERT_EQ(issues.size(), 2u) << Dump(issues);  // std::thread + detach().
+  for (const Issue& issue : issues) {
+    EXPECT_EQ(issue.rule, "raw-thread");
+    // Only the manager file: the runtime-dir pool is the sanctioned home.
+    EXPECT_EQ(issue.file, "src/manager/poller.cc");
+    EXPECT_GT(issue.line, 0);
+  }
+  EXPECT_TRUE(AnyMessageContains(issues, "WorkerPool")) << Dump(issues);
+  EXPECT_TRUE(AnyMessageContains(issues, "detach")) << Dump(issues);
+  EXPECT_FALSE(RunAllRules(Fixture("raw_thread")).empty());
+  EXPECT_TRUE(CheckRawThreads(Fixture("clean")).empty());
+}
+
 // The contract the tree ships under: the real repo lints clean. If this
 // fails, either real drift crept in (fix the code) or a rule got stricter
 // (fix the rule or migrate the tree in the same PR).

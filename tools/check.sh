@@ -6,11 +6,11 @@
 #   tools/check.sh            # plain build + ctest
 #   tools/check.sh asan       # AddressSanitizer build + ctest
 #   tools/check.sh ubsan      # UndefinedBehaviorSanitizer build + ctest
-#   tools/check.sh tsan       # ThreadSanitizer build + ctest (telemetry concurrency)
+#   tools/check.sh tsan       # ThreadSanitizer build + ctest (sharded runtime, telemetry)
 #   tools/check.sh audit      # FREMONT_AUDIT=ON build + ctest (invariant audits)
 #   tools/check.sh lint       # build fremont_lint, run it over the repo
 #   tools/check.sh tidy       # clang-tidy over src/ tools/ bench/ (skips if absent)
-#   tools/check.sh all        # plain, asan, ubsan, audit, lint — in that order
+#   tools/check.sh all        # plain, asan, ubsan, tsan, audit, lint — in that order
 set -eu
 
 root=$(cd "$(dirname "$0")/.." && pwd)
@@ -74,6 +74,7 @@ case "$mode" in
     run_one plain -DFREMONT_SANITIZE=
     run_one asan -DFREMONT_SANITIZE=address
     run_one ubsan -DFREMONT_SANITIZE=undefined
+    run_one tsan -DFREMONT_SANITIZE=thread
     run_one audit -DFREMONT_AUDIT=ON
     run_lint
     ;;

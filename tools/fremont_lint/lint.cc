@@ -413,6 +413,43 @@ std::vector<Issue> CheckSpanNameLiterals(const std::string& root) {
   return issues;
 }
 
+std::vector<Issue> CheckRawThreads(const std::string& root) {
+  std::vector<Issue> issues;
+  for (const fs::path& file : SourceFilesUnder(fs::path(root) / "src")) {
+    const std::string rel = Relative(file, root);
+    const bool in_runtime = rel.rfind("src/sim/runtime/", 0) == 0;
+    const std::string code = StripComments(ReadFile(file));
+    if (!in_runtime) {
+      for (const char* token : {"std::thread", "std::jthread", "pthread_create"}) {
+        size_t pos = 0;
+        while ((pos = FindToken(code, token, pos)) != std::string::npos) {
+          issues.push_back({rel, LineOfOffset(code, pos), "raw-thread",
+                            std::string("raw ") + token +
+                                " outside src/sim/runtime/; shard work must run on the "
+                                "WorkerPool so the window barriers see it"});
+          pos += std::string(token).size();
+        }
+      }
+    }
+    // detach() is out even inside the runtime: a detached thread outlives the
+    // pool's join and can touch a destroyed Simulator.
+    size_t pos = 0;
+    while ((pos = FindToken(code, "detach", pos)) != std::string::npos) {
+      size_t open = pos + 6;  // strlen("detach")
+      while (open < code.size() && std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+        ++open;
+      }
+      if (open < code.size() && code[open] == '(') {
+        issues.push_back({rel, LineOfOffset(code, pos), "raw-thread",
+                          "detach() creates a thread nothing joins; keep workers owned "
+                          "by the runtime's WorkerPool"});
+      }
+      pos += 6;
+    }
+  }
+  return issues;
+}
+
 std::vector<Issue> RunAllRules(const std::string& root) {
   std::vector<Issue> issues = CheckWireOpCoverage(root);
   std::vector<Issue> metric = CheckMetricNameLiterals(root);
@@ -421,6 +458,8 @@ std::vector<Issue> RunAllRules(const std::string& root) {
   issues.insert(issues.end(), schedule.begin(), schedule.end());
   std::vector<Issue> span = CheckSpanNameLiterals(root);
   issues.insert(issues.end(), span.begin(), span.end());
+  std::vector<Issue> threads = CheckRawThreads(root);
+  issues.insert(issues.end(), threads.begin(), threads.end());
   return issues;
 }
 

@@ -28,6 +28,14 @@
 //     src/ is flagged, same rationale as rule 2 — a typo'd span name forks
 //     the trace vocabulary fremont_report and the latency histograms key on.
 //
+//  5. raw-thread — OS threads may only be created inside src/sim/runtime/
+//     (the WorkerPool owns thread lifetime, shutdown, and idle accounting);
+//     std::thread / std::jthread / pthread_create anywhere else under src/,
+//     and detach() calls anywhere, are flagged. A stray thread outside the
+//     runtime bypasses the window-barrier synchronization the sharded
+//     executor's determinism contract rests on, and a detached thread can
+//     outlive the Simulator it touches.
+//
 // The binary (tools/fremont_lint) runs all rules against a repo root and
 // exits nonzero on any finding; the library entry points below let the unit
 // test drive each rule against fixture trees.
@@ -44,7 +52,7 @@ struct Issue {
   std::string file;  // Repo-root-relative path.
   int line = 0;      // 1-based; 0 when the issue is file-level.
   std::string rule;  // "wire-op-coverage", "metric-name-literal",
-                     // "unguarded-schedule", "span-name-literal".
+                     // "unguarded-schedule", "span-name-literal", "raw-thread".
   std::string message;
 
   std::string Format() const;  // "file:line: [rule] message"
@@ -60,6 +68,7 @@ std::vector<Issue> CheckWireOpCoverage(const std::string& root);
 std::vector<Issue> CheckMetricNameLiterals(const std::string& root);
 std::vector<Issue> CheckUnguardedSchedules(const std::string& root);
 std::vector<Issue> CheckSpanNameLiterals(const std::string& root);
+std::vector<Issue> CheckRawThreads(const std::string& root);
 
 // All rules, in the order above.
 std::vector<Issue> RunAllRules(const std::string& root);
