@@ -59,11 +59,12 @@ struct SweepResult {
   std::vector<ExplorerReport> reports;
 };
 
-SweepResult RunSweep(int shards, int workers, uint64_t seed) {
+SweepResult RunSweep(int shards, int workers, uint64_t seed,
+                     Duration window = Duration::Millis(500)) {
   ShardOptions options;
   options.shards = shards;
   options.workers = workers;
-  options.window = Duration::Millis(500);
+  options.window = window;
   Simulator sim(seed, options);
   ShardedCampusParams params;  // 4 domains, 255 interfaces.
   // Background traffic supplies the per-window work that makes parallelism
@@ -196,8 +197,20 @@ SweepResult RunSweep(int shards, int workers, uint64_t seed) {
   return result;
 }
 
+// --window-sweep: one row per ShardOptions::window value, quantifying the
+// synchronization-granularity trade-off (smaller windows = more barriers =
+// tighter cross-shard causality but more synchronization overhead).
+struct WindowSweepRow {
+  int window_ms = 0;
+  double wall_seconds = 0.0;
+  uint64_t window_barriers = 0;
+  uint64_t cross_shard_events = 0;
+  int module_runs = 0;
+};
+
 bool WriteJson(const std::string& path, const SweepResult& serial,
-               const SweepResult& concurrent, double speedup, bool journals_equal) {
+               const SweepResult& concurrent, double speedup, bool journals_equal,
+               const std::vector<WindowSweepRow>& window_sweep) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_parallel_sweep: cannot write %s\n", path.c_str());
@@ -236,14 +249,29 @@ bool WriteJson(const std::string& path, const SweepResult& serial,
   const unsigned hw = std::thread::hardware_concurrency();
   std::fprintf(out,
                ",\n \"speedup\": %.3f,\n \"hardware_threads\": %u,\n"
-               " \"speedup_gate_enforced\": %s,\n \"journals_equivalent\": %s}\n",
+               " \"speedup_gate_enforced\": %s,\n \"journals_equivalent\": %s",
                speedup, hw, hw >= static_cast<unsigned>(concurrent.workers + 1) ? "true" : "false",
                journals_equal ? "true" : "false");
+  if (!window_sweep.empty()) {
+    std::fprintf(out, ",\n \"window_sweep\": [");
+    for (size_t i = 0; i < window_sweep.size(); ++i) {
+      const WindowSweepRow& row = window_sweep[i];
+      std::fprintf(out,
+                   "%s\n  {\"window_ms\": %d, \"wall_seconds\": %.3f,"
+                   " \"window_barriers\": %llu, \"cross_shard_events\": %llu,"
+                   " \"module_runs\": %d}",
+                   i == 0 ? "" : ",", row.window_ms, row.wall_seconds,
+                   static_cast<unsigned long long>(row.window_barriers),
+                   static_cast<unsigned long long>(row.cross_shard_events), row.module_runs);
+    }
+    std::fprintf(out, "]");
+  }
+  std::fprintf(out, "}\n");
   std::fclose(out);
   return true;
 }
 
-int Main() {
+int Main(bool window_sweep_mode) {
   bench::PrintHeader("Parallel (sharded) vs single-threaded campus sweep",
                      "the Discovery Manager section, scaled across worker threads");
 
@@ -280,8 +308,39 @@ int Main() {
   std::printf("\nParallel sweep is %.2fx faster in wall-clock; journals are %s.\n", speedup,
               journals_equal ? "record-for-record equivalent" : "DIFFERENT (bug!)");
 
-  const bool wrote =
-      WriteJson("BENCH_parallel_sweep.json", baseline, parallel, speedup, journals_equal);
+  // --window-sweep (PR 7's listed follow-on): rerun the sharded sweep across
+  // synchronization-window sizes, reusing the default 500 ms run above.
+  std::vector<WindowSweepRow> window_rows;
+  bool window_sweep_ok = true;
+  if (window_sweep_mode) {
+    std::printf("\nWindow sweep (shards=%d, workers=%d):\n", kShards, kWorkers);
+    std::printf("  %10s %14s %18s %20s\n", "window", "wall-clock", "window barriers",
+                "cross-shard events");
+    for (const int window_ms : {5, 20, 100, 500}) {
+      SweepResult r = window_ms == 500
+                          ? parallel
+                          : RunSweep(kShards, kWorkers, kSeed, Duration::Millis(window_ms));
+      WindowSweepRow row;
+      row.window_ms = window_ms;
+      row.wall_seconds = r.wall_seconds;
+      row.window_barriers = r.window_barriers;
+      row.cross_shard_events = r.cross_shard_events;
+      row.module_runs = r.module_runs;
+      std::printf("  %8dms %13.3fs %18llu %20llu\n", window_ms, row.wall_seconds,
+                  static_cast<unsigned long long>(row.window_barriers),
+                  static_cast<unsigned long long>(row.cross_shard_events));
+      // Same modules launch regardless of window size, and a smaller window
+      // can never take fewer barriers over the same span of sim time.
+      window_sweep_ok &= r.module_runs == parallel.module_runs;
+      if (!window_rows.empty()) {
+        window_sweep_ok &= window_rows.back().window_barriers >= row.window_barriers;
+      }
+      window_rows.push_back(row);
+    }
+  }
+
+  const bool wrote = WriteJson("BENCH_parallel_sweep.json", baseline, parallel, speedup,
+                               journals_equal, window_rows);
 
   // The wall-clock speedup bar needs a core for every worker plus the control
   // thread; on smaller machines (CI runners are often 1-2 vCPUs) the runs
@@ -302,6 +361,7 @@ int Main() {
   }
   shape_ok &= journals_equal;  // ...with no loss of discovered records.
   shape_ok &= parallel.cross_shard_events > 0;  // The domains really interact.
+  shape_ok &= window_sweep_ok;
   shape_ok &= wrote;
   std::printf("shape check: %s\n", shape_ok ? "OK" : "MISMATCH");
   return shape_ok ? 0 : 1;
@@ -310,4 +370,12 @@ int Main() {
 }  // namespace
 }  // namespace fremont
 
-int main() { return fremont::Main(); }
+int main(int argc, char** argv) {
+  bool window_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--window-sweep") {
+      window_sweep = true;
+    }
+  }
+  return fremont::Main(window_sweep);
+}

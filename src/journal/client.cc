@@ -187,6 +187,28 @@ JournalClient::DeltaResult JournalClient::GetChangedSince(RecordKind kind,
   return result;
 }
 
+JournalClient::SubscribeResult JournalClient::Subscribe(uint32_t channel_id, uint16_t view_mask,
+                                                        uint64_t since_generation) {
+  JournalRequest req;
+  req.type = RequestType::kSubscribe;
+  req.subscriber_id = channel_id;
+  req.view_mask = view_mask;
+  req.since_generation = since_generation;
+  JournalResponse resp = RoundTrip(req);
+  SubscribeResult result;
+  result.ok = resp.status == ResponseStatus::kOk;
+  result.subscriber_id = resp.record_id;
+  result.generation = resp.generation;
+  return result;
+}
+
+bool JournalClient::Unsubscribe(uint32_t subscriber_id) {
+  JournalRequest req;
+  req.type = RequestType::kUnsubscribe;
+  req.subscriber_id = subscriber_id;
+  return RoundTrip(req).status == ResponseStatus::kOk;
+}
+
 std::vector<SubnetRecord> JournalClient::GetSubnets() {
   if (cache_ != nullptr) {
     return cache_->GetSubnets();

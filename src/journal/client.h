@@ -84,6 +84,22 @@ class JournalClient {
   };
   DeltaResult GetChangedSince(RecordKind kind, uint64_t since_generation);
 
+  // v2 serving ops: registers a push subscription with the serving layer
+  // attached to the server (see SubscriptionBroker / serve::ServeService).
+  // `channel_id` names a push channel previously registered with the serving
+  // layer, `view_mask` selects materialized views (serve::ViewBit), and
+  // `since_generation` is the resume cursor (0 = only future updates... the
+  // serving layer treats 0 as "everything", so a fresh subscriber gets an
+  // immediate catch-up push). Returns the subscription id and the server's
+  // current generation.
+  struct SubscribeResult {
+    bool ok = false;
+    uint32_t subscriber_id = 0;
+    uint64_t generation = 0;
+  };
+  SubscribeResult Subscribe(uint32_t channel_id, uint16_t view_mask, uint64_t since_generation);
+  bool Unsubscribe(uint32_t subscriber_id);
+
   bool DeleteInterface(RecordId id);
   bool DeleteGateway(RecordId id);
   bool DeleteSubnet(RecordId id);

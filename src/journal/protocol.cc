@@ -87,7 +87,8 @@ constexpr int64_t kNoObsTime = INT64_MIN;
 
 // Trailing span-context field on v2 frames: tag, length, then the three ids.
 // The tag byte can never open a valid request (request types stop at
-// kGetChangedSince), so a truncated-frame misread cannot alias it.
+// kPushUpdate = 15, far below 0xC5), so a truncated-frame misread cannot
+// alias it.
 constexpr uint8_t kSpanContextTag = 0xC5;
 constexpr uint8_t kSpanContextLen = 24;  // 3 × u64.
 
@@ -171,6 +172,18 @@ void JournalRequest::EncodeTo(ByteWriter& writer) const {
       writer.WriteU8(static_cast<uint8_t>(changed_kind));
       writer.WriteU64(since_generation);
       break;
+    case RequestType::kSubscribe:
+    case RequestType::kPushUpdate:
+      // Subscribe: channel id + view mask + resume cursor. PushUpdate reuses
+      // the layout: subscription id + changed-view mask + refreshed-to
+      // generation.
+      writer.WriteU32(subscriber_id);
+      writer.WriteU16(view_mask);
+      writer.WriteU64(since_generation);
+      break;
+    case RequestType::kUnsubscribe:
+      writer.WriteU32(subscriber_id);
+      break;
   }
   // Conditional-get tag. Written only when set, after the v1 body, so a v1
   // request is byte-identical and a v1 decoder's trailing bytes are ignored.
@@ -193,7 +206,7 @@ ByteBuffer JournalRequest::Encode() const {
 
 bool JournalRequest::DecodeInto(JournalRequest& out, ByteReader& reader, bool inside_batch) {
   uint8_t type = reader.ReadU8();
-  if (type < 1 || type > static_cast<uint8_t>(RequestType::kGetChangedSince)) {
+  if (type < 1 || type > static_cast<uint8_t>(RequestType::kPushUpdate)) {
     return false;
   }
   out.type = static_cast<RequestType>(type);
@@ -264,6 +277,15 @@ bool JournalRequest::DecodeInto(JournalRequest& out, ByteReader& reader, bool in
       out.since_generation = reader.ReadU64();
       break;
     }
+    case RequestType::kSubscribe:
+    case RequestType::kPushUpdate:
+      out.subscriber_id = reader.ReadU32();
+      out.view_mask = reader.ReadU16();
+      out.since_generation = reader.ReadU64();
+      break;
+    case RequestType::kUnsubscribe:
+      out.subscriber_id = reader.ReadU32();
+      break;
   }
   // Batch items decode mid-buffer, where the remaining bytes belong to the
   // next item — only a top-level Get may consume a trailing generation tag.

@@ -33,6 +33,14 @@
 //    already mean `if_generation`), and the tag is only consumed when it
 //    validates — absent context decodes to the zero SpanContext. See
 //    DESIGN.md §13.
+//  - Serving ops (DESIGN.md §15): kSubscribe registers a push subscription
+//    (subscriber_id names a pre-registered push channel; since_generation is
+//    the resume cursor; view_mask selects materialized views), kUnsubscribe
+//    cancels it, and kPushUpdate is the server→client invalidation frame the
+//    serving layer emits over a subscriber's push channel — it never arrives
+//    at the server as a request. All three are dispatched to the attached
+//    SubscriptionBroker (the fremont_serve service); a server without one
+//    rejects them as malformed.
 
 #ifndef SRC_JOURNAL_PROTOCOL_H_
 #define SRC_JOURNAL_PROTOCOL_H_
@@ -60,6 +68,9 @@ enum class RequestType : uint8_t {
   kGetStats = 10,
   kBatch = 11,  // v2: N store/delete sub-requests, applied in one round trip.
   kGetChangedSince = 12,  // v2: delta read from the Journal change feed.
+  kSubscribe = 13,    // v2: register a push subscription (serving layer).
+  kUnsubscribe = 14,  // v2: cancel a push subscription.
+  kPushUpdate = 15,   // v2: server→client view-invalidation frame.
 };
 
 // True for the request types that may appear inside a kBatch.
@@ -104,6 +115,12 @@ inline const char* RequestTypeName(RequestType type) {
       return "batch";
     case RequestType::kGetChangedSince:
       return "get_changed_since";
+    case RequestType::kSubscribe:
+      return "subscribe";
+    case RequestType::kUnsubscribe:
+      return "unsubscribe";
+    case RequestType::kPushUpdate:
+      return "push_update";
   }
   return "unknown";
 }
@@ -161,6 +178,14 @@ struct JournalRequest {
   // caller's snapshot was taken at (the response covers (since, now]).
   RecordKind changed_kind = RecordKind::kInterface;
   uint64_t since_generation = 0;
+  // v2 serving ops. kSubscribe: the push-channel id the serving layer handed
+  // out (0 means "assign one"), plus the resume cursor in since_generation.
+  // kUnsubscribe: the subscription to cancel. kPushUpdate: the subscription
+  // this frame addresses, the generation the views were refreshed to (in
+  // since_generation), and the mask of views that changed past the
+  // subscriber's cursor.
+  uint32_t subscriber_id = 0;
+  uint16_t view_mask = 0;
   // v2: the sender's span context, encoded as a trailing tagged field on
   // kBatch/kGetChangedSince frames only (v1 framing stays byte-identical).
   // The zero context means "no span" and is never put on the wire.

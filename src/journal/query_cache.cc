@@ -247,6 +247,24 @@ std::vector<SubnetRecord> JournalQueryCache::GetSubnets() {
   return Lookup(req).subnets;
 }
 
+const std::vector<InterfaceRecord>& JournalQueryCache::GetInterfacesRef() {
+  JournalRequest req;
+  req.type = RequestType::kGetInterfaces;
+  return Lookup(req).interfaces;
+}
+
+const std::vector<GatewayRecord>& JournalQueryCache::GetGatewaysRef() {
+  JournalRequest req;
+  req.type = RequestType::kGetGateways;
+  return Lookup(req).gateways;
+}
+
+const std::vector<SubnetRecord>& JournalQueryCache::GetSubnetsRef() {
+  JournalRequest req;
+  req.type = RequestType::kGetSubnets;
+  return Lookup(req).subnets;
+}
+
 JournalStats JournalQueryCache::GetStats() {
   JournalRequest req;
   req.type = RequestType::kGetStats;

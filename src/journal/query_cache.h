@@ -67,6 +67,14 @@ class JournalQueryCache {
   std::vector<SubnetRecord> GetSubnets();
   JournalStats GetStats();
 
+  // Zero-copy variants for read-heavy consumers (the serving layer's view
+  // builders walk whole tables per refresh and never mutate them). The
+  // reference aliases the live cache entry: valid only until the next call
+  // into this cache or any query on the owning client.
+  const std::vector<InterfaceRecord>& GetInterfacesRef();
+  const std::vector<GatewayRecord>& GetGatewaysRef();
+  const std::vector<SubnetRecord>& GetSubnetsRef();
+
   const CacheStats& stats() const { return stats_; }
   void Invalidate() { entries_.clear(); }
 

@@ -281,6 +281,26 @@ JournalResponse JournalServer::Dispatch(const JournalRequest& request, SimTime n
       resp.subnet_count = static_cast<uint32_t>(stats.subnet_count);
       break;
     }
+    case RequestType::kSubscribe:
+      // Routed to the serving layer under the shared lock (a subscription is
+      // not a Journal write; the broker has its own mutex).
+      if (broker_ == nullptr) {
+        resp.status = ResponseStatus::kMalformedRequest;
+        break;
+      }
+      resp = broker_->HandleSubscribe(request);
+      break;
+    case RequestType::kUnsubscribe:
+      if (broker_ == nullptr) {
+        resp.status = ResponseStatus::kMalformedRequest;
+        break;
+      }
+      resp = broker_->HandleUnsubscribe(request);
+      break;
+    case RequestType::kPushUpdate:
+      // Server→client frame only; it never arrives here as a request.
+      resp.status = ResponseStatus::kMalformedRequest;
+      break;
     case RequestType::kGetChangedSince: {
       metrics.GetCounter(telemetry::names::kJournalServerDeltaOps)->Increment();
       const Journal::Delta delta =

@@ -26,6 +26,22 @@
 
 namespace fremont {
 
+// Handles the serving-layer wire ops (kSubscribe/kUnsubscribe). The broker is
+// the fremont_serve ServeService; the Journal Server only routes. Calls arrive
+// under the server's *shared* ingest lock (subscriptions are not Journal
+// writes), so implementations bring their own synchronization and must not
+// call back into the server.
+class SubscriptionBroker {
+ public:
+  virtual ~SubscriptionBroker() = default;
+  // Returns the response for a kSubscribe/kUnsubscribe request. On success a
+  // subscribe response carries the subscription id in record_id; the server
+  // stamps generation (as on every response), which tells the subscriber how
+  // far behind its cursor is.
+  virtual JournalResponse HandleSubscribe(const JournalRequest& request) = 0;
+  virtual JournalResponse HandleUnsubscribe(const JournalRequest& request) = 0;
+};
+
 class JournalServer {
  public:
   using Clock = std::function<SimTime()>;
@@ -45,6 +61,11 @@ class JournalServer {
   // Enables periodic + at-destruction checkpointing to `path`. Checkpoints
   // happen inside HandleRequest once `interval` has elapsed since the last.
   void EnableCheckpoint(std::string path, Duration interval);
+
+  // Attaches the serving layer. Without one, kSubscribe/kUnsubscribe are
+  // rejected as malformed. The broker must outlive the server or be detached
+  // (nullptr) first.
+  void set_subscription_broker(SubscriptionBroker* broker) { broker_ = broker; }
 
   // Direct Journal access bypasses the ingest lock: only touch it while no
   // sharded sweep is in flight (tests, setup, post-run analysis).
@@ -66,6 +87,7 @@ class JournalServer {
   BatchItemResult ApplyWrite(const JournalRequest& item, SimTime now);
 
   Clock clock_;
+  SubscriptionBroker* broker_ = nullptr;
   // Guards journal_ and the checkpoint bookkeeping. Shared for queries,
   // exclusive for anything that mutates records, generation, or changelog.
   mutable std::shared_mutex ingest_mu_;

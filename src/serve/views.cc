@@ -1,0 +1,128 @@
+#include "src/serve/views.h"
+
+#include "src/analysis/conflicts.h"
+#include "src/analysis/rip_analysis.h"
+#include "src/analysis/staleness.h"
+#include "src/analysis/utilization.h"
+#include "src/present/views.h"
+#include "src/util/string_util.h"
+
+namespace fremont::serve {
+
+const char* ViewKindName(ViewKind kind) {
+  switch (kind) {
+    case ViewKind::kProblems:
+      return "problems";
+    case ViewKind::kInterfacesBySubnet:
+      return "interfaces_by_subnet";
+    case ViewKind::kCharacteristics:
+      return "characteristics";
+  }
+  return "unknown";
+}
+
+uint16_t ViewSnapshot::ChangedMaskSince(uint64_t cursor) const {
+  uint16_t mask = 0;
+  for (int i = 0; i < kViewCount; ++i) {
+    if (changed_generation[static_cast<size_t>(i)] > cursor) {
+      mask = static_cast<uint16_t>(mask | (1u << i));
+    }
+  }
+  return mask;
+}
+
+std::string ViewSnapshot::Serialize() const {
+  std::string out = StringPrintf("fremont.serve.snapshot generation=%llu findings=%d\n",
+                                 static_cast<unsigned long long>(generation), problem_findings);
+  for (int i = 0; i < kViewCount; ++i) {
+    const auto kind = static_cast<ViewKind>(i);
+    out += StringPrintf("--- view %s (%zu bytes) ---\n", ViewKindName(kind), view(kind).size());
+    out += view(kind);
+  }
+  return out;
+}
+
+ProblemsRender RenderProblems(const std::vector<InterfaceRecord>& interfaces,
+                              const std::vector<GatewayRecord>& gateways, SimTime now) {
+  ProblemsRender r;
+  r.text += "--- address conflicts ---\n";
+  for (const auto& conflict : FindAddressConflicts(interfaces, gateways, now)) {
+    if (conflict.kind == AddressConflict::Kind::kGatewayOrProxy) {
+      continue;
+    }
+    r.text += conflict.ToString();
+    r.text += '\n';
+    ++r.findings;
+  }
+  r.text += "--- mask conflicts ---\n";
+  for (const auto& conflict : FindMaskConflicts(interfaces)) {
+    r.text += conflict.ToString();
+    r.text += '\n';
+    ++r.findings;
+  }
+  r.text += "--- promiscuous RIP sources ---\n";
+  for (const auto& rec : FindPromiscuousRipSources(interfaces)) {
+    r.text += rec.ip.ToString();
+    r.text += '\n';
+    ++r.findings;
+  }
+  r.text += "--- stale interfaces (silent > 7 days) ---\n";
+  for (const auto& stale : FindStaleInterfaces(interfaces, now, Duration::Days(7))) {
+    r.text += stale.ToString();
+    r.text += '\n';
+    ++r.findings;
+  }
+  r.text += "--- DNS-only ghosts (never seen on the wire) ---\n";
+  for (const auto& rec : FindDnsOnlyInterfaces(interfaces)) {
+    r.text += StringPrintf("%s (%s)\n", rec.ip.ToString().c_str(), rec.dns_name.c_str());
+    ++r.findings;
+  }
+  r.text += StringPrintf("\n%d finding(s).\n", r.findings);
+  return r;
+}
+
+std::string RenderInterfacesBySubnet(const std::vector<InterfaceRecord>& interfaces,
+                                     const std::vector<SubnetRecord>& subnets, SimTime now) {
+  std::string out;
+  for (const auto& rec : subnets) {
+    out += StringPrintf("=== %s ===\n", rec.subnet.ToString().c_str());
+    out += InterfaceViewLevel2(interfaces, rec.subnet, now);
+  }
+  return out;
+}
+
+std::string RenderCharacteristics(const std::vector<InterfaceRecord>& interfaces,
+                                  const std::vector<GatewayRecord>& gateways,
+                                  const std::vector<SubnetRecord>& subnets, SimTime now) {
+  std::string out = StringPrintf("interfaces: %zu\ngateways:   %zu\nsubnets:    %zu\n",
+                                 interfaces.size(), gateways.size(), subnets.size());
+  out += "--- utilization ---\n";
+  const auto report = AnalyzeUtilization(subnets, interfaces, now);
+  for (const auto& row : report) {
+    out += row.ToString();
+    out += '\n';
+  }
+  out += StringPrintf("%zu subnet(s) above 80%% occupancy.\n", FindCrowdedSubnets(report).size());
+  out += "--- vendors ---\n";
+  out += VendorInventory(interfaces);
+  return out;
+}
+
+ViewSnapshot BuildViewSnapshot(const std::vector<InterfaceRecord>& interfaces,
+                               const std::vector<GatewayRecord>& gateways,
+                               const std::vector<SubnetRecord>& subnets, SimTime now,
+                               uint64_t generation) {
+  ViewSnapshot snap;
+  snap.generation = generation;
+  snap.built_at = now;
+  ProblemsRender problems = RenderProblems(interfaces, gateways, now);
+  snap.problem_findings = problems.findings;
+  snap.text[static_cast<size_t>(ViewKind::kProblems)] = std::move(problems.text);
+  snap.text[static_cast<size_t>(ViewKind::kInterfacesBySubnet)] =
+      RenderInterfacesBySubnet(interfaces, subnets, now);
+  snap.text[static_cast<size_t>(ViewKind::kCharacteristics)] =
+      RenderCharacteristics(interfaces, gateways, subnets, now);
+  return snap;
+}
+
+}  // namespace fremont::serve

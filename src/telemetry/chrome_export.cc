@@ -123,7 +123,7 @@ bool ParseQuotedString(const std::string& text, size_t* pos, std::string* out) {
 }
 
 bool KindFromName(const std::string& name, TraceEventKind* out) {
-  for (int k = 0; k <= static_cast<int>(TraceEventKind::kShardRun); ++k) {
+  for (int k = 0; k <= static_cast<int>(TraceEventKind::kServeRefresh); ++k) {
     const auto kind = static_cast<TraceEventKind>(k);
     if (name == TraceEventKindName(kind)) {
       *out = kind;

@@ -79,6 +79,17 @@ inline constexpr char kRuntimeWindowBarriers[] = "runtime/window_barriers";
 inline constexpr char kRuntimeCrossShardEvents[] = "runtime/cross_shard_events";
 inline constexpr char kRuntimeWorkerIdleUs[] = "runtime/worker_idle_us";
 
+// --- Serving layer (fremont_serve) ---------------------------------------------
+inline constexpr char kServeSubscribers[] = "serve/subscribers";
+inline constexpr char kServePushes[] = "serve/pushes";
+inline constexpr char kServePushBytes[] = "serve/push_bytes";
+inline constexpr char kServeViewRefreshes[] = "serve/view_refreshes";
+inline constexpr char kServeDroppedSubscribers[] = "serve/dropped_subscribers";
+inline constexpr char kServeCatchupPushes[] = "serve/catchup_pushes";
+inline constexpr char kServeRefreshLatencyUs[] = "serve/refresh_latency_us";
+// Per-view read latency histograms: "serve/query_latency_us/problems".
+inline constexpr char kServeQueryLatencyUsPrefix[] = "serve/query_latency_us/";
+
 // --- Logging (imported by the exporter from Logging's own tallies) ------------
 inline constexpr char kLogWarnings[] = "log/warnings";
 inline constexpr char kLogErrors[] = "log/errors";
@@ -96,6 +107,7 @@ inline constexpr char kSpanJournalFlush[] = "journal_client";
 inline constexpr char kSpanCorrelate[] = "correlate";
 inline constexpr char kSpanManagerTick[] = "manager";
 inline constexpr char kSpanShardRun[] = "runtime_shard";
+inline constexpr char kSpanServeRefresh[] = "serve_refresh";
 // Per-module sim-time run latency histograms, fed from the run span:
 // "module/run_latency_us/seqping".
 inline constexpr char kModuleRunLatencyUsPrefix[] = "module/run_latency_us/";

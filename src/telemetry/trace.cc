@@ -26,6 +26,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "manager_tick";
     case TraceEventKind::kShardRun:
       return "shard_run";
+    case TraceEventKind::kServeRefresh:
+      return "serve_refresh";
   }
   return "?";
 }

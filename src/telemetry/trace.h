@@ -47,6 +47,7 @@ enum class TraceEventKind : uint8_t {
   kChangelogDelta = 7,  // A delta read served entries this trace produced.
   kManagerTick = 8,     // One Discovery Manager tick (the per-tick root span).
   kShardRun = 9,        // One shard's share of a parallel runtime drive call.
+  kServeRefresh = 10,   // One serving-layer refresh (tail + rebuild + push).
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

@@ -9,7 +9,7 @@
 //   fremont_report <journal-file> interfaces <network/prefix>
 //   fremont_report <journal-file> subnet <subnet/prefix>
 //   fremont_report <journal-file> topology [dot|snm]
-//   fremont_report <journal-file> problems
+//   fremont_report <journal-file> problems [--from-serve]
 //   fremont_report <journal-file> utilization
 //   fremont_report <journal-file> stats
 //   fremont_report <journal-file> --telemetry [telemetry-file]
@@ -32,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,6 +48,7 @@
 #include "src/manager/module_registry.h"
 #include "src/manager/schedule.h"
 #include "src/present/views.h"
+#include "src/serve/serve.h"
 #include "src/telemetry/chrome_export.h"
 #include "src/telemetry/export.h"
 
@@ -62,7 +64,9 @@ int Usage(const char* argv0) {
                "  interfaces <net/prefix>     level-1 interface view\n"
                "  subnet <subnet/prefix>      level-2 subnet detail\n"
                "  topology [dot|snm]          topology export (default dot)\n"
-               "  problems                    run every analysis program\n"
+               "  problems [--from-serve]     run every analysis program (--from-serve reads\n"
+               "                              the serving layer's materialized view instead;\n"
+               "                              the bytes are identical by construction)\n"
                "  utilization                 subnet occupancy report\n"
                "  route <from/prefix> <to/prefix>  inferred gateway path\n"
                "  vendors                     interface counts by manufacturer\n"
@@ -175,40 +179,29 @@ SimTime NewestVerification(const Journal& journal) {
   return newest;
 }
 
+// Both problem paths — direct analysis and the serving layer's materialized
+// view — render through serve::RenderProblems, so their output is
+// byte-identical by construction.
 int RunProblems(JournalClient& client, SimTime now) {
-  const auto interfaces = client.GetInterfaces();
-  const auto gateways = client.GetGateways();
-  int findings = 0;
+  const serve::ProblemsRender render =
+      serve::RenderProblems(client.GetInterfaces(), client.GetGateways(), now);
+  std::fputs(render.text.c_str(), stdout);
+  return 0;
+}
 
-  std::printf("--- address conflicts ---\n");
-  for (const auto& conflict : FindAddressConflicts(interfaces, gateways, now)) {
-    if (conflict.kind == AddressConflict::Kind::kGatewayOrProxy) {
-      continue;
-    }
-    std::printf("%s\n", conflict.ToString().c_str());
-    ++findings;
+// --from-serve: stand up the serving layer over the loaded checkpoint, let
+// one Refresh() materialize the views, and print the problems view straight
+// from the published snapshot — what a subscribed dashboard would read.
+// Correlation is off: reporting must not mutate the checkpoint it analyzes.
+int RunProblemsFromServe(JournalServer& server, const std::function<SimTime()>& clock) {
+  serve::ServeService service(&server, clock, {.run_correlation = false});
+  service.Refresh();
+  const auto snap = service.ReadView(serve::ViewKind::kProblems);
+  if (snap == nullptr) {
+    std::fprintf(stderr, "error: serving layer published no snapshot\n");
+    return 1;
   }
-  std::printf("--- mask conflicts ---\n");
-  for (const auto& conflict : FindMaskConflicts(interfaces)) {
-    std::printf("%s\n", conflict.ToString().c_str());
-    ++findings;
-  }
-  std::printf("--- promiscuous RIP sources ---\n");
-  for (const auto& rec : FindPromiscuousRipSources(interfaces)) {
-    std::printf("%s\n", rec.ip.ToString().c_str());
-    ++findings;
-  }
-  std::printf("--- stale interfaces (silent > 7 days) ---\n");
-  for (const auto& stale : FindStaleInterfaces(interfaces, now, Duration::Days(7))) {
-    std::printf("%s\n", stale.ToString().c_str());
-    ++findings;
-  }
-  std::printf("--- DNS-only ghosts (never seen on the wire) ---\n");
-  for (const auto& rec : FindDnsOnlyInterfaces(interfaces)) {
-    std::printf("%s (%s)\n", rec.ip.ToString().c_str(), rec.dns_name.c_str());
-    ++findings;
-  }
-  std::printf("\n%d finding(s).\n", findings);
+  std::fputs(snap->view(serve::ViewKind::kProblems).c_str(), stdout);
   return 0;
 }
 
@@ -286,6 +279,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "problems") {
+    if (argc >= 4 && std::strcmp(argv[3], "--from-serve") == 0) {
+      return RunProblemsFromServe(server, [&now] { return now; });
+    }
     return RunProblems(client, now);
   }
   if (command == "utilization") {
