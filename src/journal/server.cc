@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cinttypes>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,22 +36,36 @@ bool IsWriteRequest(RequestType type) {
 }  // namespace
 
 JournalServer::~JournalServer() {
+  // Destruction implies quiescence, but the hold is free and keeps the
+  // at-termination save on the same discipline as every other access.
+  const WriterMutexLock lock(ingest_mu_);
   if (!checkpoint_path_.empty()) {
     journal_.SaveToFile(checkpoint_path_);  // "and at termination".
   }
 }
 
 void JournalServer::EnableCheckpoint(std::string path, Duration interval) {
-  checkpoint_path_ = std::move(path);
-  checkpoint_interval_ = interval;
-  last_checkpoint_ = clock_();
+  // Exclusive: callers may enable checkpointing while request traffic is
+  // already in flight, and MaybeCheckpoint reads this state under the lock.
+  {
+    const WriterMutexLock lock(ingest_mu_);
+    checkpoint_path_ = std::move(path);
+    checkpoint_interval_ = interval;
+    last_checkpoint_ = clock_();
+  }
+  checkpoint_enabled_.store(interval > Duration::Zero(), std::memory_order_release);
 }
 
 void JournalServer::MaybeCheckpoint() {
+  // Lock-free fast path: most servers never enable checkpointing, and the
+  // per-request cost must stay one relaxed load, not a writer acquisition.
+  if (!checkpoint_enabled_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const WriterMutexLock lock(ingest_mu_);
   if (checkpoint_path_.empty() || checkpoint_interval_ <= Duration::Zero()) {
     return;
   }
-  const std::unique_lock<std::shared_mutex> lock(ingest_mu_);
   const SimTime now = clock_();
   if (now - last_checkpoint_ >= checkpoint_interval_) {
     journal_.SaveToFile(checkpoint_path_);
@@ -158,7 +171,7 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
     // Exclusive: record mutation, generation bump, and changelog append are
     // one atomic unit, and the store context (used to stamp changelog
     // entries) is per-request state on the shared Journal.
-    const std::unique_lock<std::shared_mutex> lock(ingest_mu_);
+    const WriterMutexLock lock(ingest_mu_);
     journal_.set_store_context(span.context().trace_id, span.context().span_id);
     resp = Dispatch(request, now);
     journal_.set_store_context(0, 0);
@@ -166,8 +179,8 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
   } else {
     // Shared: queries (including changelog delta reads) never mutate, so
     // they may overlap each other freely.
-    const std::shared_lock<std::shared_mutex> lock(ingest_mu_);
-    resp = Dispatch(request, now);
+    const ReaderMutexLock lock(ingest_mu_);
+    resp = DispatchRead(request, now);
     resp.generation = journal_.generation();
   }
   const SimTime after = clock_();
@@ -183,16 +196,6 @@ JournalResponse JournalServer::Handle(const JournalRequest& request) {
 JournalResponse JournalServer::Dispatch(const JournalRequest& request, SimTime now) {
   auto& metrics = telemetry::MetricsRegistry::Global();
   JournalResponse resp;
-
-  // Conditional read: the client proved it already has the answer for this
-  // generation, so skip the record copy and serialization entirely.
-  const bool is_get =
-      request.type == RequestType::kGetInterfaces || request.type == RequestType::kGetGateways ||
-      request.type == RequestType::kGetSubnets || request.type == RequestType::kGetStats;
-  if (is_get && request.if_generation != 0 && request.if_generation == journal_.generation()) {
-    resp.status = ResponseStatus::kNotModified;
-    return resp;  // Handle() stamps resp.generation on every path.
-  }
 
   switch (request.type) {
     case RequestType::kStoreInterface:
@@ -225,6 +228,45 @@ JournalResponse JournalServer::Dispatch(const JournalRequest& request, SimTime n
       }
       break;
     }
+    case RequestType::kDeleteInterface:
+    case RequestType::kDeleteGateway:
+    case RequestType::kDeleteSubnet:
+      resp.status = ApplyWrite(request, now).status;
+      break;
+    default:
+      // Reads under the exclusive hold: exclusive implies shared, so a
+      // typed-dispatch caller routing a query through the write path still
+      // gets the right answer.
+      return DispatchRead(request, now);
+  }
+
+  if (resp.status == ResponseStatus::kOk) {
+    const JournalStats stats = journal_.Stats();
+    metrics.GetGauge(telemetry::names::kJournalServerInterfaceRecords)
+        ->Set(static_cast<int64_t>(stats.interface_count));
+    metrics.GetGauge(telemetry::names::kJournalServerGatewayRecords)
+        ->Set(static_cast<int64_t>(stats.gateway_count));
+    metrics.GetGauge(telemetry::names::kJournalServerSubnetRecords)
+        ->Set(static_cast<int64_t>(stats.subnet_count));
+  }
+  return resp;
+}
+
+JournalResponse JournalServer::DispatchRead(const JournalRequest& request, SimTime now) {
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  JournalResponse resp;
+
+  // Conditional read: the client proved it already has the answer for this
+  // generation, so skip the record copy and serialization entirely.
+  const bool is_get =
+      request.type == RequestType::kGetInterfaces || request.type == RequestType::kGetGateways ||
+      request.type == RequestType::kGetSubnets || request.type == RequestType::kGetStats;
+  if (is_get && request.if_generation != 0 && request.if_generation == journal_.generation()) {
+    resp.status = ResponseStatus::kNotModified;
+    return resp;  // Handle() stamps resp.generation on every path.
+  }
+
+  switch (request.type) {
     case RequestType::kGetInterfaces: {
       const Selector& sel = request.selector;
       switch (sel.kind) {
@@ -268,11 +310,6 @@ JournalResponse JournalServer::Dispatch(const JournalRequest& request, SimTime n
       if (resp.subnets.empty()) {
         resp.status = ResponseStatus::kNotFound;
       }
-      break;
-    case RequestType::kDeleteInterface:
-    case RequestType::kDeleteGateway:
-    case RequestType::kDeleteSubnet:
-      resp.status = ApplyWrite(request, now).status;
       break;
     case RequestType::kGetStats: {
       JournalStats stats = journal_.Stats();
@@ -368,20 +405,11 @@ JournalResponse JournalServer::Dispatch(const JournalRequest& request, SimTime n
       }
       break;
     }
-  }
-
-  const bool is_store = request.type == RequestType::kStoreInterface ||
-                        request.type == RequestType::kStoreGateway ||
-                        request.type == RequestType::kStoreSubnet ||
-                        request.type == RequestType::kBatch;
-  if (is_store && resp.status == ResponseStatus::kOk) {
-    const JournalStats stats = journal_.Stats();
-    metrics.GetGauge(telemetry::names::kJournalServerInterfaceRecords)
-        ->Set(static_cast<int64_t>(stats.interface_count));
-    metrics.GetGauge(telemetry::names::kJournalServerGatewayRecords)
-        ->Set(static_cast<int64_t>(stats.gateway_count));
-    metrics.GetGauge(telemetry::names::kJournalServerSubnetRecords)
-        ->Set(static_cast<int64_t>(stats.subnet_count));
+    default:
+      // Writes never reach the shared path: Handle() routes them through
+      // Dispatch(), and Dispatch() only delegates non-writes here.
+      resp.status = ResponseStatus::kMalformedRequest;
+      break;
   }
   return resp;
 }

@@ -11,18 +11,20 @@
 // the whole Journal — writes (stores, deletes, batches, checkpoints) are
 // exclusive, queries share. Finer striping by record kind is unsound here:
 // gateway stores mutate subnet records, and every write serializes on the
-// global generation counter and changelog anyway.
+// global generation counter and changelog anyway. The split is enforced by
+// the capability annotations below (DESIGN.md §16): Dispatch requires the
+// lock exclusively, DispatchRead only shared.
 
 #ifndef SRC_JOURNAL_SERVER_H_
 #define SRC_JOURNAL_SERVER_H_
 
 #include <atomic>
 #include <functional>
-#include <shared_mutex>
 #include <string>
 
 #include "src/journal/journal.h"
 #include "src/journal/protocol.h"
+#include "src/util/thread_annotations.h"
 
 namespace fremont {
 
@@ -30,7 +32,8 @@ namespace fremont {
 // the fremont_serve ServeService; the Journal Server only routes. Calls arrive
 // under the server's *shared* ingest lock (subscriptions are not Journal
 // writes), so implementations bring their own synchronization and must not
-// call back into the server.
+// call back into the server (tools/fremont_lint/lock_order.txt declares
+// journal.ingest_mu_ before serve.sub_mu_).
 class SubscriptionBroker {
  public:
   virtual ~SubscriptionBroker() = default;
@@ -53,49 +56,68 @@ class JournalServer {
 
   // The request entry point: decodes, dispatches, encodes. This is what a
   // socket read loop would call per message.
-  ByteBuffer HandleRequest(const ByteBuffer& request_bytes);
+  ByteBuffer HandleRequest(const ByteBuffer& request_bytes) FREMONT_EXCLUDES(ingest_mu_);
 
-  // Typed dispatch (used internally and by tests).
-  JournalResponse Handle(const JournalRequest& request);
+  // Typed dispatch (used internally and by tests). Takes ingest_mu_
+  // exclusively for writes, shared for queries.
+  JournalResponse Handle(const JournalRequest& request) FREMONT_EXCLUDES(ingest_mu_);
 
   // Enables periodic + at-destruction checkpointing to `path`. Checkpoints
   // happen inside HandleRequest once `interval` has elapsed since the last.
-  void EnableCheckpoint(std::string path, Duration interval);
+  // Safe to call while requests are in flight.
+  void EnableCheckpoint(std::string path, Duration interval) FREMONT_EXCLUDES(ingest_mu_);
 
   // Attaches the serving layer. Without one, kSubscribe/kUnsubscribe are
   // rejected as malformed. The broker must outlive the server or be detached
   // (nullptr) first.
-  void set_subscription_broker(SubscriptionBroker* broker) { broker_ = broker; }
+  void set_subscription_broker(SubscriptionBroker* broker) FREMONT_EXCLUDES(ingest_mu_) {
+    const WriterMutexLock lock(ingest_mu_);
+    broker_ = broker;
+  }
 
   // Direct Journal access bypasses the ingest lock: only touch it while no
-  // sharded sweep is in flight (tests, setup, post-run analysis).
-  Journal& journal() { return journal_; }
-  const Journal& journal() const { return journal_; }
+  // sharded sweep is in flight (tests, setup, post-run analysis). The
+  // annotation escape hatch is deliberate — the compiler cannot check a
+  // "no concurrent requests" protocol, so callers own it.
+  Journal& journal() FREMONT_NO_THREAD_SAFETY_ANALYSIS { return journal_; }
+  const Journal& journal() const FREMONT_NO_THREAD_SAFETY_ANALYSIS { return journal_; }
   uint64_t requests_handled() const {
     return requests_handled_.load(std::memory_order_relaxed);
   }
 
  private:
-  void MaybeCheckpoint();
-  // The request switch, minus per-request telemetry. Handle() wraps every
-  // call in a server span (parented on the request's wire span context) and
-  // feeds the per-op latency histogram from the span's duration.
-  JournalResponse Dispatch(const JournalRequest& request, SimTime now);
+  void MaybeCheckpoint() FREMONT_EXCLUDES(ingest_mu_);
+  // The write-side request switch, minus per-request telemetry. Handle()
+  // wraps every call in a server span (parented on the request's wire span
+  // context) and feeds the per-op latency histogram from the span's
+  // duration. Non-writes fall through to DispatchRead — an exclusive hold
+  // satisfies the shared requirement.
+  JournalResponse Dispatch(const JournalRequest& request, SimTime now)
+      FREMONT_REQUIRES(ingest_mu_);
+  // The query switch: everything that only reads the Journal, plus the
+  // broker routes (subscriptions are not Journal writes).
+  JournalResponse DispatchRead(const JournalRequest& request, SimTime now)
+      FREMONT_REQUIRES_SHARED(ingest_mu_);
   // Applies one store/delete (top-level or batch item). `now` is the server
   // clock; batch items carrying an observation time are stamped with it,
   // clamped so a client can never post-date the Journal.
-  BatchItemResult ApplyWrite(const JournalRequest& item, SimTime now);
+  BatchItemResult ApplyWrite(const JournalRequest& item, SimTime now)
+      FREMONT_REQUIRES(ingest_mu_);
 
-  Clock clock_;
-  SubscriptionBroker* broker_ = nullptr;
+  const Clock clock_;
   // Guards journal_ and the checkpoint bookkeeping. Shared for queries,
   // exclusive for anything that mutates records, generation, or changelog.
-  mutable std::shared_mutex ingest_mu_;
-  Journal journal_;
+  mutable SharedMutex ingest_mu_;
+  SubscriptionBroker* broker_ FREMONT_GUARDED_BY(ingest_mu_) = nullptr;
+  Journal journal_ FREMONT_GUARDED_BY(ingest_mu_);
   std::atomic<uint64_t> requests_handled_{0};
-  std::string checkpoint_path_;
-  Duration checkpoint_interval_ = Duration::Zero();
-  SimTime last_checkpoint_;
+  // Lock-free fast-path gate for MaybeCheckpoint: set (release) by
+  // EnableCheckpoint after the guarded state below is written, read
+  // (acquire) once per request before touching the lock.
+  std::atomic<bool> checkpoint_enabled_{false};
+  std::string checkpoint_path_ FREMONT_GUARDED_BY(ingest_mu_);
+  Duration checkpoint_interval_ FREMONT_GUARDED_BY(ingest_mu_) = Duration::Zero();
+  SimTime last_checkpoint_ FREMONT_GUARDED_BY(ingest_mu_);
 };
 
 }  // namespace fremont

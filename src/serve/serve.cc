@@ -46,14 +46,14 @@ ServeService::ServeService(JournalServer* server, Clock clock, ServeOptions opti
 ServeService::~ServeService() { server_->set_subscription_broker(nullptr); }
 
 uint32_t ServeService::RegisterChannel(PushFn push) {
-  const std::lock_guard<std::mutex> lock(sub_mu_);
+  const MutexLock lock(sub_mu_);
   const uint32_t id = next_channel_id_++;
   channels_.emplace(id, std::move(push));
   return id;
 }
 
 void ServeService::UnregisterChannel(uint32_t channel_id) {
-  const std::lock_guard<std::mutex> lock(sub_mu_);
+  const MutexLock lock(sub_mu_);
   channels_.erase(channel_id);
   if (subscriptions_.erase(channel_id) > 0) {
     telemetry::MetricsRegistry::Global()
@@ -68,7 +68,7 @@ JournalResponse ServeService::HandleSubscribe(const JournalRequest& request) {
     resp.status = ResponseStatus::kMalformedRequest;
     return resp;
   }
-  const std::lock_guard<std::mutex> lock(sub_mu_);
+  const MutexLock lock(sub_mu_);
   const auto channel = channels_.find(request.subscriber_id);
   if (channel == channels_.end()) {
     resp.status = ResponseStatus::kNotFound;
@@ -89,7 +89,7 @@ JournalResponse ServeService::HandleSubscribe(const JournalRequest& request) {
 
 JournalResponse ServeService::HandleUnsubscribe(const JournalRequest& request) {
   JournalResponse resp;
-  const std::lock_guard<std::mutex> lock(sub_mu_);
+  const MutexLock lock(sub_mu_);
   if (subscriptions_.erase(request.subscriber_id) == 0) {
     resp.status = ResponseStatus::kNotFound;
     return resp;
@@ -156,7 +156,7 @@ void ServeService::PublishSnapshot(uint64_t generation) {
 }
 
 ServeService::RefreshResult ServeService::Refresh() {
-  const std::lock_guard<std::mutex> lock(refresh_mu_);
+  const MutexLock lock(refresh_mu_);
   auto& metrics = telemetry::MetricsRegistry::Global();
   const SimTime now = clock_();
   telemetry::Span span(telemetry::names::kSpanServeRefresh, now, telemetry::Tracer::Global());
@@ -191,7 +191,7 @@ ServeService::RefreshResult ServeService::Refresh() {
   const std::shared_ptr<const ViewSnapshot> snap = snapshot();
   std::vector<Subscription> targets;
   {
-    const std::lock_guard<std::mutex> sub_lock(sub_mu_);
+    const MutexLock sub_lock(sub_mu_);
     targets.reserve(subscriptions_.size());
     for (const auto& [id, sub] : subscriptions_) {
       if ((snap->ChangedMaskSince(sub.cursor) & sub.mask) != 0) {
@@ -227,7 +227,7 @@ ServeService::RefreshResult ServeService::Refresh() {
     }
   }
   if (!delivered.empty() || !dead.empty()) {
-    const std::lock_guard<std::mutex> sub_lock(sub_mu_);
+    const MutexLock sub_lock(sub_mu_);
     for (uint32_t id : delivered) {
       auto it = subscriptions_.find(id);
       if (it != subscriptions_.end()) {
@@ -268,7 +268,7 @@ std::shared_ptr<const ViewSnapshot> ServeService::ReadView(ViewKind kind) {
 }
 
 size_t ServeService::subscriber_count() const {
-  const std::lock_guard<std::mutex> lock(sub_mu_);
+  const MutexLock lock(sub_mu_);
   return subscriptions_.size();
 }
 

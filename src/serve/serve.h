@@ -38,13 +38,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/journal/client.h"
 #include "src/journal/server.h"
 #include "src/manager/correlate.h"
 #include "src/serve/views.h"
+#include "src/util/thread_annotations.h"
 
 namespace fremont::serve {
 
@@ -76,14 +76,16 @@ class ServeService : public SubscriptionBroker {
   // binds a subscription to the channel by carrying this id in
   // subscriber_id. (Over a real socket the channel would be implicit in the
   // connection; in-process it is explicit.)
-  uint32_t RegisterChannel(PushFn push);
-  void UnregisterChannel(uint32_t channel_id);
+  uint32_t RegisterChannel(PushFn push) FREMONT_EXCLUDES(sub_mu_);
+  void UnregisterChannel(uint32_t channel_id) FREMONT_EXCLUDES(sub_mu_);
 
-  // SubscriptionBroker — called by JournalServer::Dispatch under its shared
-  // ingest lock. Never invokes push callbacks (a fresh subscriber is caught
-  // up by the next Refresh()).
-  JournalResponse HandleSubscribe(const JournalRequest& request) override;
-  JournalResponse HandleUnsubscribe(const JournalRequest& request) override;
+  // SubscriptionBroker — called by JournalServer::DispatchRead under its
+  // shared ingest lock. Never invokes push callbacks (a fresh subscriber is
+  // caught up by the next Refresh()).
+  JournalResponse HandleSubscribe(const JournalRequest& request) override
+      FREMONT_EXCLUDES(sub_mu_);
+  JournalResponse HandleUnsubscribe(const JournalRequest& request) override
+      FREMONT_EXCLUDES(sub_mu_);
 
   struct RefreshResult {
     uint64_t generation = 0;   // What the views are current to afterwards.
@@ -94,8 +96,9 @@ class ServeService : public SubscriptionBroker {
   // One serving pass: correlate, tail the change feed, rebuild + publish the
   // snapshot if the generation moved, push to lagging subscribers. The
   // single-writer entry point; serialize external callers or let one serving
-  // thread own it.
-  RefreshResult Refresh();
+  // thread own it. Acquires refresh_mu_ for the whole pass and sub_mu_ in
+  // short inner scopes (refresh before sub — the declared order).
+  RefreshResult Refresh() FREMONT_EXCLUDES(refresh_mu_, sub_mu_);
 
   // The published snapshot (lock-free atomic load; null before the first
   // Refresh). Hold the shared_ptr for as long as the views are read.
@@ -106,7 +109,7 @@ class ServeService : public SubscriptionBroker {
   // serve/query_latency_us/<view> — the serving read path dashboards hit.
   std::shared_ptr<const ViewSnapshot> ReadView(ViewKind kind);
 
-  size_t subscriber_count() const;
+  size_t subscriber_count() const FREMONT_EXCLUDES(sub_mu_);
 
  private:
   struct Subscription {
@@ -119,33 +122,36 @@ class ServeService : public SubscriptionBroker {
   // Tails one record kind from cursor_, patching the private snapshot (full
   // refetch past the changelog horizon). Returns the generation the kind is
   // now current to.
-  uint64_t TailKind(RecordKind kind);
-  void PublishSnapshot(uint64_t generation);
+  uint64_t TailKind(RecordKind kind) FREMONT_REQUIRES(refresh_mu_);
+  void PublishSnapshot(uint64_t generation) FREMONT_REQUIRES(refresh_mu_);
 
-  JournalServer* server_;
-  Clock clock_;
-  ServeOptions options_;
-  std::unique_ptr<JournalClient> client_;
-  CorrelationState correlation_;
+  JournalServer* const server_;
+  const Clock clock_;
+  const ServeOptions options_;
 
-  // Single-writer refresh state (guarded by refresh_mu_): the private record
-  // snapshot in each family's canonical order, and the change-feed cursor.
-  std::mutex refresh_mu_;
-  std::vector<InterfaceRecord> interfaces_;
-  std::vector<GatewayRecord> gateways_;
-  std::vector<SubnetRecord> subnets_;
-  uint64_t cursor_ = 0;
-  bool have_snapshot_ = false;
+  // Single-writer refresh state (guarded by refresh_mu_): the Journal client
+  // and correlation pass that feed it, the private record snapshot in each
+  // family's canonical order, and the change-feed cursor.
+  Mutex refresh_mu_;
+  const std::unique_ptr<JournalClient> client_ FREMONT_PT_GUARDED_BY(refresh_mu_);
+  CorrelationState correlation_ FREMONT_GUARDED_BY(refresh_mu_);
+  std::vector<InterfaceRecord> interfaces_ FREMONT_GUARDED_BY(refresh_mu_);
+  std::vector<GatewayRecord> gateways_ FREMONT_GUARDED_BY(refresh_mu_);
+  std::vector<SubnetRecord> subnets_ FREMONT_GUARDED_BY(refresh_mu_);
+  uint64_t cursor_ FREMONT_GUARDED_BY(refresh_mu_) = 0;
+  bool have_snapshot_ FREMONT_GUARDED_BY(refresh_mu_) = false;
 
   // The published views. Written by PublishSnapshot, read lock-free.
   std::atomic<std::shared_ptr<const ViewSnapshot>> snapshot_;
 
   // Subscription registry. sub_mu_ is a leaf lock: held only for registry
-  // reads/writes, never across a push callback or a Journal round trip.
-  mutable std::mutex sub_mu_;
-  std::map<uint32_t, Subscription> subscriptions_;
-  std::map<uint32_t, PushFn> channels_;
-  uint32_t next_channel_id_ = 1;
+  // reads/writes, never across a push callback or a Journal round trip, and
+  // always nested inside refresh_mu_ when both are held (declared in
+  // tools/fremont_lint/lock_order.txt and below for Clang).
+  mutable Mutex sub_mu_ FREMONT_ACQUIRED_AFTER(refresh_mu_);
+  std::map<uint32_t, Subscription> subscriptions_ FREMONT_GUARDED_BY(sub_mu_);
+  std::map<uint32_t, PushFn> channels_ FREMONT_GUARDED_BY(sub_mu_);
+  uint32_t next_channel_id_ FREMONT_GUARDED_BY(sub_mu_) = 1;
 };
 
 // Client-side subscriber: registers a push channel with the service, issues

@@ -54,7 +54,7 @@ void ShardedEventQueue::Post(int shard, SimTime when, EventQueue::Action action)
                            ? shards_[static_cast<size_t>(source)]->post_seq++
                            : control_post_seq_++;
   {
-    std::lock_guard<std::mutex> lock(target.mailbox.mu);
+    const MutexLock lock(target.mailbox.mu);
     target.mailbox.items.push_back(PostedEvent{when, source, seq, std::move(action)});
   }
   cross_shard_posted_.fetch_add(1, std::memory_order_relaxed);
@@ -66,7 +66,7 @@ size_t ShardedEventQueue::DrainMailboxes() {
   for (auto& shard : shards_) {
     std::vector<PostedEvent> items;
     {
-      std::lock_guard<std::mutex> lock(shard->mailbox.mu);
+      const MutexLock lock(shard->mailbox.mu);
       items.swap(shard->mailbox.items);
     }
     if (items.empty()) {

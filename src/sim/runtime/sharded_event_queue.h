@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -42,6 +41,7 @@
 #include "src/telemetry/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/sim_time.h"
+#include "src/util/thread_annotations.h"
 
 namespace fremont {
 
@@ -113,8 +113,8 @@ class ShardedEventQueue {
     EventQueue::Action action;
   };
   struct Mailbox {
-    std::mutex mu;
-    std::vector<PostedEvent> items;
+    Mutex mu;
+    std::vector<PostedEvent> items FREMONT_GUARDED_BY(mu);
   };
   // unique_ptr: shards must not move when the vector is built, and padding
   // them out to their own allocations also keeps the hot per-shard state

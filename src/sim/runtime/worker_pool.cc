@@ -36,10 +36,10 @@ WorkerPool::WorkerPool(int threads)
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     shutdown_.store(true, std::memory_order_relaxed);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -62,10 +62,10 @@ void WorkerPool::Run(int jobs, const Job& job) {
   // The release store publishes job_/job_count_ to workers that acquire the
   // new epoch from their spin loop. Parked workers need the lock + notify.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     epoch_.fetch_add(1, std::memory_order_release);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   const int total = static_cast<int>(threads_.size());
   for (int spin = 0; spin < spin_limit_; ++spin) {
@@ -75,9 +75,12 @@ void WorkerPool::Run(int jobs, const Job& job) {
     }
     CpuRelax();
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock,
-                [this, total]() { return workers_done_.load(std::memory_order_acquire) == total; });
+  {
+    const MutexLock lock(mu_);
+    done_cv_.Wait(mu_, [this, total]() {
+      return workers_done_.load(std::memory_order_acquire) == total;
+    });
+  }
   job_ = nullptr;
 }
 
@@ -95,9 +98,9 @@ void WorkerPool::WorkerMain() {
       CpuRelax();
     }
     if (!have_epoch) {
-      std::unique_lock<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       const auto park_start = std::chrono::steady_clock::now();
-      work_cv_.wait(lock, [this, seen_epoch]() {
+      work_cv_.Wait(mu_, [this, seen_epoch]() {
         return shutdown_.load(std::memory_order_relaxed) ||
                epoch_.load(std::memory_order_acquire) != seen_epoch;
       });
@@ -126,8 +129,8 @@ void WorkerPool::WorkerMain() {
     // without it the notify could land between its predicate check and wait.
     if (workers_done_.fetch_add(1, std::memory_order_release) + 1 ==
         static_cast<int>(threads_.size())) {
-      { std::lock_guard<std::mutex> lock(mu_); }
-      done_cv_.notify_all();
+      { const MutexLock lock(mu_); }
+      done_cv_.NotifyAll();
     }
   }
 }

@@ -18,12 +18,12 @@
 #define SRC_SIM_RUNTIME_WORKER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace fremont {
 
@@ -45,7 +45,7 @@ class WorkerPool {
   // zero-thread inline mode), so `jobs` callbacks only ever run on pool
   // threads — the property the runtime's thread-local shard context relies
   // on. Not reentrant; one dispatch at a time.
-  void Run(int jobs, const Job& job);
+  void Run(int jobs, const Job& job) FREMONT_EXCLUDES(mu_);
 
   // Cumulative wall-clock time workers spent parked waiting for a dispatch,
   // across all workers (spin time is not counted — it is bounded and short).
@@ -53,19 +53,24 @@ class WorkerPool {
   uint64_t idle_wait_us() const { return idle_wait_us_.load(std::memory_order_relaxed); }
 
  private:
-  void WorkerMain();
+  void WorkerMain() FREMONT_EXCLUDES(mu_);
 
-  std::vector<std::thread> threads_;
+  // Written in the constructor, joined in the destructor; workers never
+  // touch the vector itself.
+  std::vector<std::thread> threads_;  // lint: unguarded(ctor/dtor only)
   // Spin iterations before parking/blocking. Zero when the machine does not
   // have a spare hardware thread for every worker plus the dispatcher:
   // spinning on an oversubscribed core only delays the thread that holds the
   // work, so the pool goes straight to the condvar there.
   const int spin_limit_;
-  std::mutex mu_;                      // Guards the park/notify fallback only.
-  std::condition_variable work_cv_;    // Fallback wakeup for parked workers.
-  std::condition_variable done_cv_;    // Fallback wakeup for a blocked Run().
-  const Job* job_ = nullptr;           // Valid while an epoch is in flight.
-  int job_count_ = 0;
+  Mutex mu_;             // Guards the park/notify fallback only.
+  CondVar work_cv_;      // Fallback wakeup for parked workers.
+  CondVar done_cv_;      // Fallback wakeup for a blocked Run().
+  // Valid while an epoch is in flight. Not mutex-guarded: Run()'s release
+  // store to epoch_ publishes job_/job_count_, and workers acquire-load the
+  // epoch before reading them.
+  const Job* job_ = nullptr;  // lint: unguarded(published by the epoch_ protocol)
+  int job_count_ = 0;         // lint: unguarded(published by the epoch_ protocol)
   std::atomic<int> next_job_{0};       // Claim cursor for the current epoch.
   std::atomic<int> workers_done_{0};   // Workers finished with the current epoch.
   std::atomic<uint64_t> epoch_{0};     // Bumped per dispatch; release-publishes job_.

@@ -39,7 +39,7 @@ void SyncExternalCounters(MetricsRegistry& registry, const Tracer& tracer) {
 
 std::string ExportText(MetricsRegistry& registry, const Tracer& tracer) {
   SyncExternalCounters(registry, tracer);
-  const auto lock = registry.ExportLock();
+  const MutexLock lock(registry.export_mutex());
   std::string out = "=== telemetry ===\n";
   out += StringPrintf("--- %zu counters ---\n", registry.counters().size());
   for (const auto& [name, counter] : registry.counters()) {
@@ -99,7 +99,7 @@ std::string JsonEscape(const std::string& text) {
 std::string ExportJson(MetricsRegistry& registry, const Tracer& tracer,
                        size_t max_trace_events) {
   SyncExternalCounters(registry, tracer);
-  const auto lock = registry.ExportLock();
+  const MutexLock lock(registry.export_mutex());
   std::string out;
   out += StringPrintf("{\"schema\": \"%s\",\n \"counters\": {", kJsonSchemaName);
   bool first = true;

@@ -104,22 +104,22 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return &counters_[name];
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return &gauges_[name];
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name, std::vector<int64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return &histograms_.try_emplace(name, std::move(bounds)).first->second;
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) {
     (void)name;
     counter.Reset();

@@ -11,8 +11,10 @@
 // is mutex-guarded over node-based maps, so previously returned pointers
 // stay valid while other threads register. This is the contract the
 // multi-threaded event queue (ROADMAP item 2) needs: readers see values that
-// are exact once writers quiesce, and exporters take ExportLock() for a
-// consistent walk of the instrument set.
+// are exact once writers quiesce, and exporters hold export_mutex() for a
+// consistent walk of the instrument set — the iteration accessors carry
+// FREMONT_REQUIRES annotations, so Clang's thread-safety analysis rejects an
+// unlocked walk at compile time.
 //
 // Exporters (src/telemetry/export.h) walk the registry to produce the text
 // dump and the stable JSON document consumed by fremont_report --telemetry.
@@ -23,9 +25,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace fremont::telemetry {
 
@@ -130,33 +133,44 @@ class MetricsRegistry {
   // The process-wide registry everything instruments against by default.
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) FREMONT_EXCLUDES(mutex_);
+  Gauge* GetGauge(const std::string& name) FREMONT_EXCLUDES(mutex_);
   // The first caller fixes the bucket bounds; later calls with the same name
   // return the existing histogram regardless of `bounds`.
-  Histogram* GetHistogram(const std::string& name, std::vector<int64_t> bounds);
+  Histogram* GetHistogram(const std::string& name, std::vector<int64_t> bounds)
+      FREMONT_EXCLUDES(mutex_);
 
   // Ordered iteration for the exporters (std::map keeps names sorted, which
-  // is what makes the JSON export stable). Hold ExportLock() while iterating
-  // if other threads may be registering instruments.
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
-  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  // is what makes the JSON export stable). Callers must hold export_mutex()
+  // for the whole walk; shared suffices since iteration only reads the maps
+  // (instrument cells themselves are atomics).
+  const std::map<std::string, Counter>& counters() const FREMONT_REQUIRES_SHARED(mutex_) {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const FREMONT_REQUIRES_SHARED(mutex_) {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const FREMONT_REQUIRES_SHARED(mutex_) {
+    return histograms_;
+  }
 
-  // Blocks registration (not updates — those are atomic) for the scope of
-  // the returned lock, giving exporters a stable instrument set to walk.
-  std::unique_lock<std::mutex> ExportLock() const { return std::unique_lock(mutex_); }
+  // The registration lock. Holding it (e.g. `const MutexLock lock(
+  // registry.export_mutex());`) blocks registration — not updates, those are
+  // atomic — giving exporters a stable instrument set to walk. Beware that
+  // GetCounter/GetGauge/GetHistogram acquire this same mutex: release the
+  // export hold before registering.
+  Mutex& export_mutex() const FREMONT_RETURN_CAPABILITY(mutex_) { return mutex_; }
 
   // Zeroes every instrument in place (tests; fresh measurement windows).
   // Previously returned pointers remain valid — hot paths that cached an
   // instrument keep writing to the same, now-zeroed cell.
-  void Reset();
+  void Reset() FREMONT_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, Counter> counters_ FREMONT_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ FREMONT_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ FREMONT_GUARDED_BY(mutex_);
 };
 
 // Duration bucket bounds shared by the per-module run-time histograms

@@ -54,7 +54,7 @@ void Tracer::RecordSpan(SimTime at, TraceEventKind kind, std::string module, std
   TraceEvent copy;  // For the sink, which runs outside the lock.
   Sink sink;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     TraceEvent& slot = ring_[next_];
     slot.at = at;
     slot.kind = kind;
@@ -75,12 +75,12 @@ void Tracer::RecordSpan(SimTime at, TraceEventKind kind, std::string module, std
 }
 
 void Tracer::SetSink(Sink sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   sink_ = std::move(sink);
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   const uint64_t recorded = recorded_.load(std::memory_order_relaxed);
   const size_t retained = recorded < capacity_ ? static_cast<size_t>(recorded) : capacity_;
@@ -94,7 +94,7 @@ std::vector<TraceEvent> Tracer::Events() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& slot : ring_) {
     slot = TraceEvent{};
   }

@@ -17,10 +17,11 @@
 // the tail of a long run is what debugging needs) and, optionally, in a
 // pluggable sink for live streaming.
 //
-// Thread safety: the ring is guarded by a mutex, `enabled` and the id
-// allocators are atomics, so concurrent Record() calls from a future
-// multi-threaded event queue are safe. The enabled check stays a lock-free
-// fast path for the disabled-per-probe-recording case.
+// Thread safety: the ring is guarded by a mutex (FREMONT_GUARDED_BY below —
+// the annotations, not comments, are the contract), `enabled` and the id
+// allocators are atomics, so concurrent Record() calls from the sharded
+// event runtime are safe. The enabled check stays a lock-free fast path for
+// the disabled-per-probe-recording case.
 
 #ifndef SRC_TELEMETRY_TRACE_H_
 #define SRC_TELEMETRY_TRACE_H_
@@ -28,11 +29,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/util/sim_time.h"
+#include "src/util/thread_annotations.h"
 
 namespace fremont::telemetry {
 
@@ -89,12 +90,13 @@ class Tracer {
 
   // Records a point event tagged with the calling thread's current span (see
   // span.h) — existing flat call sites gain causal context for free.
-  void Record(SimTime at, TraceEventKind kind, std::string module, std::string detail = "");
+  void Record(SimTime at, TraceEventKind kind, std::string module, std::string detail = "")
+      FREMONT_EXCLUDES(mutex_);
 
   // Records an event with an explicit span context and duration (span
   // completions; synthesized provenance events like kChangelogDelta).
   void RecordSpan(SimTime at, TraceEventKind kind, std::string module, std::string detail,
-                  const SpanContext& ctx, int64_t duration_us);
+                  const SpanContext& ctx, int64_t duration_us) FREMONT_EXCLUDES(mutex_);
 
   // Allocates ids for new traces/spans. Plain counters: deterministic under
   // a single thread, unique under many.
@@ -109,7 +111,7 @@ class Tracer {
   // Replaces the streaming sink; pass nullptr to remove it. The ring buffer
   // keeps recording either way. The sink runs outside the ring lock, so it
   // may call back into the tracer.
-  void SetSink(Sink sink);
+  void SetSink(Sink sink) FREMONT_EXCLUDES(mutex_);
 
   size_t capacity() const { return capacity_; }
   // Total events ever recorded (>= Events().size() once the ring wraps).
@@ -120,10 +122,10 @@ class Tracer {
   }
 
   // The retained events, oldest first.
-  std::vector<TraceEvent> Events() const;
+  std::vector<TraceEvent> Events() const FREMONT_EXCLUDES(mutex_);
 
   // Empties the ring buffer and zeroes the recorded count.
-  void Clear();
+  void Clear() FREMONT_EXCLUDES(mutex_);
 
  private:
   const size_t capacity_;
@@ -131,10 +133,11 @@ class Tracer {
   std::atomic<uint64_t> recorded_{0};
   std::atomic<uint64_t> next_trace_id_{1};
   std::atomic<uint64_t> next_span_id_{1};
-  mutable std::mutex mutex_;  // Guards ring_, next_, sink_.
-  std::vector<TraceEvent> ring_;
-  size_t next_ = 0;  // Ring slot the next event lands in.
-  Sink sink_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> ring_ FREMONT_GUARDED_BY(mutex_);
+  // Ring slot the next event lands in.
+  size_t next_ FREMONT_GUARDED_BY(mutex_) = 0;
+  Sink sink_ FREMONT_GUARDED_BY(mutex_);
 };
 
 }  // namespace fremont::telemetry

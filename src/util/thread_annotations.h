@@ -1,0 +1,181 @@
+// Capability-based thread-safety layer: Clang `thread_safety` attribute
+// macros plus annotated mutex / lock-guard wrappers.
+//
+// The locking contracts of the concurrent subsystems (Journal ingest, the
+// serving layer, telemetry, the sharded runtime) used to live in comments
+// ("Guards ring_, next_, sink_"). These macros turn them into declarations
+// the compiler checks: build with FREMONT_THREAD_SAFETY=ON under Clang
+// (tools/check.sh tsa) and -Werror=thread-safety-analysis rejects any access
+// to a FREMONT_GUARDED_BY member without its capability held, any call to a
+// FREMONT_REQUIRES function outside the lock, and any reverse-nested
+// acquisition of mutexes ordered by FREMONT_ACQUIRED_AFTER.
+//
+// Under GCC/MSVC every macro expands to nothing and the wrappers are plain
+// std::mutex / std::shared_mutex behind trivial inline forwarding, so
+// non-Clang builds are byte-identical in behavior.
+//
+// Conventions (enforced by fremont_lint rules 6 and 7, see
+// tools/fremont_lint/lint.h):
+//   - In src/journal, src/serve, src/telemetry, and src/sim/runtime, raw
+//     std::mutex / std::shared_mutex / std::condition_variable members are
+//     forbidden — use fremont::Mutex / SharedMutex / CondVar so the
+//     capability attributes are present.
+//   - Every mutable member of a mutex-owning class is either
+//     FREMONT_GUARDED_BY(...), a std::atomic, const, or carries an explicit
+//     `// lint: unguarded(<reason>)` tag naming its synchronization story.
+//   - Cross-class lock ordering is declared in
+//     tools/fremont_lint/lock_order.txt; same-class ordering additionally
+//     uses FREMONT_ACQUIRED_AFTER so Clang checks it too.
+
+#ifndef SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#if defined(__clang__)
+#define FREMONT_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define FREMONT_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+// Type attributes.
+#define FREMONT_CAPABILITY(x) FREMONT_THREAD_ANNOTATION__(capability(x))
+#define FREMONT_SCOPED_CAPABILITY FREMONT_THREAD_ANNOTATION__(scoped_lockable)
+
+// Member attributes.
+#define FREMONT_GUARDED_BY(x) FREMONT_THREAD_ANNOTATION__(guarded_by(x))
+#define FREMONT_PT_GUARDED_BY(x) FREMONT_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define FREMONT_ACQUIRED_BEFORE(...) FREMONT_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define FREMONT_ACQUIRED_AFTER(...) FREMONT_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// Function attributes.
+#define FREMONT_REQUIRES(...) FREMONT_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define FREMONT_REQUIRES_SHARED(...) \
+  FREMONT_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define FREMONT_ACQUIRE(...) FREMONT_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define FREMONT_ACQUIRE_SHARED(...) \
+  FREMONT_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define FREMONT_RELEASE(...) FREMONT_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define FREMONT_RELEASE_SHARED(...) \
+  FREMONT_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define FREMONT_RELEASE_GENERIC(...) \
+  FREMONT_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define FREMONT_TRY_ACQUIRE(...) FREMONT_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define FREMONT_EXCLUDES(...) FREMONT_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define FREMONT_ASSERT_CAPABILITY(x) FREMONT_THREAD_ANNOTATION__(assert_capability(x))
+#define FREMONT_RETURN_CAPABILITY(x) FREMONT_THREAD_ANNOTATION__(lock_returned(x))
+#define FREMONT_NO_THREAD_SAFETY_ANALYSIS \
+  FREMONT_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace fremont {
+
+class CondVar;
+
+// Annotated exclusive mutex. Prefer the scoped MutexLock over manual
+// Lock()/Unlock() pairs.
+class FREMONT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FREMONT_ACQUIRE() { mu_.lock(); }
+  void Unlock() FREMONT_RELEASE() { mu_.unlock(); }
+  bool TryLock() FREMONT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::Wait atomically releases and reacquires.
+  std::mutex mu_;
+};
+
+// Annotated reader/writer mutex (the Journal ingest lock).
+class FREMONT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() FREMONT_ACQUIRE() { mu_.lock(); }
+  void Unlock() FREMONT_RELEASE() { mu_.unlock(); }
+  void LockShared() FREMONT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() FREMONT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// Scoped exclusive hold of a Mutex.
+class FREMONT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FREMONT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() FREMONT_RELEASE_GENERIC() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Scoped exclusive hold of a SharedMutex (write side).
+class FREMONT_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) FREMONT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~WriterMutexLock() FREMONT_RELEASE_GENERIC() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Scoped shared hold of a SharedMutex (read side).
+class FREMONT_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) FREMONT_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() FREMONT_RELEASE_GENERIC() { mu_.UnlockShared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// Condition variable paired with fremont::Mutex. Wait() is predicate-only on
+// purpose: every caller must state its wakeup condition, so spurious wakeups
+// cannot leak out.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  // Atomically releases `mu`, waits until `pred()` holds, and reacquires
+  // before returning. The caller must hold `mu` exclusively (e.g. via a
+  // MutexLock in the enclosing scope).
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) FREMONT_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the caller's scoped hold stays the
+    // single point of unlock. Clang's analysis does not track std::mutex, so
+    // the handoff is invisible to it — which is exactly the contract: the
+    // capability is held before and after Wait().
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native, std::move(pred));
+    native.release();
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fremont
+
+#endif  // SRC_UTIL_THREAD_ANNOTATIONS_H_

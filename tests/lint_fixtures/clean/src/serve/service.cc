@@ -1,0 +1,35 @@
+// Fixture: annotated locking done right — capability members, guarded /
+// atomic / const / tagged data members, and nesting that follows the
+// declared hierarchy. Rules 6 and 7 must NOT flag this file.
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/thread_annotations.h"
+
+namespace fixture {
+
+class Service {
+ public:
+  void Refresh();
+  int epoch() const;
+
+ private:
+  Mutex refresh_mu_;
+  mutable Mutex sub_mu_ FREMONT_ACQUIRED_AFTER(refresh_mu_);
+  int epoch_ FREMONT_GUARDED_BY(refresh_mu_) = 0;
+  std::atomic<uint64_t> refreshes_{0};
+  const int capacity_ = 4;
+  int scratch_ = 0;  // lint: unguarded(owner thread only, set before Refresh)
+};
+
+void Service::Refresh() {
+  const MutexLock lock(refresh_mu_);
+  ++epoch_;
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const MutexLock sub_lock(sub_mu_);
+  }
+}
+
+}  // namespace fixture

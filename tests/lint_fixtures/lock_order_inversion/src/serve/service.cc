@@ -1,0 +1,23 @@
+// Fixture: acquires the locks against the declared hierarchy
+// (tools/fremont_lint/lock_order.txt says refresh_mu_ comes first) —
+// lock-order (rule 7) must flag the nested acquisition in Notify.
+
+#include "src/util/thread_annotations.h"
+
+namespace fixture {
+
+class Service {
+ public:
+  void Notify();
+
+ private:
+  Mutex refresh_mu_;
+  Mutex sub_mu_;
+};
+
+void Service::Notify() {
+  const MutexLock sub_lock(sub_mu_);
+  const MutexLock refresh_lock(refresh_mu_);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: a raw standard-library mutex inside an annotated subsystem —
+// guard-annotations (rule 6a) must flag it; the wrappers in
+// src/util/thread_annotations.h are the only primitives allowed here.
+
+#include <mutex>
+
+namespace fixture {
+
+class Cache {
+ public:
+  void Put(int key, int value);
+
+ private:
+  std::mutex mu_;
+  int last_key_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: the one file where raw "family/name" literals are allowed.
+#ifndef FIXTURE_NAMES_H_
+#define FIXTURE_NAMES_H_
+
+inline constexpr char kFixtureStores[] = "fixture/stores";
+
+#endif  // FIXTURE_NAMES_H_

@@ -1,0 +1,31 @@
+// Fixture codec: both enumerators appear in the encoder and the decoder.
+#include "src/journal/protocol.h"
+
+struct JournalRequest {
+  void EncodeTo(int& w) const;
+  static bool DecodeInto(JournalRequest& out, int r);
+  RequestType type = RequestType::kStore;
+};
+
+void JournalRequest::EncodeTo(int& w) const {
+  switch (type) {
+    case RequestType::kStore:
+      w = 1;
+      break;
+    case RequestType::kGet:
+      w = 2;
+      break;
+  }
+}
+
+bool JournalRequest::DecodeInto(JournalRequest& out, int r) {
+  switch (static_cast<RequestType>(r)) {
+    case RequestType::kStore:
+      out.type = RequestType::kStore;
+      return true;
+    case RequestType::kGet:
+      out.type = RequestType::kGet;
+      return true;
+  }
+  return false;
+}

@@ -1,0 +1,20 @@
+// Fixture: minimal wire protocol mirroring the real repo's layout.
+#ifndef FIXTURE_PROTOCOL_H_
+#define FIXTURE_PROTOCOL_H_
+
+enum class RequestType : unsigned char {
+  kStore = 1,
+  kGet = 2,
+};
+
+inline const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kStore:
+      return "store";
+    case RequestType::kGet:
+      return "get";
+  }
+  return "unknown";
+}
+
+#endif  // FIXTURE_PROTOCOL_H_

@@ -1,0 +1,16 @@
+// Fixture dispatch: every enumerator has a case.
+#include "src/journal/protocol.h"
+
+struct JournalServer {
+  int Dispatch(RequestType type);
+};
+
+int JournalServer::Dispatch(RequestType type) {
+  switch (type) {
+    case RequestType::kStore:
+      return 1;
+    case RequestType::kGet:
+      return 2;
+  }
+  return 0;
+}

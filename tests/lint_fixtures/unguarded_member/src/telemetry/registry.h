@@ -1,0 +1,26 @@
+// Fixture: a mutex-owning class with one member that has no declared
+// synchronization story — guard-annotations (rule 6b) must flag `count_`
+// and nothing else: the guarded, atomic, const, and tagged members all
+// state theirs.
+
+#include <atomic>
+
+#include "src/util/thread_annotations.h"
+
+namespace fixture {
+
+class Registry {
+ public:
+  void Touch();
+  int count() const;
+
+ private:
+  mutable Mutex mu_;
+  int count_ = 0;
+  int guarded_ FREMONT_GUARDED_BY(mu_) = 0;
+  std::atomic<int> atomic_count_{0};
+  const int capacity_ = 8;
+  int scratch_ = 0;  // lint: unguarded(touched only before threads start)
+};
+
+}  // namespace fixture

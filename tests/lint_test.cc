@@ -113,6 +113,46 @@ TEST(FremontLint, RawThreadOutsideRuntimeIsFlagged) {
   EXPECT_TRUE(CheckRawThreads(Fixture("clean")).empty());
 }
 
+TEST(FremontLint, RawMutexMemberIsFlagged) {
+  const std::vector<Issue> issues = CheckGuardAnnotations(Fixture("raw_mutex_member"));
+  ASSERT_EQ(issues.size(), 1u) << Dump(issues);
+  EXPECT_EQ(issues[0].rule, "guard-annotations");
+  EXPECT_EQ(issues[0].file, "src/serve/cache.h");
+  EXPECT_GT(issues[0].line, 0);
+  EXPECT_TRUE(AnyMessageContains(issues, "std::mutex")) << Dump(issues);
+  EXPECT_TRUE(AnyMessageContains(issues, "thread_annotations.h")) << Dump(issues);
+  EXPECT_FALSE(RunAllRules(Fixture("raw_mutex_member")).empty());
+}
+
+TEST(FremontLint, UnguardedMemberIsFlagged) {
+  const std::vector<Issue> issues = CheckGuardAnnotations(Fixture("unguarded_member"));
+  ASSERT_EQ(issues.size(), 1u) << Dump(issues);
+  EXPECT_EQ(issues[0].rule, "guard-annotations");
+  EXPECT_EQ(issues[0].file, "src/telemetry/registry.h");
+  EXPECT_GT(issues[0].line, 0);
+  // Only the member with no synchronization story; the guarded, atomic,
+  // const, and `// lint: unguarded(...)`-tagged siblings all pass.
+  EXPECT_TRUE(AnyMessageContains(issues, "count_")) << Dump(issues);
+  EXPECT_TRUE(AnyMessageContains(issues, "Registry")) << Dump(issues);
+  EXPECT_FALSE(AnyMessageContains(issues, "scratch_")) << Dump(issues);
+  EXPECT_FALSE(RunAllRules(Fixture("unguarded_member")).empty());
+  // The clean fixture's annotated class exercises every exemption.
+  EXPECT_TRUE(CheckGuardAnnotations(Fixture("clean")).empty());
+}
+
+TEST(FremontLint, LockOrderInversionIsFlagged) {
+  const std::vector<Issue> issues = CheckLockOrder(Fixture("lock_order_inversion"));
+  ASSERT_EQ(issues.size(), 1u) << Dump(issues);
+  EXPECT_EQ(issues[0].rule, "lock-order");
+  EXPECT_EQ(issues[0].file, "src/serve/service.cc");
+  EXPECT_GT(issues[0].line, 0);
+  EXPECT_TRUE(AnyMessageContains(issues, "serve.refresh_mu_")) << Dump(issues);
+  EXPECT_TRUE(AnyMessageContains(issues, "serve.sub_mu_")) << Dump(issues);
+  EXPECT_FALSE(RunAllRules(Fixture("lock_order_inversion")).empty());
+  // The clean fixture declares the same hierarchy and nests correctly.
+  EXPECT_TRUE(CheckLockOrder(Fixture("clean")).empty());
+}
+
 // The contract the tree ships under: the real repo lints clean. If this
 // fails, either real drift crept in (fix the code) or a rule got stricter
 // (fix the rule or migrate the tree in the same PR).

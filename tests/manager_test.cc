@@ -293,8 +293,11 @@ TEST_F(DiscoveryManagerTest, RunForPopulatesTelemetryCounters) {
                              metrics.GetCounter("manager/interval_lengthened")->value() +
                              metrics.GetCounter("manager/interval_held")->value();
   EXPECT_EQ(decisions, static_cast<uint64_t>(total_runs_));
-  EXPECT_EQ(metrics.histograms().at("manager/fruitfulness").count(),
-            static_cast<uint64_t>(total_runs_));
+  {
+    const MutexLock lock(metrics.export_mutex());
+    EXPECT_EQ(metrics.histograms().at("manager/fruitfulness").count(),
+              static_cast<uint64_t>(total_runs_));
+  }
 
   // Module-side counters: nonzero runs and per-run yield for the module that
   // reports through the hook.

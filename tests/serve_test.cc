@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/journal/client.h"
@@ -359,6 +361,65 @@ TEST_F(ServeFlowTest, SnapshotReadsAreStableWhileServiceAdvances) {
   const auto fresh = service_.ReadView(ViewKind::kInterfacesBySubnet);
   EXPECT_GT(fresh->generation, held_generation);
   EXPECT_NE(fresh->view(ViewKind::kInterfacesBySubnet), before);
+}
+
+// --- Concurrency regressions (run under tools/check.sh tsan) ---
+
+// Regression for an unlocked publication -Wthread-safety surfaced:
+// JournalServer::set_subscription_broker used to write broker_ with no lock
+// while concurrent dispatches read it under the *shared* ingest lock — and a
+// ServeService attaches/detaches exactly that way from its constructor and
+// destructor. TSan sees the torn publication when a service comes and goes
+// mid-traffic; the fix takes the exclusive ingest lock for the attach.
+TEST(ServeConcurrencyTest, BrokerAttachDetachDuringSharedLockTraffic) {
+  JournalServer server([]() { return SimTime::Epoch(); });
+  {
+    JournalClient seed_client(&server);
+    seed_client.StoreInterface(Obs(1), DiscoverySource::kArpWatch);
+  }
+
+  constexpr int kReaders = 3;
+  constexpr int kReaderIterations = 500;
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&server, &go, &done]() {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      JournalClient client(&server);
+      for (int i = 0; i < kReaderIterations; ++i) {
+        // Both requests take the shared ingest path; kSubscribe additionally
+        // reads broker_ (null between services → kMalformedRequest, live
+        // broker → kNotFound for an unknown channel — both are fine).
+        (void)client.GetInterfaces();
+        JournalRequest sub;
+        sub.type = RequestType::kSubscribe;
+        sub.subscriber_id = 999999;
+        sub.view_mask = serve::kAllViewsMask;
+        const ResponseStatus status = server.Handle(sub).status;
+        EXPECT_TRUE(status == ResponseStatus::kMalformedRequest ||
+                    status == ResponseStatus::kNotFound);
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Attach/detach brokers for as long as shared-lock traffic is in flight:
+  // each ServeService construction and destruction writes broker_ under the
+  // writer lock while the readers hold the shared side.
+  while (done.load(std::memory_order_acquire) < kReaders) {
+    ServeService service(&server, []() { return SimTime::Epoch(); });
+    service.Refresh();
+  }
+
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_GT(server.requests_handled(),
+            static_cast<uint64_t>(kReaders) * kReaderIterations);
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/journal/protocol.h"
+#include "src/journal/server.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/names.h"
@@ -83,6 +85,55 @@ TEST(TelemetryConcurrencyTest, FourThreadsShareInstrumentsAndTracer) {
       EXPECT_EQ(event.duration_us, 1);
     }
   }
+}
+
+// Regression for an unlocked write -Wthread-safety surfaced:
+// JournalServer::EnableCheckpoint used to set checkpoint_path_/interval_/
+// last_checkpoint_ with no lock, while MaybeCheckpoint (every HandleRequest)
+// read them under the ingest lock — a data race TSan sees the moment
+// checkpointing is enabled mid-traffic. The fix takes the writer lock in
+// EnableCheckpoint and gates the per-request fast path on an atomic.
+TEST(TelemetryConcurrencyTest, EnableCheckpointDuringRequestTraffic) {
+  // A fixed clock keeps the one-hour interval from ever elapsing, so the
+  // race is exercised without checkpoint disk writes per request (only the
+  // at-destruction save lands in TempDir).
+  JournalServer server([]() { return SimTime::Epoch(); });
+  const std::string path = testing::TempDir() + "fremont_checkpoint_race.bin";
+
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&server, &go, &done, t]() {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint32_t i = 0; i < kIterations; ++i) {
+        JournalRequest req;
+        req.type = RequestType::kStoreInterface;
+        InterfaceObservation obs;
+        obs.ip = Ipv4Address(0x0a000000u + (static_cast<uint32_t>(t) << 12) + (i & 0xfffu));
+        req.interface_obs = obs;
+        req.source = DiscoverySource::kArpWatch;
+        // The wire entry point is what runs MaybeCheckpoint per request.
+        (void)server.HandleRequest(req.Encode());
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Re-enable for as long as stores are in flight: every call races a
+  // concurrent MaybeCheckpoint without the fix.
+  while (done.load(std::memory_order_acquire) < kThreads) {
+    server.EnableCheckpoint(path, Duration::Hours(1));
+  }
+
+  for (auto& writer : writers) {
+    writer.join();
+  }
+  EXPECT_EQ(server.requests_handled(), static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_GT(server.journal().Stats().interface_count, 0u);
 }
 
 }  // namespace

@@ -146,6 +146,7 @@ TEST(MetricsRegistryTest, ResetPreservesPointers) {
   // Cached pointers must keep working on the same (zeroed) cells.
   counter->Increment();
   EXPECT_EQ(registry.GetCounter("x/count"), counter);
+  const MutexLock lock(registry.export_mutex());
   EXPECT_EQ(registry.counters().at("x/count").value(), 1u);
 }
 
@@ -248,8 +249,11 @@ TEST(ExportTest, SyncExternalCountersImportsLogTallies) {
   Logging::SetSink(nullptr);
   MetricsRegistry registry;
   SyncExternalCounters(registry);
-  EXPECT_EQ(registry.counters().at("log/warnings").value(), 1u);
-  EXPECT_EQ(registry.counters().at("log/errors").value(), 2u);
+  {
+    const MutexLock lock(registry.export_mutex());
+    EXPECT_EQ(registry.counters().at("log/warnings").value(), 1u);
+    EXPECT_EQ(registry.counters().at("log/errors").value(), 2u);
+  }
   Logging::ResetCounts();
 }
 
@@ -281,6 +285,7 @@ TEST(JournalTelemetryTest, V2InstrumentsCoverBatchingCachingAndScratchReuse) {
   client.GetInterfaces();  // Journal changed since the last response: miss.
   client.GetInterfaces();  // Unchanged generation: served client-side.
 
+  const MutexLock lock(metrics.export_mutex());
   const Histogram& batch_sizes = metrics.histograms().at("journal_client/batch_size");
   EXPECT_EQ(batch_sizes.count(), 2u);
   EXPECT_EQ(batch_sizes.sum(), 8);

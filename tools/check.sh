@@ -10,7 +10,8 @@
 #   tools/check.sh audit      # FREMONT_AUDIT=ON build + ctest (invariant audits)
 #   tools/check.sh lint       # build fremont_lint, run it over the repo
 #   tools/check.sh tidy       # clang-tidy over src/ tools/ bench/ (skips if absent)
-#   tools/check.sh all        # plain, asan, ubsan, tsan, audit, lint — in that order
+#   tools/check.sh tsa        # Clang -Wthread-safety build + ctest (skips if no clang++)
+#   tools/check.sh all        # plain, asan, ubsan, tsan, audit, lint, tsa — in that order
 set -eu
 
 root=$(cd "$(dirname "$0")/.." && pwd)
@@ -24,8 +25,10 @@ else
 fi
 
 configure() {
+  dir=$1
+  shift
   # shellcheck disable=SC2086  # $generator is intentionally word-split
-  cmake -B "$1" -S "$root" $generator "$2" >/dev/null
+  cmake -B "$dir" -S "$root" $generator "$@" >/dev/null
 }
 
 run_one() {
@@ -62,6 +65,28 @@ run_tidy() {
     | sort | xargs clang-tidy -p "$build_dir" --quiet
 }
 
+run_tsa() {
+  clangxx=""
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16 \
+                   clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      clangxx=$candidate
+      break
+    fi
+  done
+  if [ -z "$clangxx" ]; then
+    echo "check.sh: no clang++ installed — skipping tsa mode (-Wthread-safety needs Clang)" >&2
+    return 0
+  fi
+  echo "== tsa: using $clangxx ($(command -v "$clangxx"))"
+  build_dir="$root/build-check-tsa"
+  echo "== tsa: configure + build with -Wthread-safety as error ($build_dir) =="
+  configure "$build_dir" -DFREMONT_THREAD_SAFETY=ON "-DCMAKE_CXX_COMPILER=$clangxx"
+  cmake --build "$build_dir" -j "$(nproc)"
+  echo "== tsa: ctest =="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
 case "$mode" in
   plain) run_one plain -DFREMONT_SANITIZE= ;;
   asan) run_one asan -DFREMONT_SANITIZE=address ;;
@@ -70,6 +95,7 @@ case "$mode" in
   audit) run_one audit -DFREMONT_AUDIT=ON ;;
   lint) run_lint ;;
   tidy) run_tidy ;;
+  tsa) run_tsa ;;
   all)
     run_one plain -DFREMONT_SANITIZE=
     run_one asan -DFREMONT_SANITIZE=address
@@ -77,9 +103,11 @@ case "$mode" in
     run_one tsan -DFREMONT_SANITIZE=thread
     run_one audit -DFREMONT_AUDIT=ON
     run_lint
+    run_tsa
     ;;
   *)
-    echo "usage: $0 [plain|asan|ubsan|tsan|audit|lint|tidy|all]" >&2
+    echo "check.sh: unknown mode '$mode'" >&2
+    echo "usage: $0 [plain|asan|ubsan|tsan|audit|lint|tidy|tsa|all]" >&2
     exit 2
     ;;
 esac
